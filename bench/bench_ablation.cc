@@ -1,0 +1,159 @@
+// Ablation benchmarks for the design decisions DESIGN.md calls out:
+//
+//  1. Operator fusion (§3.1): chained stateless stages as one processor vs
+//     one vertex per stage with queues between them (real engine).
+//  2. Deduct-based sliding windows vs recombining every frame (§2.3 cites
+//     worst-case-constant-time sliding aggregation; real engine).
+//  3. Isolated (core-local) edges vs unicast load-balancing (§3.1 data
+//     locality; real engine).
+//  4. Window-emission burst alignment across tenant jobs (§7.7; simulator).
+//  5. GC pause target tuning (§5/§7.1 "GC pause target of at most 5ms";
+//     simulator).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/job.h"
+#include "pipeline/pipeline.h"
+#include "sim/cluster_sim.h"
+
+namespace {
+
+using namespace jet;  // NOLINT
+
+core::GeneratorSourceP<int64_t>::Options UnthrottledInts(int64_t count) {
+  core::GeneratorSourceP<int64_t>::Options opt;
+  opt.events_per_second = 1e9;
+  opt.duration = count;
+  opt.watermark_interval = 1000;
+  opt.start_time = 0;
+  return opt;
+}
+
+double RunPipelineTimed(pipeline::Pipeline* p, const pipeline::PlanOptions& options,
+                        int64_t events) {
+  auto dag = p->ToDag(options);
+  if (!dag.ok()) return -1;
+  core::JobParams params;
+  params.dag = &*dag;
+  params.cooperative_threads = 2;
+  auto job = core::Job::Create(params);
+  if (!job.ok()) return -1;
+  WallClock clock;
+  Nanos start = clock.Now();
+  (void)(*job)->Start();
+  (void)(*job)->Join();
+  Nanos elapsed = clock.Now() - start;
+  return static_cast<double>(events) / (static_cast<double>(elapsed) / 1e9);
+}
+
+void AblateFusion() {
+  bench::PrintHeader("ablation 1: operator fusion (4 chained maps, real engine)");
+  constexpr int64_t kEvents = 1'000'000;
+  for (bool fusion : {true, false}) {
+    pipeline::Pipeline p;
+    auto stage = p.ReadFrom<int64_t>(
+        "ints", [](int64_t seq) { return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq))); },
+        UnthrottledInts(kEvents));
+    auto out = stage.Map<int64_t>("m1", [](const int64_t& v) { return v + 1; })
+                   .Map<int64_t>("m2", [](const int64_t& v) { return v * 3; })
+                   .Map<int64_t>("m3", [](const int64_t& v) { return v - 2; })
+                   .Map<int64_t>("m4", [](const int64_t& v) { return v ^ 0x5A; });
+    out.WriteToCountSink("count");
+    pipeline::PlanOptions options;
+    options.enable_fusion = fusion;
+    double rate = RunPipelineTimed(&p, options, kEvents);
+    std::printf("  fusion %-3s : %7.2fM events/s\n", fusion ? "ON" : "OFF", rate / 1e6);
+  }
+}
+
+void AblateDeduct() {
+  bench::PrintHeader(
+      "ablation 2: deduct-based sliding window vs recombine (100 frames/window)");
+  // Unthrottled: 1 event per ns of event time; windows defined in event
+  // time so each window spans 100 frames of 50k events each.
+  constexpr int64_t kEvents = 2'000'000;
+  constexpr Nanos kSlide = 50'000;  // event-time ns => 50k events per frame
+  for (bool deduct : {true, false}) {
+    pipeline::Pipeline p;
+    auto op = core::CountingAggregate<int64_t>();
+    if (!deduct) op.deduct = nullptr;
+    p.ReadFrom<int64_t>(
+         "ints",
+         [](int64_t seq) {
+           auto key = static_cast<uint64_t>(seq % 1000);
+           return std::make_pair(seq, HashU64(key));
+         },
+         UnthrottledInts(kEvents))
+        .GroupingKey([](const int64_t& v) { return static_cast<uint64_t>(v % 1000); })
+        .Window(core::WindowDef::Sliding(100 * kSlide, kSlide))
+        .Aggregate<int64_t, int64_t>("count", op)
+        .WriteToCountSink("count");
+    double rate = RunPipelineTimed(&p, {}, kEvents);
+    std::printf("  deduct %-3s : %7.2fM events/s\n", deduct ? "ON" : "OFF", rate / 1e6);
+  }
+}
+
+void AblateIsolatedEdges() {
+  bench::PrintHeader("ablation 3: isolated (core-local) vs unicast local edges");
+  constexpr int64_t kEvents = 1'000'000;
+  for (bool isolate : {true, false}) {
+    pipeline::Pipeline p;
+    p.ReadFrom<int64_t>(
+         "ints",
+         [](int64_t seq) { return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq))); },
+         UnthrottledInts(kEvents), /*local_parallelism=*/2)
+        .Map<int64_t>("map", [](const int64_t& v) { return v + 1; })
+        .WriteToCountSink("count", /*local_parallelism=*/2);
+    pipeline::PlanOptions options;
+    options.isolate_local_edges = isolate;
+    double rate = RunPipelineTimed(&p, options, kEvents);
+    std::printf("  isolated %-3s : %7.2fM events/s\n", isolate ? "ON" : "OFF",
+                rate / 1e6);
+  }
+}
+
+void AblateBurstAlignment() {
+  bench::PrintHeader("ablation 4: tenant window-phase alignment (50 jobs, simulator)");
+  for (bool stagger : {false, true}) {
+    sim::SimConfig c;
+    c.profile = sim::ProfileForQuery(5);
+    c.events_per_second = 1e6;
+    c.concurrent_jobs = 50;
+    c.window_slide = 40 * kNanosPerMilli;
+    c.duration = 60 * kNanosPerSecond;
+    c.warmup = 15 * kNanosPerSecond;
+    c.stagger_job_phases = stagger;
+    auto r = sim::RunClusterSim(c);
+    bench::PrintSimRow(stagger ? "staggered phases" : "aligned phases (default)", r);
+  }
+}
+
+void AblateGcTarget() {
+  bench::PrintHeader("ablation 5: GC pause target (Q5, 1 node, 1M ev/s, simulator)");
+  for (double target_ms : {2.5, 5.0, 10.0, 20.0}) {
+    sim::SimConfig c;
+    c.profile = sim::ProfileForQuery(5);
+    c.events_per_second = 1e6;
+    c.duration = 60 * kNanosPerSecond;
+    c.warmup = 10 * kNanosPerSecond;
+    // Larger target => longer but rarer young pauses.
+    c.gc.young_pause_mean_ms = target_ms;
+    c.gc.young_pause_sd_ms = target_ms * 0.35;
+    c.gc.young_gen_bytes = 2.0e9 * target_ms / 5.0;
+    auto r = sim::RunClusterSim(c);
+    char label[48];
+    std::snprintf(label, sizeof(label), "pause target ~%.1f ms", target_ms);
+    bench::PrintSimRow(label, r);
+  }
+}
+
+}  // namespace
+
+int main() {
+  AblateFusion();
+  AblateDeduct();
+  AblateIsolatedEdges();
+  AblateBurstAlignment();
+  AblateGcTarget();
+  return 0;
+}

@@ -1,0 +1,205 @@
+// §4.6 "Fault Tolerance via Active Replication": instead of paying for
+// low-latency snapshots, Jet's users often run the job twice — one active
+// and one active stand-by — because the engine's per-core efficiency makes
+// the second copy affordable; failover then has near-zero recovery gap.
+//
+// This harness measures the *output availability gap* around a failure for
+// both strategies on the real engine:
+//   A) exactly-once snapshots + restore on the surviving members (§4.4)
+//   B) active-active: two independent clusters compute the same job; the
+//      consumer deduplicates by (key, window) and fails over instantly.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "cluster/jet_cluster.h"
+#include "core/processors_basic.h"
+#include "core/processors_window.h"
+
+namespace {
+
+using namespace jet;  // NOLINT
+
+struct Event {
+  uint64_t key = 0;
+};
+
+// Records the wall-clock arrival time of the first result per window end
+// across however many job copies feed it (the §4.6 consumer-side dedup).
+class ArrivalLog {
+ public:
+  void Record(Nanos window_end, Nanos arrival) {
+    std::scoped_lock lock(mutex_);
+    auto [it, inserted] = first_arrival_.try_emplace(window_end, arrival);
+    if (!inserted && arrival < it->second) it->second = arrival;
+  }
+
+  // Largest wall-clock gap between arrivals of consecutive windows.
+  Nanos MaxGap() const {
+    std::scoped_lock lock(mutex_);
+    Nanos max_gap = 0;
+    const Nanos* prev = nullptr;
+    for (const auto& [window_end, arrival] : first_arrival_) {
+      if (prev != nullptr && arrival > *prev) max_gap = std::max(max_gap, arrival - *prev);
+      prev = &arrival;
+    }
+    return max_gap;
+  }
+
+  size_t WindowCount() const {
+    std::scoped_lock lock(mutex_);
+    return first_arrival_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<Nanos, Nanos> first_arrival_;
+};
+
+class ArrivalSinkP final : public core::Processor {
+ public:
+  explicit ArrivalSinkP(std::shared_ptr<ArrivalLog> log) : log_(std::move(log)) {}
+
+  void Process(int ordinal, core::Inbox* inbox) override {
+    (void)ordinal;
+    const Nanos now = WallClock::Global().Now();
+    while (!inbox->Empty()) {
+      const auto& r = inbox->Peek()->payload.As<core::WindowResult<int64_t>>();
+      log_->Record(r.window_end, now);
+      inbox->RemoveFront();
+    }
+  }
+
+ private:
+  std::shared_ptr<ArrivalLog> log_;
+};
+
+constexpr double kRate = 50'000;
+constexpr Nanos kDuration = 3 * kNanosPerSecond;
+constexpr Nanos kWindow = 50 * kNanosPerMilli;
+
+// Builds the windowed counting job wired to `log`. Each call creates an
+// independent Dag (suppliers capture the shared log only).
+std::unique_ptr<core::Dag> MakeDag(std::shared_ptr<ArrivalLog> log) {
+  auto dag = std::make_unique<core::Dag>();
+  auto op = core::CountingAggregate<Event>();
+  core::WindowDef window = core::WindowDef::Tumbling(kWindow);
+
+  auto source = dag->AddVertex(
+      "source",
+      [](const core::ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+        core::GeneratorSourceP<Event>::Options opt;
+        opt.events_per_second = kRate;
+        opt.duration = kDuration;
+        opt.watermark_interval = 5 * kNanosPerMilli;
+        return std::make_unique<core::GeneratorSourceP<Event>>(
+            [](int64_t seq) {
+              Event e{static_cast<uint64_t>(seq % 32)};
+              return std::make_pair(e, HashU64(e.key));
+            },
+            opt);
+      },
+      1);
+  auto accumulate = dag->AddVertex(
+      "accumulate",
+      [op, window](const core::ProcessorMeta&) {
+        return std::make_unique<core::AccumulateByFrameP<Event, int64_t, int64_t>>(
+            op, [](const Event& e) { return e.key; }, window);
+      },
+      1);
+  auto combine = dag->AddVertex(
+      "combine",
+      [op, window](const core::ProcessorMeta&) {
+        return std::make_unique<core::CombineFramesP<Event, int64_t, int64_t>>(op,
+                                                                               window);
+      },
+      1);
+  auto sink = dag->AddVertex(
+      "sink",
+      [log](const core::ProcessorMeta&) { return std::make_unique<ArrivalSinkP>(log); },
+      1);
+  dag->AddEdge(source, accumulate);
+  auto& e = dag->AddEdge(accumulate, combine);
+  e.routing = core::RoutingPolicy::kPartitioned;
+  e.distributed = true;
+  dag->AddEdge(combine, sink);
+  return dag;
+}
+
+// Scenario A: one cluster, exactly-once snapshots, node failure -> restore.
+void RunSnapshotRecovery() {
+  auto log = std::make_shared<ArrivalLog>();
+  auto dag = MakeDag(log);
+  cluster::ClusterConfig config;
+  config.initial_nodes = 3;
+  config.threads_per_node = 1;
+  config.failure_detection_delay = 500 * kNanosPerMilli;  // heartbeat timeout
+  cluster::JetCluster jet_cluster(config);
+
+  core::JobConfig jc;
+  jc.guarantee = core::ProcessingGuarantee::kExactlyOnce;
+  jc.snapshot_interval = 100 * kNanosPerMilli;
+  auto job = jet_cluster.SubmitJob(dag.get(), jc, 1);
+  if (!job.ok()) {
+    std::printf("A: submit failed: %s\n", job.status().ToString().c_str());
+    return;
+  }
+  for (int i = 0; i < 5000 && (*job)->last_committed_snapshot() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  (void)jet_cluster.KillNode(1);
+  (void)(*job)->Join();
+  std::printf(
+      "A) snapshot recovery (§4.4):  output gap = %7.1f ms   windows=%zu "
+      "(detect + promote + restore + replay)\n",
+      static_cast<double>(log->MaxGap()) / 1e6, log->WindowCount());
+}
+
+// Scenario B: two independent clusters compute the same job; the shared
+// ArrivalLog is the §4.6 consumer taking whichever copy answers first.
+// No guarantee configured on either copy ("in the absence of book-keeping
+// and overhead for fault tolerance such a deployment ... performs
+// extremely efficiently"). The active copy is killed mid-run.
+void RunActiveActive() {
+  auto log = std::make_shared<ArrivalLog>();
+  auto dag_active = MakeDag(log);
+  auto dag_standby = MakeDag(log);
+
+  cluster::ClusterConfig config;
+  config.initial_nodes = 3;
+  config.threads_per_node = 1;
+  cluster::JetCluster active(config);
+  cluster::JetCluster standby(config);
+
+  auto job_active = active.SubmitJob(dag_active.get(), core::JobConfig{}, 1);
+  auto job_standby = standby.SubmitJob(dag_standby.get(), core::JobConfig{}, 1);
+  if (!job_active.ok() || !job_standby.ok()) {
+    std::printf("B: submit failed\n");
+    return;
+  }
+  // Fail the entire active site mid-run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  (*job_active)->Cancel();
+  (void)(*job_standby)->Join();
+  std::printf(
+      "B) active-active (§4.6):      output gap = %7.1f ms   windows=%zu "
+      "(the stand-by was already computing)\n",
+      static_cast<double>(log->MaxGap()) / 1e6, log->WindowCount());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== §4.6 trade-off: snapshot recovery vs active-active failover ===\n");
+  std::printf("Q5-like windowed count, 3-node clusters, failure at ~1s, 50ms windows, 500ms failure detector\n\n");
+  RunSnapshotRecovery();
+  RunActiveActive();
+  std::printf(
+      "\nexpected shape: the active-active gap stays near the window cadence\n"
+      "(~50-100 ms) while snapshot recovery pays detection + backup promotion +\n"
+      "state restore + source replay — the §4.6 rationale for running the job\n"
+      "twice on an efficient engine instead of optimizing snapshots.\n");
+  return 0;
+}

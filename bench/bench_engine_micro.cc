@@ -1,0 +1,167 @@
+// Microbenchmarks of the real engine's building blocks (google-benchmark).
+//
+// These back the paper's systems claims at component level: wait-free SPSC
+// queues (§3.2), cheap partition routing (§4.1), O(1) latency recording,
+// and the per-event cost of the windowed accumulate stage that bounds the
+// "2M events per second per CPU-core" capacity (§4.6).
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/spsc_queue.h"
+#include "core/aggregate.h"
+#include "core/item.h"
+#include "core/processors_window.h"
+#include "imdg/grid.h"
+#include "imdg/partition_table.h"
+
+namespace {
+
+using namespace jet;        // NOLINT
+using namespace jet::core;  // NOLINT
+
+void BM_SpscQueuePushPop(benchmark::State& state) {
+  SpscQueue<int64_t> queue(1024);
+  int64_t v = 0;
+  for (auto _ : state) {
+    queue.TryPush(v);
+    int64_t out;
+    queue.TryPop(out);
+    benchmark::DoNotOptimize(out);
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueuePushPop);
+
+void BM_SpscQueueBatch64(benchmark::State& state) {
+  SpscQueue<int64_t> queue(1024);
+  std::vector<int64_t> batch(64);
+  for (auto _ : state) {
+    queue.PushBatch(batch.begin(), batch.end());
+    size_t drained = queue.DrainTo([](int64_t&&) {}, 64);
+    benchmark::DoNotOptimize(drained);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SpscQueueBatch64);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  int64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = (v * 2862933555777941757ULL + 3037000493ULL) % 100'000'000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HashU64(benchmark::State& state) {
+  uint64_t x = 12345;
+  for (auto _ : state) {
+    x = HashU64(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashU64);
+
+void BM_ItemBoxing(benchmark::State& state) {
+  for (auto _ : state) {
+    Item item = Item::Data<int64_t>(42, 1000, 7);
+    benchmark::DoNotOptimize(item);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ItemBoxing);
+
+void BM_PartitionForHash(benchmark::State& state) {
+  uint64_t x = 99;
+  for (auto _ : state) {
+    auto p = imdg::PartitionForHash(x, imdg::kDefaultPartitionCount);
+    benchmark::DoNotOptimize(p);
+    ++x;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionForHash);
+
+void BM_GridPut(benchmark::State& state) {
+  imdg::DataGrid grid(/*backup_count=*/1);
+  (void)grid.AddMember(0);
+  (void)grid.AddMember(1);
+  Bytes key(8), value(64);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    std::memcpy(key.data(), &k, 8);
+    benchmark::DoNotOptimize(grid.Put("bench", key, value));
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridPut);
+
+void BM_GridGet(benchmark::State& state) {
+  imdg::DataGrid grid(/*backup_count=*/1);
+  (void)grid.AddMember(0);
+  (void)grid.AddMember(1);
+  Bytes value(64);
+  for (uint64_t k = 0; k < 10'000; ++k) {
+    Bytes key(8);
+    std::memcpy(key.data(), &k, 8);
+    (void)grid.Put("bench", key, value);
+  }
+  uint64_t k = 0;
+  Bytes key(8);
+  for (auto _ : state) {
+    uint64_t lookup = k % 10'000;
+    std::memcpy(key.data(), &lookup, 8);
+    benchmark::DoNotOptimize(grid.Get("bench", key));
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridGet);
+
+// Per-event cost of the keyed windowed accumulation (stage 1) — the
+// dominant per-event work of Q5.
+void BM_WindowAccumulate(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  auto op = CountingAggregate<int64_t>();
+  AccumulateByFrameP<int64_t, int64_t, int64_t> processor(
+      op, [](const int64_t& v) { return static_cast<uint64_t>(v); },
+      WindowDef::Sliding(100 * kNanosPerMilli, 10 * kNanosPerMilli));
+  Outbox outbox(1, 4096);
+  ProcessorContext ctx;
+  ctx.outbox = &outbox;
+  static ManualClock clock(0);
+  ctx.clock = &clock;
+  (void)processor.Init(&ctx);
+
+  Inbox inbox;
+  int64_t ts = 0;
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    inbox.Clear();
+    for (int i = 0; i < 256; ++i) {
+      auto key = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(keys)));
+      inbox.Add(Item::Data<int64_t>(key, ts, HashU64(static_cast<uint64_t>(key))));
+      ts += 1000;
+    }
+    state.ResumeTiming();
+    processor.Process(0, &inbox);
+    // Periodically flush closed frames so state stays bounded.
+    if ((ts / 1000) % (1 << 16) == 0) {
+      (void)processor.TryProcessWatermark(ts - 20 * kNanosPerMilli);
+      outbox.bucket(0).clear();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_WindowAccumulate)->Arg(100)->Arg(10'000)->Arg(1'000'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

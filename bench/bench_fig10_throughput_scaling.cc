@@ -1,0 +1,77 @@
+// Reproduces Figure 10: "Throughput as we increase the cluster size from
+// one VM (12 cores) to 20 VMs (240 cores), for Q5 with a sliding window of
+// 500ms."
+//
+// Methodology (§7.4): find the maximum ingest rate each cluster size
+// sustains (no saturation) and report it alongside tail latency. Expected
+// shape: near-linear scaling up to ~468M events/s at 240 cores — possible
+// because the two-stage combiners cap the exchanged data at the key-set
+// size — while p99.99 latency never exceeds ~17ms.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/cluster_sim.h"
+
+namespace {
+
+using jet::sim::RunClusterSim;
+using jet::sim::SimConfig;
+using jet::sim::SimResult;
+
+// Binary-search the highest sustainable ingest rate for the cluster size.
+double FindMaxSustainable(SimConfig base, double lo, double hi) {
+  for (int iter = 0; iter < 12; ++iter) {
+    double mid = (lo + hi) / 2;
+    SimConfig c = base;
+    c.events_per_second = mid;
+    SimResult r = RunClusterSim(c);
+    // Sustainable: not saturated and p99.99 under 25ms.
+    if (!r.saturated && r.latency.ValueAtQuantile(0.9999) < 25 * jet::kNanosPerMilli) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  using namespace jet;
+  using namespace jet::sim;
+
+  bench::PrintHeader("Figure 10: max ingest vs cluster size, Q5, 500ms slide");
+
+  double one_node_rate = 0;
+  for (int nodes : {1, 2, 5, 10, 15, 20}) {
+    SimConfig base;
+    base.profile = ProfileForQuery(5);
+    base.nodes = nodes;
+    base.cores_per_node = 12;
+    base.window_slide = 500 * kNanosPerMilli;
+    base.duration = 40 * kNanosPerSecond;
+    base.warmup = 12 * kNanosPerSecond;
+
+    double max_rate =
+        FindMaxSustainable(base, 1e6, 3.0e6 * 12 * nodes);
+    if (nodes == 1) one_node_rate = max_rate;
+
+    SimConfig at_max = base;
+    at_max.events_per_second = max_rate;
+    SimResult r = RunClusterSim(at_max);
+
+    std::printf(
+        "%2d nodes (%3d cores): max sustained = %7.1fM ev/s  (%.2fM/core, "
+        "speedup %.1fx)  p99.99=%6.2f ms\n",
+        nodes, nodes * 12, max_rate / 1e6, max_rate / 1e6 / (nodes * 12),
+        one_node_rate > 0 ? max_rate / one_node_rate : 1.0,
+        static_cast<double>(r.latency.ValueAtQuantile(0.9999)) / 1e6);
+  }
+
+  std::printf(
+      "\npaper anchors: 468M ev/s at 20 nodes (240 cores), near-linear scaling,\n"
+      "p99.99 <= 17ms throughout (the 500ms slide keeps output traffic constant\n"
+      "once the pre-aggregates cover the 10k keys).\n");
+  return 0;
+}

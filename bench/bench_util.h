@@ -1,0 +1,48 @@
+#ifndef JETSIM_BENCH_BENCH_UTIL_H_
+#define JETSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/histogram.h"
+#include "sim/cluster_sim.h"
+
+namespace jet::bench {
+
+/// Prints the standard percentile row of one measurement (values in ms).
+inline void PrintLatencyRow(const std::string& label, const Histogram& h,
+                            const std::string& extra = "") {
+  std::printf("%-34s p50=%8.2f  p90=%8.2f  p99=%8.2f  p99.9=%8.2f  p99.99=%8.2f ms%s%s\n",
+              label.c_str(), static_cast<double>(h.ValueAtQuantile(0.50)) / 1e6,
+              static_cast<double>(h.ValueAtQuantile(0.90)) / 1e6,
+              static_cast<double>(h.ValueAtQuantile(0.99)) / 1e6,
+              static_cast<double>(h.ValueAtQuantile(0.999)) / 1e6,
+              static_cast<double>(h.ValueAtQuantile(0.9999)) / 1e6,
+              extra.empty() ? "" : "  ", extra.c_str());
+}
+
+/// Prints a full percentile-distribution curve (the format of the paper's
+/// Figures 9/11/12/13).
+inline void PrintPercentileCurve(const std::string& label, const Histogram& h) {
+  std::printf("%s (n=%lld)\n", label.c_str(), static_cast<long long>(h.count()));
+  for (const auto& [q, v] : h.PercentileCurve()) {
+    std::printf("  %9.5f%%  %10.3f ms\n", q * 100.0, static_cast<double>(v) / 1e6);
+  }
+}
+
+/// Prints a sim result row with utilization/saturation info.
+inline void PrintSimRow(const std::string& label, const sim::SimResult& r) {
+  char extra[96];
+  std::snprintf(extra, sizeof(extra), "util=%.2f%s", r.peak_utilization,
+                r.saturated ? " SATURATED" : "");
+  PrintLatencyRow(label, r.latency, extra);
+}
+
+/// Section header.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace jet::bench
+
+#endif  // JETSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,123 @@
+// Failover demo: a windowed counting job with exactly-once guarantees runs
+// on a 3-member in-process cluster; one member is killed mid-flight. The
+// grid promotes the dead member's backup replicas (§4.2, Fig 6), the job
+// restarts from its last committed snapshot on the survivors (§4.4), and
+// the final results account for every event exactly once.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "cluster/jet_cluster.h"
+#include "core/processors_basic.h"
+#include "core/processors_window.h"
+
+namespace {
+
+using namespace jet;  // NOLINT
+
+struct Event {
+  uint64_t key = 0;
+};
+
+}  // namespace
+
+int main() {
+  cluster::ClusterConfig config;
+  config.initial_nodes = 3;
+  config.threads_per_node = 1;
+  cluster::JetCluster jet_cluster(config);
+  std::printf("cluster up: %zu members, %d partitions, backup_count=%d\n",
+              jet_cluster.AliveNodes().size(), jet_cluster.grid().partition_count(),
+              config.backup_count);
+
+  constexpr double kRate = 50'000;
+  constexpr Nanos kDuration = 2 * kNanosPerSecond;
+  const auto kExpected = static_cast<int64_t>(kRate * (kDuration / 1e9));
+
+  // source -> accumulate -> [distributed, partitioned] combine -> collect
+  core::Dag dag;
+  auto collector = std::make_shared<core::SyncCollector<core::WindowResult<int64_t>>>();
+  core::WindowDef window = core::WindowDef::Tumbling(50 * kNanosPerMilli);
+  auto op = core::CountingAggregate<Event>();
+
+  auto source = dag.AddVertex(
+      "source",
+      [&](const core::ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+        core::GeneratorSourceP<Event>::Options opt;
+        opt.events_per_second = kRate;
+        opt.duration = kDuration;
+        opt.watermark_interval = 5 * kNanosPerMilli;
+        return std::make_unique<core::GeneratorSourceP<Event>>(
+            [](int64_t seq) {
+              Event e{static_cast<uint64_t>(seq % 32)};
+              return std::make_pair(e, HashU64(e.key));
+            },
+            opt);
+      },
+      1);
+  auto accumulate = dag.AddVertex(
+      "accumulate",
+      [&](const core::ProcessorMeta&) {
+        return std::make_unique<core::AccumulateByFrameP<Event, int64_t, int64_t>>(
+            op, [](const Event& e) { return e.key; }, window);
+      },
+      1);
+  auto combine = dag.AddVertex(
+      "combine",
+      [&](const core::ProcessorMeta&) {
+        return std::make_unique<core::CombineFramesP<Event, int64_t, int64_t>>(op, window);
+      },
+      1);
+  auto sink = dag.AddVertex(
+      "sink",
+      [&](const core::ProcessorMeta&) {
+        return std::make_unique<core::CollectSinkP<core::WindowResult<int64_t>>>(collector);
+      },
+      1);
+  dag.AddEdge(source, accumulate);
+  auto& exchange = dag.AddEdge(accumulate, combine);
+  exchange.routing = core::RoutingPolicy::kPartitioned;
+  exchange.distributed = true;
+  dag.AddEdge(combine, sink);
+
+  core::JobConfig job_config;
+  job_config.guarantee = core::ProcessingGuarantee::kExactlyOnce;
+  job_config.snapshot_interval = 100 * kNanosPerMilli;
+  auto job = jet_cluster.SubmitJob(&dag, job_config, /*job_id=*/1);
+  if (!job.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n", job.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("job submitted (exactly-once, snapshots every 100 ms)\n");
+
+  // Wait for a couple of committed snapshots, then fail a member.
+  for (int i = 0; i < 5000 && (*job)->last_committed_snapshot() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::printf("committed snapshots so far: %lld — killing member 1...\n",
+              static_cast<long long>((*job)->last_committed_snapshot()));
+  Status kill = jet_cluster.KillNode(1);
+  std::printf("kill: %s; survivors: %zu; job attempts: %d\n", kill.ToString().c_str(),
+              jet_cluster.AliveNodes().size(), (*job)->attempts_started());
+
+  Status done = (*job)->Join();
+  std::printf("job finished: %s (attempts=%d)\n", done.ToString().c_str(),
+              (*job)->attempts_started());
+
+  // Exactly-once check: distinct windows account for every event once.
+  std::map<std::pair<uint64_t, Nanos>, int64_t> distinct;
+  int64_t duplicates = 0;
+  for (const auto& r : collector->Snapshot()) {
+    auto [it, inserted] = distinct.insert({{r.key, r.window_end}, r.value});
+    if (!inserted) ++duplicates;
+  }
+  int64_t total = 0;
+  for (const auto& [kw, v] : distinct) total += v;
+  std::printf("events expected=%lld counted=%lld duplicate emissions=%lld\n",
+              static_cast<long long>(kExpected), static_cast<long long>(total),
+              static_cast<long long>(duplicates));
+  std::printf("exactly-once across failure: %s\n",
+              total == kExpected ? "VERIFIED" : "VIOLATED");
+  return total == kExpected ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// IoT / oil-rig telemetry (§6 "Internet of Things" and "Oil Rig Drilling"):
+// up to 70 high-frequency sensor channels stream vibration/RPM readings;
+// the job maintains sliding-window aggregates per channel and flags
+// channels whose short-term average exceeds a threshold, "enabling human
+// operators to immediately act on the streaming data".
+//
+// The paper's rig workload computes stateful aggregates over ~10K
+// messages/second keeping latency under 10 ms — mirrored here.
+#include <cmath>
+#include <cstdio>
+
+#include "core/job.h"
+#include "pipeline/pipeline.h"
+
+namespace {
+
+using namespace jet;  // NOLINT
+
+struct Reading {
+  int32_t channel = 0;
+  double value = 0;  // e.g. vibration amplitude
+};
+
+constexpr int32_t kChannels = 70;
+constexpr double kAlertThreshold = 0.75;
+
+}  // namespace
+
+int main() {
+  pipeline::Pipeline p;
+
+  // 10k readings/s across 70 channels for 3 seconds; channel 13 drifts
+  // upward so alerts fire.
+  core::GeneratorSourceP<Reading>::Options options;
+  options.events_per_second = 10'000;
+  options.duration = 3 * kNanosPerSecond;
+  options.watermark_interval = 20 * kNanosPerMilli;
+  auto readings = p.ReadFrom<Reading>(
+      "sensors",
+      [](int64_t seq) {
+        uint64_t h = HashU64(static_cast<uint64_t>(seq));
+        Reading r;
+        r.channel = static_cast<int32_t>(h % kChannels);
+        double base = 0.2 + 0.3 * std::sin(static_cast<double>(seq) / 500.0);
+        r.value = r.channel == 13 ? base + static_cast<double>(seq) / 40'000.0
+                                  : base + static_cast<double>((h >> 20) % 100) / 500.0;
+        return std::make_pair(r, HashU64(static_cast<uint64_t>(r.channel)));
+      },
+      options);
+
+  // Sliding 500ms window, 100ms slide: average amplitude per channel.
+  auto averages =
+      readings.GroupingKey([](const Reading& r) { return static_cast<uint64_t>(r.channel); })
+          .Window(core::WindowDef::Sliding(500 * kNanosPerMilli, 100 * kNanosPerMilli))
+          .Aggregate<core::AvgAcc, double>(
+              "avg-amplitude",
+              core::AveragingAggregate<Reading>([](const Reading& r) {
+                return static_cast<int64_t>(r.value * 1e6);  // fixed-point
+              }));
+
+  // Alert stage: channels above the threshold.
+  auto alerts = averages.Filter("over-threshold", [](const core::WindowResult<double>& w) {
+    return w.value / 1e6 > kAlertThreshold;
+  });
+
+  auto alert_log = alerts.CollectTo("alerts");
+  core::LatencyRecorder recorder;
+  averages.WriteToLatencySink("aggregate-latency", &recorder);
+
+  auto dag = p.ToDag();
+  if (!dag.ok()) {
+    std::fprintf(stderr, "plan error: %s\n", dag.status().ToString().c_str());
+    return 1;
+  }
+  core::JobParams params;
+  params.dag = &*dag;
+  params.cooperative_threads = 2;
+  auto job = core::Job::Create(params);
+  if (!job.ok() || !(*job)->Start().ok() || !(*job)->Join().ok()) {
+    std::fprintf(stderr, "job failed\n");
+    return 1;
+  }
+
+  Histogram h = recorder.Merged();
+  std::printf("per-channel window aggregates emitted: %lld\n",
+              static_cast<long long>(h.count()));
+  std::printf("aggregate latency: %s\n", h.Summary(1e6, "ms").c_str());
+
+  auto alert_list = alert_log->Snapshot();
+  std::printf("alerts fired: %zu\n", alert_list.size());
+  int shown = 0;
+  for (const auto& a : alert_list) {
+    std::printf("  ALERT channel=%llu avg=%.3f window_end=+%.1fms\n",
+                static_cast<unsigned long long>(a.key), a.value / 1e6,
+                static_cast<double>(a.window_end % (10 * kNanosPerSecond)) / 1e6);
+    if (++shown >= 5) break;
+  }
+  std::printf("10ms SLA at p99: %s\n",
+              h.ValueAtQuantile(0.99) <= 10 * kNanosPerMilli ? "MET" : "MISSED");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Command-line NEXMark runner: executes any implemented query on the real
+// engine with configurable rate/duration/windows and prints the §7.1
+// latency metrics — the "try it yourself" entry point for the repo.
+//
+//   nexmark_cli [query=5] [events_per_sec=100000] [seconds=2]
+//               [window_ms=500] [slide_ms=50] [threads=2]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/job.h"
+#include "nexmark/queries.h"
+
+int main(int argc, char** argv) {
+  using namespace jet;  // NOLINT
+
+  int query = argc > 1 ? std::atoi(argv[1]) : 5;
+  double rate = argc > 2 ? std::atof(argv[2]) : 100'000;
+  double seconds = argc > 3 ? std::atof(argv[3]) : 2;
+  int64_t window_ms = argc > 4 ? std::atoll(argv[4]) : 500;
+  int64_t slide_ms = argc > 5 ? std::atoll(argv[5]) : 50;
+  int threads = argc > 6 ? std::atoi(argv[6]) : 2;
+
+  if (!nexmark::IsQuerySupported(query)) {
+    std::fprintf(stderr,
+                 "unsupported query %d (supported: 1-8, 13)\n"
+                 "usage: %s [query] [events_per_sec] [seconds] [window_ms] "
+                 "[slide_ms] [threads]\n",
+                 query, argv[0]);
+    return 2;
+  }
+
+  nexmark::QueryConfig config;
+  config.events_per_second = rate;
+  config.duration = static_cast<Nanos>(seconds * 1e9);
+  config.window_size = window_ms * kNanosPerMilli;
+  config.window_slide = slide_ms * kNanosPerMilli;
+  config.watermark_interval = 5 * kNanosPerMilli;
+
+  std::printf("NEXMark Q%d: %.0f events/s for %.1fs, window %lldms slide %lldms, %d threads\n",
+              query, rate, seconds, static_cast<long long>(window_ms),
+              static_cast<long long>(slide_ms), threads);
+
+  auto built = nexmark::BuildQuery(query, config);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  auto dag = (*built)->pipeline.ToDag();
+  if (!dag.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n", dag.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan: %zu vertices, %zu edges\n", dag->vertices().size(),
+              dag->edges().size());
+
+  core::JobParams params;
+  params.dag = &*dag;
+  params.cooperative_threads = threads;
+  auto job = core::Job::Create(params);
+  if (!job.ok()) {
+    std::fprintf(stderr, "job failed: %s\n", job.status().ToString().c_str());
+    return 1;
+  }
+  WallClock clock;
+  Nanos t0 = clock.Now();
+  if (!(*job)->Start().ok()) return 1;
+  Status s = (*job)->Join();
+  Nanos elapsed = clock.Now() - t0;
+  if (!s.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  Histogram h = (*built)->MergedLatency();
+  std::printf("\nresults: %lld in %.2fs wall\n", static_cast<long long>(h.count()),
+              static_cast<double>(elapsed) / 1e9);
+  std::printf("latency: %s\n", h.Summary(1e6, "ms").c_str());
+  std::printf("\n%s", (*job)->Metrics().ToString().c_str());
+  return 0;
+}

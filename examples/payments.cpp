@@ -1,0 +1,180 @@
+// Real-time payments (§6 "Real-time Payments"): an instant-payment
+// processing backbone where "quick recovery mechanisms ... provide high
+// availability to the instant payments application".
+//
+// This example wires the full §4.5 exactly-once-delivery stack on the real
+// engine:
+//   acknowledging broker (payment instructions arrive over MQ)
+//     -> validation & anti-fraud stages
+//     -> transactional sink (settled payments become visible only when the
+//        enclosing snapshot commits)
+// and then kills the job mid-stream, restores it from the last committed
+// snapshot, and verifies that every payment settled exactly once.
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "core/dag.h"
+#include "core/job.h"
+#include "core/processors_basic.h"
+#include "core/processors_external.h"
+#include "imdg/grid.h"
+#include "imdg/snapshot_store.h"
+
+namespace {
+
+using namespace jet;  // NOLINT
+
+struct Payment {
+  int64_t id = 0;
+  int64_t payer = 0;
+  int64_t payee = 0;
+  int64_t amount_cents = 0;
+  bool fraud_checked = false;
+  bool valid = false;
+};
+
+constexpr int64_t kPayments = 30'000;
+
+Payment MakePayment(int64_t id) {
+  uint64_t h = HashU64(static_cast<uint64_t>(id));
+  Payment p;
+  p.id = id;
+  p.payer = static_cast<int64_t>(h % 1000);
+  p.payee = static_cast<int64_t>((h >> 17) % 1000);
+  p.amount_cents = 100 + static_cast<int64_t>((h >> 31) % 500'000);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  auto broker = std::make_shared<core::AckingBroker<Payment>>();
+  auto settled = std::make_shared<core::TransactionalCollector<Payment>>();
+
+  // The payment orchestrator publishes XML-parsed instructions onto the MQ
+  // (modeled by a publisher thread feeding the acknowledging broker).
+  std::thread orchestrator([broker]() {
+    for (int64_t id = 0; id < kPayments; ++id) {
+      broker->Publish(id, MakePayment(id), id * 1000);
+      if (id % 300 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Pipeline: broker -> validate -> anti-fraud -> transactional settlement.
+  core::Dag dag;
+  auto source = dag.AddVertex(
+      "mq-source",
+      [broker](const core::ProcessorMeta&) {
+        return std::make_unique<core::AcknowledgingSourceP<Payment>>(
+            broker, [](const Payment& p) { return HashU64(static_cast<uint64_t>(p.payer)); });
+      },
+      1);
+  auto validate = dag.AddVertex(
+      "validate",
+      [](const core::ProcessorMeta&) {
+        return core::MakeMapP<Payment, Payment>([](const Payment& p) {
+          Payment out = p;
+          out.valid = p.amount_cents > 0 && p.payer != p.payee;
+          return out;
+        });
+      },
+      1);
+  auto antifraud = dag.AddVertex(
+      "anti-fraud",
+      [](const core::ProcessorMeta&) {
+        // "a series of anti-fraud measures against the transaction before
+        // settling" — invalid instructions are rejected here.
+        return std::make_unique<core::FlatMapP<Payment, Payment>>(
+            [](const Payment& p, std::vector<core::OutRecord<Payment>>* out) {
+              if (!p.valid) return;  // rejected, never settles
+              Payment checked = p;
+              checked.fraud_checked = true;
+              out->push_back(core::OutRecord<Payment>{checked, std::nullopt, std::nullopt});
+            });
+      },
+      1);
+  auto settle = dag.AddVertex(
+      "settlement",
+      [settled](const core::ProcessorMeta&) {
+        return std::make_unique<core::TransactionalSinkP<Payment>>(settled);
+      },
+      1);
+  dag.AddEdge(source, validate);
+  dag.AddEdge(validate, antifraud);
+  dag.AddEdge(antifraud, settle);
+
+  imdg::DataGrid grid(/*backup_count=*/1);
+  (void)grid.AddMember(0);
+  imdg::SnapshotStore store(&grid);
+
+  core::JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  params.config.guarantee = core::ProcessingGuarantee::kExactlyOnce;
+  params.config.snapshot_interval = 25 * kNanosPerMilli;
+  params.snapshot_store = &store;
+  params.job_id = 1;
+
+  auto job1 = core::Job::Create(params);
+  if (!job1.ok() || !(*job1)->Start().ok()) {
+    std::fprintf(stderr, "job start failed\n");
+    return 1;
+  }
+  std::printf("payments job running (exactly-once, 25ms checkpoints)\n");
+
+  // Crash mid-stream, after some payments have settled.
+  for (int i = 0; i < 10'000; ++i) {
+    if ((*job1)->last_committed_snapshot() >= 3 && settled->VisibleCount() > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  size_t settled_before = settled->VisibleCount();
+  int64_t restore_id = (*job1)->last_committed_snapshot();
+  (*job1)->Cancel();
+  (void)(*job1)->Join();
+  job1->reset();
+  std::printf("CRASH injected: %zu payments settled, restoring from snapshot %lld\n",
+              settled_before, static_cast<long long>(restore_id));
+
+  orchestrator.join();
+
+  // Recovery: the broker re-sends unacknowledged instructions; the source
+  // dedups by record id; the sink re-commits its prepared transaction.
+  params.restore_snapshot_id = restore_id;
+  auto job2 = core::Job::Create(params);
+  if (!job2.ok() || !(*job2)->Start().ok()) {
+    std::fprintf(stderr, "restore failed\n");
+    return 1;
+  }
+  // Not every instruction settles: self-payments are rejected upstream.
+  int64_t expected_settled = 0;
+  for (int64_t id = 0; id < kPayments; ++id) {
+    Payment p = MakePayment(id);
+    if (p.payer != p.payee && p.amount_cents > 0) ++expected_settled;
+  }
+  for (int i = 0;
+       i < 30'000 && settled->VisibleCount() < static_cast<size_t>(expected_settled);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  (*job2)->Cancel();
+  (void)(*job2)->Join();
+
+  auto visible = settled->Visible();
+  std::set<int64_t> unique;
+  for (const auto& p : visible) unique.insert(p.id);
+  bool all_checked = true;
+  for (const auto& p : visible) all_checked &= p.fraud_checked && p.valid;
+
+  std::printf("settled payments: %zu (distinct: %zu, expected: %lld; %lld rejected)\n",
+              visible.size(), unique.size(), static_cast<long long>(expected_settled),
+              static_cast<long long>(kPayments - expected_settled));
+  std::printf("all settled payments validated + fraud-checked: %s\n",
+              all_checked ? "yes" : "NO");
+  bool exactly_once = visible.size() == static_cast<size_t>(expected_settled) &&
+                      unique.size() == visible.size() && all_checked;
+  std::printf("exactly-once settlement across the crash: %s\n",
+              exactly_once ? "VERIFIED" : "VIOLATED");
+  return exactly_once ? 0 : 1;
+}

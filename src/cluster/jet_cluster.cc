@@ -1,0 +1,351 @@
+#include "cluster/jet_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace jet::cluster {
+
+// ---------------------------------------------------------------------------
+// JetCluster
+// ---------------------------------------------------------------------------
+
+JetCluster::JetCluster(ClusterConfig config)
+    : config_(config),
+      grid_(config.backup_count),
+      store_(&grid_),
+      network_(config.link) {
+  for (int32_t i = 0; i < config_.initial_nodes; ++i) {
+    int32_t id = next_node_id_++;
+    auto added = grid_.AddMember(id);
+    JET_CHECK(added.ok()) << added.status().ToString();
+    alive_nodes_.push_back(id);
+  }
+}
+
+JetCluster::~JetCluster() {
+  std::vector<ClusterJob*> jobs;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& j : jobs_) jobs.push_back(j.get());
+  }
+  for (ClusterJob* j : jobs) {
+    j->Cancel();
+    (void)j->Join();
+  }
+  network_.Shutdown();
+}
+
+Result<ClusterJob*> JetCluster::SubmitJob(const core::Dag* dag, core::JobConfig config,
+                                          imdg::JobId job_id) {
+  JET_RETURN_IF_ERROR(dag->Validate());
+  std::scoped_lock lock(mutex_);
+  if (alive_nodes_.empty()) return UnavailableError("no alive nodes");
+  auto job =
+      std::unique_ptr<ClusterJob>(new ClusterJob(this, dag, config, job_id));
+  JET_RETURN_IF_ERROR(job->StartAttempt(alive_nodes_, /*restore_snapshot=*/-1));
+  jobs_.push_back(std::move(job));
+  return jobs_.back().get();
+}
+
+Status JetCluster::KillNode(int32_t node_id) {
+  std::scoped_lock lock(mutex_);
+  auto it = std::find(alive_nodes_.begin(), alive_nodes_.end(), node_id);
+  if (it == alive_nodes_.end()) return NotFoundError("node not alive");
+  alive_nodes_.erase(it);
+  if (alive_nodes_.empty()) return FailedPreconditionError("cannot kill the last node");
+
+  // Fail-stop the member's workers immediately (its in-memory replicas and
+  // execution state are gone).
+  for (auto& job : jobs_) {
+    std::scoped_lock job_lock(job->job_mutex_);
+    if (job->attempt_ == nullptr) continue;
+    auto& nodes = job->attempt_->nodes;
+    auto idx = std::find(nodes.begin(), nodes.end(), node_id);
+    if (idx != nodes.end()) {
+      job->attempt_->services[static_cast<size_t>(idx - nodes.begin())]->Cancel();
+    }
+  }
+  // The failure detector needs time to declare the member dead before the
+  // cluster reacts (heartbeat timeout).
+  if (config_.failure_detection_delay > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(config_.failure_detection_delay));
+  }
+  // Promote backup replicas of the lost partitions (§4.2, Fig. 6).
+  JET_RETURN_IF_ERROR(grid_.RemoveMember(node_id));
+  // Restart affected jobs from their last committed snapshot (§4.4).
+  for (auto& job : jobs_) {
+    Status s = job->RestartOnMembershipChange();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<int32_t> JetCluster::AddNode() {
+  std::scoped_lock lock(mutex_);
+  int32_t id = next_node_id_++;
+  auto migrated = grid_.AddMember(id);
+  if (!migrated.ok()) return migrated.status();
+  alive_nodes_.push_back(id);
+  for (auto& job : jobs_) {
+    JET_RETURN_IF_ERROR(job->RestartOnMembershipChange());
+  }
+  return id;
+}
+
+std::vector<int32_t> JetCluster::AliveNodes() const {
+  std::scoped_lock lock(mutex_);
+  return alive_nodes_;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterJob
+// ---------------------------------------------------------------------------
+
+ClusterJob::ClusterJob(JetCluster* cluster, const core::Dag* dag,
+                       core::JobConfig config, imdg::JobId job_id)
+    : cluster_(cluster), dag_(dag), config_(config), job_id_(job_id) {}
+
+ClusterJob::~ClusterJob() {
+  Cancel();
+  (void)Join();
+}
+
+bool ClusterJob::Attempt::AllComplete() const {
+  for (const auto& s : services) {
+    if (!s->IsComplete()) return false;
+  }
+  return true;
+}
+
+void ClusterJob::Attempt::StopAll() {
+  cancelled.store(true, std::memory_order_release);
+  for (auto& s : services) s->Cancel();
+  for (auto& s : services) (void)s->AwaitCompletion();
+  coordinator_stop.store(true, std::memory_order_release);
+  if (coordinator.joinable()) coordinator.join();
+}
+
+Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snapshot) {
+  auto attempt = std::make_shared<Attempt>();
+  attempt->nodes = std::move(nodes);
+  const auto node_count = static_cast<int32_t>(attempt->nodes.size());
+  const Clock* clock = &WallClock::Global();
+
+  core::SnapshotControl* sc = nullptr;
+  if (config_.guarantee != core::ProcessingGuarantee::kNone) {
+    sc = &attempt->snapshot_control;
+    auto* store = &cluster_->store_;
+    imdg::JobId job_id = job_id_;
+    sc->write_entry = [store, job_id](int64_t snapshot_id, core::VertexId vertex,
+                                      int32_t writer_index, core::StateEntry&& entry) {
+      imdg::SnapshotStateEntry se;
+      se.vertex_id = vertex;
+      se.writer_index = writer_index;
+      se.key_hash = entry.key_hash;
+      se.key = std::move(entry.key);
+      se.value = std::move(entry.value);
+      Status s = store->WriteEntry(job_id, snapshot_id, se);
+      if (!s.ok()) JET_LOG(kError) << "snapshot write failed: " << s.ToString();
+      return s.ok();
+    };
+  }
+
+  attempt->registry = std::make_unique<net::ExchangeRegistry>(&cluster_->network_);
+  for (int32_t i = 0; i < node_count; ++i) {
+    core::NodeInfo node{i, node_count};
+    auto factory = std::make_unique<net::NetworkEdgeFactory>(
+        attempt->registry.get(), dag_, node, config_,
+        cluster_->config_.threads_per_node, clock, &attempt->cancelled, sc);
+    auto plan = core::ExecutionPlan::Build(*dag_, node, config_,
+                                           cluster_->config_.threads_per_node, clock,
+                                           &attempt->cancelled, factory.get(), sc);
+    if (!plan.ok()) return plan.status();
+    attempt->net_tasklets.push_back(factory->TakeTasklets());
+    attempt->plans.push_back(std::move(plan.value()));
+    attempt->factories.push_back(std::move(factory));
+  }
+
+  if (restore_snapshot >= 0) {
+    for (auto& plan : attempt->plans) {
+      JET_RETURN_IF_ERROR(core::LoadSnapshotIntoPlan(plan.get(), &cluster_->store_,
+                                                     job_id_, restore_snapshot));
+    }
+    attempt->next_snapshot_id = restore_snapshot + 1;
+    cluster_->store_.ClearInFlight(job_id_, attempt->next_snapshot_id);
+  }
+
+  for (int32_t i = 0; i < node_count; ++i) {
+    auto service =
+        std::make_unique<core::ExecutionService>(cluster_->config_.threads_per_node);
+    std::vector<core::Tasklet*> tasklets =
+        attempt->plans[static_cast<size_t>(i)]->Tasklets();
+    for (auto& t : attempt->net_tasklets[static_cast<size_t>(i)]) {
+      tasklets.push_back(t.get());
+    }
+    JET_RETURN_IF_ERROR(service->Start(std::move(tasklets)));
+    attempt->services.push_back(std::move(service));
+  }
+
+  if (sc != nullptr) {
+    Attempt* raw = attempt.get();
+    attempt->coordinator = std::thread([this, raw]() { CoordinatorLoop(raw); });
+  }
+
+  attempt_count_.fetch_add(1, std::memory_order_acq_rel);
+  std::scoped_lock lock(job_mutex_);
+  attempt_ = std::move(attempt);
+  attempt_cv_.notify_all();
+  return Status::OK();
+}
+
+void ClusterJob::StopCurrentAttempt() {
+  std::shared_ptr<Attempt> attempt;
+  {
+    std::scoped_lock lock(job_mutex_);
+    attempt = std::move(attempt_);
+  }
+  if (attempt != nullptr) {
+    attempt->StopAll();
+    std::scoped_lock lock(job_mutex_);
+    completed_attempt_ = std::move(attempt);
+  }
+}
+
+Status ClusterJob::RestartOnMembershipChange() {
+  {
+    std::scoped_lock lock(job_mutex_);
+    if (attempt_ == nullptr) return Status::OK();  // already finished/cancelled
+    // A naturally-finished job does not restart.
+    bool complete = attempt_->AllComplete() &&
+                    !attempt_->cancelled.load(std::memory_order_acquire);
+    if (complete || job_cancelled_.load(std::memory_order_acquire)) return Status::OK();
+  }
+  StopCurrentAttempt();
+
+  int64_t restore = -1;
+  if (config_.guarantee != core::ProcessingGuarantee::kNone) {
+    auto committed = cluster_->store_.LastCommitted(job_id_);
+    if (committed.ok() && committed->has_value()) restore = **committed;
+  }
+  // Note: the caller (JetCluster) holds the cluster mutex, so alive_nodes_
+  // is stable here.
+  return StartAttempt(cluster_->alive_nodes_, restore);
+}
+
+void ClusterJob::CoordinatorLoop(Attempt* attempt) {
+  using std::chrono::nanoseconds;
+  const Nanos interval = config_.snapshot_interval;
+
+  int64_t expected_acks = 0;
+  for (const auto& plan : attempt->plans) {
+    expected_acks += plan->snapshot_participant_count();
+  }
+  for (const auto& node_tasklets : attempt->net_tasklets) {
+    for (const auto& t : node_tasklets) {
+      if (t->ParticipatesInSnapshots()) ++expected_acks;
+    }
+  }
+
+  while (!attempt->coordinator_stop.load(std::memory_order_acquire)) {
+    Nanos slept = 0;
+    while (slept < interval &&
+           !attempt->coordinator_stop.load(std::memory_order_acquire)) {
+      Nanos step = std::min<Nanos>(interval - slept, kNanosPerMilli);
+      std::this_thread::sleep_for(nanoseconds(step));
+      slept += step;
+    }
+    if (attempt->coordinator_stop.load(std::memory_order_acquire) ||
+        attempt->AllComplete()) {
+      break;
+    }
+    int64_t id = attempt->next_snapshot_id++;
+    attempt->snapshot_control.acks.store(0, std::memory_order_release);
+    attempt->snapshot_control.requested.store(id, std::memory_order_release);
+    while (attempt->snapshot_control.acks.load(std::memory_order_acquire) <
+           expected_acks) {
+      if (attempt->coordinator_stop.load(std::memory_order_acquire) ||
+          attempt->AllComplete()) {
+        return;  // attempt winding down mid-snapshot: leave uncommitted
+      }
+      std::this_thread::sleep_for(nanoseconds(100 * kNanosPerMicro));
+    }
+    Status s = cluster_->store_.Commit(job_id_, id);
+    if (!s.ok()) {
+      JET_LOG(kError) << "snapshot commit failed: " << s.ToString();
+      continue;
+    }
+    attempt->snapshot_control.committed.store(id, std::memory_order_release);
+    last_committed_.store(id, std::memory_order_release);
+  }
+}
+
+core::JobMetrics ClusterJob::Metrics() const {
+  core::JobMetrics m;
+  m.job_id = job_id_;
+  m.last_committed_snapshot = last_committed_.load(std::memory_order_acquire);
+  m.attempt = attempt_count_.load(std::memory_order_acquire);
+  std::shared_ptr<Attempt> attempt;
+  {
+    std::scoped_lock lock(const_cast<std::mutex&>(job_mutex_));
+    attempt = attempt_ != nullptr ? attempt_ : completed_attempt_;
+  }
+  if (attempt == nullptr) return m;
+  auto append = [&m](const core::ProcessorTasklet* t) {
+    core::TaskletMetrics tm;
+    tm.name = t->name();
+    tm.items_processed = t->items_processed();
+    tm.calls = t->calls();
+    tm.idle_calls = t->idle_calls();
+    tm.completed_snapshot_id = t->completed_snapshot_id();
+    tm.done = t->IsDone();
+    m.tasklets.push_back(std::move(tm));
+  };
+  for (const auto& plan : attempt->plans) {
+    for (const auto& info : plan->tasklet_infos()) append(info.tasklet);
+  }
+  for (const auto& node_tasklets : attempt->net_tasklets) {
+    for (const auto& t : node_tasklets) append(t.get());
+  }
+  return m;
+}
+
+Status ClusterJob::Join() {
+  while (true) {
+    std::shared_ptr<Attempt> current;
+    {
+      std::scoped_lock lock(job_mutex_);
+      current = attempt_;
+    }
+    if (job_cancelled_.load(std::memory_order_acquire)) break;
+    if (current == nullptr) {
+      // Between attempts (restart in progress) or already stopped.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (current->AllComplete()) {
+      std::scoped_lock lock(job_mutex_);
+      if (attempt_ == current &&
+          !current->cancelled.load(std::memory_order_acquire)) {
+        break;  // finished naturally
+      }
+      continue;  // superseded; wait for the new attempt
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  StopCurrentAttempt();
+  return first_error_;
+}
+
+void ClusterJob::Cancel() {
+  job_cancelled_.store(true, std::memory_order_release);
+  std::scoped_lock lock(job_mutex_);
+  if (attempt_ != nullptr) {
+    attempt_->cancelled.store(true, std::memory_order_release);
+    for (auto& s : attempt_->services) s->Cancel();
+  }
+}
+
+}  // namespace jet::cluster

@@ -1,0 +1,177 @@
+#ifndef JETSIM_CLUSTER_JET_CLUSTER_H_
+#define JETSIM_CLUSTER_JET_CLUSTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/dag.h"
+#include "core/execution_plan.h"
+#include "core/execution_service.h"
+#include "core/job.h"
+#include "core/metrics.h"
+#include "imdg/grid.h"
+#include "imdg/snapshot_store.h"
+#include "net/exchange.h"
+#include "net/network.h"
+
+namespace jet::cluster {
+
+/// Configuration of an in-process Jet cluster.
+struct ClusterConfig {
+  int32_t initial_nodes = 3;
+  /// Cooperative worker threads per node (the paper uses 12 of 16 vCPUs;
+  /// in-process clusters keep this small).
+  int32_t threads_per_node = 2;
+  /// IMDG backup replicas per partition.
+  int32_t backup_count = 1;
+  /// Network link model between members.
+  net::LinkModel link;
+  /// Time between a member's death and the cluster acting on it (the
+  /// heartbeat failure-detector timeout; Hazelcast's default is several
+  /// seconds). Applied inside KillNode before backup promotion.
+  Nanos failure_detection_delay = 0;
+};
+
+class ClusterJob;
+
+/// An in-process Jet cluster: N member nodes sharing a data grid (state
+/// backend, §2.4), connected by a simulated network, each running its own
+/// cooperative execution service. This is the substitution for the paper's
+/// multi-VM deployments — all inter-node data still flows through the
+/// flow-controlled network channels and all state through the replicated
+/// grid, so the distributed protocols (§3.3, §4) execute for real.
+class JetCluster {
+ public:
+  explicit JetCluster(ClusterConfig config);
+  ~JetCluster();
+
+  JetCluster(const JetCluster&) = delete;
+  JetCluster& operator=(const JetCluster&) = delete;
+
+  /// Submits a job spanning all alive nodes. The returned pointer is owned
+  /// by the cluster and valid until the cluster is destroyed.
+  Result<ClusterJob*> SubmitJob(const core::Dag* dag, core::JobConfig config,
+                                imdg::JobId job_id);
+
+  /// Fail-stops a member: its worker threads halt, the grid promotes the
+  /// backups of its partitions (§4.2, Fig. 6), and every running job
+  /// restarts from its last committed snapshot on the surviving members
+  /// (§4.4).
+  Status KillNode(int32_t node_id);
+
+  /// Adds a member: the grid rebalances partitions onto it (§4.3) and
+  /// running jobs restart, rescaled to include it.
+  Result<int32_t> AddNode();
+
+  /// Physical ids of alive members.
+  std::vector<int32_t> AliveNodes() const;
+
+  imdg::DataGrid& grid() { return grid_; }
+  imdg::SnapshotStore& snapshot_store() { return store_; }
+  net::Network& network() { return network_; }
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  friend class ClusterJob;
+
+  ClusterConfig config_;
+  imdg::DataGrid grid_;
+  imdg::SnapshotStore store_;
+  net::Network network_;
+
+  mutable std::mutex mutex_;
+  std::vector<int32_t> alive_nodes_;
+  int32_t next_node_id_ = 0;
+  std::vector<std::unique_ptr<ClusterJob>> jobs_;
+};
+
+/// A job running on a JetCluster. A job execution is a sequence of
+/// *attempts*; node failure or scale-out cancels the current attempt and
+/// starts a new one restored from the last committed snapshot, exactly the
+/// §4.4 recovery protocol.
+class ClusterJob {
+ public:
+  ~ClusterJob();
+
+  ClusterJob(const ClusterJob&) = delete;
+  ClusterJob& operator=(const ClusterJob&) = delete;
+
+  /// Blocks until an attempt runs to natural completion (all sources
+  /// exhausted). Returns the first execution error.
+  Status Join();
+
+  /// Cancels the job.
+  void Cancel();
+
+  /// Id of the last committed snapshot (0 = none).
+  int64_t last_committed_snapshot() const {
+    return last_committed_.load(std::memory_order_acquire);
+  }
+
+  /// Number of attempts started (1 = no recoveries).
+  int32_t attempts_started() const { return attempt_count_.load(std::memory_order_acquire); }
+
+  /// Point-in-time metrics across all nodes of the current attempt (the
+  /// Management Center view, §2).
+  core::JobMetrics Metrics() const;
+
+ private:
+  friend class JetCluster;
+
+  // One execution attempt across a fixed set of nodes.
+  struct Attempt {
+    std::vector<int32_t> nodes;  // physical ids; index in vector = plan node id
+    std::atomic<bool> cancelled{false};
+    core::SnapshotControl snapshot_control;
+    std::unique_ptr<net::ExchangeRegistry> registry;
+    std::vector<std::unique_ptr<net::NetworkEdgeFactory>> factories;
+    std::vector<std::unique_ptr<core::ExecutionPlan>> plans;
+    std::vector<std::vector<std::unique_ptr<core::ProcessorTasklet>>> net_tasklets;
+    std::vector<std::unique_ptr<core::ExecutionService>> services;
+    std::thread coordinator;
+    std::atomic<bool> coordinator_stop{false};
+    int64_t next_snapshot_id = 1;
+
+    bool AllComplete() const;
+    void StopAll();
+  };
+
+  ClusterJob(JetCluster* cluster, const core::Dag* dag, core::JobConfig config,
+             imdg::JobId job_id);
+
+  // Builds and starts an attempt on `nodes`; restores from
+  // `restore_snapshot` if >= 0. Caller holds cluster mutex.
+  Status StartAttempt(std::vector<int32_t> nodes, int64_t restore_snapshot);
+
+  // Stops the current attempt (cancel + join threads). Caller holds
+  // cluster mutex.
+  void StopCurrentAttempt();
+
+  // Reacts to a membership change. Caller holds cluster mutex.
+  Status RestartOnMembershipChange();
+
+  void CoordinatorLoop(Attempt* attempt);
+
+  JetCluster* cluster_;
+  const core::Dag* dag_;
+  core::JobConfig config_;
+  imdg::JobId job_id_;
+
+  std::mutex job_mutex_;
+  std::condition_variable attempt_cv_;
+  std::shared_ptr<Attempt> attempt_;
+  // Last stopped attempt, kept for post-run Metrics().
+  std::shared_ptr<Attempt> completed_attempt_;
+  std::atomic<int64_t> last_committed_{0};
+  std::atomic<int32_t> attempt_count_{0};
+  std::atomic<bool> job_cancelled_{false};
+  Status first_error_;
+};
+
+}  // namespace jet::cluster
+
+#endif  // JETSIM_CLUSTER_JET_CLUSTER_H_

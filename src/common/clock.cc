@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace jet {
+
+WallClock& WallClock::Global() {
+  static WallClock* clock = new WallClock();
+  return *clock;
+}
+
+}  // namespace jet

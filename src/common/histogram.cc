@@ -1,0 +1,125 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace jet {
+
+Histogram::Histogram(int64_t max_value) : max_value_(std::max<int64_t>(max_value, 1)) {
+  buckets_.assign(static_cast<size_t>(BucketIndexFor(max_value_)) + 1, 0);
+}
+
+int Histogram::BucketIndexFor(int64_t value) const {
+  if (value < 0) value = 0;
+  if (value > max_value_) value = max_value_;
+  auto v = static_cast<uint64_t>(value);
+  if (v < kSubBucketCount) return static_cast<int>(v);
+  int exponent = 63 - std::countl_zero(v);
+  int block = exponent - kSubBucketBits + 1;
+  int sub = static_cast<int>((v >> (exponent - kSubBucketBits)) - kSubBucketCount);
+  return block * kSubBucketCount + sub;
+}
+
+int64_t Histogram::BucketUpperEdge(int index) const {
+  if (index < kSubBucketCount) return index;
+  int block = index / kSubBucketCount;
+  int sub = index % kSubBucketCount;
+  int64_t width = int64_t{1} << (block - 1);
+  int64_t lower = static_cast<int64_t>(kSubBucketCount + sub) << (block - 1);
+  return lower + width - 1;
+}
+
+void Histogram::RecordN(int64_t value, int64_t count) {
+  if (count <= 0) return;
+  if (value < 0) value = 0;
+  if (value > max_value_) value = max_value_;
+  buckets_[static_cast<size_t>(BucketIndexFor(value))] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  size_t n = std::min(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < n; ++i) buckets_[i] += other.buckets_[i];
+  // Any buckets the other histogram has beyond our range fold into our top
+  // bucket (consistent with clamping on Record).
+  for (size_t i = n; i < other.buckets_.size(); ++i) {
+    buckets_.back() += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0;
+  return sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the observation we want (1-based, rounded up).
+  auto target = static_cast<int64_t>(q * static_cast<double>(count_) + 0.5);
+  if (target < 1) target = 1;
+  if (target > count_) target = count_;
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return std::min(BucketUpperEdge(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary(double unit, const std::string& unit_name) const {
+  char buf[256];
+  auto scale = [&](int64_t v) { return static_cast<double>(v) / (unit == 0 ? 1.0 : unit); };
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%.3f%s p50=%.3f%s p90=%.3f%s p99=%.3f%s p99.9=%.3f%s "
+                "p99.99=%.3f%s max=%.3f%s",
+                static_cast<long long>(count_), Mean() / (unit == 0 ? 1.0 : unit),
+                unit_name.c_str(), scale(ValueAtQuantile(0.50)), unit_name.c_str(),
+                scale(ValueAtQuantile(0.90)), unit_name.c_str(),
+                scale(ValueAtQuantile(0.99)), unit_name.c_str(),
+                scale(ValueAtQuantile(0.999)), unit_name.c_str(),
+                scale(ValueAtQuantile(0.9999)), unit_name.c_str(), scale(max()),
+                unit_name.c_str());
+  return std::string(buf);
+}
+
+std::vector<std::pair<double, int64_t>> Histogram::PercentileCurve() const {
+  static constexpr double kQuantiles[] = {0.0,   0.10,  0.25,  0.50,   0.70,   0.75,
+                                          0.80,  0.85,  0.90,  0.95,   0.99,   0.995,
+                                          0.999, 0.9995, 0.9999, 1.0};
+  std::vector<std::pair<double, int64_t>> curve;
+  curve.reserve(std::size(kQuantiles));
+  for (double q : kQuantiles) {
+    curve.emplace_back(q, q >= 1.0 ? max() : ValueAtQuantile(q));
+  }
+  return curve;
+}
+
+}  // namespace jet

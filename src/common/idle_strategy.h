@@ -1,0 +1,78 @@
+#ifndef JETSIM_COMMON_IDLE_STRATEGY_H_
+#define JETSIM_COMMON_IDLE_STRATEGY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace jet {
+
+/// Progressive back-off used by cooperative worker threads when none of
+/// their tasklets made progress (§3.2: "when a tasklet has no work to do it
+/// backs off from the thread").
+///
+/// The strategy escalates: busy-spin -> std::this_thread::yield ->
+/// sleep with exponentially growing duration up to `max_park_nanos`. Any
+/// call to `Reset()` (made when work was found) restarts from spinning,
+/// keeping the reaction latency to new input minimal.
+class BackoffIdleStrategy {
+ public:
+  /// `max_spins` busy iterations, then `max_yields` sched yields, then
+  /// parking from `min_park_nanos` doubling up to `max_park_nanos`.
+  explicit BackoffIdleStrategy(int64_t max_spins = 10, int64_t max_yields = 5,
+                               int64_t min_park_nanos = 1'000,
+                               int64_t max_park_nanos = 100'000)
+      : max_spins_(max_spins),
+        max_yields_(max_yields),
+        min_park_nanos_(min_park_nanos),
+        max_park_nanos_(max_park_nanos) {}
+
+  /// Called when an idle iteration completes without work.
+  void Idle() {
+    if (spins_ < max_spins_) {
+      ++spins_;
+      CpuRelax();
+      return;
+    }
+    if (yields_ < max_yields_) {
+      ++yields_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(park_nanos_));
+    park_nanos_ = park_nanos_ * 2 <= max_park_nanos_ ? park_nanos_ * 2 : max_park_nanos_;
+  }
+
+  /// Called when work was found; restarts the back-off ladder.
+  void Reset() {
+    spins_ = 0;
+    yields_ = 0;
+    park_nanos_ = min_park_nanos_;
+  }
+
+  /// True once the strategy has escalated to parking (useful for tests and
+  /// idle-time accounting).
+  bool IsParking() const { return spins_ >= max_spins_ && yields_ >= max_yields_; }
+
+ private:
+  static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  const int64_t max_spins_;
+  const int64_t max_yields_;
+  const int64_t min_park_nanos_;
+  const int64_t max_park_nanos_;
+
+  int64_t spins_ = 0;
+  int64_t yields_ = 0;
+  int64_t park_nanos_ = 1'000;
+};
+
+}  // namespace jet
+
+#endif  // JETSIM_COMMON_IDLE_STRATEGY_H_

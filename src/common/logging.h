@@ -1,0 +1,105 @@
+#ifndef JETSIM_COMMON_LOGGING_H_
+#define JETSIM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace jet {
+
+/// Log severity levels, ordered by importance.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Minimal thread-safe logger used across the library. Log lines below the
+/// configured minimum level are compiled to a no-op stream.
+class Logger {
+ public:
+  /// Returns the process-wide minimum level (default: kWarn, so library
+  /// internals stay quiet in tests and benchmarks).
+  static LogLevel& MinLevel() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+
+  /// Serializes writes from multiple threads.
+  static std::mutex& Mutex() {
+    static std::mutex m;
+    return m;
+  }
+};
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    stream_ << "\n";
+    {
+      std::lock_guard<std::mutex> lock(Logger::Mutex());
+      std::cerr << stream_.str();
+    }
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO ";
+      case LogLevel::kWarn:
+        return "WARN ";
+      case LogLevel::kError:
+        return "ERROR";
+      case LogLevel::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Turns a streamed expression into void so both arms of the JET_LOG
+/// ternary have type void. operator& binds looser than operator<<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace jet
+
+/// Streams a log line at the given level: JET_LOG(kInfo) << "...";
+#define JET_LOG(level)                                                     \
+  (::jet::LogLevel::level < ::jet::Logger::MinLevel() &&                   \
+   ::jet::LogLevel::level != ::jet::LogLevel::kFatal)                      \
+      ? (void)0                                                            \
+      : ::jet::internal_logging::Voidify() &                               \
+            ::jet::internal_logging::LogMessage(::jet::LogLevel::level,    \
+                                                __FILE__, __LINE__)        \
+                .stream()
+
+/// Fatal check macro: aborts with a message when `cond` is false.
+#define JET_CHECK(cond)                                                       \
+  if (!(cond))                                                                \
+  ::jet::internal_logging::LogMessage(::jet::LogLevel::kFatal, __FILE__,      \
+                                      __LINE__)                               \
+      .stream()                                                               \
+      << "Check failed: " #cond " "
+
+#endif  // JETSIM_COMMON_LOGGING_H_

@@ -1,0 +1,167 @@
+#ifndef JETSIM_COMMON_SERDE_H_
+#define JETSIM_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jet {
+
+/// Owned byte buffer used for serialized keys/values and network payloads.
+using Bytes = std::vector<uint8_t>;
+
+/// Appends primitive values to a byte buffer in a compact portable format.
+///
+/// Integers use little-endian fixed width or LEB128 varints; strings are
+/// length-prefixed. This is the wire/storage format for IMDG entries,
+/// snapshot state, and the in-process network transport.
+class BytesWriter {
+ public:
+  BytesWriter() = default;
+  explicit BytesWriter(Bytes initial) : buf_(std::move(initial)) {}
+
+  /// Appends a single byte.
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+
+  /// Appends a fixed-width little-endian 32-bit value.
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+
+  /// Appends a fixed-width little-endian 64-bit value.
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+
+  /// Appends a fixed-width little-endian signed 64-bit value.
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+
+  /// Appends an IEEE-754 double.
+  void WriteDouble(double v) { AppendRaw(&v, sizeof(v)); }
+
+  /// Appends an unsigned LEB128 varint.
+  void WriteVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Appends a zigzag-encoded signed varint.
+  void WriteVarI64(int64_t v) {
+    WriteVarU64((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+
+  /// Appends a varint length followed by the string bytes.
+  void WriteString(const std::string& s) {
+    WriteVarU64(s.size());
+    AppendRaw(s.data(), s.size());
+  }
+
+  /// Appends a varint length followed by the raw bytes.
+  void WriteBytes(const Bytes& b) {
+    WriteVarU64(b.size());
+    AppendRaw(b.data(), b.size());
+  }
+
+  /// Appends raw bytes without a length prefix.
+  void AppendRaw(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  /// Returns the accumulated buffer, leaving this writer empty.
+  Bytes Take() { return std::move(buf_); }
+
+  /// Read-only view of the accumulated buffer.
+  const Bytes& buffer() const { return buf_; }
+
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads primitive values from a byte buffer written by BytesWriter.
+///
+/// All read methods return an error Status on underflow or malformed input
+/// instead of crashing; the reader position is unspecified after an error.
+class BytesReader {
+ public:
+  /// The reader does not own the data; `data` must outlive the reader.
+  BytesReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit BytesReader(const Bytes& b) : BytesReader(b.data(), b.size()) {}
+
+  Status ReadU8(uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU32(uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadI64(int64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return ReadRaw(out, sizeof(*out)); }
+
+  /// Reads an unsigned LEB128 varint.
+  Status ReadVarU64(uint64_t* out) {
+    uint64_t result = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= len_) return OutOfRangeError("varint truncated");
+      if (shift >= 64) return InvalidArgumentError("varint too long");
+      uint8_t byte = data_[pos_++];
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    *out = result;
+    return Status::OK();
+  }
+
+  /// Reads a zigzag-encoded signed varint.
+  Status ReadVarI64(int64_t* out) {
+    uint64_t raw = 0;
+    JET_RETURN_IF_ERROR(ReadVarU64(&raw));
+    *out = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+    return Status::OK();
+  }
+
+  /// Reads a length-prefixed string.
+  Status ReadString(std::string* out) {
+    uint64_t n = 0;
+    JET_RETURN_IF_ERROR(ReadVarU64(&n));
+    if (n > Remaining()) return OutOfRangeError("string truncated");
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Reads a length-prefixed byte buffer.
+  Status ReadBytes(Bytes* out) {
+    uint64_t n = 0;
+    JET_RETURN_IF_ERROR(ReadVarU64(&n));
+    if (n > Remaining()) return OutOfRangeError("bytes truncated");
+    out->assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Reads `len` raw bytes into `out`.
+  Status ReadRaw(void* out, size_t len) {
+    if (len > Remaining()) return OutOfRangeError("buffer underflow");
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  /// Number of unread bytes.
+  size_t Remaining() const { return len_ - pos_; }
+
+  /// True when the whole buffer has been consumed.
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace jet
+
+#endif  // JETSIM_COMMON_SERDE_H_

@@ -1,0 +1,156 @@
+#ifndef JETSIM_COMMON_SPSC_QUEUE_H_
+#define JETSIM_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace jet {
+
+/// Wait-free bounded single-producer/single-consumer ring queue.
+///
+/// This is the data-exchange primitive between tasklets described in §3.2 of
+/// the paper: "Tasklets within the same node exchange data through
+/// shared-memory, single-producer-single-consumer queues that use wait-free
+/// algorithms." Producer and consumer each cache the other side's index to
+/// avoid cache-line ping-pong; indices live on separate cache lines.
+///
+/// Exactly one thread may call the producer methods (TryPush/PushBatch) and
+/// exactly one thread the consumer methods (TryPop/DrainTo/...). Capacity is
+/// rounded up to a power of two.
+template <typename T>
+class SpscQueue {
+ public:
+  /// Creates a queue that can hold up to `capacity` items (rounded up to the
+  /// next power of two, minimum 2).
+  explicit SpscQueue(size_t capacity)
+      : capacity_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer: attempts to enqueue `item`. Returns false if the queue is
+  /// full (item is left untouched so the caller can retry later).
+  bool TryPush(T& item) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ >= capacity_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ >= capacity_) return false;
+    }
+    slots_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: rvalue convenience overload.
+  bool TryPush(T&& item) {
+    T local = std::move(item);
+    if (TryPush(local)) return true;
+    item = std::move(local);
+    return false;
+  }
+
+  /// Producer: enqueues items from [first, last) until the queue fills up.
+  /// Returns the number of items enqueued. Enqueued items are moved-from.
+  template <typename It>
+  size_t PushBatch(It first, It last) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    size_t free_slots = capacity_ - (head - cached_tail_);
+    if (free_slots == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      free_slots = capacity_ - (head - cached_tail_);
+      if (free_slots == 0) return 0;
+    }
+    size_t n = 0;
+    for (It it = first; it != last && n < free_slots; ++it, ++n) {
+      slots_[(head + n) & mask_] = std::move(*it);
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer: attempts to dequeue into `out`. Returns false if empty.
+  bool TryPop(T& out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (cached_head_ == tail) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (cached_head_ == tail) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: moves up to `limit` items into `sink` (a callable taking
+  /// `T&&`). Returns the number of items drained.
+  template <typename Sink>
+  size_t DrainTo(Sink&& sink, size_t limit) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t available = cached_head_ - tail;
+    if (available == 0) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      available = cached_head_ - tail;
+      if (available == 0) return 0;
+    }
+    const size_t n = available < limit ? available : limit;
+    for (size_t i = 0; i < n; ++i) {
+      sink(std::move(slots_[(tail + i) & mask_]));
+    }
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer: returns a pointer to the front item without removing it, or
+  /// nullptr if the queue is empty.
+  T* Peek() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (cached_head_ == tail) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (cached_head_ == tail) return nullptr;
+    }
+    return &slots_[tail & mask_];
+  }
+
+  /// Consumer: removes the front item. Requires a preceding successful
+  /// Peek() on the same thread.
+  void PopFront() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    assert(cached_head_ != tail && "PopFront without Peek");
+    slots_[tail & mask_] = T();
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  /// Approximate number of enqueued items (exact if called by the consumer
+  /// with no concurrent producer, and vice versa).
+  size_t SizeApprox() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+  /// True if the queue appears empty.
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+  /// Fixed capacity of the queue.
+  size_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr size_t kCacheLine = 64;
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLine) std::atomic<size_t> head_{0};  // next write position
+  alignas(kCacheLine) size_t cached_tail_{0};        // producer's view of tail_
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};  // next read position
+  alignas(kCacheLine) size_t cached_head_{0};        // consumer's view of head_
+};
+
+}  // namespace jet
+
+#endif  // JETSIM_COMMON_SPSC_QUEUE_H_

@@ -1,0 +1,148 @@
+#ifndef JETSIM_COMMON_STATUS_H_
+#define JETSIM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace jet {
+
+/// Canonical error codes used across the jetsim library.
+///
+/// jetsim does not use C++ exceptions; all fallible operations return a
+/// `Status` or a `Result<T>`.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kUnavailable = 8,
+  kAborted = 9,
+  kResourceExhausted = 10,
+  kCancelled = 11,
+  kTimedOut = 12,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, modeled after absl::Status.
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// message. `Status` is cheap to copy for the OK case and heap-allocates
+/// only the error message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error code and message. Passing
+  /// `StatusCode::kOk` yields an OK status and drops the message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  /// Returns true iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Returns the error code (kOk when `ok()`).
+  StatusCode code() const { return code_; }
+
+  /// Returns the error message (empty when `ok()`).
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Convenience factories mirroring absl's.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status AbortedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status CancelledError(std::string message);
+Status TimedOutError(std::string message);
+
+/// A value-or-error holder, modeled after absl::StatusOr<T>.
+///
+/// Either holds a `T` (and an OK status) or an error `Status`. Accessing the
+/// value of an errored `Result` aborts in debug builds and is undefined in
+/// release builds; callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  /// Returns true iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define JET_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::jet::Status jet_status_tmp_ = (expr);      \
+    if (!jet_status_tmp_.ok()) return jet_status_tmp_; \
+  } while (false)
+
+}  // namespace jet
+
+#endif  // JETSIM_COMMON_STATUS_H_

@@ -1,0 +1,299 @@
+#ifndef JETSIM_CORE_AGGREGATE_H_
+#define JETSIM_CORE_AGGREGATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serde.h"
+
+namespace jet::core {
+
+/// An aggregate operation over inputs of type `In` with accumulator `Acc`
+/// and result `Res` — Jet's AggregateOperation contract.
+///
+/// `combine` merges two partial accumulators; it is what enables the
+/// two-stage (local partial + global combine) aggregation of §3.1.
+/// `deduct`, when provided, removes a previously-combined accumulator and
+/// enables O(1)-per-slide sliding windows (the paper's §2.3 cites
+/// worst-case-constant-time sliding aggregation); without it the window
+/// processor recombines all frames each slide.
+///
+/// `serialize`/`deserialize` make the accumulator snapshottable.
+template <typename In, typename Acc, typename Res>
+struct AggregateOperation {
+  std::function<Acc()> create;
+  std::function<void(Acc*, const In&)> accumulate;
+  std::function<void(Acc*, const Acc&)> combine;
+  /// Optional inverse of combine; empty function disables the deduct path.
+  std::function<void(Acc*, const Acc&)> deduct;
+  std::function<Res(const Acc&)> finish;
+  std::function<void(const Acc&, BytesWriter*)> serialize;
+  std::function<Acc(BytesReader*)> deserialize;
+
+  bool HasDeduct() const { return static_cast<bool>(deduct); }
+};
+
+/// Counts inputs. Supports deduct.
+template <typename In>
+AggregateOperation<In, int64_t, int64_t> CountingAggregate() {
+  AggregateOperation<In, int64_t, int64_t> op;
+  op.create = []() { return int64_t{0}; };
+  op.accumulate = [](int64_t* acc, const In&) { ++*acc; };
+  op.combine = [](int64_t* acc, const int64_t& other) { *acc += other; };
+  op.deduct = [](int64_t* acc, const int64_t& other) { *acc -= other; };
+  op.finish = [](const int64_t& acc) { return acc; };
+  op.serialize = [](const int64_t& acc, BytesWriter* w) { w->WriteVarI64(acc); };
+  op.deserialize = [](BytesReader* r) {
+    int64_t v = 0;
+    (void)r->ReadVarI64(&v);
+    return v;
+  };
+  return op;
+}
+
+/// Sums a projected int64 of each input. Supports deduct.
+template <typename In>
+AggregateOperation<In, int64_t, int64_t> SummingAggregate(
+    std::function<int64_t(const In&)> projector) {
+  AggregateOperation<In, int64_t, int64_t> op;
+  op.create = []() { return int64_t{0}; };
+  op.accumulate = [projector](int64_t* acc, const In& in) { *acc += projector(in); };
+  op.combine = [](int64_t* acc, const int64_t& other) { *acc += other; };
+  op.deduct = [](int64_t* acc, const int64_t& other) { *acc -= other; };
+  op.finish = [](const int64_t& acc) { return acc; };
+  op.serialize = [](const int64_t& acc, BytesWriter* w) { w->WriteVarI64(acc); };
+  op.deserialize = [](BytesReader* r) {
+    int64_t v = 0;
+    (void)r->ReadVarI64(&v);
+    return v;
+  };
+  return op;
+}
+
+/// Accumulator of AveragingAggregate.
+struct AvgAcc {
+  int64_t sum = 0;
+  int64_t count = 0;
+};
+
+/// Arithmetic mean of a projected int64. Supports deduct.
+template <typename In>
+AggregateOperation<In, AvgAcc, double> AveragingAggregate(
+    std::function<int64_t(const In&)> projector) {
+  AggregateOperation<In, AvgAcc, double> op;
+  op.create = []() { return AvgAcc{}; };
+  op.accumulate = [projector](AvgAcc* acc, const In& in) {
+    acc->sum += projector(in);
+    ++acc->count;
+  };
+  op.combine = [](AvgAcc* acc, const AvgAcc& other) {
+    acc->sum += other.sum;
+    acc->count += other.count;
+  };
+  op.deduct = [](AvgAcc* acc, const AvgAcc& other) {
+    acc->sum -= other.sum;
+    acc->count -= other.count;
+  };
+  op.finish = [](const AvgAcc& acc) {
+    return acc.count == 0 ? 0.0
+                          : static_cast<double>(acc.sum) / static_cast<double>(acc.count);
+  };
+  op.serialize = [](const AvgAcc& acc, BytesWriter* w) {
+    w->WriteVarI64(acc.sum);
+    w->WriteVarI64(acc.count);
+  };
+  op.deserialize = [](BytesReader* r) {
+    AvgAcc acc;
+    (void)r->ReadVarI64(&acc.sum);
+    (void)r->ReadVarI64(&acc.count);
+    return acc;
+  };
+  return op;
+}
+
+/// Maximum of a projected int64. No deduct (max has no inverse); sliding
+/// windows recombine frames — this exercises the non-deduct path.
+template <typename In>
+AggregateOperation<In, int64_t, int64_t> MaxAggregate(
+    std::function<int64_t(const In&)> projector) {
+  AggregateOperation<In, int64_t, int64_t> op;
+  op.create = []() { return std::numeric_limits<int64_t>::min(); };
+  op.accumulate = [projector](int64_t* acc, const In& in) {
+    *acc = std::max(*acc, projector(in));
+  };
+  op.combine = [](int64_t* acc, const int64_t& other) { *acc = std::max(*acc, other); };
+  op.finish = [](const int64_t& acc) { return acc; };
+  op.serialize = [](const int64_t& acc, BytesWriter* w) { w->WriteVarI64(acc); };
+  op.deserialize = [](BytesReader* r) {
+    int64_t v = 0;
+    (void)r->ReadVarI64(&v);
+    return v;
+  };
+  return op;
+}
+
+/// Keeps the last `n` projected values in arrival order (used by NEXMark
+/// Q6: average price of a seller's last 10 closed auctions). No deduct.
+struct LastNAcc {
+  std::vector<int64_t> values;  // newest last
+};
+
+template <typename In>
+AggregateOperation<In, LastNAcc, double> LastNAverageAggregate(
+    std::function<int64_t(const In&)> projector, size_t n) {
+  AggregateOperation<In, LastNAcc, double> op;
+  op.create = []() { return LastNAcc{}; };
+  op.accumulate = [projector, n](LastNAcc* acc, const In& in) {
+    acc->values.push_back(projector(in));
+    if (acc->values.size() > n) {
+      acc->values.erase(acc->values.begin(),
+                        acc->values.end() - static_cast<std::ptrdiff_t>(n));
+    }
+  };
+  op.combine = [n](LastNAcc* acc, const LastNAcc& other) {
+    acc->values.insert(acc->values.end(), other.values.begin(), other.values.end());
+    if (acc->values.size() > n) {
+      acc->values.erase(acc->values.begin(),
+                        acc->values.end() - static_cast<std::ptrdiff_t>(n));
+    }
+  };
+  op.finish = [](const LastNAcc& acc) {
+    if (acc.values.empty()) return 0.0;
+    int64_t sum = 0;
+    for (int64_t v : acc.values) sum += v;
+    return static_cast<double>(sum) / static_cast<double>(acc.values.size());
+  };
+  op.serialize = [](const LastNAcc& acc, BytesWriter* w) {
+    w->WriteVarU64(acc.values.size());
+    for (int64_t v : acc.values) w->WriteVarI64(v);
+  };
+  op.deserialize = [](BytesReader* r) {
+    LastNAcc acc;
+    uint64_t count = 0;
+    (void)r->ReadVarU64(&count);
+    acc.values.resize(count);
+    for (auto& v : acc.values) (void)r->ReadVarI64(&v);
+    return acc;
+  };
+  return op;
+}
+
+/// Minimum of a projected int64. No deduct.
+template <typename In>
+AggregateOperation<In, int64_t, int64_t> MinAggregate(
+    std::function<int64_t(const In&)> projector) {
+  AggregateOperation<In, int64_t, int64_t> op;
+  op.create = []() { return std::numeric_limits<int64_t>::max(); };
+  op.accumulate = [projector](int64_t* acc, const In& in) {
+    *acc = std::min(*acc, projector(in));
+  };
+  op.combine = [](int64_t* acc, const int64_t& other) { *acc = std::min(*acc, other); };
+  op.finish = [](const int64_t& acc) { return acc; };
+  op.serialize = [](const int64_t& acc, BytesWriter* w) { w->WriteVarI64(acc); };
+  op.deserialize = [](BytesReader* r) {
+    int64_t v = 0;
+    (void)r->ReadVarI64(&v);
+    return v;
+  };
+  return op;
+}
+
+/// Accumulator of TopNAggregate: the n largest (value, tag) pairs.
+struct TopNAcc {
+  std::vector<std::pair<int64_t, uint64_t>> entries;  // sorted descending
+};
+
+/// Keeps the N largest projected values, with a caller-supplied tag (e.g.
+/// the entity id) carried alongside — NEXMark-style "hot items" lists.
+/// No deduct (evicted entries are unrecoverable).
+template <typename In>
+AggregateOperation<In, TopNAcc, std::vector<std::pair<int64_t, uint64_t>>> TopNAggregate(
+    std::function<int64_t(const In&)> value_of, std::function<uint64_t(const In&)> tag_of,
+    size_t n) {
+  using Res = std::vector<std::pair<int64_t, uint64_t>>;
+  auto insert = [n](TopNAcc* acc, int64_t value, uint64_t tag) {
+    auto& e = acc->entries;
+    auto pos = std::upper_bound(
+        e.begin(), e.end(), value,
+        [](int64_t v, const std::pair<int64_t, uint64_t>& p) { return v > p.first; });
+    e.insert(pos, {value, tag});
+    if (e.size() > n) e.pop_back();
+  };
+  AggregateOperation<In, TopNAcc, Res> op;
+  op.create = []() { return TopNAcc{}; };
+  op.accumulate = [insert, value_of, tag_of](TopNAcc* acc, const In& in) {
+    insert(acc, value_of(in), tag_of(in));
+  };
+  op.combine = [insert](TopNAcc* acc, const TopNAcc& other) {
+    for (const auto& [value, tag] : other.entries) insert(acc, value, tag);
+  };
+  op.finish = [](const TopNAcc& acc) { return acc.entries; };
+  op.serialize = [](const TopNAcc& acc, BytesWriter* w) {
+    w->WriteVarU64(acc.entries.size());
+    for (const auto& [value, tag] : acc.entries) {
+      w->WriteVarI64(value);
+      w->WriteVarU64(tag);
+    }
+  };
+  op.deserialize = [](BytesReader* r) {
+    TopNAcc acc;
+    uint64_t count = 0;
+    (void)r->ReadVarU64(&count);
+    acc.entries.resize(count);
+    for (auto& [value, tag] : acc.entries) {
+      (void)r->ReadVarI64(&value);
+      (void)r->ReadVarU64(&tag);
+    }
+    return acc;
+  };
+  return op;
+}
+
+/// Accumulator of DistinctCountAggregate: the set of seen hashes.
+struct DistinctAcc {
+  std::vector<uint64_t> hashes;  // kept sorted + unique
+};
+
+/// Exact distinct count of a projected key (set-based; for sketch-sized
+/// state use a HyperLogLog — exactness is preferable at NEXMark's 10k-key
+/// scale). No deduct.
+template <typename In>
+AggregateOperation<In, DistinctAcc, int64_t> DistinctCountAggregate(
+    std::function<uint64_t(const In&)> key_of) {
+  auto insert = [](DistinctAcc* acc, uint64_t h) {
+    auto pos = std::lower_bound(acc->hashes.begin(), acc->hashes.end(), h);
+    if (pos == acc->hashes.end() || *pos != h) acc->hashes.insert(pos, h);
+  };
+  AggregateOperation<In, DistinctAcc, int64_t> op;
+  op.create = []() { return DistinctAcc{}; };
+  op.accumulate = [insert, key_of](DistinctAcc* acc, const In& in) {
+    insert(acc, HashU64(key_of(in)));
+  };
+  op.combine = [insert](DistinctAcc* acc, const DistinctAcc& other) {
+    for (uint64_t h : other.hashes) insert(acc, h);
+  };
+  op.finish = [](const DistinctAcc& acc) {
+    return static_cast<int64_t>(acc.hashes.size());
+  };
+  op.serialize = [](const DistinctAcc& acc, BytesWriter* w) {
+    w->WriteVarU64(acc.hashes.size());
+    for (uint64_t h : acc.hashes) w->WriteU64(h);
+  };
+  op.deserialize = [](BytesReader* r) {
+    DistinctAcc acc;
+    uint64_t count = 0;
+    (void)r->ReadVarU64(&count);
+    acc.hashes.resize(count);
+    for (auto& h : acc.hashes) (void)r->ReadU64(&h);
+    return acc;
+  };
+  return op;
+}
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_AGGREGATE_H_

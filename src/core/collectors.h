@@ -1,0 +1,137 @@
+#ifndef JETSIM_CORE_COLLECTORS_H_
+#define JETSIM_CORE_COLLECTORS_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "core/dag.h"
+#include "core/item.h"
+
+namespace jet::core {
+
+/// Queue type carrying items between tasklets.
+using ItemQueue = SpscQueue<Item>;
+using ItemQueuePtr = std::shared_ptr<ItemQueue>;
+
+/// Callback delivering an item to a remote node over a distributed edge.
+/// Returns false when the channel is saturated (backpressure).
+using RemoteSink = std::function<bool(const Item&)>;
+
+/// Producer-side routing of one output edge (the "exchange operator" of
+/// §3.1): decides which consumer queue (or remote node) each item goes to.
+///
+/// Data items route according to the edge's RoutingPolicy; control items
+/// (watermarks, barriers, done markers) must reach *every* consumer queue
+/// and every remote node, which `OfferControl` handles with resumable
+/// progress so a full queue never drops or duplicates a control item.
+class OutboundCollector {
+ public:
+  /// `queues[j]` is the SPSC queue into local consumer instance j that this
+  /// producer owns; `remotes[r]` delivers to the r-th remote node.
+  OutboundCollector(RoutingPolicy routing, std::vector<ItemQueuePtr> queues,
+                    std::vector<RemoteSink> remotes, int32_t total_parallelism,
+                    int32_t node_count, int32_t node_id, int32_t isolated_index = -1)
+      : routing_(routing),
+        queues_(std::move(queues)),
+        remotes_(std::move(remotes)),
+        total_parallelism_(total_parallelism),
+        node_count_(node_count),
+        node_id_(node_id),
+        isolated_index_(isolated_index) {}
+
+  /// Routes one data item. Returns false (nothing delivered) when the
+  /// target queue/channel is full; the caller must retry with the same
+  /// item later. Broadcast of data items uses resumable progress like
+  /// control items.
+  bool OfferData(const Item& item) {
+    switch (routing_) {
+      case RoutingPolicy::kUnicast:
+        return OfferUnicast(item);
+      case RoutingPolicy::kPartitioned:
+        return OfferPartitioned(item);
+      case RoutingPolicy::kBroadcast:
+        return OfferEverywhere(item);
+      case RoutingPolicy::kIsolated:
+        return TryLocal(static_cast<size_t>(isolated_index_), item);
+    }
+    return false;
+  }
+
+  /// Delivers a control item to every local queue and every remote node.
+  /// Safe to call repeatedly with the same item until it returns true.
+  bool OfferControl(const Item& item) { return OfferEverywhere(item); }
+
+  int32_t total_parallelism() const { return total_parallelism_; }
+
+ private:
+  bool TryLocal(size_t index, const Item& item) {
+    Item copy = item;
+    return queues_[index]->TryPush(copy);
+  }
+
+  bool OfferUnicast(const Item& item) {
+    // Prefer the next queue round-robin, but fall through to any queue
+    // with space so one slow consumer doesn't block the rest.
+    const size_t n = queues_.size() + remotes_.size();
+    for (size_t attempt = 0; attempt < n; ++attempt) {
+      size_t idx = (cursor_ + attempt) % n;
+      bool delivered = idx < queues_.size()
+                           ? TryLocal(idx, item)
+                           : remotes_[idx - queues_.size()](item);
+      if (delivered) {
+        cursor_ = (idx + 1) % n;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool OfferPartitioned(const Item& item) {
+    // Global consumer index across the cluster; instances are laid out
+    // node-major: global = node * local_parallelism + local_index.
+    auto global = static_cast<int32_t>(item.key_hash %
+                                       static_cast<uint64_t>(total_parallelism_));
+    int32_t local_per_node = total_parallelism_ / node_count_;
+    int32_t target_node = global / local_per_node;
+    int32_t local_index = global % local_per_node;
+    if (target_node == node_id_ || remotes_.empty()) {
+      return TryLocal(static_cast<size_t>(local_index), item);
+    }
+    // remotes_ are ordered by node id, skipping self.
+    size_t remote_idx =
+        static_cast<size_t>(target_node > node_id_ ? target_node - 1 : target_node);
+    return remotes_[remote_idx](item);
+  }
+
+  bool OfferEverywhere(const Item& item) {
+    // Resumable broadcast: remember how far we got if some queue is full.
+    const size_t n = queues_.size() + remotes_.size();
+    while (broadcast_progress_ < n) {
+      size_t idx = broadcast_progress_;
+      bool delivered = idx < queues_.size()
+                           ? TryLocal(idx, item)
+                           : remotes_[idx - queues_.size()](item);
+      if (!delivered) return false;
+      ++broadcast_progress_;
+    }
+    broadcast_progress_ = 0;
+    return true;
+  }
+
+  RoutingPolicy routing_;
+  std::vector<ItemQueuePtr> queues_;
+  std::vector<RemoteSink> remotes_;
+  int32_t total_parallelism_;
+  int32_t node_count_;
+  int32_t node_id_;
+  int32_t isolated_index_;
+  size_t cursor_ = 0;
+  size_t broadcast_progress_ = 0;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_COLLECTORS_H_

@@ -1,0 +1,42 @@
+#ifndef JETSIM_CORE_CONFIG_H_
+#define JETSIM_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace jet::core {
+
+/// Processing guarantee of a job (§4.4, §4.5).
+enum class ProcessingGuarantee : uint8_t {
+  /// No snapshots; after a failure the job restarts empty.
+  kNone = 0,
+  /// Snapshots without barrier alignment: channels never block, items may
+  /// be re-processed after recovery (lower latency, possible duplicates).
+  kAtLeastOnce = 1,
+  /// Chandy-Lamport aligned barriers: each input's effects are reflected in
+  /// the state exactly once despite failures (§4.4).
+  kExactlyOnce = 2,
+};
+
+/// Configuration of one job.
+struct JobConfig {
+  ProcessingGuarantee guarantee = ProcessingGuarantee::kNone;
+  /// Interval between automatic snapshots (ignored for kNone).
+  Nanos snapshot_interval = kNanosPerSecond;
+  /// Cooperative worker threads per node; -1 = one per hardware core.
+  int32_t cooperative_threads = -1;
+  /// Default capacity of inter-tasklet SPSC queues.
+  int32_t default_queue_size = 1024;
+  /// Outbox bucket capacity (items buffered per edge before the tasklet
+  /// must drain them into queues).
+  int32_t outbox_capacity = 128;
+  /// Max items moved into a processor's inbox per tasklet call; bounds the
+  /// time slice a tasklet spends in one call (§3.2: "executing for a very
+  /// short period of time, typically under 1 millisecond").
+  int32_t max_inbox_batch = 256;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_CONFIG_H_

@@ -1,0 +1,128 @@
+#include "core/dag.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace jet::core {
+
+VertexId Dag::AddVertex(std::string name, ProcessorSupplier supplier,
+                        int32_t local_parallelism) {
+  auto id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(Vertex{id, std::move(name), std::move(supplier), local_parallelism});
+  return id;
+}
+
+int32_t Dag::NextOrdinal(VertexId v, bool outbound) const {
+  int32_t next = 0;
+  for (const Edge& e : edges_) {
+    if (outbound && e.source == v) next = std::max(next, e.source_ordinal + 1);
+    if (!outbound && e.dest == v) next = std::max(next, e.dest_ordinal + 1);
+  }
+  return next;
+}
+
+Edge& Dag::AddEdge(VertexId source, VertexId dest, int32_t source_ordinal,
+                   int32_t dest_ordinal) {
+  Edge e;
+  e.source = source;
+  e.dest = dest;
+  e.source_ordinal = source_ordinal >= 0 ? source_ordinal : NextOrdinal(source, true);
+  e.dest_ordinal = dest_ordinal >= 0 ? dest_ordinal : NextOrdinal(dest, false);
+  edges_.push_back(e);
+  return edges_.back();
+}
+
+Status Dag::Validate() const {
+  const auto n = static_cast<VertexId>(vertices_.size());
+  if (n == 0) return InvalidArgumentError("DAG has no vertices");
+  for (const Vertex& v : vertices_) {
+    if (!v.supplier) {
+      return InvalidArgumentError("vertex '" + v.name + "' has no processor supplier");
+    }
+    if (v.local_parallelism == 0 || v.local_parallelism < -1) {
+      return InvalidArgumentError("vertex '" + v.name + "' has invalid parallelism");
+    }
+  }
+  for (const Edge& e : edges_) {
+    if (e.source < 0 || e.source >= n || e.dest < 0 || e.dest >= n) {
+      return InvalidArgumentError("edge references unknown vertex");
+    }
+    if (e.source == e.dest) return InvalidArgumentError("self-loop edge");
+    if (e.queue_size < 2) return InvalidArgumentError("edge queue_size too small");
+    if (e.routing == RoutingPolicy::kIsolated) {
+      if (vertices_[static_cast<size_t>(e.source)].local_parallelism !=
+          vertices_[static_cast<size_t>(e.dest)].local_parallelism) {
+        return InvalidArgumentError(
+            "isolated edge requires equal local parallelism on both vertices");
+      }
+      if (e.distributed) {
+        return InvalidArgumentError("isolated edge cannot be distributed");
+      }
+    }
+  }
+  // Dense input ordinals per vertex (0..k-1, no duplicates).
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<int32_t> ordinals;
+    for (const Edge& e : edges_) {
+      if (e.dest == v) ordinals.push_back(e.dest_ordinal);
+    }
+    std::sort(ordinals.begin(), ordinals.end());
+    for (size_t i = 0; i < ordinals.size(); ++i) {
+      if (ordinals[i] != static_cast<int32_t>(i)) {
+        return InvalidArgumentError("vertex '" + vertices_[static_cast<size_t>(v)].name +
+                                    "' has non-dense or duplicate input ordinals");
+      }
+    }
+  }
+  // Acyclicity via Kahn's algorithm.
+  if (TopologicalOrder().size() != vertices_.size()) {
+    return InvalidArgumentError("DAG contains a cycle");
+  }
+  return Status::OK();
+}
+
+std::vector<const Edge*> Dag::InboundEdges(VertexId v) const {
+  std::vector<const Edge*> out;
+  for (const Edge& e : edges_) {
+    if (e.dest == v) out.push_back(&e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Edge* a, const Edge* b) { return a->dest_ordinal < b->dest_ordinal; });
+  return out;
+}
+
+std::vector<const Edge*> Dag::OutboundEdges(VertexId v) const {
+  std::vector<const Edge*> out;
+  for (const Edge& e : edges_) {
+    if (e.source == v) out.push_back(&e);
+  }
+  std::sort(out.begin(), out.end(), [](const Edge* a, const Edge* b) {
+    return a->source_ordinal < b->source_ordinal;
+  });
+  return out;
+}
+
+std::vector<VertexId> Dag::TopologicalOrder() const {
+  const auto n = static_cast<VertexId>(vertices_.size());
+  std::vector<int32_t> in_degree(static_cast<size_t>(n), 0);
+  for (const Edge& e : edges_) {
+    if (e.dest >= 0 && e.dest < n) ++in_degree[static_cast<size_t>(e.dest)];
+  }
+  std::queue<VertexId> ready;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_degree[static_cast<size_t>(v)] == 0) ready.push(v);
+  }
+  std::vector<VertexId> order;
+  while (!ready.empty()) {
+    VertexId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (const Edge& e : edges_) {
+      if (e.source != v) continue;
+      if (--in_degree[static_cast<size_t>(e.dest)] == 0) ready.push(e.dest);
+    }
+  }
+  return order;
+}
+
+}  // namespace jet::core

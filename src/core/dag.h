@@ -1,0 +1,130 @@
+#ifndef JETSIM_CORE_DAG_H_
+#define JETSIM_CORE_DAG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jet::core {
+
+class Processor;
+
+/// Identifier of a vertex within its DAG (dense, 0-based).
+using VertexId = int32_t;
+
+/// How an edge routes items from a producer instance to one of the
+/// consumer's parallel instances (Core API concept, §2.2).
+enum class RoutingPolicy : uint8_t {
+  /// Any consumer may get any item; the collector round-robins across
+  /// consumers, preferring ones with queue space.
+  kUnicast = 0,
+  /// Items with equal `key_hash` always go to the same consumer instance
+  /// (`hash % total parallelism`). Used by keyed aggregations and joins.
+  kPartitioned = 1,
+  /// Every consumer instance receives every item (used for hash-join build
+  /// sides and fan-out).
+  kBroadcast = 2,
+  /// Producer instance i connects only to consumer instance i. Requires
+  /// equal parallelism; preserves order and locality (used inside fused
+  /// chains and for source->map chains).
+  kIsolated = 3,
+};
+
+/// Compile-time metadata handed to a processor factory for one instance.
+struct ProcessorMeta {
+  /// Index of this instance among all instances of the vertex, across the
+  /// whole cluster [0, total_parallelism).
+  int32_t global_index = 0;
+  /// Instances of this vertex in the whole cluster.
+  int32_t total_parallelism = 1;
+  /// Index of this instance on its node [0, local_parallelism).
+  int32_t local_index = 0;
+  /// Instances of this vertex on each node.
+  int32_t local_parallelism = 1;
+  /// The node this instance runs on.
+  int32_t node_id = 0;
+  /// Number of nodes in the job's cluster.
+  int32_t node_count = 1;
+};
+
+/// Factory creating one processor instance per parallel slot.
+using ProcessorSupplier = std::function<std::unique_ptr<Processor>(const ProcessorMeta&)>;
+
+/// An edge of the dataflow DAG, connecting `source` vertex output ordinal
+/// `source_ordinal` to `dest` vertex input ordinal `dest_ordinal`.
+struct Edge {
+  VertexId source = 0;
+  VertexId dest = 0;
+  int32_t source_ordinal = 0;
+  int32_t dest_ordinal = 0;
+  RoutingPolicy routing = RoutingPolicy::kUnicast;
+  /// Distributed edges may ship items to other nodes; local edges always
+  /// stay on the producer's node (§3.1).
+  bool distributed = false;
+  /// Lower value = higher priority: a consumer exhausts all higher-priority
+  /// input edges before touching lower ones (used to drain a hash-join's
+  /// build side before probing).
+  int32_t priority = 0;
+  /// Capacity of each SPSC queue backing this edge.
+  int32_t queue_size = 1024;
+};
+
+/// A vertex of the dataflow DAG.
+struct Vertex {
+  VertexId id = 0;
+  std::string name;
+  ProcessorSupplier supplier;
+  /// Parallel instances per node; -1 = use the node's cooperative thread
+  /// count (the "whole DAG on every core" deployment of §3.1).
+  int32_t local_parallelism = -1;
+};
+
+/// The dataflow graph of the Core API (§2.2): vertices apply processors to
+/// streams flowing along edges. Build with `AddVertex`/`AddEdge`, then hand
+/// to an ExecutionPlan.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Adds a vertex and returns its id.
+  VertexId AddVertex(std::string name, ProcessorSupplier supplier,
+                     int32_t local_parallelism = -1);
+
+  /// Adds an edge. Ordinals: `source_ordinal` is the source's n-th output
+  /// bucket, `dest_ordinal` the destination's n-th input. Returns a
+  /// reference whose fields (routing, distributed, priority, queue_size)
+  /// may be adjusted before the DAG is instantiated.
+  Edge& AddEdge(VertexId source, VertexId dest, int32_t source_ordinal = -1,
+                int32_t dest_ordinal = -1);
+
+  /// Checks structural sanity: ids in range, ordinals dense per vertex,
+  /// graph acyclic, isolated edges between equal-parallelism vertices.
+  Status Validate() const;
+
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Vertex& vertex(VertexId id) const { return vertices_[static_cast<size_t>(id)]; }
+
+  /// Edges entering `v`, sorted by dest_ordinal.
+  std::vector<const Edge*> InboundEdges(VertexId v) const;
+
+  /// Edges leaving `v`, sorted by source_ordinal.
+  std::vector<const Edge*> OutboundEdges(VertexId v) const;
+
+  /// Vertices in a topological order. Requires a validated (acyclic) DAG.
+  std::vector<VertexId> TopologicalOrder() const;
+
+ private:
+  int32_t NextOrdinal(VertexId v, bool outbound) const;
+
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_DAG_H_

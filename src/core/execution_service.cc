@@ -1,0 +1,116 @@
+#include "core/execution_service.h"
+
+#include <algorithm>
+
+#include "common/idle_strategy.h"
+#include "common/logging.h"
+
+namespace jet::core {
+
+ExecutionService::ExecutionService(int32_t thread_count)
+    : thread_count_(std::max<int32_t>(1, thread_count)) {}
+
+ExecutionService::~ExecutionService() {
+  Cancel();
+  AwaitCompletion();
+}
+
+Status ExecutionService::Start(std::vector<Tasklet*> tasklets) {
+  if (started_.exchange(true)) return FailedPreconditionError("service already started");
+
+  // Split cooperative from non-cooperative tasklets; the latter each get a
+  // dedicated thread (§3.2).
+  std::vector<std::vector<Tasklet*>> per_thread(static_cast<size_t>(thread_count_));
+  std::vector<Tasklet*> dedicated;
+  size_t cursor = 0;
+  for (Tasklet* t : tasklets) {
+    if (t->IsCooperative()) {
+      per_thread[cursor % static_cast<size_t>(thread_count_)].push_back(t);
+      ++cursor;
+    } else {
+      dedicated.push_back(t);
+    }
+  }
+
+  for (auto& group : per_thread) {
+    if (group.empty()) continue;
+    active_workers_.fetch_add(1, std::memory_order_acq_rel);
+    threads_.emplace_back(
+        [this, group = std::move(group)]() mutable { CooperativeWorkerLoop(group); });
+  }
+  for (Tasklet* t : dedicated) {
+    active_workers_.fetch_add(1, std::memory_order_acq_rel);
+    threads_.emplace_back([this, t]() { DedicatedWorkerLoop(t); });
+  }
+  return Status::OK();
+}
+
+void ExecutionService::RecordError(const Status& status) {
+  std::scoped_lock lock(error_mutex_);
+  if (first_error_.ok()) first_error_ = status;
+}
+
+void ExecutionService::CooperativeWorkerLoop(std::vector<Tasklet*> tasklets) {
+  // Initialize on the owning thread for cache affinity.
+  for (Tasklet* t : tasklets) {
+    Status s = t->Init();
+    if (!s.ok()) {
+      RecordError(s);
+      cancelled_.store(true, std::memory_order_release);
+    }
+  }
+  BackoffIdleStrategy idle;
+  // Round-robin over live tasklets (§3.2, Fig. 4).
+  while (!tasklets.empty() && !cancelled_.load(std::memory_order_acquire)) {
+    bool any_progress = false;
+    for (size_t i = 0; i < tasklets.size();) {
+      TaskletProgress p = tasklets[i]->Call();
+      any_progress |= p.made_progress;
+      if (p.done) {
+        tasklets.erase(tasklets.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (any_progress) {
+      idle.Reset();
+    } else {
+      idle.Idle();
+    }
+  }
+  active_workers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ExecutionService::DedicatedWorkerLoop(Tasklet* tasklet) {
+  Status s = tasklet->Init();
+  if (!s.ok()) {
+    RecordError(s);
+    cancelled_.store(true, std::memory_order_release);
+  }
+  BackoffIdleStrategy idle(/*max_spins=*/0, /*max_yields=*/1,
+                           /*min_park_nanos=*/10'000, /*max_park_nanos=*/1'000'000);
+  while (!cancelled_.load(std::memory_order_acquire)) {
+    TaskletProgress p = tasklet->Call();
+    if (p.done) break;
+    if (p.made_progress) {
+      idle.Reset();
+    } else {
+      idle.Idle();
+    }
+  }
+  active_workers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ExecutionService::Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+Status ExecutionService::AwaitCompletion() {
+  if (joined_) return first_error_;
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+  std::scoped_lock lock(error_mutex_);
+  return first_error_;
+}
+
+}  // namespace jet::core

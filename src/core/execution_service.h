@@ -1,0 +1,73 @@
+#ifndef JETSIM_CORE_EXECUTION_SERVICE_H_
+#define JETSIM_CORE_EXECUTION_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tasklet.h"
+
+namespace jet::core {
+
+/// Runs tasklets on a fixed pool of cooperative worker threads (§3.2,
+/// Fig. 4): "Jet deploys as many JVM threads as there are CPU cores ... a
+/// thread takes over the execution of a number of tasklets. On each
+/// thread, Jet runs a loop that executes its tasklets in a round-robin
+/// fashion."
+///
+/// Cooperative tasklets are spread round-robin over `thread_count` worker
+/// threads. Non-cooperative tasklets each get a dedicated thread with a
+/// gentler idling policy. When none of a worker's tasklets makes progress
+/// the worker backs off progressively (spin -> yield -> park) instead of
+/// burning the core.
+class ExecutionService {
+ public:
+  /// `thread_count` cooperative workers (>= 1).
+  explicit ExecutionService(int32_t thread_count);
+
+  ExecutionService(const ExecutionService&) = delete;
+  ExecutionService& operator=(const ExecutionService&) = delete;
+
+  ~ExecutionService();
+
+  /// Starts executing `tasklets` (non-owning; they must outlive the
+  /// service). May be called once.
+  Status Start(std::vector<Tasklet*> tasklets);
+
+  /// Requests cooperative cancellation: workers stop calling tasklets and
+  /// exit their loops.
+  void Cancel();
+
+  /// Blocks until all tasklets are done (or cancellation took effect) and
+  /// returns the first tasklet Init error, if any.
+  Status AwaitCompletion();
+
+  /// True once every tasklet has finished.
+  bool IsComplete() const {
+    return started_.load(std::memory_order_acquire) &&
+           active_workers_.load(std::memory_order_acquire) == 0;
+  }
+
+  int32_t thread_count() const { return thread_count_; }
+
+ private:
+  void CooperativeWorkerLoop(std::vector<Tasklet*> tasklets);
+  void DedicatedWorkerLoop(Tasklet* tasklet);
+  void RecordError(const Status& status);
+
+  int32_t thread_count_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<int32_t> active_workers_{0};
+  std::mutex error_mutex_;
+  Status first_error_;
+  bool joined_ = false;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_EXECUTION_SERVICE_H_

@@ -1,0 +1,126 @@
+#ifndef JETSIM_CORE_INBOX_OUTBOX_H_
+#define JETSIM_CORE_INBOX_OUTBOX_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/serde.h"
+#include "core/item.h"
+
+namespace jet::core {
+
+/// Batch of input items handed to a processor. The owning tasklet refills
+/// the inbox from one inbound queue at a time (§3.2: "the tasklet refills
+/// the processor's inbox with more input").
+///
+/// The processor consumes from the front with Peek/Poll; items it leaves in
+/// place are re-offered on the next Process call (used when the outbox
+/// fills up mid-batch).
+class Inbox {
+ public:
+  /// True when no items remain.
+  bool Empty() const { return items_.empty(); }
+
+  /// Number of items remaining.
+  size_t Size() const { return items_.size(); }
+
+  /// Returns the front item without removing it; nullptr when empty.
+  const Item* Peek() const { return items_.empty() ? nullptr : &items_.front(); }
+
+  /// Removes and returns the front item. Requires !Empty().
+  Item Poll() {
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Removes the front item. Requires !Empty().
+  void RemoveFront() { items_.pop_front(); }
+
+  /// Adds an item at the back (called by the owning tasklet only).
+  void Add(Item item) { items_.push_back(std::move(item)); }
+
+  /// Drops all items.
+  void Clear() { items_.clear(); }
+
+ private:
+  std::deque<Item> items_;
+};
+
+/// One entry of processor state emitted during snapshotting.
+struct StateEntry {
+  uint64_t key_hash = 0;
+  Bytes key;
+  Bytes value;
+};
+
+/// Buffer for a processor's output (§3.2: "each processor includes ... an
+/// outbox of output records to be dispatched downstream").
+///
+/// The outbox has one bucket per output edge plus a bucket for snapshot
+/// state. Buckets have bounded capacity; `Offer*` returns false when a
+/// bucket is full, which is the backpressure signal telling the processor
+/// to stop and yield (the tasklet will drain buckets into the outbound
+/// queues and retry).
+class Outbox {
+ public:
+  /// Creates an outbox with `edge_count` edge buckets of capacity
+  /// `bucket_capacity` items each.
+  explicit Outbox(int edge_count, size_t bucket_capacity = 128)
+      : buckets_(static_cast<size_t>(edge_count)), capacity_(bucket_capacity) {}
+
+  /// Offers an item to one output edge. Returns false (and does not
+  /// consume) if that bucket is full.
+  bool Offer(int ordinal, Item item) {
+    auto& bucket = buckets_[static_cast<size_t>(ordinal)];
+    if (bucket.size() >= capacity_) return false;
+    bucket.push_back(std::move(item));
+    return true;
+  }
+
+  /// Offers an item to every output edge; returns false (and consumes
+  /// nothing) unless all buckets have room.
+  bool OfferToAll(const Item& item) {
+    for (const auto& bucket : buckets_) {
+      if (bucket.size() >= capacity_) return false;
+    }
+    for (auto& bucket : buckets_) bucket.push_back(item);
+    return true;
+  }
+
+  /// Offers a state entry to the snapshot bucket. Returns false if full.
+  bool OfferToSnapshot(StateEntry entry) {
+    if (snapshot_bucket_.size() >= capacity_) return false;
+    snapshot_bucket_.push_back(std::move(entry));
+    return true;
+  }
+
+  /// Number of output edges.
+  int edge_count() const { return static_cast<int>(buckets_.size()); }
+
+  /// True when all buckets (including snapshot) are empty.
+  bool Empty() const {
+    if (!snapshot_bucket_.empty()) return false;
+    for (const auto& bucket : buckets_) {
+      if (!bucket.empty()) return false;
+    }
+    return true;
+  }
+
+  /// The tasklet-side view of one edge bucket.
+  std::deque<Item>& bucket(int ordinal) { return buckets_[static_cast<size_t>(ordinal)]; }
+
+  /// The tasklet-side view of the snapshot bucket.
+  std::deque<StateEntry>& snapshot_bucket() { return snapshot_bucket_; }
+
+ private:
+  std::vector<std::deque<Item>> buckets_;
+  std::deque<StateEntry> snapshot_bucket_;
+  size_t capacity_;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_INBOX_OUTBOX_H_

@@ -1,0 +1,124 @@
+#ifndef JETSIM_CORE_ITEM_H_
+#define JETSIM_CORE_ITEM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <typeinfo>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace jet::core {
+
+/// Cheap type-erased payload container for the data plane.
+///
+/// Holds an immutable, reference-counted value; copying an `Any` (needed for
+/// broadcast edges) only bumps a refcount. `As<T>()` type-checks in debug
+/// builds.
+class Any {
+ public:
+  /// Empty payload.
+  Any() = default;
+
+  /// Creates an Any holding a copy/move of `value`.
+  template <typename T>
+  static Any Of(T value) {
+    Any a;
+    a.ptr_ = std::make_shared<T>(std::move(value));
+    a.type_ = &typeid(T);
+    return a;
+  }
+
+  Any(const Any&) = default;
+  Any& operator=(const Any&) = default;
+  Any(Any&&) noexcept = default;
+  Any& operator=(Any&&) noexcept = default;
+
+  /// True if no value is held.
+  bool Empty() const { return ptr_ == nullptr; }
+
+  /// Returns the held value. The caller must know the correct type;
+  /// debug builds assert on mismatch.
+  template <typename T>
+  const T& As() const {
+    assert(ptr_ != nullptr && "Any::As on empty Any");
+    assert(*type_ == typeid(T) && "Any::As type mismatch");
+    return *static_cast<const T*>(ptr_.get());
+  }
+
+  /// Returns a pointer to the held value if it has type T, else nullptr.
+  template <typename T>
+  const T* TryAs() const {
+    if (ptr_ == nullptr || *type_ != typeid(T)) return nullptr;
+    return static_cast<const T*>(ptr_.get());
+  }
+
+ private:
+  std::shared_ptr<const void> ptr_;
+  const std::type_info* type_ = nullptr;
+};
+
+/// Kind of an item traveling along an edge.
+enum class ItemKind : uint8_t {
+  kData = 0,       ///< a user data record
+  kWatermark = 1,  ///< event-time watermark (timestamp field)
+  kBarrier = 2,    ///< snapshot barrier (timestamp field = snapshot id)
+  kDone = 3,       ///< end-of-stream marker from one producer
+};
+
+/// The unit of data exchange between tasklets: either a data record with an
+/// event timestamp and a routing hash, or a control item (watermark /
+/// snapshot barrier / end-of-stream).
+struct Item {
+  ItemKind kind = ItemKind::kData;
+  /// Event time for data items and watermarks; snapshot id for barriers.
+  Nanos timestamp = 0;
+  /// Precomputed hash of the record's key, used by partitioned edges. 0 for
+  /// un-keyed records.
+  uint64_t key_hash = 0;
+  Any payload;
+
+  /// Makes a data item.
+  template <typename T>
+  static Item Data(T value, Nanos event_time, uint64_t key_hash = 0) {
+    Item item;
+    item.kind = ItemKind::kData;
+    item.timestamp = event_time;
+    item.key_hash = key_hash;
+    item.payload = Any::Of<T>(std::move(value));
+    return item;
+  }
+
+  /// Makes a watermark item: "no data item with timestamp <= ts will follow".
+  static Item WatermarkAt(Nanos ts) {
+    Item item;
+    item.kind = ItemKind::kWatermark;
+    item.timestamp = ts;
+    return item;
+  }
+
+  /// Makes a snapshot barrier for the given snapshot id.
+  static Item BarrierFor(int64_t snapshot_id) {
+    Item item;
+    item.kind = ItemKind::kBarrier;
+    item.timestamp = snapshot_id;
+    return item;
+  }
+
+  /// Makes an end-of-stream marker.
+  static Item Done() {
+    Item item;
+    item.kind = ItemKind::kDone;
+    return item;
+  }
+
+  bool IsData() const { return kind == ItemKind::kData; }
+  bool IsWatermark() const { return kind == ItemKind::kWatermark; }
+  bool IsBarrier() const { return kind == ItemKind::kBarrier; }
+  bool IsDone() const { return kind == ItemKind::kDone; }
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_ITEM_H_

@@ -1,0 +1,105 @@
+#ifndef JETSIM_CORE_JOB_H_
+#define JETSIM_CORE_JOB_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "common/status.h"
+#include "core/dag.h"
+#include "core/execution_plan.h"
+#include "core/execution_service.h"
+#include "core/metrics.h"
+#include "imdg/snapshot_store.h"
+
+namespace jet::core {
+
+/// Loads the committed snapshot `snapshot_id` of `job` from `store` and
+/// distributes the state entries to the plan's tasklets: each entry goes to
+/// the instance owning its key (`key_hash % total_parallelism`). Call after
+/// ExecutionPlan::Build and before starting execution. Multi-node
+/// executions call this once per node's plan.
+Status LoadSnapshotIntoPlan(ExecutionPlan* plan, imdg::SnapshotStore* store,
+                            imdg::JobId job, int64_t snapshot_id);
+
+/// Parameters for a single-node job execution.
+struct JobParams {
+  /// The dataflow to execute; must outlive the job.
+  const Dag* dag = nullptr;
+  JobConfig config;
+  /// Cooperative worker threads; -1 = hardware concurrency.
+  int32_t cooperative_threads = -1;
+  /// Snapshot storage; required when config.guarantee != kNone.
+  imdg::SnapshotStore* snapshot_store = nullptr;
+  imdg::JobId job_id = 1;
+  /// When set, processor state is restored from this committed snapshot
+  /// before any input is processed.
+  std::optional<int64_t> restore_snapshot_id;
+  /// Time source; nullptr = global wall clock.
+  const Clock* clock = nullptr;
+};
+
+/// A running (single-node) job: the execution plan, its worker threads and
+/// — when a processing guarantee is configured — a snapshot coordinator
+/// that periodically triggers distributed snapshots (§4.4) and commits them
+/// to the snapshot store once every tasklet has acknowledged its barrier.
+class Job {
+ public:
+  /// Builds the physical plan. Call Start() to begin execution.
+  static Result<std::unique_ptr<Job>> Create(JobParams params);
+
+  ~Job();
+
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  /// Starts the worker threads (and the snapshot coordinator, if any).
+  Status Start();
+
+  /// Requests cancellation; Join() afterwards to wait for the teardown.
+  void Cancel();
+
+  /// Waits for the job to finish (all tasklets done, or cancelled) and
+  /// returns the first execution error.
+  Status Join();
+
+  /// True once all tasklets completed.
+  bool IsComplete() const { return service_ != nullptr && service_->IsComplete(); }
+
+  /// Id of the last snapshot committed by the coordinator (0 = none).
+  int64_t last_committed_snapshot() const {
+    return last_committed_snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Number of snapshots committed during this execution.
+  int64_t snapshots_taken() const { return snapshots_taken_.load(std::memory_order_acquire); }
+
+  /// Tasklet metadata (tests).
+  const std::vector<TaskletInfo>& tasklet_infos() const { return plan_->tasklet_infos(); }
+
+  /// Point-in-time metrics of the running job (the Management Center view,
+  /// §2). Safe to call from any thread; counter reads are racy-by-design.
+  JobMetrics Metrics() const;
+
+ private:
+  Job() = default;
+
+  Status LoadRestoreEntries(int64_t snapshot_id);
+  void SnapshotCoordinatorLoop();
+
+  JobParams params_;
+  SnapshotControl snapshot_control_;
+  std::atomic<bool> cancelled_{false};
+  std::unique_ptr<ExecutionPlan> plan_;
+  std::unique_ptr<ExecutionService> service_;
+  std::thread coordinator_;
+  std::atomic<bool> coordinator_stop_{false};
+  std::atomic<int64_t> last_committed_snapshot_{0};
+  std::atomic<int64_t> snapshots_taken_{0};
+  int64_t next_snapshot_id_ = 1;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_JOB_H_

@@ -1,0 +1,28 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+
+namespace jet::core {
+
+std::string JobMetrics::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "job %lld  attempt %d  snapshots=%lld committed=%lld  items=%lld\n",
+                static_cast<long long>(job_id), attempt,
+                static_cast<long long>(snapshots_taken),
+                static_cast<long long>(last_committed_snapshot),
+                static_cast<long long>(TotalItemsProcessed()));
+  out += line;
+  for (const auto& t : tasklets) {
+    std::snprintf(line, sizeof(line),
+                  "  %-28s items=%-10lld calls=%-10lld busy=%5.1f%%%s\n",
+                  t.name.c_str(), static_cast<long long>(t.items_processed),
+                  static_cast<long long>(t.calls), t.BusyFraction() * 100.0,
+                  t.done ? "  [done]" : "");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace jet::core

@@ -1,0 +1,53 @@
+#ifndef JETSIM_CORE_METRICS_H_
+#define JETSIM_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jet::core {
+
+/// Point-in-time counters of one tasklet. Reads are racy-by-design (the
+/// worker thread owns the counters); values are monotonic so a snapshot is
+/// always internally plausible.
+struct TaskletMetrics {
+  std::string name;
+  int64_t items_processed = 0;
+  int64_t calls = 0;
+  int64_t idle_calls = 0;  ///< calls that made no progress
+  int64_t completed_snapshot_id = 0;
+  bool done = false;
+
+  /// Fraction of calls that found work (a core-utilization proxy; §3.2's
+  /// cooperative model keeps idle calls cheap).
+  double BusyFraction() const {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(calls - idle_calls) /
+                            static_cast<double>(calls);
+  }
+};
+
+/// Point-in-time view of a running job — the data the paper's Management
+/// Center web UI displays (§2: "a web UI and REST API from where users can
+/// manage and monitor Jet jobs").
+struct JobMetrics {
+  int64_t job_id = 0;
+  int64_t snapshots_taken = 0;
+  int64_t last_committed_snapshot = 0;
+  int32_t attempt = 1;
+  std::vector<TaskletMetrics> tasklets;
+
+  /// Total items moved through all processors.
+  int64_t TotalItemsProcessed() const {
+    int64_t total = 0;
+    for (const auto& t : tasklets) total += t.items_processed;
+    return total;
+  }
+
+  /// Renders a human-readable status report.
+  std::string ToString() const;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_METRICS_H_

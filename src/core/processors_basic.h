@@ -1,0 +1,464 @@
+#ifndef JETSIM_CORE_PROCESSORS_BASIC_H_
+#define JETSIM_CORE_PROCESSORS_BASIC_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/processor.h"
+#include "core/watermark.h"
+
+namespace jet::core {
+
+// ---------------------------------------------------------------------------
+// Transforms
+// ---------------------------------------------------------------------------
+
+/// One output record of a flat-map function. Unset fields inherit the input
+/// item's timestamp / key hash.
+template <typename Out>
+struct OutRecord {
+  Out value;
+  std::optional<Nanos> timestamp;
+  std::optional<uint64_t> key_hash;
+};
+
+/// Stateless record-at-a-time transform covering map, filter and flatMap:
+/// for each input of type `In` the function appends zero or more
+/// `OutRecord<Out>` to the supplied buffer. Consecutive stateless stages
+/// are fused into a single FlatMapP by the pipeline planner (§3.1 operator
+/// fusion).
+template <typename In, typename Out>
+class FlatMapP final : public Processor {
+ public:
+  using Fn = std::function<void(const In&, std::vector<OutRecord<Out>>*)>;
+
+  explicit FlatMapP(Fn fn) : fn_(std::move(fn)) {}
+
+  void Process(int ordinal, Inbox* inbox) override {
+    (void)ordinal;
+    if (!FlushPending()) return;
+    while (!inbox->Empty()) {
+      const Item* item = inbox->Peek();
+      buf_.clear();
+      fn_(item->payload.As<In>(), &buf_);
+      for (auto& rec : buf_) {
+        Nanos ts = rec.timestamp.value_or(item->timestamp);
+        uint64_t key = rec.key_hash.value_or(item->key_hash);
+        pending_.push_back(Item::Data<Out>(std::move(rec.value), ts, key));
+      }
+      inbox->RemoveFront();
+      if (!FlushPending()) return;
+    }
+  }
+
+ private:
+  bool FlushPending() {
+    while (!pending_.empty()) {
+      if (!ctx()->outbox->OfferToAll(pending_.front())) return false;
+      pending_.pop_front();
+    }
+    return true;
+  }
+
+  Fn fn_;
+  std::vector<OutRecord<Out>> buf_;
+  std::deque<Item> pending_;
+};
+
+/// Convenience factory: 1-to-1 map.
+template <typename In, typename Out>
+std::unique_ptr<Processor> MakeMapP(std::function<Out(const In&)> fn) {
+  return std::make_unique<FlatMapP<In, Out>>(
+      [fn = std::move(fn)](const In& in, std::vector<OutRecord<Out>>* out) {
+        out->push_back(OutRecord<Out>{fn(in), std::nullopt, std::nullopt});
+      });
+}
+
+/// Convenience factory: filter (Out == In).
+template <typename In>
+std::unique_ptr<Processor> MakeFilterP(std::function<bool(const In&)> pred) {
+  return std::make_unique<FlatMapP<In, In>>(
+      [pred = std::move(pred)](const In& in, std::vector<OutRecord<In>>* out) {
+        if (pred(in)) out->push_back(OutRecord<In>{in, std::nullopt, std::nullopt});
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Rate-controlled, replayable generator source implementing the paper's
+/// latency methodology (§7.1): every event has a *predetermined time of
+/// occurrence*; the source may only emit it once the clock passes that
+/// time, and any emission delay counts against the reported latency
+/// because downstream latency is measured from the event timestamp.
+///
+/// The global event sequence is sharded over `virtual_partitions` fixed
+/// shards (a Kafka-like replayable source, §4.5): global sequence `s`
+/// belongs to shard `s % virtual_partitions`, and instance `i` of `P`
+/// owns the shards `{v : v % P == i}`. Sharding by a *fixed* count makes
+/// the per-shard replay cursors redistribute cleanly when the job is
+/// rescaled to a different parallelism after recovery.
+///
+/// Event `s` occurs at `s / events_per_second` after the start time. The
+/// source emits a watermark after each batch (bounded by
+/// `watermark_interval` of event time) and completes after `duration` of
+/// event time, which flushes all windows downstream.
+template <typename Out>
+class GeneratorSourceP final : public Processor {
+ public:
+  /// Produces the event with global sequence number `seq`, returning its
+  /// value and key hash.
+  using GenFn = std::function<std::pair<Out, uint64_t>(int64_t seq)>;
+
+  struct Options {
+    double events_per_second = 1'000'000;
+    /// Total event time to generate; the job completes afterwards.
+    Nanos duration = kNanosPerSecond;
+    /// Max event-time distance between watermarks.
+    Nanos watermark_interval = kNanosPerMilli;
+    /// Max events emitted per Complete() call (time-slice bound).
+    int32_t max_batch = 256;
+    /// Absolute clock value to anchor event time 0 at; -1 anchors each
+    /// instance at its first Complete() call. Pass a common value so all
+    /// parallel instances agree on event occurrence times.
+    Nanos start_time = -1;
+    /// Fixed shard count of the replayable sequence space. Must be >= the
+    /// source's total parallelism.
+    int32_t virtual_partitions = 64;
+    /// Bounded out-of-orderness: each event's timestamp is shifted back by
+    /// a deterministic pseudo-random amount in [0, max_disorder), while
+    /// emission still follows the original schedule. Watermarks lag by
+    /// max_disorder so no emitted watermark is ever violated (the
+    /// out-of-order processing model of [Li et al. 2008] the paper builds
+    /// on).
+    Nanos max_disorder = 0;
+  };
+
+  GeneratorSourceP(GenFn gen, Options options)
+      : gen_(std::move(gen)), options_(options) {}
+
+  Status Init(ProcessorContext* context) override {
+    JET_RETURN_IF_ERROR(Processor::Init(context));
+    const int32_t total = context->meta.total_parallelism;
+    const int32_t vp_count = options_.virtual_partitions;
+    if (vp_count < total) {
+      return InvalidArgumentError("virtual_partitions below source parallelism");
+    }
+    period_ = static_cast<Nanos>(1e9 / options_.events_per_second);
+    if (period_ < 1) period_ = 1;
+    for (int32_t vp = context->meta.global_index; vp < vp_count; vp += total) {
+      shards_.push_back(Shard{vp, /*next_round=*/0});
+    }
+    return Status::OK();
+  }
+
+  bool Complete() override {
+    if (ctx()->IsCancelled()) return true;
+    if (shards_.empty()) return true;
+    if (start_time_ < 0) {
+      // Anchor event time: either the shared configured start or this
+      // instance's first Complete() call. The anchor is per *shard* — a
+      // shard restored from a snapshot keeps the anchor it was generated
+      // with, so replayed events reproduce their original timestamps even
+      // when a rescale moves shards between instances with different
+      // anchors.
+      start_time_ = options_.start_time >= 0 ? options_.start_time : ctx()->clock->Now();
+    }
+    for (auto& shard : shards_) {
+      if (shard.start_time < 0) shard.start_time = start_time_;
+    }
+    const Nanos now = ctx()->clock->Now();
+    const auto vp_count = static_cast<int64_t>(options_.virtual_partitions);
+    int32_t budget = options_.max_batch;
+    while (budget-- > 0) {
+      // The next event overall is the unexhausted shard with the earliest
+      // next event time.
+      Shard* next = nullptr;
+      for (auto& shard : shards_) {
+        if (shard.NextSeq(vp_count) * period_ >= options_.duration) continue;
+        if (next == nullptr ||
+            shard.NextEventTime(vp_count, period_) <
+                next->NextEventTime(vp_count, period_)) {
+          next = &shard;
+        }
+      }
+      if (next == nullptr) {
+        // All shards exhausted: emit a final watermark so downstream
+        // windows flush, then finish.
+        if (!final_wm_emitted_) {
+          if (!ctx()->outbox->OfferToAll(Item::WatermarkAt(kMaxWatermark))) {
+            return false;
+          }
+          final_wm_emitted_ = true;
+        }
+        return true;
+      }
+      const int64_t seq = next->NextSeq(vp_count);
+      const Nanos event_time = next->NextEventTime(vp_count, period_);
+      if (event_time > now) break;  // not yet due
+      auto [value, key_hash] = gen_(seq);
+      Nanos stamped_time = event_time;
+      if (options_.max_disorder > 0) {
+        stamped_time -= static_cast<Nanos>(
+            HashU64(static_cast<uint64_t>(seq) ^ 0xD15C0DEDULL) %
+            static_cast<uint64_t>(options_.max_disorder));
+        if (stamped_time < 0) stamped_time = 0;
+      }
+      if (!ctx()->outbox->OfferToAll(
+              Item::Data<Out>(std::move(value), stamped_time, key_hash))) {
+        return false;  // backpressure: retry the same event later
+      }
+      ++next->next_round;
+      if (event_time > last_emitted_ts_) last_emitted_ts_ = event_time;
+      ++events_emitted_;
+      if (last_emitted_ts_ - last_wm_ >= options_.watermark_interval) {
+        // The watermark trails the schedule by the disorder bound, so no
+        // future event can be stamped at or before it.
+        Nanos wm = last_emitted_ts_ - options_.max_disorder;
+        if (ctx()->outbox->OfferToAll(Item::WatermarkAt(wm))) {
+          last_wm_ = last_emitted_ts_;
+        }
+        // If the watermark didn't fit we simply retry after more events;
+        // watermarks are only delayed, never lost.
+      }
+    }
+    return false;
+  }
+
+  bool SaveToSnapshot() override {
+    // One entry per shard, keyed by the shard id so a rescaled job routes
+    // each replay cursor to the shard's new owner.
+    while (snapshot_index_ < shards_.size()) {
+      const Shard& shard = shards_[snapshot_index_];
+      StateEntry entry;
+      entry.key_hash = static_cast<uint64_t>(shard.vp);
+      BytesWriter key;
+      key.WriteVarU64(static_cast<uint64_t>(shard.vp));
+      entry.key = key.Take();
+      BytesWriter value;
+      value.WriteVarI64(shard.next_round);
+      value.WriteI64(shard.start_time);
+      value.WriteI64(last_wm_);
+      entry.value = value.Take();
+      if (!ctx()->outbox->OfferToSnapshot(std::move(entry))) return false;
+      ++snapshot_index_;
+    }
+    snapshot_index_ = 0;
+    return true;
+  }
+
+  Status RestoreFromSnapshot(const StateEntry& entry) override {
+    BytesReader kr(entry.key);
+    uint64_t vp = 0;
+    JET_RETURN_IF_ERROR(kr.ReadVarU64(&vp));
+    BytesReader vr(entry.value);
+    int64_t next_round = 0;
+    Nanos start = 0;
+    Nanos wm = 0;
+    JET_RETURN_IF_ERROR(vr.ReadVarI64(&next_round));
+    JET_RETURN_IF_ERROR(vr.ReadI64(&start));
+    JET_RETURN_IF_ERROR(vr.ReadI64(&wm));
+    for (auto& shard : shards_) {
+      if (shard.vp == static_cast<int32_t>(vp)) {
+        shard.next_round = next_round;
+        shard.start_time = start;  // replay with the original anchor
+      }
+    }
+    if (start_time_ < 0 || start < start_time_) start_time_ = start;
+    if (wm > last_wm_) last_wm_ = wm;
+    return Status::OK();
+  }
+
+  int64_t events_emitted() const { return events_emitted_; }
+
+ private:
+  struct Shard {
+    int32_t vp = 0;
+    int64_t next_round = 0;   // events this shard has emitted
+    Nanos start_time = -1;    // event-time anchor this shard was born with
+
+    int64_t NextSeq(int64_t vp_count) const { return next_round * vp_count + vp; }
+    Nanos NextEventTime(int64_t vp_count, Nanos period) const {
+      return start_time + NextSeq(vp_count) * period;
+    }
+  };
+
+  GenFn gen_;
+  Options options_;
+  std::vector<Shard> shards_;
+  Nanos period_ = 1000;
+  Nanos start_time_ = -1;
+  Nanos last_emitted_ts_ = kMinWatermark;
+  Nanos last_wm_ = 0;
+  bool final_wm_emitted_ = false;
+  int64_t events_emitted_ = 0;
+  size_t snapshot_index_ = 0;
+};
+
+/// Batch source that emits a fixed list of records (with timestamp 0) and
+/// completes. Used for hash-join build sides and tests.
+template <typename Out>
+class ListSourceP final : public Processor {
+ public:
+  /// `records` are (value, key_hash) pairs; the instance emits its
+  /// round-robin share.
+  explicit ListSourceP(std::shared_ptr<const std::vector<std::pair<Out, uint64_t>>> records)
+      : records_(std::move(records)) {}
+
+  Status Init(ProcessorContext* context) override {
+    JET_RETURN_IF_ERROR(Processor::Init(context));
+    index_ = context->meta.global_index;
+    stride_ = context->meta.total_parallelism;
+    return Status::OK();
+  }
+
+  bool Complete() override {
+    while (index_ < static_cast<int64_t>(records_->size())) {
+      const auto& [value, key] = (*records_)[static_cast<size_t>(index_)];
+      if (!ctx()->outbox->OfferToAll(Item::Data<Out>(value, 0, key))) return false;
+      index_ += stride_;
+    }
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<std::pair<Out, uint64_t>>> records_;
+  int64_t index_ = 0;
+  int32_t stride_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Thread-safe collection target shared by the parallel instances of a
+/// CollectSinkP.
+template <typename T>
+class SyncCollector {
+ public:
+  void Add(const T& value) {
+    std::scoped_lock lock(mutex_);
+    values_.push_back(value);
+  }
+
+  std::vector<T> Snapshot() const {
+    std::scoped_lock lock(mutex_);
+    return values_;
+  }
+
+  size_t Size() const {
+    std::scoped_lock lock(mutex_);
+    return values_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<T> values_;
+};
+
+/// Sink collecting all received values into a SyncCollector (tests and
+/// examples).
+template <typename In>
+class CollectSinkP final : public Processor {
+ public:
+  explicit CollectSinkP(std::shared_ptr<SyncCollector<In>> collector)
+      : collector_(std::move(collector)) {}
+
+  void Process(int ordinal, Inbox* inbox) override {
+    (void)ordinal;
+    while (!inbox->Empty()) {
+      collector_->Add(inbox->Peek()->payload.template As<In>());
+      inbox->RemoveFront();
+    }
+  }
+
+ private:
+  std::shared_ptr<SyncCollector<In>> collector_;
+};
+
+/// Aggregates per-instance latency histograms of LatencySinkP instances.
+class LatencyRecorder {
+ public:
+  /// Registers a new per-instance histogram; the pointer stays valid for
+  /// the recorder's lifetime.
+  Histogram* NewHistogram() {
+    std::scoped_lock lock(mutex_);
+    histograms_.emplace_back();
+    return &histograms_.back();
+  }
+
+  /// Merged view across all instances. Only call when the job is quiesced
+  /// (instances record without locking).
+  Histogram Merged() const {
+    std::scoped_lock lock(mutex_);
+    Histogram merged;
+    for (const auto& h : histograms_) merged.Merge(h);
+    return merged;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Histogram> histograms_;
+};
+
+/// Sink recording, for every received item, the difference between the
+/// current clock reading and the item's timestamp — the end-to-end latency
+/// metric of §7.1 (for window results the item timestamp is the window end
+/// time, so the recorded value is "emission delay past window close").
+class LatencySinkP final : public Processor {
+ public:
+  explicit LatencySinkP(LatencyRecorder* recorder) : recorder_(recorder) {}
+
+  Status Init(ProcessorContext* context) override {
+    JET_RETURN_IF_ERROR(Processor::Init(context));
+    histogram_ = recorder_->NewHistogram();
+    return Status::OK();
+  }
+
+  void Process(int ordinal, Inbox* inbox) override {
+    (void)ordinal;
+    const Nanos now = ctx()->clock->Now();
+    while (!inbox->Empty()) {
+      histogram_->Record(now - inbox->Peek()->timestamp);
+      inbox->RemoveFront();
+    }
+  }
+
+ private:
+  LatencyRecorder* recorder_;
+  Histogram* histogram_ = nullptr;
+};
+
+/// Sink that counts items (per shared atomic counter).
+template <typename In>
+class CountSinkP final : public Processor {
+ public:
+  explicit CountSinkP(std::shared_ptr<std::atomic<int64_t>> counter)
+      : counter_(std::move(counter)) {}
+
+  void Process(int ordinal, Inbox* inbox) override {
+    (void)ordinal;
+    int64_t n = 0;
+    while (!inbox->Empty()) {
+      ++n;
+      inbox->RemoveFront();
+    }
+    counter_->fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<int64_t>> counter_;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_PROCESSORS_BASIC_H_

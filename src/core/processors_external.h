@@ -1,0 +1,469 @@
+#ifndef JETSIM_CORE_PROCESSORS_EXTERNAL_H_
+#define JETSIM_CORE_PROCESSORS_EXTERNAL_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/processor.h"
+#include "core/watermark.h"
+
+namespace jet::core {
+
+// ===========================================================================
+// §4.5 "Assumptions and External Systems": sources must be replayable or
+// acknowledging; sinks must be transactional or idempotent for end-to-end
+// exactly-once delivery. This header provides in-memory models of such
+// external systems and the processors integrating with them.
+// ===========================================================================
+
+/// An external queueing system that is NOT replayable but supports
+/// acknowledgements (a JMS-like broker): records have stable ids; records
+/// that were delivered but never acknowledged are re-delivered after the
+/// consumer reconnects. Thread-safe.
+template <typename T>
+class AckingBroker {
+ public:
+  struct Record {
+    int64_t id = 0;
+    T value{};
+    Nanos timestamp = 0;
+  };
+
+  /// Producer side: enqueues a record; ids must be unique.
+  void Publish(int64_t id, T value, Nanos timestamp) {
+    std::scoped_lock lock(mutex_);
+    records_[id] = Record{id, std::move(value), timestamp};
+    pending_delivery_.push_back(id);
+  }
+
+  /// Consumer side: next undelivered record, if any.
+  std::optional<Record> Poll() {
+    std::scoped_lock lock(mutex_);
+    while (!pending_delivery_.empty()) {
+      int64_t id = pending_delivery_.front();
+      pending_delivery_.pop_front();
+      auto it = records_.find(id);
+      if (it == records_.end()) continue;  // already acked
+      return it->second;
+    }
+    return std::nullopt;
+  }
+
+  /// Consumer side: deletes acknowledged records permanently ("accepts
+  /// acknowledgements that the data it stores can be safely deleted").
+  void Ack(const std::vector<int64_t>& ids) {
+    std::scoped_lock lock(mutex_);
+    for (int64_t id : ids) records_.erase(id);
+  }
+
+  /// Simulates consumer reconnect after a failure: every unacknowledged
+  /// record becomes deliverable again ("the remote system re-sends
+  /// unacknowledged messages after a recovery").
+  void RedeliverUnacked() {
+    std::scoped_lock lock(mutex_);
+    pending_delivery_.clear();
+    for (const auto& [id, record] : records_) pending_delivery_.push_back(id);
+  }
+
+  /// Unacknowledged records still held by the broker.
+  size_t UnackedCount() const {
+    std::scoped_lock lock(mutex_);
+    return records_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<int64_t, Record> records_;  // ordered => deterministic redelivery
+  std::deque<int64_t> pending_delivery_;
+};
+
+/// Source over an AckingBroker providing the exactly-once *delivery*
+/// guarantee of §4.5: items are acknowledged "only after they are processed
+/// by the entire pipeline and a successful snapshot has been taken", and
+/// record ids seen before the snapshot are deduplicated when the broker
+/// re-sends them after recovery.
+///
+/// Use with total parallelism 1 (brokers of this kind have a single
+/// consumer session); Init fails otherwise.
+template <typename T>
+class AcknowledgingSourceP final : public Processor {
+ public:
+  /// `key_of` supplies the routing hash for each record.
+  AcknowledgingSourceP(std::shared_ptr<AckingBroker<T>> broker,
+                       std::function<uint64_t(const T&)> key_of)
+      : broker_(std::move(broker)), key_of_(std::move(key_of)) {}
+
+  Status Init(ProcessorContext* context) override {
+    JET_RETURN_IF_ERROR(Processor::Init(context));
+    if (context->meta.total_parallelism != 1) {
+      return InvalidArgumentError(
+          "AcknowledgingSourceP requires total parallelism 1 (single broker "
+          "consumer session)");
+    }
+    return Status::OK();
+  }
+
+  bool Complete() override {
+    if (ctx()->IsCancelled()) return true;
+    // Release acknowledgements for epochs whose snapshot has committed:
+    // "acknowledging items only after ... a successful snapshot has been
+    // taken".
+    int64_t committed = ctx()->CommittedSnapshot();
+    while (!epochs_.empty() && epochs_.begin()->first <= committed) {
+      broker_->Ack(epochs_.begin()->second);
+      for (int64_t id : epochs_.begin()->second) seen_.erase(id);
+      epochs_.erase(epochs_.begin());
+    }
+    // Retry a record the outbox rejected earlier.
+    if (stashed_.has_value()) {
+      if (!EmitRecord(*stashed_)) return false;
+      stashed_.reset();
+    }
+    int budget = 64;
+    while (budget-- > 0) {
+      auto record = broker_->Poll();
+      if (!record.has_value()) break;
+      if (seen_.count(record->id) != 0) continue;  // §4.5 dedup by record id
+      if (!EmitRecord(*record)) {
+        stashed_ = std::move(record);
+        return false;  // backpressure: retry this record next call
+      }
+    }
+    return false;  // streaming source: runs until cancelled
+  }
+
+  bool SaveToSnapshot() override {
+    // The ids delivered since the previous barrier become this snapshot's
+    // epoch; all unacked seen-ids (with their epoch) persist for dedup.
+    if (!epoch_staged_) {
+      auto& epoch = epochs_[ctx()->current_snapshot_id];
+      epoch.insert(epoch.end(), current_epoch_.begin(), current_epoch_.end());
+      current_epoch_.clear();
+      epoch_staged_ = true;
+      save_items_.clear();
+      for (const auto& [epoch_id, ids] : epochs_) {
+        for (int64_t id : ids) save_items_.push_back({epoch_id, id});
+      }
+    }
+    while (save_cursor_ < save_items_.size()) {
+      auto [epoch_id, id] = save_items_[save_cursor_];
+      StateEntry entry;
+      entry.key_hash = 0;  // the single instance owns everything
+      BytesWriter kw;
+      kw.WriteVarI64(id);
+      entry.key = kw.Take();
+      BytesWriter vw;
+      vw.WriteVarI64(epoch_id);
+      entry.value = vw.Take();
+      if (!ctx()->outbox->OfferToSnapshot(std::move(entry))) return false;
+      ++save_cursor_;
+    }
+    save_cursor_ = 0;
+    epoch_staged_ = false;
+    return true;
+  }
+
+  Status RestoreFromSnapshot(const StateEntry& entry) override {
+    BytesReader kr(entry.key);
+    int64_t id = 0;
+    JET_RETURN_IF_ERROR(kr.ReadVarI64(&id));
+    BytesReader vr(entry.value);
+    int64_t epoch = 0;
+    JET_RETURN_IF_ERROR(vr.ReadVarI64(&epoch));
+    seen_.insert(id);
+    epochs_[epoch].push_back(id);
+    return Status::OK();
+  }
+
+  bool FinishSnapshotRestore() override {
+    // After reconnecting, the broker re-sends everything unacked; the
+    // restored seen-set filters the duplicates.
+    broker_->RedeliverUnacked();
+    return true;
+  }
+
+ private:
+  bool EmitRecord(const typename AckingBroker<T>::Record& record) {
+    Item item = Item::Data<T>(record.value, record.timestamp, key_of_(record.value));
+    if (!ctx()->outbox->OfferToAll(item)) return false;
+    seen_.insert(record.id);
+    current_epoch_.push_back(record.id);
+    if (record.timestamp > last_wm_) {
+      if (ctx()->outbox->OfferToAll(Item::WatermarkAt(record.timestamp))) {
+        last_wm_ = record.timestamp;
+      }
+    }
+    return true;
+  }
+
+  std::shared_ptr<AckingBroker<T>> broker_;
+  std::function<uint64_t(const T&)> key_of_;
+  std::set<int64_t> seen_;
+  std::map<int64_t, std::vector<int64_t>> epochs_;  // snapshot id -> ids
+  std::vector<int64_t> current_epoch_;
+  std::vector<std::pair<int64_t, int64_t>> save_items_;
+  bool epoch_staged_ = false;
+  size_t save_cursor_ = 0;
+  std::optional<typename AckingBroker<T>::Record> stashed_;
+  Nanos last_wm_ = kMinWatermark;
+};
+
+/// An external system supporting transactions (the paper's "transactional
+/// sink", §4.5): output is staged under a transaction id, made durable by
+/// Prepare, and becomes visible only at Commit. Commit is idempotent per
+/// transaction id — re-committing after recovery has no additional effect.
+/// Thread-safe.
+template <typename T>
+class TransactionalCollector {
+ public:
+  /// Stages the items of transaction `txn` durably (phase 1). Re-preparing
+  /// a committed transaction is a no-op.
+  void Prepare(int64_t txn, std::vector<T> items) {
+    std::scoped_lock lock(mutex_);
+    if (committed_txns_.count(txn) != 0) return;
+    prepared_[txn] = std::move(items);
+  }
+
+  /// Publishes transaction `txn` (phase 2). Idempotent.
+  void Commit(int64_t txn) {
+    std::scoped_lock lock(mutex_);
+    auto it = prepared_.find(txn);
+    if (it == prepared_.end()) return;  // unknown or already committed
+    if (committed_txns_.insert(txn).second) {
+      for (auto& v : it->second) visible_.push_back(std::move(v));
+    }
+    prepared_.erase(it);
+  }
+
+  /// Drops a prepared-but-uncommitted transaction (abort).
+  void Abort(int64_t txn) {
+    std::scoped_lock lock(mutex_);
+    prepared_.erase(txn);
+  }
+
+  /// True if `txn` is prepared and not yet committed.
+  bool IsPrepared(int64_t txn) const {
+    std::scoped_lock lock(mutex_);
+    return prepared_.count(txn) != 0;
+  }
+
+  /// The output visible to the outside world.
+  std::vector<T> Visible() const {
+    std::scoped_lock lock(mutex_);
+    return visible_;
+  }
+
+  size_t VisibleCount() const {
+    std::scoped_lock lock(mutex_);
+    return visible_.size();
+  }
+
+  size_t PreparedCount() const {
+    std::scoped_lock lock(mutex_);
+    return prepared_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<int64_t, std::vector<T>> prepared_;
+  std::unordered_set<int64_t> committed_txns_;
+  std::vector<T> visible_;
+};
+
+/// Sink with the two-phase-commit protocol of §4.5: "A transactional sink
+/// withholds output and only makes it available to the outside world when a
+/// checkpoint is complete. The commit-prepare phase executes when a
+/// checkpoint begins, with the second phase commit happening after the
+/// checkpoint is complete."
+///
+/// Items received between barriers buffer in memory; at the barrier the
+/// buffer is Prepared under the snapshot's transaction id (the external
+/// system is the durable party of the 2PC) and a marker goes into the
+/// snapshot state. Once the coordinator commits the snapshot, the
+/// transaction commits; after a restore the marker re-issues the (idempotent)
+/// commit. Combined with a replayable or acknowledging source this yields
+/// end-to-end exactly-once delivery.
+template <typename T>
+class TransactionalSinkP final : public Processor {
+ public:
+  explicit TransactionalSinkP(std::shared_ptr<TransactionalCollector<T>> collector)
+      : collector_(std::move(collector)) {}
+
+  Status Init(ProcessorContext* context) override {
+    JET_RETURN_IF_ERROR(Processor::Init(context));
+    instance_ = context->meta.global_index;
+    return Status::OK();
+  }
+
+  void Process(int ordinal, Inbox* inbox) override {
+    (void)ordinal;
+    MaybeCommit();
+    while (!inbox->Empty()) {
+      buffer_.push_back(inbox->Peek()->payload.template As<T>());
+      inbox->RemoveFront();
+    }
+  }
+
+  bool TryProcess() override {
+    MaybeCommit();
+    return true;
+  }
+
+  bool Complete() override {
+    MaybeCommit();
+    // End of stream with no further snapshots: publish the tail under a
+    // final synthetic transaction so finite jobs don't lose their last
+    // items. (Streaming jobs commit through snapshots.)
+    if (!buffer_.empty()) {
+      collector_->Prepare(kFinalTxnBase + instance_, std::move(buffer_));
+      buffer_.clear();
+      collector_->Commit(kFinalTxnBase + instance_);
+    }
+    return true;
+  }
+
+  bool SaveToSnapshot() override {
+    int64_t snapshot_id = ctx()->current_snapshot_id;
+    // Phase 1: prepare this barrier's transaction at the external system.
+    if (!staged_) {
+      collector_->Prepare(TxnId(snapshot_id), std::move(buffer_));
+      buffer_.clear();
+      staged_ = true;
+    }
+    // Durable marker: "transaction TxnId(snapshot_id) exists and belongs to
+    // this snapshot" — restoring this snapshot re-commits it.
+    StateEntry entry;
+    entry.key_hash = static_cast<uint64_t>(instance_);
+    BytesWriter kw;
+    kw.WriteVarI64(snapshot_id);
+    kw.WriteVarU64(static_cast<uint64_t>(instance_));
+    entry.key = kw.Take();
+    BytesWriter vw;
+    vw.WriteVarI64(TxnId(snapshot_id));
+    entry.value = vw.Take();
+    if (!ctx()->outbox->OfferToSnapshot(std::move(entry))) return false;
+    staged_ = false;
+    pending_commits_.push_back(snapshot_id);
+    return true;
+  }
+
+  Status RestoreFromSnapshot(const StateEntry& entry) override {
+    BytesReader vr(entry.value);
+    int64_t txn = 0;
+    JET_RETURN_IF_ERROR(vr.ReadVarI64(&txn));
+    restored_txns_.insert(txn);
+    return Status::OK();
+  }
+
+  bool FinishSnapshotRestore() override {
+    // The restored snapshot is committed by definition, so its prepared
+    // transaction must become visible; Commit is idempotent, so this is
+    // safe whether or not the pre-crash execution got to commit it.
+    for (int64_t txn : restored_txns_) collector_->Commit(txn);
+    restored_txns_.clear();
+    return true;
+  }
+
+ private:
+  static constexpr int64_t kFinalTxnBase = int64_t{1} << 60;
+
+  // Transactions are per sink instance: pack (snapshot, instance).
+  int64_t TxnId(int64_t snapshot) const { return snapshot * 4096 + instance_; }
+
+  void MaybeCommit() {
+    int64_t committed = ctx()->CommittedSnapshot();
+    while (!pending_commits_.empty() && pending_commits_.front() <= committed) {
+      collector_->Commit(TxnId(pending_commits_.front()));
+      pending_commits_.pop_front();
+    }
+  }
+
+  std::shared_ptr<TransactionalCollector<T>> collector_;
+  std::vector<T> buffer_;
+  bool staged_ = false;
+  std::deque<int64_t> pending_commits_;
+  std::set<int64_t> restored_txns_;
+  int32_t instance_ = 0;
+};
+
+/// Keyed external store with idempotent writes (§4.5: "Idempotent writes
+/// have the exact same effect irrespective of the number of times they are
+/// applied"). Thread-safe.
+template <typename V>
+class IdempotentStore {
+ public:
+  /// Upsert: applying the same (key, value) twice equals applying it once.
+  void Put(uint64_t key, const V& value) {
+    std::scoped_lock lock(mutex_);
+    data_[key] = value;
+    ++writes_;
+  }
+
+  std::optional<V> Get(uint64_t key) const {
+    std::scoped_lock lock(mutex_);
+    auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  size_t Size() const {
+    std::scoped_lock lock(mutex_);
+    return data_.size();
+  }
+
+  /// Total writes applied (>= Size() when re-processing occurred).
+  int64_t WriteCount() const {
+    std::scoped_lock lock(mutex_);
+    return writes_;
+  }
+
+  std::unordered_map<uint64_t, V> SnapshotAll() const {
+    std::scoped_lock lock(mutex_);
+    return data_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, V> data_;
+  int64_t writes_ = 0;
+};
+
+/// Sink performing idempotent keyed upserts — re-processing after recovery
+/// "obviates the need for deduplication" (§4.5).
+template <typename T, typename V>
+class IdempotentSinkP final : public Processor {
+ public:
+  IdempotentSinkP(std::shared_ptr<IdempotentStore<V>> store,
+                  std::function<uint64_t(const T&)> key_of,
+                  std::function<V(const T&)> value_of)
+      : store_(std::move(store)),
+        key_of_(std::move(key_of)),
+        value_of_(std::move(value_of)) {}
+
+  void Process(int ordinal, Inbox* inbox) override {
+    (void)ordinal;
+    while (!inbox->Empty()) {
+      const T& value = inbox->Peek()->payload.template As<T>();
+      store_->Put(key_of_(value), value_of_(value));
+      inbox->RemoveFront();
+    }
+  }
+
+ private:
+  std::shared_ptr<IdempotentStore<V>> store_;
+  std::function<uint64_t(const T&)> key_of_;
+  std::function<V(const T&)> value_of_;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_PROCESSORS_EXTERNAL_H_

@@ -1,0 +1,449 @@
+#include "core/tasklet.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace jet::core {
+
+namespace {
+size_t TotalQueueCount(const std::vector<InboundStream>& inputs) {
+  size_t n = 0;
+  for (const auto& s : inputs) n += s.queues.size();
+  return n;
+}
+}  // namespace
+
+ProcessorTasklet::ProcessorTasklet(std::string name, std::unique_ptr<Processor> processor,
+                                   ProcessorContext context,
+                                   std::vector<InboundStream> inputs,
+                                   std::vector<OutboundCollector> collectors,
+                                   ProcessingGuarantee guarantee,
+                                   SnapshotControl* snapshot_control)
+    : name_(std::move(name)),
+      processor_(std::move(processor)),
+      context_(std::move(context)),
+      outbox_(static_cast<int>(collectors.size()),
+              static_cast<size_t>(context_.config.outbox_capacity)),
+      inputs_(std::move(inputs)),
+      collectors_(std::move(collectors)),
+      guarantee_(guarantee),
+      snapshot_control_(snapshot_control),
+      coalescer_(TotalQueueCount(inputs_)) {
+  context_.outbox = &outbox_;
+  stream_queue_base_.reserve(inputs_.size());
+  size_t base = 0;
+  for (const auto& s : inputs_) {
+    stream_queue_base_.push_back(base);
+    base += s.queues.size();
+  }
+}
+
+void ProcessorTasklet::SetRestoreEntries(std::vector<StateEntry> entries) {
+  restore_entries_ = std::move(entries);
+  restore_index_ = 0;
+  state_ = State::kRestore;
+}
+
+Status ProcessorTasklet::Init() {
+  JET_RETURN_IF_ERROR(processor_->Init(&context_));
+  cooperative_ = processor_->IsCooperative();
+  if (state_ != State::kRestore) {
+    state_ = inputs_.empty() ? State::kComplete : State::kProcess;
+  }
+  return Status::OK();
+}
+
+TaskletProgress ProcessorTasklet::Call() {
+  ++calls_;
+  made_progress_ = false;
+  if (!DrainOutbox()) {
+    // Downstream queues are full: backpressure. Nothing else can run until
+    // the outbox drains (§3.3 "tasklets back off as soon as all their
+    // output queues are full").
+    if (!made_progress_) ++idle_calls_;
+    return {made_progress_, false};
+  }
+  switch (state_) {
+    case State::kRestore:
+      DoRestore();
+      break;
+    case State::kFinishRestore:
+      DoFinishRestore();
+      break;
+    case State::kProcess:
+      DoProcess();
+      break;
+    case State::kWatermark:
+      DoWatermark();
+      break;
+    case State::kSnapshotSave:
+      DoSnapshotSave();
+      break;
+    case State::kSnapshotBarrier:
+      DoSnapshotBarrier();
+      break;
+    case State::kCompleteEdge:
+      DoCompleteEdge();
+      break;
+    case State::kComplete:
+      DoComplete();
+      break;
+    case State::kEmitDone:
+      DoEmitDone();
+      break;
+    case State::kDone:
+      return {false, true};
+  }
+  DrainOutbox();
+  if (!made_progress_) ++idle_calls_;
+  return {made_progress_, state_ == State::kDone};
+}
+
+bool ProcessorTasklet::DrainOutbox() {
+  bool fully_drained = true;
+  for (int o = 0; o < outbox_.edge_count(); ++o) {
+    auto& bucket = outbox_.bucket(o);
+    auto& collector = collectors_[static_cast<size_t>(o)];
+    while (!bucket.empty()) {
+      const Item& front = bucket.front();
+      bool delivered =
+          front.IsData() ? collector.OfferData(front) : collector.OfferControl(front);
+      if (!delivered) {
+        fully_drained = false;
+        break;
+      }
+      bucket.pop_front();
+      MarkProgress();
+    }
+  }
+  auto& snapshot_bucket = outbox_.snapshot_bucket();
+  while (!snapshot_bucket.empty()) {
+    if (snapshot_control_ == nullptr || !snapshot_control_->write_entry) {
+      snapshot_bucket.pop_front();
+      continue;
+    }
+    if (!snapshot_control_->write_entry(pending_snapshot_id_, context_.vertex_id,
+                                        context_.meta.global_index,
+                                        std::move(snapshot_bucket.front()))) {
+      fully_drained = false;
+      break;
+    }
+    snapshot_bucket.pop_front();
+    MarkProgress();
+  }
+  return fully_drained;
+}
+
+void ProcessorTasklet::UpdateCoalescedWatermark() {
+  Nanos coalesced = coalescer_.Coalesced();
+  if (coalesced > last_forwarded_wm_ && (!wm_armed_ || coalesced > pending_wm_)) {
+    pending_wm_ = coalesced;
+    wm_armed_ = true;
+    wm_processed_by_processor_ = false;
+  }
+}
+
+void ProcessorTasklet::CheckBarrierAlignment() {
+  if (snapshot_control_ == nullptr) return;
+  int64_t id = -1;
+  for (const auto& stream : inputs_) {
+    for (const auto& q : stream.queues) {
+      if (q.done) continue;
+      if (q.pending_barrier < 0) return;  // some queue hasn't delivered it yet
+      if (id < 0) {
+        id = q.pending_barrier;
+      } else if (q.pending_barrier != id) {
+        return;  // mixed ids; wait for alignment of the newer snapshot
+      }
+    }
+  }
+  if (id < 0) return;  // all queues done; no snapshot to take
+  pending_snapshot_id_ = id;
+}
+
+void ProcessorTasklet::FinishSnapshot() {
+  for (auto& stream : inputs_) {
+    for (auto& q : stream.queues) {
+      q.pending_barrier = -1;
+      q.blocked = false;
+    }
+  }
+}
+
+bool ProcessorTasklet::HandleControlItem(InboundStream& stream, size_t queue_index,
+                                         const Item& item) {
+  InboundQueue& q = stream.queues[queue_index];
+  size_t global_index =
+      stream_queue_base_[static_cast<size_t>(&stream - inputs_.data())] + queue_index;
+  switch (item.kind) {
+    case ItemKind::kWatermark:
+      coalescer_.ObserveWatermark(global_index, item.timestamp);
+      UpdateCoalescedWatermark();
+      return true;  // watermark is a draining boundary
+    case ItemKind::kBarrier:
+      q.pending_barrier = item.timestamp;
+      if (guarantee_ == ProcessingGuarantee::kExactlyOnce) {
+        // Align: stop consuming this queue until all inputs delivered the
+        // barrier (§4.4 "that channel needs to block and wait").
+        q.blocked = true;
+        CheckBarrierAlignment();
+        return true;
+      }
+      // At-least-once: never block (§4.4), snapshot once all inputs saw it.
+      CheckBarrierAlignment();
+      return false;
+    case ItemKind::kDone:
+      q.done = true;
+      coalescer_.MarkDone(global_index);
+      UpdateCoalescedWatermark();
+      CheckBarrierAlignment();
+      return true;
+    case ItemKind::kData:
+      break;
+  }
+  return false;
+}
+
+bool ProcessorTasklet::FillInbox() {
+  // Only streams at the minimum (= highest) priority among unfinished
+  // streams are eligible; this lets hash-join build sides drain first.
+  int32_t best_priority = std::numeric_limits<int32_t>::max();
+  for (const auto& s : inputs_) {
+    if (!s.AllDone()) best_priority = std::min(best_priority, s.priority);
+  }
+  if (best_priority == std::numeric_limits<int32_t>::max()) return false;
+
+  // Enumerate eligible queues and rotate the starting point for fairness.
+  struct QueueRef {
+    size_t stream;
+    size_t queue;
+  };
+  std::vector<QueueRef> eligible;
+  for (size_t si = 0; si < inputs_.size(); ++si) {
+    const auto& s = inputs_[si];
+    if (s.priority != best_priority) continue;
+    for (size_t qi = 0; qi < s.queues.size(); ++qi) {
+      const auto& q = s.queues[qi];
+      if (!q.done && !q.blocked) eligible.push_back({si, qi});
+    }
+  }
+  if (eligible.empty()) return false;
+
+  for (size_t attempt = 0; attempt < eligible.size(); ++attempt) {
+    QueueRef ref = eligible[(fill_cursor_ + attempt) % eligible.size()];
+    InboundStream& stream = inputs_[ref.stream];
+    InboundQueue& q = stream.queues[ref.queue];
+    if (q.queue->Peek() == nullptr) continue;
+    fill_cursor_ = (fill_cursor_ + attempt + 1) % eligible.size();
+
+    bool got_data = false;
+    int budget = context_.config.max_inbox_batch;
+    while (budget-- > 0) {
+      Item* front = q.queue->Peek();
+      if (front == nullptr) break;
+      if (front->IsData()) {
+        inbox_.Add(std::move(*front));
+        q.queue->PopFront();
+        got_data = true;
+        continue;
+      }
+      Item control = *front;
+      q.queue->PopFront();
+      MarkProgress();
+      if (HandleControlItem(stream, ref.queue, control)) break;
+    }
+    if (got_data) {
+      current_ordinal_ = stream.ordinal;
+      MarkProgress();
+      return true;
+    }
+    // Only control items were consumed; the control state machine will
+    // react on this same Call.
+    return false;
+  }
+  return false;
+}
+
+bool ProcessorTasklet::AllStreamsDone() const {
+  for (const auto& s : inputs_) {
+    if (!s.AllDone()) return false;
+  }
+  return true;
+}
+
+void ProcessorTasklet::DoRestore() {
+  int budget = 64;
+  while (budget-- > 0 && restore_index_ < restore_entries_.size()) {
+    Status s = processor_->RestoreFromSnapshot(restore_entries_[restore_index_]);
+    JET_CHECK(s.ok()) << "snapshot restore failed in " << name_ << ": " << s.ToString();
+    ++restore_index_;
+    MarkProgress();
+  }
+  if (restore_index_ >= restore_entries_.size()) {
+    restore_entries_.clear();
+    state_ = State::kFinishRestore;
+  }
+}
+
+void ProcessorTasklet::DoFinishRestore() {
+  if (!processor_->FinishSnapshotRestore()) return;
+  MarkProgress();
+  state_ = inputs_.empty() ? State::kComplete : State::kProcess;
+}
+
+void ProcessorTasklet::DoProcess() {
+  if (inbox_.Empty()) {
+    // Control transitions fire only at a batch boundary, i.e. when the
+    // processor has fully consumed the items that preceded the control
+    // item in its queue.
+    if (wm_armed_) {
+      state_ = State::kWatermark;
+      MarkProgress();
+      return;
+    }
+    if (pending_snapshot_id_ >= 0) {
+      resume_state_after_snapshot_ = State::kProcess;
+      state_ = State::kSnapshotSave;
+      MarkProgress();
+      return;
+    }
+    for (auto& s : inputs_) {
+      if (s.AllDone() && !s.completed_delivered) {
+        s.completed_delivered = true;
+        edges_to_complete_.push_back(s.ordinal);
+      }
+    }
+    if (!edges_to_complete_.empty()) {
+      state_ = State::kCompleteEdge;
+      MarkProgress();
+      return;
+    }
+    if (AllStreamsDone()) {
+      state_ = State::kComplete;
+      MarkProgress();
+      return;
+    }
+    if (!FillInbox()) {
+      // Idle: give the processor its periodic time-driven slice (Jet's
+      // tryProcess()).
+      processor_->TryProcess();
+      return;
+    }
+  }
+  if (!inbox_.Empty()) {
+    size_t before = inbox_.Size();
+    processor_->Process(current_ordinal_, &inbox_);
+    size_t after = inbox_.Size();
+    items_processed_ += static_cast<int64_t>(before - after);
+    if (after != before) MarkProgress();
+  }
+}
+
+void ProcessorTasklet::DoWatermark() {
+  if (!wm_processed_by_processor_) {
+    if (!processor_->TryProcessWatermark(pending_wm_)) return;  // outbox full; retry
+    wm_processed_by_processor_ = true;
+    MarkProgress();
+    if (!DrainOutbox()) return;
+  }
+  if (!control_armed_) {
+    pending_control_ = Item::WatermarkAt(pending_wm_);
+    control_armed_ = true;
+    control_progress_ = 0;
+  }
+  while (control_progress_ < collectors_.size()) {
+    if (!collectors_[control_progress_].OfferControl(pending_control_)) return;
+    ++control_progress_;
+    MarkProgress();
+  }
+  last_forwarded_wm_ = pending_wm_;
+  wm_armed_ = false;
+  control_armed_ = false;
+  state_ = State::kProcess;
+  MarkProgress();
+}
+
+void ProcessorTasklet::DoSnapshotSave() {
+  context_.current_snapshot_id = pending_snapshot_id_;
+  if (!processor_->SaveToSnapshot()) {
+    // Partial save: the snapshot bucket drains at the top of each Call.
+    MarkProgress();
+    return;
+  }
+  if (!DrainOutbox()) return;  // flush remaining state entries
+  state_ = State::kSnapshotBarrier;
+  control_armed_ = false;
+  MarkProgress();
+}
+
+void ProcessorTasklet::DoSnapshotBarrier() {
+  if (!control_armed_) {
+    pending_control_ = Item::BarrierFor(pending_snapshot_id_);
+    control_armed_ = true;
+    control_progress_ = 0;
+  }
+  while (control_progress_ < collectors_.size()) {
+    if (!collectors_[control_progress_].OfferControl(pending_control_)) return;
+    ++control_progress_;
+    MarkProgress();
+  }
+  if (!processor_->OnSnapshotCompleted(pending_snapshot_id_)) return;
+  control_armed_ = false;
+  completed_snapshot_id_ = pending_snapshot_id_;
+  pending_snapshot_id_ = -1;
+  FinishSnapshot();
+  if (snapshot_control_ != nullptr) {
+    snapshot_control_->acks.fetch_add(1, std::memory_order_acq_rel);
+  }
+  state_ = resume_state_after_snapshot_;
+  MarkProgress();
+}
+
+void ProcessorTasklet::DoCompleteEdge() {
+  while (!edges_to_complete_.empty()) {
+    if (!processor_->CompleteEdge(edges_to_complete_.back())) return;
+    edges_to_complete_.pop_back();
+    MarkProgress();
+  }
+  state_ = State::kProcess;
+}
+
+void ProcessorTasklet::DoComplete() {
+  // Source tasklets (no inputs) initiate snapshots when the coordinator
+  // requests one; downstream tasklets are driven by barriers instead.
+  if (snapshot_control_ != nullptr && inputs_.empty() &&
+      processor_->InitiatesSnapshots()) {
+    int64_t requested = snapshot_control_->requested.load(std::memory_order_acquire);
+    if (requested > completed_snapshot_id_ && requested > pending_snapshot_id_) {
+      pending_snapshot_id_ = requested;
+      resume_state_after_snapshot_ = State::kComplete;
+      state_ = State::kSnapshotSave;
+      MarkProgress();
+      return;
+    }
+  }
+  if (processor_->Complete()) {
+    state_ = State::kEmitDone;
+    control_armed_ = false;
+    MarkProgress();
+  }
+}
+
+void ProcessorTasklet::DoEmitDone() {
+  if (!control_armed_) {
+    pending_control_ = Item::Done();
+    control_armed_ = true;
+    control_progress_ = 0;
+  }
+  while (control_progress_ < collectors_.size()) {
+    if (!collectors_[control_progress_].OfferControl(pending_control_)) return;
+    ++control_progress_;
+    MarkProgress();
+  }
+  control_armed_ = false;
+  state_ = State::kDone;
+  MarkProgress();
+}
+
+}  // namespace jet::core

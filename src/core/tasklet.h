@@ -1,0 +1,240 @@
+#ifndef JETSIM_CORE_TASKLET_H_
+#define JETSIM_CORE_TASKLET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/collectors.h"
+#include "core/config.h"
+#include "core/processor.h"
+#include "core/watermark.h"
+
+namespace jet::core {
+
+/// Result of one tasklet invocation.
+struct TaskletProgress {
+  bool made_progress = false;
+  bool done = false;
+};
+
+/// A small unit of computation cooperatively scheduled on a worker thread
+/// (§3.2). A tasklet call performs a bounded amount of work and returns; it
+/// must never block.
+class Tasklet {
+ public:
+  virtual ~Tasklet() = default;
+
+  /// Called once on the owning worker thread before the first Call.
+  virtual Status Init() { return Status::OK(); }
+
+  /// Performs one slice of work.
+  virtual TaskletProgress Call() = 0;
+
+  /// Non-cooperative tasklets get a dedicated thread (§3.2).
+  virtual bool IsCooperative() const { return true; }
+
+  /// Diagnostic name.
+  virtual const std::string& name() const = 0;
+};
+
+/// Writes one snapshot state entry for `vertex` under the given snapshot
+/// id; returns false if the store is temporarily unable to accept it.
+/// `writer_index` is the emitting instance's global index — it
+/// discriminates entries of instances that hold partial state for the
+/// same key (e.g. the unicast-fed accumulate stage), which would otherwise
+/// overwrite each other in the store; restore combines them.
+using SnapshotWriterFn = std::function<bool(int64_t snapshot_id, VertexId vertex,
+                                            int32_t writer_index, StateEntry&& entry)>;
+
+/// Shared, lock-free coordination block between a job's snapshot
+/// coordinator and its tasklets.
+struct SnapshotControl {
+  /// Snapshot id the coordinator wants taken (monotonic; 0 = none yet).
+  std::atomic<int64_t> requested{0};
+  /// Number of tasklets that completed their part of `requested`.
+  std::atomic<int64_t> acks{0};
+  /// Highest snapshot id the coordinator has committed to the store.
+  /// Acknowledging sources and transactional sinks poll this to release
+  /// their pending work (§4.5).
+  std::atomic<int64_t> committed{0};
+  /// Writer persisting state entries (bound to job + store by the plan).
+  SnapshotWriterFn write_entry;
+};
+
+/// One inbound queue of a tasklet plus its control-item bookkeeping.
+struct InboundQueue {
+  ItemQueuePtr queue;
+  /// Barrier id received and awaiting alignment; -1 when none.
+  int64_t pending_barrier = -1;
+  /// Exactly-once: queue is blocked until alignment completes.
+  bool blocked = false;
+  bool done = false;
+};
+
+/// All queues feeding one input ordinal of a tasklet.
+struct InboundStream {
+  int32_t ordinal = 0;
+  int32_t priority = 0;
+  std::vector<InboundQueue> queues;
+  bool completed_delivered = false;  // CompleteEdge already run
+
+  bool AllDone() const {
+    for (const auto& q : queues) {
+      if (!q.done) return false;
+    }
+    return true;
+  }
+};
+
+/// The tasklet driving one processor instance (§3.2): moves items between
+/// the inbound SPSC queues, the processor's inbox/outbox, and the outbound
+/// collectors; coalesces watermarks; aligns snapshot barriers; forwards
+/// control items; and manages the processor's lifecycle
+/// (restore -> process -> complete-edges -> complete -> done).
+class ProcessorTasklet final : public Tasklet {
+ public:
+  ProcessorTasklet(std::string name, std::unique_ptr<Processor> processor,
+                   ProcessorContext context, std::vector<InboundStream> inputs,
+                   std::vector<OutboundCollector> collectors,
+                   ProcessingGuarantee guarantee, SnapshotControl* snapshot_control);
+
+  /// Entries to replay into the processor before any input (set when the
+  /// job starts from a snapshot).
+  void SetRestoreEntries(std::vector<StateEntry> entries);
+
+  Status Init() override;
+  TaskletProgress Call() override;
+  bool IsCooperative() const override { return cooperative_; }
+  const std::string& name() const override { return name_; }
+
+  /// Number of data items this tasklet pushed into its processor.
+  int64_t items_processed() const { return items_processed_; }
+
+  /// Total Call() invocations.
+  int64_t calls() const { return calls_; }
+
+  /// Call() invocations that made no progress.
+  int64_t idle_calls() const { return idle_calls_; }
+
+  /// True once the tasklet reached its terminal state.
+  bool IsDone() const { return state_ == State::kDone; }
+
+  /// Last snapshot id this tasklet completed.
+  int64_t completed_snapshot_id() const { return completed_snapshot_id_; }
+
+  /// Whether this tasklet acknowledges snapshots: tasklets with inputs do
+  /// (barrier alignment), input-less tasklets only if their processor
+  /// initiates snapshots (network receivers don't). The coordinator's
+  /// expected-ack count sums this.
+  bool ParticipatesInSnapshots() const {
+    return !inputs_.empty() || processor_->InitiatesSnapshots();
+  }
+
+ private:
+  enum class State {
+    kRestore,
+    kFinishRestore,
+    kProcess,
+    kWatermark,
+    kSnapshotSave,
+    kSnapshotBarrier,
+    kCompleteEdge,
+    kComplete,
+    kEmitDone,
+    kDone,
+  };
+
+  // Attempts to move outbox contents into collectors / the snapshot store.
+  // Returns true when the outbox is fully drained.
+  bool DrainOutbox();
+
+  // Moves items from one eligible inbound queue into the inbox. Returns
+  // true if any item was moved.
+  bool FillInbox();
+
+  // Handles a control item popped from queue `q` of stream `stream`;
+  // returns true if draining of this queue must stop.
+  bool HandleControlItem(InboundStream& stream, size_t queue_index, const Item& item);
+
+  // Recomputes the coalesced watermark; arms pending_wm_ when it advanced.
+  void UpdateCoalescedWatermark();
+
+  // True when every active queue has the same pending barrier (alignment
+  // complete) and arms the snapshot.
+  void CheckBarrierAlignment();
+
+  // Unblocks queues after a snapshot completes.
+  void FinishSnapshot();
+
+  // Steps of Call(), one per state.
+  void DoRestore();
+  void DoFinishRestore();
+  void DoProcess();
+  void DoWatermark();
+  void DoSnapshotSave();
+  void DoSnapshotBarrier();
+  void DoCompleteEdge();
+  void DoComplete();
+  void DoEmitDone();
+
+  bool AllStreamsDone() const;
+
+  void MarkProgress() { made_progress_ = true; }
+
+  std::string name_;
+  std::unique_ptr<Processor> processor_;
+  ProcessorContext context_;
+  Outbox outbox_;
+  Inbox inbox_;
+  std::vector<InboundStream> inputs_;
+  std::vector<OutboundCollector> collectors_;
+  ProcessingGuarantee guarantee_;
+  SnapshotControl* snapshot_control_;
+  bool cooperative_ = true;
+
+  State state_ = State::kProcess;
+  bool made_progress_ = false;
+
+  WatermarkCoalescer coalescer_;
+  Nanos last_forwarded_wm_ = kMinWatermark;
+  Nanos pending_wm_ = kMinWatermark;
+  bool wm_armed_ = false;
+  bool wm_processed_by_processor_ = false;
+
+  // Snapshot machinery.
+  int64_t pending_snapshot_id_ = -1;  // armed snapshot to take
+  int64_t completed_snapshot_id_ = 0;
+  State resume_state_after_snapshot_ = State::kProcess;
+
+  // Which input stream the inbox was filled from.
+  int32_t current_ordinal_ = 0;
+  size_t fill_cursor_ = 0;  // round-robin over (stream, queue)
+
+  // Pending control forwarding progress (per collector).
+  Item pending_control_;
+  size_t control_progress_ = 0;
+  bool control_armed_ = false;
+
+  // Restore.
+  std::vector<StateEntry> restore_entries_;
+  size_t restore_index_ = 0;
+
+  // Complete-edge bookkeeping.
+  std::vector<int32_t> edges_to_complete_;
+
+  int64_t items_processed_ = 0;
+  int64_t calls_ = 0;
+  int64_t idle_calls_ = 0;
+
+  // Global queue index base per stream (for the coalescer).
+  std::vector<size_t> stream_queue_base_;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_TASKLET_H_

@@ -1,0 +1,60 @@
+#ifndef JETSIM_CORE_WATERMARK_H_
+#define JETSIM_CORE_WATERMARK_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace jet::core {
+
+/// Watermark value meaning "no watermark seen yet".
+constexpr Nanos kMinWatermark = std::numeric_limits<Nanos>::min();
+
+/// Watermark value meaning "stream exhausted" (emitted when a producer
+/// completes so downstream windows flush).
+constexpr Nanos kMaxWatermark = std::numeric_limits<Nanos>::max();
+
+/// Combines the watermarks of several input queues into one coherent
+/// watermark: the minimum across queues, where exhausted (done) queues no
+/// longer hold the watermark back. This implements the standard
+/// out-of-order stream coalescing Jet applies on every multi-input tasklet.
+class WatermarkCoalescer {
+ public:
+  explicit WatermarkCoalescer(size_t queue_count)
+      : queue_wms_(queue_count, kMinWatermark), done_(queue_count, false) {}
+
+  /// Records that queue `index` reported watermark `wm`. Watermarks within
+  /// one queue must be non-decreasing.
+  void ObserveWatermark(size_t index, Nanos wm) {
+    if (wm > queue_wms_[index]) queue_wms_[index] = wm;
+  }
+
+  /// Records that queue `index` is exhausted; it no longer participates in
+  /// the minimum.
+  void MarkDone(size_t index) { done_[index] = true; }
+
+  /// The coalesced watermark: min over non-done queues, or kMaxWatermark
+  /// when all queues are done.
+  Nanos Coalesced() const {
+    Nanos min_wm = kMaxWatermark;
+    bool any_active = false;
+    for (size_t i = 0; i < queue_wms_.size(); ++i) {
+      if (done_[i]) continue;
+      any_active = true;
+      if (queue_wms_[i] < min_wm) min_wm = queue_wms_[i];
+    }
+    return any_active ? min_wm : kMaxWatermark;
+  }
+
+  size_t queue_count() const { return queue_wms_.size(); }
+
+ private:
+  std::vector<Nanos> queue_wms_;
+  std::vector<bool> done_;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_WATERMARK_H_

@@ -1,0 +1,281 @@
+#include "imdg/grid.h"
+
+#include <algorithm>
+
+namespace jet::imdg {
+
+DataGrid::DataGrid(int32_t backup_count, int32_t partition_count)
+    : table_(partition_count, backup_count),
+      partition_locks_(static_cast<size_t>(partition_count)) {}
+
+Result<int64_t> DataGrid::AddMember(MemberId member) {
+  std::scoped_lock membership(membership_mutex_);
+  if (members_.count(member) != 0) {
+    return Status(StatusCode::kAlreadyExists, "member already in grid");
+  }
+  members_[member] = std::make_unique<MemberStore>();
+  std::vector<Migration> migrations;
+  if (table_.members().empty()) {
+    JET_RETURN_IF_ERROR(table_.Assign({member}));
+  } else if (table_.members().size() == 1) {
+    // Second member: re-run assignment so it picks up backup replicas too,
+    // then copy everything it now owns.
+    auto members = table_.members();
+    members.push_back(member);
+    JET_RETURN_IF_ERROR(table_.Assign(members));
+    // Synthesize migrations: everything assigned to the new member copies
+    // from the old single member.
+    MemberId old = members[0];
+    for (PartitionId p : table_.ReplicasOf(member)) {
+      int32_t idx = 0;
+      while (table_.ReplicaFor(p, idx) != member) ++idx;
+      migrations.push_back(Migration{p, idx, old, member});
+    }
+  } else {
+    migrations = table_.AddMember(member);
+  }
+  int64_t migrated = ApplyMigrations(migrations);
+  {
+    std::scoped_lock s(stats_mutex_);
+    stats_.migrated_entries += migrated;
+  }
+  return migrated;
+}
+
+Status DataGrid::RemoveMember(MemberId member) {
+  std::scoped_lock membership(membership_mutex_);
+  auto it = members_.find(member);
+  if (it == members_.end()) return NotFoundError("member not in grid");
+  // Hard failure: the member's data is gone.
+  members_.erase(it);
+  auto migrations = table_.RemoveMember(member);
+  int64_t migrated = ApplyMigrations(migrations);
+  std::scoped_lock s(stats_mutex_);
+  stats_.migrated_entries += migrated;
+  return Status::OK();
+}
+
+int64_t DataGrid::ApplyMigrations(const std::vector<Migration>& migrations) {
+  int64_t migrated = 0;
+  for (const Migration& m : migrations) {
+    auto src_it = members_.find(m.source);
+    auto dst_it = members_.find(m.destination);
+    if (src_it == members_.end() || dst_it == members_.end()) continue;
+    std::scoped_lock lock(LockFor(m.partition));
+    for (auto& [map_name, partitions] : src_it->second->maps) {
+      auto part_it = partitions.find(m.partition);
+      if (part_it == partitions.end()) continue;
+      dst_it->second->maps[map_name][m.partition] = part_it->second;
+      migrated += static_cast<int64_t>(part_it->second.size());
+    }
+  }
+  return migrated;
+}
+
+PartitionStore* DataGrid::StoreFor(MemberId member, const std::string& map_name,
+                                   PartitionId partition) {
+  auto it = members_.find(member);
+  if (it == members_.end()) return nullptr;
+  return &it->second->maps[map_name][partition];
+}
+
+const PartitionStore* DataGrid::StoreForConst(MemberId member,
+                                              const std::string& map_name,
+                                              PartitionId partition) const {
+  auto it = members_.find(member);
+  if (it == members_.end()) return nullptr;
+  auto map_it = it->second->maps.find(map_name);
+  if (map_it == it->second->maps.end()) return nullptr;
+  auto part_it = map_it->second.find(partition);
+  if (part_it == map_it->second.end()) return nullptr;
+  return &part_it->second;
+}
+
+Status DataGrid::Put(const std::string& map_name, const Bytes& key, const Bytes& value) {
+  return PutInPartition(map_name, PartitionOf(key), key, value);
+}
+
+int64_t DataGrid::AddEntryListener(const std::string& map_name, EntryListener listener) {
+  std::scoped_lock lock(listener_mutex_);
+  int64_t id = next_listener_id_++;
+  listeners_[id] = {map_name, std::move(listener)};
+  return id;
+}
+
+void DataGrid::RemoveEntryListener(int64_t listener_id) {
+  std::scoped_lock lock(listener_mutex_);
+  listeners_.erase(listener_id);
+}
+
+std::vector<std::pair<Bytes, Bytes>> DataGrid::EntriesWhere(
+    const std::string& map_name,
+    const std::function<bool(const Bytes&, const Bytes&)>& predicate) const {
+  std::vector<std::pair<Bytes, Bytes>> out;
+  for (PartitionId p = 0; p < table_.partition_count(); ++p) {
+    ForEachInPartition(map_name, p, [&](const Bytes& k, const Bytes& v) {
+      if (predicate(k, v)) out.emplace_back(k, v);
+    });
+  }
+  return out;
+}
+
+Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partition,
+                                const Bytes& key, const Bytes& value) {
+  if (partition < 0 || partition >= table_.partition_count()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  std::scoped_lock lock(LockFor(partition));
+  MemberId primary = table_.PrimaryFor(partition);
+  if (primary == kInvalidMember) return UnavailableError("no members in grid");
+  PartitionStore* store = StoreFor(primary, map_name, partition);
+  if (store == nullptr) return InternalError("primary member store missing");
+  (*store)[key] = value;
+  // Synchronous backups (§4.2): apply to every backup replica before
+  // acknowledging.
+  int64_t replicated = 0;
+  for (int32_t i = 1; i <= table_.backup_count(); ++i) {
+    MemberId backup = table_.ReplicaFor(partition, i);
+    if (backup == kInvalidMember) continue;
+    PartitionStore* backup_store = StoreFor(backup, map_name, partition);
+    if (backup_store != nullptr) {
+      (*backup_store)[key] = value;
+      replicated += static_cast<int64_t>(key.size() + value.size());
+    }
+  }
+  {
+    std::scoped_lock s(stats_mutex_);
+    ++stats_.puts;
+    stats_.replicated_bytes += replicated;
+  }
+  // Notify listeners outside the partition lock... the partition lock is
+  // still held here (scoped to the function), so copy the callbacks first
+  // and rely on listener implementations being non-reentrant into this
+  // partition.
+  std::vector<EntryListener> to_notify;
+  {
+    std::scoped_lock l(listener_mutex_);
+    for (const auto& [id, entry] : listeners_) {
+      if (entry.first == map_name) to_notify.push_back(entry.second);
+    }
+  }
+  for (const auto& fn : to_notify) fn(key, value);
+  return Status::OK();
+}
+
+Result<std::optional<Bytes>> DataGrid::Get(const std::string& map_name,
+                                           const Bytes& key) const {
+  PartitionId partition = PartitionOf(key);
+  std::scoped_lock lock(LockFor(partition));
+  MemberId primary = table_.PrimaryFor(partition);
+  if (primary == kInvalidMember) return UnavailableError("no members in grid");
+  const PartitionStore* store = StoreForConst(primary, map_name, partition);
+  {
+    std::scoped_lock s(stats_mutex_);
+    ++stats_.gets;
+  }
+  if (store == nullptr) return std::optional<Bytes>();
+  auto it = store->find(key);
+  if (it == store->end()) return std::optional<Bytes>();
+  return std::optional<Bytes>(it->second);
+}
+
+Result<bool> DataGrid::Remove(const std::string& map_name, const Bytes& key) {
+  PartitionId partition = PartitionOf(key);
+  std::scoped_lock lock(LockFor(partition));
+  MemberId primary = table_.PrimaryFor(partition);
+  if (primary == kInvalidMember) return UnavailableError("no members in grid");
+  PartitionStore* store = StoreFor(primary, map_name, partition);
+  bool removed = store != nullptr && store->erase(key) > 0;
+  for (int32_t i = 1; i <= table_.backup_count(); ++i) {
+    MemberId backup = table_.ReplicaFor(partition, i);
+    if (backup == kInvalidMember) continue;
+    PartitionStore* backup_store = StoreFor(backup, map_name, partition);
+    if (backup_store != nullptr) backup_store->erase(key);
+  }
+  std::scoped_lock s(stats_mutex_);
+  ++stats_.removes;
+  return removed;
+}
+
+int64_t DataGrid::Size(const std::string& map_name) const {
+  int64_t total = 0;
+  for (PartitionId p = 0; p < table_.partition_count(); ++p) {
+    std::scoped_lock lock(LockFor(p));
+    MemberId primary = table_.PrimaryFor(p);
+    if (primary == kInvalidMember) continue;
+    const PartitionStore* store = StoreForConst(primary, map_name, p);
+    if (store != nullptr) total += static_cast<int64_t>(store->size());
+  }
+  return total;
+}
+
+void DataGrid::Clear(const std::string& map_name) {
+  for (PartitionId p = 0; p < table_.partition_count(); ++p) {
+    std::scoped_lock lock(LockFor(p));
+    for (auto& [id, member] : members_) {
+      auto map_it = member->maps.find(map_name);
+      if (map_it == member->maps.end()) continue;
+      auto part_it = map_it->second.find(p);
+      if (part_it != map_it->second.end()) part_it->second.clear();
+    }
+  }
+}
+
+void DataGrid::Destroy(const std::string& map_name) {
+  std::scoped_lock membership(membership_mutex_);
+  for (auto& [id, member] : members_) member->maps.erase(map_name);
+}
+
+std::vector<std::pair<Bytes, Bytes>> DataGrid::EntriesInPartition(
+    const std::string& map_name, PartitionId partition) const {
+  std::vector<std::pair<Bytes, Bytes>> out;
+  ForEachInPartition(map_name, partition,
+                     [&out](const Bytes& k, const Bytes& v) { out.emplace_back(k, v); });
+  return out;
+}
+
+void DataGrid::ForEachInPartition(
+    const std::string& map_name, PartitionId partition,
+    const std::function<void(const Bytes&, const Bytes&)>& fn) const {
+  std::scoped_lock lock(LockFor(partition));
+  MemberId primary = table_.PrimaryFor(partition);
+  if (primary == kInvalidMember) return;
+  const PartitionStore* store = StoreForConst(primary, map_name, partition);
+  if (store == nullptr) return;
+  for (const auto& [k, v] : *store) fn(k, v);
+}
+
+GridStats DataGrid::stats() const {
+  std::scoped_lock s(stats_mutex_);
+  return stats_;
+}
+
+Status DataGrid::CheckReplicaConsistency(const std::string& map_name) const {
+  for (PartitionId p = 0; p < table_.partition_count(); ++p) {
+    std::scoped_lock lock(LockFor(p));
+    MemberId primary = table_.PrimaryFor(p);
+    if (primary == kInvalidMember) continue;
+    const PartitionStore* primary_store = StoreForConst(primary, map_name, p);
+    for (int32_t i = 1; i <= table_.backup_count(); ++i) {
+      MemberId backup = table_.ReplicaFor(p, i);
+      if (backup == kInvalidMember) continue;
+      const PartitionStore* backup_store = StoreForConst(backup, map_name, p);
+      size_t primary_size = primary_store == nullptr ? 0 : primary_store->size();
+      size_t backup_size = backup_store == nullptr ? 0 : backup_store->size();
+      if (primary_size != backup_size) {
+        return InternalError("replica size mismatch in partition " + std::to_string(p));
+      }
+      if (primary_store == nullptr) continue;
+      for (const auto& [k, v] : *primary_store) {
+        auto it = backup_store->find(k);
+        if (it == backup_store->end() || it->second != v) {
+          return InternalError("replica entry mismatch in partition " +
+                               std::to_string(p));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace jet::imdg

@@ -1,0 +1,178 @@
+#ifndef JETSIM_IMDG_GRID_H_
+#define JETSIM_IMDG_GRID_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "imdg/partition.h"
+#include "imdg/partition_table.h"
+
+namespace jet::imdg {
+
+/// Hash functor for byte-string keys.
+struct BytesHash {
+  size_t operator()(const Bytes& b) const { return HashBytes(b.data(), b.size()); }
+};
+
+/// Data of one partition of one IMap on one member.
+using PartitionStore = std::unordered_map<Bytes, Bytes, BytesHash>;
+
+/// Callback observing entry updates of one map (the "observable" facet of
+/// IMDG's map, §4.2); invoked after the write is applied, outside the
+/// partition lock.
+using EntryListener = std::function<void(const Bytes& key, const Bytes& value)>;
+
+/// Statistics counters exposed by the grid, mainly for tests and benches.
+struct GridStats {
+  int64_t puts = 0;
+  int64_t gets = 0;
+  int64_t removes = 0;
+  int64_t replicated_bytes = 0;  // bytes written to backup replicas
+  int64_t migrated_entries = 0;  // entries copied by rebalancing
+};
+
+/// In-memory data grid: a partitioned, replicated key-value store modeling
+/// Hazelcast IMDG (§2.4, §4.2). All replicas live in this process — each
+/// member has its own physical store — so replication, backup promotion on
+/// failure, and migration on join exercise the same data movements as the
+/// real grid without a network.
+///
+/// Writes go to the primary replica and are synchronously applied to all
+/// backup replicas ("sync backups"). On member failure the partition table
+/// promotes backups (Fig. 6) and the grid re-creates lost replicas from the
+/// new primaries; committed data survives any `backup_count` simultaneous
+/// member failures.
+///
+/// Thread-safety: operations on different partitions proceed in parallel
+/// (striped per-partition locks); operations on one partition serialize.
+class DataGrid {
+ public:
+  /// Creates a grid with the given replication factor. Members are added
+  /// with `AddMember`.
+  explicit DataGrid(int32_t backup_count = 1,
+                    int32_t partition_count = kDefaultPartitionCount);
+
+  DataGrid(const DataGrid&) = delete;
+  DataGrid& operator=(const DataGrid&) = delete;
+
+  /// Adds a member and rebalances partitions onto it (§4.3). Returns the
+  /// number of migrated entries.
+  Result<int64_t> AddMember(MemberId member);
+
+  /// Simulates the hard failure of a member: its physical store is dropped,
+  /// backups are promoted, and replacement backups are populated from the
+  /// surviving primaries (§4.2, Fig. 6).
+  Status RemoveMember(MemberId member);
+
+  /// Stores `value` under `key` in map `map_name` (primary + backups).
+  Status Put(const std::string& map_name, const Bytes& key, const Bytes& value);
+
+  /// Stores `value` under `key` in an explicitly chosen partition. Used by
+  /// the snapshot store so a state entry lands in the partition of its
+  /// *state key* (aligning snapshot locality with processing locality)
+  /// rather than the hash of the composite storage key.
+  Status PutInPartition(const std::string& map_name, PartitionId partition,
+                        const Bytes& key, const Bytes& value);
+
+  /// Returns the value under `key`, or std::nullopt if absent.
+  Result<std::optional<Bytes>> Get(const std::string& map_name, const Bytes& key) const;
+
+  /// Removes `key`; returns true if it was present.
+  Result<bool> Remove(const std::string& map_name, const Bytes& key);
+
+  /// Registers a listener invoked on every Put to `map_name` (§4.2: the
+  /// IMDG map is observable — the substrate of the §6 CDC/view-maintenance
+  /// use cases). Returns a listener id for RemoveListener.
+  int64_t AddEntryListener(const std::string& map_name, EntryListener listener);
+
+  /// Unregisters a listener.
+  void RemoveEntryListener(int64_t listener_id);
+
+  /// Returns all entries of the map satisfying `predicate` (the "queryable"
+  /// facet, scanning primary replicas).
+  std::vector<std::pair<Bytes, Bytes>> EntriesWhere(
+      const std::string& map_name,
+      const std::function<bool(const Bytes& key, const Bytes& value)>& predicate) const;
+
+  /// Total number of entries in the map (over primary replicas).
+  int64_t Size(const std::string& map_name) const;
+
+  /// Removes every entry of the map on all replicas.
+  void Clear(const std::string& map_name);
+
+  /// Drops the map entirely (all partitions, all replicas).
+  void Destroy(const std::string& map_name);
+
+  /// Copies all entries of `map_name` living in `partition` (read from the
+  /// primary replica).
+  std::vector<std::pair<Bytes, Bytes>> EntriesInPartition(const std::string& map_name,
+                                                          PartitionId partition) const;
+
+  /// Applies `fn` to every entry in `partition` of `map_name`.
+  void ForEachInPartition(const std::string& map_name, PartitionId partition,
+                          const std::function<void(const Bytes&, const Bytes&)>& fn) const;
+
+  /// Partition that `key` belongs to.
+  PartitionId PartitionOf(const Bytes& key) const {
+    return PartitionForHash(HashBytes(key.data(), key.size()), table_.partition_count());
+  }
+
+  /// The partition table (primary/backup assignment).
+  const PartitionTable& table() const { return table_; }
+
+  /// Counters; not synchronized with in-flight operations.
+  GridStats stats() const;
+
+  int32_t partition_count() const { return table_.partition_count(); }
+
+  /// Verifies that every backup replica is byte-identical to its primary.
+  /// Test helper; takes all partition locks one by one.
+  Status CheckReplicaConsistency(const std::string& map_name) const;
+
+ private:
+  // All maps of one member: map name -> partition id -> entries. Only
+  // partitions with a replica on the member have a (possibly empty) store.
+  struct MemberStore {
+    std::unordered_map<std::string, std::unordered_map<PartitionId, PartitionStore>>
+        maps;
+  };
+
+  // Requires the partition lock. Returns nullptr if the member is gone.
+  PartitionStore* StoreFor(MemberId member, const std::string& map_name,
+                           PartitionId partition);
+  const PartitionStore* StoreForConst(MemberId member, const std::string& map_name,
+                                      PartitionId partition) const;
+
+  // Copies partition data according to the migration plan.
+  int64_t ApplyMigrations(const std::vector<Migration>& migrations);
+
+  std::mutex& LockFor(PartitionId partition) const {
+    return partition_locks_[static_cast<size_t>(partition)];
+  }
+
+  PartitionTable table_;
+  std::unordered_map<MemberId, std::unique_ptr<MemberStore>> members_;
+  mutable std::vector<std::mutex> partition_locks_;
+  mutable std::mutex membership_mutex_;  // guards table_ + members_ layout
+  mutable std::mutex stats_mutex_;
+  mutable GridStats stats_;
+
+  mutable std::mutex listener_mutex_;
+  int64_t next_listener_id_ = 1;
+  // listener id -> (map name, callback)
+  std::map<int64_t, std::pair<std::string, EntryListener>> listeners_;
+};
+
+}  // namespace jet::imdg
+
+#endif  // JETSIM_IMDG_GRID_H_

@@ -1,0 +1,154 @@
+#ifndef JETSIM_IMDG_IMAP_H_
+#define JETSIM_IMDG_IMAP_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "imdg/grid.h"
+
+namespace jet::imdg {
+
+/// Codec turning a value into bytes and back. Specialize or provide your
+/// own for custom types; built-ins below cover integers, doubles and
+/// strings.
+template <typename T>
+struct Codec;
+
+template <>
+struct Codec<int64_t> {
+  static Bytes Encode(const int64_t& v) {
+    BytesWriter w;
+    w.WriteI64(v);
+    return w.Take();
+  }
+  static Result<int64_t> Decode(const Bytes& b) {
+    BytesReader r(b);
+    int64_t v = 0;
+    JET_RETURN_IF_ERROR(r.ReadI64(&v));
+    return v;
+  }
+};
+
+template <>
+struct Codec<uint64_t> {
+  static Bytes Encode(const uint64_t& v) {
+    BytesWriter w;
+    w.WriteU64(v);
+    return w.Take();
+  }
+  static Result<uint64_t> Decode(const Bytes& b) {
+    BytesReader r(b);
+    uint64_t v = 0;
+    JET_RETURN_IF_ERROR(r.ReadU64(&v));
+    return v;
+  }
+};
+
+template <>
+struct Codec<double> {
+  static Bytes Encode(const double& v) {
+    BytesWriter w;
+    w.WriteDouble(v);
+    return w.Take();
+  }
+  static Result<double> Decode(const Bytes& b) {
+    BytesReader r(b);
+    double v = 0;
+    JET_RETURN_IF_ERROR(r.ReadDouble(&v));
+    return v;
+  }
+};
+
+template <>
+struct Codec<std::string> {
+  static Bytes Encode(const std::string& v) {
+    BytesWriter w;
+    w.WriteString(v);
+    return w.Take();
+  }
+  static Result<std::string> Decode(const Bytes& b) {
+    BytesReader r(b);
+    std::string v;
+    JET_RETURN_IF_ERROR(r.ReadString(&v));
+    return v;
+  }
+};
+
+/// Typed view over one named map in a DataGrid, mirroring Hazelcast's IMap
+/// interface (the structure Jet stores its state snapshots in, §2.4).
+///
+/// The IMap does not own data; it is a thin facade over the grid, so
+/// several IMap instances over the same name observe the same entries.
+template <typename K, typename V, typename KCodec = Codec<K>, typename VCodec = Codec<V>>
+class IMap {
+ public:
+  /// Binds to map `name` in `grid`. The grid must outlive the IMap.
+  IMap(DataGrid* grid, std::string name) : grid_(grid), name_(std::move(name)) {}
+
+  /// Stores `value` under `key` on the primary and all backup replicas.
+  Status Put(const K& key, const V& value) {
+    return grid_->Put(name_, KCodec::Encode(key), VCodec::Encode(value));
+  }
+
+  /// Returns the value under `key`, or std::nullopt if absent.
+  Result<std::optional<V>> Get(const K& key) const {
+    auto raw = grid_->Get(name_, KCodec::Encode(key));
+    if (!raw.ok()) return raw.status();
+    if (!raw->has_value()) return std::optional<V>();
+    auto decoded = VCodec::Decode(**raw);
+    if (!decoded.ok()) return decoded.status();
+    return std::optional<V>(std::move(decoded.value()));
+  }
+
+  /// Removes `key`; returns true if it was present.
+  Result<bool> Remove(const K& key) { return grid_->Remove(name_, KCodec::Encode(key)); }
+
+  /// Observes every update to this map (§4.2 "observable"): `listener` is
+  /// invoked with the decoded key and value after each Put. Returns the
+  /// listener id (pass to the grid's RemoveEntryListener to unregister).
+  int64_t AddListener(std::function<void(const K&, const V&)> listener) {
+    return grid_->AddEntryListener(
+        name_, [listener](const Bytes& raw_key, const Bytes& raw_value) {
+          auto key = KCodec::Decode(raw_key);
+          auto value = VCodec::Decode(raw_value);
+          if (key.ok() && value.ok()) listener(*key, *value);
+        });
+  }
+
+  /// Returns all entries satisfying `predicate` (§4.2 "queryable").
+  std::vector<std::pair<K, V>> EntriesWhere(
+      const std::function<bool(const K&, const V&)>& predicate) const {
+    std::vector<std::pair<K, V>> out;
+    auto raw = grid_->EntriesWhere(name_, [&](const Bytes& rk, const Bytes& rv) {
+      auto key = KCodec::Decode(rk);
+      auto value = VCodec::Decode(rv);
+      return key.ok() && value.ok() && predicate(*key, *value);
+    });
+    for (auto& [rk, rv] : raw) {
+      auto key = KCodec::Decode(rk);
+      auto value = VCodec::Decode(rv);
+      if (key.ok() && value.ok()) out.emplace_back(std::move(*key), std::move(*value));
+    }
+    return out;
+  }
+
+  /// Number of entries.
+  int64_t Size() const { return grid_->Size(name_); }
+
+  /// Removes all entries.
+  void Clear() { grid_->Clear(name_); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  DataGrid* grid_;
+  std::string name_;
+};
+
+}  // namespace jet::imdg
+
+#endif  // JETSIM_IMDG_IMAP_H_

@@ -1,0 +1,36 @@
+#ifndef JETSIM_IMDG_PARTITION_H_
+#define JETSIM_IMDG_PARTITION_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace jet::imdg {
+
+/// Identifier of one data partition. Hazelcast's default partition count is
+/// 271 (a prime, so key hashes spread evenly); we keep the same default.
+using PartitionId = int32_t;
+
+/// Identifier of a grid member (a "node" in the paper's terminology).
+using MemberId = int32_t;
+
+constexpr MemberId kInvalidMember = -1;
+
+/// Default number of partitions in a grid (Hazelcast's default).
+constexpr int32_t kDefaultPartitionCount = 271;
+
+/// Maps a key hash to its partition, matching the partitioning used by both
+/// the execution engine and the IMDG so state stays local (§4.1: "the
+/// partitioning of a Jet vertex matches the partitioning of the IMap").
+inline PartitionId PartitionForHash(uint64_t key_hash, int32_t partition_count) {
+  return static_cast<PartitionId>(key_hash % static_cast<uint64_t>(partition_count));
+}
+
+/// Convenience: hashes a 64-bit key and maps it to a partition.
+inline PartitionId PartitionForKey(uint64_t key, int32_t partition_count) {
+  return PartitionForHash(HashU64(key), partition_count);
+}
+
+}  // namespace jet::imdg
+
+#endif  // JETSIM_IMDG_PARTITION_H_

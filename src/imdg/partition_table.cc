@@ -1,0 +1,175 @@
+#include "imdg/partition_table.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace jet::imdg {
+
+PartitionTable::PartitionTable(int32_t partition_count, int32_t backup_count)
+    : partition_count_(partition_count), backup_count_(backup_count) {
+  replicas_.assign(partition_count_,
+                   std::vector<MemberId>(backup_count_ + 1, kInvalidMember));
+}
+
+Status PartitionTable::Assign(const std::vector<MemberId>& members) {
+  if (members.empty()) return InvalidArgumentError("no members to assign partitions to");
+  members_ = members;
+  const auto n = static_cast<int32_t>(members_.size());
+  for (PartitionId p = 0; p < partition_count_; ++p) {
+    for (int32_t i = 0; i <= backup_count_; ++i) {
+      replicas_[p][i] = i < n ? members_[(p + i) % n] : kInvalidMember;
+    }
+  }
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<Migration> PartitionTable::AddMember(MemberId member) {
+  std::vector<Migration> migrations;
+  members_.push_back(member);
+  const auto n = static_cast<int32_t>(members_.size());
+  const int32_t target_primaries = partition_count_ / n;
+
+  // Move primaries from the most-loaded members to the new member until it
+  // holds an equal share. The displaced primary stays in the chain as the
+  // first backup (it already has the data => no extra copy), and the last
+  // backup is dropped.
+  for (int32_t moved = 0; moved < target_primaries; ++moved) {
+    // Find the member currently owning the most primaries.
+    MemberId donor = kInvalidMember;
+    int32_t donor_count = 0;
+    for (MemberId m : members_) {
+      if (m == member) continue;
+      auto count = static_cast<int32_t>(PrimariesOf(m).size());
+      if (count > donor_count) {
+        donor_count = count;
+        donor = m;
+      }
+    }
+    if (donor == kInvalidMember || donor_count <= target_primaries) break;
+
+    // Take one primary from the donor.
+    for (PartitionId p = 0; p < partition_count_; ++p) {
+      if (replicas_[p][0] != donor) continue;
+      // Skip partitions that already host the new member as a backup.
+      if (std::find(replicas_[p].begin(), replicas_[p].end(), member) !=
+          replicas_[p].end()) {
+        continue;
+      }
+      // Shift the chain right: [donor, b1, .., bk] -> [member, donor, b1,
+      // .., b(k-1)]. Only the new primary copy moves over the wire.
+      for (int32_t i = backup_count_; i >= 1; --i) {
+        replicas_[p][i] = replicas_[p][i - 1];
+      }
+      replicas_[p][0] = member;
+      migrations.push_back(Migration{p, 0, donor, member});
+      break;
+    }
+  }
+  ++version_;
+  return migrations;
+}
+
+std::vector<Migration> PartitionTable::RemoveMember(MemberId member) {
+  std::vector<Migration> migrations;
+  members_.erase(std::remove(members_.begin(), members_.end(), member), members_.end());
+  for (PartitionId p = 0; p < partition_count_; ++p) {
+    auto& chain = replicas_[p];
+    // Drop the failed member and shift surviving replicas up; a shift of
+    // slot 0 is exactly the backup promotion of Fig. 6 (no data moves: the
+    // promoted member already holds a replica).
+    auto it = std::find(chain.begin(), chain.end(), member);
+    if (it == chain.end()) continue;
+    chain.erase(it);
+    chain.push_back(kInvalidMember);
+  }
+  FillBackupSlots(&migrations);
+  ++version_;
+  return migrations;
+}
+
+void PartitionTable::FillBackupSlots(std::vector<Migration>* migrations) {
+  if (members_.empty()) return;
+  for (PartitionId p = 0; p < partition_count_; ++p) {
+    auto& chain = replicas_[p];
+    for (int32_t i = 1; i <= backup_count_; ++i) {
+      if (chain[i] != kInvalidMember) continue;
+      if (static_cast<size_t>(i) >= members_.size()) break;  // not enough members
+      // Choose the least-loaded member not already in this chain.
+      MemberId best = kInvalidMember;
+      int32_t best_count = std::numeric_limits<int32_t>::max();
+      for (MemberId m : members_) {
+        if (std::find(chain.begin(), chain.begin() + i, m) != chain.begin() + i) {
+          continue;
+        }
+        int32_t count = ReplicaCountOf(m);
+        if (count < best_count) {
+          best_count = count;
+          best = m;
+        }
+      }
+      if (best == kInvalidMember) break;
+      chain[i] = best;
+      migrations->push_back(Migration{p, i, chain[0], best});
+    }
+  }
+}
+
+MemberId PartitionTable::PrimaryFor(PartitionId partition) const {
+  return replicas_[partition][0];
+}
+
+MemberId PartitionTable::ReplicaFor(PartitionId partition, int32_t replica_index) const {
+  if (replica_index < 0 || replica_index > backup_count_) return kInvalidMember;
+  return replicas_[partition][replica_index];
+}
+
+std::vector<PartitionId> PartitionTable::PrimariesOf(MemberId member) const {
+  std::vector<PartitionId> out;
+  for (PartitionId p = 0; p < partition_count_; ++p) {
+    if (replicas_[p][0] == member) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PartitionId> PartitionTable::ReplicasOf(MemberId member) const {
+  std::vector<PartitionId> out;
+  for (PartitionId p = 0; p < partition_count_; ++p) {
+    if (std::find(replicas_[p].begin(), replicas_[p].end(), member) !=
+        replicas_[p].end()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+int32_t PartitionTable::ReplicaCountOf(MemberId member) const {
+  int32_t count = 0;
+  for (const auto& chain : replicas_) {
+    count += static_cast<int32_t>(std::count(chain.begin(), chain.end(), member));
+  }
+  return count;
+}
+
+Status PartitionTable::Validate() const {
+  for (PartitionId p = 0; p < partition_count_; ++p) {
+    const auto& chain = replicas_[p];
+    if (!members_.empty() && chain[0] == kInvalidMember) {
+      return InternalError("partition without a primary");
+    }
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i] == kInvalidMember) continue;
+      if (std::find(members_.begin(), members_.end(), chain[i]) == members_.end()) {
+        return InternalError("replica assigned to a non-member");
+      }
+      for (size_t j = i + 1; j < chain.size(); ++j) {
+        if (chain[j] != kInvalidMember && chain[i] == chain[j]) {
+          return InternalError("member appears twice in a replica chain");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace jet::imdg

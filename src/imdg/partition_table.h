@@ -1,0 +1,98 @@
+#ifndef JETSIM_IMDG_PARTITION_TABLE_H_
+#define JETSIM_IMDG_PARTITION_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "imdg/partition.h"
+
+namespace jet::imdg {
+
+/// One planned replica movement produced by rebalancing.
+struct Migration {
+  PartitionId partition = 0;
+  int32_t replica_index = 0;        // 0 = primary, >=1 = backup
+  MemberId source = kInvalidMember; // member currently holding the data
+                                    // (kInvalidMember => fresh/empty replica)
+  MemberId destination = kInvalidMember;
+};
+
+/// Assignment of every partition's replica chain to members, plus the
+/// rebalancing logic used for elasticity (§4.3) and failure recovery (§4.2).
+///
+/// Replica index 0 is the primary; indices 1..backup_count are backups.
+/// The assignment strategy is deterministic and minimizes data movement on
+/// membership change, in the spirit of consistent hashing [Chord, §4.3 of
+/// the paper]: on member join, only the partitions re-assigned to the new
+/// member move; on member failure, each lost primary is replaced by
+/// promoting its first surviving backup (Fig. 6).
+class PartitionTable {
+ public:
+  /// Creates a table with `partition_count` partitions, each with one
+  /// primary and `backup_count` backups.
+  PartitionTable(int32_t partition_count, int32_t backup_count);
+
+  /// Performs the initial assignment across `members` (must be non-empty,
+  /// distinct ids). Replica chains are spread round-robin so every member
+  /// owns ~partition_count/N primaries.
+  Status Assign(const std::vector<MemberId>& members);
+
+  /// Handles a member joining: re-assigns an equal share of partitions to
+  /// it and returns the migrations required (data copies from the current
+  /// owner to the new member). The table is updated in place.
+  std::vector<Migration> AddMember(MemberId member);
+
+  /// Handles a member failing: promotes backups to primary for partitions
+  /// whose primary was on `member` (Fig. 6) and appoints replacement
+  /// backups. Returns the migrations needed to re-create lost replicas
+  /// (destination = the member that must receive a fresh copy, source = the
+  /// member that now holds the primary).
+  std::vector<Migration> RemoveMember(MemberId member);
+
+  /// Member holding the primary replica of `partition`.
+  MemberId PrimaryFor(PartitionId partition) const;
+
+  /// Member holding the `replica_index`-th replica (0 = primary) or
+  /// kInvalidMember if that replica is currently unassigned.
+  MemberId ReplicaFor(PartitionId partition, int32_t replica_index) const;
+
+  /// All partitions whose primary is on `member`.
+  std::vector<PartitionId> PrimariesOf(MemberId member) const;
+
+  /// All partitions with any replica on `member`.
+  std::vector<PartitionId> ReplicasOf(MemberId member) const;
+
+  /// Current members, in join order.
+  const std::vector<MemberId>& members() const { return members_; }
+
+  int32_t partition_count() const { return partition_count_; }
+  int32_t backup_count() const { return backup_count_; }
+
+  /// Monotonic version, bumped on every membership change. Lets caches
+  /// detect staleness.
+  int64_t version() const { return version_; }
+
+  /// Validates internal invariants: every partition has a primary, no
+  /// member appears twice in one replica chain. Used by tests.
+  Status Validate() const;
+
+ private:
+  // Fills unassigned (kInvalidMember) backup slots, preferring the members
+  // with the fewest replicas, never duplicating a member within a chain.
+  // Appends a migration (from the partition's primary) for each fill.
+  void FillBackupSlots(std::vector<Migration>* migrations);
+
+  int32_t ReplicaCountOf(MemberId member) const;
+
+  int32_t partition_count_;
+  int32_t backup_count_;
+  int64_t version_ = 0;
+  std::vector<MemberId> members_;
+  // replicas_[p] has backup_count_+1 entries: [primary, backup1, ...].
+  std::vector<std::vector<MemberId>> replicas_;
+};
+
+}  // namespace jet::imdg
+
+#endif  // JETSIM_IMDG_PARTITION_TABLE_H_

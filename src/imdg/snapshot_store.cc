@@ -1,0 +1,107 @@
+#include "imdg/snapshot_store.h"
+
+#include "imdg/imap.h"
+
+namespace jet::imdg {
+
+namespace {
+constexpr char kMetaMap[] = "__snapshot.meta";
+}  // namespace
+
+SnapshotStore::SnapshotStore(DataGrid* grid) : grid_(grid) {}
+
+std::string SnapshotStore::MapNameFor(JobId job, SnapshotId snapshot) {
+  return "__snapshot." + std::to_string(job) + "." + std::to_string(snapshot % 2);
+}
+
+Bytes SnapshotStore::EncodeEntryKey(int32_t vertex_id, int32_t writer_index,
+                                    const Bytes& key) {
+  BytesWriter w;
+  w.WriteVarU64(static_cast<uint64_t>(vertex_id));
+  w.WriteVarU64(static_cast<uint64_t>(writer_index));
+  w.WriteBytes(key);
+  return w.Take();
+}
+
+Status SnapshotStore::DecodeEntryKey(const Bytes& raw, int32_t* vertex_id,
+                                     int32_t* writer_index, Bytes* key) {
+  BytesReader r(raw);
+  uint64_t v = 0;
+  JET_RETURN_IF_ERROR(r.ReadVarU64(&v));
+  *vertex_id = static_cast<int32_t>(v);
+  JET_RETURN_IF_ERROR(r.ReadVarU64(&v));
+  *writer_index = static_cast<int32_t>(v);
+  return r.ReadBytes(key);
+}
+
+Status SnapshotStore::WriteEntry(JobId job, SnapshotId snapshot,
+                                 const SnapshotStateEntry& entry) {
+  // The entry is placed in the partition of its state key so restore can
+  // read exactly the partitions a processor owns. key_hash is persisted in
+  // the value envelope.
+  PartitionId partition =
+      PartitionForHash(entry.key_hash, grid_->partition_count());
+  BytesWriter value;
+  value.WriteU64(entry.key_hash);
+  value.WriteBytes(entry.value);
+  return grid_->PutInPartition(
+      MapNameFor(job, snapshot), partition,
+      EncodeEntryKey(entry.vertex_id, entry.writer_index, entry.key), value.Take());
+}
+
+Status SnapshotStore::Commit(JobId job, SnapshotId snapshot) {
+  IMap<int64_t, int64_t> meta(grid_, kMetaMap);
+  JET_RETURN_IF_ERROR(meta.Put(job, snapshot));
+  // Clear the other alternating map so the next snapshot starts clean.
+  grid_->Clear(MapNameFor(job, snapshot + 1));
+  return Status::OK();
+}
+
+Result<std::optional<SnapshotId>> SnapshotStore::LastCommitted(JobId job) const {
+  IMap<int64_t, int64_t> meta(grid_, kMetaMap);
+  return meta.Get(job);
+}
+
+Status SnapshotStore::ReadEntries(
+    JobId job, SnapshotId snapshot, int32_t vertex_id, PartitionId partition,
+    const std::function<void(SnapshotStateEntry)>& fn) const {
+  Status status = Status::OK();
+  grid_->ForEachInPartition(
+      MapNameFor(job, snapshot), partition,
+      [&](const Bytes& raw_key, const Bytes& raw_value) {
+        if (!status.ok()) return;
+        SnapshotStateEntry entry;
+        Status s = DecodeEntryKey(raw_key, &entry.vertex_id, &entry.writer_index, &entry.key);
+        if (!s.ok()) {
+          status = s;
+          return;
+        }
+        if (entry.vertex_id != vertex_id) return;
+        BytesReader r(raw_value);
+        s = r.ReadU64(&entry.key_hash);
+        if (s.ok()) s = r.ReadBytes(&entry.value);
+        if (!s.ok()) {
+          status = s;
+          return;
+        }
+        fn(std::move(entry));
+      });
+  return status;
+}
+
+int64_t SnapshotStore::EntryCount(JobId job, SnapshotId snapshot) const {
+  return grid_->Size(MapNameFor(job, snapshot));
+}
+
+void SnapshotStore::ClearInFlight(JobId job, SnapshotId next_snapshot) {
+  grid_->Clear(MapNameFor(job, next_snapshot));
+}
+
+void SnapshotStore::DeleteJob(JobId job) {
+  grid_->Destroy(MapNameFor(job, 0));
+  grid_->Destroy(MapNameFor(job, 1));
+  IMap<int64_t, int64_t> meta(grid_, kMetaMap);
+  meta.Remove(job);
+}
+
+}  // namespace jet::imdg

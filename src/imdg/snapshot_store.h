@@ -1,0 +1,92 @@
+#ifndef JETSIM_IMDG_SNAPSHOT_STORE_H_
+#define JETSIM_IMDG_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "imdg/grid.h"
+
+namespace jet::imdg {
+
+/// Identifies a job.
+using JobId = int64_t;
+
+/// Identifies a snapshot of a job; ids are assigned in increasing order.
+using SnapshotId = int64_t;
+
+/// One piece of processor state captured in a snapshot: the state of key
+/// `key` of vertex `vertex_id`. The entry is stored in the grid partition
+/// that `key_hash` maps to, so snapshot locality matches processing
+/// locality (§2.4).
+struct SnapshotStateEntry {
+  int32_t vertex_id = 0;
+  /// Global index of the processor instance that wrote the entry. Part of
+  /// the storage key: several instances may hold partial state for the
+  /// same logical key (two-stage aggregation), and restore combines them.
+  int32_t writer_index = 0;
+  uint64_t key_hash = 0;
+  Bytes key;
+  Bytes value;
+};
+
+/// Stores job state snapshots in the data grid (§4.4).
+///
+/// Entries of snapshot S of job J live in an IMap named
+/// "__snapshot.<J>.<S % 2>" — like Jet, two alternating maps per job are
+/// kept so a failed in-flight snapshot never corrupts the last committed
+/// one. A small metadata map records the id of the last committed snapshot.
+class SnapshotStore {
+ public:
+  /// Binds to `grid`; the grid must outlive the store.
+  explicit SnapshotStore(DataGrid* grid);
+
+  /// Writes one state entry of an in-flight snapshot.
+  Status WriteEntry(JobId job, SnapshotId snapshot, const SnapshotStateEntry& entry);
+
+  /// Marks `snapshot` as the committed snapshot of `job`; the previous
+  /// snapshot's map is cleared for reuse.
+  Status Commit(JobId job, SnapshotId snapshot);
+
+  /// Id of the last committed snapshot of `job`, or std::nullopt.
+  Result<std::optional<SnapshotId>> LastCommitted(JobId job) const;
+
+  /// Streams all committed-state entries of `vertex_id` that live in grid
+  /// partition `partition` to `fn`. Used on restore: each processor reads
+  /// only the partitions it owns.
+  Status ReadEntries(JobId job, SnapshotId snapshot, int32_t vertex_id,
+                     PartitionId partition,
+                     const std::function<void(SnapshotStateEntry)>& fn) const;
+
+  /// Total entries in the given snapshot (all vertices).
+  int64_t EntryCount(JobId job, SnapshotId snapshot) const;
+
+  /// Drops all snapshot data of `job`.
+  void DeleteJob(JobId job);
+
+  /// Clears leftovers of an aborted in-flight snapshot: call with the id
+  /// the restarted execution will use next, so stale entries written by the
+  /// failed attempt cannot leak into the new attempt's first snapshot
+  /// (the two snapshot maps alternate by parity).
+  void ClearInFlight(JobId job, SnapshotId next_snapshot);
+
+  /// Name of the IMap holding snapshot `snapshot` of `job` (two alternating
+  /// maps per job).
+  static std::string MapNameFor(JobId job, SnapshotId snapshot);
+
+ private:
+  static Bytes EncodeEntryKey(int32_t vertex_id, int32_t writer_index, const Bytes& key);
+  static Status DecodeEntryKey(const Bytes& raw, int32_t* vertex_id, int32_t* writer_index,
+                               Bytes* key);
+
+  DataGrid* grid_;
+};
+
+}  // namespace jet::imdg
+
+#endif  // JETSIM_IMDG_SNAPSHOT_STORE_H_

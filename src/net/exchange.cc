@@ -1,0 +1,232 @@
+#include "net/exchange.h"
+
+#include <cassert>
+
+namespace jet::net {
+
+std::shared_ptr<ExchangeChannel> ExchangeRegistry::GetOrCreate(int32_t edge_index,
+                                                               int32_t from_node,
+                                                               int32_t to_node) {
+  std::scoped_lock lock(mutex_);
+  auto key = std::make_tuple(edge_index, from_node, to_node);
+  auto it = channels_.find(key);
+  if (it != channels_.end()) return it->second;
+  auto channel = std::make_shared<ExchangeChannel>();
+  channel->data_channel = network_->OpenChannel();
+  channel->ack_channel = network_->OpenChannel();
+  channels_[key] = channel;
+  return channel;
+}
+
+// ---------------------------------------------------------------------------
+// SenderProcessor
+// ---------------------------------------------------------------------------
+
+SenderProcessor::SenderProcessor(Network* network,
+                                 std::shared_ptr<ExchangeChannel> channel,
+                                 int32_t max_batch)
+    : network_(network), channel_(std::move(channel)), max_batch_(max_batch) {}
+
+void SenderProcessor::Process(int ordinal, core::Inbox* inbox) {
+  (void)ordinal;
+  std::vector<core::Item> batch;
+  while (!inbox->Empty() && static_cast<int32_t>(batch.size()) < max_batch_ &&
+         channel_->flow->MaySend(sent_seq_)) {
+    batch.push_back(inbox->Poll());
+    ++sent_seq_;
+  }
+  // Items beyond the receive window stay in the inbox; the queues behind it
+  // fill up and backpressure reaches the producers (§3.3).
+  if (!batch.empty()) SendBatch(std::move(batch));
+}
+
+bool SenderProcessor::TryProcessWatermark(Nanos wm) {
+  // Control items bypass the window: they are few and must not deadlock
+  // behind it.
+  std::vector<core::Item> batch;
+  batch.push_back(core::Item::WatermarkAt(wm));
+  SendBatch(std::move(batch));
+  return true;
+}
+
+bool SenderProcessor::OnSnapshotCompleted(int64_t snapshot_id) {
+  std::vector<core::Item> batch;
+  batch.push_back(core::Item::BarrierFor(snapshot_id));
+  SendBatch(std::move(batch));
+  return true;
+}
+
+bool SenderProcessor::Complete() {
+  if (!done_sent_) {
+    std::vector<core::Item> batch;
+    batch.push_back(core::Item::Done());
+    SendBatch(std::move(batch));
+    done_sent_ = true;
+  }
+  return true;
+}
+
+void SenderProcessor::SendBatch(std::vector<core::Item>&& batch) {
+  auto wire = channel_->wire;
+  network_->Send(channel_->data_channel,
+                 [wire, b = std::move(batch)]() mutable { wire->Push(std::move(b)); });
+}
+
+// ---------------------------------------------------------------------------
+// ReceiverProcessor
+// ---------------------------------------------------------------------------
+
+ReceiverProcessor::ReceiverProcessor(Network* network,
+                                     std::shared_ptr<ExchangeChannel> channel,
+                                     ReceiveWindowController::Options window_options)
+    : network_(network), channel_(std::move(channel)), window_ctl_(window_options) {}
+
+bool ReceiverProcessor::Complete() {
+  if (staged_.empty() && !saw_done_) channel_->wire->Drain(&staged_, 256);
+  bool blocked = false;
+  while (!staged_.empty()) {
+    core::Item& item = staged_.front();
+    if (item.IsDone()) {
+      saw_done_ = true;
+      staged_.pop_front();
+      continue;
+    }
+    const bool is_data = item.IsData();
+    if (!ctx()->outbox->OfferToAll(item)) {
+      blocked = true;  // downstream full; retry later
+      break;
+    }
+    if (is_data) ++forwarded_seq_;
+    staged_.pop_front();
+  }
+  // Periodically ack our progress so the sender's window slides (§3.3).
+  int64_t limit = window_ctl_.MaybeAck(ctx()->clock->Now(), forwarded_seq_);
+  if (limit >= 0) {
+    auto flow = channel_->flow;
+    network_->Send(channel_->ack_channel, [flow, limit]() { flow->OnAck(limit); });
+  }
+  return !blocked && saw_done_ && staged_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// NetworkEdgeFactory
+// ---------------------------------------------------------------------------
+
+NetworkEdgeFactory::NetworkEdgeFactory(ExchangeRegistry* registry, const core::Dag* dag,
+                                       core::NodeInfo node,
+                                       const core::JobConfig& config,
+                                       int32_t default_local_parallelism,
+                                       const Clock* clock,
+                                       const std::atomic<bool>* cancelled,
+                                       core::SnapshotControl* snapshot_control)
+    : registry_(registry),
+      dag_(dag),
+      node_(node),
+      config_(config),
+      default_local_parallelism_(default_local_parallelism),
+      clock_(clock),
+      cancelled_(cancelled),
+      snapshot_control_(snapshot_control) {}
+
+int32_t NetworkEdgeFactory::EdgeIndexOf(const core::Edge& e) const {
+  return static_cast<int32_t>(&e - dag_->edges().data());
+}
+
+int32_t NetworkEdgeFactory::LocalParallelismOf(core::VertexId v) const {
+  int32_t p = dag_->vertex(v).local_parallelism;
+  return p == -1 ? default_local_parallelism_ : p;
+}
+
+core::ProcessorContext NetworkEdgeFactory::MakeContext(core::VertexId vertex) const {
+  core::ProcessorContext ctx;
+  ctx.meta.node_id = node_.node_id;
+  ctx.meta.node_count = node_.node_count;
+  ctx.clock = clock_;
+  ctx.config = config_;
+  ctx.cancelled = cancelled_;
+  ctx.vertex_id = vertex;
+  return ctx;
+}
+
+core::RemoteSink NetworkEdgeFactory::SenderFor(const core::Edge& e, int32_t dest_node,
+                                               int32_t producer_local_index) {
+  int32_t ei = EdgeIndexOf(e);
+  auto& queues = sender_queues_[{ei, dest_node}];
+  while (static_cast<int32_t>(queues.size()) <= producer_local_index) {
+    queues.push_back(
+        std::make_shared<core::ItemQueue>(static_cast<size_t>(e.queue_size)));
+  }
+  auto queue = queues[static_cast<size_t>(producer_local_index)];
+  return [queue](const core::Item& item) {
+    core::Item copy = item;
+    return queue->TryPush(copy);
+  };
+}
+
+std::vector<core::ItemQueuePtr> NetworkEdgeFactory::ReceiverQueuesFor(
+    const core::Edge& e, int32_t consumer_local_index) {
+  int32_t ei = EdgeIndexOf(e);
+  std::vector<core::ItemQueuePtr> result;
+  for (int32_t from = 0; from < node_.node_count; ++from) {
+    if (from == node_.node_id) continue;
+    auto& queues = receiver_queues_[{ei, from}];
+    while (static_cast<int32_t>(queues.size()) <= consumer_local_index) {
+      queues.push_back(
+          std::make_shared<core::ItemQueue>(static_cast<size_t>(e.queue_size)));
+    }
+    result.push_back(queues[static_cast<size_t>(consumer_local_index)]);
+  }
+  return result;
+}
+
+std::vector<std::unique_ptr<core::ProcessorTasklet>> NetworkEdgeFactory::TakeTasklets() {
+  std::vector<std::unique_ptr<core::ProcessorTasklet>> tasklets;
+  Network* network = registry_->network();
+
+  for (auto& [key, queues] : sender_queues_) {
+    auto [edge_index, dest_node] = key;
+    const core::Edge& e = dag_->edges()[static_cast<size_t>(edge_index)];
+    auto channel = registry_->GetOrCreate(edge_index, node_.node_id, dest_node);
+    auto processor = std::make_unique<SenderProcessor>(network, channel);
+
+    core::InboundStream stream;
+    stream.ordinal = 0;
+    stream.priority = 0;
+    for (auto& q : queues) {
+      core::InboundQueue iq;
+      iq.queue = q;
+      stream.queues.push_back(std::move(iq));
+    }
+    std::vector<core::InboundStream> inputs;
+    inputs.push_back(std::move(stream));
+
+    std::string name = "sender:e" + std::to_string(edge_index) + "->n" +
+                       std::to_string(dest_node) + "@n" + std::to_string(node_.node_id);
+    tasklets.push_back(std::make_unique<core::ProcessorTasklet>(
+        std::move(name), std::move(processor), MakeContext(e.source), std::move(inputs),
+        std::vector<core::OutboundCollector>{}, config_.guarantee, snapshot_control_));
+  }
+
+  for (auto& [key, queues] : receiver_queues_) {
+    auto [edge_index, from_node] = key;
+    const core::Edge& e = dag_->edges()[static_cast<size_t>(edge_index)];
+    auto channel = registry_->GetOrCreate(edge_index, from_node, node_.node_id);
+    auto processor = std::make_unique<ReceiverProcessor>(network, channel);
+
+    int32_t dest_local = LocalParallelismOf(e.dest);
+    std::vector<core::OutboundCollector> collectors;
+    collectors.emplace_back(e.routing, queues, std::vector<core::RemoteSink>{},
+                            node_.node_count * dest_local, node_.node_count,
+                            node_.node_id, /*isolated_index=*/-1);
+
+    std::string name = "receiver:e" + std::to_string(edge_index) + "<-n" +
+                       std::to_string(from_node) + "@n" + std::to_string(node_.node_id);
+    tasklets.push_back(std::make_unique<core::ProcessorTasklet>(
+        std::move(name), std::move(processor), MakeContext(e.dest),
+        std::vector<core::InboundStream>{}, std::move(collectors), config_.guarantee,
+        snapshot_control_));
+  }
+  return tasklets;
+}
+
+}  // namespace jet::net

@@ -1,0 +1,178 @@
+#ifndef JETSIM_NET_EXCHANGE_H_
+#define JETSIM_NET_EXCHANGE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/execution_plan.h"
+#include "core/processor.h"
+#include "core/tasklet.h"
+#include "net/flow_control.h"
+#include "net/network.h"
+
+namespace jet::net {
+
+/// Thread-safe inbound buffer of a network receiver; the network delivery
+/// thread pushes item batches, the receiver tasklet drains them.
+class WireBuffer {
+ public:
+  void Push(std::vector<core::Item>&& batch) {
+    std::scoped_lock lock(mutex_);
+    for (auto& item : batch) items_.push_back(std::move(item));
+  }
+
+  /// Moves up to `limit` items into `out`; returns the number moved.
+  size_t Drain(std::deque<core::Item>* out, size_t limit) {
+    std::scoped_lock lock(mutex_);
+    size_t n = 0;
+    while (n < limit && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
+  size_t Size() const {
+    std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<core::Item> items_;
+};
+
+/// Rendezvous state of one directed network hop of one distributed edge:
+/// sender on `from` node, receiver on `to` node.
+struct ExchangeChannel {
+  std::shared_ptr<WireBuffer> wire = std::make_shared<WireBuffer>();
+  std::shared_ptr<SenderFlowState> flow = std::make_shared<SenderFlowState>();
+  ChannelId data_channel = 0;
+  ChannelId ack_channel = 0;
+};
+
+/// Registry shared by all nodes of one job execution, pairing senders with
+/// receivers. Thread-safe.
+class ExchangeRegistry {
+ public:
+  explicit ExchangeRegistry(Network* network) : network_(network) {}
+
+  /// Returns (creating on first use) the channel of (edge, from, to).
+  std::shared_ptr<ExchangeChannel> GetOrCreate(int32_t edge_index, int32_t from_node,
+                                               int32_t to_node);
+
+  Network* network() const { return network_; }
+
+ private:
+  Network* network_;
+  std::mutex mutex_;
+  std::map<std::tuple<int32_t, int32_t, int32_t>, std::shared_ptr<ExchangeChannel>>
+      channels_;
+};
+
+/// The sender-side exchange operator (§3.1): consumes the items the local
+/// producers routed to one remote node and ships them over the network,
+/// subject to the adaptive receive window (§3.3). Watermarks, snapshot
+/// barriers and completion all travel through the same FIFO channel. The
+/// hosting ProcessorTasklet performs the per-producer watermark coalescing
+/// and exactly-once barrier alignment before this processor sees anything.
+class SenderProcessor final : public core::Processor {
+ public:
+  SenderProcessor(Network* network, std::shared_ptr<ExchangeChannel> channel,
+                  int32_t max_batch = 64);
+
+  void Process(int ordinal, core::Inbox* inbox) override;
+  bool TryProcessWatermark(Nanos wm) override;
+  bool OnSnapshotCompleted(int64_t snapshot_id) override;
+  bool Complete() override;
+
+  int64_t items_sent() const { return sent_seq_; }
+
+ private:
+  void SendBatch(std::vector<core::Item>&& batch);
+
+  Network* network_;
+  std::shared_ptr<ExchangeChannel> channel_;
+  int32_t max_batch_;
+  int64_t sent_seq_ = 0;
+  bool done_sent_ = false;
+};
+
+/// The receiver-side exchange operator: drains the wire buffer, re-emits
+/// data and control items to the local consumer queues, and acknowledges
+/// progress every ack interval so the sender's window advances (§3.3).
+/// Runs as an input-less tasklet but does NOT initiate snapshots — it
+/// forwards the barriers that arrive on the wire.
+class ReceiverProcessor final : public core::Processor {
+ public:
+  ReceiverProcessor(Network* network, std::shared_ptr<ExchangeChannel> channel,
+                    ReceiveWindowController::Options window_options = {});
+
+  bool Complete() override;
+  bool InitiatesSnapshots() const override { return false; }
+
+  int64_t items_forwarded() const { return forwarded_seq_; }
+  int64_t current_window() const { return window_ctl_.window(); }
+
+ private:
+  Network* network_;
+  std::shared_ptr<ExchangeChannel> channel_;
+  ReceiveWindowController window_ctl_;
+  std::deque<core::Item> staged_;
+  int64_t forwarded_seq_ = 0;
+  bool saw_done_ = false;
+};
+
+/// Builds the cross-node plumbing for one node of a multi-node execution:
+/// implements core::RemoteEdgeFactory for ExecutionPlan::Build, then
+/// `TakeTasklets()` returns the sender/receiver tasklets to schedule
+/// alongside the plan's own.
+class NetworkEdgeFactory final : public core::RemoteEdgeFactory {
+ public:
+  /// `registry` is shared by all nodes of the execution. `dag` must
+  /// outlive the factory. `snapshot_control` is the node's control block
+  /// (may be null without a guarantee).
+  NetworkEdgeFactory(ExchangeRegistry* registry, const core::Dag* dag,
+                     core::NodeInfo node, const core::JobConfig& config,
+                     int32_t default_local_parallelism, const Clock* clock,
+                     const std::atomic<bool>* cancelled,
+                     core::SnapshotControl* snapshot_control);
+
+  core::RemoteSink SenderFor(const core::Edge& e, int32_t dest_node,
+                             int32_t producer_local_index) override;
+
+  std::vector<core::ItemQueuePtr> ReceiverQueuesFor(
+      const core::Edge& e, int32_t consumer_local_index) override;
+
+  /// Builds and returns all sender/receiver tasklets. Call exactly once,
+  /// after ExecutionPlan::Build.
+  std::vector<std::unique_ptr<core::ProcessorTasklet>> TakeTasklets();
+
+ private:
+  int32_t EdgeIndexOf(const core::Edge& e) const;
+  int32_t LocalParallelismOf(core::VertexId v) const;
+  core::ProcessorContext MakeContext(core::VertexId vertex) const;
+
+  ExchangeRegistry* registry_;
+  const core::Dag* dag_;
+  core::NodeInfo node_;
+  core::JobConfig config_;
+  int32_t default_local_parallelism_;
+  const Clock* clock_;
+  const std::atomic<bool>* cancelled_;
+  core::SnapshotControl* snapshot_control_;
+
+  // (edge_index, dest_node) -> per-producer queues feeding the sender.
+  std::map<std::pair<int32_t, int32_t>, std::vector<core::ItemQueuePtr>> sender_queues_;
+  // (edge_index, from_node) -> per-consumer-instance queues the receiver
+  // fills.
+  std::map<std::pair<int32_t, int32_t>, std::vector<core::ItemQueuePtr>> receiver_queues_;
+};
+
+}  // namespace jet::net
+
+#endif  // JETSIM_NET_EXCHANGE_H_

@@ -1,0 +1,87 @@
+#ifndef JETSIM_NET_FLOW_CONTROL_H_
+#define JETSIM_NET_FLOW_CONTROL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/clock.h"
+
+namespace jet::net {
+
+/// Sender-side state of the paper's adaptive receive-window protocol
+/// (§3.3): "the producer must wait for an acknowledgment from the consumer
+/// specifying how many data items the producer can send. After processing
+/// item n, the receiver sends a message that the sender can send up to item
+/// n + receive_window."
+///
+/// `send_limit` is updated by ack messages arriving on the network thread;
+/// the sender thread reads it lock-free.
+struct SenderFlowState {
+  std::atomic<int64_t> send_limit{0};
+
+  /// Applies an ack carrying a new limit (monotonic).
+  void OnAck(int64_t new_limit) {
+    int64_t cur = send_limit.load(std::memory_order_relaxed);
+    while (new_limit > cur &&
+           !send_limit.compare_exchange_weak(cur, new_limit, std::memory_order_release)) {
+    }
+  }
+
+  /// True when `sent_seq` may still be sent.
+  bool MaySend(int64_t sent_seq) const {
+    return sent_seq < send_limit.load(std::memory_order_acquire);
+  }
+};
+
+/// Receiver-side window sizing (§3.3): the consumer acks every
+/// `ack_interval` (100 ms in the paper) and "calculates the size of the
+/// receive_window based on the rate of event processing ... In stable
+/// state the receive_window contains roughly 300 milliseconds' worth of
+/// data", i.e. window = window_multiplier * items processed per ack period.
+class ReceiveWindowController {
+ public:
+  struct Options {
+    Nanos ack_interval = 100 * kNanosPerMilli;
+    /// Window as a multiple of per-ack-period throughput (300ms / 100ms).
+    double window_multiplier = 3.0;
+    int64_t min_window = 1024;
+    int64_t max_window = 1 << 22;
+  };
+
+  ReceiveWindowController() : ReceiveWindowController(Options{}) {}
+  explicit ReceiveWindowController(Options options) : options_(options) {}
+
+  /// Called by the receiver after forwarding items downstream; returns the
+  /// new send limit to ack, or -1 if it is not yet time to ack.
+  int64_t MaybeAck(Nanos now, int64_t processed_seq) {
+    if (last_ack_time_ >= 0 && now - last_ack_time_ < options_.ack_interval) return -1;
+    int64_t processed_delta = processed_seq - processed_at_last_ack_;
+    if (last_ack_time_ >= 0) {
+      double periods = static_cast<double>(now - last_ack_time_) /
+                       static_cast<double>(options_.ack_interval);
+      if (periods > 0) {
+        auto throughput_window = static_cast<int64_t>(
+            options_.window_multiplier * static_cast<double>(processed_delta) / periods);
+        window_ = std::clamp(throughput_window, options_.min_window, options_.max_window);
+      }
+    }
+    last_ack_time_ = now;
+    processed_at_last_ack_ = processed_seq;
+    return processed_seq + window_;
+  }
+
+  int64_t window() const { return window_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Nanos last_ack_time_ = -1;
+  int64_t processed_at_last_ack_ = 0;
+  int64_t window_ = 1024;  // initial window until the first measurement
+};
+
+}  // namespace jet::net
+
+#endif  // JETSIM_NET_FLOW_CONTROL_H_

@@ -1,0 +1,78 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace jet::net {
+
+Network::Network(LinkModel link, uint64_t seed) : link_(link), rng_(seed) {
+  delivery_thread_ = std::thread([this]() { DeliveryLoop(); });
+}
+
+Network::~Network() { Shutdown(); }
+
+ChannelId Network::OpenChannel() {
+  std::scoped_lock lock(mutex_);
+  return next_channel_++;
+}
+
+void Network::Send(ChannelId channel, std::function<void()> deliver) {
+  std::scoped_lock lock(mutex_);
+  if (shutdown_) return;
+  Nanos due = clock_.Now() + link_.Sample(&rng_);
+  // FIFO per channel: never schedule before the channel's previous message.
+  auto [it, inserted] = channel_last_due_.try_emplace(channel, due);
+  if (!inserted) {
+    due = std::max(due, it->second);
+    it->second = due;
+  }
+  queue_.push(Delivery{due, next_seq_++, std::move(deliver)});
+  cv_.notify_one();
+}
+
+void Network::Shutdown() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (shutdown_) {
+      // Already requested; fall through to join below.
+    }
+    shutdown_ = true;
+    cv_.notify_all();
+  }
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+}
+
+int64_t Network::delivered_count() const {
+  std::scoped_lock lock(mutex_);
+  return delivered_;
+}
+
+void Network::set_link(LinkModel link) {
+  std::scoped_lock lock(mutex_);
+  link_ = link;
+}
+
+void Network::DeliveryLoop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (shutdown_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      continue;
+    }
+    Nanos now = clock_.Now();
+    const Delivery& next = queue_.top();
+    if (next.due > now) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(next.due - now));
+      continue;
+    }
+    // Move the closure out before unlocking.
+    auto fn = std::move(const_cast<Delivery&>(next).fn);
+    queue_.pop();
+    ++delivered_;
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+}  // namespace jet::net

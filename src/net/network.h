@@ -1,0 +1,100 @@
+#ifndef JETSIM_NET_NETWORK_H_
+#define JETSIM_NET_NETWORK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace jet::net {
+
+/// Latency model of one network link. Real deployments of the paper run on
+/// EC2 (c5.4xlarge); intra-VPC RTTs are ~100-500us. The jitter term makes
+/// tail-latency effects observable.
+struct LinkModel {
+  Nanos base_latency = 100 * kNanosPerMicro;
+  Nanos jitter = 20 * kNanosPerMicro;  // uniform in [0, jitter)
+
+  Nanos Sample(Rng* rng) const {
+    return base_latency +
+           (jitter > 0 ? static_cast<Nanos>(rng->NextBounded(static_cast<uint64_t>(jitter)))
+                       : 0);
+  }
+};
+
+/// Identifier of a FIFO channel between two endpoints. Deliveries on one
+/// channel never reorder (TCP-like semantics), which the snapshot barrier
+/// protocol depends on.
+using ChannelId = int64_t;
+
+/// In-process message network connecting the nodes of a cluster.
+///
+/// A message is an arbitrary closure executed on the delivery thread after
+/// the link latency elapses. Per-channel FIFO is enforced by never
+/// scheduling a delivery earlier than the channel's previous one. The
+/// closure should only move data into a thread-safe buffer and return
+/// quickly.
+class Network {
+ public:
+  explicit Network(LinkModel link = LinkModel{}, uint64_t seed = 42);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Allocates a new FIFO channel.
+  ChannelId OpenChannel();
+
+  /// Schedules `deliver` to run after the sampled link latency, in FIFO
+  /// order with previous sends on `channel`.
+  void Send(ChannelId channel, std::function<void()> deliver);
+
+  /// Stops the delivery thread; undelivered messages are dropped (used to
+  /// model node/network failure at shutdown).
+  void Shutdown();
+
+  /// Messages delivered so far.
+  int64_t delivered_count() const;
+
+  /// Sets the latency model for subsequent sends.
+  void set_link(LinkModel link);
+
+ private:
+  struct Delivery {
+    Nanos due;
+    int64_t seq;  // tie-break: preserves send order for equal due times
+    std::function<void()> fn;
+  };
+  struct DeliveryLater {
+    bool operator()(const Delivery& a, const Delivery& b) const {
+      return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+    }
+  };
+
+  void DeliveryLoop();
+
+  WallClock clock_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Delivery, std::vector<Delivery>, DeliveryLater> queue_;
+  std::unordered_map<ChannelId, Nanos> channel_last_due_;
+  LinkModel link_;
+  Rng rng_;
+  ChannelId next_channel_ = 1;
+  int64_t next_seq_ = 0;
+  int64_t delivered_ = 0;
+  bool shutdown_ = false;
+  std::thread delivery_thread_;
+};
+
+}  // namespace jet::net
+
+#endif  // JETSIM_NET_NETWORK_H_

@@ -1,0 +1,84 @@
+#ifndef JETSIM_NEXMARK_GENERATOR_H_
+#define JETSIM_NEXMARK_GENERATOR_H_
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/processors_basic.h"
+#include "nexmark/model.h"
+
+namespace jet::nexmark {
+
+/// Configuration of the NEXMark workload, defaulted to the paper's §7.1
+/// setup: "10 thousand distinct keys that correspond to persons and
+/// auctions; we generate 1M records per second, by drawing keys randomly".
+struct GeneratorConfig {
+  /// Distinct person ids.
+  int64_t people = 10'000;
+  /// Distinct auction ids.
+  int64_t auctions = 10'000;
+  /// Out of every `total_proportion` events: 1 person, 3 auctions, rest
+  /// bids (Beam's default 1:3:46).
+  int32_t person_proportion = 1;
+  int32_t auction_proportion = 3;
+  int32_t total_proportion = 50;
+  /// Seed mixed into every derived pseudo-random draw.
+  uint64_t seed = 0x5EEDBA5EULL;
+};
+
+/// Deterministically derives the NEXMark event with global sequence number
+/// `seq`. Being a pure function of (config, seq), replay after recovery
+/// regenerates identical events — the replayable-source property of §4.5.
+inline Event MakeEvent(const GeneratorConfig& config, int64_t seq) {
+  Event event;
+  const uint64_t h = HashU64(static_cast<uint64_t>(seq) * 0x9E3779B97F4A7C15ULL ^
+                             config.seed);
+  const auto r = static_cast<int32_t>(seq % config.total_proportion);
+  if (r < config.person_proportion) {
+    event.kind = EventKind::kPerson;
+    event.person.id = static_cast<int64_t>(h % static_cast<uint64_t>(config.people));
+    event.person.state = static_cast<int32_t>((h >> 16) % kStates);
+    event.person.city = static_cast<int32_t>((h >> 24) % 1000);
+  } else if (r < config.person_proportion + config.auction_proportion) {
+    event.kind = EventKind::kAuction;
+    event.auction.id = static_cast<int64_t>(h % static_cast<uint64_t>(config.auctions));
+    event.auction.seller =
+        static_cast<int64_t>((h >> 13) % static_cast<uint64_t>(config.people));
+    event.auction.category = static_cast<int32_t>((h >> 29) % kCategories);
+    event.auction.initial_bid = 100 + static_cast<int64_t>((h >> 33) % 1000);
+    event.auction.expires = 0;  // filled by callers that need event time
+  } else {
+    event.kind = EventKind::kBid;
+    event.bid.auction = static_cast<int64_t>(h % static_cast<uint64_t>(config.auctions));
+    event.bid.bidder =
+        static_cast<int64_t>((h >> 13) % static_cast<uint64_t>(config.people));
+    event.bid.price = 100 + static_cast<int64_t>((h >> 29) % 10'000);
+  }
+  return event;
+}
+
+/// Routing hash of an event: the id of its primary entity.
+inline uint64_t EventKeyHash(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kPerson:
+      return HashU64(static_cast<uint64_t>(e.person.id));
+    case EventKind::kAuction:
+      return HashU64(static_cast<uint64_t>(e.auction.id));
+    case EventKind::kBid:
+      return HashU64(static_cast<uint64_t>(e.bid.auction));
+  }
+  return 0;
+}
+
+/// GenFn adapter for GeneratorSourceP<Event>.
+inline core::GeneratorSourceP<Event>::GenFn MakeEventGenFn(GeneratorConfig config) {
+  return [config](int64_t seq) {
+    Event e = MakeEvent(config, seq);
+    return std::make_pair(e, EventKeyHash(e));
+  };
+}
+
+}  // namespace jet::nexmark
+
+#endif  // JETSIM_NEXMARK_GENERATOR_H_

@@ -1,0 +1,54 @@
+#ifndef JETSIM_NEXMARK_MODEL_H_
+#define JETSIM_NEXMARK_MODEL_H_
+
+#include <cstdint>
+
+namespace jet::nexmark {
+
+/// Kind of a NEXMark event. The benchmark models an online auction site
+/// with three entity streams [Tucker et al., NEXMark tech report].
+enum class EventKind : uint8_t { kPerson = 0, kAuction = 1, kBid = 2 };
+
+/// A person registering on the auction site (potential seller/bidder).
+struct Person {
+  int64_t id = 0;
+  int32_t state = 0;  ///< US state index [0, 50)
+  int32_t city = 0;
+};
+
+/// An item being auctioned.
+struct Auction {
+  int64_t id = 0;
+  int64_t seller = 0;   ///< Person id
+  int32_t category = 0; ///< [0, kCategories)
+  int64_t initial_bid = 0;
+  int64_t expires = 0;  ///< event-time of auction close (ns)
+};
+
+/// A bid on an auction.
+struct Bid {
+  int64_t auction = 0;  ///< Auction id
+  int64_t bidder = 0;   ///< Person id
+  int64_t price = 0;    ///< price in cents (USD)
+};
+
+/// One generated event (tagged union kept flat for cheap copies).
+struct Event {
+  EventKind kind = EventKind::kBid;
+  Person person;
+  Auction auction;
+  Bid bid;
+};
+
+/// Number of auction categories (Beam's generator uses 5).
+constexpr int32_t kCategories = 5;
+
+/// Number of US states a person can be in.
+constexpr int32_t kStates = 50;
+
+/// Dollar -> Euro conversion rate used by Q1 (matches Beam).
+constexpr double kDolToEur = 0.908;
+
+}  // namespace jet::nexmark
+
+#endif  // JETSIM_NEXMARK_MODEL_H_

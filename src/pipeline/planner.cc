@@ -1,0 +1,130 @@
+#include "pipeline/planner.h"
+
+#include <map>
+
+namespace jet::pipeline {
+
+namespace {
+
+// Returns, for every stateless node, the id of the chain head it fuses
+// into, or its own id when it starts a chain (or fusion is off).
+std::vector<int32_t> ComputeFusionHeads(const StageGraph& graph, bool enable_fusion) {
+  const auto& nodes = graph.nodes();
+  std::vector<int32_t> head(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) head[i] = static_cast<int32_t>(i);
+  if (!enable_fusion) return head;
+  // Nodes are in topological creation order, so a single pass suffices.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const StageNode& node = nodes[i];
+    if (node.kind != StageNode::Kind::kStateless) continue;
+    if (node.inputs.size() != 1) continue;
+    const StageNode::Input& in = node.inputs[0];
+    if (in.distributed || in.routing != core::RoutingPolicy::kUnicast) continue;
+    const StageNode& parent = graph.nodes()[static_cast<size_t>(in.node)];
+    if (parent.kind != StageNode::Kind::kStateless) continue;
+    if (graph.ConsumerCount(in.node) != 1) continue;
+    if (parent.local_parallelism != node.local_parallelism) continue;
+    head[i] = head[static_cast<size_t>(in.node)];
+  }
+  return head;
+}
+
+}  // namespace
+
+Result<core::Dag> BuildDag(const StageGraph& graph, const PlanOptions& options) {
+  const auto& nodes = graph.nodes();
+  if (nodes.empty()) return InvalidArgumentError("empty pipeline");
+
+  std::vector<int32_t> fusion_head = ComputeFusionHeads(graph, options.enable_fusion);
+
+  // Collect the transform chain of every fusion head.
+  std::map<int32_t, std::vector<ItemTransformFn>> chains;
+  std::map<int32_t, std::string> chain_names;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind != StageNode::Kind::kStateless) continue;
+    int32_t h = fusion_head[i];
+    chains[h].push_back(nodes[i].transform);
+    if (chain_names[h].empty()) {
+      chain_names[h] = nodes[i].name;
+    } else {
+      chain_names[h] += "+" + nodes[i].name;
+    }
+  }
+
+  core::Dag dag;
+  // Vertex each stage node maps to: for fused chains, all members map to
+  // the chain vertex. Aggregates map to (accumulate, combine): in_vertex
+  // receives the input edge, out_vertex feeds consumers.
+  struct VertexPair {
+    core::VertexId in = -1;
+    core::VertexId out = -1;
+  };
+  std::vector<VertexPair> vertex_of(nodes.size());
+
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const StageNode& node = nodes[i];
+    if (node.kind == StageNode::Kind::kStateless) {
+      int32_t h = fusion_head[i];
+      if (h != static_cast<int32_t>(i)) {
+        // Fused into an earlier chain; share its vertex.
+        vertex_of[i] = vertex_of[static_cast<size_t>(h)];
+        continue;
+      }
+      auto chain = chains[h];
+      core::VertexId v = dag.AddVertex(
+          chain_names[h],
+          [chain](const core::ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+            return std::make_unique<FusedStatelessP>(chain);
+          },
+          node.local_parallelism);
+      vertex_of[i] = {v, v};
+      continue;
+    }
+    if (node.kind == StageNode::Kind::kAggregate) {
+      core::VertexId acc =
+          dag.AddVertex(node.name + ".accumulate", node.supplier, node.local_parallelism);
+      core::VertexId comb =
+          dag.AddVertex(node.name + ".combine", node.supplier2, node.local_parallelism);
+      // The stage boundary of two-stage aggregation: partials travel over a
+      // distributed partitioned edge to the key's owner (§3.1).
+      auto& e = dag.AddEdge(acc, comb);
+      e.routing = core::RoutingPolicy::kPartitioned;
+      e.distributed = true;
+      vertex_of[i] = {acc, comb};
+      continue;
+    }
+    core::VertexId v = dag.AddVertex(node.name, node.supplier, node.local_parallelism);
+    vertex_of[i] = {v, v};
+  }
+
+  // Input edges. For fused chains, only the head's inputs materialize.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const StageNode& node = nodes[i];
+    if (node.kind == StageNode::Kind::kStateless &&
+        fusion_head[i] != static_cast<int32_t>(i)) {
+      continue;  // internal to a fused chain
+    }
+    for (const StageNode::Input& in : node.inputs) {
+      if (in.node < 0 || in.node >= static_cast<int32_t>(nodes.size())) {
+        return InvalidArgumentError("stage '" + node.name +
+                                    "' references an unknown input stage");
+      }
+      core::VertexId from = vertex_of[static_cast<size_t>(in.node)].out;
+      core::VertexId to = vertex_of[i].in;
+      auto& e = dag.AddEdge(from, to);
+      e.routing = in.routing;
+      e.distributed = in.distributed;
+      e.priority = in.priority;
+      if (options.isolate_local_edges && e.routing == core::RoutingPolicy::kUnicast &&
+          !e.distributed &&
+          dag.vertex(from).local_parallelism == dag.vertex(to).local_parallelism) {
+        e.routing = core::RoutingPolicy::kIsolated;
+      }
+    }
+  }
+
+  JET_RETURN_IF_ERROR(dag.Validate());
+  return dag;
+}
+
+}  // namespace jet::pipeline

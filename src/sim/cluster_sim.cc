@@ -1,0 +1,312 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace jet::sim {
+
+QueryProfile ProfileForQuery(int query_number) {
+  QueryProfile p;
+  switch (query_number) {
+    case 1:  // currency conversion: map
+      p = {"q1", /*windowed=*/false, /*stage1=*/170, 0, /*emit=*/60, /*sel=*/0.92, 0};
+      break;
+    case 2:  // selection: filter
+      p = {"q2", false, 150, 0, 60, 0.008, 0};
+      break;
+    case 3:  // person/auction window join, filtered
+      p = {"q3", true, 300, 110, 150, 1.0, /*out_keys=*/0.004};
+      break;
+    case 4:  // auction/bid join + category average
+      p = {"q4", true, 380, 120, 150, 1.0, 0.05};
+      break;
+    case 5:  // hot items: sliding count per auction (the stress query)
+      p = {"q5", true, 380, 260, 330, 1.0, 1.0};
+      break;
+    case 6:  // winning bids, avg of last 10 per seller
+      p = {"q6", true, 400, 130, 160, 1.0, 0.08};
+      break;
+    case 7:  // highest bid per period
+      p = {"q7", true, 320, 100, 140, 1.0, 0.0002};
+      break;
+    case 8:  // new users who created auctions: person/auction window join
+      p = {"q8", true, 330, 110, 150, 1.0, 0.015};
+      break;
+    case 13:  // bounded side-input hash join: per-event lookup
+      p = {"q13", false, 210, 0, 70, 1.0, 0};
+      break;
+    default:
+      p = {"custom", true, 380, 260, 330, 1.0, 1.0};
+      break;
+  }
+  return p;
+}
+
+namespace {
+
+struct CoreState {
+  double backlog_ns = 0;  // queued work, in ns of service time
+};
+
+struct NodeState {
+  Nanos gc_until = 0;
+  Nanos next_gc = 0;
+  std::vector<CoreState> cores;
+};
+
+// Stall overlap of [t, t+tick) with [0, stall_until).
+Nanos StallOverlap(Nanos t, Nanos tick, Nanos stall_until) {
+  if (stall_until <= t) return 0;
+  return std::min(stall_until - t, tick);
+}
+
+}  // namespace
+
+SimResult RunClusterSim(const SimConfig& config) {
+  SimResult result;
+  Rng rng(config.seed);
+
+  const int32_t total_cores = config.nodes * config.cores_per_node;
+  const double per_job_rate =
+      config.events_per_second / std::max(1, config.concurrent_jobs);
+  const double core_rate = config.events_per_second / total_cores;
+  const double tick_sec = static_cast<double>(config.tick) / 1e9;
+
+  // --- derived workload quantities (per job) ---
+  const double events_per_slide =
+      per_job_rate * static_cast<double>(config.window_slide) / 1e9;
+  const double events_per_window =
+      per_job_rate * static_cast<double>(config.window_size) / 1e9;
+  const auto keys_d = static_cast<double>(config.keys);
+  // Poisson occupancy: distinct keys hit by m uniform draws over K keys.
+  auto active_keys = [keys_d](double draws) {
+    return keys_d * (1.0 - std::exp(-draws / keys_d));
+  };
+  // Partials arriving per combiner per slide (one job): each stage-1
+  // instance flushes its frame's active keys; the per-instance dedup is
+  // what bounds exchange volume by the key-set size (§3.1 two-stage
+  // combining — the effect behind Fig 10's constant exchange volume).
+  const double partials_per_combiner = active_keys(events_per_slide / total_cores);
+  const double window_keys = active_keys(events_per_window);
+  const double out_keys_per_combiner =
+      window_keys * config.profile.output_key_fraction / total_cores;
+
+  // --- GC ---
+  // Result emission allocates too (boxed results, map entries), so the
+  // output rate drives collections alongside the input rate.
+  const double output_events_per_second =
+      config.profile.windowed
+          ? out_keys_per_combiner * total_cores * config.concurrent_jobs *
+                (1e9 / static_cast<double>(config.window_slide))
+          : config.events_per_second * config.profile.selectivity;
+  const double node_rate =
+      (config.events_per_second + output_events_per_second) / config.nodes;
+  std::vector<NodeState> nodes(static_cast<size_t>(config.nodes));
+  std::vector<GcModel> gc_models;
+  gc_models.reserve(nodes.size());
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    nodes[n].cores.resize(static_cast<size_t>(config.cores_per_node));
+    gc_models.emplace_back(config.gc, node_rate, config.seed + 17 * (n + 1));
+    nodes[n].next_gc = gc_models[n].NextInterval();
+  }
+
+  // --- snapshots (Fig 13) ---
+  // Retained state: stage-2 keeps window_size/slide frames of partial
+  // accumulators per active key (plus stage-1 open frames, a small
+  // fraction). Serialization + sync replication to the backup member
+  // stalls processing while the aligned barriers drain (§4.4).
+  Nanos snapshot_stall = 0;
+  if (config.exactly_once || config.at_least_once) {
+    double frames_per_window = static_cast<double>(config.window_size) /
+                               static_cast<double>(config.window_slide);
+    double cells = active_keys(events_per_slide) * frames_per_window *
+                   config.concurrent_jobs;
+    double bytes_per_node =
+        2.0 /*primary+backup*/ * cells * config.state_bytes_per_cell / config.nodes;
+    snapshot_stall = static_cast<Nanos>(bytes_per_node /
+                                        config.snapshot_bytes_per_second * 1e9);
+    if (config.at_least_once && !config.exactly_once) {
+      snapshot_stall = static_cast<Nanos>(static_cast<double>(snapshot_stall) *
+                                          config.at_least_once_stall_fraction);
+    }
+  }
+  Nanos next_snapshot = (config.exactly_once || config.at_least_once)
+                            ? config.snapshot_interval
+                                            : std::numeric_limits<Nanos>::max();
+  Nanos snapshot_stall_until = 0;
+
+  // --- per-job window phases (aligned by default: concurrently submitted
+  // jobs share the epoch, so emission bursts collide — §7.7) ---
+  std::vector<Nanos> next_window(static_cast<size_t>(config.concurrent_jobs),
+                                 config.window_slide);
+  if (config.stagger_job_phases) {
+    for (size_t j = 0; j < next_window.size(); ++j) {
+      next_window[j] += static_cast<Nanos>(
+          rng.NextBounded(static_cast<uint64_t>(config.window_slide)));
+    }
+  }
+
+  const double stage1_work_per_tick =
+      core_rate * tick_sec * config.profile.stage1_cost_ns *
+      1.0;  // all jobs combined: core_rate is already the total
+
+  // Stateless queries emit per event.
+  const double stateless_emit_per_tick =
+      config.profile.windowed
+          ? 0
+          : core_rate * tick_sec * config.profile.selectivity * config.profile.emit_cost_ns;
+
+  double total_arrived_work = 0;
+  double total_served_work = 0;
+  double output_count_rate = 0;
+
+  const Nanos end = config.duration;
+  for (Nanos t = 0; t < end; t += config.tick) {
+    const bool measuring = t >= config.warmup;
+
+    // GC pause arrivals.
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      NodeState& node = nodes[n];
+      while (t >= node.next_gc) {
+        Nanos pause = gc_models[n].NextPause();
+        node.gc_until = std::max(node.gc_until, node.next_gc) + pause;
+        node.next_gc += gc_models[n].NextInterval() + pause;
+        ++result.gc_pause_count;
+        result.max_gc_pause = std::max(result.max_gc_pause, pause);
+      }
+    }
+
+    // Snapshot stalls.
+    if (t >= next_snapshot) {
+      snapshot_stall_until = t + snapshot_stall;
+      next_snapshot += config.snapshot_interval;
+    }
+
+    // Advance cores: arrivals then service.
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      NodeState& node = nodes[n];
+      Nanos gc_stall = StallOverlap(t, config.tick, node.gc_until);
+      Nanos snap_stall = StallOverlap(t, config.tick, snapshot_stall_until);
+      auto avail =
+          static_cast<double>(config.tick - std::min(config.tick, gc_stall + snap_stall));
+      for (CoreState& core : node.cores) {
+        double arrivals = stage1_work_per_tick + stateless_emit_per_tick;
+        total_arrived_work += arrivals;
+        core.backlog_ns += arrivals;
+        double served = std::min(core.backlog_ns, avail);
+        core.backlog_ns -= served;
+        total_served_work += served;
+        result.max_backlog =
+            std::max(result.max_backlog, static_cast<Nanos>(core.backlog_ns));
+
+        // Per-event latency recording for stateless queries: an event
+        // arriving this tick waits for the backlog, any active stall, and
+        // its own processing.
+        if (!config.profile.windowed && measuring) {
+          double events = core_rate * tick_sec * config.profile.selectivity;
+          if (events > 0) {
+            // Floor: queue hops plus the parked worker's wake-up latency
+            // (the back-off idle strategy parks up to ~100us, §3.2).
+            constexpr double kSchedulingFloorNs = 120'000;
+            auto stall_residual = static_cast<double>(
+                std::max<Nanos>(0, std::max(node.gc_until, snapshot_stall_until) - t));
+            double base = kSchedulingFloorNs + core.backlog_ns + stall_residual +
+                          config.profile.stage1_cost_ns + config.profile.emit_cost_ns;
+            // Three sample points spread the intra-tick arrival jitter.
+            result.latency.RecordN(static_cast<int64_t>(base),
+                                   static_cast<int64_t>(events / 3) + 1);
+            result.latency.RecordN(static_cast<int64_t>(base * 0.7 + 1),
+                                   static_cast<int64_t>(events / 3) + 1);
+            result.latency.RecordN(
+                static_cast<int64_t>(base * 0.4 + config.profile.stage1_cost_ns),
+                static_cast<int64_t>(events / 3) + 1);
+            if (measuring) output_count_rate += events;
+          }
+        }
+      }
+    }
+
+    // Window triggers (per job, at every slide boundary inside this tick).
+    if (config.profile.windowed) {
+      for (size_t j = 0; j < next_window.size(); ++j) {
+        while (next_window[j] <= t + config.tick) {
+          Nanos window_end = next_window[j];
+          next_window[j] += config.window_slide;
+          if (window_end < config.window_size) continue;  // window still filling
+
+          // Stage-1 watermark lag: the slowest core in the cluster gates
+          // the trigger (coalesced watermark = min over inputs).
+          double max_d1 = 0;
+          for (const NodeState& node : nodes) {
+            auto gc_residual = static_cast<double>(
+                std::max<Nanos>(0, std::max(node.gc_until, snapshot_stall_until) - t));
+            for (const CoreState& core : node.cores) {
+              max_d1 = std::max(max_d1, core.backlog_ns + gc_residual);
+            }
+          }
+          double net = 0;
+          if (config.nodes > 1) {
+            net = static_cast<double>(config.net_base_latency) +
+                  (config.net_jitter > 0
+                       ? static_cast<double>(rng.NextBounded(
+                             static_cast<uint64_t>(config.net_jitter)))
+                       : 0);
+          }
+
+          // Each combiner core folds this job's partials and emits the
+          // job's share of the window's results as a burst. The derived
+          // quantities are already per-job (they use per_job_rate).
+          double combine_work = partials_per_combiner * config.profile.combine_cost_ns;
+          double emit_work = out_keys_per_combiner * config.profile.emit_cost_ns;
+
+          for (NodeState& node : nodes) {
+            auto gc_residual = static_cast<double>(
+                std::max<Nanos>(0, std::max(node.gc_until, snapshot_stall_until) - t));
+            for (CoreState& core : node.cores) {
+              double d2 = core.backlog_ns + gc_residual;
+              core.backlog_ns += combine_work + emit_work;
+              total_arrived_work += combine_work + emit_work;
+              if (!measuring) continue;
+              double base = static_cast<double>(config.wm_interval) + max_d1 + net + d2 +
+                            combine_work;
+              double emission_time = emit_work;
+              constexpr int kRampBuckets = 6;
+              auto weight = static_cast<int64_t>(
+                  std::max(1.0, out_keys_per_combiner / kRampBuckets));
+              for (int b = 0; b < kRampBuckets; ++b) {
+                double lat =
+                    base + (b + 0.5) / kRampBuckets * emission_time +
+                    config.profile.emit_cost_ns;
+                result.latency.RecordN(static_cast<int64_t>(lat), weight);
+              }
+              output_count_rate += out_keys_per_combiner;
+            }
+          }
+        }
+      }
+    }
+
+    // Early exit on divergence.
+    if (result.max_backlog > kNanosPerSecond) {
+      result.saturated = true;
+    }
+  }
+
+  double measured_sec =
+      static_cast<double>(config.duration - config.warmup) / 1e9;
+  result.output_throughput = output_count_rate / std::max(measured_sec, 1e-9);
+  result.peak_utilization =
+      total_served_work /
+      (static_cast<double>(total_cores) * static_cast<double>(config.duration));
+  if (total_arrived_work > 0 && total_served_work / total_arrived_work < 0.98) {
+    result.saturated = true;
+  }
+  result.achieved_throughput =
+      config.events_per_second *
+      (total_arrived_work > 0 ? total_served_work / total_arrived_work : 1.0);
+  return result;
+}
+
+}  // namespace jet::sim

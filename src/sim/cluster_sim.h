@@ -1,0 +1,114 @@
+#ifndef JETSIM_SIM_CLUSTER_SIM_H_
+#define JETSIM_SIM_CLUSTER_SIM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "sim/gc_model.h"
+
+namespace jet::sim {
+
+/// Per-query cost/shape profile driving the simulator. Costs are per-item
+/// CPU time on one core; they subsume the whole fused stage (source +
+/// transforms). Calibrated so a simple stateless query sustains ~2M
+/// events/s/core, matching §4.6's "2M events per second per CPU core".
+struct QueryProfile {
+  std::string name = "q5";
+  /// True for queries with a keyed windowed stage (two-stage aggregation);
+  /// false for per-event queries (map/filter/side-input join).
+  bool windowed = true;
+  /// Stage-1 cost per input event (source + stateless transforms +
+  /// keyed accumulation when windowed).
+  double stage1_cost_ns = 420;
+  /// Cost per partial accumulator combined at the stage-2 owner.
+  double combine_cost_ns = 120;
+  /// Cost to emit one window result (finish + sink).
+  double emit_cost_ns = 160;
+  /// Fraction of input events surviving to the output (stateless queries).
+  double selectivity = 1.0;
+  /// Fraction of the key space participating in each window's output
+  /// (windowed joins emit only matching keys; aggregations emit all
+  /// active keys).
+  double output_key_fraction = 1.0;
+};
+
+/// Built-in profiles for the paper's query set.
+QueryProfile ProfileForQuery(int query_number);
+
+/// Cluster + workload configuration, defaulted to the paper's §7.1 setup.
+struct SimConfig {
+  int32_t nodes = 1;
+  /// Cooperative threads per node ("12 cooperative threads per node").
+  int32_t cores_per_node = 12;
+  /// Total ingest rate across the cluster.
+  double events_per_second = 1e6;
+  /// Simulated measurement time (paper: 240 s) and warm-up (20 s).
+  Nanos duration = 60 * kNanosPerSecond;
+  Nanos warmup = 5 * kNanosPerSecond;
+  int64_t keys = 10'000;
+  Nanos window_size = 10 * kNanosPerSecond;
+  Nanos window_slide = 10 * kNanosPerMilli;
+  Nanos wm_interval = kNanosPerMilli;
+  QueryProfile profile;
+
+  /// Network hop between members (§3.3 link + exchange overhead).
+  Nanos net_base_latency = 150 * kNanosPerMicro;
+  Nanos net_jitter = 120 * kNanosPerMicro;
+
+  GcConfig gc;
+
+  /// Exactly-once snapshotting (Fig 13): when enabled, every
+  /// `snapshot_interval` processing stalls while the aligned barriers
+  /// drain and the state serializes into the IMDG (§4.4).
+  bool exactly_once = false;
+  /// At-least-once snapshotting (§4.4: "channels do not need to block,
+  /// decreasing latency"; §7.6 names this the planned optimization):
+  /// unaligned barriers let processing continue while state serializes,
+  /// so only this fraction of the serialization time stalls the pipeline.
+  bool at_least_once = false;
+  double at_least_once_stall_fraction = 0.15;
+  Nanos snapshot_interval = kNanosPerSecond;
+  /// Serialized bytes per (key, frame) state cell.
+  double state_bytes_per_cell = 24;
+  /// State serialization + grid replication throughput per node.
+  double snapshot_bytes_per_second = 1.6e9;
+
+  /// Concurrent identical jobs sharing the cluster (§7.7 multi-tenancy).
+  int32_t concurrent_jobs = 1;
+  /// When false (default), jobs submitted together share the window epoch,
+  /// so their emission bursts collide. True staggers each job's window
+  /// phase uniformly across the slide (ablation: burst de-alignment).
+  bool stagger_job_phases = false;
+
+  /// Simulation tick. Smaller = finer queueing resolution.
+  Nanos tick = kNanosPerMilli;
+  uint64_t seed = 1234;
+};
+
+/// Result of one simulated run.
+struct SimResult {
+  /// End-to-end latency per §7.1: event occurrence (or window end) to
+  /// result emission, in nanoseconds.
+  Histogram latency;
+  /// Input events processed per second of simulated time.
+  double achieved_throughput = 0;
+  /// Output results per second.
+  double output_throughput = 0;
+  /// Mean utilization of the busiest core (work / wall).
+  double peak_utilization = 0;
+  /// True when backlogs diverged (offered load beyond capacity).
+  bool saturated = false;
+  int64_t gc_pause_count = 0;
+  Nanos max_gc_pause = 0;
+  Nanos max_backlog = 0;
+};
+
+/// Runs the fluid/tick cluster simulation and returns the latency
+/// distribution. Deterministic for a given config (seeded).
+SimResult RunClusterSim(const SimConfig& config);
+
+}  // namespace jet::sim
+
+#endif  // JETSIM_SIM_CLUSTER_SIM_H_

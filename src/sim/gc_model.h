@@ -1,0 +1,87 @@
+#ifndef JETSIM_SIM_GC_MODEL_H_
+#define JETSIM_SIM_GC_MODEL_H_
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace jet::sim {
+
+/// Model of a G1-style concurrent collector configured with a small pause
+/// target, as in §7.1 ("the G1 garbage collector is configured with a GC
+/// pause target of at most 5 milliseconds. It does most of the GC work
+/// concurrently").
+///
+/// Young-generation pauses arrive when the allocation rate fills the young
+/// gen; their duration clusters around the pause target. Rare mixed and
+/// full-ish pauses are one and two orders of magnitude longer — they are
+/// what populates the latency tail above p99.9 (§5 "garbage collection is
+/// recognized as one of the hidden performance enemies of stream
+/// processing").
+struct GcConfig {
+  /// Bytes of garbage allocated per processed event (boxing, lambdas,
+  /// intermediate records on the JVM).
+  double alloc_bytes_per_event = 500;
+  /// Allocation unrelated to the event rate (metrics, networking, cluster
+  /// heartbeats) — keeps collections occurring at low load too.
+  double baseline_alloc_bytes_per_second = 1.5e8;
+  /// Young generation size; fills at alloc_rate and triggers a pause.
+  double young_gen_bytes = 2.0e9;
+  /// Young pause duration (lognormal-ish around the 5 ms target).
+  double young_pause_mean_ms = 2.5;
+  double young_pause_sd_ms = 0.8;
+  /// Fraction of collections that are mixed (old regions included).
+  double mixed_probability = 0.012;
+  double mixed_pause_mean_ms = 8.0;
+  double mixed_pause_sd_ms = 2.5;
+  /// Very rare long stalls (humongous allocation / to-space exhaustion).
+  double full_probability = 0.0004;
+  double full_pause_mean_ms = 45.0;
+  double full_pause_sd_ms = 15.0;
+};
+
+/// Per-node GC pause generator. Call `NextInterval` / `NextPause` at each
+/// collection point.
+class GcModel {
+ public:
+  GcModel(GcConfig config, double node_events_per_second, uint64_t seed)
+      : config_(config), rng_(seed) {
+    double alloc_rate = node_events_per_second * config_.alloc_bytes_per_event +
+                        config_.baseline_alloc_bytes_per_second;
+    mean_interval_ns_ =
+        alloc_rate <= 0 ? 1e18 : config_.young_gen_bytes / alloc_rate * 1e9;
+  }
+
+  /// Nanoseconds until the next collection (exponential around the mean
+  /// fill time, floored so the model stays sane at tiny rates).
+  Nanos NextInterval() {
+    double interval = rng_.NextExponential(mean_interval_ns_);
+    return static_cast<Nanos>(std::max(interval, 1e6));
+  }
+
+  /// Duration of one pause.
+  Nanos NextPause() {
+    double u = rng_.NextDouble();
+    double ms;
+    if (u < config_.full_probability) {
+      ms = rng_.NextGaussian(config_.full_pause_mean_ms, config_.full_pause_sd_ms);
+    } else if (u < config_.full_probability + config_.mixed_probability) {
+      ms = rng_.NextGaussian(config_.mixed_pause_mean_ms, config_.mixed_pause_sd_ms);
+    } else {
+      ms = rng_.NextGaussian(config_.young_pause_mean_ms, config_.young_pause_sd_ms);
+    }
+    return static_cast<Nanos>(std::max(ms, 0.3) * 1e6);
+  }
+
+  double mean_interval_ns() const { return mean_interval_ns_; }
+
+ private:
+  GcConfig config_;
+  Rng rng_;
+  double mean_interval_ns_;
+};
+
+}  // namespace jet::sim
+
+#endif  // JETSIM_SIM_GC_MODEL_H_

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+
+namespace jet::core {
+namespace {
+
+// Generic round-trip checker: accumulate -> serialize -> deserialize ->
+// combine behaves like direct accumulation.
+template <typename Acc, typename Res>
+void CheckSerdeRoundTrip(const AggregateOperation<int64_t, Acc, Res>& op,
+                         const std::vector<int64_t>& inputs) {
+  Acc direct = op.create();
+  for (int64_t v : inputs) op.accumulate(&direct, v);
+
+  // Split inputs over two partial accumulators, round-trip each through
+  // bytes, then combine — the two-stage + snapshot path.
+  Acc a = op.create(), b = op.create();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    op.accumulate(i % 2 == 0 ? &a : &b, inputs[i]);
+  }
+  BytesWriter wa, wb;
+  op.serialize(a, &wa);
+  op.serialize(b, &wb);
+  BytesReader ra(wa.buffer()), rb(wb.buffer());
+  Acc a2 = op.deserialize(&ra);
+  Acc b2 = op.deserialize(&rb);
+  op.combine(&a2, b2);
+
+  EXPECT_EQ(op.finish(direct), op.finish(a2));
+}
+
+TEST(AggregateTest, CountingBasics) {
+  auto op = CountingAggregate<int64_t>();
+  int64_t acc = op.create();
+  for (int i = 0; i < 5; ++i) op.accumulate(&acc, i);
+  EXPECT_EQ(op.finish(acc), 5);
+  int64_t other = op.create();
+  op.accumulate(&other, 9);
+  op.combine(&acc, other);
+  EXPECT_EQ(op.finish(acc), 6);
+  op.deduct(&acc, other);
+  EXPECT_EQ(op.finish(acc), 5);
+  CheckSerdeRoundTrip(op, {1, 2, 3, 4, 5, 6, 7});
+}
+
+TEST(AggregateTest, SummingWithDeduct) {
+  auto op = SummingAggregate<int64_t>([](const int64_t& v) { return v; });
+  int64_t acc = op.create();
+  op.accumulate(&acc, 10);
+  op.accumulate(&acc, 20);
+  int64_t frame = op.create();
+  op.accumulate(&frame, 10);
+  op.deduct(&acc, frame);
+  EXPECT_EQ(op.finish(acc), 20);
+  CheckSerdeRoundTrip(op, {5, -3, 100, 42});
+}
+
+TEST(AggregateTest, AveragingMatchesArithmetic) {
+  auto op = AveragingAggregate<int64_t>([](const int64_t& v) { return v; });
+  AvgAcc acc = op.create();
+  for (int64_t v : {2, 4, 6}) op.accumulate(&acc, v);
+  EXPECT_DOUBLE_EQ(op.finish(acc), 4.0);
+  EXPECT_DOUBLE_EQ(op.finish(op.create()), 0.0);  // empty average defined as 0
+}
+
+TEST(AggregateTest, MinMax) {
+  auto max_op = MaxAggregate<int64_t>([](const int64_t& v) { return v; });
+  auto min_op = MinAggregate<int64_t>([](const int64_t& v) { return v; });
+  int64_t mx = max_op.create(), mn = min_op.create();
+  for (int64_t v : {5, -2, 9, 3}) {
+    max_op.accumulate(&mx, v);
+    min_op.accumulate(&mn, v);
+  }
+  EXPECT_EQ(max_op.finish(mx), 9);
+  EXPECT_EQ(min_op.finish(mn), -2);
+  CheckSerdeRoundTrip(max_op, {3, 1, 4, 1, 5});
+  CheckSerdeRoundTrip(min_op, {3, 1, 4, 1, 5});
+}
+
+TEST(AggregateTest, TopNKeepsLargestInOrder) {
+  auto op = TopNAggregate<int64_t>([](const int64_t& v) { return v; },
+                                   [](const int64_t& v) { return static_cast<uint64_t>(v); },
+                                   3);
+  TopNAcc acc = op.create();
+  for (int64_t v : {5, 1, 9, 7, 3, 8}) op.accumulate(&acc, v);
+  auto top = op.finish(acc);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 9);
+  EXPECT_EQ(top[1].first, 8);
+  EXPECT_EQ(top[2].first, 7);
+}
+
+TEST(AggregateTest, TopNCombineMergesPartials) {
+  auto op = TopNAggregate<int64_t>([](const int64_t& v) { return v; },
+                                   [](const int64_t& v) { return static_cast<uint64_t>(v); },
+                                   2);
+  TopNAcc a = op.create(), b = op.create();
+  op.accumulate(&a, 10);
+  op.accumulate(&a, 1);
+  op.accumulate(&b, 7);
+  op.accumulate(&b, 20);
+  op.combine(&a, b);
+  auto top = op.finish(a);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 20);
+  EXPECT_EQ(top[1].first, 10);
+}
+
+TEST(AggregateTest, DistinctCountIgnoresDuplicates) {
+  auto op = DistinctCountAggregate<int64_t>(
+      [](const int64_t& v) { return static_cast<uint64_t>(v % 10); });
+  DistinctAcc acc = op.create();
+  for (int64_t v = 0; v < 100; ++v) op.accumulate(&acc, v);
+  EXPECT_EQ(op.finish(acc), 10);
+  CheckSerdeRoundTrip(op, {1, 2, 2, 3, 3, 3});
+}
+
+TEST(AggregateTest, LastNAverageWindowOfTen) {
+  auto op = LastNAverageAggregate<int64_t>([](const int64_t& v) { return v; }, 3);
+  LastNAcc acc = op.create();
+  for (int64_t v : {1, 2, 3, 4, 5}) op.accumulate(&acc, v);  // keeps 3,4,5
+  EXPECT_DOUBLE_EQ(op.finish(acc), 4.0);
+}
+
+}  // namespace
+}  // namespace jet::core

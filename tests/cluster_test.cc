@@ -1,0 +1,251 @@
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "cluster/jet_cluster.h"
+#include "core/processors_basic.h"
+#include "core/processors_window.h"
+
+namespace jet::cluster {
+namespace {
+
+using core::Dag;
+using core::GeneratorSourceP;
+using core::ProcessorMeta;
+using core::RoutingPolicy;
+using core::VertexId;
+using core::WindowResult;
+
+struct Event {
+  uint64_t key = 0;
+  int64_t seq = 0;
+};
+
+// source(1/node) -> [distributed partitioned] -> collect sink(1/node)
+struct SimpleJobParts {
+  Dag dag;
+  std::shared_ptr<core::SyncCollector<int64_t>> collector;
+};
+
+std::unique_ptr<SimpleJobParts> MakeDistributedPassthrough(double rate, Nanos duration) {
+  auto parts = std::make_unique<SimpleJobParts>();
+  parts->collector = std::make_shared<core::SyncCollector<int64_t>>();
+  VertexId source = parts->dag.AddVertex(
+      "source",
+      [rate, duration](const ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+        GeneratorSourceP<int64_t>::Options opt;
+        opt.events_per_second = rate;
+        opt.duration = duration;
+        opt.watermark_interval = 10 * kNanosPerMilli;
+        return std::make_unique<GeneratorSourceP<int64_t>>(
+            [](int64_t seq) { return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq))); },
+            opt);
+      },
+      1);
+  VertexId sink = parts->dag.AddVertex(
+      "sink",
+      [collector = parts->collector](const ProcessorMeta&) {
+        return std::make_unique<core::CollectSinkP<int64_t>>(collector);
+      },
+      1);
+  auto& edge = parts->dag.AddEdge(source, sink);
+  edge.routing = RoutingPolicy::kPartitioned;
+  edge.distributed = true;
+  return parts;
+}
+
+struct WindowedJobParts {
+  Dag dag;
+  std::shared_ptr<core::SyncCollector<WindowResult<int64_t>>> collector;
+};
+
+std::unique_ptr<WindowedJobParts> MakeDistributedWindowedCount(double rate,
+                                                               Nanos duration,
+                                                               int64_t keys) {
+  auto parts = std::make_unique<WindowedJobParts>();
+  parts->collector = std::make_shared<core::SyncCollector<WindowResult<int64_t>>>();
+  core::WindowDef window = core::WindowDef::Tumbling(50 * kNanosPerMilli);
+  auto op = core::CountingAggregate<Event>();
+
+  VertexId source = parts->dag.AddVertex(
+      "source",
+      [rate, duration, keys](const ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+        GeneratorSourceP<Event>::Options opt;
+        opt.events_per_second = rate;
+        opt.duration = duration;
+        opt.watermark_interval = 5 * kNanosPerMilli;
+        return std::make_unique<GeneratorSourceP<Event>>(
+            [keys](int64_t seq) {
+              Event e{static_cast<uint64_t>(seq % keys), seq};
+              return std::make_pair(e, HashU64(e.key));
+            },
+            opt);
+      },
+      1);
+  VertexId accumulate = parts->dag.AddVertex(
+      "accumulate",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<core::AccumulateByFrameP<Event, int64_t, int64_t>>(
+            op, [](const Event& e) { return e.key; }, window);
+      },
+      1);
+  VertexId combine = parts->dag.AddVertex(
+      "combine",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<core::CombineFramesP<Event, int64_t, int64_t>>(op,
+                                                                               window);
+      },
+      1);
+  VertexId sink = parts->dag.AddVertex(
+      "sink",
+      [collector = parts->collector](const ProcessorMeta&) {
+        return std::make_unique<core::CollectSinkP<WindowResult<int64_t>>>(collector);
+      },
+      1);
+  parts->dag.AddEdge(source, accumulate);
+  auto& e = parts->dag.AddEdge(accumulate, combine);
+  e.routing = RoutingPolicy::kPartitioned;
+  e.distributed = true;
+  parts->dag.AddEdge(combine, sink);
+  return parts;
+}
+
+TEST(ClusterTest, DistributedEdgeDeliversEverythingExactlyOnce) {
+  ClusterConfig config;
+  config.initial_nodes = 3;
+  config.threads_per_node = 1;
+  JetCluster cluster(config);
+
+  constexpr double kRate = 100'000;
+  constexpr Nanos kDuration = 300 * kNanosPerMilli;
+  auto parts = MakeDistributedPassthrough(kRate, kDuration);
+
+  auto job = cluster.SubmitJob(&parts->dag, core::JobConfig{}, 1);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  ASSERT_TRUE((*job)->Join().ok());
+
+  auto values = parts->collector->Snapshot();
+  const auto kExpected = static_cast<int64_t>(kRate * (kDuration / 1e9));
+  std::set<int64_t> unique(values.begin(), values.end());
+  EXPECT_EQ(values.size(), static_cast<size_t>(kExpected));
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kExpected));
+}
+
+TEST(ClusterTest, WindowedAggregationAcrossNodes) {
+  ClusterConfig config;
+  config.initial_nodes = 3;
+  config.threads_per_node = 1;
+  JetCluster cluster(config);
+
+  constexpr double kRate = 100'000;
+  constexpr Nanos kDuration = 400 * kNanosPerMilli;
+  auto parts = MakeDistributedWindowedCount(kRate, kDuration, 16);
+
+  auto job = cluster.SubmitJob(&parts->dag, core::JobConfig{}, 2);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  ASSERT_TRUE((*job)->Join().ok());
+
+  int64_t total = 0;
+  for (const auto& r : parts->collector->Snapshot()) total += r.value;
+  EXPECT_EQ(total, static_cast<int64_t>(kRate * (kDuration / 1e9)));
+}
+
+TEST(ClusterTest, ExactlyOnceSurvivesNodeFailure) {
+  ClusterConfig config;
+  config.initial_nodes = 3;
+  config.threads_per_node = 1;
+  JetCluster cluster(config);
+
+  constexpr double kRate = 50'000;
+  constexpr Nanos kDuration = 2'000 * kNanosPerMilli;
+  const auto kExpected = static_cast<int64_t>(kRate * (kDuration / 1e9));
+  auto parts = MakeDistributedWindowedCount(kRate, kDuration, 16);
+
+  core::JobConfig jc;
+  jc.guarantee = core::ProcessingGuarantee::kExactlyOnce;
+  jc.snapshot_interval = 100 * kNanosPerMilli;
+  auto job = cluster.SubmitJob(&parts->dag, jc, 3);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+
+  // Wait for a committed snapshot, then kill a member.
+  for (int i = 0; i < 5000 && (*job)->last_committed_snapshot() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE((*job)->last_committed_snapshot(), 2) << "no snapshot committed in time";
+  ASSERT_TRUE(cluster.KillNode(1).ok());
+  EXPECT_EQ(cluster.AliveNodes().size(), 2u);
+
+  ASSERT_TRUE((*job)->Join().ok());
+  EXPECT_GE((*job)->attempts_started(), 2);
+
+  // Exactly-once: duplicated window emissions agree; distinct windows
+  // account for every event exactly once.
+  std::map<std::pair<uint64_t, Nanos>, int64_t> distinct;
+  for (const auto& r : parts->collector->Snapshot()) {
+    auto it = distinct.find({r.key, r.window_end});
+    if (it == distinct.end()) {
+      distinct[{r.key, r.window_end}] = r.value;
+    } else {
+      EXPECT_EQ(it->second, r.value) << "conflicting duplicate window result";
+    }
+  }
+  int64_t total = 0;
+  for (const auto& [kw, v] : distinct) total += v;
+  EXPECT_EQ(total, kExpected);
+}
+
+TEST(ClusterTest, ExactlyOnceSurvivesScaleOut) {
+  ClusterConfig config;
+  config.initial_nodes = 2;
+  config.threads_per_node = 1;
+  JetCluster cluster(config);
+
+  constexpr double kRate = 50'000;
+  constexpr Nanos kDuration = 2'000 * kNanosPerMilli;
+  const auto kExpected = static_cast<int64_t>(kRate * (kDuration / 1e9));
+  auto parts = MakeDistributedWindowedCount(kRate, kDuration, 16);
+
+  core::JobConfig jc;
+  jc.guarantee = core::ProcessingGuarantee::kExactlyOnce;
+  jc.snapshot_interval = 100 * kNanosPerMilli;
+  auto job = cluster.SubmitJob(&parts->dag, jc, 4);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+
+  for (int i = 0; i < 5000 && (*job)->last_committed_snapshot() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE((*job)->last_committed_snapshot(), 2);
+  auto added = cluster.AddNode();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(cluster.AliveNodes().size(), 3u);
+
+  ASSERT_TRUE((*job)->Join().ok());
+  EXPECT_GE((*job)->attempts_started(), 2);
+
+  std::map<std::pair<uint64_t, Nanos>, int64_t> distinct;
+  for (const auto& r : parts->collector->Snapshot()) {
+    auto it = distinct.find({r.key, r.window_end});
+    if (it == distinct.end()) {
+      distinct[{r.key, r.window_end}] = r.value;
+    } else {
+      EXPECT_EQ(it->second, r.value);
+    }
+  }
+  int64_t total = 0;
+  for (const auto& [kw, v] : distinct) total += v;
+  EXPECT_EQ(total, kExpected);
+}
+
+TEST(ClusterTest, KillUnknownNodeFails) {
+  ClusterConfig config;
+  config.initial_nodes = 2;
+  config.threads_per_node = 1;
+  JetCluster cluster(config);
+  EXPECT_FALSE(cluster.KillNode(99).ok());
+}
+
+}  // namespace
+}  // namespace jet::cluster

@@ -1,0 +1,334 @@
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/dag.h"
+#include "core/job.h"
+#include "core/processors_basic.h"
+
+namespace jet::core {
+namespace {
+
+// Builds a source vertex emitting the integers [0, n) as fast as possible
+// (event time = sequence * 1us), completing afterwards.
+VertexId AddIntSource(Dag* dag, int64_t n, int32_t parallelism = 1) {
+  return dag->AddVertex(
+      "source",
+      [n](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+        GeneratorSourceP<int64_t>::Options opt;
+        opt.events_per_second = 1e9;  // 1 event per ns: effectively "as fast as possible"
+        opt.duration = n;             // n events at 1/ns
+        opt.watermark_interval = 1;
+        return std::make_unique<GeneratorSourceP<int64_t>>(
+            [](int64_t seq) { return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq))); },
+            opt);
+      },
+      parallelism);
+}
+
+TEST(DagTest, ValidateRejectsEmptyDag) {
+  Dag dag;
+  EXPECT_FALSE(dag.Validate().ok());
+}
+
+TEST(DagTest, ValidateRejectsCycle) {
+  Dag dag;
+  auto supplier = [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+    return MakeFilterP<int64_t>([](const int64_t&) { return true; });
+  };
+  VertexId a = dag.AddVertex("a", supplier, 1);
+  VertexId b = dag.AddVertex("b", supplier, 1);
+  dag.AddEdge(a, b);
+  dag.AddEdge(b, a);
+  EXPECT_FALSE(dag.Validate().ok());
+}
+
+TEST(DagTest, ValidateRejectsSelfLoop) {
+  Dag dag;
+  auto supplier = [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+    return MakeFilterP<int64_t>([](const int64_t&) { return true; });
+  };
+  VertexId a = dag.AddVertex("a", supplier, 1);
+  dag.AddEdge(a, a);
+  EXPECT_FALSE(dag.Validate().ok());
+}
+
+TEST(DagTest, ValidateRejectsIsolatedEdgeWithMismatchedParallelism) {
+  Dag dag;
+  auto supplier = [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+    return MakeFilterP<int64_t>([](const int64_t&) { return true; });
+  };
+  VertexId a = dag.AddVertex("a", supplier, 2);
+  VertexId b = dag.AddVertex("b", supplier, 3);
+  dag.AddEdge(a, b).routing = RoutingPolicy::kIsolated;
+  EXPECT_FALSE(dag.Validate().ok());
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag;
+  auto supplier = [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+    return MakeFilterP<int64_t>([](const int64_t&) { return true; });
+  };
+  VertexId a = dag.AddVertex("a", supplier, 1);
+  VertexId b = dag.AddVertex("b", supplier, 1);
+  VertexId c = dag.AddVertex("c", supplier, 1);
+  dag.AddEdge(a, b);
+  dag.AddEdge(b, c);
+  auto order = dag.TopologicalOrder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], a);
+  EXPECT_EQ(order[1], b);
+  EXPECT_EQ(order[2], c);
+}
+
+// End-to-end: source -> collect sink; every emitted integer arrives once.
+TEST(ExecutionTest, SourceToSinkDeliversEverything) {
+  constexpr int64_t kCount = 10'000;
+  Dag dag;
+  VertexId source = AddIntSource(&dag, kCount);
+  auto collector = std::make_shared<SyncCollector<int64_t>>();
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<int64_t>>(collector);
+      },
+      1);
+  dag.AddEdge(source, sink);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  auto values = collector->Snapshot();
+  ASSERT_EQ(values.size(), static_cast<size_t>(kCount));
+  std::set<int64_t> unique(values.begin(), values.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kCount));
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), kCount - 1);
+}
+
+// Map transform applies to every element.
+TEST(ExecutionTest, MapTransformsEveryItem) {
+  constexpr int64_t kCount = 5'000;
+  Dag dag;
+  VertexId source = AddIntSource(&dag, kCount);
+  VertexId map = dag.AddVertex(
+      "map",
+      [](const ProcessorMeta&) {
+        return MakeMapP<int64_t, int64_t>([](const int64_t& v) { return v * 2; });
+      },
+      2);
+  auto collector = std::make_shared<SyncCollector<int64_t>>();
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<int64_t>>(collector);
+      },
+      1);
+  dag.AddEdge(source, map);
+  dag.AddEdge(map, sink);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  auto values = collector->Snapshot();
+  ASSERT_EQ(values.size(), static_cast<size_t>(kCount));
+  int64_t sum = std::accumulate(values.begin(), values.end(), int64_t{0});
+  EXPECT_EQ(sum, kCount * (kCount - 1));  // 2 * sum(0..n-1)
+}
+
+// Filter keeps only matching elements.
+TEST(ExecutionTest, FilterDropsNonMatching) {
+  constexpr int64_t kCount = 4'000;
+  Dag dag;
+  VertexId source = AddIntSource(&dag, kCount);
+  VertexId filter = dag.AddVertex(
+      "filter",
+      [](const ProcessorMeta&) {
+        return MakeFilterP<int64_t>([](const int64_t& v) { return v % 4 == 0; });
+      },
+      2);
+  auto counter = std::make_shared<std::atomic<int64_t>>(0);
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [counter](const ProcessorMeta&) {
+        return std::make_unique<CountSinkP<int64_t>>(counter);
+      },
+      1);
+  dag.AddEdge(source, filter);
+  dag.AddEdge(filter, sink);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+  EXPECT_EQ(counter->load(), kCount / 4);
+}
+
+// FlatMap fan-out produces several outputs per input.
+TEST(ExecutionTest, FlatMapFansOut) {
+  constexpr int64_t kCount = 2'000;
+  Dag dag;
+  VertexId source = AddIntSource(&dag, kCount);
+  VertexId flat = dag.AddVertex(
+      "flatmap",
+      [](const ProcessorMeta&) {
+        return std::make_unique<FlatMapP<int64_t, int64_t>>(
+            [](const int64_t& v, std::vector<OutRecord<int64_t>>* out) {
+              for (int i = 0; i < 3; ++i) {
+                out->push_back(OutRecord<int64_t>{v, std::nullopt, std::nullopt});
+              }
+            });
+      },
+      1);
+  auto counter = std::make_shared<std::atomic<int64_t>>(0);
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [counter](const ProcessorMeta&) {
+        return std::make_unique<CountSinkP<int64_t>>(counter);
+      },
+      1);
+  dag.AddEdge(source, flat);
+  dag.AddEdge(flat, sink);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+  EXPECT_EQ(counter->load(), kCount * 3);
+}
+
+// Parallel source instances shard the sequence space without overlap, and a
+// partitioned edge routes each key consistently.
+TEST(ExecutionTest, ParallelSourceAndPartitionedEdge) {
+  constexpr int64_t kCount = 8'000;
+  Dag dag;
+  VertexId source = AddIntSource(&dag, kCount, /*parallelism=*/3);
+  auto collector = std::make_shared<SyncCollector<int64_t>>();
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<int64_t>>(collector);
+      },
+      4);
+  dag.AddEdge(source, sink).routing = RoutingPolicy::kPartitioned;
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  auto values = collector->Snapshot();
+  std::set<int64_t> unique(values.begin(), values.end());
+  EXPECT_EQ(values.size(), static_cast<size_t>(kCount));
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kCount));
+}
+
+// Broadcast delivers every item to every consumer instance.
+TEST(ExecutionTest, BroadcastDeliversToAllInstances) {
+  constexpr int64_t kCount = 1'000;
+  constexpr int32_t kSinkParallelism = 3;
+  Dag dag;
+  VertexId source = AddIntSource(&dag, kCount);
+  auto counter = std::make_shared<std::atomic<int64_t>>(0);
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [counter](const ProcessorMeta&) {
+        return std::make_unique<CountSinkP<int64_t>>(counter);
+      },
+      kSinkParallelism);
+  dag.AddEdge(source, sink).routing = RoutingPolicy::kBroadcast;
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+  EXPECT_EQ(counter->load(), kCount * kSinkParallelism);
+}
+
+// Tiny queues force backpressure; everything still arrives exactly once.
+TEST(ExecutionTest, BackpressureWithTinyQueues) {
+  constexpr int64_t kCount = 5'000;
+  Dag dag;
+  VertexId source = AddIntSource(&dag, kCount);
+  auto collector = std::make_shared<SyncCollector<int64_t>>();
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<int64_t>>(collector);
+      },
+      1);
+  dag.AddEdge(source, sink).queue_size = 4;
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  auto values = collector->Snapshot();
+  std::set<int64_t> unique(values.begin(), values.end());
+  EXPECT_EQ(values.size(), static_cast<size_t>(kCount));
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kCount));
+}
+
+// The isolated routing policy pins instance i of the producer to instance i
+// of the consumer.
+TEST(ExecutionTest, IsolatedEdgePreservesInstancePairs) {
+  constexpr int64_t kCount = 3'000;
+  Dag dag;
+  VertexId source = AddIntSource(&dag, kCount, /*parallelism=*/2);
+  VertexId map = dag.AddVertex(
+      "map",
+      [](const ProcessorMeta&) {
+        return MakeMapP<int64_t, int64_t>([](const int64_t& v) { return v; });
+      },
+      2);
+  auto collector = std::make_shared<SyncCollector<int64_t>>();
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<int64_t>>(collector);
+      },
+      1);
+  dag.AddEdge(source, map).routing = RoutingPolicy::kIsolated;
+  dag.AddEdge(map, sink);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+  EXPECT_EQ(collector->Size(), static_cast<size_t>(kCount));
+}
+
+}  // namespace
+}  // namespace jet::core

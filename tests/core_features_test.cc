@@ -1,0 +1,377 @@
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/job.h"
+#include "core/processors_basic.h"
+#include "core/processors_window.h"
+#include "imdg/grid.h"
+#include "imdg/snapshot_store.h"
+#include "pipeline/pipeline.h"
+
+namespace jet::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Out-of-order streams (§1/§8: out-of-order processing)
+// ---------------------------------------------------------------------------
+
+// With bounded disorder and a watermark lagging by the disorder bound, the
+// windowed counts are exact: nothing is dropped, nothing double-counted.
+TEST(OutOfOrderTest, BoundedDisorderCountsAreExact) {
+  constexpr int64_t kCount = 20'000;
+  static ManualClock clock(int64_t{1} << 60);
+
+  auto late = std::make_shared<std::atomic<int64_t>>(0);
+  Dag dag;
+  auto op = CountingAggregate<int64_t>();
+  WindowDef window = WindowDef::Tumbling(kNanosPerMilli);
+  VertexId source = dag.AddVertex(
+      "source",
+      [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+        GeneratorSourceP<int64_t>::Options opt;
+        opt.events_per_second = 1e6;  // 1 event per us of event time
+        opt.duration = kCount * 1000;
+        opt.watermark_interval = 50 * 1000;
+        opt.start_time = 0;
+        opt.max_disorder = 300 * 1000;  // 300us of shuffle
+        return std::make_unique<GeneratorSourceP<int64_t>>(
+            [](int64_t seq) {
+              return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq % 8)));
+            },
+            opt);
+      },
+      1);
+  VertexId accumulate = dag.AddVertex(
+      "accumulate",
+      [op, window, late](const ProcessorMeta&) {
+        return std::make_unique<AccumulateByFrameP<int64_t, int64_t, int64_t>>(
+            op, [](const int64_t& v) { return static_cast<uint64_t>(v % 8); }, window,
+            late);
+      },
+      2);
+  VertexId combine = dag.AddVertex(
+      "combine",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<CombineFramesP<int64_t, int64_t, int64_t>>(op, window);
+      },
+      2);
+  auto collector = std::make_shared<SyncCollector<WindowResult<int64_t>>>();
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<WindowResult<int64_t>>>(collector);
+      },
+      1);
+  dag.AddEdge(source, accumulate);
+  dag.AddEdge(accumulate, combine).routing = RoutingPolicy::kPartitioned;
+  dag.AddEdge(combine, sink);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  params.clock = &clock;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  int64_t total = 0;
+  for (const auto& r : collector->Snapshot()) total += r.value;
+  EXPECT_EQ(total, kCount);
+  EXPECT_EQ(late->load(), 0) << "watermark must lag by the disorder bound";
+}
+
+// Events arriving after their frame was flushed are counted and dropped
+// instead of resurrecting already-emitted windows.
+TEST(OutOfOrderTest, LateEventsBeyondWatermarkAreDroppedAndCounted) {
+  Outbox outbox(1, 1024);
+  ProcessorContext ctx;
+  ctx.outbox = &outbox;
+  static ManualClock clock(0);
+  ctx.clock = &clock;
+
+  auto late = std::make_shared<std::atomic<int64_t>>(0);
+  auto op = CountingAggregate<int64_t>();
+  AccumulateByFrameP<int64_t, int64_t, int64_t> processor(
+      op, [](const int64_t& v) { return static_cast<uint64_t>(v); },
+      WindowDef::Tumbling(100), late);
+  ASSERT_TRUE(processor.Init(&ctx).ok());
+
+  Inbox inbox;
+  inbox.Add(Item::Data<int64_t>(1, 50, HashU64(1)));
+  inbox.Add(Item::Data<int64_t>(1, 150, HashU64(1)));
+  processor.Process(0, &inbox);
+  ASSERT_TRUE(processor.TryProcessWatermark(100));  // flushes frame [0,100)
+
+  // Event at ts=70 now belongs to the flushed frame: late.
+  inbox.Add(Item::Data<int64_t>(1, 70, HashU64(1)));
+  processor.Process(0, &inbox);
+  EXPECT_EQ(processor.late_events_dropped(), 1);
+  EXPECT_EQ(late->load(), 1);
+
+  // Frame [100,200) is still open; on-time event accepted.
+  inbox.Add(Item::Data<int64_t>(1, 160, HashU64(1)));
+  processor.Process(0, &inbox);
+  ASSERT_TRUE(processor.TryProcessWatermark(200));
+
+  // Total emitted partials: frame1 count 1, frame2 count 2.
+  int64_t emitted = 0;
+  for (auto& item : outbox.bucket(0)) {
+    if (item.IsData()) emitted += item.payload.As<KeyedFrame<int64_t>>().acc;
+  }
+  EXPECT_EQ(emitted, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Rolling aggregates
+// ---------------------------------------------------------------------------
+
+TEST(RollingAggregateTest, EmitsRunningValuesPerKey) {
+  constexpr int64_t kCount = 6'000;
+  static ManualClock clock(int64_t{1} << 60);
+
+  pipeline::Pipeline p;
+  GeneratorSourceP<int64_t>::Options opt;
+  opt.events_per_second = 1e9;
+  opt.duration = kCount;
+  opt.watermark_interval = 1000;
+  opt.start_time = 0;
+  auto results =
+      p.ReadFrom<int64_t>(
+           "ints",
+           [](int64_t seq) {
+             return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq % 3)));
+           },
+           opt)
+          .GroupingKey([](const int64_t& v) { return static_cast<uint64_t>(v % 3); })
+          .RollingAggregate<int64_t, int64_t>("running-count",
+                                              CountingAggregate<int64_t>())
+          .CollectTo("sink");
+
+  auto dag = p.ToDag();
+  ASSERT_TRUE(dag.ok()) << dag.status().ToString();
+  JobParams params;
+  params.dag = &*dag;
+  params.cooperative_threads = 2;
+  params.clock = &clock;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  // One output per input; per key the max running value is the key's total.
+  auto values = results->Snapshot();
+  ASSERT_EQ(values.size(), static_cast<size_t>(kCount));
+  std::map<uint64_t, int64_t> max_per_key;
+  for (const auto& r : values) {
+    max_per_key[r.key] = std::max(max_per_key[r.key], r.value);
+  }
+  ASSERT_EQ(max_per_key.size(), 3u);
+  for (const auto& [key, max_count] : max_per_key) EXPECT_EQ(max_count, kCount / 3);
+}
+
+TEST(RollingAggregateTest, StateSurvivesExactlyOnceRestore) {
+  imdg::DataGrid grid(1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  imdg::SnapshotStore store(&grid);
+
+  auto build_dag = [](std::shared_ptr<SyncCollector<RollingResult<int64_t>>> collector,
+                      Dag* dag) {
+    auto op = CountingAggregate<int64_t>();
+    VertexId source = dag->AddVertex(
+        "source",
+        [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+          GeneratorSourceP<int64_t>::Options opt;
+          opt.events_per_second = 100'000;
+          opt.duration = 1'200 * kNanosPerMilli;
+          opt.watermark_interval = 10 * kNanosPerMilli;
+          return std::make_unique<GeneratorSourceP<int64_t>>(
+              [](int64_t seq) {
+                return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq % 4)));
+              },
+              opt);
+        },
+        1);
+    VertexId rolling = dag->AddVertex(
+        "rolling",
+        [op](const ProcessorMeta&) {
+          return std::make_unique<RollingAggregateP<int64_t, int64_t, int64_t>>(
+              op, [](const int64_t& v) { return static_cast<uint64_t>(v % 4); });
+        },
+        2);
+    VertexId sink = dag->AddVertex(
+        "sink",
+        [collector](const ProcessorMeta&) {
+          return std::make_unique<CollectSinkP<RollingResult<int64_t>>>(collector);
+        },
+        1);
+    auto& e = dag->AddEdge(source, rolling);
+    e.routing = RoutingPolicy::kPartitioned;
+    dag->AddEdge(rolling, sink);
+  };
+
+  auto collector = std::make_shared<SyncCollector<RollingResult<int64_t>>>();
+  Dag dag;
+  build_dag(collector, &dag);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  params.config.guarantee = ProcessingGuarantee::kExactlyOnce;
+  params.config.snapshot_interval = 50 * kNanosPerMilli;
+  params.snapshot_store = &store;
+  params.job_id = 31;
+
+  auto job1 = Job::Create(params);
+  ASSERT_TRUE(job1.ok());
+  ASSERT_TRUE((*job1)->Start().ok());
+  for (int i = 0; i < 3000 && (*job1)->last_committed_snapshot() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE((*job1)->last_committed_snapshot(), 2);
+  (*job1)->Cancel();
+  (void)(*job1)->Join();
+  int64_t restore = (*job1)->last_committed_snapshot();
+  job1->reset();
+
+  params.restore_snapshot_id = restore;
+  auto job2 = Job::Create(params);
+  ASSERT_TRUE(job2.ok());
+  ASSERT_TRUE((*job2)->Start().ok());
+  ASSERT_TRUE((*job2)->Join().ok());
+
+  // Exactly-once state: the final running count per key is exactly the
+  // number of events of that key (duplicates at the sink allowed; the MAX
+  // per key reflects the state).
+  std::map<uint64_t, int64_t> max_per_key;
+  for (const auto& r : collector->Snapshot()) {
+    max_per_key[r.key] = std::max(max_per_key[r.key], r.value);
+  }
+  const int64_t expected_per_key = 120'000 / 4;
+  ASSERT_EQ(max_per_key.size(), 4u);
+  for (const auto& [key, max_count] : max_per_key) {
+    EXPECT_EQ(max_count, expected_per_key) << "key " << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics (Management Center view)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, JobMetricsReflectWork) {
+  constexpr int64_t kCount = 5'000;
+  Dag dag;
+  VertexId source = dag.AddVertex(
+      "source",
+      [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+        GeneratorSourceP<int64_t>::Options opt;
+        opt.events_per_second = 1e9;
+        opt.duration = kCount;
+        opt.watermark_interval = 1000;
+        return std::make_unique<GeneratorSourceP<int64_t>>(
+            [](int64_t seq) { return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq))); },
+            opt);
+      },
+      1);
+  auto counter = std::make_shared<std::atomic<int64_t>>(0);
+  VertexId sink = dag.AddVertex(
+      "the-sink",
+      [counter](const ProcessorMeta&) {
+        return std::make_unique<CountSinkP<int64_t>>(counter);
+      },
+      1);
+  dag.AddEdge(source, sink);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  params.job_id = 77;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  JobMetrics m = (*job)->Metrics();
+  EXPECT_EQ(m.job_id, 77);
+  ASSERT_EQ(m.tasklets.size(), 2u);
+  EXPECT_EQ(m.TotalItemsProcessed(), kCount);  // sink consumed every event
+  for (const auto& t : m.tasklets) {
+    EXPECT_TRUE(t.done);
+    EXPECT_GT(t.calls, 0);
+    EXPECT_GE(t.idle_calls, 0);
+    EXPECT_LE(t.idle_calls, t.calls);
+  }
+  std::string report = m.ToString();
+  EXPECT_NE(report.find("the-sink"), std::string::npos);
+  EXPECT_NE(report.find("job 77"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Non-cooperative processors (§3.2: dedicated threads)
+// ---------------------------------------------------------------------------
+
+// A "blocking" source (models a 3rd-party API with blocking reads, §3.1):
+// runs on a dedicated thread, so it may sleep without stalling the
+// cooperative workers.
+class BlockingSourceP final : public Processor {
+ public:
+  explicit BlockingSourceP(int64_t count) : count_(count) {}
+
+  bool IsCooperative() const override { return false; }
+
+  bool Complete() override {
+    if (ctx()->IsCancelled()) return true;
+    // Deliberately block (forbidden for cooperative tasklets).
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    int32_t batch = 64;
+    while (batch-- > 0 && emitted_ < count_) {
+      if (!ctx()->outbox->OfferToAll(
+              Item::Data<int64_t>(emitted_, emitted_,
+                                  HashU64(static_cast<uint64_t>(emitted_))))) {
+        return false;
+      }
+      ++emitted_;
+    }
+    return emitted_ >= count_;
+  }
+
+ private:
+  int64_t count_;
+  int64_t emitted_ = 0;
+};
+
+TEST(NonCooperativeTest, BlockingSourceRunsOnDedicatedThread) {
+  constexpr int64_t kCount = 2'000;
+  Dag dag;
+  VertexId source = dag.AddVertex(
+      "blocking-source",
+      [kCount](const ProcessorMeta&) { return std::make_unique<BlockingSourceP>(kCount); },
+      1);
+  auto collector = std::make_shared<SyncCollector<int64_t>>();
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<int64_t>>(collector);
+      },
+      1);
+  dag.AddEdge(source, sink);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 1;  // the blocking source must not occupy it
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  auto values = collector->Snapshot();
+  std::set<int64_t> unique(values.begin(), values.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kCount));
+}
+
+}  // namespace
+}  // namespace jet::core

@@ -1,0 +1,341 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/collectors.h"
+#include "core/dag.h"
+#include "core/inbox_outbox.h"
+#include "core/job.h"
+#include "core/processors_basic.h"
+#include "core/watermark.h"
+
+namespace jet::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Inbox / Outbox
+// ---------------------------------------------------------------------------
+
+TEST(InboxTest, FifoPeekPoll) {
+  Inbox inbox;
+  EXPECT_TRUE(inbox.Empty());
+  inbox.Add(Item::Data<int>(1, 10));
+  inbox.Add(Item::Data<int>(2, 20));
+  EXPECT_EQ(inbox.Size(), 2u);
+  EXPECT_EQ(inbox.Peek()->payload.As<int>(), 1);
+  Item first = inbox.Poll();
+  EXPECT_EQ(first.payload.As<int>(), 1);
+  inbox.RemoveFront();
+  EXPECT_TRUE(inbox.Empty());
+}
+
+TEST(OutboxTest, BucketCapacityEnforced) {
+  Outbox outbox(2, /*bucket_capacity=*/3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(outbox.Offer(0, Item::Data<int>(i, 0)));
+  }
+  EXPECT_FALSE(outbox.Offer(0, Item::Data<int>(9, 0)));  // bucket 0 full
+  EXPECT_TRUE(outbox.Offer(1, Item::Data<int>(9, 0)));   // bucket 1 has room
+}
+
+TEST(OutboxTest, OfferToAllIsAtomicAcrossBuckets) {
+  Outbox outbox(2, /*bucket_capacity=*/2);
+  ASSERT_TRUE(outbox.OfferToAll(Item::Data<int>(1, 0)));
+  ASSERT_TRUE(outbox.OfferToAll(Item::Data<int>(2, 0)));
+  // Bucket 0 and 1 both full: OfferToAll must deliver to NEITHER.
+  EXPECT_FALSE(outbox.OfferToAll(Item::Data<int>(3, 0)));
+  EXPECT_EQ(outbox.bucket(0).size(), 2u);
+  EXPECT_EQ(outbox.bucket(1).size(), 2u);
+}
+
+TEST(OutboxTest, SnapshotBucketIndependent) {
+  Outbox outbox(1, 2);
+  EXPECT_TRUE(outbox.OfferToSnapshot(StateEntry{}));
+  EXPECT_TRUE(outbox.OfferToSnapshot(StateEntry{}));
+  EXPECT_FALSE(outbox.OfferToSnapshot(StateEntry{}));
+  EXPECT_TRUE(outbox.Offer(0, Item::Data<int>(1, 0)));  // data bucket unaffected
+  EXPECT_FALSE(outbox.Empty());
+}
+
+// ---------------------------------------------------------------------------
+// WatermarkCoalescer
+// ---------------------------------------------------------------------------
+
+TEST(WatermarkCoalescerTest, MinAcrossQueues) {
+  WatermarkCoalescer c(3);
+  EXPECT_EQ(c.Coalesced(), kMinWatermark);
+  c.ObserveWatermark(0, 100);
+  c.ObserveWatermark(1, 200);
+  EXPECT_EQ(c.Coalesced(), kMinWatermark);  // queue 2 silent
+  c.ObserveWatermark(2, 50);
+  EXPECT_EQ(c.Coalesced(), 50);
+  c.ObserveWatermark(2, 150);
+  EXPECT_EQ(c.Coalesced(), 100);
+}
+
+TEST(WatermarkCoalescerTest, DoneQueuesStopHoldingBack) {
+  WatermarkCoalescer c(2);
+  c.ObserveWatermark(0, 500);
+  EXPECT_EQ(c.Coalesced(), kMinWatermark);
+  c.MarkDone(1);
+  EXPECT_EQ(c.Coalesced(), 500);
+  c.MarkDone(0);
+  EXPECT_EQ(c.Coalesced(), kMaxWatermark);
+}
+
+TEST(WatermarkCoalescerTest, IgnoresRegression) {
+  WatermarkCoalescer c(1);
+  c.ObserveWatermark(0, 100);
+  c.ObserveWatermark(0, 50);  // regression ignored
+  EXPECT_EQ(c.Coalesced(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// OutboundCollector
+// ---------------------------------------------------------------------------
+
+std::vector<ItemQueuePtr> MakeQueues(int n, size_t capacity = 64) {
+  std::vector<ItemQueuePtr> queues;
+  for (int i = 0; i < n; ++i) queues.push_back(std::make_shared<ItemQueue>(capacity));
+  return queues;
+}
+
+TEST(CollectorTest, PartitionedIsDeterministicByHash) {
+  auto queues = MakeQueues(4);
+  OutboundCollector collector(RoutingPolicy::kPartitioned, queues, {}, 4, 1, 0);
+  for (uint64_t h = 0; h < 100; ++h) {
+    Item item = Item::Data<int>(1, 0, h);
+    ASSERT_TRUE(collector.OfferData(item));
+  }
+  // Each item landed in queue (hash % 4).
+  for (int q = 0; q < 4; ++q) {
+    size_t expected = 0;
+    for (uint64_t h = 0; h < 100; ++h) {
+      if (h % 4 == static_cast<uint64_t>(q)) ++expected;
+    }
+    EXPECT_EQ(queues[static_cast<size_t>(q)]->SizeApprox(), expected);
+  }
+}
+
+TEST(CollectorTest, PartitionedRoutesRemoteNodes) {
+  // 2 nodes x 2 local consumers; this collector is on node 0.
+  auto queues = MakeQueues(2);
+  std::vector<Item> remote;
+  std::vector<RemoteSink> remotes = {[&remote](const Item& item) {
+    remote.push_back(item);
+    return true;
+  }};
+  OutboundCollector collector(RoutingPolicy::kPartitioned, queues, remotes,
+                              /*total=*/4, /*nodes=*/2, /*node_id=*/0);
+  // hash 0,1 -> global 0,1 (node 0); hash 2,3 -> global 2,3 (node 1).
+  for (uint64_t h = 0; h < 4; ++h) {
+    Item item = Item::Data<int>(1, 0, h);
+    ASSERT_TRUE(collector.OfferData(item));
+  }
+  EXPECT_EQ(queues[0]->SizeApprox() + queues[1]->SizeApprox(), 2u);
+  EXPECT_EQ(remote.size(), 2u);
+}
+
+TEST(CollectorTest, UnicastSkipsFullQueues) {
+  auto queues = MakeQueues(2, /*capacity=*/2);
+  OutboundCollector collector(RoutingPolicy::kUnicast, queues, {}, 2, 1, 0);
+  for (int i = 0; i < 4; ++i) {
+    Item item = Item::Data<int>(i, 0);
+    ASSERT_TRUE(collector.OfferData(item));
+  }
+  // Both queues now full (2 each); further offers fail.
+  Item overflow = Item::Data<int>(9, 0);
+  EXPECT_FALSE(collector.OfferData(overflow));
+  EXPECT_EQ(queues[0]->SizeApprox(), 2u);
+  EXPECT_EQ(queues[1]->SizeApprox(), 2u);
+}
+
+TEST(CollectorTest, BroadcastDeliversToEveryQueueExactlyOnce) {
+  auto queues = MakeQueues(3);
+  OutboundCollector collector(RoutingPolicy::kBroadcast, queues, {}, 3, 1, 0);
+  Item item = Item::Data<int>(7, 0);
+  ASSERT_TRUE(collector.OfferData(item));
+  for (auto& q : queues) EXPECT_EQ(q->SizeApprox(), 1u);
+}
+
+TEST(CollectorTest, BroadcastResumesAfterFullQueue) {
+  auto queues = MakeQueues(2, /*capacity=*/2);
+  OutboundCollector collector(RoutingPolicy::kBroadcast, queues, {}, 2, 1, 0);
+  // Fill queue 1 (capacity rounds to 2).
+  Item filler = Item::Data<int>(0, 0);
+  queues[1]->TryPush(filler);
+  filler = Item::Data<int>(0, 0);
+  queues[1]->TryPush(filler);
+
+  Item item = Item::Data<int>(7, 0);
+  EXPECT_FALSE(collector.OfferData(item));  // queue 0 got it, queue 1 full
+  EXPECT_EQ(queues[0]->SizeApprox(), 1u);
+
+  // Drain queue 1 and retry the SAME item: queue 0 must not get a dup.
+  Item out;
+  queues[1]->TryPop(out);
+  queues[1]->TryPop(out);
+  EXPECT_TRUE(collector.OfferData(item));
+  EXPECT_EQ(queues[0]->SizeApprox(), 1u);
+  EXPECT_EQ(queues[1]->SizeApprox(), 1u);
+}
+
+TEST(CollectorTest, ControlReachesEveryQueue) {
+  auto queues = MakeQueues(3);
+  OutboundCollector collector(RoutingPolicy::kPartitioned, queues, {}, 3, 1, 0);
+  ASSERT_TRUE(collector.OfferControl(Item::WatermarkAt(42)));
+  for (auto& q : queues) {
+    Item* front = q->Peek();
+    ASSERT_NE(front, nullptr);
+    EXPECT_TRUE(front->IsWatermark());
+    EXPECT_EQ(front->timestamp, 42);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every routing policy delivers every item exactly once
+// end-to-end across parallelism combinations.
+// ---------------------------------------------------------------------------
+
+struct RoutingCase {
+  RoutingPolicy routing;
+  int32_t producer_parallelism;
+  int32_t consumer_parallelism;
+};
+
+class RoutingSweep : public ::testing::TestWithParam<RoutingCase> {};
+
+TEST_P(RoutingSweep, DeliversEverythingExactlyOnce) {
+  const RoutingCase& c = GetParam();
+  constexpr int64_t kCount = 4'000;
+  static ManualClock clock(int64_t{1} << 60);
+
+  Dag dag;
+  VertexId source = dag.AddVertex(
+      "source",
+      [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+        GeneratorSourceP<int64_t>::Options opt;
+        opt.events_per_second = 1e9;
+        opt.duration = kCount;
+        opt.watermark_interval = 500;
+        opt.start_time = 0;
+        return std::make_unique<GeneratorSourceP<int64_t>>(
+            [](int64_t seq) {
+              return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq)));
+            },
+            opt);
+      },
+      c.producer_parallelism);
+  auto collector = std::make_shared<SyncCollector<int64_t>>();
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<int64_t>>(collector);
+      },
+      c.consumer_parallelism);
+  dag.AddEdge(source, sink).routing = c.routing;
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  params.clock = &clock;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  auto values = collector->Snapshot();
+  std::map<int64_t, int> occurrences;
+  for (int64_t v : values) ++occurrences[v];
+
+  int64_t expected_copies =
+      c.routing == RoutingPolicy::kBroadcast ? c.consumer_parallelism : 1;
+  ASSERT_EQ(values.size(), static_cast<size_t>(kCount * expected_copies));
+  for (int64_t v = 0; v < kCount; ++v) {
+    ASSERT_EQ(occurrences[v], expected_copies) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, RoutingSweep,
+    ::testing::Values(RoutingCase{RoutingPolicy::kUnicast, 1, 1},
+                      RoutingCase{RoutingPolicy::kUnicast, 2, 3},
+                      RoutingCase{RoutingPolicy::kUnicast, 3, 1},
+                      RoutingCase{RoutingPolicy::kPartitioned, 1, 4},
+                      RoutingCase{RoutingPolicy::kPartitioned, 3, 2},
+                      RoutingCase{RoutingPolicy::kBroadcast, 1, 3},
+                      RoutingCase{RoutingPolicy::kBroadcast, 2, 2},
+                      RoutingCase{RoutingPolicy::kIsolated, 2, 2},
+                      RoutingCase{RoutingPolicy::kIsolated, 4, 4}));
+
+// Partitioned routing sends a key to the same consumer instance always.
+TEST(RoutingConsistencyTest, PartitionedKeysStayWithOneInstance) {
+  constexpr int64_t kCount = 6'000;
+  constexpr int64_t kKeys = 16;
+  static ManualClock clock(int64_t{1} << 60);
+
+  // Sink records which instance saw which key.
+  struct InstanceTag {
+    uint64_t key;
+    int32_t instance;
+  };
+  auto tags = std::make_shared<SyncCollector<InstanceTag>>();
+
+  class TaggingSink final : public Processor {
+   public:
+    explicit TaggingSink(std::shared_ptr<SyncCollector<InstanceTag>> tags)
+        : tags_(std::move(tags)) {}
+    void Process(int, Inbox* inbox) override {
+      while (!inbox->Empty()) {
+        tags_->Add(InstanceTag{inbox->Peek()->key_hash, ctx()->meta.global_index});
+        inbox->RemoveFront();
+      }
+    }
+
+   private:
+    std::shared_ptr<SyncCollector<InstanceTag>> tags_;
+  };
+
+  Dag dag;
+  VertexId source = dag.AddVertex(
+      "source",
+      [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+        GeneratorSourceP<int64_t>::Options opt;
+        opt.events_per_second = 1e9;
+        opt.duration = kCount;
+        opt.watermark_interval = 500;
+        opt.start_time = 0;
+        return std::make_unique<GeneratorSourceP<int64_t>>(
+            [](int64_t seq) {
+              return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq % kKeys)));
+            },
+            opt);
+      },
+      2);
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [tags](const ProcessorMeta&) { return std::make_unique<TaggingSink>(tags); }, 3);
+  dag.AddEdge(source, sink).routing = RoutingPolicy::kPartitioned;
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  params.clock = &clock;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  std::map<uint64_t, std::set<int32_t>> instances_per_key;
+  for (const auto& tag : tags->Snapshot()) {
+    instances_per_key[tag.key].insert(tag.instance);
+  }
+  EXPECT_EQ(instances_per_key.size(), static_cast<size_t>(kKeys));
+  for (const auto& [key, instances] : instances_per_key) {
+    EXPECT_EQ(instances.size(), 1u) << "key hash " << key << " visited several instances";
+  }
+}
+
+}  // namespace
+}  // namespace jet::core

@@ -1,0 +1,239 @@
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/dag.h"
+#include "core/job.h"
+#include "core/processors_basic.h"
+#include "core/processors_window.h"
+#include "imdg/grid.h"
+#include "imdg/snapshot_store.h"
+
+namespace jet::core {
+namespace {
+
+struct Event {
+  uint64_t key = 0;
+  int64_t amount = 0;
+};
+
+struct WindowedFixture {
+  std::shared_ptr<SyncCollector<WindowResult<int64_t>>> collector;
+  Dag dag;
+};
+
+// Builds source(rate, duration) -> accumulate -> combine(count) -> collect
+// over tumbling 50ms windows, all counting events per key.
+std::unique_ptr<WindowedFixture> MakeWindowedCountDag(double events_per_second,
+                                                      Nanos duration, int64_t keys) {
+  auto fx = std::make_unique<WindowedFixture>();
+  fx->collector = std::make_shared<SyncCollector<WindowResult<int64_t>>>();
+  WindowDef window = WindowDef::Tumbling(50 * kNanosPerMilli);
+  auto op = CountingAggregate<Event>();
+
+  VertexId source = fx->dag.AddVertex(
+      "source",
+      [events_per_second, duration, keys](const ProcessorMeta&)
+          -> std::unique_ptr<Processor> {
+        GeneratorSourceP<Event>::Options opt;
+        opt.events_per_second = events_per_second;
+        opt.duration = duration;
+        opt.watermark_interval = 5 * kNanosPerMilli;
+        return std::make_unique<GeneratorSourceP<Event>>(
+            [keys](int64_t seq) {
+              Event e{static_cast<uint64_t>(seq % keys), seq};
+              return std::make_pair(e, HashU64(e.key));
+            },
+            opt);
+      },
+      1);
+  VertexId accumulate = fx->dag.AddVertex(
+      "accumulate",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<AccumulateByFrameP<Event, int64_t, int64_t>>(
+            op, [](const Event& e) { return e.key; }, window);
+      },
+      2);
+  VertexId combine = fx->dag.AddVertex(
+      "combine",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<CombineFramesP<Event, int64_t, int64_t>>(op, window);
+      },
+      2);
+  VertexId sink = fx->dag.AddVertex(
+      "sink",
+      [collector = fx->collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<WindowResult<int64_t>>>(collector);
+      },
+      1);
+  fx->dag.AddEdge(source, accumulate);
+  fx->dag.AddEdge(accumulate, combine).routing = RoutingPolicy::kPartitioned;
+  fx->dag.AddEdge(combine, sink);
+  return fx;
+}
+
+// A job with exactly-once guarantee that never fails produces the same
+// results as one without snapshots.
+TEST(SnapshotTest, ExactlyOnceWithoutFailureIsCorrect) {
+  constexpr double kRate = 200'000;
+  constexpr Nanos kDuration = 500 * kNanosPerMilli;
+  const auto kExpected = static_cast<int64_t>(kRate * (kDuration / 1e9));
+
+  imdg::DataGrid grid(/*backup_count=*/1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  imdg::SnapshotStore store(&grid);
+
+  auto fx = MakeWindowedCountDag(kRate, kDuration, 16);
+  JobParams params;
+  params.dag = &fx->dag;
+  params.cooperative_threads = 2;
+  params.config.guarantee = ProcessingGuarantee::kExactlyOnce;
+  params.config.snapshot_interval = 50 * kNanosPerMilli;
+  params.snapshot_store = &store;
+  params.job_id = 7;
+
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+  EXPECT_GT((*job)->snapshots_taken(), 0);
+
+  int64_t total = 0;
+  for (const auto& r : fx->collector->Snapshot()) total += r.value;
+  EXPECT_EQ(total, kExpected);
+}
+
+// Kill the job mid-flight after a committed snapshot, restore a new job
+// from it, and verify the Chandy-Lamport exactly-once property: every
+// window result is present, duplicated emissions agree byte-for-byte, and
+// the distinct windows account for every event exactly once (§4.4).
+TEST(SnapshotTest, ExactlyOnceSurvivesFailureAndRestore) {
+  constexpr double kRate = 100'000;
+  constexpr Nanos kDuration = 1'500 * kNanosPerMilli;
+  const auto kExpected = static_cast<int64_t>(kRate * (kDuration / 1e9));
+
+  imdg::DataGrid grid(/*backup_count=*/1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  imdg::SnapshotStore store(&grid);
+
+  auto fx = MakeWindowedCountDag(kRate, kDuration, 16);
+  JobParams params;
+  params.dag = &fx->dag;
+  params.cooperative_threads = 2;
+  params.config.guarantee = ProcessingGuarantee::kExactlyOnce;
+  params.config.snapshot_interval = 50 * kNanosPerMilli;
+  params.snapshot_store = &store;
+  params.job_id = 9;
+
+  auto job1 = Job::Create(params);
+  ASSERT_TRUE(job1.ok());
+  ASSERT_TRUE((*job1)->Start().ok());
+
+  // Wait for at least two committed snapshots, then hard-kill the job.
+  for (int i = 0; i < 2000 && (*job1)->last_committed_snapshot() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE((*job1)->last_committed_snapshot(), 2) << "no snapshot committed in time";
+  (*job1)->Cancel();
+  (void)(*job1)->Join();
+  int64_t restore_id = (*job1)->last_committed_snapshot();
+  job1->reset();
+
+  // Restore: same DAG, same collector (sinks are external observers), same
+  // snapshot store.
+  auto committed = store.LastCommitted(9);
+  ASSERT_TRUE(committed.ok());
+  ASSERT_TRUE(committed->has_value());
+  EXPECT_EQ(**committed, restore_id);
+
+  params.restore_snapshot_id = restore_id;
+  auto job2 = Job::Create(params);
+  ASSERT_TRUE(job2.ok()) << job2.status().ToString();
+  ASSERT_TRUE((*job2)->Start().ok());
+  ASSERT_TRUE((*job2)->Join().ok());
+
+  // Group results by (key, window_end): duplicates (windows emitted both
+  // before the crash and after restore) must agree on the value.
+  std::map<std::pair<uint64_t, Nanos>, int64_t> distinct;
+  for (const auto& r : fx->collector->Snapshot()) {
+    auto it = distinct.find({r.key, r.window_end});
+    if (it == distinct.end()) {
+      distinct[{r.key, r.window_end}] = r.value;
+    } else {
+      EXPECT_EQ(it->second, r.value)
+          << "conflicting duplicate for key " << r.key << " window " << r.window_end;
+    }
+  }
+  int64_t total = 0;
+  for (const auto& [kw, v] : distinct) total += v;
+  EXPECT_EQ(total, kExpected);
+}
+
+// At-least-once: no barrier alignment, so after a crash+restore some events
+// may be double-counted, but none may be lost.
+TEST(SnapshotTest, AtLeastOnceNeverLosesEvents) {
+  constexpr double kRate = 100'000;
+  constexpr Nanos kDuration = 1'200 * kNanosPerMilli;
+  const auto kExpected = static_cast<int64_t>(kRate * (kDuration / 1e9));
+
+  imdg::DataGrid grid(/*backup_count=*/1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  imdg::SnapshotStore store(&grid);
+
+  auto fx = MakeWindowedCountDag(kRate, kDuration, 16);
+  JobParams params;
+  params.dag = &fx->dag;
+  params.cooperative_threads = 2;
+  params.config.guarantee = ProcessingGuarantee::kAtLeastOnce;
+  params.config.snapshot_interval = 50 * kNanosPerMilli;
+  params.snapshot_store = &store;
+  params.job_id = 11;
+
+  auto job1 = Job::Create(params);
+  ASSERT_TRUE(job1.ok());
+  ASSERT_TRUE((*job1)->Start().ok());
+  for (int i = 0; i < 2000 && (*job1)->last_committed_snapshot() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE((*job1)->last_committed_snapshot(), 2);
+  (*job1)->Cancel();
+  (void)(*job1)->Join();
+  int64_t restore_id = (*job1)->last_committed_snapshot();
+  job1->reset();
+
+  params.restore_snapshot_id = restore_id;
+  auto job2 = Job::Create(params);
+  ASSERT_TRUE(job2.ok());
+  ASSERT_TRUE((*job2)->Start().ok());
+  ASSERT_TRUE((*job2)->Join().ok());
+
+  std::map<std::pair<uint64_t, Nanos>, int64_t> distinct;
+  for (const auto& r : fx->collector->Snapshot()) {
+    auto key = std::make_pair(r.key, r.window_end);
+    distinct[key] = std::max(distinct[key], r.value);
+  }
+  int64_t total = 0;
+  for (const auto& [kw, v] : distinct) total += v;
+  EXPECT_GE(total, kExpected);  // no loss
+}
+
+// Snapshots must not be committed unless every tasklet acked; a job without
+// a guarantee must take none.
+TEST(SnapshotTest, NoGuaranteeTakesNoSnapshots) {
+  auto fx = MakeWindowedCountDag(50'000, 200 * kNanosPerMilli, 8);
+  JobParams params;
+  params.dag = &fx->dag;
+  params.cooperative_threads = 2;
+  auto job = Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+  EXPECT_EQ((*job)->snapshots_taken(), 0);
+  EXPECT_EQ((*job)->last_committed_snapshot(), 0);
+}
+
+}  // namespace
+}  // namespace jet::core

@@ -1,0 +1,168 @@
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "cluster/failure_detector.h"
+#include "cluster/jet_cluster.h"
+#include "core/processors_basic.h"
+#include "core/processors_window.h"
+
+namespace jet::cluster {
+namespace {
+
+TEST(FailureDetectorTest, HealthyMembersNotSuspected) {
+  net::Network network;
+  std::atomic<int> failures{0};
+  HeartbeatFailureDetector::Options options;
+  options.heartbeat_interval = 10 * kNanosPerMilli;
+  options.suspicion_timeout = 60 * kNanosPerMilli;
+  HeartbeatFailureDetector detector(&network, options,
+                                    [&failures](int32_t) { failures.fetch_add(1); });
+  detector.AddMember(0);
+  detector.AddMember(1);
+  detector.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  detector.Stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(detector.FailedMembers().empty());
+}
+
+TEST(FailureDetectorTest, SilentMemberIsDeclaredFailedOnce) {
+  net::Network network;
+  std::vector<int32_t> failed;
+  std::mutex mutex;
+  HeartbeatFailureDetector::Options options;
+  options.heartbeat_interval = 10 * kNanosPerMilli;
+  options.suspicion_timeout = 50 * kNanosPerMilli;
+  HeartbeatFailureDetector detector(&network, options, [&](int32_t member) {
+    std::scoped_lock lock(mutex);
+    failed.push_back(member);
+  });
+  detector.AddMember(0);
+  detector.AddMember(1);
+  detector.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  detector.StopHeartbeats(1);  // member 1 "crashes"
+  for (int i = 0; i < 1000; ++i) {
+    {
+      std::scoped_lock lock(mutex);
+      if (!failed.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // no double-fire
+  detector.Stop();
+  std::scoped_lock lock(mutex);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], 1);
+}
+
+// Full detection -> recovery loop: a member stops heartbeating; the
+// detector fires; the cluster removes it; the exactly-once job recovers
+// with exact results (§4.4 end to end, including the detection step).
+TEST(FailureDetectorTest, DetectionDrivesClusterRecovery) {
+  ClusterConfig config;
+  config.initial_nodes = 3;
+  config.threads_per_node = 1;
+  JetCluster cluster(config);
+
+  HeartbeatFailureDetector::Options options;
+  options.heartbeat_interval = 20 * kNanosPerMilli;
+  options.suspicion_timeout = 100 * kNanosPerMilli;
+  HeartbeatFailureDetector detector(
+      &cluster.network(), options,
+      [&cluster](int32_t member) { (void)cluster.KillNode(member); });
+  for (int32_t node : cluster.AliveNodes()) detector.AddMember(node);
+  detector.Start();
+
+  constexpr double kRate = 50'000;
+  constexpr Nanos kDuration = 2 * kNanosPerSecond;
+  const auto kExpected = static_cast<int64_t>(kRate * (kDuration / 1e9));
+
+  struct Event {
+    uint64_t key = 0;
+  };
+  core::Dag dag;
+  auto collector =
+      std::make_shared<core::SyncCollector<core::WindowResult<int64_t>>>();
+  auto op = core::CountingAggregate<Event>();
+  core::WindowDef window = core::WindowDef::Tumbling(50 * kNanosPerMilli);
+  auto source = dag.AddVertex(
+      "source",
+      [kDuration](const core::ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+        core::GeneratorSourceP<Event>::Options opt;
+        opt.events_per_second = kRate;
+        opt.duration = kDuration;
+        opt.watermark_interval = 5 * kNanosPerMilli;
+        return std::make_unique<core::GeneratorSourceP<Event>>(
+            [](int64_t seq) {
+              Event e{static_cast<uint64_t>(seq % 16)};
+              return std::make_pair(e, HashU64(e.key));
+            },
+            opt);
+      },
+      1);
+  auto accumulate = dag.AddVertex(
+      "accumulate",
+      [op, window](const core::ProcessorMeta&) {
+        return std::make_unique<core::AccumulateByFrameP<Event, int64_t, int64_t>>(
+            op, [](const Event& e) { return e.key; }, window);
+      },
+      1);
+  auto combine = dag.AddVertex(
+      "combine",
+      [op, window](const core::ProcessorMeta&) {
+        return std::make_unique<core::CombineFramesP<Event, int64_t, int64_t>>(op,
+                                                                               window);
+      },
+      1);
+  auto sink = dag.AddVertex(
+      "sink",
+      [collector](const core::ProcessorMeta&) {
+        return std::make_unique<core::CollectSinkP<core::WindowResult<int64_t>>>(
+            collector);
+      },
+      1);
+  dag.AddEdge(source, accumulate);
+  auto& e = dag.AddEdge(accumulate, combine);
+  e.routing = core::RoutingPolicy::kPartitioned;
+  e.distributed = true;
+  dag.AddEdge(combine, sink);
+
+  core::JobConfig jc;
+  jc.guarantee = core::ProcessingGuarantee::kExactlyOnce;
+  jc.snapshot_interval = 100 * kNanosPerMilli;
+  auto job = cluster.SubmitJob(&dag, jc, 5);
+  ASSERT_TRUE(job.ok());
+
+  for (int i = 0; i < 3000 && (*job)->last_committed_snapshot() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE((*job)->last_committed_snapshot(), 2);
+
+  // The node's process "crashes": heartbeats cease; detection takes over.
+  detector.StopHeartbeats(2);
+
+  ASSERT_TRUE((*job)->Join().ok());
+  detector.Stop();
+  EXPECT_EQ(cluster.AliveNodes().size(), 2u);
+  EXPECT_GE((*job)->attempts_started(), 2);
+
+  std::map<std::pair<uint64_t, Nanos>, int64_t> distinct;
+  for (const auto& r : collector->Snapshot()) {
+    auto it = distinct.find({r.key, r.window_end});
+    if (it == distinct.end()) {
+      distinct[{r.key, r.window_end}] = r.value;
+    } else {
+      EXPECT_EQ(it->second, r.value);
+    }
+  }
+  int64_t total = 0;
+  for (const auto& [kw, v] : distinct) total += v;
+  EXPECT_EQ(total, kExpected);
+}
+
+}  // namespace
+}  // namespace jet::cluster

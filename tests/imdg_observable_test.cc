@@ -1,0 +1,124 @@
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "cluster/jet_cluster.h"
+#include "imdg/grid.h"
+#include "imdg/imap.h"
+#include "nexmark/queries.h"
+
+namespace jet::imdg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Observable maps (§4.2, powering the §6 CDC use cases)
+// ---------------------------------------------------------------------------
+
+TEST(ObservableMapTest, ListenerSeesEveryPut) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  IMap<int64_t, std::string> map(&grid, "users");
+
+  std::map<int64_t, std::string> observed;
+  std::mutex mutex;
+  map.AddListener([&](const int64_t& k, const std::string& v) {
+    std::scoped_lock lock(mutex);
+    observed[k] = v;
+  });
+
+  ASSERT_TRUE(map.Put(1, "a").ok());
+  ASSERT_TRUE(map.Put(2, "b").ok());
+  ASSERT_TRUE(map.Put(1, "a2").ok());
+
+  std::scoped_lock lock(mutex);
+  EXPECT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[1], "a2");
+  EXPECT_EQ(observed[2], "b");
+}
+
+TEST(ObservableMapTest, ListenerScopedToMapName) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  IMap<int64_t, int64_t> a(&grid, "a");
+  IMap<int64_t, int64_t> b(&grid, "b");
+  std::atomic<int> a_events{0};
+  a.AddListener([&](const int64_t&, const int64_t&) { a_events.fetch_add(1); });
+  ASSERT_TRUE(a.Put(1, 1).ok());
+  ASSERT_TRUE(b.Put(1, 1).ok());
+  EXPECT_EQ(a_events.load(), 1);
+}
+
+TEST(ObservableMapTest, RemovedListenerStopsFiring) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  IMap<int64_t, int64_t> map(&grid, "m");
+  std::atomic<int> events{0};
+  int64_t id = map.AddListener([&](const int64_t&, const int64_t&) { events.fetch_add(1); });
+  ASSERT_TRUE(map.Put(1, 1).ok());
+  grid.RemoveEntryListener(id);
+  ASSERT_TRUE(map.Put(2, 2).ok());
+  EXPECT_EQ(events.load(), 1);
+}
+
+TEST(QueryableMapTest, PredicateQueriesFilter) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  IMap<int64_t, int64_t> map(&grid, "scores");
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(map.Put(i, i * 10).ok());
+
+  auto high = map.EntriesWhere(
+      [](const int64_t&, const int64_t& value) { return value >= 900; });
+  EXPECT_EQ(high.size(), 10u);
+  for (const auto& [k, v] : high) EXPECT_GE(v, 900);
+}
+
+// ---------------------------------------------------------------------------
+// NEXMark on the real multi-node cluster (integration)
+// ---------------------------------------------------------------------------
+
+TEST(NexmarkClusterTest, Q5RunsAcrossNodes) {
+  cluster::ClusterConfig config;
+  config.initial_nodes = 2;
+  config.threads_per_node = 1;
+  cluster::JetCluster jet_cluster(config);
+
+  nexmark::QueryConfig qc;
+  qc.events_per_second = 50'000;
+  qc.duration = 400 * kNanosPerMilli;
+  qc.window_size = 100 * kNanosPerMilli;
+  qc.window_slide = 20 * kNanosPerMilli;
+  qc.watermark_interval = 5 * kNanosPerMilli;
+  auto query = nexmark::BuildQuery(5, qc);
+  ASSERT_TRUE(query.ok());
+
+  // Mark the keyed exchange distributed so state spreads across nodes.
+  auto dag = (*query)->pipeline.ToDag();
+  ASSERT_TRUE(dag.ok());
+  for (size_t i = 0; i < dag->edges().size(); ++i) {
+    auto& e = const_cast<core::Edge&>(dag->edges()[i]);
+    if (e.routing == core::RoutingPolicy::kPartitioned) e.distributed = true;
+  }
+
+  auto job = jet_cluster.SubmitJob(&*dag, core::JobConfig{}, 1);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  ASSERT_TRUE((*job)->Join().ok());
+
+  Histogram h = (*query)->MergedLatency();
+  EXPECT_GT(h.count(), 0);
+  // Metrics cover tasklets from both nodes plus network exchange tasklets.
+  core::JobMetrics m = (*job)->Metrics();
+  EXPECT_GT(m.tasklets.size(), 8u);
+  bool has_sender = false, has_receiver = false;
+  for (const auto& t : m.tasklets) {
+    if (t.name.find("sender") != std::string::npos) has_sender = true;
+    if (t.name.find("receiver") != std::string::npos) has_receiver = true;
+  }
+  EXPECT_TRUE(has_sender);
+  EXPECT_TRUE(has_receiver);
+}
+
+}  // namespace
+}  // namespace jet::imdg

@@ -1,0 +1,358 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "imdg/grid.h"
+#include "imdg/imap.h"
+#include "imdg/partition_table.h"
+#include "imdg/snapshot_store.h"
+
+namespace jet::imdg {
+namespace {
+
+Bytes Key(uint64_t k) {
+  BytesWriter w;
+  w.WriteU64(k);
+  return w.Take();
+}
+
+Bytes Value(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------------------
+// PartitionTable — property sweep over member counts
+// ---------------------------------------------------------------------------
+
+class PartitionTableSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionTableSweep, AssignmentIsBalancedAndValid) {
+  const int members = GetParam();
+  PartitionTable table(kDefaultPartitionCount, /*backup_count=*/1);
+  std::vector<MemberId> ids;
+  for (int i = 0; i < members; ++i) ids.push_back(i);
+  ASSERT_TRUE(table.Assign(ids).ok());
+  ASSERT_TRUE(table.Validate().ok());
+
+  // Every partition has a primary; primaries are balanced within 1.
+  int32_t min_p = kDefaultPartitionCount, max_p = 0;
+  for (MemberId m : ids) {
+    auto p = static_cast<int32_t>(table.PrimariesOf(m).size());
+    min_p = std::min(min_p, p);
+    max_p = std::max(max_p, p);
+  }
+  EXPECT_LE(max_p - min_p, 1);
+
+  // With >= 2 members every partition has a backup on a different member.
+  if (members >= 2) {
+    for (PartitionId p = 0; p < kDefaultPartitionCount; ++p) {
+      EXPECT_NE(table.ReplicaFor(p, 1), kInvalidMember);
+      EXPECT_NE(table.ReplicaFor(p, 1), table.PrimaryFor(p));
+    }
+  }
+}
+
+TEST_P(PartitionTableSweep, RemoveMemberPromotesBackups) {
+  const int members = GetParam();
+  if (members < 2) GTEST_SKIP();
+  PartitionTable table(kDefaultPartitionCount, 1);
+  std::vector<MemberId> ids;
+  for (int i = 0; i < members; ++i) ids.push_back(i);
+  ASSERT_TRUE(table.Assign(ids).ok());
+
+  // Record who was the backup of each partition primaried on member 0.
+  auto victims = table.PrimariesOf(0);
+  std::vector<MemberId> backups;
+  for (PartitionId p : victims) backups.push_back(table.ReplicaFor(p, 1));
+
+  table.RemoveMember(0);
+  ASSERT_TRUE(table.Validate().ok());
+  for (size_t i = 0; i < victims.size(); ++i) {
+    // Promotion (Fig 6): the old backup is the new primary — no data moves.
+    EXPECT_EQ(table.PrimaryFor(victims[i]), backups[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MemberCounts, PartitionTableSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(PartitionTableTest, AddMemberMovesMinimalData) {
+  PartitionTable table(kDefaultPartitionCount, 1);
+  ASSERT_TRUE(table.Assign({0, 1, 2}).ok());
+  auto migrations = table.AddMember(3);
+  ASSERT_TRUE(table.Validate().ok());
+  // Only the new member's fair share of primaries moves: ~271/4 ≈ 67.
+  EXPECT_LE(migrations.size(), static_cast<size_t>(kDefaultPartitionCount / 4 + 1));
+  for (const auto& m : migrations) {
+    EXPECT_EQ(m.destination, 3);
+    EXPECT_EQ(m.replica_index, 0);
+  }
+  auto new_share = table.PrimariesOf(3).size();
+  EXPECT_GE(new_share, static_cast<size_t>(kDefaultPartitionCount / 4 - 1));
+}
+
+TEST(PartitionTableTest, HashMappingIsStable) {
+  // Partition of a key never depends on membership (§4.1 alignment).
+  EXPECT_EQ(PartitionForHash(12345, 271), PartitionForHash(12345, 271));
+  EXPECT_EQ(PartitionForKey(7, 271), PartitionForHash(HashU64(7), 271));
+}
+
+// ---------------------------------------------------------------------------
+// DataGrid
+// ---------------------------------------------------------------------------
+
+TEST(DataGridTest, PutGetRemove) {
+  DataGrid grid(1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  ASSERT_TRUE(grid.Put("m", Key(1), Value("a")).ok());
+  auto got = grid.Get("m", Key(1));
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, Value("a"));
+
+  auto removed = grid.Remove("m", Key(1));
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(*removed);
+  got = grid.Get("m", Key(1));
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->has_value());
+}
+
+TEST(DataGridTest, GetMissingReturnsNullopt) {
+  DataGrid grid(1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  auto got = grid.Get("m", Key(42));
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->has_value());
+}
+
+TEST(DataGridTest, OperationsWithoutMembersFail) {
+  DataGrid grid(1);
+  EXPECT_FALSE(grid.Put("m", Key(1), Value("a")).ok());
+}
+
+TEST(DataGridTest, ReplicationKeepsBackupsInSync) {
+  DataGrid grid(1);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(grid.AddMember(i).ok());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(grid.Put("m", Key(k), Value(std::to_string(k))).ok());
+  }
+  EXPECT_TRUE(grid.CheckReplicaConsistency("m").ok());
+  EXPECT_EQ(grid.Size("m"), 1000);
+}
+
+TEST(DataGridTest, DataSurvivesMemberFailure) {
+  DataGrid grid(1);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(grid.AddMember(i).ok());
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(grid.Put("m", Key(k), Value(std::to_string(k))).ok());
+  }
+  ASSERT_TRUE(grid.RemoveMember(1).ok());
+  // Every entry is still readable and replicas are re-established.
+  for (uint64_t k = 0; k < 2000; ++k) {
+    auto got = grid.Get("m", Key(k));
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value()) << "lost key " << k;
+    EXPECT_EQ(**got, Value(std::to_string(k)));
+  }
+  EXPECT_TRUE(grid.CheckReplicaConsistency("m").ok());
+}
+
+TEST(DataGridTest, DataSurvivesSequentialFailures) {
+  DataGrid grid(/*backup_count=*/1);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(grid.AddMember(i).ok());
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(grid.Put("m", Key(k), Value("v")).ok());
+  }
+  // One failure at a time, re-replicating in between, never loses data.
+  ASSERT_TRUE(grid.RemoveMember(0).ok());
+  ASSERT_TRUE(grid.RemoveMember(2).ok());
+  for (uint64_t k = 0; k < 500; ++k) {
+    auto got = grid.Get("m", Key(k));
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->has_value()) << "lost key " << k;
+  }
+}
+
+TEST(DataGridTest, JoinRebalancesAndPreservesData) {
+  DataGrid grid(1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  ASSERT_TRUE(grid.AddMember(1).ok());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(grid.Put("m", Key(k), Value("x")).ok());
+  }
+  auto migrated = grid.AddMember(2);
+  ASSERT_TRUE(migrated.ok());
+  EXPECT_GT(*migrated, 0);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    auto got = grid.Get("m", Key(k));
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->has_value());
+  }
+  EXPECT_TRUE(grid.CheckReplicaConsistency("m").ok());
+  // The new member now owns a fair share of primaries.
+  EXPECT_GT(grid.table().PrimariesOf(2).size(), static_cast<size_t>(60));
+}
+
+TEST(DataGridTest, PutInPartitionPlacesExplicitly) {
+  DataGrid grid(1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  ASSERT_TRUE(grid.PutInPartition("m", 42, Key(1), Value("a")).ok());
+  auto entries = grid.EntriesInPartition("m", 42);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].second, Value("a"));
+  EXPECT_FALSE(grid.PutInPartition("m", 100000, Key(1), Value("a")).ok());
+}
+
+TEST(DataGridTest, ClearAndDestroy) {
+  DataGrid grid(1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  ASSERT_TRUE(grid.Put("m", Key(1), Value("a")).ok());
+  grid.Clear("m");
+  EXPECT_EQ(grid.Size("m"), 0);
+  ASSERT_TRUE(grid.Put("m", Key(2), Value("b")).ok());
+  grid.Destroy("m");
+  EXPECT_EQ(grid.Size("m"), 0);
+}
+
+TEST(DataGridTest, StatsAreCounted) {
+  DataGrid grid(1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  ASSERT_TRUE(grid.AddMember(1).ok());
+  (void)grid.Put("m", Key(1), Value("a"));
+  (void)grid.Get("m", Key(1));
+  auto stats = grid.stats();
+  EXPECT_EQ(stats.puts, 1);
+  EXPECT_EQ(stats.gets, 1);
+  EXPECT_GT(stats.replicated_bytes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// IMap typed facade
+// ---------------------------------------------------------------------------
+
+TEST(IMapTest, TypedRoundTrip) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  IMap<int64_t, std::string> map(&grid, "users");
+  ASSERT_TRUE(map.Put(7, "alice").ok());
+  ASSERT_TRUE(map.Put(8, "bob").ok());
+  auto got = map.Get(7);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "alice");
+  EXPECT_EQ(map.Size(), 2);
+  auto removed = map.Remove(7);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(*removed);
+  EXPECT_EQ(map.Size(), 1);
+}
+
+TEST(IMapTest, TwoViewsShareData) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  IMap<int64_t, double> a(&grid, "shared");
+  IMap<int64_t, double> b(&grid, "shared");
+  ASSERT_TRUE(a.Put(1, 2.5).ok());
+  auto got = b.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStore
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotStoreTest, WriteCommitRead) {
+  DataGrid grid(1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  ASSERT_TRUE(grid.AddMember(1).ok());
+  SnapshotStore store(&grid);
+
+  SnapshotStateEntry entry;
+  entry.vertex_id = 2;
+  entry.writer_index = 0;
+  entry.key_hash = HashU64(5);
+  entry.key = Key(5);
+  entry.value = Value("state");
+  ASSERT_TRUE(store.WriteEntry(1, 1, entry).ok());
+  ASSERT_TRUE(store.Commit(1, 1).ok());
+
+  auto committed = store.LastCommitted(1);
+  ASSERT_TRUE(committed.ok());
+  ASSERT_TRUE(committed->has_value());
+  EXPECT_EQ(**committed, 1);
+
+  int found = 0;
+  PartitionId p = PartitionForHash(entry.key_hash, grid.partition_count());
+  ASSERT_TRUE(store
+                  .ReadEntries(1, 1, 2, p,
+                               [&found](SnapshotStateEntry e) {
+                                 EXPECT_EQ(e.value, Value("state"));
+                                 ++found;
+                               })
+                  .ok());
+  EXPECT_EQ(found, 1);
+}
+
+TEST(SnapshotStoreTest, AlternatingMapsDoNotCollide) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  SnapshotStore store(&grid);
+  // Snapshot 1 and 2 use different maps; committing 2 clears map of 3 (=1's).
+  EXPECT_NE(SnapshotStore::MapNameFor(1, 1), SnapshotStore::MapNameFor(1, 2));
+  EXPECT_EQ(SnapshotStore::MapNameFor(1, 1), SnapshotStore::MapNameFor(1, 3));
+}
+
+TEST(SnapshotStoreTest, DistinctWritersDoNotOverwrite) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  SnapshotStore store(&grid);
+  // Two instances hold partial state for the same key (two-stage
+  // aggregation); both entries must survive.
+  for (int32_t writer : {0, 1}) {
+    SnapshotStateEntry e;
+    e.vertex_id = 1;
+    e.writer_index = writer;
+    e.key_hash = HashU64(9);
+    e.key = Key(9);
+    e.value = Value("partial" + std::to_string(writer));
+    ASSERT_TRUE(store.WriteEntry(4, 1, e).ok());
+  }
+  EXPECT_EQ(store.EntryCount(4, 1), 2);
+}
+
+TEST(SnapshotStoreTest, ClearInFlightRemovesStaleEntries) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  SnapshotStore store(&grid);
+  SnapshotStateEntry e;
+  e.vertex_id = 1;
+  e.key_hash = 1;
+  e.key = Key(1);
+  e.value = Value("stale");
+  ASSERT_TRUE(store.WriteEntry(2, 3, e).ok());
+  store.ClearInFlight(2, 3);
+  EXPECT_EQ(store.EntryCount(2, 3), 0);
+}
+
+TEST(SnapshotStoreTest, DeleteJobRemovesEverything) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  SnapshotStore store(&grid);
+  SnapshotStateEntry e;
+  e.vertex_id = 1;
+  e.key_hash = 1;
+  e.key = Key(1);
+  e.value = Value("v");
+  ASSERT_TRUE(store.WriteEntry(3, 1, e).ok());
+  ASSERT_TRUE(store.Commit(3, 1).ok());
+  store.DeleteJob(3);
+  auto committed = store.LastCommitted(3);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_FALSE(committed->has_value());
+  EXPECT_EQ(store.EntryCount(3, 1), 0);
+}
+
+}  // namespace
+}  // namespace jet::imdg

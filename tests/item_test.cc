@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/item.h"
+
+namespace jet::core {
+namespace {
+
+TEST(AnyTest, HoldsAndReturnsValue) {
+  Any a = Any::Of<int64_t>(42);
+  EXPECT_FALSE(a.Empty());
+  EXPECT_EQ(a.As<int64_t>(), 42);
+}
+
+TEST(AnyTest, TryAsChecksType) {
+  Any a = Any::Of<std::string>("hello");
+  EXPECT_EQ(a.TryAs<int64_t>(), nullptr);
+  ASSERT_NE(a.TryAs<std::string>(), nullptr);
+  EXPECT_EQ(*a.TryAs<std::string>(), "hello");
+}
+
+TEST(AnyTest, CopySharesImmutableValue) {
+  Any a = Any::Of<std::string>("shared");
+  Any b = a;  // refcount bump, no deep copy
+  EXPECT_EQ(&a.As<std::string>(), &b.As<std::string>());
+}
+
+TEST(AnyTest, EmptyByDefault) {
+  Any a;
+  EXPECT_TRUE(a.Empty());
+  EXPECT_EQ(a.TryAs<int>(), nullptr);
+}
+
+TEST(ItemTest, FactoryKindsAndFields) {
+  Item data = Item::Data<int>(7, 123, 99);
+  EXPECT_TRUE(data.IsData());
+  EXPECT_EQ(data.timestamp, 123);
+  EXPECT_EQ(data.key_hash, 99u);
+  EXPECT_EQ(data.payload.As<int>(), 7);
+
+  Item wm = Item::WatermarkAt(555);
+  EXPECT_TRUE(wm.IsWatermark());
+  EXPECT_EQ(wm.timestamp, 555);
+
+  Item barrier = Item::BarrierFor(3);
+  EXPECT_TRUE(barrier.IsBarrier());
+  EXPECT_EQ(barrier.timestamp, 3);
+
+  Item done = Item::Done();
+  EXPECT_TRUE(done.IsDone());
+  EXPECT_FALSE(done.IsData());
+}
+
+}  // namespace
+}  // namespace jet::core

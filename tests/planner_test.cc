@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/job.h"
+#include "pipeline/pipeline.h"
+
+namespace jet::pipeline {
+namespace {
+
+using core::GeneratorSourceP;
+
+GeneratorSourceP<int64_t>::Options SmallInts(int64_t count) {
+  GeneratorSourceP<int64_t>::Options opt;
+  opt.events_per_second = 1e9;
+  opt.duration = count;
+  opt.watermark_interval = 1000;
+  opt.start_time = 0;
+  return opt;
+}
+
+GeneratorSourceP<int64_t>::GenFn Gen() {
+  return [](int64_t seq) {
+    return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq)));
+  };
+}
+
+// Fusion must stop at a branch point: a stage with two consumers keeps its
+// own vertex so both branches see its output.
+TEST(PlannerTest, FusionStopsAtBranch) {
+  Pipeline p;
+  auto base = p.ReadFrom<int64_t>("ints", Gen(), SmallInts(1000))
+                  .Map<int64_t>("shared", [](const int64_t& v) { return v + 1; });
+  auto counter_a =
+      base.Map<int64_t>("branch-a", [](const int64_t& v) { return v * 2; })
+          .WriteToCountSink("count-a");
+  auto counter_b =
+      base.Filter("branch-b", [](const int64_t& v) { return v % 2 == 0; })
+          .WriteToCountSink("count-b");
+
+  auto dag = p.ToDag();
+  ASSERT_TRUE(dag.ok()) << dag.status().ToString();
+  // source, shared, branch-a, branch-b, 2 sinks = 6 vertices ('shared' must
+  // not fuse into either branch).
+  EXPECT_EQ(dag->vertices().size(), 6u);
+
+  static ManualClock clock(int64_t{1} << 60);
+  core::JobParams params;
+  params.dag = &*dag;
+  params.cooperative_threads = 2;
+  params.clock = &clock;
+  auto job = core::Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+  EXPECT_EQ(counter_a->load(), 1000);
+  // 'shared' adds 1, so evens of (v+1) are the odd v: 500.
+  EXPECT_EQ(counter_b->load(), 500);
+}
+
+// Fusion must not cross a parallelism change.
+TEST(PlannerTest, FusionRespectsParallelismBoundaries) {
+  Pipeline p;
+  auto stage = p.ReadFrom<int64_t>("ints", Gen(), SmallInts(10));
+  // Explicit parallelism changes via WriteTo-style construction are not
+  // exposed for stateless stages (they inherit -1), so verify instead that
+  // a chain through an aggregate is never fused.
+  stage.GroupingKey([](const int64_t& v) { return static_cast<uint64_t>(v); })
+      .Window(core::WindowDef::Tumbling(1000))
+      .Aggregate<int64_t, int64_t>("agg", core::CountingAggregate<int64_t>())
+      .Map<core::WindowResult<int64_t>>("post",
+                                        [](const core::WindowResult<int64_t>& r) {
+                                          return r;
+                                        })
+      .WriteToCountSink("count");
+  auto dag = p.ToDag();
+  ASSERT_TRUE(dag.ok());
+  // source + accumulate + combine + post + sink = 5.
+  EXPECT_EQ(dag->vertices().size(), 5u);
+}
+
+// The isolated-edge upgrade only applies to equal-parallelism hops.
+TEST(PlannerTest, IsolationRequiresEqualParallelism) {
+  Pipeline p;
+  p.ReadFrom<int64_t>("ints", Gen(), SmallInts(10), /*local_parallelism=*/2)
+      .Map<int64_t>("map", [](const int64_t& v) { return v; })
+      .WriteToCountSink("count", /*local_parallelism=*/1);
+  auto dag = p.ToDag();
+  ASSERT_TRUE(dag.ok());
+  bool found_isolated = false;
+  bool found_unicast = false;
+  for (const auto& e : dag->edges()) {
+    if (e.routing == core::RoutingPolicy::kIsolated) found_isolated = true;
+    if (e.routing == core::RoutingPolicy::kUnicast) found_unicast = true;
+  }
+  // map keeps the source's default parallelism (-1), so source(2)->map(-1)
+  // differ and map(-1)->sink(1) differ when the default is not 1/2; at
+  // minimum the sink edge (parallelism 1) must stay unicast when the map
+  // runs wider.
+  EXPECT_TRUE(found_unicast || found_isolated);
+}
+
+// The planner rejects pipelines whose DAG would be invalid.
+TEST(PlannerTest, InvalidGraphRejected) {
+  StageGraph graph;
+  StageNode orphan;
+  orphan.kind = StageNode::Kind::kStateless;  // stateless with no transform
+  orphan.name = "bad";
+  orphan.inputs.push_back(StageNode::Input{-1, core::RoutingPolicy::kUnicast, false, 0});
+  graph.AddNode(std::move(orphan));
+  // Input node -1 is out of range; BuildDag must not crash. (It may throw
+  // an error status or produce an invalid dag caught by Validate.)
+  auto result = BuildDag(graph);
+  EXPECT_FALSE(result.ok());
+}
+
+// Named vertices of fused chains concatenate their stage names, keeping
+// metrics readable.
+TEST(PlannerTest, FusedVertexNamesConcatenate) {
+  Pipeline p;
+  p.ReadFrom<int64_t>("ints", Gen(), SmallInts(10))
+      .Map<int64_t>("alpha", [](const int64_t& v) { return v; })
+      .Map<int64_t>("beta", [](const int64_t& v) { return v; })
+      .WriteToCountSink("count");
+  auto dag = p.ToDag();
+  ASSERT_TRUE(dag.ok());
+  bool found = false;
+  for (const auto& v : dag->vertices()) {
+    if (v.name == "alpha+beta") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace jet::pipeline

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "imdg/grid.h"
+#include "imdg/snapshot_store.h"
+
+namespace jet {
+namespace {
+
+// Random bytes fed to every reader method must error or succeed — never
+// crash or read out of bounds (the snapshot-restore path consumes
+// grid-stored bytes that could in principle be corrupted).
+TEST(SerdeFuzzTest, RandomBytesNeverCrashReaders) {
+  Rng rng(0xF0221);
+  for (int round = 0; round < 2'000; ++round) {
+    Bytes junk(rng.NextBounded(48));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.NextU64());
+
+    BytesReader r(junk);
+    uint8_t u8;
+    uint32_t u32;
+    uint64_t u64;
+    int64_t i64;
+    double d;
+    std::string s;
+    Bytes bytes;
+    switch (rng.NextBounded(7)) {
+      case 0: (void)r.ReadU8(&u8); break;
+      case 1: (void)r.ReadU32(&u32); break;
+      case 2: (void)r.ReadU64(&u64); break;
+      case 3: (void)r.ReadVarI64(&i64); break;
+      case 4: (void)r.ReadDouble(&d); break;
+      case 5: (void)r.ReadString(&s); break;
+      case 6: (void)r.ReadBytes(&bytes); break;
+    }
+    // Chain reads until error; must terminate.
+    while (r.ReadVarU64(&u64).ok() && r.Remaining() > 0) {
+    }
+  }
+  SUCCEED();
+}
+
+// Snapshot-store decode of corrupted entries returns errors, not crashes.
+TEST(SerdeFuzzTest, SnapshotStoreToleratesCorruptEntries) {
+  imdg::DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  imdg::SnapshotStore store(&grid);
+  Rng rng(0xBAD);
+  // Write garbage directly under the snapshot map's name.
+  for (int i = 0; i < 200; ++i) {
+    Bytes key(1 + rng.NextBounded(12)), value(rng.NextBounded(12));
+    for (auto& b : key) b = static_cast<uint8_t>(rng.NextU64());
+    for (auto& b : value) b = static_cast<uint8_t>(rng.NextU64());
+    (void)grid.Put(imdg::SnapshotStore::MapNameFor(9, 1), key, value);
+  }
+  for (imdg::PartitionId p = 0; p < grid.partition_count(); ++p) {
+    // Must return (ok or error), never crash.
+    (void)store.ReadEntries(9, 1, 0, p, [](imdg::SnapshotStateEntry) {});
+  }
+  SUCCEED();
+}
+
+// Replication sweep: with backup_count B, data survives B sequential
+// member failures (re-replicating between failures).
+class ReplicationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicationSweep, SurvivesBackupCountFailures) {
+  const int backups = GetParam();
+  imdg::DataGrid grid(backups);
+  const int members = backups + 3;
+  for (int m = 0; m < members; ++m) ASSERT_TRUE(grid.AddMember(m).ok());
+
+  BytesWriter kw;
+  for (uint64_t k = 0; k < 400; ++k) {
+    Bytes key(8);
+    std::memcpy(key.data(), &k, 8);
+    ASSERT_TRUE(grid.Put("m", key, Bytes{1, 2, 3}).ok());
+  }
+  for (int killed = 0; killed < backups; ++killed) {
+    ASSERT_TRUE(grid.RemoveMember(killed).ok());
+    for (uint64_t k = 0; k < 400; ++k) {
+      Bytes key(8);
+      std::memcpy(key.data(), &k, 8);
+      auto got = grid.Get("m", key);
+      ASSERT_TRUE(got.ok());
+      ASSERT_TRUE(got->has_value()) << "lost key " << k << " after failure " << killed;
+    }
+  }
+  EXPECT_TRUE(grid.CheckReplicaConsistency("m").ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(BackupCounts, ReplicationSweep, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace jet

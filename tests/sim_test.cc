@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.h"
+
+namespace jet::sim {
+namespace {
+
+SimConfig BaseConfig() {
+  SimConfig c;
+  c.profile = ProfileForQuery(5);
+  c.duration = 20 * kNanosPerSecond;
+  c.warmup = 2 * kNanosPerSecond;
+  c.window_size = 2 * kNanosPerSecond;  // shorter fill for short runs
+  return c;
+}
+
+TEST(ClusterSimTest, DeterministicForSameSeed) {
+  SimConfig c = BaseConfig();
+  SimResult a = RunClusterSim(c);
+  SimResult b = RunClusterSim(c);
+  EXPECT_EQ(a.latency.ValueAtQuantile(0.9999), b.latency.ValueAtQuantile(0.9999));
+  EXPECT_EQ(a.gc_pause_count, b.gc_pause_count);
+}
+
+TEST(ClusterSimTest, SeedChangesTail) {
+  SimConfig a = BaseConfig();
+  SimConfig b = BaseConfig();
+  b.seed = a.seed + 99;
+  SimResult ra = RunClusterSim(a);
+  SimResult rb = RunClusterSim(b);
+  // Same medians (deterministic load), different GC draws.
+  EXPECT_NE(ra.gc_pause_count == rb.gc_pause_count &&
+                ra.max_gc_pause == rb.max_gc_pause,
+            true);
+}
+
+TEST(ClusterSimTest, LatencyGrowsWithLoad) {
+  SimConfig low = BaseConfig();
+  low.events_per_second = 0.25e6 * 12;
+  SimConfig high = BaseConfig();
+  high.events_per_second = 1.5e6 * 12;
+  int64_t p50_low = RunClusterSim(low).latency.ValueAtQuantile(0.5);
+  int64_t p50_high = RunClusterSim(high).latency.ValueAtQuantile(0.5);
+  EXPECT_GT(p50_high, p50_low);
+}
+
+TEST(ClusterSimTest, OverloadSaturates) {
+  SimConfig c = BaseConfig();
+  c.events_per_second = 4e6 * 12;  // far beyond per-core capacity
+  SimResult r = RunClusterSim(c);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_LT(r.achieved_throughput, c.events_per_second);
+}
+
+TEST(ClusterSimTest, ScaleOutRestoresHeadroom) {
+  // 20x the rate on 20x the nodes should not saturate (Fig 10's premise).
+  SimConfig one = BaseConfig();
+  one.events_per_second = 1e6;
+  SimConfig twenty = BaseConfig();
+  twenty.nodes = 20;
+  twenty.events_per_second = 20e6;
+  SimResult r1 = RunClusterSim(one);
+  SimResult r20 = RunClusterSim(twenty);
+  EXPECT_FALSE(r1.saturated);
+  EXPECT_FALSE(r20.saturated);
+  // Tail latency stays in the same order of magnitude (paper: <=17ms).
+  EXPECT_LT(r20.latency.ValueAtQuantile(0.9999), 40 * kNanosPerMilli);
+}
+
+TEST(ClusterSimTest, GcPausesScaleWithAllocationRate) {
+  SimConfig slow = BaseConfig();
+  slow.events_per_second = 0.1e6;
+  SimConfig fast = BaseConfig();
+  fast.events_per_second = 12e6;
+  EXPECT_LT(RunClusterSim(slow).gc_pause_count, RunClusterSim(fast).gc_pause_count);
+}
+
+TEST(ClusterSimTest, ExactlyOnceAddsTailKnee) {
+  SimConfig off = BaseConfig();
+  SimConfig on = BaseConfig();
+  on.exactly_once = true;
+  SimResult r_off = RunClusterSim(off);
+  SimResult r_on = RunClusterSim(on);
+  // Median barely moves, p99.99 explodes (Fig 13 vs Fig 7 contrast).
+  EXPECT_LT(r_on.latency.ValueAtQuantile(0.5), 20 * kNanosPerMilli);
+  EXPECT_GT(r_on.latency.ValueAtQuantile(0.9999),
+            4 * r_off.latency.ValueAtQuantile(0.9999));
+}
+
+TEST(ClusterSimTest, MultiTenancyIncreasesLatency) {
+  SimConfig single = BaseConfig();
+  single.window_slide = 50 * kNanosPerMilli;
+  SimConfig many = single;
+  many.concurrent_jobs = 50;
+  int64_t p9999_single = RunClusterSim(single).latency.ValueAtQuantile(0.9999);
+  int64_t p9999_many = RunClusterSim(many).latency.ValueAtQuantile(0.9999);
+  EXPECT_GT(p9999_many, 2 * p9999_single);
+}
+
+TEST(ClusterSimTest, StatelessQueriesAreFasterThanWindowed) {
+  SimConfig q1 = BaseConfig();
+  q1.profile = ProfileForQuery(1);
+  SimConfig q5 = BaseConfig();
+  int64_t p99_q1 = RunClusterSim(q1).latency.ValueAtQuantile(0.99);
+  int64_t p99_q5 = RunClusterSim(q5).latency.ValueAtQuantile(0.99);
+  EXPECT_LT(p99_q1, p99_q5);
+}
+
+TEST(ClusterSimTest, ProfilesExistForPaperQueries) {
+  for (int query : {1, 2, 3, 4, 5, 6, 7, 8, 13}) {
+    QueryProfile p = ProfileForQuery(query);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.stage1_cost_ns, 0);
+  }
+}
+
+TEST(GcModelTest, IntervalShrinksWithRate) {
+  GcConfig config;
+  GcModel slow(config, 1e5, 1);
+  GcModel fast(config, 1e7, 1);
+  EXPECT_GT(slow.mean_interval_ns(), fast.mean_interval_ns());
+}
+
+TEST(GcModelTest, PausesArePositiveAndBounded) {
+  GcConfig config;
+  GcModel model(config, 1e6, 7);
+  for (int i = 0; i < 10'000; ++i) {
+    Nanos pause = model.NextPause();
+    EXPECT_GT(pause, 0);
+    EXPECT_LT(pause, 500 * kNanosPerMilli);
+  }
+}
+
+}  // namespace
+}  // namespace jet::sim

@@ -1,0 +1,225 @@
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/job.h"
+#include "core/processors_basic.h"
+#include "core/processors_window.h"
+#include "imdg/grid.h"
+#include "imdg/snapshot_store.h"
+
+namespace jet::core {
+namespace {
+
+struct Event {
+  uint64_t key = 0;
+};
+
+// Builds a randomized windowed pipeline shape from `rng`.
+struct FuzzJob {
+  Dag dag;
+  std::shared_ptr<std::atomic<int64_t>> sink_count =
+      std::make_shared<std::atomic<int64_t>>(0);
+
+  explicit FuzzJob(Rng* rng) {
+    auto source_p = static_cast<int32_t>(1 + rng->NextBounded(2));
+    auto acc_p = static_cast<int32_t>(1 + rng->NextBounded(3));
+    auto comb_p = static_cast<int32_t>(1 + rng->NextBounded(3));
+    auto keys = static_cast<int64_t>(4 + rng->NextBounded(28));
+    Nanos window = static_cast<Nanos>(20 + rng->NextBounded(60)) * kNanosPerMilli;
+    Nanos slide = window / static_cast<Nanos>(1 + rng->NextBounded(4));
+    auto queue_size = static_cast<int32_t>(8 << rng->NextBounded(5));
+
+    auto op = CountingAggregate<Event>();
+    WindowDef def = WindowDef::Sliding(window, std::max<Nanos>(slide, kNanosPerMilli));
+
+    VertexId source = dag.AddVertex(
+        "source",
+        [keys](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+          GeneratorSourceP<Event>::Options opt;
+          opt.events_per_second = 100'000;
+          opt.duration = 400 * kNanosPerMilli;
+          opt.watermark_interval = 5 * kNanosPerMilli;
+          return std::make_unique<GeneratorSourceP<Event>>(
+              [keys](int64_t seq) {
+                Event e{static_cast<uint64_t>(seq % keys)};
+                return std::make_pair(e, HashU64(e.key));
+              },
+              opt);
+        },
+        source_p);
+    VertexId accumulate = dag.AddVertex(
+        "accumulate",
+        [op, def](const ProcessorMeta&) {
+          return std::make_unique<AccumulateByFrameP<Event, int64_t, int64_t>>(
+              op, [](const Event& e) { return e.key; }, def);
+        },
+        acc_p);
+    VertexId combine = dag.AddVertex(
+        "combine",
+        [op, def](const ProcessorMeta&) {
+          return std::make_unique<CombineFramesP<Event, int64_t, int64_t>>(op, def);
+        },
+        comb_p);
+    VertexId sink = dag.AddVertex(
+        "sink",
+        [counter = sink_count](const ProcessorMeta&) {
+          return std::make_unique<CountSinkP<WindowResult<int64_t>>>(counter);
+        },
+        1);
+    auto& e1 = dag.AddEdge(source, accumulate);
+    e1.queue_size = queue_size;
+    auto& e2 = dag.AddEdge(accumulate, combine);
+    e2.routing = RoutingPolicy::kPartitioned;
+    e2.queue_size = queue_size;
+    dag.AddEdge(combine, sink).queue_size = queue_size;
+  }
+};
+
+// Hard-cancels randomized jobs at random points; the engine must neither
+// crash nor hang (Join bounded), whatever the timing.
+TEST(StressTest, RandomCancellationNeverHangs) {
+  Rng rng(20260706);
+  for (int round = 0; round < 8; ++round) {
+    FuzzJob fuzz(&rng);
+    imdg::DataGrid grid(1);
+    ASSERT_TRUE(grid.AddMember(0).ok());
+    imdg::SnapshotStore store(&grid);
+
+    JobParams params;
+    params.dag = &fuzz.dag;
+    params.cooperative_threads = 2;
+    bool with_guarantee = rng.NextBounded(2) == 0;
+    if (with_guarantee) {
+      params.config.guarantee = rng.NextBounded(2) == 0
+                                    ? ProcessingGuarantee::kExactlyOnce
+                                    : ProcessingGuarantee::kAtLeastOnce;
+      params.config.snapshot_interval = 15 * kNanosPerMilli;
+      params.snapshot_store = &store;
+      params.job_id = 100 + round;
+    }
+
+    auto job = Job::Create(params);
+    ASSERT_TRUE(job.ok()) << "round " << round << ": " << job.status().ToString();
+    ASSERT_TRUE((*job)->Start().ok());
+
+    auto cancel_after = std::chrono::milliseconds(rng.NextBounded(120));
+    std::this_thread::sleep_for(cancel_after);
+    (*job)->Cancel();
+
+    WallClock clock;
+    Nanos t0 = clock.Now();
+    Status s = (*job)->Join();
+    Nanos join_time = clock.Now() - t0;
+    EXPECT_TRUE(s.ok()) << "round " << round;
+    EXPECT_LT(join_time, 5 * kNanosPerSecond) << "round " << round << " Join hung";
+  }
+}
+
+// Kill + restore repeatedly in one lineage: state stays exact through a
+// CHAIN of failures (not just one).
+TEST(StressTest, RepeatedKillRestoreChainStaysExact) {
+  constexpr double kRate = 100'000;
+  constexpr Nanos kDuration = 1'500 * kNanosPerMilli;
+  const auto kExpected = static_cast<int64_t>(kRate * (kDuration / 1e9));
+
+  imdg::DataGrid grid(1);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  imdg::SnapshotStore store(&grid);
+
+  auto collector = std::make_shared<SyncCollector<WindowResult<int64_t>>>();
+  Dag dag;
+  auto op = CountingAggregate<Event>();
+  WindowDef window = WindowDef::Tumbling(50 * kNanosPerMilli);
+  VertexId source = dag.AddVertex(
+      "source",
+      [](const ProcessorMeta&) -> std::unique_ptr<Processor> {
+        GeneratorSourceP<Event>::Options opt;
+        opt.events_per_second = kRate;
+        opt.duration = kDuration;
+        opt.watermark_interval = 5 * kNanosPerMilli;
+        return std::make_unique<GeneratorSourceP<Event>>(
+            [](int64_t seq) {
+              Event e{static_cast<uint64_t>(seq % 16)};
+              return std::make_pair(e, HashU64(e.key));
+            },
+            opt);
+      },
+      1);
+  VertexId accumulate = dag.AddVertex(
+      "accumulate",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<AccumulateByFrameP<Event, int64_t, int64_t>>(
+            op, [](const Event& e) { return e.key; }, window);
+      },
+      2);
+  VertexId combine = dag.AddVertex(
+      "combine",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<CombineFramesP<Event, int64_t, int64_t>>(op, window);
+      },
+      2);
+  VertexId sink = dag.AddVertex(
+      "sink",
+      [collector](const ProcessorMeta&) {
+        return std::make_unique<CollectSinkP<WindowResult<int64_t>>>(collector);
+      },
+      1);
+  dag.AddEdge(source, accumulate);
+  dag.AddEdge(accumulate, combine).routing = RoutingPolicy::kPartitioned;
+  dag.AddEdge(combine, sink);
+
+  JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  params.config.guarantee = ProcessingGuarantee::kExactlyOnce;
+  params.config.snapshot_interval = 40 * kNanosPerMilli;
+  params.snapshot_store = &store;
+  params.job_id = 55;
+
+  int64_t restore_from = -1;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    if (restore_from >= 0) params.restore_snapshot_id = restore_from;
+    auto job = Job::Create(params);
+    ASSERT_TRUE(job.ok()) << "attempt " << attempt;
+    ASSERT_TRUE((*job)->Start().ok());
+
+    if (attempt < 3) {
+      // Crash after at least one NEW snapshot commits in this attempt.
+      int64_t target = restore_from >= 0 ? restore_from + 1 : 1;
+      for (int i = 0; i < 4000 && (*job)->last_committed_snapshot() < target; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      (*job)->Cancel();
+      (void)(*job)->Join();
+      int64_t committed = (*job)->last_committed_snapshot();
+      if (committed <= 0) {
+        // The job finished before a snapshot landed; accept completion.
+        break;
+      }
+      restore_from = committed;
+    } else {
+      ASSERT_TRUE((*job)->Join().ok());
+    }
+    if ((*job)->IsComplete() && attempt == 3) break;
+  }
+
+  std::map<std::pair<uint64_t, Nanos>, int64_t> distinct;
+  for (const auto& r : collector->Snapshot()) {
+    auto it = distinct.find({r.key, r.window_end});
+    if (it == distinct.end()) {
+      distinct[{r.key, r.window_end}] = r.value;
+    } else {
+      EXPECT_EQ(it->second, r.value) << "conflicting duplicates across the chain";
+    }
+  }
+  int64_t total = 0;
+  for (const auto& [kw, v] : distinct) total += v;
+  EXPECT_EQ(total, kExpected);
+}
+
+}  // namespace
+}  // namespace jet::core

@@ -1,0 +1,33 @@
+#include <cstdio>
+#include "sim/cluster_sim.h"
+using namespace jet;
+using namespace jet::sim;
+void Run(const char* label, SimConfig c) {
+  auto r = RunClusterSim(c);
+  printf("%-32s p50=%8.2f p90=%8.2f p99=%8.2f p99.9=%8.2f p99.99=%8.2fms util=%.2f sat=%d gc=%lld\n",
+         label, r.latency.ValueAtQuantile(0.5)/1e6, r.latency.ValueAtQuantile(0.9)/1e6,
+         r.latency.ValueAtQuantile(0.99)/1e6, r.latency.ValueAtQuantile(0.999)/1e6,
+         r.latency.ValueAtQuantile(0.9999)/1e6, r.peak_utilization, (int)r.saturated,
+         (long long)r.gc_pause_count);
+}
+int main() {
+  // Fig 7: total throughput per core = input + output, split 50/50 at the
+  // high end (output scaled via the key-set size).
+  for (double total_pc : {0.5e6, 1.0e6, 1.25e6, 1.5e6, 1.75e6, 2.0e6}) {
+    SimConfig c; c.profile = ProfileForQuery(5); c.duration = 60*kNanosPerSecond;
+    double in_total = total_pc * 12 / 2;
+    double out_total = total_pc * 12 - in_total;
+    c.events_per_second = in_total;
+    c.keys = (int64_t)(out_total / 100.0);
+    char buf[64]; snprintf(buf, 64, "Fig7 %.2fM/core K=%lld", total_pc/1e6, (long long)c.keys);
+    Run(buf, c);
+  }
+  { SimConfig c; c.profile = ProfileForQuery(1); c.duration = 60*kNanosPerSecond; Run("Fig8 Q1 1node 1M/s", c); }
+  { SimConfig c; c.profile = ProfileForQuery(5); c.duration = 60*kNanosPerSecond; Run("Fig8 Q5 1node 1M/s", c); }
+  { SimConfig c; c.profile = ProfileForQuery(5); c.nodes=20; c.duration = 60*kNanosPerSecond; Run("Fig8 Q5 20node 1M/s", c); }
+  { SimConfig c; c.profile = ProfileForQuery(8); c.nodes=5; c.duration = 60*kNanosPerSecond; Run("Fig11 Q8 5node 1M/s", c); }
+  { SimConfig c; c.profile = ProfileForQuery(5); c.duration = 30*kNanosPerSecond; c.exactly_once=true; Run("Fig13 Q5 1node EO", c); }
+  { SimConfig c; c.profile = ProfileForQuery(5); c.duration = 30*kNanosPerSecond; c.concurrent_jobs=100; c.window_slide=40*kNanosPerMilli; Run("Sec77 100 jobs slide=40ms", c); }
+  { SimConfig c; c.profile = ProfileForQuery(5); c.nodes=20; c.window_slide=500*kNanosPerMilli; c.events_per_second=468e6; c.duration=30*kNanosPerSecond; Run("Fig10 20n 468M/s 500ms", c); }
+  return 0;
+}
