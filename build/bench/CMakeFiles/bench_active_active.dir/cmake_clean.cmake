@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_active.dir/bench_active_active.cc.o"
+  "CMakeFiles/bench_active_active.dir/bench_active_active.cc.o.d"
+  "bench_active_active"
+  "bench_active_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_nexmark.dir/bench_engine_nexmark.cc.o"
+  "CMakeFiles/bench_engine_nexmark.dir/bench_engine_nexmark.cc.o.d"
+  "bench_engine_nexmark"
+  "bench_engine_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_latency_5node.dir/bench_fig11_latency_5node.cc.o"
+  "CMakeFiles/bench_fig11_latency_5node.dir/bench_fig11_latency_5node.cc.o.d"
+  "bench_fig11_latency_5node"
+  "bench_fig11_latency_5node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_latency_5node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

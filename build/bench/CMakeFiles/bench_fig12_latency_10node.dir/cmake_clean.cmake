@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_latency_10node.dir/bench_fig12_latency_10node.cc.o"
+  "CMakeFiles/bench_fig12_latency_10node.dir/bench_fig12_latency_10node.cc.o.d"
+  "bench_fig12_latency_10node"
+  "bench_fig12_latency_10node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_latency_10node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec77_multitenancy.dir/bench_sec77_multitenancy.cc.o"
+  "CMakeFiles/bench_sec77_multitenancy.dir/bench_sec77_multitenancy.cc.o.d"
+  "bench_sec77_multitenancy"
+  "bench_sec77_multitenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec77_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

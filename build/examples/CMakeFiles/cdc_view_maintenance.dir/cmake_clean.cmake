@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_view_maintenance.dir/cdc_view_maintenance.cpp.o"
+  "CMakeFiles/cdc_view_maintenance.dir/cdc_view_maintenance.cpp.o.d"
+  "cdc_view_maintenance"
+  "cdc_view_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_view_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

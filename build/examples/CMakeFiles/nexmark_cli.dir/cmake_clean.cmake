@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexmark_cli.dir/nexmark_cli.cpp.o"
+  "CMakeFiles/nexmark_cli.dir/nexmark_cli.cpp.o.d"
+  "nexmark_cli"
+  "nexmark_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexmark_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_cluster.dir/jet_cluster.cc.o"
+  "CMakeFiles/jet_cluster.dir/jet_cluster.cc.o.d"
+  "libjet_cluster.a"
+  "libjet_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_common.dir/clock.cc.o"
+  "CMakeFiles/jet_common.dir/clock.cc.o.d"
+  "CMakeFiles/jet_common.dir/histogram.cc.o"
+  "CMakeFiles/jet_common.dir/histogram.cc.o.d"
+  "CMakeFiles/jet_common.dir/status.cc.o"
+  "CMakeFiles/jet_common.dir/status.cc.o.d"
+  "libjet_common.a"
+  "libjet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

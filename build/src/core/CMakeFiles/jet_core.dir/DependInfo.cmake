@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dag.cc" "src/core/CMakeFiles/jet_core.dir/dag.cc.o" "gcc" "src/core/CMakeFiles/jet_core.dir/dag.cc.o.d"
+  "/root/repo/src/core/execution_plan.cc" "src/core/CMakeFiles/jet_core.dir/execution_plan.cc.o" "gcc" "src/core/CMakeFiles/jet_core.dir/execution_plan.cc.o.d"
+  "/root/repo/src/core/execution_service.cc" "src/core/CMakeFiles/jet_core.dir/execution_service.cc.o" "gcc" "src/core/CMakeFiles/jet_core.dir/execution_service.cc.o.d"
+  "/root/repo/src/core/job.cc" "src/core/CMakeFiles/jet_core.dir/job.cc.o" "gcc" "src/core/CMakeFiles/jet_core.dir/job.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/jet_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/jet_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/tasklet.cc" "src/core/CMakeFiles/jet_core.dir/tasklet.cc.o" "gcc" "src/core/CMakeFiles/jet_core.dir/tasklet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/imdg/CMakeFiles/jet_imdg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_core.dir/dag.cc.o"
+  "CMakeFiles/jet_core.dir/dag.cc.o.d"
+  "CMakeFiles/jet_core.dir/execution_plan.cc.o"
+  "CMakeFiles/jet_core.dir/execution_plan.cc.o.d"
+  "CMakeFiles/jet_core.dir/execution_service.cc.o"
+  "CMakeFiles/jet_core.dir/execution_service.cc.o.d"
+  "CMakeFiles/jet_core.dir/job.cc.o"
+  "CMakeFiles/jet_core.dir/job.cc.o.d"
+  "CMakeFiles/jet_core.dir/metrics.cc.o"
+  "CMakeFiles/jet_core.dir/metrics.cc.o.d"
+  "CMakeFiles/jet_core.dir/tasklet.cc.o"
+  "CMakeFiles/jet_core.dir/tasklet.cc.o.d"
+  "libjet_core.a"
+  "libjet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

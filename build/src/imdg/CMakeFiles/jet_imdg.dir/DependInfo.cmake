@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imdg/grid.cc" "src/imdg/CMakeFiles/jet_imdg.dir/grid.cc.o" "gcc" "src/imdg/CMakeFiles/jet_imdg.dir/grid.cc.o.d"
+  "/root/repo/src/imdg/partition_table.cc" "src/imdg/CMakeFiles/jet_imdg.dir/partition_table.cc.o" "gcc" "src/imdg/CMakeFiles/jet_imdg.dir/partition_table.cc.o.d"
+  "/root/repo/src/imdg/snapshot_store.cc" "src/imdg/CMakeFiles/jet_imdg.dir/snapshot_store.cc.o" "gcc" "src/imdg/CMakeFiles/jet_imdg.dir/snapshot_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

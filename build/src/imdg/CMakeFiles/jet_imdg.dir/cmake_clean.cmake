@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_imdg.dir/grid.cc.o"
+  "CMakeFiles/jet_imdg.dir/grid.cc.o.d"
+  "CMakeFiles/jet_imdg.dir/partition_table.cc.o"
+  "CMakeFiles/jet_imdg.dir/partition_table.cc.o.d"
+  "CMakeFiles/jet_imdg.dir/snapshot_store.cc.o"
+  "CMakeFiles/jet_imdg.dir/snapshot_store.cc.o.d"
+  "libjet_imdg.a"
+  "libjet_imdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_imdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

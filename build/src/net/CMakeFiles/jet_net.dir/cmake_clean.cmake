@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_net.dir/exchange.cc.o"
+  "CMakeFiles/jet_net.dir/exchange.cc.o.d"
+  "CMakeFiles/jet_net.dir/network.cc.o"
+  "CMakeFiles/jet_net.dir/network.cc.o.d"
+  "libjet_net.a"
+  "libjet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

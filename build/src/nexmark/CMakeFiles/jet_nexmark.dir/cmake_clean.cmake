@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_nexmark.dir/queries.cc.o"
+  "CMakeFiles/jet_nexmark.dir/queries.cc.o.d"
+  "libjet_nexmark.a"
+  "libjet_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_pipeline.dir/planner.cc.o"
+  "CMakeFiles/jet_pipeline.dir/planner.cc.o.d"
+  "libjet_pipeline.a"
+  "libjet_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

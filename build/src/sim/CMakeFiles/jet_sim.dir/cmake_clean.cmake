@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/jet_sim.dir/cluster_sim.cc.o.d"
+  "libjet_sim.a"
+  "libjet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjet_sim.a"
+)

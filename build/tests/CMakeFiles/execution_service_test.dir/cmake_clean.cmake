@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_service_test.dir/execution_service_test.cc.o"
+  "CMakeFiles/execution_service_test.dir/execution_service_test.cc.o.d"
+  "execution_service_test"
+  "execution_service_test.pdb"
+  "execution_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_systems_test.dir/external_systems_test.cc.o"
+  "CMakeFiles/external_systems_test.dir/external_systems_test.cc.o.d"
+  "external_systems_test"
+  "external_systems_test.pdb"
+  "external_systems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_systems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

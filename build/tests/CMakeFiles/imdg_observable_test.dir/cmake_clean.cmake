@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdg_observable_test.dir/imdg_observable_test.cc.o"
+  "CMakeFiles/imdg_observable_test.dir/imdg_observable_test.cc.o.d"
+  "imdg_observable_test"
+  "imdg_observable_test.pdb"
+  "imdg_observable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdg_observable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

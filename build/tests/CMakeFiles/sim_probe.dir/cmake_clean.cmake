@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_probe.dir/__/tools/sim_probe.cc.o"
+  "CMakeFiles/sim_probe.dir/__/tools/sim_probe.cc.o.d"
+  "sim_probe"
+  "sim_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

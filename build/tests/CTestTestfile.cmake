@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/core_window_test[1]_include.cmake")
+include("/root/repo/build/tests/core_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/nexmark_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/imdg_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/external_systems_test[1]_include.cmake")
+include("/root/repo/build/tests/core_features_test[1]_include.cmake")
+include("/root/repo/build/tests/core_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/detector_test[1]_include.cmake")
+include("/root/repo/build/tests/imdg_observable_test[1]_include.cmake")
+include("/root/repo/build/tests/session_window_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/item_test[1]_include.cmake")
+include("/root/repo/build/tests/execution_service_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
