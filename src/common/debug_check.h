@@ -1,0 +1,185 @@
+#ifndef JETSIM_COMMON_DEBUG_CHECK_H_
+#define JETSIM_COMMON_DEBUG_CHECK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Debug invariant checking for the concurrency-sensitive parts of jetsim.
+///
+/// Everything in this header compiles to nothing unless the build defines
+/// `JETSIM_DEBUG_CHECKS=1` (CMake: `-DJETSIM_DEBUG_CHECKS=ON`, enabled by
+/// the `asan-ubsan` preset). The checks exist to make contract violations —
+/// a second producer on an SPSC queue, a tasklet Call() migrating off its
+/// worker, a partition store touched without its lock — fail loudly at the
+/// point of misuse instead of corrupting memory three modules away.
+///
+/// The TSan preset deliberately builds with the checks OFF so that the
+/// sanitizer observes the raw unguarded accesses (the guards' own atomics
+/// would otherwise order the racing threads enough to mask some races).
+
+#ifndef JETSIM_DEBUG_CHECKS
+#define JETSIM_DEBUG_CHECKS 0
+#endif
+
+namespace jet::debug {
+
+/// Small process-unique id of the calling thread (never 0, so 0 can mean
+/// "unowned"). Cheaper and more readable in failure messages than
+/// std::thread::id.
+inline uint64_t CurrentThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+[[noreturn]] inline void DieCheckFailed(const char* kind, const char* what,
+                                        const char* file, int line, uint64_t owner,
+                                        uint64_t self) {
+  std::fprintf(stderr,
+               "[JET_DCHECK %s] %s at %s:%d (owner thread %llu, offending thread "
+               "%llu)\n",
+               kind, what, file, line, static_cast<unsigned long long>(owner),
+               static_cast<unsigned long long>(self));
+  std::abort();
+}
+
+[[noreturn]] inline void DieExprFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "[JET_DCHECK] %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+#if JETSIM_DEBUG_CHECKS
+
+/// Asserts single-owner discipline on a role (e.g. "the producer side of
+/// this queue"): the first thread to call `Enforce` binds the role; any
+/// other thread calling it afterwards aborts with both thread ids.
+///
+/// `Release` unbinds so a role can be handed off at a point where the
+/// caller guarantees a happens-before edge (e.g. a test reusing a queue
+/// after joining the worker).
+class ThreadOwnershipGuard {
+ public:
+  void Enforce(const char* what, const char* file, int line) {
+    const uint64_t self = CurrentThreadId();
+    uint64_t expected = 0;
+    if (owner_.compare_exchange_strong(expected, self, std::memory_order_relaxed)) {
+      return;  // first access: bind the role to this thread
+    }
+    if (expected != self) DieCheckFailed("ownership", what, file, line, expected, self);
+  }
+
+  void Release() { owner_.store(0, std::memory_order_relaxed); }
+
+  /// Owner thread id, or 0 when unbound. Test-inspection only.
+  uint64_t owner() const { return owner_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> owner_{0};
+};
+
+/// Tracks which thread currently holds an associated external lock so that
+/// functions documented "requires lock X held" can assert it. Paired with
+/// `ScopedHold` at the lock sites.
+class HoldTracker {
+ public:
+  void MarkAcquired() { holder_.store(CurrentThreadId(), std::memory_order_relaxed); }
+  void MarkReleased() { holder_.store(0, std::memory_order_relaxed); }
+  bool HeldByCurrentThread() const {
+    return holder_.load(std::memory_order_relaxed) == CurrentThreadId();
+  }
+
+ private:
+  std::atomic<uint64_t> holder_{0};
+};
+
+/// RAII companion of HoldTracker; construct right after taking the lock.
+class ScopedHold {
+ public:
+  explicit ScopedHold(HoldTracker& tracker) : tracker_(&tracker) {
+    tracker_->MarkAcquired();
+  }
+  ~ScopedHold() { tracker_->MarkReleased(); }
+  ScopedHold(const ScopedHold&) = delete;
+  ScopedHold& operator=(const ScopedHold&) = delete;
+
+ private:
+  HoldTracker* tracker_;
+};
+
+#else  // !JETSIM_DEBUG_CHECKS
+
+// Release builds: empty shells so call sites need no #if. Everything
+// inlines to nothing.
+class ThreadOwnershipGuard {
+ public:
+  void Enforce(const char*, const char*, int) {}
+  void Release() {}
+  uint64_t owner() const { return 0; }
+};
+
+class HoldTracker {
+ public:
+  void MarkAcquired() {}
+  void MarkReleased() {}
+  bool HeldByCurrentThread() const { return true; }
+};
+
+class ScopedHold {
+ public:
+  explicit ScopedHold(HoldTracker&) {}
+};
+
+#endif  // JETSIM_DEBUG_CHECKS
+
+}  // namespace jet::debug
+
+#if JETSIM_DEBUG_CHECKS
+
+/// Aborts (with expression, file, line) when `cond` is false. Compiled out
+/// entirely — `cond` is not evaluated — when checks are disabled, so it
+/// must not guard side effects.
+#define JET_DCHECK(cond)                                            \
+  do {                                                              \
+    if (!(cond)) ::jet::debug::DieExprFailed(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+/// Evaluates `expr` (exactly once, in every build mode) and aborts if the
+/// resulting Status is not OK.
+#define JET_DCHECK_OK(expr)                                                   \
+  do {                                                                        \
+    const ::jet::Status jet_dcheck_status = (expr);                           \
+    if (!jet_dcheck_status.ok()) {                                            \
+      std::fprintf(stderr, "[JET_DCHECK_OK] %s -> %s at %s:%d\n", #expr,      \
+                   jet_dcheck_status.ToString().c_str(), __FILE__, __LINE__); \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// Binds/asserts single-thread ownership of a role; see ThreadOwnershipGuard.
+#define JET_DCHECK_SINGLE_THREAD(guard, what) (guard).Enforce(what, __FILE__, __LINE__)
+
+#else  // !JETSIM_DEBUG_CHECKS
+
+#define JET_DCHECK(cond) \
+  do {                   \
+    (void)sizeof(cond);  \
+  } while (0)
+
+#define JET_DCHECK_OK(expr)    \
+  do {                         \
+    (void)(expr);              \
+  } while (0)
+
+#define JET_DCHECK_SINGLE_THREAD(guard, what) \
+  do {                                        \
+    (void)(guard);                            \
+    (void)(what);                             \
+  } while (0)
+
+#endif  // JETSIM_DEBUG_CHECKS
+
+#endif  // JETSIM_COMMON_DEBUG_CHECK_H_

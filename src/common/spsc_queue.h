@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/debug_check.h"
+
 namespace jet {
 
 /// Wait-free bounded single-producer/single-consumer ring queue.
@@ -21,7 +23,9 @@ namespace jet {
 ///
 /// Exactly one thread may call the producer methods (TryPush/PushBatch) and
 /// exactly one thread the consumer methods (TryPop/DrainTo/...). Capacity is
-/// rounded up to a power of two.
+/// rounded up to a power of two. Under JETSIM_DEBUG_CHECKS each side's role
+/// binds to the first thread that exercises it and any second thread aborts
+/// (see debug::ThreadOwnershipGuard).
 template <typename T>
 class SpscQueue {
  public:
@@ -38,6 +42,7 @@ class SpscQueue {
   /// Producer: attempts to enqueue `item`. Returns false if the queue is
   /// full (item is left untouched so the caller can retry later).
   bool TryPush(T& item) {
+    JET_DCHECK_SINGLE_THREAD(producer_guard_, "SpscQueue producer (TryPush)");
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head - cached_tail_ >= capacity_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -60,6 +65,7 @@ class SpscQueue {
   /// Returns the number of items enqueued. Enqueued items are moved-from.
   template <typename It>
   size_t PushBatch(It first, It last) {
+    JET_DCHECK_SINGLE_THREAD(producer_guard_, "SpscQueue producer (PushBatch)");
     const size_t head = head_.load(std::memory_order_relaxed);
     size_t free_slots = capacity_ - (head - cached_tail_);
     if (free_slots == 0) {
@@ -77,6 +83,7 @@ class SpscQueue {
 
   /// Consumer: attempts to dequeue into `out`. Returns false if empty.
   bool TryPop(T& out) {
+    JET_DCHECK_SINGLE_THREAD(consumer_guard_, "SpscQueue consumer (TryPop)");
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (cached_head_ == tail) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -91,6 +98,7 @@ class SpscQueue {
   /// `T&&`). Returns the number of items drained.
   template <typename Sink>
   size_t DrainTo(Sink&& sink, size_t limit) {
+    JET_DCHECK_SINGLE_THREAD(consumer_guard_, "SpscQueue consumer (DrainTo)");
     const size_t tail = tail_.load(std::memory_order_relaxed);
     size_t available = cached_head_ - tail;
     if (available == 0) {
@@ -109,6 +117,7 @@ class SpscQueue {
   /// Consumer: returns a pointer to the front item without removing it, or
   /// nullptr if the queue is empty.
   T* Peek() {
+    JET_DCHECK_SINGLE_THREAD(consumer_guard_, "SpscQueue consumer (Peek)");
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (cached_head_ == tail) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -118,18 +127,25 @@ class SpscQueue {
   }
 
   /// Consumer: removes the front item. Requires a preceding successful
-  /// Peek() on the same thread.
+  /// Peek() on the same thread (checked under JETSIM_DEBUG_CHECKS).
   void PopFront() {
+    JET_DCHECK_SINGLE_THREAD(consumer_guard_, "SpscQueue consumer (PopFront)");
     const size_t tail = tail_.load(std::memory_order_relaxed);
-    assert(cached_head_ != tail && "PopFront without Peek");
+    JET_DCHECK(cached_head_ != tail && "PopFront without preceding Peek");
     slots_[tail & mask_] = T();
     tail_.store(tail + 1, std::memory_order_release);
   }
 
   /// Approximate number of enqueued items (exact if called by the consumer
-  /// with no concurrent producer, and vice versa).
+  /// with no concurrent producer, and vice versa). Loads tail before head:
+  /// tail never overtakes head, so the difference cannot underflow, and the
+  /// clamp bounds the transient overshoot that is possible when both sides
+  /// move between the two loads. The result is always <= capacity().
   size_t SizeApprox() const {
-    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t diff = head - tail;
+    return diff > capacity_ ? capacity_ : diff;
   }
 
   /// True if the queue appears empty.
@@ -137,6 +153,28 @@ class SpscQueue {
 
   /// Fixed capacity of the queue.
   size_t capacity() const { return capacity_; }
+
+  /// Test hook: starts both indices (and the cached mirrors) at `start`, so
+  /// wraparound of the unsigned indices — e.g. head near SIZE_MAX — can be
+  /// exercised without 2^64 pushes. Only valid on a queue that has never
+  /// been used.
+  void SeedIndexesForTest(size_t start) {
+    assert(head_.load(std::memory_order_relaxed) == 0 &&
+           tail_.load(std::memory_order_relaxed) == 0 && "queue already used");
+    head_.store(start, std::memory_order_relaxed);
+    tail_.store(start, std::memory_order_relaxed);
+    cached_tail_ = start;
+    cached_head_ = start;
+  }
+
+  /// Test hook: unbinds the producer/consumer ownership guards so a test
+  /// may hand the queue to different threads after establishing a
+  /// happens-before edge (e.g. joining the previous owner). No-op unless
+  /// JETSIM_DEBUG_CHECKS is enabled.
+  void ReleaseOwnershipForTest() {
+    producer_guard_.Release();
+    consumer_guard_.Release();
+  }
 
  private:
   static constexpr size_t kCacheLine = 64;
@@ -149,6 +187,11 @@ class SpscQueue {
   alignas(kCacheLine) size_t cached_tail_{0};        // producer's view of tail_
   alignas(kCacheLine) std::atomic<size_t> tail_{0};  // next read position
   alignas(kCacheLine) size_t cached_head_{0};        // consumer's view of head_
+
+  // Debug-only single-producer/single-consumer discipline checks; empty
+  // types in release builds. Kept off the index cache lines.
+  alignas(kCacheLine) debug::ThreadOwnershipGuard producer_guard_;
+  debug::ThreadOwnershipGuard consumer_guard_;
 };
 
 }  // namespace jet

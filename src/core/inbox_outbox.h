@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/debug_check.h"
 #include "common/serde.h"
 #include "core/item.h"
 
@@ -18,6 +19,10 @@ namespace jet::core {
 /// The processor consumes from the front with Peek/Poll; items it leaves in
 /// place are re-offered on the next Process call (used when the outbox
 /// fills up mid-batch).
+///
+/// Not thread-safe: the inbox belongs to exactly one tasklet, and every
+/// mutating call must come from that tasklet's worker thread (checked under
+/// JETSIM_DEBUG_CHECKS).
 class Inbox {
  public:
   /// True when no items remain.
@@ -31,22 +36,35 @@ class Inbox {
 
   /// Removes and returns the front item. Requires !Empty().
   Item Poll() {
+    JET_DCHECK_SINGLE_THREAD(owner_guard_, "Inbox owner (Poll)");
+    JET_DCHECK(!items_.empty());
     Item item = std::move(items_.front());
     items_.pop_front();
     return item;
   }
 
   /// Removes the front item. Requires !Empty().
-  void RemoveFront() { items_.pop_front(); }
+  void RemoveFront() {
+    JET_DCHECK_SINGLE_THREAD(owner_guard_, "Inbox owner (RemoveFront)");
+    JET_DCHECK(!items_.empty());
+    items_.pop_front();
+  }
 
   /// Adds an item at the back (called by the owning tasklet only).
-  void Add(Item item) { items_.push_back(std::move(item)); }
+  void Add(Item item) {
+    JET_DCHECK_SINGLE_THREAD(owner_guard_, "Inbox owner (Add)");
+    items_.push_back(std::move(item));
+  }
 
   /// Drops all items.
-  void Clear() { items_.clear(); }
+  void Clear() {
+    JET_DCHECK_SINGLE_THREAD(owner_guard_, "Inbox owner (Clear)");
+    items_.clear();
+  }
 
  private:
   std::deque<Item> items_;
+  debug::ThreadOwnershipGuard owner_guard_;
 };
 
 /// One entry of processor state emitted during snapshotting.
@@ -64,6 +82,9 @@ struct StateEntry {
 /// bucket is full, which is the backpressure signal telling the processor
 /// to stop and yield (the tasklet will drain buckets into the outbound
 /// queues and retry).
+///
+/// Not thread-safe: offers and drains must all come from the owning
+/// tasklet's worker thread (checked under JETSIM_DEBUG_CHECKS).
 class Outbox {
  public:
   /// Creates an outbox with `edge_count` edge buckets of capacity
@@ -74,6 +95,8 @@ class Outbox {
   /// Offers an item to one output edge. Returns false (and does not
   /// consume) if that bucket is full.
   bool Offer(int ordinal, Item item) {
+    JET_DCHECK_SINGLE_THREAD(owner_guard_, "Outbox owner (Offer)");
+    JET_DCHECK(ordinal >= 0 && ordinal < edge_count());
     auto& bucket = buckets_[static_cast<size_t>(ordinal)];
     if (bucket.size() >= capacity_) return false;
     bucket.push_back(std::move(item));
@@ -83,6 +106,7 @@ class Outbox {
   /// Offers an item to every output edge; returns false (and consumes
   /// nothing) unless all buckets have room.
   bool OfferToAll(const Item& item) {
+    JET_DCHECK_SINGLE_THREAD(owner_guard_, "Outbox owner (OfferToAll)");
     for (const auto& bucket : buckets_) {
       if (bucket.size() >= capacity_) return false;
     }
@@ -92,6 +116,7 @@ class Outbox {
 
   /// Offers a state entry to the snapshot bucket. Returns false if full.
   bool OfferToSnapshot(StateEntry entry) {
+    JET_DCHECK_SINGLE_THREAD(owner_guard_, "Outbox owner (OfferToSnapshot)");
     if (snapshot_bucket_.size() >= capacity_) return false;
     snapshot_bucket_.push_back(std::move(entry));
     return true;
@@ -119,6 +144,7 @@ class Outbox {
   std::vector<std::deque<Item>> buckets_;
   std::deque<StateEntry> snapshot_bucket_;
   size_t capacity_;
+  debug::ThreadOwnershipGuard owner_guard_;
 };
 
 }  // namespace jet::core

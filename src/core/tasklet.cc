@@ -46,6 +46,7 @@ void ProcessorTasklet::SetRestoreEntries(std::vector<StateEntry> entries) {
 }
 
 Status ProcessorTasklet::Init() {
+  JET_DCHECK_SINGLE_THREAD(worker_guard_, "ProcessorTasklet worker (Init)");
   JET_RETURN_IF_ERROR(processor_->Init(&context_));
   cooperative_ = processor_->IsCooperative();
   if (state_ != State::kRestore) {
@@ -54,14 +55,26 @@ Status ProcessorTasklet::Init() {
   return Status::OK();
 }
 
+namespace {
+// Single-writer increment: plain load+store (no RMW) keeps the hot path at
+// mov/add/mov while letting metrics pollers read the counter race-free.
+inline void BumpCounter(std::atomic<int64_t>& counter, int64_t delta = 1) {
+  counter.store(counter.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
+}
+}  // namespace
+
 TaskletProgress ProcessorTasklet::Call() {
-  ++calls_;
+  // A tasklet is pinned to one worker; Call() from a second thread is a
+  // scheduling bug (§3.2's cooperative model has no work stealing).
+  JET_DCHECK_SINGLE_THREAD(worker_guard_, "ProcessorTasklet worker (Call)");
+  BumpCounter(calls_);
   made_progress_ = false;
   if (!DrainOutbox()) {
     // Downstream queues are full: backpressure. Nothing else can run until
     // the outbox drains (§3.3 "tasklets back off as soon as all their
     // output queues are full").
-    if (!made_progress_) ++idle_calls_;
+    if (!made_progress_) BumpCounter(idle_calls_);
     return {made_progress_, false};
   }
   switch (state_) {
@@ -96,7 +109,7 @@ TaskletProgress ProcessorTasklet::Call() {
       return {false, true};
   }
   DrainOutbox();
-  if (!made_progress_) ++idle_calls_;
+  if (!made_progress_) BumpCounter(idle_calls_);
   return {made_progress_, state_ == State::kDone};
 }
 
@@ -335,7 +348,7 @@ void ProcessorTasklet::DoProcess() {
     size_t before = inbox_.Size();
     processor_->Process(current_ordinal_, &inbox_);
     size_t after = inbox_.Size();
-    items_processed_ += static_cast<int64_t>(before - after);
+    BumpCounter(items_processed_, static_cast<int64_t>(before - after));
     if (after != before) MarkProgress();
   }
 }
@@ -390,7 +403,7 @@ void ProcessorTasklet::DoSnapshotBarrier() {
   }
   if (!processor_->OnSnapshotCompleted(pending_snapshot_id_)) return;
   control_armed_ = false;
-  completed_snapshot_id_ = pending_snapshot_id_;
+  completed_snapshot_id_.store(pending_snapshot_id_, std::memory_order_relaxed);
   pending_snapshot_id_ = -1;
   FinishSnapshot();
   if (snapshot_control_ != nullptr) {
@@ -415,7 +428,8 @@ void ProcessorTasklet::DoComplete() {
   if (snapshot_control_ != nullptr && inputs_.empty() &&
       processor_->InitiatesSnapshots()) {
     int64_t requested = snapshot_control_->requested.load(std::memory_order_acquire);
-    if (requested > completed_snapshot_id_ && requested > pending_snapshot_id_) {
+    if (requested > completed_snapshot_id_.load(std::memory_order_relaxed) &&
+        requested > pending_snapshot_id_) {
       pending_snapshot_id_ = requested;
       resume_state_after_snapshot_ = State::kComplete;
       state_ = State::kSnapshotSave;
@@ -443,6 +457,7 @@ void ProcessorTasklet::DoEmitDone() {
   }
   control_armed_ = false;
   state_ = State::kDone;
+  done_flag_.store(true, std::memory_order_release);
   MarkProgress();
 }
 

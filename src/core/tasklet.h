@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/debug_check.h"
 #include "core/collectors.h"
 #include "core/config.h"
 #include "core/processor.h"
@@ -112,20 +113,25 @@ class ProcessorTasklet final : public Tasklet {
   bool IsCooperative() const override { return cooperative_; }
   const std::string& name() const override { return name_; }
 
-  /// Number of data items this tasklet pushed into its processor.
-  int64_t items_processed() const { return items_processed_; }
+  /// Number of data items this tasklet pushed into its processor. Safe to
+  /// read from any thread (metrics polling): single-writer relaxed atomic.
+  int64_t items_processed() const {
+    return items_processed_.load(std::memory_order_relaxed);
+  }
 
   /// Total Call() invocations.
-  int64_t calls() const { return calls_; }
+  int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
 
   /// Call() invocations that made no progress.
-  int64_t idle_calls() const { return idle_calls_; }
+  int64_t idle_calls() const { return idle_calls_.load(std::memory_order_relaxed); }
 
-  /// True once the tasklet reached its terminal state.
-  bool IsDone() const { return state_ == State::kDone; }
+  /// True once the tasklet reached its terminal state. Safe from any thread.
+  bool IsDone() const { return done_flag_.load(std::memory_order_acquire); }
 
   /// Last snapshot id this tasklet completed.
-  int64_t completed_snapshot_id() const { return completed_snapshot_id_; }
+  int64_t completed_snapshot_id() const {
+    return completed_snapshot_id_.load(std::memory_order_relaxed);
+  }
 
   /// Whether this tasklet acknowledges snapshots: tasklets with inputs do
   /// (barrier alignment), input-less tasklets only if their processor
@@ -208,7 +214,7 @@ class ProcessorTasklet final : public Tasklet {
 
   // Snapshot machinery.
   int64_t pending_snapshot_id_ = -1;  // armed snapshot to take
-  int64_t completed_snapshot_id_ = 0;
+  std::atomic<int64_t> completed_snapshot_id_{0};  // polled by metrics
   State resume_state_after_snapshot_ = State::kProcess;
 
   // Which input stream the inbox was filled from.
@@ -227,9 +233,16 @@ class ProcessorTasklet final : public Tasklet {
   // Complete-edge bookkeeping.
   std::vector<int32_t> edges_to_complete_;
 
-  int64_t items_processed_ = 0;
-  int64_t calls_ = 0;
-  int64_t idle_calls_ = 0;
+  // Counters are written only by the owning worker thread but polled by
+  // Job::Metrics() from arbitrary threads, so they are relaxed atomics
+  // (single-writer: plain load+store increments, no RMW on the hot path).
+  std::atomic<int64_t> items_processed_{0};
+  std::atomic<int64_t> calls_{0};
+  std::atomic<int64_t> idle_calls_{0};
+  std::atomic<bool> done_flag_{false};
+
+  // Binds Call()/Init() to the tasklet's assigned worker thread.
+  debug::ThreadOwnershipGuard worker_guard_;
 
   // Global queue index base per stream (for the coalescer).
   std::vector<size_t> stream_queue_base_;

@@ -6,10 +6,14 @@ namespace jet::imdg {
 
 DataGrid::DataGrid(int32_t backup_count, int32_t partition_count)
     : table_(partition_count, backup_count),
-      partition_locks_(static_cast<size_t>(partition_count)) {}
+      partition_locks_(static_cast<size_t>(partition_count)),
+      partition_hold_(static_cast<size_t>(partition_count)) {}
 
 Result<int64_t> DataGrid::AddMember(MemberId member) {
-  std::scoped_lock membership(membership_mutex_);
+  // Exclusive layout lock: entry operations read table_ and members_ under
+  // the shared lock, so every mutation below is invisible to them until
+  // this function returns.
+  std::unique_lock layout(layout_rw_);
   if (members_.count(member) != 0) {
     return Status(StatusCode::kAlreadyExists, "member already in grid");
   }
@@ -43,10 +47,11 @@ Result<int64_t> DataGrid::AddMember(MemberId member) {
 }
 
 Status DataGrid::RemoveMember(MemberId member) {
-  std::scoped_lock membership(membership_mutex_);
+  // Hard failure: the member's data is gone. Exclusive layout lock: entry
+  // operations may hold PartitionStore pointers into this member.
+  std::unique_lock layout(layout_rw_);
   auto it = members_.find(member);
   if (it == members_.end()) return NotFoundError("member not in grid");
-  // Hard failure: the member's data is gone.
   members_.erase(it);
   auto migrations = table_.RemoveMember(member);
   int64_t migrated = ApplyMigrations(migrations);
@@ -62,11 +67,23 @@ int64_t DataGrid::ApplyMigrations(const std::vector<Migration>& migrations) {
     auto dst_it = members_.find(m.destination);
     if (src_it == members_.end() || dst_it == members_.end()) continue;
     std::scoped_lock lock(LockFor(m.partition));
-    for (auto& [map_name, partitions] : src_it->second->maps) {
-      auto part_it = partitions.find(m.partition);
-      if (part_it == partitions.end()) continue;
-      dst_it->second->maps[map_name][m.partition] = part_it->second;
-      migrated += static_cast<int64_t>(part_it->second.size());
+    debug::ScopedHold hold(partition_hold_[static_cast<size_t>(m.partition)]);
+    // Copy out under the source's layout mutex, then insert under the
+    // destination's; sequential (never nested) acquisition stays
+    // deadlock-free even when a migration maps a member onto itself.
+    std::vector<std::pair<std::string, PartitionStore>> copies;
+    {
+      std::scoped_lock src_layout(src_it->second->layout_mutex);
+      for (auto& [map_name, partitions] : src_it->second->maps) {
+        auto part_it = partitions.find(m.partition);
+        if (part_it == partitions.end()) continue;
+        copies.emplace_back(map_name, part_it->second);
+        migrated += static_cast<int64_t>(part_it->second.size());
+      }
+    }
+    std::scoped_lock dst_layout(dst_it->second->layout_mutex);
+    for (auto& [map_name, store] : copies) {
+      dst_it->second->maps[map_name][m.partition] = std::move(store);
     }
   }
   return migrated;
@@ -74,16 +91,27 @@ int64_t DataGrid::ApplyMigrations(const std::vector<Migration>& migrations) {
 
 PartitionStore* DataGrid::StoreFor(MemberId member, const std::string& map_name,
                                    PartitionId partition) {
+  JET_DCHECK(partition >= 0 && partition < table_.partition_count());
+  JET_DCHECK(partition_hold_[static_cast<size_t>(partition)].HeldByCurrentThread() &&
+             "StoreFor requires the partition lock");
   auto it = members_.find(member);
   if (it == members_.end()) return nullptr;
+  // The returned pointer stays valid after the layout mutex is released:
+  // unordered_map nodes are stable, and erasure requires all partition
+  // locks while the caller keeps holding this partition's.
+  std::scoped_lock layout(it->second->layout_mutex);
   return &it->second->maps[map_name][partition];
 }
 
 const PartitionStore* DataGrid::StoreForConst(MemberId member,
                                               const std::string& map_name,
                                               PartitionId partition) const {
+  JET_DCHECK(partition >= 0 && partition < table_.partition_count());
+  JET_DCHECK(partition_hold_[static_cast<size_t>(partition)].HeldByCurrentThread() &&
+             "StoreForConst requires the partition lock");
   auto it = members_.find(member);
   if (it == members_.end()) return nullptr;
+  std::scoped_lock layout(it->second->layout_mutex);
   auto map_it = it->second->maps.find(map_name);
   if (map_it == it->second->maps.end()) return nullptr;
   auto part_it = map_it->second.find(partition);
@@ -124,33 +152,33 @@ Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partiti
   if (partition < 0 || partition >= table_.partition_count()) {
     return InvalidArgumentError("partition out of range");
   }
-  std::scoped_lock lock(LockFor(partition));
-  MemberId primary = table_.PrimaryFor(partition);
-  if (primary == kInvalidMember) return UnavailableError("no members in grid");
-  PartitionStore* store = StoreFor(primary, map_name, partition);
-  if (store == nullptr) return InternalError("primary member store missing");
-  (*store)[key] = value;
-  // Synchronous backups (§4.2): apply to every backup replica before
-  // acknowledging.
-  int64_t replicated = 0;
-  for (int32_t i = 1; i <= table_.backup_count(); ++i) {
-    MemberId backup = table_.ReplicaFor(partition, i);
-    if (backup == kInvalidMember) continue;
-    PartitionStore* backup_store = StoreFor(backup, map_name, partition);
-    if (backup_store != nullptr) {
-      (*backup_store)[key] = value;
-      replicated += static_cast<int64_t>(key.size() + value.size());
-    }
-  }
   {
+    std::shared_lock layout(layout_rw_);
+    std::scoped_lock lock(LockFor(partition));
+    debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
+    MemberId primary = table_.PrimaryFor(partition);
+    if (primary == kInvalidMember) return UnavailableError("no members in grid");
+    PartitionStore* store = StoreFor(primary, map_name, partition);
+    if (store == nullptr) return InternalError("primary member store missing");
+    (*store)[key] = value;
+    // Synchronous backups (§4.2): apply to every backup replica before
+    // acknowledging.
+    int64_t replicated = 0;
+    for (int32_t i = 1; i <= table_.backup_count(); ++i) {
+      MemberId backup = table_.ReplicaFor(partition, i);
+      if (backup == kInvalidMember) continue;
+      PartitionStore* backup_store = StoreFor(backup, map_name, partition);
+      if (backup_store != nullptr) {
+        (*backup_store)[key] = value;
+        replicated += static_cast<int64_t>(key.size() + value.size());
+      }
+    }
     std::scoped_lock s(stats_mutex_);
     ++stats_.puts;
     stats_.replicated_bytes += replicated;
   }
-  // Notify listeners outside the partition lock... the partition lock is
-  // still held here (scoped to the function), so copy the callbacks first
-  // and rely on listener implementations being non-reentrant into this
-  // partition.
+  // Notify listeners outside every grid lock (per the EntryListener
+  // contract) so a listener may re-enter the grid.
   std::vector<EntryListener> to_notify;
   {
     std::scoped_lock l(listener_mutex_);
@@ -165,7 +193,9 @@ Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partiti
 Result<std::optional<Bytes>> DataGrid::Get(const std::string& map_name,
                                            const Bytes& key) const {
   PartitionId partition = PartitionOf(key);
+  std::shared_lock layout(layout_rw_);
   std::scoped_lock lock(LockFor(partition));
+  debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
   MemberId primary = table_.PrimaryFor(partition);
   if (primary == kInvalidMember) return UnavailableError("no members in grid");
   const PartitionStore* store = StoreForConst(primary, map_name, partition);
@@ -181,7 +211,9 @@ Result<std::optional<Bytes>> DataGrid::Get(const std::string& map_name,
 
 Result<bool> DataGrid::Remove(const std::string& map_name, const Bytes& key) {
   PartitionId partition = PartitionOf(key);
+  std::shared_lock layout(layout_rw_);
   std::scoped_lock lock(LockFor(partition));
+  debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
   MemberId primary = table_.PrimaryFor(partition);
   if (primary == kInvalidMember) return UnavailableError("no members in grid");
   PartitionStore* store = StoreFor(primary, map_name, partition);
@@ -199,8 +231,10 @@ Result<bool> DataGrid::Remove(const std::string& map_name, const Bytes& key) {
 
 int64_t DataGrid::Size(const std::string& map_name) const {
   int64_t total = 0;
+  std::shared_lock layout(layout_rw_);
   for (PartitionId p = 0; p < table_.partition_count(); ++p) {
     std::scoped_lock lock(LockFor(p));
+    debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     MemberId primary = table_.PrimaryFor(p);
     if (primary == kInvalidMember) continue;
     const PartitionStore* store = StoreForConst(primary, map_name, p);
@@ -210,9 +244,12 @@ int64_t DataGrid::Size(const std::string& map_name) const {
 }
 
 void DataGrid::Clear(const std::string& map_name) {
+  std::shared_lock layout(layout_rw_);
   for (PartitionId p = 0; p < table_.partition_count(); ++p) {
     std::scoped_lock lock(LockFor(p));
+    debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     for (auto& [id, member] : members_) {
+      std::scoped_lock layout(member->layout_mutex);
       auto map_it = member->maps.find(map_name);
       if (map_it == member->maps.end()) continue;
       auto part_it = map_it->second.find(p);
@@ -222,7 +259,9 @@ void DataGrid::Clear(const std::string& map_name) {
 }
 
 void DataGrid::Destroy(const std::string& map_name) {
-  std::scoped_lock membership(membership_mutex_);
+  // Erasing whole maps invalidates PartitionStore pointers held by entry
+  // operations, so exclude them all.
+  std::unique_lock layout(layout_rw_);
   for (auto& [id, member] : members_) member->maps.erase(map_name);
 }
 
@@ -237,7 +276,9 @@ std::vector<std::pair<Bytes, Bytes>> DataGrid::EntriesInPartition(
 void DataGrid::ForEachInPartition(
     const std::string& map_name, PartitionId partition,
     const std::function<void(const Bytes&, const Bytes&)>& fn) const {
+  std::shared_lock layout(layout_rw_);
   std::scoped_lock lock(LockFor(partition));
+  debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
   MemberId primary = table_.PrimaryFor(partition);
   if (primary == kInvalidMember) return;
   const PartitionStore* store = StoreForConst(primary, map_name, partition);
@@ -251,8 +292,10 @@ GridStats DataGrid::stats() const {
 }
 
 Status DataGrid::CheckReplicaConsistency(const std::string& map_name) const {
+  std::shared_lock layout(layout_rw_);
   for (PartitionId p = 0; p < table_.partition_count(); ++p) {
     std::scoped_lock lock(LockFor(p));
+    debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     MemberId primary = table_.PrimaryFor(p);
     if (primary == kInvalidMember) continue;
     const PartitionStore* primary_store = StoreForConst(primary, map_name, p);

@@ -6,11 +6,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <map>
 #include <unordered_map>
 #include <vector>
 
+#include "common/debug_check.h"
 #include "common/rng.h"
 #include "common/serde.h"
 #include "common/status.h"
@@ -55,6 +57,15 @@ struct GridStats {
 ///
 /// Thread-safety: operations on different partitions proceed in parallel
 /// (striped per-partition locks); operations on one partition serialize.
+/// Entry-level operations take the layout lock *shared* plus their
+/// partition's lock; membership and map-layout mutations
+/// (AddMember/RemoveMember/Destroy) take the layout lock *exclusive*,
+/// which excludes every concurrent entry operation (they may hold
+/// PartitionStore pointers into structures these mutations destroy).
+/// Per-member map-structure lookups are additionally serialized by a
+/// member-local layout mutex (two shared holders in different partitions
+/// may both lazily create nodes). Under JETSIM_DEBUG_CHECKS, StoreFor
+/// asserts that its caller actually holds the partition lock.
 class DataGrid {
  public:
   /// Creates a grid with the given replication factor. Members are added
@@ -145,6 +156,12 @@ class DataGrid {
   struct MemberStore {
     std::unordered_map<std::string, std::unordered_map<PartitionId, PartitionStore>>
         maps;
+    // Serializes lookups/insertions in the two-level `maps` structure:
+    // writers to *different* partitions hold different partition locks yet
+    // may both lazily create nodes of this unordered_map. Node pointers
+    // stay valid after release; erasure happens only under the exclusive
+    // layout lock (see layout_rw_).
+    mutable std::mutex layout_mutex;
   };
 
   // Requires the partition lock. Returns nullptr if the member is gone.
@@ -163,7 +180,13 @@ class DataGrid {
   PartitionTable table_;
   std::unordered_map<MemberId, std::unique_ptr<MemberStore>> members_;
   mutable std::vector<std::mutex> partition_locks_;
-  mutable std::mutex membership_mutex_;  // guards table_ + members_ layout
+  // Debug-only (empty in release): tracks which thread holds each
+  // partition lock so StoreFor can assert its locking contract.
+  mutable std::vector<debug::HoldTracker> partition_hold_;
+  // Layout lock: shared by entry operations (alongside their partition
+  // lock), exclusive for table_/members_/map-layout mutations. Always
+  // acquired before any partition lock.
+  mutable std::shared_mutex layout_rw_;
   mutable std::mutex stats_mutex_;
   mutable GridStats stats_;
 

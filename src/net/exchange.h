@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/debug_check.h"
 #include "core/execution_plan.h"
 #include "core/processor.h"
 #include "core/tasklet.h"
@@ -17,15 +18,22 @@ namespace jet::net {
 
 /// Thread-safe inbound buffer of a network receiver; the network delivery
 /// thread pushes item batches, the receiver tasklet drains them.
+///
+/// The mutex makes any interleaving memory-safe, but the exchange protocol
+/// additionally requires a single pusher (the channel's delivery thread —
+/// FIFO order would break with two) and a single drainer (the receiver
+/// tasklet); both roles are asserted under JETSIM_DEBUG_CHECKS.
 class WireBuffer {
  public:
   void Push(std::vector<core::Item>&& batch) {
+    JET_DCHECK_SINGLE_THREAD(pusher_guard_, "WireBuffer pusher (Push)");
     std::scoped_lock lock(mutex_);
     for (auto& item : batch) items_.push_back(std::move(item));
   }
 
   /// Moves up to `limit` items into `out`; returns the number moved.
   size_t Drain(std::deque<core::Item>* out, size_t limit) {
+    JET_DCHECK_SINGLE_THREAD(drainer_guard_, "WireBuffer drainer (Drain)");
     std::scoped_lock lock(mutex_);
     size_t n = 0;
     while (n < limit && !items_.empty()) {
@@ -44,6 +52,8 @@ class WireBuffer {
  private:
   mutable std::mutex mutex_;
   std::deque<core::Item> items_;
+  debug::ThreadOwnershipGuard pusher_guard_;
+  debug::ThreadOwnershipGuard drainer_guard_;
 };
 
 /// Rendezvous state of one directed network hop of one distributed edge:

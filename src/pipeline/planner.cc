@@ -20,6 +20,9 @@ std::vector<int32_t> ComputeFusionHeads(const StageGraph& graph, bool enable_fus
     if (node.inputs.size() != 1) continue;
     const StageNode::Input& in = node.inputs[0];
     if (in.distributed || in.routing != core::RoutingPolicy::kUnicast) continue;
+    // Out-of-range input references are rejected by BuildDag's edge pass;
+    // don't read through them here.
+    if (in.node < 0 || in.node >= static_cast<int32_t>(nodes.size())) continue;
     const StageNode& parent = graph.nodes()[static_cast<size_t>(in.node)];
     if (parent.kind != StageNode::Kind::kStateless) continue;
     if (graph.ConsumerCount(in.node) != 1) continue;

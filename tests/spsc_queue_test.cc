@@ -1,0 +1,171 @@
+// Wraparound, size, and misuse-detection coverage for SpscQueue (ISSUE 1).
+//
+// The wraparound tests use SpscQueue::SeedIndexesForTest to start the
+// monotonically increasing head/tail indices near SIZE_MAX, so the
+// `index & mask_` addressing and the `head - tail` unsigned arithmetic are
+// exercised across the 2^64 boundary without 2^64 pushes.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/debug_check.h"
+#include "common/spsc_queue.h"
+
+namespace jet {
+namespace {
+
+TEST(SpscQueueWrapTest, PushBatchAcrossIndexBoundary) {
+  SpscQueue<int> q(8);
+  // 3 slots before the index wraps to 0 mid-batch.
+  q.SeedIndexesForTest(std::numeric_limits<size_t>::max() - 2);
+  std::vector<int> in = {10, 11, 12, 13, 14, 15};
+  EXPECT_EQ(q.PushBatch(in.begin(), in.end()), 6u);
+  EXPECT_EQ(q.SizeApprox(), 6u);
+  std::vector<int> out;
+  EXPECT_EQ(q.DrainTo([&out](int&& v) { out.push_back(v); }, 100), 6u);
+  EXPECT_EQ(out, (std::vector<int>{10, 11, 12, 13, 14, 15}));
+  EXPECT_EQ(q.SizeApprox(), 0u);
+}
+
+TEST(SpscQueueWrapTest, DrainToAcrossIndexBoundary) {
+  SpscQueue<int> q(4);
+  q.SeedIndexesForTest(std::numeric_limits<size_t>::max() - 1);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(q.TryPush(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(q.TryPush(overflow));  // full across the boundary
+  std::vector<int> out;
+  EXPECT_EQ(q.DrainTo([&out](int&& v) { out.push_back(v); }, 2), 2u);
+  EXPECT_EQ(q.DrainTo([&out](int&& v) { out.push_back(v); }, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SpscQueueWrapTest, TryPopAndPeekAcrossIndexBoundary) {
+  SpscQueue<std::string> q(2);
+  q.SeedIndexesForTest(std::numeric_limits<size_t>::max());
+  std::string a = "a", b = "b";
+  EXPECT_TRUE(q.TryPush(a));  // lands at index SIZE_MAX
+  EXPECT_TRUE(q.TryPush(b));  // lands at index 0 after wrap
+  ASSERT_NE(q.Peek(), nullptr);
+  EXPECT_EQ(*q.Peek(), "a");
+  q.PopFront();
+  std::string out;
+  EXPECT_TRUE(q.TryPop(out));
+  EXPECT_EQ(out, "b");
+  EXPECT_TRUE(q.EmptyApprox());
+}
+
+TEST(SpscQueueWrapTest, TwoThreadStressAcrossIndexBoundary) {
+  constexpr int64_t kItems = 200'000;
+  SpscQueue<int64_t> q(64);
+  q.SeedIndexesForTest(std::numeric_limits<size_t>::max() - kItems / 2);
+  std::thread producer([&q]() {
+    for (int64_t i = 0; i < kItems;) {
+      int64_t v = i;
+      if (q.TryPush(v)) ++i;
+    }
+  });
+  int64_t expected = 0;
+  while (expected < kItems) {
+    int64_t out;
+    if (q.TryPop(out)) {
+      ASSERT_EQ(out, expected);  // strict FIFO across the wrap
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+TEST(SpscQueueTest, RvalueTryPushRestoresItemOnFailure) {
+  SpscQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.TryPush(std::make_unique<int>(1)));
+  EXPECT_TRUE(q.TryPush(std::make_unique<int>(2)));
+  auto third = std::make_unique<int>(3);
+  EXPECT_FALSE(q.TryPush(std::move(third)));
+  // Failed rvalue push must leave the caller's object intact for retry.
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(*third, 3);
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(q.TryPop(out));
+  EXPECT_TRUE(q.TryPush(std::move(third)));
+  EXPECT_EQ(third, nullptr);  // success consumes the item
+}
+
+TEST(SpscQueueTest, SizeApproxNeverExceedsCapacityUnderConcurrency) {
+  // The old implementation loaded head before tail, so a consumer advancing
+  // tail between the loads made `head - tail` wrap to a huge size_t. Load
+  // order plus clamping bounds it by capacity() always.
+  constexpr int64_t kItems = 300'000;
+  SpscQueue<int64_t> q(16);
+  std::thread producer([&q]() {
+    for (int64_t i = 0; i < kItems;) {
+      int64_t v = i;
+      if (q.TryPush(v)) ++i;
+    }
+  });
+  std::thread observer([&q]() {
+    for (int i = 0; i < 200'000; ++i) {
+      size_t size = q.SizeApprox();
+      ASSERT_LE(size, q.capacity());
+    }
+  });
+  int64_t popped = 0;
+  while (popped < kItems) {
+    int64_t out;
+    if (q.TryPop(out)) ++popped;
+  }
+  producer.join();
+  observer.join();
+}
+
+#if JETSIM_DEBUG_CHECKS
+
+using SpscQueueDeathTest = ::testing::Test;
+
+TEST(SpscQueueDeathTest, PopFrontWithoutPeekAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ASSERT_DEATH(
+      {
+        SpscQueue<int> q(4);
+        int v = 1;
+        q.TryPush(v);
+        // Misuse: PopFront without a preceding successful Peek — the
+        // consumer's cached head was never refreshed.
+        q.PopFront();
+      },
+      "PopFront without preceding Peek");
+}
+
+TEST(SpscQueueDeathTest, PopFrontOnEmptyQueueAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ASSERT_DEATH(
+      {
+        SpscQueue<int> q(4);
+        int v = 1;
+        q.TryPush(v);
+        (void)q.Peek();
+        q.PopFront();
+        q.PopFront();  // queue is empty now
+      },
+      "PopFront");
+}
+
+#else
+
+TEST(SpscQueueDeathTest, PopFrontMisuseRequiresDebugChecks) {
+  GTEST_SKIP() << "JETSIM_DEBUG_CHECKS is off; misuse aborts are compiled out "
+                  "(run the asan-ubsan preset)";
+}
+
+#endif  // JETSIM_DEBUG_CHECKS
+
+}  // namespace
+}  // namespace jet

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Concurrency lint for jetsim.
+
+Flags patterns that are almost always wrong in this codebase:
+
+  1. `volatile` — never a substitute for std::atomic; banned outright.
+  2. Relaxed atomic *writes* (`.store(..., memory_order_relaxed)` or RMWs
+     with relaxed order) outside the whitelisted files that are documented
+     single-writer or intentionally unordered. A relaxed store that is
+     supposed to publish data is the classic misordered-load bug the TSan
+     suite exists to catch; new ones must be reviewed and whitelisted here.
+  3. Mutex-under-spinlock: taking a `std::mutex` (scoped_lock/lock_guard/
+     unique_lock) lexically inside a busy-wait loop (`while (...load(...))`
+     or a loop over `compare_exchange`). Blocking inside a spin inverts the
+     cooperative scheduler's latency assumptions (§3.2).
+
+Usage:
+  python3 tools/lint_concurrency.py [--strict] [paths...]
+
+Default paths: src/. Exit code is 0 unless --strict is given and findings
+exist (CI runs it non-strict initially; tools/check.sh runs it strict for
+rules 1-2, while rule 3 is always advisory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Files allowed to perform relaxed atomic writes, with the reason recorded
+# here so the whitelist is reviewable.
+RELAXED_WRITE_WHITELIST = {
+    "src/common/spsc_queue.h": "SPSC protocol: relaxed loads of own index only",
+    "src/common/debug_check.h": "debug ownership ids carry no payload ordering",
+    "src/core/tasklet.cc": "single-writer metrics counters, readers tolerate staleness",
+    "src/core/tasklet.h": "single-writer metrics counters, readers tolerate staleness",
+    "src/core/processors_basic.h": "statistics counter, no payload published",
+    "src/core/processors_window.h": "late-event counter, no payload published",
+}
+
+VOLATILE_RE = re.compile(r"\bvolatile\b")
+RELAXED_WRITE_RE = re.compile(
+    r"\.(store|fetch_add|fetch_sub|fetch_or|fetch_and|fetch_xor|exchange)\s*\("
+    r"[^;]*memory_order_relaxed"
+)
+SPIN_LOOP_RE = re.compile(
+    r"\b(while|for)\s*\([^)]*(\.load\s*\(|compare_exchange|\.test\s*\()"
+)
+MUTEX_LOCK_RE = re.compile(
+    r"\b(std::)?(scoped_lock|lock_guard|unique_lock)\b|\.lock\s*\(\s*\)"
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line numbers."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | 'str' | 'chr'
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        else:
+            if c == "\n":
+                out.append("\n")
+                if mode == "line":
+                    mode = None
+                i += 1
+                continue
+            if mode == "block" and c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            if mode in ("str", "chr") and c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (mode == "str" and c == '"') or (mode == "chr" and c == "'"):
+                mode = None
+            out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def find_spin_scopes(lines: list[str]) -> list[tuple[int, int]]:
+    """Returns (start, end) line index ranges of busy-wait loop bodies."""
+    scopes = []
+    for idx, line in enumerate(lines):
+        if not SPIN_LOOP_RE.search(line):
+            continue
+        # Walk forward to the loop body's closing brace (brace counting
+        # from the first '{' at or after the loop header).
+        depth = 0
+        started = False
+        for j in range(idx, min(idx + 80, len(lines))):
+            depth += lines[j].count("{") - lines[j].count("}")
+            if "{" in lines[j]:
+                started = True
+            if started and depth <= 0:
+                scopes.append((idx, j))
+                break
+    return scopes
+
+
+def lint_file(path: Path, repo_root: Path) -> tuple[list[str], list[str]]:
+    """Returns (errors, warnings) for one file."""
+    rel = path.relative_to(repo_root).as_posix()
+    text = strip_comments_and_strings(path.read_text(errors="replace"))
+    lines = text.split("\n")
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    for idx, line in enumerate(lines, start=1):
+        if VOLATILE_RE.search(line):
+            errors.append(
+                f"{rel}:{idx}: `volatile` is banned; use std::atomic with an "
+                f"explicit memory order"
+            )
+        if RELAXED_WRITE_RE.search(line) and rel not in RELAXED_WRITE_WHITELIST:
+            errors.append(
+                f"{rel}:{idx}: relaxed atomic write outside the whitelist; "
+                f"publishing seq/payload stores need release ordering "
+                f"(whitelist in tools/lint_concurrency.py if single-writer)"
+            )
+
+    for start, end in find_spin_scopes(lines):
+        for j in range(start + 1, end + 1):
+            if MUTEX_LOCK_RE.search(lines[j]):
+                warnings.append(
+                    f"{rel}:{j + 1}: mutex acquisition inside a busy-wait loop "
+                    f"(started line {start + 1}); blocking under a spin defeats "
+                    f"the cooperative scheduler's latency model"
+                )
+                break
+    return errors, warnings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when errors are found")
+    parser.add_argument("paths", nargs="*", default=None)
+    args = parser.parse_args()
+
+    repo_root = Path(__file__).resolve().parent.parent
+    roots = [Path(p) for p in args.paths] if args.paths else [repo_root / "src"]
+
+    files: list[Path] = []
+    for root in roots:
+        root = root if root.is_absolute() else repo_root / root
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.h")))
+            files.extend(sorted(root.rglob("*.cc")))
+
+    all_errors: list[str] = []
+    all_warnings: list[str] = []
+    for f in files:
+        errors, warnings = lint_file(f, repo_root)
+        all_errors.extend(errors)
+        all_warnings.extend(warnings)
+
+    for msg in all_errors:
+        print(f"error: {msg}")
+    for msg in all_warnings:
+        print(f"warning: {msg}")
+    print(
+        f"lint_concurrency: {len(files)} files, {len(all_errors)} errors, "
+        f"{len(all_warnings)} warnings"
+    )
+    if args.strict and all_errors:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
