@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -32,6 +33,17 @@ class HeartbeatFailureDetector {
   struct Options {
     Nanos heartbeat_interval = 50 * kNanosPerMilli;
     Nanos suspicion_timeout = 250 * kNanosPerMilli;
+    /// When > 0, a member whose heartbeat is older than this (but younger
+    /// than suspicion_timeout) is *suspected*; a fresh heartbeat refutes
+    /// the suspicion (Hazelcast's phi-accrual detector has the same
+    /// two-phase shape). 0 disables the suspicion phase.
+    Nanos suspect_after = 0;
+    /// Node id of the member running this detector. Heartbeat channels are
+    /// tagged (member -> observer_node), so a testkit link partition
+    /// between a member and the observer starves its heartbeats — letting
+    /// tests distinguish "link down" from "process down" (the detector,
+    /// correctly, cannot).
+    int32_t observer_node = net::kAnyNode;
   };
 
   /// `on_failure(member)` is invoked from the detector thread, at most once
@@ -50,7 +62,7 @@ class HeartbeatFailureDetector {
     std::scoped_lock lock(mutex_);
     if (members_.count(member) != 0) return;
     auto state = std::make_shared<MemberState>();
-    state->channel = network_->OpenChannel();
+    state->channel = network_->OpenChannel(member, options_.observer_node);
     state->last_heartbeat.store(clock_.Now(), std::memory_order_release);
     members_[member] = state;
     // The member's heartbeat pump: models the member process periodically
@@ -108,6 +120,19 @@ class HeartbeatFailureDetector {
     return failed_;
   }
 
+  /// Members currently suspected (stale heartbeat, not yet declared
+  /// failed). Always empty unless Options::suspect_after > 0.
+  std::vector<int32_t> SuspectedMembers() const {
+    std::scoped_lock lock(mutex_);
+    return std::vector<int32_t>(suspected_.begin(), suspected_.end());
+  }
+
+  /// Times a suspicion was withdrawn because a late heartbeat arrived.
+  int64_t refutation_count() const {
+    std::scoped_lock lock(mutex_);
+    return refutations_;
+  }
+
  private:
   struct MemberState {
     net::ChannelId channel = 0;
@@ -127,9 +152,17 @@ class HeartbeatFailureDetector {
             continue;
           }
           Nanos last = state->last_heartbeat.load(std::memory_order_acquire);
-          if (now - last > options_.suspicion_timeout) {
+          Nanos age = now - last;
+          if (age > options_.suspicion_timeout) {
+            suspected_.erase(member);
             failed_.push_back(member);
             newly_failed.push_back(member);
+          } else if (options_.suspect_after > 0) {
+            if (age > options_.suspect_after) {
+              suspected_.insert(member);
+            } else if (suspected_.erase(member) > 0) {
+              ++refutations_;  // late heartbeat refuted the suspicion
+            }
           }
         }
       }
@@ -148,6 +181,8 @@ class HeartbeatFailureDetector {
   mutable std::mutex mutex_;
   std::map<int32_t, std::shared_ptr<MemberState>> members_;
   std::vector<int32_t> failed_;
+  std::set<int32_t> suspected_;
+  int64_t refutations_ = 0;
   std::atomic<bool> running_{false};
   std::thread monitor_;
 };

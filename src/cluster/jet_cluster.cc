@@ -83,6 +83,40 @@ Status JetCluster::KillNode(int32_t node_id) {
   return Status::OK();
 }
 
+Status JetCluster::RecoverAfterFault(const std::function<void()>& heal) {
+  std::scoped_lock lock(mutex_);
+  // Stop unfinished attempts while the links are still faulty so no late
+  // message can sneak a lossy attempt to "completion".
+  std::vector<ClusterJob*> stopped;
+  for (auto& job : jobs_) {
+    if (job->StopForRecovery()) stopped.push_back(job.get());
+  }
+  if (heal) heal();
+  for (ClusterJob* job : stopped) {
+    JET_RETURN_IF_ERROR(job->RestartFromLastSnapshot());
+  }
+  return Status::OK();
+}
+
+Status JetCluster::StallNode(int32_t node_id, Nanos duration) {
+  std::scoped_lock lock(mutex_);
+  if (std::find(alive_nodes_.begin(), alive_nodes_.end(), node_id) ==
+      alive_nodes_.end()) {
+    return NotFoundError("node not alive");
+  }
+  for (auto& job : jobs_) {
+    std::scoped_lock job_lock(job->job_mutex_);
+    if (job->attempt_ == nullptr) continue;
+    auto& nodes = job->attempt_->nodes;
+    auto idx = std::find(nodes.begin(), nodes.end(), node_id);
+    if (idx != nodes.end()) {
+      job->attempt_->services[static_cast<size_t>(idx - nodes.begin())]->InjectStall(
+          duration);
+    }
+  }
+  return Status::OK();
+}
+
 Result<int32_t> JetCluster::AddNode() {
   std::scoped_lock lock(mutex_);
   int32_t id = next_node_id_++;
@@ -153,7 +187,10 @@ Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snap
     };
   }
 
-  attempt->registry = std::make_unique<net::ExchangeRegistry>(&cluster_->network_);
+  // Channels are tagged with physical member ids so testkit link faults
+  // (partitions, drops, delay spikes) apply to this execution's traffic.
+  attempt->registry =
+      std::make_unique<net::ExchangeRegistry>(&cluster_->network_, attempt->nodes);
   for (int32_t i = 0; i < node_count; ++i) {
     core::NodeInfo node{i, node_count};
     auto factory = std::make_unique<net::NetworkEdgeFactory>(
@@ -214,17 +251,20 @@ void ClusterJob::StopCurrentAttempt() {
   }
 }
 
-Status ClusterJob::RestartOnMembershipChange() {
+bool ClusterJob::StopForRecovery() {
   {
     std::scoped_lock lock(job_mutex_);
-    if (attempt_ == nullptr) return Status::OK();  // already finished/cancelled
+    if (attempt_ == nullptr) return false;  // already finished/cancelled
     // A naturally-finished job does not restart.
     bool complete = attempt_->AllComplete() &&
                     !attempt_->cancelled.load(std::memory_order_acquire);
-    if (complete || job_cancelled_.load(std::memory_order_acquire)) return Status::OK();
+    if (complete || job_cancelled_.load(std::memory_order_acquire)) return false;
   }
   StopCurrentAttempt();
+  return true;
+}
 
+Status ClusterJob::RestartFromLastSnapshot() {
   int64_t restore = -1;
   if (config_.guarantee != core::ProcessingGuarantee::kNone) {
     auto committed = cluster_->store_.LastCommitted(job_id_);
@@ -233,6 +273,11 @@ Status ClusterJob::RestartOnMembershipChange() {
   // Note: the caller (JetCluster) holds the cluster mutex, so alive_nodes_
   // is stable here.
   return StartAttempt(cluster_->alive_nodes_, restore);
+}
+
+Status ClusterJob::RestartOnMembershipChange() {
+  if (!StopForRecovery()) return Status::OK();
+  return RestartFromLastSnapshot();
 }
 
 void ClusterJob::CoordinatorLoop(Attempt* attempt) {

@@ -67,6 +67,20 @@ class JetCluster {
   /// running jobs restart, rescaled to include it.
   Result<int32_t> AddNode();
 
+  /// Recovers running jobs after a network fault (testkit): stops every
+  /// unfinished job's attempt *first*, then runs `heal` (typically
+  /// Network::Heal / HealAll), then restarts the stopped jobs from their
+  /// last committed snapshot. Ordering matters: while links are faulty no
+  /// snapshot spanning them can commit, so the restore point predates the
+  /// fault — but a done-marker or barrier that slipped through right after
+  /// healing could complete or checkpoint an attempt that lost messages.
+  /// Stopping before healing closes that window.
+  Status RecoverAfterFault(const std::function<void()>& heal);
+
+  /// Freezes the worker threads of `node_id` across all running jobs for
+  /// `duration` (GC-pause injection; see ExecutionService::InjectStall).
+  Status StallNode(int32_t node_id, Nanos duration);
+
   /// Physical ids of alive members.
   std::vector<int32_t> AliveNodes() const;
 
@@ -150,6 +164,15 @@ class ClusterJob {
   // Stops the current attempt (cancel + join threads). Caller holds
   // cluster mutex.
   void StopCurrentAttempt();
+
+  // Stops the current attempt unless the job already finished naturally or
+  // was cancelled. Returns true if an attempt was stopped (and therefore
+  // needs a restart). Caller holds cluster mutex.
+  bool StopForRecovery();
+
+  // Starts a fresh attempt on the cluster's alive nodes, restored from the
+  // last committed snapshot (if any). Caller holds cluster mutex.
+  Status RestartFromLastSnapshot();
 
   // Reacts to a membership change. Caller holds cluster mutex.
   Status RestartOnMembershipChange();

@@ -1,7 +1,10 @@
 #include "core/execution_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
+#include "common/clock.h"
 #include "common/idle_strategy.h"
 #include "common/logging.h"
 
@@ -62,6 +65,7 @@ void ExecutionService::CooperativeWorkerLoop(std::vector<Tasklet*> tasklets) {
   BackoffIdleStrategy idle;
   // Round-robin over live tasklets (§3.2, Fig. 4).
   while (!tasklets.empty() && !cancelled_.load(std::memory_order_acquire)) {
+    MaybeStall();
     bool any_progress = false;
     for (size_t i = 0; i < tasklets.size();) {
       TaskletProgress p = tasklets[i]->Call();
@@ -90,6 +94,7 @@ void ExecutionService::DedicatedWorkerLoop(Tasklet* tasklet) {
   BackoffIdleStrategy idle(/*max_spins=*/0, /*max_yields=*/1,
                            /*min_park_nanos=*/10'000, /*max_park_nanos=*/1'000'000);
   while (!cancelled_.load(std::memory_order_acquire)) {
+    MaybeStall();
     TaskletProgress p = tasklet->Call();
     if (p.done) break;
     if (p.made_progress) {
@@ -102,6 +107,24 @@ void ExecutionService::DedicatedWorkerLoop(Tasklet* tasklet) {
 }
 
 void ExecutionService::Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+void ExecutionService::InjectStall(Nanos duration) {
+  if (duration <= 0) return;
+  Nanos until = WallClock::Global().Now() + duration;
+  // Keep the later deadline if stalls overlap.
+  Nanos prev = stall_until_.load(std::memory_order_relaxed);
+  while (prev < until &&
+         !stall_until_.compare_exchange_weak(prev, until, std::memory_order_acq_rel)) {
+  }
+}
+
+void ExecutionService::MaybeStall() const {
+  if (stall_until_.load(std::memory_order_acquire) == 0) return;
+  while (!cancelled_.load(std::memory_order_acquire) &&
+         WallClock::Global().Now() < stall_until_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
 
 Status ExecutionService::AwaitCompletion() {
   if (joined_) return first_error_;

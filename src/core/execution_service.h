@@ -41,6 +41,12 @@ class ExecutionService {
   /// exit their loops.
   void Cancel();
 
+  /// Fault injection (testkit): freezes every worker loop for `duration`,
+  /// modeling a stop-the-world GC pause on this member (§7.6 blames such
+  /// pauses for recovery-latency tails). Workers finish their in-flight
+  /// tasklet call, then stall; cancellation still interrupts the stall.
+  void InjectStall(Nanos duration);
+
   /// Blocks until all tasklets are done (or cancellation took effect) and
   /// returns the first tasklet Init error, if any.
   Status AwaitCompletion();
@@ -57,10 +63,12 @@ class ExecutionService {
   void CooperativeWorkerLoop(std::vector<Tasklet*> tasklets);
   void DedicatedWorkerLoop(Tasklet* tasklet);
   void RecordError(const Status& status);
+  void MaybeStall() const;
 
   int32_t thread_count_;
   std::vector<std::thread> threads_;
   std::atomic<bool> cancelled_{false};
+  std::atomic<Nanos> stall_until_{0};
   std::atomic<bool> started_{false};
   std::atomic<int32_t> active_workers_{0};
   std::mutex error_mutex_;

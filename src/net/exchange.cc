@@ -12,10 +12,21 @@ std::shared_ptr<ExchangeChannel> ExchangeRegistry::GetOrCreate(int32_t edge_inde
   auto it = channels_.find(key);
   if (it != channels_.end()) return it->second;
   auto channel = std::make_shared<ExchangeChannel>();
-  channel->data_channel = network_->OpenChannel();
-  channel->ack_channel = network_->OpenChannel();
+  int32_t phys_from = PhysicalIdOf(from_node);
+  int32_t phys_to = PhysicalIdOf(to_node);
+  channel->data_channel = network_->OpenChannel(phys_from, phys_to);
+  // Acks flow back receiver -> sender, so a one-way fault on (to, from)
+  // affects them, not the data direction.
+  channel->ack_channel = network_->OpenChannel(phys_to, phys_from);
   channels_[key] = channel;
   return channel;
+}
+
+int32_t ExchangeRegistry::PhysicalIdOf(int32_t plan_node) const {
+  if (plan_node >= 0 && static_cast<size_t>(plan_node) < physical_node_ids_.size()) {
+    return physical_node_ids_[static_cast<size_t>(plan_node)];
+  }
+  return kAnyNode;
 }
 
 // ---------------------------------------------------------------------------

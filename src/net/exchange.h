@@ -69,7 +69,12 @@ struct ExchangeChannel {
 /// receivers. Thread-safe.
 class ExchangeRegistry {
  public:
-  explicit ExchangeRegistry(Network* network) : network_(network) {}
+  /// `physical_node_ids` maps plan-local node index -> the member's
+  /// physical id, so channels are endpoint-tagged and per-link faults
+  /// (Network::SetLinkFault / Partition) apply to this execution's
+  /// traffic. When empty, channels are untagged and immune to faults.
+  explicit ExchangeRegistry(Network* network, std::vector<int32_t> physical_node_ids = {})
+      : network_(network), physical_node_ids_(std::move(physical_node_ids)) {}
 
   /// Returns (creating on first use) the channel of (edge, from, to).
   std::shared_ptr<ExchangeChannel> GetOrCreate(int32_t edge_index, int32_t from_node,
@@ -78,7 +83,10 @@ class ExchangeRegistry {
   Network* network() const { return network_; }
 
  private:
+  int32_t PhysicalIdOf(int32_t plan_node) const;
+
   Network* network_;
+  std::vector<int32_t> physical_node_ids_;
   std::mutex mutex_;
   std::map<std::tuple<int32_t, int32_t, int32_t>, std::shared_ptr<ExchangeChannel>>
       channels_;

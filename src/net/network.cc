@@ -10,15 +10,44 @@ Network::Network(LinkModel link, uint64_t seed) : link_(link), rng_(seed) {
 
 Network::~Network() { Shutdown(); }
 
-ChannelId Network::OpenChannel() {
+ChannelId Network::OpenChannel(int32_t from, int32_t to) {
   std::scoped_lock lock(mutex_);
-  return next_channel_++;
+  ChannelId id = next_channel_++;
+  if (from != kAnyNode || to != kAnyNode) {
+    channel_endpoints_.emplace(id, std::make_pair(from, to));
+  }
+  return id;
+}
+
+const FaultPlan* Network::FaultFor(ChannelId channel) const {
+  if (faults_.empty()) return nullptr;
+  auto ep = channel_endpoints_.find(channel);
+  if (ep == channel_endpoints_.end()) return nullptr;
+  auto it = faults_.find(ep->second);
+  return it != faults_.end() ? &it->second : nullptr;
 }
 
 void Network::Send(ChannelId channel, std::function<void()> deliver) {
   std::scoped_lock lock(mutex_);
-  if (shutdown_) return;
-  Nanos due = clock_.Now() + link_.Sample(&rng_);
+  ++sent_;
+  if (shutdown_) {
+    ++dropped_;
+    return;
+  }
+  Nanos extra = 0;
+  if (const FaultPlan* fault = FaultFor(channel); fault != nullptr) {
+    if (fault->blocked ||
+        (fault->drop_probability > 0.0 && rng_.NextDouble() < fault->drop_probability)) {
+      ++dropped_;
+      return;
+    }
+    extra = fault->extra_latency;
+    if (fault->spike_probability > 0.0 && fault->spike_latency > 0 &&
+        rng_.NextDouble() < fault->spike_probability) {
+      extra += fault->spike_latency;
+    }
+  }
+  Nanos due = clock_.Now() + link_.Sample(&rng_) + extra;
   // FIFO per channel: never schedule before the channel's previous message.
   auto [it, inserted] = channel_last_due_.try_emplace(channel, due);
   if (!inserted) {
@@ -32,18 +61,63 @@ void Network::Send(ChannelId channel, std::function<void()> deliver) {
 void Network::Shutdown() {
   {
     std::scoped_lock lock(mutex_);
-    if (shutdown_) {
-      // Already requested; fall through to join below.
+    if (!shutdown_) {
+      shutdown_ = true;
+      // Everything still queued will never run: account it as dropped so
+      // sent == delivered + dropped holds at teardown.
+      dropped_ += static_cast<int64_t>(queue_.size());
     }
-    shutdown_ = true;
     cv_.notify_all();
   }
   if (delivery_thread_.joinable()) delivery_thread_.join();
 }
 
+void Network::SetLinkFault(int32_t from, int32_t to, FaultPlan plan) {
+  std::scoped_lock lock(mutex_);
+  auto key = std::make_pair(from, to);
+  if (plan.IsNoop()) {
+    faults_.erase(key);
+  } else {
+    faults_[key] = plan;
+  }
+}
+
+void Network::Partition(int32_t a, int32_t b) {
+  std::scoped_lock lock(mutex_);
+  faults_[{a, b}].blocked = true;
+  faults_[{b, a}].blocked = true;
+}
+
+void Network::Heal(int32_t a, int32_t b) {
+  std::scoped_lock lock(mutex_);
+  faults_.erase({a, b});
+  faults_.erase({b, a});
+}
+
+void Network::HealAll() {
+  std::scoped_lock lock(mutex_);
+  faults_.clear();
+}
+
+bool Network::IsBlocked(int32_t from, int32_t to) const {
+  std::scoped_lock lock(mutex_);
+  auto it = faults_.find({from, to});
+  return it != faults_.end() && it->second.blocked;
+}
+
+int64_t Network::sent_count() const {
+  std::scoped_lock lock(mutex_);
+  return sent_;
+}
+
 int64_t Network::delivered_count() const {
   std::scoped_lock lock(mutex_);
   return delivered_;
+}
+
+int64_t Network::dropped_count() const {
+  std::scoped_lock lock(mutex_);
+  return dropped_;
 }
 
 void Network::set_link(LinkModel link) {

@@ -4,10 +4,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -30,6 +32,36 @@ struct LinkModel {
   }
 };
 
+/// Endpoint wildcard for channels whose node identity is unknown or
+/// irrelevant; such channels are never matched by link faults.
+inline constexpr int32_t kAnyNode = -1;
+
+/// Fault model of one *directed* link (from -> to), installed via
+/// `Network::SetLinkFault`. All randomness draws from the network's seeded
+/// Rng, so a given seed plus a given send sequence replays the same drops.
+///
+/// Faults act at send time: a blocked or dropped message is counted in
+/// `dropped_count()` and never enqueued. Messages already in flight when a
+/// fault is installed still deliver (they left the "NIC" before the cable
+/// was cut).
+struct FaultPlan {
+  /// Probability in [0, 1] that a message on this link is dropped.
+  double drop_probability = 0.0;
+  /// Fixed extra latency added to every message on this link.
+  Nanos extra_latency = 0;
+  /// With probability `spike_probability`, adds `spike_latency` on top
+  /// (models transient congestion / GC on the peer).
+  double spike_probability = 0.0;
+  Nanos spike_latency = 0;
+  /// Hard partition: every message on this link is dropped.
+  bool blocked = false;
+
+  bool IsNoop() const {
+    return drop_probability <= 0.0 && extra_latency == 0 &&
+           (spike_probability <= 0.0 || spike_latency == 0) && !blocked;
+  }
+};
+
 /// Identifier of a FIFO channel between two endpoints. Deliveries on one
 /// channel never reorder (TCP-like semantics), which the snapshot barrier
 /// protocol depends on.
@@ -42,6 +74,11 @@ using ChannelId = int64_t;
 /// scheduling a delivery earlier than the channel's previous one. The
 /// closure should only move data into a thread-safe buffer and return
 /// quickly.
+///
+/// Delivery accounting always closes: after `Shutdown`,
+/// `sent_count() == delivered_count() + dropped_count()`. Drops come from
+/// link faults (see FaultPlan), sends after shutdown, and messages still
+/// queued at shutdown.
 class Network {
  public:
   explicit Network(LinkModel link = LinkModel{}, uint64_t seed = 42);
@@ -50,19 +87,52 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Allocates a new FIFO channel.
-  ChannelId OpenChannel();
+  /// Allocates a new FIFO channel. `from`/`to` optionally tag the channel
+  /// with the node ids of its endpoints so per-link faults apply to it;
+  /// untagged channels (kAnyNode) are immune to link faults.
+  ChannelId OpenChannel(int32_t from = kAnyNode, int32_t to = kAnyNode);
 
   /// Schedules `deliver` to run after the sampled link latency, in FIFO
-  /// order with previous sends on `channel`.
+  /// order with previous sends on `channel`. Subject to any fault installed
+  /// on the channel's (from, to) link.
   void Send(ChannelId channel, std::function<void()> deliver);
 
-  /// Stops the delivery thread; undelivered messages are dropped (used to
-  /// model node/network failure at shutdown).
+  /// Stops the delivery thread; undelivered messages are dropped and
+  /// counted in `dropped_count()` (used to model node/network failure at
+  /// shutdown).
   void Shutdown();
+
+  // --- Fault injection (testkit) ------------------------------------------
+
+  /// Installs `plan` on the directed link from -> to, replacing any
+  /// previous plan (a no-op plan removes the entry).
+  void SetLinkFault(int32_t from, int32_t to, FaultPlan plan);
+
+  /// Blocks both directions between `a` and `b` (full partition). Existing
+  /// latency/drop settings on the pair are preserved.
+  void Partition(int32_t a, int32_t b);
+
+  /// Removes all faults (block, drop, latency) on both directions between
+  /// `a` and `b`.
+  void Heal(int32_t a, int32_t b);
+
+  /// Removes every installed fault.
+  void HealAll();
+
+  /// True if the directed link from -> to is currently blocked.
+  bool IsBlocked(int32_t from, int32_t to) const;
+
+  // --- Accounting ---------------------------------------------------------
+
+  /// Messages handed to Send so far (including ones later dropped).
+  int64_t sent_count() const;
 
   /// Messages delivered so far.
   int64_t delivered_count() const;
+
+  /// Messages dropped so far: fault-plan drops + blocked-link drops +
+  /// sends after Shutdown + messages undelivered at Shutdown.
+  int64_t dropped_count() const;
 
   /// Sets the latency model for subsequent sends.
   void set_link(LinkModel link);
@@ -81,16 +151,23 @@ class Network {
 
   void DeliveryLoop();
 
+  // Fault plan covering `channel`, or nullptr. Requires mutex_.
+  const FaultPlan* FaultFor(ChannelId channel) const;
+
   WallClock clock_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::priority_queue<Delivery, std::vector<Delivery>, DeliveryLater> queue_;
   std::unordered_map<ChannelId, Nanos> channel_last_due_;
+  std::unordered_map<ChannelId, std::pair<int32_t, int32_t>> channel_endpoints_;
+  std::map<std::pair<int32_t, int32_t>, FaultPlan> faults_;
   LinkModel link_;
   Rng rng_;
   ChannelId next_channel_ = 1;
   int64_t next_seq_ = 0;
+  int64_t sent_ = 0;
   int64_t delivered_ = 0;
+  int64_t dropped_ = 0;
   bool shutdown_ = false;
   std::thread delivery_thread_;
 };

@@ -1,0 +1,37 @@
+#ifndef JETSIM_TESTKIT_WAIT_H_
+#define JETSIM_TESTKIT_WAIT_H_
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace jet::testkit {
+
+/// Polls `pred` every `poll_interval` until it returns true or `timeout`
+/// elapses. Returns whether the predicate became true. Replaces fixed
+/// sleeps in tests: the wait ends the moment the condition holds, and a
+/// generous timeout costs nothing on the happy path.
+inline bool WaitUntil(const std::function<bool()>& pred, Nanos timeout,
+                      Nanos poll_interval = kNanosPerMilli) {
+  WallClock clock;
+  Nanos deadline = clock.Now() + timeout;
+  while (true) {
+    if (pred()) return true;
+    if (clock.Now() >= deadline) return pred();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(poll_interval));
+  }
+}
+
+/// Asserts the negative: returns true iff `pred` stayed false for the whole
+/// `duration` (e.g. "no spurious failure detection"). Exits early (false)
+/// as soon as the predicate fires.
+inline bool HeldFalseFor(const std::function<bool()>& pred, Nanos duration,
+                         Nanos poll_interval = kNanosPerMilli) {
+  return !WaitUntil(pred, duration, poll_interval);
+}
+
+}  // namespace jet::testkit
+
+#endif  // JETSIM_TESTKIT_WAIT_H_

@@ -8,6 +8,7 @@
 #include "cluster/jet_cluster.h"
 #include "core/processors_basic.h"
 #include "core/processors_window.h"
+#include "testkit/wait.h"
 
 namespace jet::cluster {
 namespace {
@@ -171,10 +172,10 @@ TEST(ClusterTest, ExactlyOnceSurvivesNodeFailure) {
   ASSERT_TRUE(job.ok()) << job.status().ToString();
 
   // Wait for a committed snapshot, then kill a member.
-  for (int i = 0; i < 5000 && (*job)->last_committed_snapshot() < 2; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  ASSERT_GE((*job)->last_committed_snapshot(), 2) << "no snapshot committed in time";
+  ASSERT_TRUE(testkit::WaitUntil(
+      [&job]() { return (*job)->last_committed_snapshot() >= 2; },
+      5 * kNanosPerSecond))
+      << "no snapshot committed in time";
   ASSERT_TRUE(cluster.KillNode(1).ok());
   EXPECT_EQ(cluster.AliveNodes().size(), 2u);
 
@@ -214,10 +215,9 @@ TEST(ClusterTest, ExactlyOnceSurvivesScaleOut) {
   auto job = cluster.SubmitJob(&parts->dag, jc, 4);
   ASSERT_TRUE(job.ok()) << job.status().ToString();
 
-  for (int i = 0; i < 5000 && (*job)->last_committed_snapshot() < 2; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  ASSERT_GE((*job)->last_committed_snapshot(), 2);
+  ASSERT_TRUE(testkit::WaitUntil(
+      [&job]() { return (*job)->last_committed_snapshot() >= 2; },
+      5 * kNanosPerSecond));
   auto added = cluster.AddNode();
   ASSERT_TRUE(added.ok()) << added.status().ToString();
   EXPECT_EQ(cluster.AliveNodes().size(), 3u);

@@ -8,9 +8,13 @@
 #include "cluster/jet_cluster.h"
 #include "core/processors_basic.h"
 #include "core/processors_window.h"
+#include "testkit/wait.h"
 
 namespace jet::cluster {
 namespace {
+
+using testkit::HeldFalseFor;
+using testkit::WaitUntil;
 
 TEST(FailureDetectorTest, HealthyMembersNotSuspected) {
   net::Network network;
@@ -23,7 +27,8 @@ TEST(FailureDetectorTest, HealthyMembersNotSuspected) {
   detector.AddMember(0);
   detector.AddMember(1);
   detector.Start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_TRUE(HeldFalseFor([&failures]() { return failures.load() > 0; },
+                           200 * kNanosPerMilli));
   detector.Stop();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_TRUE(detector.FailedMembers().empty());
@@ -45,18 +50,123 @@ TEST(FailureDetectorTest, SilentMemberIsDeclaredFailedOnce) {
   detector.Start();
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   detector.StopHeartbeats(1);  // member 1 "crashes"
-  for (int i = 0; i < 1000; ++i) {
-    {
-      std::scoped_lock lock(mutex);
-      if (!failed.empty()) break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // no double-fire
+  auto failure_count = [&failed, &mutex]() {
+    std::scoped_lock lock(mutex);
+    return failed.size();
+  };
+  ASSERT_TRUE(WaitUntil([&failure_count]() { return failure_count() >= 1; },
+                        5 * kNanosPerSecond));
+  EXPECT_TRUE(HeldFalseFor([&failure_count]() { return failure_count() > 1; },
+                           100 * kNanosPerMilli));  // no double-fire
   detector.Stop();
   std::scoped_lock lock(mutex);
   ASSERT_EQ(failed.size(), 1u);
   EXPECT_EQ(failed[0], 1);
+}
+
+// Suspicion phase: a partitioned heartbeat link pushes a member into the
+// suspected set; healing the link lets a fresh heartbeat refute the
+// suspicion before the failure timeout fires (two-phase detection, like
+// Hazelcast's phi-accrual detector).
+TEST(FailureDetectorTest, LateHeartbeatRefutesSuspicion) {
+  net::Network network;
+  std::atomic<int> failures{0};
+  HeartbeatFailureDetector::Options options;
+  options.heartbeat_interval = 10 * kNanosPerMilli;
+  options.suspect_after = 50 * kNanosPerMilli;
+  options.suspicion_timeout = 5 * kNanosPerSecond;  // far away: suspicion only
+  options.observer_node = 0;
+  HeartbeatFailureDetector detector(&network, options,
+                                    [&failures](int32_t) { failures.fetch_add(1); });
+  detector.AddMember(1);
+  detector.AddMember(2);
+  detector.Start();
+
+  // Starve member 1's heartbeats (its pump keeps running; the link eats
+  // them) until the detector suspects it.
+  network.Partition(1, 0);
+  ASSERT_TRUE(WaitUntil(
+      [&detector]() {
+        auto suspected = detector.SuspectedMembers();
+        return suspected.size() == 1 && suspected[0] == 1;
+      },
+      5 * kNanosPerSecond));
+  EXPECT_TRUE(detector.FailedMembers().empty());
+
+  // Heal: the next heartbeat through refutes the suspicion.
+  network.Heal(1, 0);
+  ASSERT_TRUE(WaitUntil([&detector]() { return detector.refutation_count() >= 1; },
+                        5 * kNanosPerSecond));
+  EXPECT_TRUE(detector.SuspectedMembers().empty());
+  detector.Stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(detector.FailedMembers().empty());
+}
+
+// Two members crash at once: both are declared failed, each exactly once.
+TEST(FailureDetectorTest, SimultaneousSuspicionOfTwoMembers) {
+  net::Network network;
+  std::vector<int32_t> failed;
+  std::mutex mutex;
+  HeartbeatFailureDetector::Options options;
+  options.heartbeat_interval = 10 * kNanosPerMilli;
+  options.suspicion_timeout = 50 * kNanosPerMilli;
+  HeartbeatFailureDetector detector(&network, options, [&](int32_t member) {
+    std::scoped_lock lock(mutex);
+    failed.push_back(member);
+  });
+  detector.AddMember(0);
+  detector.AddMember(1);
+  detector.AddMember(2);
+  detector.Start();
+  detector.StopHeartbeats(1);
+  detector.StopHeartbeats(2);
+  auto failure_count = [&failed, &mutex]() {
+    std::scoped_lock lock(mutex);
+    return failed.size();
+  };
+  ASSERT_TRUE(WaitUntil([&failure_count]() { return failure_count() >= 2; },
+                        5 * kNanosPerSecond));
+  EXPECT_TRUE(HeldFalseFor([&failure_count]() { return failure_count() > 2; },
+                           100 * kNanosPerMilli));  // each fired exactly once
+  detector.Stop();
+  std::scoped_lock lock(mutex);
+  std::vector<int32_t> sorted = failed;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int32_t>{1, 2}));
+}
+
+// A sustained link partition is indistinguishable from a crash to a
+// heartbeat detector: the partitioned member is declared failed even
+// though its process (pump thread) never stopped. The un-partitioned
+// member is unaffected.
+TEST(FailureDetectorTest, SustainedPartitionIsDeclaredFailure) {
+  net::Network network;
+  std::vector<int32_t> failed;
+  std::mutex mutex;
+  HeartbeatFailureDetector::Options options;
+  options.heartbeat_interval = 10 * kNanosPerMilli;
+  options.suspicion_timeout = 60 * kNanosPerMilli;
+  options.observer_node = 0;
+  HeartbeatFailureDetector detector(&network, options, [&](int32_t member) {
+    std::scoped_lock lock(mutex);
+    failed.push_back(member);
+  });
+  detector.AddMember(1);
+  detector.AddMember(2);
+  detector.Start();
+  int64_t dropped_before = network.dropped_count();
+  network.Partition(1, 0);
+  ASSERT_TRUE(WaitUntil(
+      [&failed, &mutex]() {
+        std::scoped_lock lock(mutex);
+        return failed.size() == 1 && failed[0] == 1;
+      },
+      5 * kNanosPerSecond));
+  EXPECT_GT(network.dropped_count(), dropped_before);  // heartbeats were eaten
+  detector.Stop();
+  std::scoped_lock lock(mutex);
+  EXPECT_EQ(failed, (std::vector<int32_t>{1}));  // member 2 never declared
 }
 
 // Full detection -> recovery loop: a member stops heartbeating; the
@@ -137,10 +247,8 @@ TEST(FailureDetectorTest, DetectionDrivesClusterRecovery) {
   auto job = cluster.SubmitJob(&dag, jc, 5);
   ASSERT_TRUE(job.ok());
 
-  for (int i = 0; i < 3000 && (*job)->last_committed_snapshot() < 2; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  ASSERT_GE((*job)->last_committed_snapshot(), 2);
+  ASSERT_TRUE(WaitUntil([&job]() { return (*job)->last_committed_snapshot() >= 2; },
+                        3 * kNanosPerSecond));
 
   // The node's process "crashes": heartbeats cease; detection takes over.
   detector.StopHeartbeats(2);

@@ -91,6 +91,32 @@ TEST(PartitionTableTest, AddMemberMovesMinimalData) {
   EXPECT_GE(new_share, static_cast<size_t>(kDefaultPartitionCount / 4 - 1));
 }
 
+TEST(PartitionTableTest, MigrationSourceDiesMidMigration) {
+  // A member joins and migrations toward it are "in flight" when one of the
+  // migration sources dies. The table must promote backups for the dead
+  // member's primaries and stay fully valid — no partition may be left
+  // pointing at the dead member at any replica index.
+  PartitionTable table(kDefaultPartitionCount, /*backup_count=*/1);
+  ASSERT_TRUE(table.Assign({0, 1, 2}).ok());
+  int64_t version_before_join = table.version();
+  auto migrations = table.AddMember(3);
+  ASSERT_FALSE(migrations.empty());
+  EXPECT_GT(table.version(), version_before_join);
+
+  // Pick the source of the first pending migration and kill it.
+  MemberId victim = migrations[0].source;
+  ASSERT_NE(victim, 3);
+  int64_t version_before_kill = table.version();
+  table.RemoveMember(victim);
+  EXPECT_GT(table.version(), version_before_kill);
+  ASSERT_TRUE(table.Validate().ok());
+  for (PartitionId p = 0; p < kDefaultPartitionCount; ++p) {
+    EXPECT_NE(table.PrimaryFor(p), victim) << "partition " << p;
+    EXPECT_NE(table.PrimaryFor(p), kInvalidMember) << "partition " << p;
+    EXPECT_NE(table.ReplicaFor(p, 1), victim) << "partition " << p;
+  }
+}
+
 TEST(PartitionTableTest, HashMappingIsStable) {
   // Partition of a key never depends on membership (§4.1 alignment).
   EXPECT_EQ(PartitionForHash(12345, 271), PartitionForHash(12345, 271));
@@ -171,6 +197,35 @@ TEST(DataGridTest, DataSurvivesSequentialFailures) {
     auto got = grid.Get("m", Key(k));
     ASSERT_TRUE(got.ok());
     EXPECT_TRUE(got->has_value()) << "lost key " << k;
+  }
+}
+
+TEST(DataGridTest, VersionMonotonicAcrossConsecutiveKills) {
+  // Two consecutive member failures: the partition-table version advances
+  // strictly at each membership change, backups re-form in between, and no
+  // entry is lost (the §4.2 restore path depends on exactly this).
+  DataGrid grid(/*backup_count=*/1);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(grid.AddMember(i).ok());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(grid.Put("m", Key(k), Value(std::to_string(k))).ok());
+  }
+  int64_t v0 = grid.table().version();
+  ASSERT_TRUE(grid.RemoveMember(1).ok());
+  int64_t v1 = grid.table().version();
+  EXPECT_GT(v1, v0);
+  ASSERT_TRUE(grid.table().Validate().ok());
+  EXPECT_TRUE(grid.CheckReplicaConsistency("m").ok());
+
+  ASSERT_TRUE(grid.RemoveMember(3).ok());
+  int64_t v2 = grid.table().version();
+  EXPECT_GT(v2, v1);
+  ASSERT_TRUE(grid.table().Validate().ok());
+  EXPECT_TRUE(grid.CheckReplicaConsistency("m").ok());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    auto got = grid.Get("m", Key(k));
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value()) << "lost key " << k;
+    EXPECT_EQ(**got, Value(std::to_string(k)));
   }
 }
 

@@ -8,9 +8,12 @@
 #include "net/exchange.h"
 #include "net/flow_control.h"
 #include "net/network.h"
+#include "testkit/wait.h"
 
 namespace jet::net {
 namespace {
+
+using testkit::WaitUntil;
 
 // ---------------------------------------------------------------------------
 // Network
@@ -23,9 +26,8 @@ TEST(NetworkTest, DeliversMessages) {
   for (int i = 0; i < 10; ++i) {
     network.Send(ch, [&delivered]() { delivered.fetch_add(1); });
   }
-  for (int i = 0; i < 1000 && delivered.load() < 10; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
+  EXPECT_TRUE(WaitUntil([&delivered]() { return delivered.load() >= 10; },
+                        5 * kNanosPerSecond));
   EXPECT_EQ(delivered.load(), 10);
   EXPECT_EQ(network.delivered_count(), 10);
 }
@@ -44,9 +46,8 @@ TEST(NetworkTest, FifoPerChannelDespiteJitter) {
       delivered.fetch_add(1);
     });
   }
-  for (int i = 0; i < 5000 && delivered.load() < kN; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
+  ASSERT_TRUE(WaitUntil([&delivered]() { return delivered.load() >= kN; },
+                        10 * kNanosPerSecond));
   ASSERT_EQ(order.size(), static_cast<size_t>(kN));
   for (int i = 0; i < kN; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
@@ -58,10 +59,8 @@ TEST(NetworkTest, LatencyIsApplied) {
   std::atomic<Nanos> delivered_at{0};
   Nanos sent_at = clock.Now();
   network.Send(ch, [&]() { delivered_at.store(clock.Now()); });
-  for (int i = 0; i < 2000 && delivered_at.load() == 0; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  ASSERT_NE(delivered_at.load(), 0);
+  ASSERT_TRUE(WaitUntil([&delivered_at]() { return delivered_at.load() != 0; },
+                        5 * kNanosPerSecond));
   EXPECT_GE(delivered_at.load() - sent_at, 20 * kNanosPerMilli);
 }
 
@@ -72,6 +71,14 @@ TEST(NetworkTest, ShutdownDropsUndelivered) {
   network->Send(ch, [&delivered]() { delivered.fetch_add(1); });
   network->Shutdown();
   EXPECT_EQ(delivered.load(), 0);
+  // A message stranded by shutdown is not silently lost from the books: it
+  // is counted as dropped, as is a send issued after shutdown.
+  network->Send(ch, [&delivered]() { delivered.fetch_add(1); });
+  EXPECT_EQ(delivered.load(), 0);
+  EXPECT_EQ(network->sent_count(), 2);
+  EXPECT_EQ(network->dropped_count(), 2);
+  EXPECT_EQ(network->sent_count(),
+            network->delivered_count() + network->dropped_count());
 }
 
 // ---------------------------------------------------------------------------

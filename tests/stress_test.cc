@@ -9,6 +9,7 @@
 #include "core/processors_window.h"
 #include "imdg/grid.h"
 #include "imdg/snapshot_store.h"
+#include "testkit/wait.h"
 
 namespace jet::core {
 namespace {
@@ -189,9 +190,9 @@ TEST(StressTest, RepeatedKillRestoreChainStaysExact) {
     if (attempt < 3) {
       // Crash after at least one NEW snapshot commits in this attempt.
       int64_t target = restore_from >= 0 ? restore_from + 1 : 1;
-      for (int i = 0; i < 4000 && (*job)->last_committed_snapshot() < target; ++i) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
+      (void)testkit::WaitUntil(
+          [&job, target]() { return (*job)->last_committed_snapshot() >= target; },
+          4 * kNanosPerSecond);
       std::this_thread::sleep_for(std::chrono::milliseconds(30));
       (*job)->Cancel();
       (void)(*job)->Join();
