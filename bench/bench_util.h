@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "core/metrics.h"
 #include "sim/cluster_sim.h"
 
 namespace jet::bench {
@@ -41,6 +42,24 @@ inline void PrintSimRow(const std::string& label, const sim::SimResult& r) {
 /// Section header.
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints the per-vertex observability breakdown of a finished job (the
+/// jet::obs event-loop-profiler view): how busy each tasklet's calls were
+/// and where the call-time tail sits relative to the §3.2 cooperative
+/// budget. A vertex whose p99.99 call time is far above the budget is the
+/// one that bends the job's end-to-end tail latency.
+inline void PrintVertexBreakdown(const core::JobMetrics& m) {
+  std::printf("  %-28s %12s %7s %12s %12s %12s %11s\n", "tasklet", "items", "busy%",
+              "call p50", "call p99.99", "call max", "overbudget");
+  for (const auto& t : m.tasklets) {
+    std::printf("  %-28s %12lld %6.1f%% %9.1f us %9.1f us %9.1f us %11lld\n",
+                t.name.c_str(), static_cast<long long>(t.items_processed),
+                100.0 * t.BusyFraction(), static_cast<double>(t.p50_call_nanos) / 1e3,
+                static_cast<double>(t.p9999_call_nanos) / 1e3,
+                static_cast<double>(t.max_call_nanos) / 1e3,
+                static_cast<long long>(t.overbudget_calls));
+  }
 }
 
 }  // namespace jet::bench

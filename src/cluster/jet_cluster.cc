@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 
 #include "common/logging.h"
 
@@ -134,6 +135,46 @@ std::vector<int32_t> JetCluster::AliveNodes() const {
   return alive_nodes_;
 }
 
+JetCluster::Diagnostics JetCluster::DiagnosticsDump() const {
+  std::vector<obs::MetricSnapshot> all;
+  {
+    std::scoped_lock lock(mutex_);
+    for (const auto& job : jobs_) {
+      auto snap = job->MetricSnapshots();
+      all.insert(all.end(), std::make_move_iterator(snap.begin()),
+                 std::make_move_iterator(snap.end()));
+    }
+    obs::MetricSnapshot alive;
+    alive.id.name = "cluster.alive_members";
+    alive.kind = obs::MetricKind::kGauge;
+    alive.value = static_cast<int64_t>(alive_nodes_.size());
+    all.push_back(std::move(alive));
+  }
+
+  auto add = [&all](const char* name, obs::MetricKind kind, int64_t value) {
+    obs::MetricSnapshot s;
+    s.id.name = name;
+    s.kind = kind;
+    s.value = value;
+    all.push_back(std::move(s));
+  };
+  imdg::GridStats gs = grid_.stats();
+  add("imdg.partition_count", obs::MetricKind::kGauge, grid_.partition_count());
+  add("imdg.puts", obs::MetricKind::kCounter, gs.puts);
+  add("imdg.gets", obs::MetricKind::kCounter, gs.gets);
+  add("imdg.removes", obs::MetricKind::kCounter, gs.removes);
+  add("imdg.replicated_bytes", obs::MetricKind::kCounter, gs.replicated_bytes);
+  add("imdg.migrated_entries", obs::MetricKind::kCounter, gs.migrated_entries);
+  add("net.messages_sent", obs::MetricKind::kCounter, network_.sent_count());
+  add("net.messages_delivered", obs::MetricKind::kCounter, network_.delivered_count());
+  add("net.messages_dropped", obs::MetricKind::kCounter, network_.dropped_count());
+
+  Diagnostics d;
+  d.prometheus = obs::RenderPrometheusText(all);
+  d.json = obs::RenderJson(all);
+  return d;
+}
+
 // ---------------------------------------------------------------------------
 // ClusterJob
 // ---------------------------------------------------------------------------
@@ -187,6 +228,20 @@ Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snap
     };
   }
 
+  // One metrics registry + profiler per member, tagged with the member's
+  // physical id; the coordinator's job gauges live on member 0's registry.
+  for (int32_t i = 0; i < node_count; ++i) {
+    obs::MetricTags tags;
+    tags.job = static_cast<int64_t>(job_id_);
+    tags.member = attempt->nodes[static_cast<size_t>(i)];
+    attempt->registries.push_back(std::make_unique<obs::MetricsRegistry>(tags));
+    attempt->profilers.push_back(std::make_unique<obs::EventLoopProfiler>(
+        attempt->registries.back().get(), clock));
+  }
+  attempt->snapshots_gauge = attempt->registries[0]->GetGauge("job.snapshots_taken");
+  attempt->committed_gauge =
+      attempt->registries[0]->GetGauge("job.last_committed_snapshot");
+
   // Channels are tagged with physical member ids so testkit link faults
   // (partitions, drops, delay spikes) apply to this execution's traffic.
   attempt->registry =
@@ -196,9 +251,11 @@ Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snap
     auto factory = std::make_unique<net::NetworkEdgeFactory>(
         attempt->registry.get(), dag_, node, config_,
         cluster_->config_.threads_per_node, clock, &attempt->cancelled, sc);
-    auto plan = core::ExecutionPlan::Build(*dag_, node, config_,
-                                           cluster_->config_.threads_per_node, clock,
-                                           &attempt->cancelled, factory.get(), sc);
+    factory->SetMetricsRegistry(attempt->registries[static_cast<size_t>(i)].get());
+    auto plan = core::ExecutionPlan::Build(
+        *dag_, node, config_, cluster_->config_.threads_per_node, clock,
+        &attempt->cancelled, factory.get(), sc,
+        attempt->registries[static_cast<size_t>(i)].get());
     if (!plan.ok()) return plan.status();
     attempt->net_tasklets.push_back(factory->TakeTasklets());
     attempt->plans.push_back(std::move(plan.value()));
@@ -215,13 +272,32 @@ Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snap
   }
 
   for (int32_t i = 0; i < node_count; ++i) {
-    auto service =
-        std::make_unique<core::ExecutionService>(cluster_->config_.threads_per_node);
-    std::vector<core::Tasklet*> tasklets =
-        attempt->plans[static_cast<size_t>(i)]->Tasklets();
-    for (auto& t : attempt->net_tasklets[static_cast<size_t>(i)]) {
+    const auto ni = static_cast<size_t>(i);
+    auto service = std::make_unique<core::ExecutionService>(
+        cluster_->config_.threads_per_node, attempt->profilers[ni].get());
+    std::vector<core::Tasklet*> tasklets = attempt->plans[ni]->Tasklets();
+    for (auto& t : attempt->net_tasklets[ni]) {
       tasklets.push_back(t.get());
     }
+    // Each member publishes its registry into the grid — the paper's
+    // Management Center persistence path. The collector completes once the
+    // member's real tasklets have, so it never keeps the service alive.
+    obs::MetricsCollectorTasklet::Options opts;
+    opts.key = "job-" + std::to_string(job_id_) + "/member-" +
+               std::to_string(attempt->nodes[ni]);
+    Attempt* raw = attempt.get();
+    attempt->collectors.push_back(std::make_unique<obs::MetricsCollectorTasklet>(
+        attempt->registries[ni].get(), &cluster_->grid_, clock, std::move(opts),
+        [raw, ni]() {
+          for (const auto& info : raw->plans[ni]->tasklet_infos()) {
+            if (!info.tasklet->IsDone()) return false;
+          }
+          for (const auto& t : raw->net_tasklets[ni]) {
+            if (!t->IsDone()) return false;
+          }
+          return true;
+        }));
+    tasklets.push_back(attempt->collectors.back().get());
     JET_RETURN_IF_ERROR(service->Start(std::move(tasklets)));
     attempt->services.push_back(std::move(service));
   }
@@ -324,36 +400,35 @@ void ClusterJob::CoordinatorLoop(Attempt* attempt) {
     }
     attempt->snapshot_control.committed.store(id, std::memory_order_release);
     last_committed_.store(id, std::memory_order_release);
+    int64_t taken = snapshots_taken_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // The coordinator thread is the sole writer of the job gauges.
+    attempt->snapshots_gauge.Set(taken);
+    attempt->committed_gauge.Set(id);
   }
 }
 
-core::JobMetrics ClusterJob::Metrics() const {
-  core::JobMetrics m;
-  m.job_id = job_id_;
-  m.last_committed_snapshot = last_committed_.load(std::memory_order_acquire);
-  m.attempt = attempt_count_.load(std::memory_order_acquire);
+std::vector<obs::MetricSnapshot> ClusterJob::MetricSnapshots() const {
   std::shared_ptr<Attempt> attempt;
   {
     std::scoped_lock lock(const_cast<std::mutex&>(job_mutex_));
     attempt = attempt_ != nullptr ? attempt_ : completed_attempt_;
   }
-  if (attempt == nullptr) return m;
-  auto append = [&m](const core::ProcessorTasklet* t) {
-    core::TaskletMetrics tm;
-    tm.name = t->name();
-    tm.items_processed = t->items_processed();
-    tm.calls = t->calls();
-    tm.idle_calls = t->idle_calls();
-    tm.completed_snapshot_id = t->completed_snapshot_id();
-    tm.done = t->IsDone();
-    m.tasklets.push_back(std::move(tm));
-  };
-  for (const auto& plan : attempt->plans) {
-    for (const auto& info : plan->tasklet_infos()) append(info.tasklet);
+  std::vector<obs::MetricSnapshot> out;
+  if (attempt == nullptr) return out;
+  for (const auto& reg : attempt->registries) {
+    auto snap = reg->Snapshot();
+    out.insert(out.end(), std::make_move_iterator(snap.begin()),
+               std::make_move_iterator(snap.end()));
   }
-  for (const auto& node_tasklets : attempt->net_tasklets) {
-    for (const auto& t : node_tasklets) append(t.get());
-  }
+  return out;
+}
+
+core::JobMetrics ClusterJob::Metrics() const {
+  core::JobMetrics m = core::JobMetricsFromSnapshot(MetricSnapshots());
+  m.job_id = job_id_;
+  m.snapshots_taken = snapshots_taken_.load(std::memory_order_acquire);
+  m.last_committed_snapshot = last_committed_.load(std::memory_order_acquire);
+  m.attempt = attempt_count_.load(std::memory_order_acquire);
   return m;
 }
 

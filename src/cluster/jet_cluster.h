@@ -17,6 +17,10 @@
 #include "imdg/snapshot_store.h"
 #include "net/exchange.h"
 #include "net/network.h"
+#include "obs/collector_tasklet.h"
+#include "obs/event_loop_profiler.h"
+#include "obs/exporters.h"
+#include "obs/metrics_registry.h"
 
 namespace jet::cluster {
 
@@ -84,6 +88,18 @@ class JetCluster {
   /// Physical ids of alive members.
   std::vector<int32_t> AliveNodes() const;
 
+  /// A Management-Center-style dump of every metric in the cluster, in
+  /// both exposition formats.
+  struct Diagnostics {
+    std::string prometheus;  ///< Prometheus text exposition format
+    std::string json;        ///< JSON diagnostics document
+  };
+
+  /// Snapshots every running (or last-completed) job's registries plus
+  /// cluster-level IMDG and network counters and renders them. Safe to
+  /// call from any thread at any time.
+  Diagnostics DiagnosticsDump() const;
+
   imdg::DataGrid& grid() { return grid_; }
   imdg::SnapshotStore& snapshot_store() { return store_; }
   net::Network& network() { return network_; }
@@ -130,8 +146,13 @@ class ClusterJob {
   int32_t attempts_started() const { return attempt_count_.load(std::memory_order_acquire); }
 
   /// Point-in-time metrics across all nodes of the current attempt (the
-  /// Management Center view, §2).
+  /// Management Center view, §2), materialized from the members' registry
+  /// snapshots.
   core::JobMetrics Metrics() const;
+
+  /// Concatenated registry snapshots of every member of the current (or
+  /// last completed) attempt. Safe from any thread.
+  std::vector<obs::MetricSnapshot> MetricSnapshots() const;
 
  private:
   friend class JetCluster;
@@ -141,6 +162,14 @@ class ClusterJob {
     std::vector<int32_t> nodes;  // physical ids; index in vector = plan node id
     std::atomic<bool> cancelled{false};
     core::SnapshotControl snapshot_control;
+    // Per-member observability (index = plan node id). Declared before the
+    // plans/tasklets/services so it is destroyed after them: tasklets and
+    // workers hold instrument handles and profiler slots.
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
+    std::vector<std::unique_ptr<obs::EventLoopProfiler>> profilers;
+    std::vector<std::unique_ptr<obs::MetricsCollectorTasklet>> collectors;
+    obs::Gauge snapshots_gauge;  // written by the coordinator thread only
+    obs::Gauge committed_gauge;
     std::unique_ptr<net::ExchangeRegistry> registry;
     std::vector<std::unique_ptr<net::NetworkEdgeFactory>> factories;
     std::vector<std::unique_ptr<core::ExecutionPlan>> plans;
@@ -190,6 +219,7 @@ class ClusterJob {
   // Last stopped attempt, kept for post-run Metrics().
   std::shared_ptr<Attempt> completed_attempt_;
   std::atomic<int64_t> last_committed_{0};
+  std::atomic<int64_t> snapshots_taken_{0};
   std::atomic<int32_t> attempt_count_{0};
   std::atomic<bool> job_cancelled_{false};
   Status first_error_;

@@ -7,12 +7,12 @@
 namespace jet {
 
 Histogram::Histogram(int64_t max_value) : max_value_(std::max<int64_t>(max_value, 1)) {
-  buckets_.assign(static_cast<size_t>(BucketIndexFor(max_value_)) + 1, 0);
+  buckets_.assign(static_cast<size_t>(BucketCountFor(max_value_)), 0);
 }
 
-int Histogram::BucketIndexFor(int64_t value) const {
+int Histogram::BucketIndexOf(int64_t value, int64_t max_value) {
   if (value < 0) value = 0;
-  if (value > max_value_) value = max_value_;
+  if (value > max_value) value = max_value;
   auto v = static_cast<uint64_t>(value);
   if (v < kSubBucketCount) return static_cast<int>(v);
   int exponent = 63 - std::countl_zero(v);
@@ -21,7 +21,7 @@ int Histogram::BucketIndexFor(int64_t value) const {
   return block * kSubBucketCount + sub;
 }
 
-int64_t Histogram::BucketUpperEdge(int index) const {
+int64_t Histogram::BucketUpperEdgeOf(int index) {
   if (index < kSubBucketCount) return index;
   int block = index / kSubBucketCount;
   int sub = index % kSubBucketCount;
@@ -45,15 +45,10 @@ void Histogram::RecordN(int64_t value, int64_t count) {
   sum_ += static_cast<double>(value) * static_cast<double>(count);
 }
 
-void Histogram::Merge(const Histogram& other) {
-  if (other.count_ == 0) return;
-  size_t n = std::min(buckets_.size(), other.buckets_.size());
-  for (size_t i = 0; i < n; ++i) buckets_[i] += other.buckets_[i];
-  // Any buckets the other histogram has beyond our range fold into our top
-  // bucket (consistent with clamping on Record).
-  for (size_t i = n; i < other.buckets_.size(); ++i) {
-    buckets_.back() += other.buckets_[i];
-  }
+bool Histogram::Merge(const Histogram& other) {
+  if (max_value_ != other.max_value_) return false;
+  if (other.count_ == 0) return true;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   if (count_ == 0) {
     min_ = other.min_;
     max_ = other.max_;
@@ -63,6 +58,30 @@ void Histogram::Merge(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+  return true;
+}
+
+bool Histogram::MergeBucketCounts(const int64_t* counts, size_t n, int64_t min_value,
+                                  int64_t max_value_seen, double sum) {
+  if (n != buckets_.size()) return false;
+  int64_t added = 0;
+  for (size_t i = 0; i < n; ++i) {
+    buckets_[i] += counts[i];
+    added += counts[i];
+  }
+  if (added == 0) return true;
+  min_value = std::clamp<int64_t>(min_value, 0, max_value_);
+  max_value_seen = std::clamp<int64_t>(max_value_seen, 0, max_value_);
+  if (count_ == 0) {
+    min_ = min_value;
+    max_ = max_value_seen;
+  } else {
+    min_ = std::min(min_, min_value);
+    max_ = std::max(max_, max_value_seen);
+  }
+  count_ += added;
+  sum_ += sum;
+  return true;
 }
 
 void Histogram::Reset() {
@@ -79,7 +98,10 @@ double Histogram::Mean() const {
 
 int64_t Histogram::ValueAtQuantile(double q) const {
   if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; bucket rounding only applies to the
+  // quantiles in between.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   // Rank of the observation we want (1-based, rounded up).
   auto target = static_cast<int64_t>(q * static_cast<double>(count_) + 0.5);
   if (target < 1) target = 1;
@@ -88,7 +110,7 @@ int64_t Histogram::ValueAtQuantile(double q) const {
   for (size_t i = 0; i < buckets_.size(); ++i) {
     cumulative += buckets_[i];
     if (cumulative >= target) {
-      return std::min(BucketUpperEdge(static_cast<int>(i)), max_);
+      return std::min(BucketUpperEdgeOf(static_cast<int>(i)), max_);
     }
   }
   return max_;

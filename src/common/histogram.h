@@ -15,7 +15,9 @@ namespace jet {
 /// free after construction; percentile queries are O(#buckets).
 ///
 /// The histogram is NOT thread-safe; each recording thread should own one
-/// and merge at the end (see `Merge`).
+/// and merge at the end (see `Merge`). obs::AtomicHistogram provides the
+/// concurrent-read variant built on the same bucket layout (the static
+/// helpers below).
 class Histogram {
  public:
   /// Creates a histogram able to record values in [0, max_value]. Values
@@ -28,9 +30,18 @@ class Histogram {
   /// Records `count` observations of `value`.
   void RecordN(int64_t value, int64_t count);
 
-  /// Adds all recorded values of `other` into this histogram. The two
-  /// histograms must have been created with the same `max_value`.
-  void Merge(const Histogram& other);
+  /// Adds all recorded values of `other` into this histogram. Returns false
+  /// (and leaves this histogram untouched) when the two were created with
+  /// different `max_value`s: their bucket layouts differ, so merging would
+  /// silently misattribute counts.
+  bool Merge(const Histogram& other);
+
+  /// Adds externally captured per-bucket counts (e.g. an
+  /// obs::AtomicHistogram snapshot using the same bucket layout) together
+  /// with their value-range/sum summary. Returns false when `n` does not
+  /// match this histogram's bucket count.
+  bool MergeBucketCounts(const int64_t* counts, size_t n, int64_t min_value,
+                         int64_t max_value_seen, double sum);
 
   /// Removes all recorded values.
   void Reset();
@@ -44,12 +55,16 @@ class Histogram {
   /// Largest recorded value (0 if empty), subject to bucket rounding.
   int64_t max() const { return count_ == 0 ? 0 : max_; }
 
+  /// Upper bound this histogram was created with.
+  int64_t max_value() const { return max_value_; }
+
   /// Arithmetic mean of recorded values (0 if empty).
   double Mean() const;
 
   /// Returns the value at quantile `q` in [0, 1]; e.g. q=0.9999 for the
-  /// 99.99th percentile. Returns 0 when empty. The returned value is the
-  /// upper edge of the bucket containing the quantile, so it never
+  /// 99.99th percentile. Returns 0 when empty. q <= 0 returns the exact
+  /// minimum and q >= 1 the exact maximum; in between, the returned value
+  /// is the upper edge of the bucket containing the quantile, so it never
   /// under-reports by more than the bucket's relative error.
   int64_t ValueAtQuantile(double q) const;
 
@@ -68,14 +83,25 @@ class Histogram {
   /// expressed as "number of nines"-style steps: 0.5, 0.75, 0.9, 0.99, ...
   std::vector<std::pair<double, int64_t>> PercentileCurve() const;
 
+  // --- bucket layout, shared with obs::AtomicHistogram ---
+
+  /// Bucket index of `value` in a histogram bounded by `max_value`
+  /// (clamping applied).
+  static int BucketIndexOf(int64_t value, int64_t max_value);
+
+  /// Upper edge (inclusive) of bucket `index`.
+  static int64_t BucketUpperEdgeOf(int index);
+
+  /// Number of buckets a histogram bounded by `max_value` allocates.
+  static int BucketCountFor(int64_t max_value) {
+    return BucketIndexOf(max_value, max_value) + 1;
+  }
+
  private:
   static constexpr int kSubBucketBits = 6;                    // 64 sub-buckets
   static constexpr int kSubBucketCount = 1 << kSubBucketBits; // per power of 2
 
-  int BucketIndexFor(int64_t value) const;
-
-  // Upper edge (inclusive) of bucket `index`.
-  int64_t BucketUpperEdge(int index) const;
+  int BucketIndexFor(int64_t value) const { return BucketIndexOf(value, max_value_); }
 
   int64_t max_value_;
   int64_t count_ = 0;

@@ -59,12 +59,14 @@ class ExecutionPlan {
   /// `default_local_parallelism` replaces vertices' -1 parallelism
   /// (normally the node's cooperative thread count). `remote_edges` is
   /// required iff `node.node_count > 1`. `snapshot_control` may be null
-  /// when the job runs without a processing guarantee.
+  /// when the job runs without a processing guarantee. `metrics` (optional)
+  /// is handed to every tasklet's ProcessorContext so the tasklets and
+  /// their processors register "tasklet.*" / exchange instruments with it.
   static Result<std::unique_ptr<ExecutionPlan>> Build(
       const Dag& dag, const NodeInfo& node, const JobConfig& config,
       int32_t default_local_parallelism, const Clock* clock,
       const std::atomic<bool>* cancelled, RemoteEdgeFactory* remote_edges,
-      SnapshotControl* snapshot_control);
+      SnapshotControl* snapshot_control, obs::MetricsRegistry* metrics = nullptr);
 
   /// All tasklets of this node, in creation order.
   std::vector<Tasklet*> Tasklets();

@@ -10,8 +10,8 @@
 
 namespace jet::core {
 
-ExecutionService::ExecutionService(int32_t thread_count)
-    : thread_count_(std::max<int32_t>(1, thread_count)) {}
+ExecutionService::ExecutionService(int32_t thread_count, obs::EventLoopProfiler* profiler)
+    : thread_count_(std::max<int32_t>(1, thread_count)), profiler_(profiler) {}
 
 ExecutionService::~ExecutionService() {
   Cancel();
@@ -23,15 +23,32 @@ Status ExecutionService::Start(std::vector<Tasklet*> tasklets) {
 
   // Split cooperative from non-cooperative tasklets; the latter each get a
   // dedicated thread (§3.2).
-  std::vector<std::vector<Tasklet*>> per_thread(static_cast<size_t>(thread_count_));
-  std::vector<Tasklet*> dedicated;
+  std::vector<std::vector<RunEntry>> per_thread(static_cast<size_t>(thread_count_));
+  std::vector<RunEntry> dedicated;
   size_t cursor = 0;
   for (Tasklet* t : tasklets) {
     if (t->IsCooperative()) {
-      per_thread[cursor % static_cast<size_t>(thread_count_)].push_back(t);
+      per_thread[cursor % static_cast<size_t>(thread_count_)].push_back(RunEntry{t, nullptr});
       ++cursor;
     } else {
-      dedicated.push_back(t);
+      dedicated.push_back(RunEntry{t, nullptr});
+    }
+  }
+
+  // Register every tasklet with the profiler before any worker thread
+  // exists, so registration never races with the loops below. Cooperative
+  // workers are numbered 0..thread_count-1; dedicated threads continue on.
+  if (profiler_ != nullptr) {
+    int32_t worker = 0;
+    for (auto& group : per_thread) {
+      for (RunEntry& entry : group) {
+        entry.profile = profiler_->Register(entry.tasklet->name(), worker);
+      }
+      ++worker;
+    }
+    for (RunEntry& entry : dedicated) {
+      entry.profile = profiler_->Register(entry.tasklet->name(), worker);
+      ++worker;
     }
   }
 
@@ -39,11 +56,11 @@ Status ExecutionService::Start(std::vector<Tasklet*> tasklets) {
     if (group.empty()) continue;
     active_workers_.fetch_add(1, std::memory_order_acq_rel);
     threads_.emplace_back(
-        [this, group = std::move(group)]() mutable { CooperativeWorkerLoop(group); });
+        [this, group = std::move(group)]() mutable { CooperativeWorkerLoop(std::move(group)); });
   }
-  for (Tasklet* t : dedicated) {
+  for (RunEntry& entry : dedicated) {
     active_workers_.fetch_add(1, std::memory_order_acq_rel);
-    threads_.emplace_back([this, t]() { DedicatedWorkerLoop(t); });
+    threads_.emplace_back([this, entry]() { DedicatedWorkerLoop(entry); });
   }
   return Status::OK();
 }
@@ -53,10 +70,19 @@ void ExecutionService::RecordError(const Status& status) {
   if (first_error_.ok()) first_error_ = status;
 }
 
-void ExecutionService::CooperativeWorkerLoop(std::vector<Tasklet*> tasklets) {
+TaskletProgress ExecutionService::TimedCall(RunEntry& entry) {
+  if (entry.profile == nullptr) return entry.tasklet->Call();
+  const Clock& clock = profiler_->clock();
+  Nanos start = clock.Now();
+  TaskletProgress p = entry.tasklet->Call();
+  entry.profile->RecordCall(clock.Now() - start);
+  return p;
+}
+
+void ExecutionService::CooperativeWorkerLoop(std::vector<RunEntry> tasklets) {
   // Initialize on the owning thread for cache affinity.
-  for (Tasklet* t : tasklets) {
-    Status s = t->Init();
+  for (RunEntry& entry : tasklets) {
+    Status s = entry.tasklet->Init();
     if (!s.ok()) {
       RecordError(s);
       cancelled_.store(true, std::memory_order_release);
@@ -68,7 +94,7 @@ void ExecutionService::CooperativeWorkerLoop(std::vector<Tasklet*> tasklets) {
     MaybeStall();
     bool any_progress = false;
     for (size_t i = 0; i < tasklets.size();) {
-      TaskletProgress p = tasklets[i]->Call();
+      TaskletProgress p = TimedCall(tasklets[i]);
       any_progress |= p.made_progress;
       if (p.done) {
         tasklets.erase(tasklets.begin() + static_cast<std::ptrdiff_t>(i));
@@ -85,8 +111,8 @@ void ExecutionService::CooperativeWorkerLoop(std::vector<Tasklet*> tasklets) {
   active_workers_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-void ExecutionService::DedicatedWorkerLoop(Tasklet* tasklet) {
-  Status s = tasklet->Init();
+void ExecutionService::DedicatedWorkerLoop(RunEntry entry) {
+  Status s = entry.tasklet->Init();
   if (!s.ok()) {
     RecordError(s);
     cancelled_.store(true, std::memory_order_release);
@@ -95,7 +121,7 @@ void ExecutionService::DedicatedWorkerLoop(Tasklet* tasklet) {
                            /*min_park_nanos=*/10'000, /*max_park_nanos=*/1'000'000);
   while (!cancelled_.load(std::memory_order_acquire)) {
     MaybeStall();
-    TaskletProgress p = tasklet->Call();
+    TaskletProgress p = TimedCall(entry);
     if (p.done) break;
     if (p.made_progress) {
       idle.Reset();

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "core/tasklet.h"
+#include "obs/event_loop_profiler.h"
 
 namespace jet::core {
 
@@ -25,8 +26,12 @@ namespace jet::core {
 /// burning the core.
 class ExecutionService {
  public:
-  /// `thread_count` cooperative workers (>= 1).
-  explicit ExecutionService(int32_t thread_count);
+  /// `thread_count` cooperative workers (>= 1). When `profiler` is set the
+  /// workers time every tasklet Call() against the cooperative budget
+  /// (§3.2 "well under a millisecond") and feed per-tasklet call-duration
+  /// histograms; it must outlive the service.
+  explicit ExecutionService(int32_t thread_count,
+                            obs::EventLoopProfiler* profiler = nullptr);
 
   ExecutionService(const ExecutionService&) = delete;
   ExecutionService& operator=(const ExecutionService&) = delete;
@@ -60,12 +65,21 @@ class ExecutionService {
   int32_t thread_count() const { return thread_count_; }
 
  private:
-  void CooperativeWorkerLoop(std::vector<Tasklet*> tasklets);
-  void DedicatedWorkerLoop(Tasklet* tasklet);
+  /// A tasklet plus its (optional) profiler slot; the profile pointer is
+  /// fixed before the worker thread starts.
+  struct RunEntry {
+    Tasklet* tasklet = nullptr;
+    obs::EventLoopProfiler::TaskletProfile* profile = nullptr;
+  };
+
+  void CooperativeWorkerLoop(std::vector<RunEntry> tasklets);
+  void DedicatedWorkerLoop(RunEntry entry);
   void RecordError(const Status& status);
   void MaybeStall() const;
+  TaskletProgress TimedCall(RunEntry& entry);
 
   int32_t thread_count_;
+  obs::EventLoopProfiler* profiler_;
   std::vector<std::thread> threads_;
   std::atomic<bool> cancelled_{false};
   std::atomic<Nanos> stall_until_{0};

@@ -76,15 +76,27 @@ Result<std::unique_ptr<Job>> Job::Create(JobParams params) {
     };
   }
 
+  // Member-wide observability: one registry per (job, member), profiled
+  // execution service, instruments tagged {job, member} by default.
+  obs::MetricTags member_tags;
+  member_tags.job = static_cast<int64_t>(params.job_id);
+  member_tags.member = 0;
+  job->registry_ = std::make_unique<obs::MetricsRegistry>(member_tags);
+  job->profiler_ =
+      std::make_unique<obs::EventLoopProfiler>(job->registry_.get(), job->params_.clock);
+  job->snapshots_gauge_ = job->registry_->GetGauge("job.snapshots_taken");
+  job->committed_gauge_ = job->registry_->GetGauge("job.last_committed_snapshot");
+
   NodeInfo node;  // single-node
   auto plan = ExecutionPlan::Build(
       *params.dag, node, params.config, threads, job->params_.clock, &job->cancelled_,
       /*remote_edges=*/nullptr,
       params.config.guarantee != ProcessingGuarantee::kNone ? &job->snapshot_control_
-                                                            : nullptr);
+                                                            : nullptr,
+      job->registry_.get());
   if (!plan.ok()) return plan.status();
   job->plan_ = std::move(plan.value());
-  job->service_ = std::make_unique<ExecutionService>(threads);
+  job->service_ = std::make_unique<ExecutionService>(threads, job->profiler_.get());
 
   if (params.restore_snapshot_id.has_value()) {
     JET_RETURN_IF_ERROR(job->LoadRestoreEntries(*params.restore_snapshot_id));
@@ -101,7 +113,23 @@ Status Job::LoadRestoreEntries(int64_t snapshot_id) {
 }
 
 Status Job::Start() {
-  JET_RETURN_IF_ERROR(service_->Start(plan_->Tasklets()));
+  std::vector<Tasklet*> tasklets = plan_->Tasklets();
+  if (params_.metrics_grid != nullptr) {
+    obs::MetricsCollectorTasklet::Options opts;
+    opts.key = "job-" + std::to_string(params_.job_id) + "/member-0";
+    opts.publish_interval = params_.metrics_publish_interval;
+    ExecutionPlan* plan = plan_.get();
+    collector_ = std::make_unique<obs::MetricsCollectorTasklet>(
+        registry_.get(), params_.metrics_grid, params_.clock, std::move(opts),
+        [plan]() {
+          for (const TaskletInfo& info : plan->tasklet_infos()) {
+            if (!info.tasklet->IsDone()) return false;
+          }
+          return true;
+        });
+    tasklets.push_back(collector_.get());
+  }
+  JET_RETURN_IF_ERROR(service_->Start(std::move(tasklets)));
   if (params_.config.guarantee != ProcessingGuarantee::kNone) {
     coordinator_ = std::thread([this]() { SnapshotCoordinatorLoop(); });
   }
@@ -141,24 +169,17 @@ void Job::SnapshotCoordinatorLoop() {
     snapshot_control_.committed.store(id, std::memory_order_release);
     last_committed_snapshot_.store(id, std::memory_order_release);
     snapshots_taken_.fetch_add(1, std::memory_order_acq_rel);
+    // The coordinator thread is the sole writer of the job gauges.
+    snapshots_gauge_.Set(snapshots_taken_.load(std::memory_order_relaxed));
+    committed_gauge_.Set(id);
   }
 }
 
 JobMetrics Job::Metrics() const {
-  JobMetrics m;
+  JobMetrics m = JobMetricsFromSnapshot(registry_->Snapshot());
   m.job_id = params_.job_id;
   m.snapshots_taken = snapshots_taken_.load(std::memory_order_acquire);
   m.last_committed_snapshot = last_committed_snapshot_.load(std::memory_order_acquire);
-  for (const TaskletInfo& info : plan_->tasklet_infos()) {
-    TaskletMetrics t;
-    t.name = info.tasklet->name();
-    t.items_processed = info.tasklet->items_processed();
-    t.calls = info.tasklet->calls();
-    t.idle_calls = info.tasklet->idle_calls();
-    t.completed_snapshot_id = info.tasklet->completed_snapshot_id();
-    t.done = info.tasklet->IsDone();
-    m.tasklets.push_back(std::move(t));
-  }
   return m;
 }
 

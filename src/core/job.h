@@ -12,6 +12,9 @@
 #include "core/execution_service.h"
 #include "core/metrics.h"
 #include "imdg/snapshot_store.h"
+#include "obs/collector_tasklet.h"
+#include "obs/event_loop_profiler.h"
+#include "obs/metrics_registry.h"
 
 namespace jet::core {
 
@@ -38,6 +41,11 @@ struct JobParams {
   std::optional<int64_t> restore_snapshot_id;
   /// Time source; nullptr = global wall clock.
   const Clock* clock = nullptr;
+  /// When set, a MetricsCollectorTasklet publishes periodic JSON snapshots
+  /// of the job's metrics into this grid (map "__jet.metrics", key
+  /// "job-<id>/member-0") — the Management-Center persistence path.
+  imdg::DataGrid* metrics_grid = nullptr;
+  Nanos metrics_publish_interval = 500 * kNanosPerMilli;
 };
 
 /// A running (single-node) job: the execution plan, its worker threads and
@@ -79,8 +87,23 @@ class Job {
   const std::vector<TaskletInfo>& tasklet_infos() const { return plan_->tasklet_infos(); }
 
   /// Point-in-time metrics of the running job (the Management Center view,
-  /// §2). Safe to call from any thread; counter reads are racy-by-design.
+  /// §2), materialized from a race-free registry snapshot. Safe to call
+  /// from any thread; values are monotonic across consecutive calls.
   JobMetrics Metrics() const;
+
+  /// Raw registry snapshot — every instrument of this job's member,
+  /// including exchange and profiler metrics the JobMetrics view folds
+  /// away. Feed to obs::RenderJson / obs::RenderPrometheusText.
+  std::vector<obs::MetricSnapshot> MetricSnapshots() const {
+    return registry_->Snapshot();
+  }
+
+  /// JSON diagnostics dump of all instruments (single-node counterpart of
+  /// JetCluster::DiagnosticsDump).
+  std::string DiagnosticsJson() const { return obs::RenderJson(MetricSnapshots()); }
+
+  /// The member-wide registry; valid for the job's lifetime.
+  obs::MetricsRegistry* metrics_registry() const { return registry_.get(); }
 
  private:
   Job() = default;
@@ -91,6 +114,13 @@ class Job {
   JobParams params_;
   SnapshotControl snapshot_control_;
   std::atomic<bool> cancelled_{false};
+  // Observability lives above the plan/service so it is destroyed last:
+  // tasklets and workers hold instrument handles and profiler slots.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::EventLoopProfiler> profiler_;
+  std::unique_ptr<obs::MetricsCollectorTasklet> collector_;
+  obs::Gauge snapshots_gauge_;   // written by the coordinator thread only
+  obs::Gauge committed_gauge_;
   std::unique_ptr<ExecutionPlan> plan_;
   std::unique_ptr<ExecutionService> service_;
   std::thread coordinator_;

@@ -1,6 +1,8 @@
 #include "core/metrics.h"
 
 #include <cstdio>
+#include <string_view>
+#include <unordered_map>
 
 namespace jet::core {
 
@@ -21,8 +23,62 @@ std::string JobMetrics::ToString() const {
                   static_cast<long long>(t.calls), t.BusyFraction() * 100.0,
                   t.done ? "  [done]" : "");
     out += line;
+    if (t.max_call_nanos > 0) {
+      std::snprintf(line, sizeof(line),
+                    "  %-28s call p50=%lldns p99.99=%lldns max=%lldns overbudget=%lld\n",
+                    "", static_cast<long long>(t.p50_call_nanos),
+                    static_cast<long long>(t.p9999_call_nanos),
+                    static_cast<long long>(t.max_call_nanos),
+                    static_cast<long long>(t.overbudget_calls));
+      out += line;
+    }
   }
   return out;
+}
+
+JobMetrics JobMetricsFromSnapshot(const std::vector<obs::MetricSnapshot>& snapshot) {
+  constexpr std::string_view kPrefix = "tasklet.";
+  JobMetrics job;
+  std::unordered_map<std::string, size_t> row_of;
+  for (const auto& m : snapshot) {
+    std::string_view name = m.id.name;
+    if (name.substr(0, kPrefix.size()) != kPrefix) continue;
+    if (m.id.tags.tasklet.empty()) continue;
+    auto [it, inserted] = row_of.emplace(m.id.tags.tasklet, job.tasklets.size());
+    if (inserted) {
+      job.tasklets.emplace_back();
+      job.tasklets.back().name = m.id.tags.tasklet;
+    }
+    TaskletMetrics& row = job.tasklets[it->second];
+    std::string_view field = name.substr(kPrefix.size());
+    if (field == "items_processed") {
+      row.items_processed += m.value;
+    } else if (field == "calls") {
+      row.calls += m.value;
+    } else if (field == "idle_calls") {
+      row.idle_calls += m.value;
+    } else if (field == "completed_snapshot_id") {
+      row.completed_snapshot_id = m.value;
+    } else if (field == "done") {
+      row.done = m.value != 0;
+    } else if (field == "inbox_depth") {
+      row.inbox_depth = m.value;
+    } else if (field == "input_queue_depth") {
+      row.input_queue_depth = m.value;
+    } else if (field == "outbox_depth") {
+      row.outbox_depth = m.value;
+    } else if (field == "overbudget_calls") {
+      row.overbudget_calls += m.value;
+    } else if (field == "call_nanos" && m.histogram != nullptr) {
+      const Histogram& h = *m.histogram;
+      if (h.count() > 0) {
+        row.p50_call_nanos = h.ValueAtQuantile(0.5);
+        row.p9999_call_nanos = h.ValueAtQuantile(0.9999);
+        row.max_call_nanos = h.max();
+      }
+    }
+  }
+  return job;
 }
 
 }  // namespace jet::core

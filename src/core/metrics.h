@@ -5,11 +5,15 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+
 namespace jet::core {
 
-/// Point-in-time counters of one tasklet. Reads are racy-by-design (the
-/// worker thread owns the counters); values are monotonic so a snapshot is
-/// always internally plausible.
+/// Point-in-time counters of one tasklet, materialized from a registry
+/// snapshot (obs::MetricsRegistry::Snapshot). The snapshot itself is
+/// race-free: instruments are single-writer cells polled atomically, so
+/// every value here is internally consistent and monotonic across
+/// consecutive snapshots.
 struct TaskletMetrics {
   std::string name;
   int64_t items_processed = 0;
@@ -17,6 +21,17 @@ struct TaskletMetrics {
   int64_t idle_calls = 0;  ///< calls that made no progress
   int64_t completed_snapshot_id = 0;
   bool done = false;
+
+  // Queue-depth gauges (last value the owning worker published).
+  int64_t inbox_depth = 0;
+  int64_t input_queue_depth = 0;  ///< total items waiting in inbound SPSC queues
+  int64_t outbox_depth = 0;
+
+  // Event-loop profiler view (zero when the execution ran unprofiled).
+  int64_t p50_call_nanos = 0;
+  int64_t p9999_call_nanos = 0;  ///< 99.99th percentile Call() duration
+  int64_t max_call_nanos = 0;
+  int64_t overbudget_calls = 0;  ///< calls exceeding the cooperative budget
 
   /// Fraction of calls that found work (a core-utilization proxy; §3.2's
   /// cooperative model keeps idle calls cheap).
@@ -47,6 +62,14 @@ struct JobMetrics {
   /// Renders a human-readable status report.
   std::string ToString() const;
 };
+
+/// Groups a registry snapshot's "tasklet.*" metrics into per-tasklet rows,
+/// keyed by the `tasklet` tag, in first-seen order. Job-level fields
+/// (job_id, snapshots, attempt) are left at defaults — callers fill them
+/// from their own state. Entries whose name lacks the "tasklet." prefix
+/// are ignored, so registries holding exchange/job/obs metrics too can be
+/// passed as-is.
+JobMetrics JobMetricsFromSnapshot(const std::vector<obs::MetricSnapshot>& snapshot);
 
 }  // namespace jet::core
 

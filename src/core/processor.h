@@ -11,6 +11,8 @@
 #include "core/dag.h"
 #include "core/inbox_outbox.h"
 #include "core/item.h"
+#include "obs/metric_id.h"
+#include "obs/metrics_registry.h"
 
 namespace jet::core {
 
@@ -34,6 +36,13 @@ struct ProcessorContext {
   /// Id of the snapshot currently being taken; set by the tasklet before
   /// SaveToSnapshot and valid until OnSnapshotCompleted returns.
   int64_t current_snapshot_id = 0;
+  /// Member-wide metrics registry; nullptr when the execution runs without
+  /// observability. Processors with interesting internals (the exchange
+  /// operators) register instruments in Init() using `metric_tags`.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Identity ({vertex, tasklet}) the plan assigned to this instance, ready
+  /// to tag instruments with.
+  obs::MetricTags metric_tags;
 
   /// Highest snapshot id the coordinator committed (0 when none/unknown).
   int64_t CommittedSnapshot() const {

@@ -37,6 +37,51 @@ ProcessorTasklet::ProcessorTasklet(std::string name, std::unique_ptr<Processor> 
     stream_queue_base_.push_back(base);
     base += s.queues.size();
   }
+  if (context_.metric_tags.tasklet.empty()) context_.metric_tags.tasklet = name_;
+  if (context_.metric_tags.vertex < 0) context_.metric_tags.vertex = context_.vertex_id;
+  RegisterMetrics();
+}
+
+void ProcessorTasklet::RegisterMetrics() {
+  obs::MetricsRegistry* registry = context_.metrics;
+  if (registry == nullptr) return;  // handles keep their standalone cells
+  const obs::MetricTags& tags = context_.metric_tags;
+  // idle_calls before calls: snapshots read in registration order, and
+  // reading the idle count first keeps "idle_calls <= calls" true in every
+  // racy poll (idle is bumped after calls within one Call()).
+  items_processed_ = registry->GetCounter("tasklet.items_processed", tags);
+  idle_calls_ = registry->GetCounter("tasklet.idle_calls", tags);
+  calls_ = registry->GetCounter("tasklet.calls", tags);
+  done_gauge_ = registry->GetGauge("tasklet.done", tags);
+  completed_snapshot_gauge_ = registry->GetGauge("tasklet.completed_snapshot_id", tags);
+  inbox_depth_gauge_ = registry->GetGauge("tasklet.inbox_depth", tags);
+  outbox_depth_gauge_ = registry->GetGauge("tasklet.outbox_depth", tags);
+  // SPSC occupancy of every inbound queue, summed at poll time:
+  // SizeApprox() is safe from any thread, and the shared_ptr captures keep
+  // the queues alive as long as the registry can poll them.
+  std::vector<ItemQueuePtr> queues;
+  for (const auto& s : inputs_) {
+    for (const auto& q : s.queues) queues.push_back(q.queue);
+  }
+  if (!queues.empty()) {
+    registry->RegisterCallback("tasklet.input_queue_depth", tags,
+                               [queues = std::move(queues)]() {
+                                 int64_t depth = 0;
+                                 for (const auto& q : queues) {
+                                   depth += static_cast<int64_t>(q->SizeApprox());
+                                 }
+                                 return depth;
+                               });
+  }
+}
+
+void ProcessorTasklet::UpdateQueueGauges() {
+  inbox_depth_gauge_.Set(static_cast<int64_t>(inbox_.Size()));
+  int64_t outbox_depth = 0;
+  for (int o = 0; o < outbox_.edge_count(); ++o) {
+    outbox_depth += static_cast<int64_t>(outbox_.bucket(o).size());
+  }
+  outbox_depth_gauge_.Set(outbox_depth);
 }
 
 void ProcessorTasklet::SetRestoreEntries(std::vector<StateEntry> entries) {
@@ -55,26 +100,18 @@ Status ProcessorTasklet::Init() {
   return Status::OK();
 }
 
-namespace {
-// Single-writer increment: plain load+store (no RMW) keeps the hot path at
-// mov/add/mov while letting metrics pollers read the counter race-free.
-inline void BumpCounter(std::atomic<int64_t>& counter, int64_t delta = 1) {
-  counter.store(counter.load(std::memory_order_relaxed) + delta,
-                std::memory_order_relaxed);
-}
-}  // namespace
-
 TaskletProgress ProcessorTasklet::Call() {
   // A tasklet is pinned to one worker; Call() from a second thread is a
   // scheduling bug (§3.2's cooperative model has no work stealing).
   JET_DCHECK_SINGLE_THREAD(worker_guard_, "ProcessorTasklet worker (Call)");
-  BumpCounter(calls_);
+  calls_.Add(1);
   made_progress_ = false;
   if (!DrainOutbox()) {
     // Downstream queues are full: backpressure. Nothing else can run until
     // the outbox drains (§3.3 "tasklets back off as soon as all their
     // output queues are full").
-    if (!made_progress_) BumpCounter(idle_calls_);
+    if (!made_progress_) idle_calls_.Add(1);
+    UpdateQueueGauges();
     return {made_progress_, false};
   }
   switch (state_) {
@@ -109,7 +146,8 @@ TaskletProgress ProcessorTasklet::Call() {
       return {false, true};
   }
   DrainOutbox();
-  if (!made_progress_) BumpCounter(idle_calls_);
+  if (!made_progress_) idle_calls_.Add(1);
+  UpdateQueueGauges();
   return {made_progress_, state_ == State::kDone};
 }
 
@@ -348,7 +386,7 @@ void ProcessorTasklet::DoProcess() {
     size_t before = inbox_.Size();
     processor_->Process(current_ordinal_, &inbox_);
     size_t after = inbox_.Size();
-    BumpCounter(items_processed_, static_cast<int64_t>(before - after));
+    items_processed_.Add(static_cast<int64_t>(before - after));
     if (after != before) MarkProgress();
   }
 }
@@ -404,6 +442,7 @@ void ProcessorTasklet::DoSnapshotBarrier() {
   if (!processor_->OnSnapshotCompleted(pending_snapshot_id_)) return;
   control_armed_ = false;
   completed_snapshot_id_.store(pending_snapshot_id_, std::memory_order_relaxed);
+  completed_snapshot_gauge_.Set(pending_snapshot_id_);
   pending_snapshot_id_ = -1;
   FinishSnapshot();
   if (snapshot_control_ != nullptr) {
@@ -458,6 +497,7 @@ void ProcessorTasklet::DoEmitDone() {
   control_armed_ = false;
   state_ = State::kDone;
   done_flag_.store(true, std::memory_order_release);
+  done_gauge_.Set(1);
   MarkProgress();
 }
 

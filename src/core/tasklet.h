@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "core/processor.h"
 #include "core/watermark.h"
+#include "obs/metrics_registry.h"
 
 namespace jet::core {
 
@@ -114,16 +115,14 @@ class ProcessorTasklet final : public Tasklet {
   const std::string& name() const override { return name_; }
 
   /// Number of data items this tasklet pushed into its processor. Safe to
-  /// read from any thread (metrics polling): single-writer relaxed atomic.
-  int64_t items_processed() const {
-    return items_processed_.load(std::memory_order_relaxed);
-  }
+  /// read from any thread: single-writer registry counter.
+  int64_t items_processed() const { return items_processed_.Value(); }
 
   /// Total Call() invocations.
-  int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  int64_t calls() const { return calls_.Value(); }
 
   /// Call() invocations that made no progress.
-  int64_t idle_calls() const { return idle_calls_.load(std::memory_order_relaxed); }
+  int64_t idle_calls() const { return idle_calls_.Value(); }
 
   /// True once the tasklet reached its terminal state. Safe from any thread.
   bool IsDone() const { return done_flag_.load(std::memory_order_acquire); }
@@ -192,6 +191,14 @@ class ProcessorTasklet final : public Tasklet {
 
   void MarkProgress() { made_progress_ = true; }
 
+  // Registers this tasklet's instruments ("tasklet.*" counters and queue
+  // depth gauges) with context_.metrics. Runs in the constructor — before
+  // any worker thread exists — so registration never races with Call().
+  void RegisterMetrics();
+
+  // Refreshes the inbox/outbox depth gauges (end of every Call).
+  void UpdateQueueGauges();
+
   std::string name_;
   std::unique_ptr<Processor> processor_;
   ProcessorContext context_;
@@ -233,12 +240,18 @@ class ProcessorTasklet final : public Tasklet {
   // Complete-edge bookkeeping.
   std::vector<int32_t> edges_to_complete_;
 
-  // Counters are written only by the owning worker thread but polled by
-  // Job::Metrics() from arbitrary threads, so they are relaxed atomics
-  // (single-writer: plain load+store increments, no RMW on the hot path).
-  std::atomic<int64_t> items_processed_{0};
-  std::atomic<int64_t> calls_{0};
-  std::atomic<int64_t> idle_calls_{0};
+  // Instruments are written only by the owning worker thread but polled by
+  // registry snapshots from arbitrary threads (single-writer rule: plain
+  // load+store, no RMW on the hot path). When the execution has no
+  // registry the handles fall back to standalone cells, so the accessors
+  // above always work.
+  obs::Counter items_processed_;
+  obs::Counter calls_;
+  obs::Counter idle_calls_;
+  obs::Gauge done_gauge_;
+  obs::Gauge completed_snapshot_gauge_;
+  obs::Gauge inbox_depth_gauge_;
+  obs::Gauge outbox_depth_gauge_;
   std::atomic<bool> done_flag_{false};
 
   // Binds Call()/Init() to the tasklet's assigned worker thread.

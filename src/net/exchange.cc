@@ -1,5 +1,6 @@
 #include "net/exchange.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace jet::net {
@@ -38,6 +39,21 @@ SenderProcessor::SenderProcessor(Network* network,
                                  int32_t max_batch)
     : network_(network), channel_(std::move(channel)), max_batch_(max_batch) {}
 
+Status SenderProcessor::Init(core::ProcessorContext* ctx) {
+  JET_RETURN_IF_ERROR(core::Processor::Init(ctx));
+  if (ctx->metrics != nullptr) {
+    items_sent_counter_ = ctx->metrics->GetCounter("exchange.items_sent", ctx->metric_tags);
+    window_available_gauge_ =
+        ctx->metrics->GetGauge("exchange.window_available", ctx->metric_tags);
+    // The send limit is advanced by acks on the network thread; the atomic
+    // read is safe from the registry's polling thread.
+    auto flow = channel_->flow;
+    ctx->metrics->RegisterCallback("exchange.send_limit", ctx->metric_tags,
+                                   [flow]() { return flow->SendLimit(); });
+  }
+  return Status::OK();
+}
+
 void SenderProcessor::Process(int ordinal, core::Inbox* inbox) {
   (void)ordinal;
   std::vector<core::Item> batch;
@@ -46,6 +62,8 @@ void SenderProcessor::Process(int ordinal, core::Inbox* inbox) {
     batch.push_back(inbox->Poll());
     ++sent_seq_;
   }
+  items_sent_counter_.Add(static_cast<int64_t>(batch.size()));
+  window_available_gauge_.Set(std::max<int64_t>(0, channel_->flow->SendLimit() - sent_seq_));
   // Items beyond the receive window stay in the inbox; the queues behind it
   // fill up and backpressure reaches the producers (§3.3).
   if (!batch.empty()) SendBatch(std::move(batch));
@@ -92,6 +110,25 @@ ReceiverProcessor::ReceiverProcessor(Network* network,
                                      ReceiveWindowController::Options window_options)
     : network_(network), channel_(std::move(channel)), window_ctl_(window_options) {}
 
+Status ReceiverProcessor::Init(core::ProcessorContext* ctx) {
+  JET_RETURN_IF_ERROR(core::Processor::Init(ctx));
+  if (ctx->metrics != nullptr) {
+    items_forwarded_counter_ =
+        ctx->metrics->GetCounter("exchange.items_forwarded", ctx->metric_tags);
+    acks_sent_counter_ = ctx->metrics->GetCounter("exchange.acks_sent", ctx->metric_tags);
+    receive_window_gauge_ =
+        ctx->metrics->GetGauge("exchange.receive_window", ctx->metric_tags);
+    receive_window_gauge_.Set(window_ctl_.window());
+    // WireBuffer::Size takes the buffer's own mutex, so the registry may
+    // poll it from any thread; capture the shared_ptr, never `this`.
+    auto wire = channel_->wire;
+    ctx->metrics->RegisterCallback("exchange.wire_depth", ctx->metric_tags, [wire]() {
+      return static_cast<int64_t>(wire->Size());
+    });
+  }
+  return Status::OK();
+}
+
 bool ReceiverProcessor::Complete() {
   if (staged_.empty() && !saw_done_) channel_->wire->Drain(&staged_, 256);
   bool blocked = false;
@@ -107,7 +144,10 @@ bool ReceiverProcessor::Complete() {
       blocked = true;  // downstream full; retry later
       break;
     }
-    if (is_data) ++forwarded_seq_;
+    if (is_data) {
+      ++forwarded_seq_;
+      items_forwarded_counter_.Add(1);
+    }
     staged_.pop_front();
   }
   // Periodically ack our progress so the sender's window slides (§3.3).
@@ -115,6 +155,8 @@ bool ReceiverProcessor::Complete() {
   if (limit >= 0) {
     auto flow = channel_->flow;
     network_->Send(channel_->ack_channel, [flow, limit]() { flow->OnAck(limit); });
+    acks_sent_counter_.Add(1);
+    receive_window_gauge_.Set(window_ctl_.window());
   }
   return !blocked && saw_done_ && staged_.empty();
 }
@@ -156,6 +198,7 @@ core::ProcessorContext NetworkEdgeFactory::MakeContext(core::VertexId vertex) co
   ctx.config = config_;
   ctx.cancelled = cancelled_;
   ctx.vertex_id = vertex;
+  ctx.metrics = metrics_;
   return ctx;
 }
 

@@ -13,6 +13,7 @@
 #include "core/tasklet.h"
 #include "net/flow_control.h"
 #include "net/network.h"
+#include "obs/metrics_registry.h"
 
 namespace jet::net {
 
@@ -103,6 +104,7 @@ class SenderProcessor final : public core::Processor {
   SenderProcessor(Network* network, std::shared_ptr<ExchangeChannel> channel,
                   int32_t max_batch = 64);
 
+  Status Init(core::ProcessorContext* ctx) override;
   void Process(int ordinal, core::Inbox* inbox) override;
   bool TryProcessWatermark(Nanos wm) override;
   bool OnSnapshotCompleted(int64_t snapshot_id) override;
@@ -118,6 +120,12 @@ class SenderProcessor final : public core::Processor {
   int32_t max_batch_;
   int64_t sent_seq_ = 0;
   bool done_sent_ = false;
+
+  // Flow-control instruments (§3.3), written only by the hosting tasklet's
+  // worker thread; the send-limit gauge is a registry callback reading the
+  // atomic SenderFlowState instead.
+  obs::Counter items_sent_counter_;
+  obs::Gauge window_available_gauge_;
 };
 
 /// The receiver-side exchange operator: drains the wire buffer, re-emits
@@ -130,6 +138,7 @@ class ReceiverProcessor final : public core::Processor {
   ReceiverProcessor(Network* network, std::shared_ptr<ExchangeChannel> channel,
                     ReceiveWindowController::Options window_options = {});
 
+  Status Init(core::ProcessorContext* ctx) override;
   bool Complete() override;
   bool InitiatesSnapshots() const override { return false; }
 
@@ -143,6 +152,14 @@ class ReceiverProcessor final : public core::Processor {
   std::deque<core::Item> staged_;
   int64_t forwarded_seq_ = 0;
   bool saw_done_ = false;
+
+  // Receiver-side instruments: forwarded items, acks put on the wire, and
+  // the adaptive receive-window size after each recalculation (§3.3). The
+  // wire-buffer depth is a registry callback (WireBuffer::Size is
+  // mutex-safe).
+  obs::Counter items_forwarded_counter_;
+  obs::Counter acks_sent_counter_;
+  obs::Gauge receive_window_gauge_;
 };
 
 /// Builds the cross-node plumbing for one node of a multi-node execution:
@@ -170,6 +187,10 @@ class NetworkEdgeFactory final : public core::RemoteEdgeFactory {
   /// after ExecutionPlan::Build.
   std::vector<std::unique_ptr<core::ProcessorTasklet>> TakeTasklets();
 
+  /// Member-wide registry the exchange tasklets register their instruments
+  /// with; call before TakeTasklets. Optional.
+  void SetMetricsRegistry(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   int32_t EdgeIndexOf(const core::Edge& e) const;
   int32_t LocalParallelismOf(core::VertexId v) const;
@@ -183,6 +204,7 @@ class NetworkEdgeFactory final : public core::RemoteEdgeFactory {
   const Clock* clock_;
   const std::atomic<bool>* cancelled_;
   core::SnapshotControl* snapshot_control_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   // (edge_index, dest_node) -> per-producer queues feeding the sender.
   std::map<std::pair<int32_t, int32_t>, std::vector<core::ItemQueuePtr>> sender_queues_;

@@ -33,6 +33,9 @@ struct SenderFlowState {
   bool MaySend(int64_t sent_seq) const {
     return sent_seq < send_limit.load(std::memory_order_acquire);
   }
+
+  /// Current limit; safe from any thread (obs callback gauges poll this).
+  int64_t SendLimit() const { return send_limit.load(std::memory_order_acquire); }
 };
 
 /// Receiver-side window sizing (§3.3): the consumer acks every

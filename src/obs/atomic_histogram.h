@@ -1,0 +1,82 @@
+#ifndef JETSIM_OBS_ATOMIC_HISTOGRAM_H_
+#define JETSIM_OBS_ATOMIC_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace jet::obs {
+
+/// Single-writer histogram that readers may snapshot concurrently.
+///
+/// Uses jet::Histogram's bucket layout, but every bucket is an atomic that
+/// the owning worker thread updates with plain load+store (relaxed, no RMW
+/// — the same discipline as the tasklet counters) while pollers read it
+/// race-free from any thread. `Snapshot()` materializes a regular
+/// jet::Histogram whose count is derived from the summed bucket loads, so
+/// a snapshot is always internally consistent (count == sum of buckets)
+/// even when it races with recording; successive snapshots see
+/// non-decreasing counts.
+class AtomicHistogram {
+ public:
+  explicit AtomicHistogram(int64_t max_value = int64_t{1} << 42)
+      : max_value_(max_value < 1 ? 1 : max_value),
+        buckets_(static_cast<size_t>(Histogram::BucketCountFor(max_value_))) {}
+
+  /// Records one observation. Must only be called by the owning thread.
+  void Record(int64_t value) {
+    if (value < 0) value = 0;
+    if (value > max_value_) value = max_value_;
+    auto& bucket = buckets_[static_cast<size_t>(Histogram::BucketIndexOf(value, max_value_))];
+    bucket.store(bucket.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    sum_.store(sum_.load(std::memory_order_relaxed) + static_cast<double>(value),
+               std::memory_order_relaxed);
+    if (!any_.load(std::memory_order_relaxed)) {
+      min_.store(value, std::memory_order_relaxed);
+      max_.store(value, std::memory_order_relaxed);
+      any_.store(true, std::memory_order_release);
+    } else {
+      if (value < min_.load(std::memory_order_relaxed)) {
+        min_.store(value, std::memory_order_relaxed);
+      }
+      if (value > max_.load(std::memory_order_relaxed)) {
+        max_.store(value, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Materializes a point-in-time jet::Histogram. Safe from any thread.
+  Histogram Snapshot() const {
+    Histogram h(max_value_);
+    std::vector<int64_t> counts(buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    int64_t min = 0;
+    int64_t max = max_value_;
+    if (any_.load(std::memory_order_acquire)) {
+      min = min_.load(std::memory_order_relaxed);
+      max = max_.load(std::memory_order_relaxed);
+    }
+    h.MergeBucketCounts(counts.data(), counts.size(), min, max,
+                        sum_.load(std::memory_order_relaxed));
+    return h;
+  }
+
+  int64_t max_value() const { return max_value_; }
+
+ private:
+  int64_t max_value_;
+  // std::vector value-initializes the atomics to zero.
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<int64_t> min_{0};
+  std::atomic<int64_t> max_{0};
+  std::atomic<bool> any_{false};
+};
+
+}  // namespace jet::obs
+
+#endif  // JETSIM_OBS_ATOMIC_HISTOGRAM_H_

@@ -1,0 +1,95 @@
+#ifndef JETSIM_OBS_EVENT_LOOP_PROFILER_H_
+#define JETSIM_OBS_EVENT_LOOP_PROFILER_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "obs/metrics_registry.h"
+
+namespace jet::obs {
+
+/// Times every tasklet Call() against the cooperative time-slice budget
+/// (§3.2: a tasklet call must do a bounded amount of work, well under a
+/// millisecond — one misbehaving tasklet delays every other tasklet on its
+/// worker and shows up as a 99.99th-percentile latency knee).
+///
+/// The ExecutionService registers each tasklet once before the worker
+/// threads start and wraps Call() with two clock reads; per-call recording
+/// goes into single-writer instruments ("tasklet.call_nanos" histogram and
+/// "tasklet.overbudget_calls" counter, tagged {tasklet, worker}).
+class EventLoopProfiler {
+ public:
+  struct Options {
+    /// Budget one cooperative Call() should stay under.
+    Nanos call_budget = kNanosPerMilli;
+    /// Upper bound of the call-duration histograms.
+    Nanos max_call_nanos = 10 * kNanosPerSecond;
+  };
+
+  /// Per-tasklet recording slot; written only by the hosting worker.
+  class TaskletProfile {
+   public:
+    void RecordCall(Nanos duration) {
+      if (duration < 0) duration = 0;
+      call_nanos_.Record(duration);
+      if (duration > budget_) overbudget_.Add(1);
+    }
+
+    Histogram CallHistogram() const { return call_nanos_.Snapshot(); }
+    int64_t overbudget_calls() const { return overbudget_.Value(); }
+
+   private:
+    friend class EventLoopProfiler;
+    TaskletProfile(HistogramHandle call_nanos, Counter overbudget, Nanos budget)
+        : call_nanos_(std::move(call_nanos)),
+          overbudget_(std::move(overbudget)),
+          budget_(budget) {}
+
+    HistogramHandle call_nanos_;
+    Counter overbudget_;
+    Nanos budget_;
+  };
+
+  /// `registry` must outlive the profiler. `clock` defaults to wall time.
+  explicit EventLoopProfiler(MetricsRegistry* registry, const Clock* clock = nullptr)
+      : EventLoopProfiler(registry, clock, Options()) {}
+
+  EventLoopProfiler(MetricsRegistry* registry, const Clock* clock, Options options)
+      : registry_(registry),
+        clock_(clock != nullptr ? clock : &WallClock::Global()),
+        options_(options) {}
+
+  EventLoopProfiler(const EventLoopProfiler&) = delete;
+  EventLoopProfiler& operator=(const EventLoopProfiler&) = delete;
+
+  /// Registers `tasklet_name` hosted on worker-thread `worker`. The
+  /// returned slot stays valid for the profiler's lifetime (deque-backed).
+  TaskletProfile* Register(const std::string& tasklet_name, int32_t worker) {
+    MetricTags tags;
+    tags.tasklet = tasklet_name;
+    tags.worker = worker;
+    HistogramHandle h = registry_->GetHistogram("tasklet.call_nanos", tags,
+                                                options_.max_call_nanos);
+    Counter over = registry_->GetCounter("tasklet.overbudget_calls", tags);
+    std::scoped_lock lock(mutex_);
+    profiles_.push_back(
+        TaskletProfile(std::move(h), std::move(over), options_.call_budget));
+    return &profiles_.back();
+  }
+
+  const Clock& clock() const { return *clock_; }
+  Nanos call_budget() const { return options_.call_budget; }
+
+ private:
+  MetricsRegistry* registry_;
+  const Clock* clock_;
+  Options options_;
+  std::mutex mutex_;
+  std::deque<TaskletProfile> profiles_;
+};
+
+}  // namespace jet::obs
+
+#endif  // JETSIM_OBS_EVENT_LOOP_PROFILER_H_

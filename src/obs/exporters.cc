@@ -1,0 +1,395 @@
+#include "obs/exporters.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace jet::obs {
+
+namespace {
+
+// "tasklet.call_nanos" -> "jet_tasklet_call_nanos".
+std::string PrometheusName(const std::string& name) {
+  std::string out = "jet_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Renders the tag set as Prometheus labels; `extra` appends e.g. a
+// quantile label. Returns "" when no label is set.
+std::string LabelBlock(const MetricTags& tags, const std::string& extra = "") {
+  std::string inner;
+  auto add = [&inner](const std::string& k, const std::string& v) {
+    if (!inner.empty()) inner += ",";
+    inner += k + "=\"" + v + "\"";
+  };
+  if (tags.job >= 0) add("job", std::to_string(tags.job));
+  if (tags.vertex >= 0) add("vertex", std::to_string(tags.vertex));
+  if (!tags.tasklet.empty()) add("tasklet", EscapeLabelValue(tags.tasklet));
+  if (tags.worker >= 0) add("worker", std::to_string(tags.worker));
+  if (tags.member >= 0) add("member", std::to_string(tags.member));
+  if (!extra.empty()) {
+    if (!inner.empty()) inner += ",";
+    inner += extra;
+  }
+  if (inner.empty()) return "";
+  return "{" + inner + "}";
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonTags(const MetricTags& tags) {
+  std::string out = "{";
+  bool first = true;
+  auto add = [&out, &first](const std::string& k, const std::string& v) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + k + "\":" + v;
+  };
+  if (tags.job >= 0) add("job", std::to_string(tags.job));
+  if (tags.vertex >= 0) add("vertex", std::to_string(tags.vertex));
+  if (!tags.tasklet.empty()) add("tasklet", "\"" + EscapeJson(tags.tasklet) + "\"");
+  if (tags.worker >= 0) add("worker", std::to_string(tags.worker));
+  if (tags.member >= 0) add("member", std::to_string(tags.member));
+  out += "}";
+  return out;
+}
+
+constexpr double kSummaryQuantiles[] = {0.5, 0.9, 0.99, 0.999, 0.9999};
+
+}  // namespace
+
+std::string RenderPrometheusText(const std::vector<MetricSnapshot>& metrics) {
+  // Group sample indices by metric name, preserving first-seen order: the
+  // exposition format requires all samples of one metric to be contiguous.
+  std::vector<std::string> name_order;
+  std::map<std::string, std::vector<size_t>> by_name;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const std::string& n = metrics[i].id.name;
+    auto [it, inserted] = by_name.try_emplace(n);
+    if (inserted) name_order.push_back(n);
+    it->second.push_back(i);
+  }
+
+  std::string out;
+  for (const std::string& name : name_order) {
+    const auto& idxs = by_name[name];
+    const MetricSnapshot& first = metrics[idxs.front()];
+    std::string pname = PrometheusName(name);
+    const char* type = first.kind == MetricKind::kCounter    ? "counter"
+                       : first.kind == MetricKind::kHistogram ? "summary"
+                                                              : "gauge";
+    out += "# TYPE " + pname + " " + type + "\n";
+    for (size_t i : idxs) {
+      const MetricSnapshot& m = metrics[i];
+      if (m.kind == MetricKind::kHistogram && m.histogram != nullptr) {
+        const Histogram& h = *m.histogram;
+        for (double q : kSummaryQuantiles) {
+          out += pname + LabelBlock(m.id.tags, "quantile=\"" + FormatDouble(q) + "\"") +
+                 " " + std::to_string(h.ValueAtQuantile(q)) + "\n";
+        }
+        std::string labels = LabelBlock(m.id.tags);
+        out += pname + "_sum" + labels + " " +
+               FormatDouble(h.Mean() * static_cast<double>(h.count())) + "\n";
+        out += pname + "_count" + labels + " " + std::to_string(h.count()) + "\n";
+        out += pname + "_min" + labels + " " + std::to_string(h.min()) + "\n";
+        out += pname + "_max" + labels + " " + std::to_string(h.max()) + "\n";
+      } else {
+        out += pname + LabelBlock(m.id.tags) + " " + std::to_string(m.value) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<MetricSnapshot>& metrics) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& m : metrics) {
+    if (!first) out += ",";
+    first = false;
+    const char* kind = m.kind == MetricKind::kCounter    ? "counter"
+                       : m.kind == MetricKind::kHistogram ? "histogram"
+                                                          : "gauge";
+    out += "{\"name\":\"" + EscapeJson(m.id.name) + "\",\"kind\":\"" + kind +
+           "\",\"tags\":" + JsonTags(m.id.tags);
+    if (m.kind == MetricKind::kHistogram && m.histogram != nullptr) {
+      const Histogram& h = *m.histogram;
+      out += ",\"count\":" + std::to_string(h.count());
+      out += ",\"sum\":" + FormatDouble(h.Mean() * static_cast<double>(h.count()));
+      out += ",\"min\":" + std::to_string(h.min());
+      out += ",\"max\":" + std::to_string(h.max());
+      out += ",\"mean\":" + FormatDouble(h.Mean());
+      out += ",\"quantiles\":{";
+      bool qfirst = true;
+      for (double q : kSummaryQuantiles) {
+        if (!qfirst) out += ",";
+        qfirst = false;
+        out += "\"" + FormatDouble(q) + "\":" + std::to_string(h.ValueAtQuantile(q));
+      }
+      out += "}";
+    } else {
+      out += ",\"value\":" + std::to_string(m.value);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsers (verification + tooling)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool ParseLabels(const std::string& line, size_t* pos,
+                 std::map<std::string, std::string>* labels) {
+  // *pos points at '{'.
+  size_t i = *pos + 1;
+  while (i < line.size() && line[i] != '}') {
+    size_t name_start = i;
+    while (i < line.size() && (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                               line[i] == '_')) {
+      ++i;
+    }
+    if (i == name_start || i >= line.size() || line[i] != '=') return false;
+    std::string key = line.substr(name_start, i - name_start);
+    ++i;  // '='
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;  // opening quote
+    std::string value;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        char next = line[i + 1];
+        value.push_back(next == 'n' ? '\n' : next);
+        i += 2;
+      } else {
+        value.push_back(line[i++]);
+      }
+    }
+    if (i >= line.size()) return false;  // unterminated value
+    ++i;                                 // closing quote
+    (*labels)[key] = value;
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+  if (i >= line.size()) return false;  // missing '}'
+  *pos = i + 1;
+  return true;
+}
+
+}  // namespace
+
+bool ParsePrometheusText(const std::string& text, std::vector<PrometheusSample>* out) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (end == text.size() && line.empty()) break;
+    if (line.empty() || line[0] == '#') continue;
+
+    PrometheusSample sample;
+    size_t i = 0;
+    while (i < line.size() && (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                               line[i] == '_' || line[i] == ':')) {
+      ++i;
+    }
+    if (i == 0) return false;  // no metric name
+    sample.name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      if (!ParseLabels(line, &i, &sample.labels)) return false;
+    }
+    if (i >= line.size() || line[i] != ' ') return false;
+    while (i < line.size() && line[i] == ' ') ++i;
+    char* parse_end = nullptr;
+    std::string value_text = line.substr(i);
+    sample.value = std::strtod(value_text.c_str(), &parse_end);
+    if (parse_end == value_text.c_str()) return false;  // no number
+    if (out != nullptr) out->push_back(std::move(sample));
+  }
+  return true;
+}
+
+namespace {
+
+struct JsonCursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Eof() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+};
+
+bool SkipJsonValue(JsonCursor* c);
+
+bool SkipJsonString(JsonCursor* c) {
+  if (c->Eof() || c->Peek() != '"') return false;
+  ++c->pos;
+  while (!c->Eof() && c->Peek() != '"') {
+    if (c->Peek() == '\\') {
+      ++c->pos;
+      if (c->Eof()) return false;
+    }
+    ++c->pos;
+  }
+  if (c->Eof()) return false;
+  ++c->pos;  // closing quote
+  return true;
+}
+
+bool SkipJsonNumber(JsonCursor* c) {
+  size_t start = c->pos;
+  if (!c->Eof() && (c->Peek() == '-' || c->Peek() == '+')) ++c->pos;
+  bool digits = false;
+  while (!c->Eof() && (std::isdigit(static_cast<unsigned char>(c->Peek())) ||
+                       c->Peek() == '.' || c->Peek() == 'e' || c->Peek() == 'E' ||
+                       c->Peek() == '-' || c->Peek() == '+')) {
+    if (std::isdigit(static_cast<unsigned char>(c->Peek()))) digits = true;
+    ++c->pos;
+  }
+  return digits && c->pos > start;
+}
+
+bool SkipJsonLiteral(JsonCursor* c, const char* word) {
+  size_t n = std::char_traits<char>::length(word);
+  if (c->text.compare(c->pos, n, word) != 0) return false;
+  c->pos += n;
+  return true;
+}
+
+bool SkipJsonValue(JsonCursor* c) {
+  c->SkipWs();
+  if (c->Eof()) return false;
+  char ch = c->Peek();
+  if (ch == '"') return SkipJsonString(c);
+  if (ch == 't') return SkipJsonLiteral(c, "true");
+  if (ch == 'f') return SkipJsonLiteral(c, "false");
+  if (ch == 'n') return SkipJsonLiteral(c, "null");
+  if (ch == '{') {
+    ++c->pos;
+    c->SkipWs();
+    if (!c->Eof() && c->Peek() == '}') {
+      ++c->pos;
+      return true;
+    }
+    while (true) {
+      c->SkipWs();
+      if (!SkipJsonString(c)) return false;  // key
+      c->SkipWs();
+      if (c->Eof() || c->Peek() != ':') return false;
+      ++c->pos;
+      if (!SkipJsonValue(c)) return false;
+      c->SkipWs();
+      if (c->Eof()) return false;
+      if (c->Peek() == ',') {
+        ++c->pos;
+        continue;
+      }
+      if (c->Peek() == '}') {
+        ++c->pos;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (ch == '[') {
+    ++c->pos;
+    c->SkipWs();
+    if (!c->Eof() && c->Peek() == ']') {
+      ++c->pos;
+      return true;
+    }
+    while (true) {
+      if (!SkipJsonValue(c)) return false;
+      c->SkipWs();
+      if (c->Eof()) return false;
+      if (c->Peek() == ',') {
+        ++c->pos;
+        continue;
+      }
+      if (c->Peek() == ']') {
+        ++c->pos;
+        return true;
+      }
+      return false;
+    }
+  }
+  return SkipJsonNumber(c);
+}
+
+}  // namespace
+
+bool JsonIsWellFormed(const std::string& text) {
+  JsonCursor c{text};
+  if (!SkipJsonValue(&c)) return false;
+  c.SkipWs();
+  return c.Eof();
+}
+
+}  // namespace jet::obs

@@ -1,0 +1,47 @@
+#ifndef JETSIM_OBS_EXPORTERS_H_
+#define JETSIM_OBS_EXPORTERS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace jet::obs {
+
+/// Renders metric snapshots in the Prometheus text exposition format.
+/// Scalar metrics become `jet_<name>{tags} value` samples with `# TYPE`
+/// headers; histograms are exported summary-style: one sample per standard
+/// quantile (0.5 / 0.9 / 0.99 / 0.999 / 0.9999) plus `_sum`, `_count`,
+/// `_min` and `_max`. Samples of the same metric name are grouped, as the
+/// format requires.
+std::string RenderPrometheusText(const std::vector<MetricSnapshot>& metrics);
+
+/// Renders metric snapshots as a JSON document:
+///   {"metrics":[{"name":...,"kind":...,"tags":{...},"value":...}, ...]}
+/// Histogram entries carry count/sum/min/max/mean and a "quantiles" object
+/// instead of "value". This is the payload of JetCluster::DiagnosticsDump()
+/// and of the MetricsCollectorTasklet's IMDG publications; consumed by
+/// tools/metrics_dump.py.
+std::string RenderJson(const std::vector<MetricSnapshot>& metrics);
+
+/// One parsed Prometheus sample (round-trip verification + tooling).
+struct PrometheusSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+/// Parses Prometheus text exposition; returns false on any malformed line.
+/// Comment (#) and blank lines are skipped.
+bool ParsePrometheusText(const std::string& text, std::vector<PrometheusSample>* out);
+
+/// True iff `text` is one syntactically well-formed JSON value (objects,
+/// arrays, strings, numbers, true/false/null). A validator, not a DOM —
+/// enough to make exporter round-trip tests meaningful without a JSON
+/// dependency.
+bool JsonIsWellFormed(const std::string& text);
+
+}  // namespace jet::obs
+
+#endif  // JETSIM_OBS_EXPORTERS_H_

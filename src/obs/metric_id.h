@@ -1,0 +1,59 @@
+#ifndef JETSIM_OBS_METRIC_ID_H_
+#define JETSIM_OBS_METRIC_ID_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jet::obs {
+
+/// What a metric's value means to a consumer.
+enum class MetricKind : uint8_t {
+  kCounter,    ///< monotonically non-decreasing
+  kGauge,      ///< point-in-time level, may go down
+  kHistogram,  ///< value distribution (call durations, latencies)
+};
+
+/// The stable tag taxonomy of every instrument: which job / DAG vertex /
+/// tasklet instance / worker thread / cluster member it describes. -1 (or
+/// an empty tasklet name) means "not applicable" — e.g. cluster-wide
+/// gauges carry only `member`, job-level gauges only `job`.
+///
+/// This mirrors the label set of the paper's Management Center: drill-down
+/// goes job -> vertex -> parallel instance (tasklet) -> hosting thread.
+struct MetricTags {
+  int64_t job = -1;
+  int64_t vertex = -1;
+  std::string tasklet;  ///< tasklet instance name, e.g. "tumble#3"
+  int32_t worker = -1;  ///< worker-thread index within the member
+  int32_t member = -1;  ///< physical cluster member id
+
+  bool operator==(const MetricTags& o) const {
+    return job == o.job && vertex == o.vertex && tasklet == o.tasklet &&
+           worker == o.worker && member == o.member;
+  }
+
+  /// Returns these tags with every unset field filled from `defaults`
+  /// (registries carry {job, member} defaults so call sites only supply
+  /// what they know locally).
+  MetricTags MergedWith(const MetricTags& defaults) const {
+    MetricTags t = *this;
+    if (t.job < 0) t.job = defaults.job;
+    if (t.vertex < 0) t.vertex = defaults.vertex;
+    if (t.tasklet.empty()) t.tasklet = defaults.tasklet;
+    if (t.worker < 0) t.worker = defaults.worker;
+    if (t.member < 0) t.member = defaults.member;
+    return t;
+  }
+};
+
+/// A metric's identity: dotted name ("tasklet.call_nanos") plus tags.
+struct MetricId {
+  std::string name;
+  MetricTags tags;
+
+  bool operator==(const MetricId& o) const { return name == o.name && tags == o.tags; }
+};
+
+}  // namespace jet::obs
+
+#endif  // JETSIM_OBS_METRIC_ID_H_

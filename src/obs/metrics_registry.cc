@@ -1,0 +1,104 @@
+#include "obs/metrics_registry.h"
+
+namespace jet::obs {
+
+MetricsRegistry::MetricsRegistry(MetricTags default_tags)
+    : default_tags_(std::move(default_tags)) {}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
+                                              const MetricTags& tags) {
+  for (auto& e : entries_) {
+    if (e.id.name == name && e.id.tags == tags) return &e;
+  }
+  return nullptr;
+}
+
+Counter MetricsRegistry::GetCounter(const std::string& name, const MetricTags& tags) {
+  MetricTags merged = tags.MergedWith(default_tags_);
+  std::scoped_lock lock(mutex_);
+  Counter c;
+  if (Entry* e = Find(name, merged); e != nullptr && e->cell != nullptr) {
+    c.cell_ = e->cell;
+    return c;
+  }
+  Entry e;
+  e.id = MetricId{name, merged};
+  e.kind = MetricKind::kCounter;
+  e.cell = c.cell_;
+  entries_.push_back(std::move(e));
+  return c;
+}
+
+Gauge MetricsRegistry::GetGauge(const std::string& name, const MetricTags& tags) {
+  MetricTags merged = tags.MergedWith(default_tags_);
+  std::scoped_lock lock(mutex_);
+  Gauge g;
+  if (Entry* e = Find(name, merged); e != nullptr && e->cell != nullptr) {
+    g.cell_ = e->cell;
+    return g;
+  }
+  Entry e;
+  e.id = MetricId{name, merged};
+  e.kind = MetricKind::kGauge;
+  e.cell = g.cell_;
+  entries_.push_back(std::move(e));
+  return g;
+}
+
+HistogramHandle MetricsRegistry::GetHistogram(const std::string& name,
+                                              const MetricTags& tags,
+                                              int64_t max_value) {
+  MetricTags merged = tags.MergedWith(default_tags_);
+  std::scoped_lock lock(mutex_);
+  if (Entry* e = Find(name, merged); e != nullptr && e->hist != nullptr) {
+    HistogramHandle h;
+    h.hist_ = e->hist;
+    return h;
+  }
+  HistogramHandle h(max_value);
+  Entry e;
+  e.id = MetricId{name, merged};
+  e.kind = MetricKind::kHistogram;
+  e.hist = h.hist_;
+  entries_.push_back(std::move(e));
+  return h;
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name, const MetricTags& tags,
+                                       std::function<int64_t()> fn, MetricKind kind) {
+  MetricTags merged = tags.MergedWith(default_tags_);
+  std::scoped_lock lock(mutex_);
+  if (Find(name, merged) != nullptr) return;  // idempotent
+  Entry e;
+  e.id = MetricId{name, merged};
+  e.kind = kind;
+  e.callback = std::move(fn);
+  entries_.push_back(std::move(e));
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSnapshot s;
+    s.id = e.id;
+    s.kind = e.kind;
+    if (e.hist != nullptr) {
+      s.histogram = std::make_shared<const Histogram>(e.hist->Snapshot());
+    } else if (e.callback) {
+      s.value = e.callback();
+    } else if (e.cell != nullptr) {
+      s.value = e.cell->value.load(std::memory_order_relaxed);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+size_t MetricsRegistry::size() const {
+  std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace jet::obs

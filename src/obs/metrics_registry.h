@@ -1,0 +1,159 @@
+#ifndef JETSIM_OBS_METRICS_REGISTRY_H_
+#define JETSIM_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/atomic_histogram.h"
+#include "obs/metric_id.h"
+
+namespace jet::obs {
+
+namespace detail {
+/// Shared storage of one scalar instrument. The owning writer thread
+/// updates it with plain load+store relaxed (no RMW on the hot path);
+/// pollers load it race-free from any thread. Handles share the cell via
+/// shared_ptr so instruments stay valid even if the registry dies first.
+struct ValueCell {
+  std::atomic<int64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic counter handle. Single writer: only the owning thread calls
+/// Add(); any thread may read Value(). Default-constructed handles carry a
+/// private unregistered cell, so instrument owners work unchanged without
+/// a registry.
+class Counter {
+ public:
+  Counter() : cell_(std::make_shared<detail::ValueCell>()) {}
+
+  void Add(int64_t delta = 1) {
+    cell_->value.store(cell_->value.load(std::memory_order_relaxed) + delta,
+                       std::memory_order_relaxed);
+  }
+
+  int64_t Value() const { return cell_->value.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::shared_ptr<detail::ValueCell> cell_;
+};
+
+/// Point-in-time level handle; same single-writer discipline as Counter
+/// but the value may move in both directions.
+class Gauge {
+ public:
+  Gauge() : cell_(std::make_shared<detail::ValueCell>()) {}
+
+  void Set(int64_t value) { cell_->value.store(value, std::memory_order_relaxed); }
+
+  void Add(int64_t delta) {
+    cell_->value.store(cell_->value.load(std::memory_order_relaxed) + delta,
+                       std::memory_order_relaxed);
+  }
+
+  int64_t Value() const { return cell_->value.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::shared_ptr<detail::ValueCell> cell_;
+};
+
+/// Distribution handle backed by an AtomicHistogram (single writer,
+/// concurrent snapshots).
+class HistogramHandle {
+ public:
+  /// Default bound: 10 s in nanoseconds — ample for call durations while
+  /// keeping the bucket array small.
+  static constexpr int64_t kDefaultMaxValue = 10LL * 1'000'000'000;
+
+  explicit HistogramHandle(int64_t max_value = kDefaultMaxValue)
+      : hist_(std::make_shared<AtomicHistogram>(max_value)) {}
+
+  void Record(int64_t value) { hist_->Record(value); }
+
+  Histogram Snapshot() const { return hist_->Snapshot(); }
+
+ private:
+  friend class MetricsRegistry;
+  std::shared_ptr<AtomicHistogram> hist_;
+};
+
+/// One metric's state captured by MetricsRegistry::Snapshot().
+struct MetricSnapshot {
+  MetricId id;
+  MetricKind kind = MetricKind::kGauge;
+  int64_t value = 0;  ///< counter / gauge reading
+  /// Set iff kind == kHistogram.
+  std::shared_ptr<const Histogram> histogram;
+};
+
+/// Registry of instruments with the {job, vertex, tasklet, worker, member}
+/// tag taxonomy.
+///
+/// Threading model: registration (GetCounter/GetGauge/GetHistogram/
+/// RegisterCallback) takes a mutex — it happens at plan-build or Init time,
+/// off the hot path. Recording into the returned handles is allocation-free
+/// and lock-free under the single-writer rule. Snapshot() may run
+/// concurrently with recording from any thread.
+///
+/// Requesting an instrument with a (name, tags) pair that already exists
+/// returns a handle to the same cell, so re-registration is idempotent.
+class MetricsRegistry {
+ public:
+  /// `default_tags` (typically {job, member}) are merged into every
+  /// instrument's tags at registration.
+  explicit MetricsRegistry(MetricTags default_tags = {});
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter GetCounter(const std::string& name, const MetricTags& tags = {});
+  Gauge GetGauge(const std::string& name, const MetricTags& tags = {});
+  HistogramHandle GetHistogram(const std::string& name, const MetricTags& tags = {},
+                               int64_t max_value = HistogramHandle::kDefaultMaxValue);
+
+  /// Registers a gauge whose value is computed at snapshot time. `fn` MUST
+  /// be safe to call from any thread (e.g. SpscQueue::SizeApprox, a
+  /// mutex-guarded size) and must not retain raw pointers that can dangle
+  /// before the registry dies — capture shared_ptrs.
+  void RegisterCallback(const std::string& name, const MetricTags& tags,
+                        std::function<int64_t()> fn,
+                        MetricKind kind = MetricKind::kGauge);
+
+  /// Reads every instrument. Counter/gauge reads are relaxed loads of
+  /// single-writer atomics, so per-metric values are monotonic across
+  /// successive snapshots (for counters) and never torn. Insertion order
+  /// is preserved.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  const MetricTags& default_tags() const { return default_tags_; }
+
+  /// Number of registered instruments (tests).
+  size_t size() const;
+
+ private:
+  struct Entry {
+    MetricId id;
+    MetricKind kind = MetricKind::kGauge;
+    std::shared_ptr<detail::ValueCell> cell;        // counter / gauge
+    std::shared_ptr<AtomicHistogram> hist;          // histogram
+    std::function<int64_t()> callback;              // callback gauge
+  };
+
+  Entry* Find(const std::string& name, const MetricTags& tags);
+
+  MetricTags default_tags_;
+  mutable std::mutex mutex_;
+  // deque-like stability is not required (Snapshot copies), vector is fine.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace jet::obs
+
+#endif  // JETSIM_OBS_METRICS_REGISTRY_H_

@@ -129,6 +129,85 @@ TEST(HistogramTest, PercentileCurveIsMonotonic) {
   }
 }
 
+TEST(HistogramTest, QuantileZeroAndOneAreExactMinMax) {
+  Histogram h;
+  h.Record(1234);
+  h.Record(999'999);
+  h.Record(31);
+  // q<=0 and q>=1 bypass bucket interpolation and return the exact
+  // extremes, not bucket upper edges.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 31);
+  EXPECT_EQ(h.ValueAtQuantile(-0.5), 31);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 999'999);
+  EXPECT_EQ(h.ValueAtQuantile(2.0), 999'999);
+}
+
+TEST(HistogramTest, SingleValueAllQuantiles) {
+  Histogram h;
+  h.Record(5'000);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.9999, 1.0}) {
+    int64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, 5'000) << "q=" << q;
+    EXPECT_LE(v, 5'000 + 5'000 / 64 + 1) << "q=" << q;
+  }
+  // Exact at the endpoints.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 5'000);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 5'000);
+}
+
+TEST(HistogramTest, TopBucketClampKeepsQuantilesBounded) {
+  Histogram h(/*max_value=*/1000);
+  for (int i = 0; i < 100; ++i) h.Record(1'000'000 + i);  // all clamp
+  EXPECT_EQ(h.count(), 100);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_LE(h.ValueAtQuantile(q), 1000) << "q=" << q;
+  }
+  EXPECT_EQ(h.max(), 1000);
+}
+
+TEST(HistogramTest, MergeRejectsDifferentMaxValue) {
+  Histogram a(/*max_value=*/1 << 20);
+  Histogram b(/*max_value=*/1 << 30);
+  a.Record(100);
+  b.Record(200);
+  // Different max_value => different bucket layouts; merging must refuse
+  // rather than misattribute counts.
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_EQ(a.count(), 1);  // untouched
+  EXPECT_EQ(a.max(), 100);
+
+  Histogram c(/*max_value=*/1 << 20);
+  c.Record(300);
+  EXPECT_TRUE(a.Merge(c));
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.max(), 300);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram a, b;
+  a.Record(42);
+  EXPECT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(b.count(), 0);
+}
+
+TEST(HistogramTest, BucketLayoutHelpersAreConsistent) {
+  const int64_t max_value = int64_t{1} << 42;
+  const int n = Histogram::BucketCountFor(max_value);
+  EXPECT_GT(n, 0);
+  // Every bucket's upper edge maps back into that bucket, and edges are
+  // strictly increasing — the contract obs::AtomicHistogram relies on.
+  int64_t prev_edge = -1;
+  for (int i = 0; i < n; ++i) {
+    int64_t edge = Histogram::BucketUpperEdgeOf(i);
+    EXPECT_GT(edge, prev_edge) << "bucket " << i;
+    if (edge <= max_value) {
+      EXPECT_EQ(Histogram::BucketIndexOf(edge, max_value), i) << "bucket " << i;
+    }
+    prev_edge = edge;
+  }
+}
+
 // Property sweep: histogram quantiles track exact quantiles within the
 // bucket resolution for several distributions.
 class HistogramAccuracyTest : public ::testing::TestWithParam<int> {};

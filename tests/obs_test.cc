@@ -1,0 +1,489 @@
+// Tests of the jet::obs observability subsystem: metrics registry
+// single-writer/concurrent-reader discipline, the event-loop profiler,
+// exporter round-trips, the IMDG metrics collector, and the cluster-wide
+// diagnostics dump.
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/jet_cluster.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/job.h"
+#include "core/metrics.h"
+#include "core/processors_basic.h"
+#include "imdg/grid.h"
+#include "obs/atomic_histogram.h"
+#include "obs/collector_tasklet.h"
+#include "obs/event_loop_profiler.h"
+#include "obs/exporters.h"
+#include "obs/metrics_registry.h"
+
+namespace jet::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry: single-writer instruments, concurrent polling
+// ---------------------------------------------------------------------------
+
+// The tsan payload: several writer threads hammer their own instruments
+// while a reader polls snapshots. Per-counter values must be monotonic
+// across snapshots and land on the exact totals.
+TEST(MetricsRegistryTest, ConcurrentWritersMonotonicSnapshots) {
+  constexpr int kWriters = 4;
+  constexpr int64_t kIncrements = 200'000;
+  MetricsRegistry registry;
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<HistogramHandle> hists;
+  for (int w = 0; w < kWriters; ++w) {
+    MetricTags tags;
+    tags.worker = w;
+    counters.push_back(registry.GetCounter("test.ops", tags));
+    gauges.push_back(registry.GetGauge("test.level", tags));
+    hists.push_back(registry.GetHistogram("test.latency", tags, /*max_value=*/1 << 20));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&]() {
+    std::vector<int64_t> last(kWriters, 0);
+    while (!stop.load(std::memory_order_acquire)) {
+      auto snap = registry.Snapshot();
+      for (const auto& m : snap) {
+        if (m.id.name != "test.ops") continue;
+        auto w = static_cast<size_t>(m.id.tags.worker);
+        EXPECT_GE(m.value, last[w]) << "counter went backwards";
+        last[w] = m.value;
+        if (m.histogram != nullptr) {
+          // Histogram snapshots must be internally consistent too.
+          EXPECT_GE(m.histogram->count(), 0);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w]() {
+      for (int64_t i = 0; i < kIncrements; ++i) {
+        counters[static_cast<size_t>(w)].Add(1);
+        gauges[static_cast<size_t>(w)].Set(i);
+        if ((i & 1023) == 0) hists[static_cast<size_t>(w)].Record(i & 0xFFFF);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  poller.join();
+
+  auto snap = registry.Snapshot();
+  int64_t total = 0;
+  for (const auto& m : snap) {
+    if (m.id.name == "test.ops") total += m.value;
+  }
+  EXPECT_EQ(total, kWriters * kIncrements);
+}
+
+TEST(MetricsRegistryTest, HandlesAreIdempotentPerNameAndTags) {
+  MetricsRegistry registry;
+  MetricTags tags;
+  tags.tasklet = "t";
+  Counter a = registry.GetCounter("x", tags);
+  Counter b = registry.GetCounter("x", tags);
+  a.Add(3);
+  b.Add(4);
+  EXPECT_EQ(a.Value(), 7);  // same cell
+  EXPECT_EQ(registry.size(), 1u);
+
+  MetricTags other;
+  other.tasklet = "u";
+  registry.GetCounter("x", other);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, DefaultTagsAreMergedIn) {
+  MetricTags defaults;
+  defaults.job = 9;
+  defaults.member = 2;
+  MetricsRegistry registry(defaults);
+  MetricTags tags;
+  tags.tasklet = "t";
+  registry.GetCounter("x", tags);
+  auto snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].id.tags.job, 9);
+  EXPECT_EQ(snap[0].id.tags.member, 2);
+  EXPECT_EQ(snap[0].id.tags.tasklet, "t");
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeEvaluatedAtSnapshotTime) {
+  MetricsRegistry registry;
+  auto level = std::make_shared<std::atomic<int64_t>>(0);
+  registry.RegisterCallback("cb.level", {}, [level]() { return level->load(); });
+  level->store(42);
+  auto snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].value, 42);
+  level->store(43);
+  EXPECT_EQ(registry.Snapshot()[0].value, 43);
+}
+
+// ---------------------------------------------------------------------------
+// AtomicHistogram
+// ---------------------------------------------------------------------------
+
+TEST(AtomicHistogramTest, MatchesPlainHistogram) {
+  AtomicHistogram ah(/*max_value=*/1 << 20);
+  Histogram h(/*max_value=*/1 << 20);
+  for (int64_t v : {0LL, 1LL, 63LL, 64LL, 1000LL, 65'536LL, 999'999LL, 5'000'000LL}) {
+    ah.Record(v);
+    h.Record(v);
+  }
+  Histogram snap = ah.Snapshot();
+  EXPECT_EQ(snap.count(), h.count());
+  EXPECT_EQ(snap.max(), h.max());
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(snap.ValueAtQuantile(q), h.ValueAtQuantile(q)) << "q=" << q;
+  }
+}
+
+TEST(AtomicHistogramTest, SnapshotWhileRecording) {
+  AtomicHistogram ah(/*max_value=*/1 << 16);
+  std::atomic<bool> stop{false};
+  std::thread writer([&]() {
+    int64_t v = 0;
+    while (!stop.load(std::memory_order_acquire)) ah.Record(v++ & 0xFFF);
+  });
+  // Wait for the writer to actually start producing, then check that
+  // concurrent snapshots are monotonic.
+  while (ah.Snapshot().count() == 0) std::this_thread::yield();
+  int64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    Histogram snap = ah.Snapshot();
+    EXPECT_GE(snap.count(), last_count);  // monotonic
+    last_count = snap.count();
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_GT(ah.Snapshot().count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+std::vector<MetricSnapshot> SampleSnapshots() {
+  MetricTags defaults;
+  defaults.job = 7;
+  defaults.member = 1;
+  auto registry = std::make_shared<MetricsRegistry>(defaults);
+  MetricTags tags;
+  tags.tasklet = "map#0";
+  tags.vertex = 2;
+  registry->GetCounter("tasklet.items_processed", tags).Add(123);
+  registry->GetGauge("tasklet.inbox_depth", tags).Set(-5);
+  auto h = registry->GetHistogram("tasklet.call_nanos", tags);
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1000);
+  return registry->Snapshot();
+}
+
+TEST(ExportersTest, PrometheusRoundTrip) {
+  auto snap = SampleSnapshots();
+  std::string text = RenderPrometheusText(snap);
+
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(ParsePrometheusText(text, &samples)) << text;
+  ASSERT_FALSE(samples.empty());
+
+  // The counter sample survives the round trip with its tags and value.
+  bool found_counter = false;
+  bool found_quantile = false;
+  bool found_count = false;
+  for (const auto& s : samples) {
+    if (s.name == "jet_tasklet_items_processed") {
+      found_counter = true;
+      EXPECT_EQ(s.value, 123.0);
+      EXPECT_EQ(s.labels.at("tasklet"), "map#0");
+      EXPECT_EQ(s.labels.at("job"), "7");
+      EXPECT_EQ(s.labels.at("member"), "1");
+      EXPECT_EQ(s.labels.at("vertex"), "2");
+    }
+    if (s.name == "jet_tasklet_call_nanos" && s.labels.count("quantile") > 0) {
+      found_quantile = true;
+      EXPECT_GT(s.value, 0.0);
+    }
+    if (s.name == "jet_tasklet_call_nanos_count") {
+      found_count = true;
+      EXPECT_EQ(s.value, 1000.0);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+  EXPECT_TRUE(found_quantile);
+  EXPECT_TRUE(found_count);
+}
+
+TEST(ExportersTest, JsonDumpIsWellFormedAndComplete) {
+  auto snap = SampleSnapshots();
+  std::string json = RenderJson(snap);
+  EXPECT_TRUE(JsonIsWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"tasklet.items_processed\""), std::string::npos);
+  EXPECT_NE(json.find("\"tasklet.call_nanos\""), std::string::npos);
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(json.find("-5"), std::string::npos);  // negative gauge survives
+}
+
+TEST(ExportersTest, JsonCheckerRejectsMalformed) {
+  EXPECT_TRUE(JsonIsWellFormed("{}"));
+  EXPECT_TRUE(JsonIsWellFormed("[1, 2.5, -3e4, \"a\\\"b\", true, null]"));
+  EXPECT_TRUE(JsonIsWellFormed("{\"a\":{\"b\":[{}]}}"));
+  EXPECT_FALSE(JsonIsWellFormed(""));
+  EXPECT_FALSE(JsonIsWellFormed("{"));
+  EXPECT_FALSE(JsonIsWellFormed("{\"a\":}"));
+  EXPECT_FALSE(JsonIsWellFormed("[1,]"));
+  EXPECT_FALSE(JsonIsWellFormed("{} extra"));
+  EXPECT_FALSE(JsonIsWellFormed("\"unterminated"));
+}
+
+TEST(ExportersTest, PrometheusParserRejectsMalformed) {
+  std::vector<PrometheusSample> out;
+  EXPECT_FALSE(ParsePrometheusText("jet_x{tasklet=\"a\" 1\n", &out));
+  EXPECT_FALSE(ParsePrometheusText("jet_x{} \n", &out));
+  EXPECT_TRUE(ParsePrometheusText("# a comment\n\njet_x 1\n", &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].name, "jet_x");
+}
+
+// ---------------------------------------------------------------------------
+// JobMetricsFromSnapshot
+// ---------------------------------------------------------------------------
+
+TEST(JobMetricsFromSnapshotTest, GroupsByTaskletTag) {
+  MetricsRegistry registry;
+  MetricTags a;
+  a.tasklet = "src#0";
+  MetricTags b;
+  b.tasklet = "sink#0";
+  registry.GetCounter("tasklet.items_processed", a).Add(10);
+  registry.GetCounter("tasklet.calls", a).Add(100);
+  registry.GetCounter("tasklet.idle_calls", a).Add(40);
+  registry.GetGauge("tasklet.done", a).Set(1);
+  registry.GetCounter("tasklet.items_processed", b).Add(10);
+  // Profiler metrics use a different tag set ({tasklet, worker}) but must
+  // fold into the same row.
+  MetricTags aw = a;
+  aw.worker = 3;
+  registry.GetCounter("tasklet.overbudget_calls", aw).Add(2);
+  auto h = registry.GetHistogram("tasklet.call_nanos", aw);
+  h.Record(1000);
+  h.Record(2000);
+  // Non-tasklet metrics are ignored.
+  registry.GetCounter("exchange.items_sent", a).Add(999);
+
+  core::JobMetrics m = core::JobMetricsFromSnapshot(registry.Snapshot());
+  ASSERT_EQ(m.tasklets.size(), 2u);
+  EXPECT_EQ(m.tasklets[0].name, "src#0");
+  EXPECT_EQ(m.tasklets[0].items_processed, 10);
+  EXPECT_EQ(m.tasklets[0].calls, 100);
+  EXPECT_EQ(m.tasklets[0].idle_calls, 40);
+  EXPECT_TRUE(m.tasklets[0].done);
+  EXPECT_EQ(m.tasklets[0].overbudget_calls, 2);
+  EXPECT_GT(m.tasklets[0].p50_call_nanos, 0);
+  EXPECT_GT(m.tasklets[0].max_call_nanos, 0);
+  EXPECT_NEAR(m.tasklets[0].BusyFraction(), 0.6, 1e-9);
+  EXPECT_EQ(m.tasklets[1].name, "sink#0");
+  EXPECT_EQ(m.TotalItemsProcessed(), 20);
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop profiler (through a real single-node job)
+// ---------------------------------------------------------------------------
+
+// A cooperative processor that deliberately violates the §3.2 budget: every
+// Complete() call burns ~4x the 1ms cooperative time slice before yielding.
+class NonCooperativeBurnP final : public core::Processor {
+ public:
+  explicit NonCooperativeBurnP(int calls) : remaining_(calls) {}
+
+  bool Complete() override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    return --remaining_ <= 0;
+  }
+
+ private:
+  int remaining_;
+};
+
+TEST(EventLoopProfilerTest, MisbehavingTaskletShowsElevatedTail) {
+  core::Dag dag;
+  dag.AddVertex(
+      "burner",
+      [](const core::ProcessorMeta&) { return std::make_unique<NonCooperativeBurnP>(20); },
+      1);
+
+  core::JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 1;
+  params.job_id = 5;
+  auto job = core::Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  core::JobMetrics m = (*job)->Metrics();
+  ASSERT_EQ(m.tasklets.size(), 1u);
+  const core::TaskletMetrics& t = m.tasklets[0];
+  EXPECT_EQ(t.name, "burner#0");
+  // Every burning call exceeded the 1ms budget, so the tail and the
+  // overbudget counter both expose the misbehaving tasklet.
+  EXPECT_GT(t.overbudget_calls, 0);
+  EXPECT_GT(t.p9999_call_nanos, kNanosPerMilli);
+  EXPECT_GT(t.max_call_nanos, kNanosPerMilli);
+  EXPECT_GE(t.p9999_call_nanos, t.p50_call_nanos);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsCollectorTasklet (through a real single-node job)
+// ---------------------------------------------------------------------------
+
+TEST(CollectorTest, JobPublishesMetricsIntoGrid) {
+  imdg::DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+
+  constexpr int64_t kCount = 10'000;
+  core::Dag dag;
+  core::VertexId source = dag.AddVertex(
+      "source",
+      [](const core::ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+        core::GeneratorSourceP<int64_t>::Options opt;
+        opt.events_per_second = 1e9;
+        opt.duration = kCount;
+        opt.watermark_interval = 1000;
+        return std::make_unique<core::GeneratorSourceP<int64_t>>(
+            [](int64_t seq) {
+              return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq)));
+            },
+            opt);
+      },
+      1);
+  auto counter = std::make_shared<std::atomic<int64_t>>(0);
+  core::VertexId sink = dag.AddVertex(
+      "sink",
+      [counter](const core::ProcessorMeta&) {
+        return std::make_unique<core::CountSinkP<int64_t>>(counter);
+      },
+      1);
+  dag.AddEdge(source, sink);
+
+  core::JobParams params;
+  params.dag = &dag;
+  params.cooperative_threads = 2;
+  params.job_id = 11;
+  params.metrics_grid = &grid;
+  params.metrics_publish_interval = 10 * kNanosPerMilli;
+  auto job = core::Job::Create(params);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->Start().ok());
+  ASSERT_TRUE((*job)->Join().ok());
+
+  const std::string key = "job-11/member-0";
+  auto stored = grid.Get("__jet.metrics", Bytes(key.begin(), key.end()));
+  ASSERT_TRUE(stored.ok());
+  ASSERT_TRUE(stored->has_value());
+  std::string json((*stored)->begin(), (*stored)->end());
+  EXPECT_TRUE(JsonIsWellFormed(json)) << json;
+  // The final publication covers the job's tasklets and their counters.
+  EXPECT_NE(json.find("\"tasklet.calls\""), std::string::npos);
+  EXPECT_NE(json.find("source#0"), std::string::npos);
+  EXPECT_NE(json.find("sink#0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JetCluster::DiagnosticsDump (cluster integration)
+// ---------------------------------------------------------------------------
+
+TEST(DiagnosticsDumpTest, CoversEveryTaskletInBothFormats) {
+  cluster::ClusterConfig config;
+  config.initial_nodes = 2;
+  config.threads_per_node = 1;
+  cluster::JetCluster jet(config);
+
+  constexpr int64_t kCount = 20'000;
+  core::Dag dag;
+  core::VertexId source = dag.AddVertex(
+      "gen",
+      [](const core::ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+        core::GeneratorSourceP<int64_t>::Options opt;
+        opt.events_per_second = 1e9;
+        opt.duration = kCount;
+        opt.watermark_interval = 1000;
+        return std::make_unique<core::GeneratorSourceP<int64_t>>(
+            [](int64_t seq) {
+              return std::make_pair(seq, HashU64(static_cast<uint64_t>(seq)));
+            },
+            opt);
+      },
+      1);
+  auto counter = std::make_shared<std::atomic<int64_t>>(0);
+  core::VertexId sink = dag.AddVertex(
+      "count",
+      [counter](const core::ProcessorMeta&) {
+        return std::make_unique<core::CountSinkP<int64_t>>(counter);
+      },
+      1);
+  core::Edge& e = dag.AddEdge(source, sink);
+  e.routing = core::RoutingPolicy::kPartitioned;
+  e.distributed = true;
+
+  auto job = jet.SubmitJob(&dag, core::JobConfig{}, 3);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  ASSERT_TRUE((*job)->Join().ok());
+
+  cluster::JetCluster::Diagnostics dump = jet.DiagnosticsDump();
+
+  // JSON side: well-formed and mentions every tasklet of the job.
+  EXPECT_TRUE(JsonIsWellFormed(dump.json));
+  core::JobMetrics m = (*job)->Metrics();
+  ASSERT_GT(m.tasklets.size(), 4u);  // 2 nodes x (gen, count) + exchange
+  for (const auto& t : m.tasklets) {
+    EXPECT_NE(dump.json.find("\"" + t.name + "\""), std::string::npos)
+        << "tasklet " << t.name << " missing from JSON dump";
+  }
+  // Cluster-level sections are present.
+  EXPECT_NE(dump.json.find("cluster.alive_members"), std::string::npos);
+  EXPECT_NE(dump.json.find("imdg.partition_count"), std::string::npos);
+  EXPECT_NE(dump.json.find("net.messages_sent"), std::string::npos);
+
+  // Prometheus side: parses, and every tasklet appears as a label value.
+  std::vector<PrometheusSample> samples;
+  ASSERT_TRUE(ParsePrometheusText(dump.prometheus, &samples));
+  std::set<std::string> seen;
+  for (const auto& s : samples) {
+    auto it = s.labels.find("tasklet");
+    if (it != s.labels.end()) seen.insert(it->second);
+  }
+  for (const auto& t : m.tasklets) {
+    EXPECT_TRUE(seen.count(t.name) > 0)
+        << "tasklet " << t.name << " missing from Prometheus dump";
+  }
+
+  // Exchange instruments from the distributed edge made it in.
+  EXPECT_NE(dump.json.find("exchange.items_sent"), std::string::npos);
+  EXPECT_NE(dump.json.find("exchange.receive_window"), std::string::npos);
+
+  // The per-member collectors published into the grid as well.
+  for (int32_t member : jet.AliveNodes()) {
+    const std::string key = "job-3/member-" + std::to_string(member);
+    auto stored = jet.grid().Get("__jet.metrics", Bytes(key.begin(), key.end()));
+    ASSERT_TRUE(stored.ok());
+    EXPECT_TRUE(stored->has_value()) << key;
+  }
+}
+
+}  // namespace
+}  // namespace jet::obs

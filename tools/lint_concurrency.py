@@ -38,6 +38,8 @@ RELAXED_WRITE_WHITELIST = {
     "src/core/tasklet.h": "single-writer metrics counters, readers tolerate staleness",
     "src/core/processors_basic.h": "statistics counter, no payload published",
     "src/core/processors_window.h": "late-event counter, no payload published",
+    "src/obs/metrics_registry.h": "single-writer instrument cells, pollers tolerate staleness",
+    "src/obs/atomic_histogram.h": "single-writer bucket counters, pollers tolerate staleness",
 }
 
 VOLATILE_RE = re.compile(r"\bvolatile\b")

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Render a jet::obs metrics dump as a per-tasklet table.
+
+Reads a diagnostics document from a file or stdin — either the JSON
+produced by ``JetCluster::DiagnosticsDump()`` / ``Job::DiagnosticsJson()``
+or the Prometheus text exposition — and prints one row per tasklet
+instance: items processed, busy fraction, call-time p50/p99.99, queue
+depths, and over-budget call counts. This is the command-line stand-in
+for the Management Center's per-vertex view (paper §2).
+
+Usage:
+    obs_demo | tools/metrics_dump.py
+    tools/metrics_dump.py dump.json
+    tools/metrics_dump.py --prometheus dump.prom
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import re
+import sys
+from collections import defaultdict
+
+# ---------------------------------------------------------------------------
+# Input parsing
+# ---------------------------------------------------------------------------
+
+_PROM_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_PROM_LABEL = re.compile(r'(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>(?:\\.|[^"\\])*)"')
+
+
+def _dotted(prom_name):
+    """Undoes the exporter's sanitization enough for table matching:
+    "jet_tasklet_call_nanos" -> "tasklet.call_nanos"."""
+    name = re.sub(r"^jet_", "", prom_name)
+    return re.sub(r"^(tasklet|exchange|job|imdg|net|cluster)_", r"\1.", name)
+
+
+def parse_prometheus(text):
+    """Returns a list of metric dicts shaped like the JSON exporter's."""
+    samples = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _PROM_LINE.match(line)
+        if not m:
+            continue
+        labels = {
+            lm.group("k"): lm.group("v").replace('\\"', '"').replace("\\\\", "\\")
+            for lm in _PROM_LABEL.finditer(m.group("labels") or "")
+        }
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            continue
+        samples.append((m.group("name"), labels, value))
+
+    # Histograms render as a summary family: `x{quantile=...}` plus x_sum,
+    # x_count, x_min, x_max. Fold those series back into one metric — but
+    # only for bases that actually emitted quantile samples, so plain
+    # counters whose names happen to end in "_count" (imdg_partition_count)
+    # are left alone.
+    histogram_bases = {name for name, labels, _ in samples if "quantile" in labels}
+    metrics = {}
+
+    def entry(name, tags):
+        key = (name, tuple(sorted(tags.items())))
+        if key not in metrics:
+            metrics[key] = {"name": _dotted(name), "tags": tags, "kind": "gauge"}
+        return metrics[key]
+
+    for name, labels, value in samples:
+        quantile = labels.pop("quantile", None)
+        if quantile is not None:
+            e = entry(name, labels)
+            e["kind"] = "histogram"
+            e.setdefault("quantiles", {})[quantile] = value
+            continue
+        base, suffix = name, None
+        for s in ("_sum", "_count", "_min", "_max"):
+            if name.endswith(s) and name[: -len(s)] in histogram_bases:
+                base, suffix = name[: -len(s)], s[1:]
+                break
+        e = entry(base, labels)
+        if suffix is not None:
+            e["kind"] = "histogram"
+            e[suffix] = value
+        else:
+            e["value"] = value
+    return list(metrics.values())
+
+
+def load_metrics(text):
+    text = text.strip()
+    if not text:
+        raise SystemExit("metrics_dump.py: empty input")
+    if text[0] in "{[":
+        doc = json.loads(text)
+        return doc["metrics"] if isinstance(doc, dict) else doc
+    return parse_prometheus(text)
+
+
+# ---------------------------------------------------------------------------
+# Table building
+# ---------------------------------------------------------------------------
+
+def quantile(metric, q):
+    qs = metric.get("quantiles") or {}
+    for key, value in qs.items():
+        if abs(float(key) - q) < 1e-12:
+            return value
+    return None
+
+
+def fmt_nanos(n):
+    if n is None:
+        return "-"
+    n = float(n)
+    if n >= 1e9:
+        return f"{n / 1e9:.2f}s"
+    if n >= 1e6:
+        return f"{n / 1e6:.2f}ms"
+    if n >= 1e3:
+        return f"{n / 1e3:.1f}us"
+    return f"{n:.0f}ns"
+
+
+def build_rows(metrics):
+    """Groups tasklet.* metrics by (member, tasklet) into table rows."""
+    rows = defaultdict(dict)
+    for m in metrics:
+        name = m.get("name", "")
+        if not name.startswith("tasklet."):
+            continue
+        tags = m.get("tags") or {}
+        tasklet = tags.get("tasklet")
+        if not tasklet:
+            continue
+        member = tags.get("member", "-")
+        row = rows[(str(member), tasklet)]
+        field = name[len("tasklet."):]
+        if field == "call_nanos":
+            # Profiler series are per {tasklet, worker}: merge conservatively
+            # (max of quantiles, sum of counts).
+            row["p50"] = max(row.get("p50") or 0, quantile(m, 0.5) or 0) or None
+            row["p9999"] = max(row.get("p9999") or 0, quantile(m, 0.9999) or 0) or None
+            row["max_call"] = max(row.get("max_call") or 0, m.get("max") or 0) or None
+        else:
+            row[field] = row.get(field, 0) + (m.get("value") or 0)
+    return rows
+
+
+def busy_fraction(row):
+    calls = row.get("calls", 0)
+    if not calls:
+        return None
+    return (calls - row.get("idle_calls", 0)) / calls
+
+
+def render_table(rows):
+    header = [
+        "member", "tasklet", "items", "busy%", "p50 call", "p99.99 call",
+        "max call", "overbudget", "inbox", "in-queue", "outbox", "done",
+    ]
+    table = [header]
+    for (member, tasklet) in sorted(rows):
+        row = rows[(member, tasklet)]
+        busy = busy_fraction(row)
+        table.append([
+            member,
+            tasklet,
+            str(int(row.get("items_processed", 0))),
+            "-" if busy is None else f"{100 * busy:.1f}",
+            fmt_nanos(row.get("p50")),
+            fmt_nanos(row.get("p9999")),
+            fmt_nanos(row.get("max_call")),
+            str(int(row.get("overbudget_calls", 0))),
+            str(int(row.get("inbox_depth", 0))),
+            str(int(row.get("input_queue_depth", 0))),
+            str(int(row.get("outbox_depth", 0))),
+            "yes" if row.get("done") else "no",
+        ])
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = []
+    for i, r in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(r)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_cluster_summary(metrics):
+    interesting = (
+        "cluster.alive_members", "imdg.partition_count", "imdg.puts", "imdg.gets",
+        "imdg.replicated_bytes", "imdg.migrated_entries", "net.messages_sent",
+        "net.messages_delivered", "net.messages_dropped",
+        "job.snapshots_taken", "job.last_committed_snapshot",
+    )
+    out = []
+    for m in metrics:
+        if m.get("name") in interesting and "value" in m:
+            tags = m.get("tags") or {}
+            scope = f" (job {tags['job']})" if "job" in tags else ""
+            out.append(f"  {m['name']}{scope} = {int(m['value'])}")
+    return "\n".join(sorted(set(out)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", help="dump file (default: stdin)")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="force Prometheus text parsing (default: sniff)")
+    args = parser.parse_args()
+
+    if args.path:
+        with open(args.path, "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    metrics = parse_prometheus(text) if args.prometheus else load_metrics(text)
+    rows = build_rows(metrics)
+    if not rows:
+        raise SystemExit("metrics_dump.py: no tasklet.* metrics in input")
+
+    print(render_table(rows))
+    summary = render_cluster_summary(metrics)
+    if summary:
+        print("\ncluster:")
+        print(summary)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        sys.exit(0)
