@@ -57,8 +57,31 @@ class HeartbeatFailureDetector {
   HeartbeatFailureDetector(const HeartbeatFailureDetector&) = delete;
   HeartbeatFailureDetector& operator=(const HeartbeatFailureDetector&) = delete;
 
-  /// Registers a member and starts its heartbeat pump thread.
+  /// Registers a member and starts its heartbeat pump thread. Re-registering
+  /// a member whose pump was stopped or that was declared failed resets its
+  /// per-member state — the member rejoined, and a later silence must fire
+  /// `on_failure` again. Re-registering a live, healthy member is a no-op.
   void AddMember(int32_t member) {
+    std::shared_ptr<MemberState> stale;
+    {
+      std::scoped_lock lock(mutex_);
+      auto it = members_.find(member);
+      if (it != members_.end()) {
+        bool failed =
+            std::find(failed_.begin(), failed_.end(), member) != failed_.end();
+        bool stopped = it->second->stop.load(std::memory_order_acquire);
+        if (!failed && !stopped) return;
+        stale = it->second;
+        members_.erase(it);
+        failed_.erase(std::remove(failed_.begin(), failed_.end(), member),
+                      failed_.end());
+        suspected_.erase(member);
+      }
+    }
+    if (stale != nullptr) {
+      stale->stop.store(true, std::memory_order_release);
+      if (stale->pump.joinable()) stale->pump.join();
+    }
     std::scoped_lock lock(mutex_);
     if (members_.count(member) != 0) return;
     auto state = std::make_shared<MemberState>();

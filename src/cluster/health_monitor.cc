@@ -1,0 +1,216 @@
+#include "cluster/health_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace jet::cluster {
+
+std::string HealthReport::ToString() const {
+  std::string s = "down=[";
+  for (size_t i = 0; i < down.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(down[i]);
+  }
+  s += "] suspected=[";
+  for (size_t i = 0; i < suspected.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(suspected[i]);
+  }
+  s += "] broken=[";
+  for (size_t i = 0; i < broken_links.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(broken_links[i].first) + "-" +
+         std::to_string(broken_links[i].second);
+  }
+  return s + "]";
+}
+
+ClusterHealthMonitor::ClusterHealthMonitor(
+    net::Network* network, Options options,
+    std::function<void(const HealthReport&)> on_change)
+    : network_(network), options_(options), on_change_(std::move(on_change)) {}
+
+ClusterHealthMonitor::~ClusterHealthMonitor() { Stop(); }
+
+void ClusterHealthMonitor::AddMember(int32_t member) {
+  std::shared_ptr<MemberState> stale;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = members_.find(member);
+    if (it != members_.end()) {
+      if (!it->second->stop.load(std::memory_order_acquire)) return;
+      stale = it->second;  // rejoin after StopHeartbeats: replace the pump
+      members_.erase(it);
+    }
+  }
+  if (stale != nullptr && stale->pump.joinable()) stale->pump.join();
+
+  std::shared_ptr<MemberState> state;
+  {
+    std::scoped_lock lock(mutex_);
+    if (members_.count(member) != 0) return;
+    // Fresh link state in both directions with every existing member, so a
+    // (re)joining member does not start out down or broken.
+    Nanos now = clock_.Now();
+    for (const auto& [peer, unused] : members_) {
+      for (auto key : {std::make_pair(member, peer), std::make_pair(peer, member)}) {
+        Link& link = links_[key];
+        if (link.last_rx == nullptr) {
+          link.channel = network_->OpenChannel(key.first, key.second);
+          link.last_rx = std::make_shared<std::atomic<Nanos>>(now);
+        } else {
+          link.last_rx->store(now, std::memory_order_release);
+        }
+      }
+    }
+    state = std::make_shared<MemberState>();
+    members_[member] = state;
+  }
+  state->pump = std::thread([this, member, state]() { PumpLoop(member, state); });
+}
+
+void ClusterHealthMonitor::StopHeartbeats(int32_t member) {
+  std::shared_ptr<MemberState> state;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = members_.find(member);
+    if (it == members_.end()) return;
+    state = it->second;
+  }
+  state->stop.store(true, std::memory_order_release);
+  if (state->pump.joinable()) state->pump.join();
+}
+
+void ClusterHealthMonitor::Start() {
+  if (running_.exchange(true)) return;
+  monitor_ = std::thread([this]() { MonitorLoop(); });
+}
+
+void ClusterHealthMonitor::Stop() {
+  running_.store(false, std::memory_order_release);
+  if (monitor_.joinable()) monitor_.join();
+  std::vector<std::shared_ptr<MemberState>> states;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& [id, state] : members_) states.push_back(state);
+  }
+  for (auto& state : states) {
+    state->stop.store(true, std::memory_order_release);
+    if (state->pump.joinable()) state->pump.join();
+  }
+}
+
+void ClusterHealthMonitor::PumpLoop(int32_t member,
+                                    std::shared_ptr<MemberState> state) {
+  while (!state->stop.load(std::memory_order_acquire)) {
+    // Snapshot the outbound links each round so heartbeats reach members
+    // that joined after this pump started.
+    std::vector<Link> out;
+    {
+      std::scoped_lock lock(mutex_);
+      for (const auto& [key, link] : links_) {
+        if (key.first == member) out.push_back(link);
+      }
+    }
+    for (const Link& link : out) {
+      auto cell = link.last_rx;
+      WallClock* clock = &clock_;
+      network_->Send(link.channel, [cell, clock]() {
+        cell->store(clock->Now(), std::memory_order_release);
+      });
+    }
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.heartbeat_interval));
+  }
+}
+
+HealthReport ClusterHealthMonitor::Evaluate(Nanos now) const {
+  HealthReport r;
+  std::vector<int32_t> ids;
+  for (const auto& [id, state] : members_) ids.push_back(id);
+  auto age = [this, now](int32_t from, int32_t to) -> Nanos {
+    auto it = links_.find({from, to});
+    if (it == links_.end()) return 0;
+    return now - it->second.last_rx->load(std::memory_order_acquire);
+  };
+  std::set<int32_t> down;
+  for (int32_t m : ids) {
+    bool has_peer = false;
+    bool any_fresh = false;
+    for (int32_t o : ids) {
+      if (o == m) continue;
+      has_peer = true;
+      if (age(m, o) <= options_.suspicion_timeout) {
+        any_fresh = true;
+        break;
+      }
+    }
+    if (has_peer && !any_fresh) down.insert(m);
+  }
+  r.down.assign(down.begin(), down.end());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      int32_t a = ids[i], b = ids[j];
+      if (down.count(a) != 0 || down.count(b) != 0) continue;
+      if (age(a, b) > options_.suspicion_timeout ||
+          age(b, a) > options_.suspicion_timeout) {
+        r.broken_links.emplace_back(a, b);
+      }
+    }
+  }
+  for (int32_t m : ids) {
+    if (down.count(m) != 0) continue;
+    for (int32_t o : ids) {
+      if (o == m) continue;
+      Nanos a = age(m, o);
+      if (a > options_.suspect_after && a <= options_.suspicion_timeout) {
+        r.suspected.push_back(m);
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+void ClusterHealthMonitor::MonitorLoop() {
+  HealthReport last;
+  while (running_.load(std::memory_order_acquire)) {
+    HealthReport report;
+    {
+      std::scoped_lock lock(mutex_);
+      report = Evaluate(clock_.Now());
+      std::set<int32_t> now_suspected(report.suspected.begin(),
+                                      report.suspected.end());
+      std::set<int32_t> now_down(report.down.begin(), report.down.end());
+      for (int32_t m : last_suspected_) {
+        if (now_suspected.count(m) == 0 && now_down.count(m) == 0) {
+          ++refutations_;  // fresh heartbeat withdrew the suspicion
+        }
+      }
+      last_suspected_ = std::move(now_suspected);
+    }
+    if (report != last) {
+      last = report;
+      if (on_change_) on_change_(report);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.heartbeat_interval / 2));
+  }
+}
+
+HealthReport ClusterHealthMonitor::Snapshot() const {
+  std::scoped_lock lock(mutex_);
+  return Evaluate(clock_.Now());
+}
+
+std::vector<int32_t> ClusterHealthMonitor::SuspectedMembers() const {
+  std::scoped_lock lock(mutex_);
+  return std::vector<int32_t>(last_suspected_.begin(), last_suspected_.end());
+}
+
+int64_t ClusterHealthMonitor::refutation_count() const {
+  std::scoped_lock lock(mutex_);
+  return refutations_;
+}
+
+}  // namespace jet::cluster

@@ -1,0 +1,134 @@
+#ifndef JETSIM_CLUSTER_HEALTH_MONITOR_H_
+#define JETSIM_CLUSTER_HEALTH_MONITOR_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/network.h"
+
+namespace jet::cluster {
+
+/// Point-in-time cluster health as seen from heartbeat freshness.
+struct HealthReport {
+  /// Members whose heartbeats are stale to *every* peer: either the process
+  /// died or the member is cut off from the whole cluster.
+  std::vector<int32_t> down;
+  /// Members with a heartbeat stale to some peer (past suspect_after) but
+  /// not yet past the suspicion timeout anywhere. A fresh heartbeat refutes
+  /// the suspicion.
+  std::vector<int32_t> suspected;
+  /// Unordered pairs (a < b) of non-down members that cannot hear each
+  /// other (heartbeats past the suspicion timeout in either direction):
+  /// the signature of a link partition rather than a process death.
+  std::vector<std::pair<int32_t, int32_t>> broken_links;
+
+  bool operator==(const HealthReport& other) const {
+    return down == other.down && suspected == other.suspected &&
+           broken_links == other.broken_links;
+  }
+  bool operator!=(const HealthReport& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+};
+
+/// Full-mesh heartbeat health monitor: every registered member runs a pump
+/// thread that periodically heartbeats every *other* member over a channel
+/// tagged (member -> observer), so testkit link faults starve exactly the
+/// observations that a real partition would. A monitor thread folds the
+/// per-link freshness matrix into a HealthReport and invokes `on_change`
+/// (from the monitor thread) whenever the report changes.
+///
+/// This is the detection layer of the self-healing control plane: unlike
+/// HeartbeatFailureDetector (single observer, fires once per member), the
+/// mesh view distinguishes "process down" (stale to all peers) from "link
+/// down" (stale to some), which is what quorum decisions need. A member
+/// whose heartbeats return — e.g. after a partition heals — simply leaves
+/// the `down` set; nothing is latched.
+class ClusterHealthMonitor {
+ public:
+  struct Options {
+    Nanos heartbeat_interval = 15 * kNanosPerMilli;
+    /// Heartbeat age after which a link observation is *suspect*.
+    Nanos suspect_after = 45 * kNanosPerMilli;
+    /// Heartbeat age after which a link observation is *dead*.
+    Nanos suspicion_timeout = 120 * kNanosPerMilli;
+  };
+
+  /// `on_change(report)` runs on the monitor thread whenever the folded
+  /// report changes; it must not destroy the monitor. May be null.
+  ClusterHealthMonitor(net::Network* network, Options options,
+                       std::function<void(const HealthReport&)> on_change);
+  ~ClusterHealthMonitor();
+
+  ClusterHealthMonitor(const ClusterHealthMonitor&) = delete;
+  ClusterHealthMonitor& operator=(const ClusterHealthMonitor&) = delete;
+
+  /// Registers a member and starts its heartbeat pump. Re-registering a
+  /// member whose pump was stopped restarts it with fresh link state (a
+  /// rejoin); re-registering a live member is a no-op. Every (member,
+  /// peer) link in both directions starts out fresh.
+  void AddMember(int32_t member);
+
+  /// Simulates the member's process dying: its outbound heartbeats cease
+  /// and every peer's observation of it goes stale. The member stays
+  /// registered — a dead process never refutes, so it stays `down`.
+  void StopHeartbeats(int32_t member);
+
+  /// Starts the monitor thread.
+  void Start();
+
+  /// Stops the monitor thread and every pump.
+  void Stop();
+
+  /// Latest folded report (recomputed on demand).
+  HealthReport Snapshot() const;
+
+  /// Members currently suspected somewhere in the mesh.
+  std::vector<int32_t> SuspectedMembers() const;
+
+  /// Times a suspicion was withdrawn because a fresh heartbeat arrived.
+  int64_t refutation_count() const;
+
+ private:
+  struct MemberState {
+    std::atomic<bool> stop{false};
+    std::thread pump;
+  };
+  struct Link {
+    net::ChannelId channel = 0;
+    // Written by the network delivery thread, read by the monitor.
+    std::shared_ptr<std::atomic<Nanos>> last_rx;
+  };
+
+  void PumpLoop(int32_t member, std::shared_ptr<MemberState> state);
+  void MonitorLoop();
+  // Folds the freshness matrix into a report. Requires mutex_.
+  HealthReport Evaluate(Nanos now) const;
+
+  net::Network* network_;
+  Options options_;
+  std::function<void(const HealthReport&)> on_change_;
+  WallClock clock_;
+
+  mutable std::mutex mutex_;
+  std::map<int32_t, std::shared_ptr<MemberState>> members_;
+  std::map<std::pair<int32_t, int32_t>, Link> links_;  // (from, to)
+  std::set<int32_t> last_suspected_;
+  int64_t refutations_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::thread monitor_;
+};
+
+}  // namespace jet::cluster
+
+#endif  // JETSIM_CLUSTER_HEALTH_MONITOR_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <iterator>
+#include <map>
 
 #include "common/logging.h"
 
@@ -23,9 +25,35 @@ JetCluster::JetCluster(ClusterConfig config)
     JET_CHECK(added.ok()) << added.status().ToString();
     alive_nodes_.push_back(id);
   }
+  if (config_.supervisor.enabled) {
+    ClusterHealthMonitor::Options mopts;
+    mopts.heartbeat_interval = config_.supervisor.heartbeat_interval;
+    mopts.suspect_after = config_.supervisor.suspect_after;
+    mopts.suspicion_timeout = config_.supervisor.suspicion_timeout;
+    monitor_ = std::make_unique<ClusterHealthMonitor>(
+        &network_, mopts, [this](const HealthReport& report) {
+          std::scoped_lock lock(control_mutex_);
+          ControlEvent e;
+          e.report = report;
+          events_.push_back(std::move(e));
+          control_cv_.notify_all();
+        });
+    for (int32_t id : alive_nodes_) monitor_->AddMember(id);
+    monitor_->Start();
+    control_ = std::thread([this]() { ControlLoop(); });
+  }
 }
 
 JetCluster::~JetCluster() {
+  if (control_.joinable()) {
+    {
+      std::scoped_lock lock(control_mutex_);
+      control_stop_ = true;
+      control_cv_.notify_all();
+    }
+    control_.join();
+  }
+  if (monitor_ != nullptr) monitor_->Stop();
   std::vector<ClusterJob*> jobs;
   {
     std::scoped_lock lock(mutex_);
@@ -41,6 +69,11 @@ JetCluster::~JetCluster() {
 Result<ClusterJob*> JetCluster::SubmitJob(const core::Dag* dag, core::JobConfig config,
                                           imdg::JobId job_id) {
   JET_RETURN_IF_ERROR(dag->Validate());
+  // Supervised jobs get the snapshot watchdog by default: an unbounded ack
+  // wait would otherwise hang the coordinator when a participant dies.
+  if (config_.supervisor.enabled && config.snapshot_ack_timeout == 0) {
+    config.snapshot_ack_timeout = config_.supervisor.snapshot_ack_timeout;
+  }
   std::scoped_lock lock(mutex_);
   if (alive_nodes_.empty()) return UnavailableError("no alive nodes");
   auto job =
@@ -68,6 +101,7 @@ Status JetCluster::KillNode(int32_t node_id) {
       job->attempt_->services[static_cast<size_t>(idx - nodes.begin())]->Cancel();
     }
   }
+  if (monitor_ != nullptr) monitor_->StopHeartbeats(node_id);
   // The failure detector needs time to declare the member dead before the
   // cluster reacts (heartbeat timeout).
   if (config_.failure_detection_delay > 0) {
@@ -81,6 +115,32 @@ Status JetCluster::KillNode(int32_t node_id) {
     Status s = job->RestartOnMembershipChange();
     if (!s.ok()) return s;
   }
+  return Status::OK();
+}
+
+Status JetCluster::CrashNode(int32_t node_id) {
+  if (!config_.supervisor.enabled) {
+    return FailedPreconditionError(
+        "CrashNode requires ClusterConfig::supervisor.enabled");
+  }
+  std::scoped_lock lock(mutex_);
+  if (std::find(alive_nodes_.begin(), alive_nodes_.end(), node_id) ==
+      alive_nodes_.end()) {
+    return NotFoundError("node not alive");
+  }
+  // Halt the member's workers and silence its heartbeats — and that is
+  // all. Eviction, backup promotion and job restarts are the control
+  // plane's problem, driven by heartbeat staleness like a real death.
+  for (auto& job : jobs_) {
+    std::scoped_lock job_lock(job->job_mutex_);
+    if (job->attempt_ == nullptr) continue;
+    auto& nodes = job->attempt_->nodes;
+    auto idx = std::find(nodes.begin(), nodes.end(), node_id);
+    if (idx != nodes.end()) {
+      job->attempt_->services[static_cast<size_t>(idx - nodes.begin())]->Cancel();
+    }
+  }
+  monitor_->StopHeartbeats(node_id);
   return Status::OK();
 }
 
@@ -124,8 +184,21 @@ Result<int32_t> JetCluster::AddNode() {
   auto migrated = grid_.AddMember(id);
   if (!migrated.ok()) return migrated.status();
   alive_nodes_.push_back(id);
-  for (auto& job : jobs_) {
-    JET_RETURN_IF_ERROR(job->RestartOnMembershipChange());
+  if (monitor_ != nullptr) monitor_->AddMember(id);
+  if (config_.supervisor.enabled) {
+    // Under supervision the scale-out restart routes through the control
+    // plane as a free (uncharged) restart, launched once the membership is
+    // healthy. The control thread's tick picks it up.
+    Nanos now = clock_.Now();
+    for (auto& job : jobs_) {
+      JobSupervisor* sup = job->supervisor();
+      if (sup == nullptr) continue;
+      if (job->StopForRecovery()) sup->ScheduleFreeRestart(now);
+    }
+  } else {
+    for (auto& job : jobs_) {
+      JET_RETURN_IF_ERROR(job->RestartOnMembershipChange());
+    }
   }
   return id;
 }
@@ -149,6 +222,18 @@ JetCluster::Diagnostics JetCluster::DiagnosticsDump() const {
     alive.kind = obs::MetricKind::kGauge;
     alive.value = static_cast<int64_t>(alive_nodes_.size());
     all.push_back(std::move(alive));
+    if (monitor_ != nullptr) {
+      obs::MetricSnapshot suspected;
+      suspected.id.name = "cluster.suspected_members";
+      suspected.kind = obs::MetricKind::kGauge;
+      suspected.value = static_cast<int64_t>(monitor_->SuspectedMembers().size());
+      all.push_back(std::move(suspected));
+      obs::MetricSnapshot quorum;
+      quorum.id.name = "cluster.has_quorum";
+      quorum.kind = obs::MetricKind::kGauge;
+      quorum.value = QuorumSubsetLocked(last_report_).has_value() ? 1 : 0;
+      all.push_back(std::move(quorum));
+    }
   }
 
   auto add = [&all](const char* name, obs::MetricKind kind, int64_t value) {
@@ -165,6 +250,7 @@ JetCluster::Diagnostics JetCluster::DiagnosticsDump() const {
   add("imdg.removes", obs::MetricKind::kCounter, gs.removes);
   add("imdg.replicated_bytes", obs::MetricKind::kCounter, gs.replicated_bytes);
   add("imdg.migrated_entries", obs::MetricKind::kCounter, gs.migrated_entries);
+  add("imdg.snapshots_aborted", obs::MetricKind::kCounter, store_.aborted_count());
   add("net.messages_sent", obs::MetricKind::kCounter, network_.sent_count());
   add("net.messages_delivered", obs::MetricKind::kCounter, network_.delivered_count());
   add("net.messages_dropped", obs::MetricKind::kCounter, network_.dropped_count());
@@ -176,12 +262,295 @@ JetCluster::Diagnostics JetCluster::DiagnosticsDump() const {
 }
 
 // ---------------------------------------------------------------------------
+// Self-healing control plane (supervisor mode)
+// ---------------------------------------------------------------------------
+
+void JetCluster::NotifySnapshotTimeout(ClusterJob* job, const void* attempt) {
+  if (!config_.supervisor.enabled) return;
+  std::scoped_lock lock(control_mutex_);
+  ControlEvent e;
+  e.type = ControlEvent::Type::kSnapshotTimeout;
+  e.job = job;
+  e.attempt = attempt;
+  events_.push_back(std::move(e));
+  control_cv_.notify_all();
+}
+
+void JetCluster::ControlLoop() {
+  while (true) {
+    std::vector<ControlEvent> batch;
+    {
+      std::unique_lock lock(control_mutex_);
+      control_cv_.wait_for(lock, std::chrono::milliseconds(2), [this]() {
+        return control_stop_ || !events_.empty();
+      });
+      if (control_stop_) return;
+      batch.assign(std::make_move_iterator(events_.begin()),
+                   std::make_move_iterator(events_.end()));
+      events_.clear();
+    }
+    std::scoped_lock lock(mutex_);
+    for (const ControlEvent& e : batch) {
+      if (e.type == ControlEvent::Type::kHealth) {
+        last_report_ = e.report;
+        HandleHealthReport(e.report);
+      } else {
+        HandleSnapshotTimeout(e.job, e.attempt);
+      }
+    }
+    ReconcileJobs(clock_.Now());
+  }
+}
+
+void JetCluster::HandleHealthReport(const HealthReport& report) {
+  Nanos now = clock_.Now();
+
+  // Re-admit evicted members whose heartbeats are clean again (partition
+  // healed). This runs BEFORE the quorum check: readmission must be able
+  // to restore quorum, or the cluster deadlocks — e.g. a 3-node cluster
+  // that evicts one member over a broken link and then loses a second
+  // member would be a permanent minority, with the healthy evicted member
+  // locked out forever. Clean means clean in the full-mesh report (not
+  // down, not suspected, no broken link), which every member observes, so
+  // this cannot readmit into a minority side of a split.
+  std::vector<int32_t> readmit;
+  {
+    std::set<int32_t> down(report.down.begin(), report.down.end());
+    std::set<int32_t> suspected(report.suspected.begin(), report.suspected.end());
+    for (int32_t m : evicted_) {
+      if (down.count(m) != 0 || suspected.count(m) != 0) continue;
+      bool broken = false;
+      for (const auto& [a, b] : report.broken_links) {
+        if (a == m || b == m) {
+          broken = true;
+          break;
+        }
+      }
+      if (!broken) readmit.push_back(m);
+    }
+  }
+  bool readmitted = false;
+  for (int32_t m : readmit) {
+    auto migrated = grid_.AddMember(m);
+    if (!migrated.ok()) {
+      JET_LOG(kError) << "re-admitting member " << m << ": "
+                      << migrated.status().ToString();
+      continue;
+    }
+    alive_nodes_.push_back(m);
+    evicted_.erase(m);
+    readmitted = true;
+  }
+
+  auto subset = QuorumSubsetLocked(report);
+  // JETSIM_DEBUG_CONTROL=1 traces every membership decision on stderr —
+  // the first thing to reach for when a chaos seed leaves a job parked.
+  if (std::getenv("JETSIM_DEBUG_CONTROL") != nullptr) {
+    std::string s = "[ctl] report=" + report.ToString() + " alive=";
+    for (int32_t m : alive_nodes_) s += std::to_string(m) + ",";
+    s += " quorum=";
+    if (subset.has_value()) {
+      for (int32_t m : *subset) s += std::to_string(m) + ",";
+    } else {
+      s += "NONE";
+    }
+    fprintf(stderr, "%s\n", s.c_str());
+  }
+  if (!subset.has_value()) {
+    // No quorum: park every job until the partition heals. No membership
+    // mutation — a minority must not promote backups or keep processing
+    // while the majority might be doing the same (split-brain protection).
+    for (auto& job : jobs_) {
+      JobSupervisor* sup = job->supervisor();
+      if (sup == nullptr) continue;
+      if (job->StopForRecovery() || sup->state() == JobState::kRestarting) {
+        sup->OnSuspend();
+      }
+    }
+    return;
+  }
+
+  // Evict members the quorum subset cannot reach (dead or cut off): promote
+  // backups of their partitions and charge affected jobs one restart.
+  std::set<int32_t> keep(subset->begin(), subset->end());
+  std::vector<int32_t> to_evict;
+  for (int32_t m : alive_nodes_) {
+    if (keep.count(m) == 0) to_evict.push_back(m);
+  }
+  for (int32_t m : to_evict) {
+    alive_nodes_.erase(std::find(alive_nodes_.begin(), alive_nodes_.end(), m));
+    evicted_.insert(m);
+    Status s = grid_.RemoveMember(m);
+    if (!s.ok()) JET_LOG(kError) << "evicting member " << m << ": " << s.ToString();
+  }
+  if (!to_evict.empty()) {
+    for (auto& job : jobs_) {
+      JobSupervisor* sup = job->supervisor();
+      if (sup == nullptr) continue;
+      if (!job->StopForRecovery()) continue;  // finished, cancelled, or parked
+      auto delay = sup->OnFailure(now);
+      if (!delay.has_value() && sup->state() == JobState::kFailed) {
+        job->FailTerminally(UnavailableError(
+            "retry budget exhausted recovering from member failure"));
+      }
+    }
+  }
+
+  // Resume parked jobs now that quorum holds; fold rejoins in as free
+  // restarts (no budget charge — nothing failed, the membership grew).
+  for (auto& job : jobs_) {
+    JobSupervisor* sup = job->supervisor();
+    if (sup == nullptr) continue;
+    JobState s = sup->state();
+    if (s == JobState::kSuspended) {
+      sup->ScheduleFreeRestart(now);
+      if (std::getenv("JETSIM_DEBUG_CONTROL") != nullptr)
+        fprintf(stderr, "[ctl] resume job -> %s\n", JobStateName(sup->state()));
+    } else if (readmitted && s == JobState::kRunning) {
+      if (job->StopForRecovery()) sup->ScheduleFreeRestart(now);
+    }
+  }
+}
+
+void JetCluster::HandleSnapshotTimeout(ClusterJob* job, const void* attempt) {
+  JobSupervisor* sup = job->supervisor();
+  if (sup == nullptr) return;
+  {
+    std::scoped_lock job_lock(job->job_mutex_);
+    if (job->attempt_.get() != attempt) return;  // stale: attempt replaced
+  }
+  if (!job->StopForRecovery()) return;
+  auto delay = sup->OnFailure(clock_.Now());
+  if (!delay.has_value() && sup->state() == JobState::kFailed) {
+    job->FailTerminally(UnavailableError(
+        "retry budget exhausted recovering from snapshot watchdog timeouts"));
+  }
+}
+
+void JetCluster::ReconcileJobs(Nanos now) {
+  for (auto& job : jobs_) {
+    JobSupervisor* sup = job->supervisor();
+    if (sup == nullptr) continue;
+    if (sup->state() == JobState::kRunning) {
+      std::scoped_lock job_lock(job->job_mutex_);
+      if (job->completed_naturally_.load(std::memory_order_acquire) ||
+          (job->attempt_ != nullptr && job->attempt_->AllComplete() &&
+           !job->attempt_->cancelled.load(std::memory_order_acquire))) {
+        sup->OnCompleted();
+      }
+      continue;
+    }
+    if (!sup->RestartDue(now)) continue;
+    // Launch only into a healthy membership: restarting while a member is
+    // down or a link is broken would burn the budget on a doomed attempt
+    // (and the health event that reported it will reshape the membership
+    // first anyway).
+    if (!AliveHealthyLocked()) continue;
+    Status st = job->RestartFromLastSnapshot();
+    if (std::getenv("JETSIM_DEBUG_CONTROL") != nullptr)
+      fprintf(stderr, "[ctl] restart launch: %s\n", st.ToString().c_str());
+    if (st.ok()) {
+      sup->OnRestartStarted(now);
+    } else {
+      JET_LOG(kError) << "supervised restart failed: " << st.ToString();
+      job->FailTerminally(st);
+    }
+  }
+}
+
+std::optional<std::vector<int32_t>> JetCluster::QuorumSubsetLocked(
+    const HealthReport& report) const {
+  const size_t total = alive_nodes_.size();
+  std::set<int32_t> up(alive_nodes_.begin(), alive_nodes_.end());
+  for (int32_t m : report.down) up.erase(m);
+  std::vector<std::pair<int32_t, int32_t>> broken;
+  for (const auto& [a, b] : report.broken_links) {
+    if (up.count(a) != 0 && up.count(b) != 0) broken.emplace_back(a, b);
+  }
+  auto linked = [&broken](int32_t a, int32_t b) {
+    for (const auto& [x, y] : broken) {
+      if ((x == a && y == b) || (x == b && y == a)) return false;
+    }
+    return true;
+  };
+  // Largest connected component over healthy links.
+  std::set<int32_t> unvisited = up;
+  std::vector<int32_t> best;
+  while (!unvisited.empty()) {
+    std::vector<int32_t> comp{*unvisited.begin()};
+    unvisited.erase(unvisited.begin());
+    for (size_t i = 0; i < comp.size(); ++i) {
+      for (auto it = unvisited.begin(); it != unvisited.end();) {
+        if (linked(comp[i], *it)) {
+          comp.push_back(*it);
+          it = unvisited.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (comp.size() > best.size()) best = comp;
+  }
+  // The component may still contain broken pairs (a and b both hear c but
+  // not each other); no barrier can cross such a pair, so greedily drop the
+  // endpoint with the most broken links (tie: higher id) until clean.
+  std::set<int32_t> comp_set(best.begin(), best.end());
+  while (true) {
+    std::map<int32_t, int32_t> degree;
+    for (const auto& [a, b] : broken) {
+      if (comp_set.count(a) != 0 && comp_set.count(b) != 0) {
+        ++degree[a];
+        ++degree[b];
+      }
+    }
+    if (degree.empty()) break;
+    int32_t victim = degree.begin()->first;
+    int32_t worst = 0;
+    for (const auto& [m, d] : degree) {
+      if (d > worst || (d == worst && m > victim)) {
+        victim = m;
+        worst = d;
+      }
+    }
+    comp_set.erase(victim);
+  }
+  if (comp_set.empty()) return std::nullopt;
+  if (config_.supervisor.require_quorum && comp_set.size() * 2 <= total) {
+    return std::nullopt;
+  }
+  return std::vector<int32_t>(comp_set.begin(), comp_set.end());
+}
+
+bool JetCluster::AliveHealthyLocked() const {
+  if (monitor_ == nullptr) return true;
+  std::set<int32_t> alive(alive_nodes_.begin(), alive_nodes_.end());
+  for (int32_t m : last_report_.down) {
+    if (alive.count(m) != 0) return false;
+  }
+  // A suspected member blocks restarts too: it is either about to be
+  // refuted (wait a beat) or about to be declared down (restarting onto it
+  // would resurrect a crashed member's workers for a doomed attempt).
+  for (int32_t m : last_report_.suspected) {
+    if (alive.count(m) != 0) return false;
+  }
+  for (const auto& [a, b] : last_report_.broken_links) {
+    if (alive.count(a) != 0 && alive.count(b) != 0) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // ClusterJob
 // ---------------------------------------------------------------------------
 
 ClusterJob::ClusterJob(JetCluster* cluster, const core::Dag* dag,
                        core::JobConfig config, imdg::JobId job_id)
-    : cluster_(cluster), dag_(dag), config_(config), job_id_(job_id) {}
+    : cluster_(cluster), dag_(dag), config_(config), job_id_(job_id) {
+  if (cluster_->config_.supervisor.enabled) {
+    supervisor_ = std::make_unique<JobSupervisor>(static_cast<int64_t>(job_id_),
+                                                  cluster_->config_.supervisor);
+  }
+}
 
 ClusterJob::~ClusterJob() {
   Cancel();
@@ -241,6 +610,7 @@ Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snap
   attempt->snapshots_gauge = attempt->registries[0]->GetGauge("job.snapshots_taken");
   attempt->committed_gauge =
       attempt->registries[0]->GetGauge("job.last_committed_snapshot");
+  attempt->aborted_counter = attempt->registries[0]->GetCounter("snapshot.aborted");
 
   // Channels are tagged with physical member ids so testkit link faults
   // (partitions, drops, delay spikes) apply to this execution's traffic.
@@ -268,8 +638,10 @@ Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snap
                                                      job_id_, restore_snapshot));
     }
     attempt->next_snapshot_id = restore_snapshot + 1;
-    cluster_->store_.ClearInFlight(job_id_, attempt->next_snapshot_id);
   }
+  // Uncommitted epochs of a previous attempt (or a watchdog-aborted one)
+  // are garbage now; sweep them before the new attempt starts writing.
+  cluster_->store_.ClearInFlight(job_id_);
 
   for (int32_t i = 0; i < node_count; ++i) {
     const auto ni = static_cast<size_t>(i);
@@ -356,17 +728,34 @@ Status ClusterJob::RestartOnMembershipChange() {
   return RestartFromLastSnapshot();
 }
 
+void ClusterJob::FailTerminally(Status error) {
+  if (failed_.load(std::memory_order_acquire)) return;
+  StopCurrentAttempt();
+  first_error_ = std::move(error);
+  failed_.store(true, std::memory_order_release);
+  if (supervisor_ != nullptr) supervisor_->OnFailed();
+}
+
 void ClusterJob::CoordinatorLoop(Attempt* attempt) {
   using std::chrono::nanoseconds;
   const Nanos interval = config_.snapshot_interval;
+  const Nanos ack_timeout = config_.snapshot_ack_timeout;
 
-  int64_t expected_acks = 0;
+  // Commit is gated on every *participant* having persisted the epoch,
+  // tracked per tasklet rather than with a shared ack counter: after a
+  // watchdog abort, stragglers still acking the abandoned epoch must not
+  // count toward the next one.
+  std::vector<const core::ProcessorTasklet*> participants;
   for (const auto& plan : attempt->plans) {
-    expected_acks += plan->snapshot_participant_count();
+    for (const auto& info : plan->tasklet_infos()) {
+      if (info.tasklet->ParticipatesInSnapshots()) {
+        participants.push_back(info.tasklet);
+      }
+    }
   }
   for (const auto& node_tasklets : attempt->net_tasklets) {
     for (const auto& t : node_tasklets) {
-      if (t->ParticipatesInSnapshots()) ++expected_acks;
+      if (t->ParticipatesInSnapshots()) participants.push_back(t.get());
     }
   }
 
@@ -385,14 +774,34 @@ void ClusterJob::CoordinatorLoop(Attempt* attempt) {
     int64_t id = attempt->next_snapshot_id++;
     attempt->snapshot_control.acks.store(0, std::memory_order_release);
     attempt->snapshot_control.requested.store(id, std::memory_order_release);
-    while (attempt->snapshot_control.acks.load(std::memory_order_acquire) <
-           expected_acks) {
+    auto all_completed = [&participants, id]() {
+      for (const core::ProcessorTasklet* t : participants) {
+        if (t->completed_snapshot_id() < id) return false;
+      }
+      return true;
+    };
+    const auto deadline = std::chrono::steady_clock::now() + nanoseconds(ack_timeout);
+    bool aborted = false;
+    while (!all_completed()) {
       if (attempt->coordinator_stop.load(std::memory_order_acquire) ||
           attempt->AllComplete()) {
         return;  // attempt winding down mid-snapshot: leave uncommitted
       }
+      if (ack_timeout > 0 && std::chrono::steady_clock::now() >= deadline) {
+        // Watchdog: a dead or cut-off participant will never persist this
+        // epoch. Abandon it, GC its partial state, and hand the incident
+        // to the control plane — the next epoch re-arms on schedule.
+        cluster_->store_.Abort(job_id_, id);
+        attempt->snapshot_control.aborted.store(id, std::memory_order_release);
+        snapshots_aborted_.fetch_add(1, std::memory_order_acq_rel);
+        attempt->aborted_counter.Add(1);
+        cluster_->NotifySnapshotTimeout(this, attempt);
+        aborted = true;
+        break;
+      }
       std::this_thread::sleep_for(nanoseconds(100 * kNanosPerMicro));
     }
+    if (aborted) continue;
     Status s = cluster_->store_.Commit(job_id_, id);
     if (!s.ok()) {
       JET_LOG(kError) << "snapshot commit failed: " << s.ToString();
@@ -414,9 +823,15 @@ std::vector<obs::MetricSnapshot> ClusterJob::MetricSnapshots() const {
     attempt = attempt_ != nullptr ? attempt_ : completed_attempt_;
   }
   std::vector<obs::MetricSnapshot> out;
-  if (attempt == nullptr) return out;
-  for (const auto& reg : attempt->registries) {
-    auto snap = reg->Snapshot();
+  if (attempt != nullptr) {
+    for (const auto& reg : attempt->registries) {
+      auto snap = reg->Snapshot();
+      out.insert(out.end(), std::make_move_iterator(snap.begin()),
+                 std::make_move_iterator(snap.end()));
+    }
+  }
+  if (supervisor_ != nullptr) {
+    auto snap = supervisor_->MetricSnapshots();
     out.insert(out.end(), std::make_move_iterator(snap.begin()),
                std::make_move_iterator(snap.end()));
   }
@@ -434,6 +849,7 @@ core::JobMetrics ClusterJob::Metrics() const {
 
 Status ClusterJob::Join() {
   while (true) {
+    if (failed_.load(std::memory_order_acquire)) return first_error_;
     std::shared_ptr<Attempt> current;
     {
       std::scoped_lock lock(job_mutex_);
@@ -449,6 +865,7 @@ Status ClusterJob::Join() {
       std::scoped_lock lock(job_mutex_);
       if (attempt_ == current &&
           !current->cancelled.load(std::memory_order_acquire)) {
+        completed_naturally_.store(true, std::memory_order_release);
         break;  // finished naturally
       }
       continue;  // superseded; wait for the new attempt

@@ -3,11 +3,16 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "cluster/health_monitor.h"
+#include "cluster/job_supervisor.h"
 #include "core/dag.h"
 #include "core/execution_plan.h"
 #include "core/execution_service.h"
@@ -38,6 +43,12 @@ struct ClusterConfig {
   /// heartbeat failure-detector timeout; Hazelcast's default is several
   /// seconds). Applied inside KillNode before backup promotion.
   Nanos failure_detection_delay = 0;
+  /// Self-healing control plane (§4.4's autonomous recovery): when
+  /// enabled, a mesh heartbeat monitor detects member death and link
+  /// partitions, and per-job supervisors restart jobs from the last
+  /// committed snapshot with backoff + retry budget — no test-driven
+  /// KillNode/RecoverAfterFault calls needed. See CrashNode.
+  SupervisorOptions supervisor;
 };
 
 class ClusterJob;
@@ -66,6 +77,13 @@ class JetCluster {
   /// restarts from its last committed snapshot on the surviving members
   /// (§4.4).
   Status KillNode(int32_t node_id);
+
+  /// Fail-stops a member *without* telling the cluster (supervisor mode
+  /// only): its worker threads halt and its heartbeats cease, but no
+  /// membership change happens here — the health monitor must detect the
+  /// death and the control plane must evict and recover on its own. This
+  /// is the unattended counterpart of KillNode.
+  Status CrashNode(int32_t node_id);
 
   /// Adds a member: the grid rebalances partitions onto it (§4.3) and
   /// running jobs restart, rescaled to include it.
@@ -104,19 +122,60 @@ class JetCluster {
   imdg::SnapshotStore& snapshot_store() { return store_; }
   net::Network& network() { return network_; }
   const ClusterConfig& config() const { return config_; }
+  /// Health monitor, or nullptr when the supervisor is disabled.
+  ClusterHealthMonitor* health_monitor() { return monitor_.get(); }
 
  private:
   friend class ClusterJob;
+
+  // An event for the control thread (supervisor mode).
+  struct ControlEvent {
+    enum class Type { kHealth, kSnapshotTimeout };
+    Type type = Type::kHealth;
+    HealthReport report;               // kHealth
+    ClusterJob* job = nullptr;         // kSnapshotTimeout
+    const void* attempt = nullptr;     // kSnapshotTimeout: attempt identity
+  };
+
+  // Coordinator threads report watchdog-aborted snapshots here; the control
+  // thread turns them into a failure-class restart. No-op when the
+  // supervisor is disabled.
+  void NotifySnapshotTimeout(ClusterJob* job, const void* attempt);
+
+  void ControlLoop();
+  // The handlers below require mutex_.
+  void HandleHealthReport(const HealthReport& report);
+  void HandleSnapshotTimeout(ClusterJob* job, const void* attempt);
+  void ReconcileJobs(Nanos now);
+  // Quorum rule: connected component of healthy links holding a strict
+  // majority of the current membership, with broken-link endpoints greedily
+  // dropped until the subset is clean. nullopt = no quorum.
+  std::optional<std::vector<int32_t>> QuorumSubsetLocked(
+      const HealthReport& report) const;
+  // True when the latest health report shows every alive member up and
+  // every alive-alive link healthy (the gate for launching a restart).
+  bool AliveHealthyLocked() const;
 
   ClusterConfig config_;
   imdg::DataGrid grid_;
   imdg::SnapshotStore store_;
   net::Network network_;
+  WallClock clock_;
 
   mutable std::mutex mutex_;
   std::vector<int32_t> alive_nodes_;
+  std::set<int32_t> evicted_;   // evicted by the control plane, may rejoin
+  HealthReport last_report_;    // latest report processed by the control loop
   int32_t next_node_id_ = 0;
   std::vector<std::unique_ptr<ClusterJob>> jobs_;
+
+  // Supervisor-mode control plane (null / not started when disabled).
+  std::unique_ptr<ClusterHealthMonitor> monitor_;
+  std::thread control_;
+  std::mutex control_mutex_;
+  std::condition_variable control_cv_;
+  std::deque<ControlEvent> events_;
+  bool control_stop_ = false;
 };
 
 /// A job running on a JetCluster. A job execution is a sequence of
@@ -151,8 +210,17 @@ class ClusterJob {
   core::JobMetrics Metrics() const;
 
   /// Concatenated registry snapshots of every member of the current (or
-  /// last completed) attempt. Safe from any thread.
+  /// last completed) attempt, plus the supervisor's job-lifecycle metrics
+  /// when supervised. Safe from any thread.
   std::vector<obs::MetricSnapshot> MetricSnapshots() const;
+
+  /// Supervisor state machine, or nullptr for unsupervised jobs.
+  JobSupervisor* supervisor() const { return supervisor_.get(); }
+
+  /// Snapshots abandoned by the coordinator's watchdog, across attempts.
+  int64_t snapshots_aborted() const {
+    return snapshots_aborted_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class JetCluster;
@@ -170,6 +238,7 @@ class ClusterJob {
     std::vector<std::unique_ptr<obs::MetricsCollectorTasklet>> collectors;
     obs::Gauge snapshots_gauge;  // written by the coordinator thread only
     obs::Gauge committed_gauge;
+    obs::Counter aborted_counter;  // snapshot.aborted, coordinator only
     std::unique_ptr<net::ExchangeRegistry> registry;
     std::vector<std::unique_ptr<net::NetworkEdgeFactory>> factories;
     std::vector<std::unique_ptr<core::ExecutionPlan>> plans;
@@ -206,6 +275,10 @@ class ClusterJob {
   // Reacts to a membership change. Caller holds cluster mutex.
   Status RestartOnMembershipChange();
 
+  // Terminal failure: stops the attempt, records the error, releases
+  // Join(). Caller holds cluster mutex.
+  void FailTerminally(Status error);
+
   void CoordinatorLoop(Attempt* attempt);
 
   JetCluster* cluster_;
@@ -222,6 +295,13 @@ class ClusterJob {
   std::atomic<int64_t> snapshots_taken_{0};
   std::atomic<int32_t> attempt_count_{0};
   std::atomic<bool> job_cancelled_{false};
+  std::atomic<bool> failed_{false};
+  // Latched by Join() when the attempt finishes naturally, because Join
+  // tears the attempt down right after — the control loop would otherwise
+  // race a ~1ms window to observe AllComplete on the live attempt.
+  std::atomic<bool> completed_naturally_{false};
+  std::atomic<int64_t> snapshots_aborted_{0};
+  std::unique_ptr<JobSupervisor> supervisor_;
   Status first_error_;
 };
 

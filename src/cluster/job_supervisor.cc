@@ -1,0 +1,135 @@
+#include "cluster/job_supervisor.h"
+
+#include <algorithm>
+
+namespace jet::cluster {
+
+namespace {
+
+obs::MetricTags TagsFor(int64_t job_id) {
+  obs::MetricTags tags;
+  tags.job = job_id;
+  return tags;
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kSuspended:
+      return "SUSPENDED";
+    case JobState::kRestarting:
+      return "RESTARTING";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCompleted:
+      return "COMPLETED";
+  }
+  return "?";
+}
+
+JobSupervisor::JobSupervisor(int64_t job_id, const SupervisorOptions& options)
+    : options_(options),
+      jitter_(options.jitter_seed ^ static_cast<uint64_t>(job_id)),
+      registry_(TagsFor(job_id)) {
+  budget_remaining_.store(options_.retry_budget, std::memory_order_release);
+  running_since_ = WallClock::Global().Now();
+  state_gauge_ = registry_.GetGauge("job.state");
+  restarts_counter_ = registry_.GetCounter("job.restarts");
+  backoff_gauge_ = registry_.GetGauge("job.backoff_nanos");
+  budget_gauge_ = registry_.GetGauge("job.retry_budget_remaining");
+  state_gauge_.Set(static_cast<int64_t>(JobState::kRunning));
+  budget_gauge_.Set(options_.retry_budget);
+}
+
+void JobSupervisor::SetState(JobState state) {
+  state_.store(state, std::memory_order_release);
+  state_gauge_.Set(static_cast<int64_t>(state));
+}
+
+std::optional<Nanos> JobSupervisor::OnFailure(Nanos now) {
+  JobState s = state();
+  if (s == JobState::kFailed || s == JobState::kCompleted) return std::nullopt;
+  if (restart_pending_) {
+    // Storm collapse: a second symptom of the same incident (e.g. the
+    // snapshot watchdog firing right after the member was declared down)
+    // folds into the already-scheduled restart.
+    return restart_due_ - now;
+  }
+  int32_t budget = budget_remaining_.load(std::memory_order_acquire);
+  if (budget <= 0) {
+    SetState(JobState::kFailed);
+    return std::nullopt;
+  }
+  budget_remaining_.store(budget - 1, std::memory_order_release);
+  budget_gauge_.Set(budget - 1);
+  // Flap damping: a long stable RUNNING stretch resets the exponent.
+  if (s == JobState::kRunning &&
+      now - running_since_ >= options_.stability_period) {
+    consecutive_failures_ = 0;
+  }
+  double base = static_cast<double>(options_.initial_backoff);
+  for (int32_t i = 0; i < consecutive_failures_; ++i) {
+    base *= options_.backoff_multiplier;
+    if (base >= static_cast<double>(options_.max_backoff)) break;
+  }
+  auto delay =
+      std::min<Nanos>(static_cast<Nanos>(base), options_.max_backoff);
+  if (options_.jitter_fraction > 0 && delay > 0) {
+    auto span = static_cast<uint64_t>(static_cast<double>(delay) *
+                                      options_.jitter_fraction);
+    if (span > 0) delay += static_cast<Nanos>(jitter_.NextBounded(span));
+  }
+  ++consecutive_failures_;
+  restart_pending_ = true;
+  restart_due_ = now + delay;
+  backoff_gauge_.Set(delay);
+  SetState(JobState::kRestarting);
+  return delay;
+}
+
+void JobSupervisor::OnSuspend() {
+  JobState s = state();
+  if (s == JobState::kFailed || s == JobState::kCompleted) return;
+  restart_pending_ = false;
+  SetState(JobState::kSuspended);
+}
+
+void JobSupervisor::ScheduleFreeRestart(Nanos now) {
+  JobState s = state();
+  if (s == JobState::kFailed || s == JobState::kCompleted) return;
+  if (restart_pending_ && restart_due_ <= now) return;  // already due
+  restart_pending_ = true;
+  restart_due_ = now;
+  backoff_gauge_.Set(0);
+  SetState(JobState::kRestarting);
+}
+
+void JobSupervisor::OnRestartStarted(Nanos now) {
+  restart_pending_ = false;
+  running_since_ = now;
+  restarts_.fetch_add(1, std::memory_order_acq_rel);
+  restarts_counter_.Add(1);
+  SetState(JobState::kRunning);
+}
+
+void JobSupervisor::OnFailed() {
+  restart_pending_ = false;
+  SetState(JobState::kFailed);
+}
+
+void JobSupervisor::OnCompleted() {
+  JobState s = state();
+  if (s == JobState::kFailed) return;
+  restart_pending_ = false;
+  SetState(JobState::kCompleted);
+}
+
+bool JobSupervisor::RestartDue(Nanos now) const {
+  return state() == JobState::kRestarting && restart_pending_ &&
+         now >= restart_due_;
+}
+
+}  // namespace jet::cluster

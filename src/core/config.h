@@ -35,6 +35,11 @@ struct JobConfig {
   /// time slice a tasklet spends in one call (§3.2: "executing for a very
   /// short period of time, typically under 1 millisecond").
   int32_t max_inbox_batch = 256;
+  /// Watchdog bound on the coordinator's wait for snapshot barrier acks.
+  /// When a participant dies mid-snapshot the acks never arrive; after this
+  /// long the in-flight epoch is aborted and garbage-collected instead of
+  /// stalling the snapshot thread forever. 0 = wait without bound.
+  Nanos snapshot_ack_timeout = 0;
 };
 
 }  // namespace jet::core

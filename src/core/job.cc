@@ -86,6 +86,7 @@ Result<std::unique_ptr<Job>> Job::Create(JobParams params) {
       std::make_unique<obs::EventLoopProfiler>(job->registry_.get(), job->params_.clock);
   job->snapshots_gauge_ = job->registry_->GetGauge("job.snapshots_taken");
   job->committed_gauge_ = job->registry_->GetGauge("job.last_committed_snapshot");
+  job->aborted_counter_ = job->registry_->GetCounter("snapshot.aborted");
 
   NodeInfo node;  // single-node
   auto plan = ExecutionPlan::Build(
@@ -101,7 +102,7 @@ Result<std::unique_ptr<Job>> Job::Create(JobParams params) {
   if (params.restore_snapshot_id.has_value()) {
     JET_RETURN_IF_ERROR(job->LoadRestoreEntries(*params.restore_snapshot_id));
     job->next_snapshot_id_ = *params.restore_snapshot_id + 1;
-    params.snapshot_store->ClearInFlight(params.job_id, job->next_snapshot_id_);
+    params.snapshot_store->ClearInFlight(params.job_id);
   }
   return job;
 }
@@ -138,8 +139,17 @@ Status Job::Start() {
 
 void Job::SnapshotCoordinatorLoop() {
   using std::chrono::nanoseconds;
+  using std::chrono::steady_clock;
   const Nanos interval = params_.config.snapshot_interval;
-  const int64_t expected_acks = plan_->snapshot_participant_count();
+  const Nanos ack_timeout = params_.config.snapshot_ack_timeout;
+  // Commit condition: every snapshot participant has completed the epoch.
+  // Polling per-tasklet completed ids (rather than a shared ack counter)
+  // keeps a straggler acking an aborted epoch from being miscounted toward
+  // the next one.
+  std::vector<const ProcessorTasklet*> participants;
+  for (const TaskletInfo& info : plan_->tasklet_infos()) {
+    if (info.tasklet->ParticipatesInSnapshots()) participants.push_back(info.tasklet);
+  }
   while (!coordinator_stop_.load(std::memory_order_acquire)) {
     // Sleep through the interval in small steps so cancellation is prompt.
     Nanos slept = 0;
@@ -151,16 +161,35 @@ void Job::SnapshotCoordinatorLoop() {
     if (coordinator_stop_.load(std::memory_order_acquire) || service_->IsComplete()) {
       break;
     }
-    // Trigger snapshot N and wait for every tasklet to ack its barrier.
+    // Trigger snapshot N and wait for every participant to complete it.
     int64_t id = next_snapshot_id_++;
     snapshot_control_.acks.store(0, std::memory_order_release);
     snapshot_control_.requested.store(id, std::memory_order_release);
-    while (snapshot_control_.acks.load(std::memory_order_acquire) < expected_acks) {
+    const auto deadline = steady_clock::now() + nanoseconds(ack_timeout);
+    bool aborted = false;
+    auto all_completed = [&participants, id]() {
+      for (const ProcessorTasklet* t : participants) {
+        if (t->completed_snapshot_id() < id) return false;
+      }
+      return true;
+    };
+    while (!all_completed()) {
       if (coordinator_stop_.load(std::memory_order_acquire) || service_->IsComplete()) {
         return;  // winding down mid-snapshot: leave it uncommitted
       }
+      if (ack_timeout > 0 && steady_clock::now() >= deadline) {
+        // Watchdog: a participant is stuck (or dead); drop the epoch and
+        // re-arm the next one instead of stalling this thread forever.
+        params_.snapshot_store->Abort(params_.job_id, id);
+        snapshot_control_.aborted.store(id, std::memory_order_release);
+        snapshots_aborted_.fetch_add(1, std::memory_order_acq_rel);
+        aborted_counter_.Add(1);
+        aborted = true;
+        break;
+      }
       std::this_thread::sleep_for(nanoseconds(100 * kNanosPerMicro));
     }
+    if (aborted) continue;
     Status s = params_.snapshot_store->Commit(params_.job_id, id);
     if (!s.ok()) {
       JET_LOG(kError) << "snapshot commit failed: " << s.ToString();

@@ -83,6 +83,12 @@ class Job {
   /// Number of snapshots committed during this execution.
   int64_t snapshots_taken() const { return snapshots_taken_.load(std::memory_order_acquire); }
 
+  /// Number of in-flight snapshots the watchdog abandoned (see
+  /// JobConfig::snapshot_ack_timeout).
+  int64_t snapshots_aborted() const {
+    return snapshots_aborted_.load(std::memory_order_acquire);
+  }
+
   /// Tasklet metadata (tests).
   const std::vector<TaskletInfo>& tasklet_infos() const { return plan_->tasklet_infos(); }
 
@@ -121,12 +127,14 @@ class Job {
   std::unique_ptr<obs::MetricsCollectorTasklet> collector_;
   obs::Gauge snapshots_gauge_;   // written by the coordinator thread only
   obs::Gauge committed_gauge_;
+  obs::Counter aborted_counter_;  // coordinator thread only
   std::unique_ptr<ExecutionPlan> plan_;
   std::unique_ptr<ExecutionService> service_;
   std::thread coordinator_;
   std::atomic<bool> coordinator_stop_{false};
   std::atomic<int64_t> last_committed_snapshot_{0};
   std::atomic<int64_t> snapshots_taken_{0};
+  std::atomic<int64_t> snapshots_aborted_{0};
   int64_t next_snapshot_id_ = 1;
 };
 

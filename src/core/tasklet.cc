@@ -416,6 +416,16 @@ void ProcessorTasklet::DoWatermark() {
 }
 
 void ProcessorTasklet::DoSnapshotSave() {
+  if (snapshot_control_ != nullptr &&
+      snapshot_control_->aborted.load(std::memory_order_acquire) >= pending_snapshot_id_) {
+    // The watchdog abandoned this epoch: its map is gone, so skip the
+    // persist step, but still run the barrier step — downstream tasklets
+    // are blocked on alignment and need the barrier to pass through.
+    state_ = State::kSnapshotBarrier;
+    control_armed_ = false;
+    MarkProgress();
+    return;
+  }
   context_.current_snapshot_id = pending_snapshot_id_;
   if (!processor_->SaveToSnapshot()) {
     // Partial save: the snapshot bucket drains at the top of each Call.

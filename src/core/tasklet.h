@@ -64,6 +64,11 @@ struct SnapshotControl {
   /// Acknowledging sources and transactional sinks poll this to release
   /// their pending work (§4.5).
   std::atomic<int64_t> committed{0};
+  /// Highest snapshot id the coordinator's watchdog abandoned (0 = none).
+  /// Tasklets still mid-way through an aborted snapshot skip the state
+  /// persist step — the epoch's map is gone — but still forward the barrier
+  /// so downstream alignment unblocks.
+  std::atomic<int64_t> aborted{0};
   /// Writer persisting state entries (bound to job + store by the plan).
   SnapshotWriterFn write_entry;
 };

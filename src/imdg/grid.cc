@@ -60,6 +60,16 @@ Status DataGrid::RemoveMember(MemberId member) {
   return Status::OK();
 }
 
+int64_t DataGrid::TableVersion() const {
+  std::shared_lock layout(layout_rw_);
+  return table_.version();
+}
+
+Status DataGrid::ValidateTable() const {
+  std::shared_lock layout(layout_rw_);
+  return table_.Validate();
+}
+
 int64_t DataGrid::ApplyMigrations(const std::vector<Migration>& migrations) {
   int64_t migrated = 0;
   for (const Migration& m : migrations) {

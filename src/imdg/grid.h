@@ -141,6 +141,12 @@ class DataGrid {
   /// The partition table (primary/backup assignment).
   const PartitionTable& table() const { return table_; }
 
+  /// Locked table reads for observers that race membership changes (e.g. a
+  /// supervised cluster's control thread evicting members): table() itself
+  /// is unsynchronized and only safe when no rebalance can be in flight.
+  int64_t TableVersion() const;
+  Status ValidateTable() const;
+
   /// Counters; not synchronized with in-flight operations.
   GridStats stats() const;
 

@@ -1,17 +1,23 @@
 #include "imdg/snapshot_store.h"
 
+#include <algorithm>
+
 #include "imdg/imap.h"
 
 namespace jet::imdg {
 
 namespace {
 constexpr char kMetaMap[] = "__snapshot.meta";
+// Retained committed snapshots per job: the current one plus its
+// predecessor, so a crash while the newest is being restored still leaves
+// a usable fallback epoch.
+constexpr size_t kRetainedCommitted = 2;
 }  // namespace
 
 SnapshotStore::SnapshotStore(DataGrid* grid) : grid_(grid) {}
 
 std::string SnapshotStore::MapNameFor(JobId job, SnapshotId snapshot) {
-  return "__snapshot." + std::to_string(job) + "." + std::to_string(snapshot % 2);
+  return "__snapshot." + std::to_string(job) + "." + std::to_string(snapshot);
 }
 
 Bytes SnapshotStore::EncodeEntryKey(int32_t vertex_id, int32_t writer_index,
@@ -36,6 +42,12 @@ Status SnapshotStore::DecodeEntryKey(const Bytes& raw, int32_t* vertex_id,
 
 Status SnapshotStore::WriteEntry(JobId job, SnapshotId snapshot,
                                  const SnapshotStateEntry& entry) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& live = epochs_[job].live;
+    auto it = std::lower_bound(live.begin(), live.end(), snapshot);
+    if (it == live.end() || *it != snapshot) live.insert(it, snapshot);
+  }
   // The entry is placed in the partition of its state key so restore can
   // read exactly the partitions a processor owns. key_hash is persisted in
   // the value envelope.
@@ -52,9 +64,48 @@ Status SnapshotStore::WriteEntry(JobId job, SnapshotId snapshot,
 Status SnapshotStore::Commit(JobId job, SnapshotId snapshot) {
   IMap<int64_t, int64_t> meta(grid_, kMetaMap);
   JET_RETURN_IF_ERROR(meta.Put(job, snapshot));
-  // Clear the other alternating map so the next snapshot starts clean.
-  grid_->Clear(MapNameFor(job, snapshot + 1));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& epochs = epochs_[job];
+  auto it = std::lower_bound(epochs.live.begin(), epochs.live.end(), snapshot);
+  if (it == epochs.live.end() || *it != snapshot) epochs.live.insert(it, snapshot);
+  it = std::lower_bound(epochs.committed.begin(), epochs.committed.end(), snapshot);
+  if (it == epochs.committed.end() || *it != snapshot) epochs.committed.insert(it, snapshot);
+  // Retention: keep the newest kRetainedCommitted committed epochs; every
+  // older epoch — superseded committed snapshots and stale in-flight ones
+  // left behind by aborted attempts — is destroyed.
+  SnapshotId oldest_retained = epochs.committed.size() > kRetainedCommitted
+                                   ? epochs.committed[epochs.committed.size() - kRetainedCommitted]
+                                   : epochs.committed.front();
+  std::vector<SnapshotId> keep;
+  for (SnapshotId id : epochs.live) {
+    bool is_committed =
+        std::binary_search(epochs.committed.begin(), epochs.committed.end(), id);
+    if ((is_committed && id >= oldest_retained) || (!is_committed && id > snapshot)) {
+      keep.push_back(id);
+    } else {
+      grid_->Destroy(MapNameFor(job, id));
+    }
+  }
+  epochs.live = std::move(keep);
+  epochs.committed.erase(
+      epochs.committed.begin(),
+      std::lower_bound(epochs.committed.begin(), epochs.committed.end(), oldest_retained));
   return Status::OK();
+}
+
+void SnapshotStore::Abort(JobId job, SnapshotId snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = epochs_.find(job);
+  if (it == epochs_.end()) return;
+  auto& epochs = it->second;
+  if (std::binary_search(epochs.committed.begin(), epochs.committed.end(), snapshot)) {
+    return;  // committed epochs are immutable history
+  }
+  auto live_it = std::lower_bound(epochs.live.begin(), epochs.live.end(), snapshot);
+  if (live_it == epochs.live.end() || *live_it != snapshot) return;
+  epochs.live.erase(live_it);
+  grid_->Destroy(MapNameFor(job, snapshot));
+  ++aborted_count_;
 }
 
 Result<std::optional<SnapshotId>> SnapshotStore::LastCommitted(JobId job) const {
@@ -93,15 +144,48 @@ int64_t SnapshotStore::EntryCount(JobId job, SnapshotId snapshot) const {
   return grid_->Size(MapNameFor(job, snapshot));
 }
 
-void SnapshotStore::ClearInFlight(JobId job, SnapshotId next_snapshot) {
-  grid_->Clear(MapNameFor(job, next_snapshot));
+void SnapshotStore::ClearInFlight(JobId job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = epochs_.find(job);
+  if (it == epochs_.end()) return;
+  auto& epochs = it->second;
+  std::vector<SnapshotId> keep;
+  for (SnapshotId id : epochs.live) {
+    if (std::binary_search(epochs.committed.begin(), epochs.committed.end(), id)) {
+      keep.push_back(id);
+    } else {
+      grid_->Destroy(MapNameFor(job, id));
+    }
+  }
+  epochs.live = std::move(keep);
 }
 
 void SnapshotStore::DeleteJob(JobId job) {
-  grid_->Destroy(MapNameFor(job, 0));
-  grid_->Destroy(MapNameFor(job, 1));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = epochs_.find(job);
+  if (it != epochs_.end()) {
+    for (SnapshotId id : it->second.live) grid_->Destroy(MapNameFor(job, id));
+    epochs_.erase(it);
+  }
   IMap<int64_t, int64_t> meta(grid_, kMetaMap);
   meta.Remove(job);
+}
+
+std::vector<SnapshotId> SnapshotStore::LiveSnapshots(JobId job) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = epochs_.find(job);
+  return it == epochs_.end() ? std::vector<SnapshotId>{} : it->second.live;
+}
+
+std::vector<SnapshotId> SnapshotStore::CommittedSnapshots(JobId job) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = epochs_.find(job);
+  return it == epochs_.end() ? std::vector<SnapshotId>{} : it->second.committed;
+}
+
+int64_t SnapshotStore::aborted_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aborted_count_;
 }
 
 }  // namespace jet::imdg

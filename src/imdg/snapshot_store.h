@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -37,10 +38,12 @@ struct SnapshotStateEntry {
 
 /// Stores job state snapshots in the data grid (§4.4).
 ///
-/// Entries of snapshot S of job J live in an IMap named
-/// "__snapshot.<J>.<S % 2>" — like Jet, two alternating maps per job are
-/// kept so a failed in-flight snapshot never corrupts the last committed
-/// one. A small metadata map records the id of the last committed snapshot.
+/// Entries of snapshot S of job J live in an IMap named "__snapshot.<J>.<S>"
+/// — one map per snapshot epoch, so a failed or aborted in-flight snapshot
+/// can be dropped wholesale without ever touching the last committed one.
+/// A small metadata map records the id of the last committed snapshot; the
+/// last two committed snapshots are retained per job and older epochs are
+/// garbage-collected on commit.
 class SnapshotStore {
  public:
   /// Binds to `grid`; the grid must outlive the store.
@@ -49,9 +52,15 @@ class SnapshotStore {
   /// Writes one state entry of an in-flight snapshot.
   Status WriteEntry(JobId job, SnapshotId snapshot, const SnapshotStateEntry& entry);
 
-  /// Marks `snapshot` as the committed snapshot of `job`; the previous
-  /// snapshot's map is cleared for reuse.
+  /// Marks `snapshot` as the committed snapshot of `job`. Retains the last
+  /// two committed snapshots (current + previous, so a failure while the
+  /// current one is being restored still leaves a fallback) and destroys
+  /// every older epoch, committed or not.
   Status Commit(JobId job, SnapshotId snapshot);
+
+  /// Drops an aborted in-flight snapshot epoch: destroys its map and
+  /// forgets it. Committed snapshots cannot be aborted (no-op).
+  void Abort(JobId job, SnapshotId snapshot);
 
   /// Id of the last committed snapshot of `job`, or std::nullopt.
   Result<std::optional<SnapshotId>> LastCommitted(JobId job) const;
@@ -69,22 +78,38 @@ class SnapshotStore {
   /// Drops all snapshot data of `job`.
   void DeleteJob(JobId job);
 
-  /// Clears leftovers of an aborted in-flight snapshot: call with the id
-  /// the restarted execution will use next, so stale entries written by the
-  /// failed attempt cannot leak into the new attempt's first snapshot
-  /// (the two snapshot maps alternate by parity).
-  void ClearInFlight(JobId job, SnapshotId next_snapshot);
+  /// Sweeps every uncommitted in-flight epoch of `job`: called before a
+  /// restarted execution begins so stale entries written by the failed
+  /// attempt cannot leak into the new attempt's snapshots.
+  void ClearInFlight(JobId job);
 
-  /// Name of the IMap holding snapshot `snapshot` of `job` (two alternating
-  /// maps per job).
+  /// Ids of all snapshot epochs of `job` that still hold data (committed
+  /// and in-flight), ascending.
+  std::vector<SnapshotId> LiveSnapshots(JobId job) const;
+
+  /// Ids of the retained committed snapshots of `job`, ascending.
+  std::vector<SnapshotId> CommittedSnapshots(JobId job) const;
+
+  /// Number of snapshot epochs dropped via Abort() since construction.
+  int64_t aborted_count() const;
+
+  /// Name of the IMap holding snapshot `snapshot` of `job`.
   static std::string MapNameFor(JobId job, SnapshotId snapshot);
 
  private:
+  struct JobEpochs {
+    std::vector<SnapshotId> live;       // ascending; every epoch with a map
+    std::vector<SnapshotId> committed;  // ascending; subset of live
+  };
+
   static Bytes EncodeEntryKey(int32_t vertex_id, int32_t writer_index, const Bytes& key);
   static Status DecodeEntryKey(const Bytes& raw, int32_t* vertex_id, int32_t* writer_index,
                                Bytes* key);
 
   DataGrid* grid_;
+  mutable std::mutex mutex_;
+  std::map<JobId, JobEpochs> epochs_;
+  int64_t aborted_count_ = 0;
 };
 
 }  // namespace jet::imdg

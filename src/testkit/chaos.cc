@@ -182,8 +182,8 @@ std::vector<ChaosEvent> GenerateTimeline(uint64_t seed,
 // ---------------------------------------------------------------------------
 
 ChaosScheduler::ChaosScheduler(cluster::JetCluster* cluster,
-                               std::vector<ChaosEvent> timeline)
-    : cluster_(cluster), timeline_(std::move(timeline)) {
+                               std::vector<ChaosEvent> timeline, bool unattended)
+    : cluster_(cluster), timeline_(std::move(timeline)), unattended_(unattended) {
   std::stable_sort(timeline_.begin(), timeline_.end(),
                    [](const ChaosEvent& x, const ChaosEvent& y) { return x.at < y.at; });
 }
@@ -191,8 +191,18 @@ ChaosScheduler::ChaosScheduler(cluster::JetCluster* cluster,
 Status ChaosScheduler::Apply(const ChaosEvent& event) {
   net::Network& network = cluster_->network();
   switch (event.type) {
-    case ChaosEventType::kKillNode:
+    case ChaosEventType::kKillNode: {
+      // Unattended: fail-stop only; eviction and restart are the control
+      // plane's job. Scripted: KillNode does the whole recovery inline.
+      if (unattended_) {
+        Status s = cluster_->CrashNode(event.a);
+        // The control plane may have transiently evicted the target (e.g.
+        // a partition minority); crashing an already-gone member is moot.
+        if (s.code() == StatusCode::kNotFound) return Status::OK();
+        return s;
+      }
       return cluster_->KillNode(event.a);
+    }
     case ChaosEventType::kAddNode: {
       auto added = cluster_->AddNode();
       if (!added.ok()) return added.status();
@@ -206,8 +216,14 @@ Status ChaosScheduler::Apply(const ChaosEvent& event) {
       network.Partition(event.a, event.b);
       return Status::OK();
     case ChaosEventType::kHeal:
-      // Stop-heal-restart; see JetCluster::RecoverAfterFault for why the
-      // attempt must stop before the link comes back.
+      // Unattended: just unblock the link; the health monitor notices the
+      // heal and the supervisor resumes or restarts on its own. Scripted:
+      // stop-heal-restart (see JetCluster::RecoverAfterFault for why the
+      // attempt must stop before the link comes back).
+      if (unattended_) {
+        network.Heal(event.a, event.b);
+        return Status::OK();
+      }
       return cluster_->RecoverAfterFault(
           [&network, &event]() { network.Heal(event.a, event.b); });
     case ChaosEventType::kClearLink:
@@ -225,8 +241,11 @@ Status ChaosScheduler::Apply(const ChaosEvent& event) {
       network.SetLinkFault(event.b, event.a, plan);
       return Status::OK();
     }
-    case ChaosEventType::kStallWorker:
-      return cluster_->StallNode(event.a, event.duration);
+    case ChaosEventType::kStallWorker: {
+      Status s = cluster_->StallNode(event.a, event.duration);
+      if (unattended_ && s.code() == StatusCode::kNotFound) return Status::OK();
+      return s;
+    }
   }
   return InternalError("unknown chaos event");
 }
@@ -241,7 +260,7 @@ Status ChaosScheduler::Run() {
     }
     Status s = Apply(event);
     log_.push_back(event.ToString() + (s.ok() ? "" : " -> " + s.ToString()));
-    table_versions_.push_back(cluster_->grid().table().version());
+    table_versions_.push_back(cluster_->grid().TableVersion());
     if (!s.ok()) return s;
   }
   return Status::OK();
@@ -264,6 +283,7 @@ ClusterFixture::ClusterFixture(FixtureOptions options) : options_(options) {
   config.initial_nodes = options_.initial_nodes;
   config.threads_per_node = options_.threads_per_node;
   config.backup_count = options_.backup_count;
+  config.supervisor = options_.supervisor;
   cluster_ = std::make_unique<cluster::JetCluster>(config);
   collector_ = std::make_shared<core::SyncCollector<core::WindowResult<int64_t>>>();
 }
@@ -388,13 +408,13 @@ Status ClusterFixture::VerifyDeliveryAccounting() {
 }
 
 Status ClusterFixture::VerifyClusterInvariants() const {
-  JET_RETURN_IF_ERROR(cluster_->grid().table().Validate());
-  // No lost IMDG backups: both alternating snapshot maps of the job must
-  // be replica-consistent after all the membership churn.
-  JET_RETURN_IF_ERROR(cluster_->grid().CheckReplicaConsistency(
-      imdg::SnapshotStore::MapNameFor(options_.job_id, 0)));
-  JET_RETURN_IF_ERROR(cluster_->grid().CheckReplicaConsistency(
-      imdg::SnapshotStore::MapNameFor(options_.job_id, 1)));
+  JET_RETURN_IF_ERROR(cluster_->grid().ValidateTable());
+  // No lost IMDG backups: every live snapshot epoch of the job must be
+  // replica-consistent after all the membership churn.
+  for (int64_t snapshot : cluster_->snapshot_store().LiveSnapshots(options_.job_id)) {
+    JET_RETURN_IF_ERROR(cluster_->grid().CheckReplicaConsistency(
+        imdg::SnapshotStore::MapNameFor(options_.job_id, snapshot)));
+  }
   return Status::OK();
 }
 

@@ -75,7 +75,14 @@ std::string TimelineToString(const std::vector<ChaosEvent>& timeline);
 /// committed snapshot once the link is back.
 class ChaosScheduler {
  public:
-  ChaosScheduler(cluster::JetCluster* cluster, std::vector<ChaosEvent> timeline);
+  /// `unattended` switches the scheduler from scripted recovery to pure
+  /// fault injection against a supervised cluster: kills go through
+  /// CrashNode (no membership change — the control plane must detect the
+  /// death itself) and heals just unblock the link (no RecoverAfterFault —
+  /// the control plane must resume suspended jobs itself). Requires
+  /// ClusterConfig::supervisor.enabled.
+  ChaosScheduler(cluster::JetCluster* cluster, std::vector<ChaosEvent> timeline,
+                 bool unattended = false);
 
   /// Blocks until every event has been applied. Returns the first error.
   Status Run();
@@ -92,6 +99,7 @@ class ChaosScheduler {
 
   cluster::JetCluster* cluster_;
   std::vector<ChaosEvent> timeline_;
+  bool unattended_;
   std::vector<std::string> log_;
   std::vector<int64_t> table_versions_;
 };
@@ -111,6 +119,8 @@ struct FixtureOptions {
   Nanos window_size = 50 * kNanosPerMilli;
   Nanos snapshot_interval = 80 * kNanosPerMilli;
   imdg::JobId job_id = 1;
+  /// Forwarded into ClusterConfig::supervisor; enable for unattended chaos.
+  cluster::SupervisorOptions supervisor;
 };
 
 class ClusterFixture {

@@ -82,6 +82,67 @@ TEST_P(ChaosSuite, SeededTimelineKeepsExactlyOnce) { RunSeededChaos(GetParam());
 INSTANTIATE_TEST_SUITE_P(SeededTimelines, ChaosSuite,
                          ::testing::Range<uint64_t>(1, 21));
 
+// Unattended variant: the SAME seeded timelines, but nobody scripts the
+// recovery. Kills are bare fail-stops (CrashNode) and heals just unblock
+// the link; detection, eviction, suspension and restarts are entirely the
+// self-healing control plane's doing, and the results must still be
+// exactly-once with the supervisor finishing in COMPLETED.
+void RunUnattendedChaos(uint64_t seed) {
+  ChaosTimelineOptions timeline_options;
+  auto timeline = GenerateTimeline(seed, timeline_options);
+  SCOPED_TRACE("unattended chaos seed " + std::to_string(seed) +
+               " timeline: " + TimelineToString(timeline) +
+               "\nreproduce: JETSIM_CHAOS_SEED=" + std::to_string(seed) +
+               " ./chaos_test --gtest_filter='*UnattendedSeedFromEnv*'");
+
+  FixtureOptions options;
+  options.supervisor.enabled = true;
+  ClusterFixture fixture(options);
+  ASSERT_TRUE(fixture.SubmitWindowedJob().ok());
+  fixture.WaitForCommittedSnapshot(1, kNanosPerSecond);
+
+  ChaosScheduler scheduler(&fixture.cluster(), timeline, /*unattended=*/true);
+  Status chaos = scheduler.Run();
+  Status join = fixture.JoinJob();
+
+  std::string applied;
+  for (const auto& line : scheduler.log()) applied += "\n  " + line;
+  ASSERT_TRUE(chaos.ok()) << "chaos scheduler failed: " << chaos.ToString() << applied;
+  ASSERT_TRUE(join.ok()) << join.ToString() << applied;
+  // COMPLETED is recorded by the control loop's next reconcile tick.
+  EXPECT_TRUE(WaitUntil(
+      [&fixture]() {
+        return fixture.job()->supervisor()->state() == cluster::JobState::kCompleted;
+      },
+      5 * kNanosPerSecond))
+      << applied;
+
+  Status exact = fixture.VerifyExactlyOnce();
+  EXPECT_TRUE(exact.ok()) << exact.ToString() << applied;
+  Status invariants = fixture.VerifyClusterInvariants();
+  EXPECT_TRUE(invariants.ok()) << invariants.ToString() << applied;
+  Status accounting = fixture.VerifyDeliveryAccounting();
+  EXPECT_TRUE(accounting.ok()) << accounting.ToString() << applied;
+}
+
+class UnattendedChaosSuite : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnattendedChaosSuite, SelfHealingKeepsExactlyOnce) {
+  RunUnattendedChaos(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededTimelines, UnattendedChaosSuite,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// One-command reproduction of a failing unattended seed.
+TEST(ChaosRepro, UnattendedSeedFromEnv) {
+  const char* seed_env = std::getenv("JETSIM_CHAOS_SEED");
+  if (seed_env == nullptr) {
+    GTEST_SKIP() << "set JETSIM_CHAOS_SEED=<seed> to replay one timeline";
+  }
+  RunUnattendedChaos(std::strtoull(seed_env, nullptr, 10));
+}
+
 // One-command reproduction of a failing seed from the suite above.
 TEST(ChaosRepro, SingleSeedFromEnv) {
   const char* seed_env = std::getenv("JETSIM_CHAOS_SEED");

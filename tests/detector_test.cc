@@ -169,6 +169,41 @@ TEST(FailureDetectorTest, SustainedPartitionIsDeclaredFailure) {
   EXPECT_EQ(failed, (std::vector<int32_t>{1}));  // member 2 never declared
 }
 
+// Rejoin: re-registering a member that was declared failed (or whose
+// heartbeats were stopped) resets its per-member state — the detector can
+// declare it failed a second time instead of latching the first verdict
+// forever.
+TEST(FailureDetectorTest, RejoinedMemberCanFailAgain) {
+  net::Network network;
+  std::atomic<int> failures{0};
+  HeartbeatFailureDetector::Options options;
+  options.heartbeat_interval = 10 * kNanosPerMilli;
+  options.suspicion_timeout = 50 * kNanosPerMilli;
+  HeartbeatFailureDetector detector(&network, options,
+                                    [&failures](int32_t) { failures.fetch_add(1); });
+  detector.AddMember(0);
+  detector.AddMember(1);
+  detector.Start();
+  detector.StopHeartbeats(1);
+  ASSERT_TRUE(WaitUntil([&failures]() { return failures.load() == 1; },
+                        5 * kNanosPerSecond));
+  ASSERT_EQ(detector.FailedMembers(), (std::vector<int32_t>{1}));
+
+  // The member restarts and rejoins: fresh heartbeats, clean slate.
+  detector.AddMember(1);
+  ASSERT_TRUE(WaitUntil([&detector]() { return detector.FailedMembers().empty(); },
+                        5 * kNanosPerSecond));
+  EXPECT_TRUE(HeldFalseFor([&failures]() { return failures.load() > 1; },
+                           150 * kNanosPerMilli));  // healthy rejoin: no refire
+
+  // It crashes again: the second death must fire a second callback.
+  detector.StopHeartbeats(1);
+  ASSERT_TRUE(WaitUntil([&failures]() { return failures.load() == 2; },
+                        5 * kNanosPerSecond));
+  detector.Stop();
+  EXPECT_EQ(detector.FailedMembers(), (std::vector<int32_t>{1}));
+}
+
 // Full detection -> recovery loop: a member stops heartbeating; the
 // detector fires; the cluster removes it; the exactly-once job recovers
 // with exact results (§4.4 end to end, including the detection step).

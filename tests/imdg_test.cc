@@ -350,13 +350,59 @@ TEST(SnapshotStoreTest, WriteCommitRead) {
   EXPECT_EQ(found, 1);
 }
 
-TEST(SnapshotStoreTest, AlternatingMapsDoNotCollide) {
+TEST(SnapshotStoreTest, EveryEpochGetsItsOwnMap) {
+  // Per-epoch maps: an aborted epoch can be GC'd without touching any
+  // other, and a late writer of epoch N can never pollute epoch N+2.
+  EXPECT_NE(SnapshotStore::MapNameFor(1, 1), SnapshotStore::MapNameFor(1, 2));
+  EXPECT_NE(SnapshotStore::MapNameFor(1, 1), SnapshotStore::MapNameFor(1, 3));
+  EXPECT_NE(SnapshotStore::MapNameFor(1, 2), SnapshotStore::MapNameFor(2, 2));
+}
+
+TEST(SnapshotStoreTest, CommitRetainsLastTwoCommittedEpochs) {
   DataGrid grid(0);
   ASSERT_TRUE(grid.AddMember(0).ok());
   SnapshotStore store(&grid);
-  // Snapshot 1 and 2 use different maps; committing 2 clears map of 3 (=1's).
-  EXPECT_NE(SnapshotStore::MapNameFor(1, 1), SnapshotStore::MapNameFor(1, 2));
-  EXPECT_EQ(SnapshotStore::MapNameFor(1, 1), SnapshotStore::MapNameFor(1, 3));
+  for (int64_t snap = 1; snap <= 4; ++snap) {
+    SnapshotStateEntry e;
+    e.vertex_id = 1;
+    e.key_hash = 1;
+    e.key = Key(1);
+    e.value = Value("v" + std::to_string(snap));
+    ASSERT_TRUE(store.WriteEntry(1, snap, e).ok());
+    ASSERT_TRUE(store.Commit(1, snap).ok());
+  }
+  // Only the last two committed snapshots survive (the previous one stays
+  // as a fallback restore point while the newest is the primary).
+  EXPECT_EQ(store.CommittedSnapshots(1), (std::vector<int64_t>{3, 4}));
+  EXPECT_EQ(store.EntryCount(1, 1), 0);
+  EXPECT_EQ(store.EntryCount(1, 2), 0);
+  EXPECT_EQ(store.EntryCount(1, 3), 1);
+  EXPECT_EQ(store.EntryCount(1, 4), 1);
+}
+
+TEST(SnapshotStoreTest, AbortDestroysEpochAndCounts) {
+  DataGrid grid(0);
+  ASSERT_TRUE(grid.AddMember(0).ok());
+  SnapshotStore store(&grid);
+  SnapshotStateEntry e;
+  e.vertex_id = 1;
+  e.key_hash = 1;
+  e.key = Key(1);
+  e.value = Value("partial");
+  ASSERT_TRUE(store.WriteEntry(1, 1, e).ok());
+  ASSERT_TRUE(store.Commit(1, 1).ok());
+  ASSERT_TRUE(store.WriteEntry(1, 2, e).ok());
+  store.Abort(1, 2);
+  EXPECT_EQ(store.EntryCount(1, 2), 0);
+  EXPECT_EQ(store.aborted_count(), 1);
+  // Aborting a committed epoch is a no-op.
+  store.Abort(1, 1);
+  EXPECT_EQ(store.EntryCount(1, 1), 1);
+  EXPECT_EQ(store.aborted_count(), 1);
+  auto committed = store.LastCommitted(1);
+  ASSERT_TRUE(committed.ok());
+  ASSERT_TRUE(committed->has_value());
+  EXPECT_EQ(**committed, 1);
 }
 
 TEST(SnapshotStoreTest, DistinctWritersDoNotOverwrite) {
@@ -386,9 +432,16 @@ TEST(SnapshotStoreTest, ClearInFlightRemovesStaleEntries) {
   e.key_hash = 1;
   e.key = Key(1);
   e.value = Value("stale");
+  ASSERT_TRUE(store.WriteEntry(2, 2, e).ok());
+  ASSERT_TRUE(store.Commit(2, 2).ok());
   ASSERT_TRUE(store.WriteEntry(2, 3, e).ok());
-  store.ClearInFlight(2, 3);
+  ASSERT_TRUE(store.WriteEntry(2, 4, e).ok());
+  store.ClearInFlight(2);
+  // Every uncommitted epoch is swept; committed ones survive.
   EXPECT_EQ(store.EntryCount(2, 3), 0);
+  EXPECT_EQ(store.EntryCount(2, 4), 0);
+  EXPECT_EQ(store.EntryCount(2, 2), 1);
+  EXPECT_EQ(store.LiveSnapshots(2), (std::vector<int64_t>{2}));
 }
 
 TEST(SnapshotStoreTest, DeleteJobRemovesEverything) {
