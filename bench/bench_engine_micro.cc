@@ -4,16 +4,30 @@
 // queues (§3.2), cheap partition routing (§4.1), O(1) latency recording,
 // and the per-event cost of the windowed accumulate stage that bounds the
 // "2M events per second per CPU-core" capacity (§4.6).
+// Run with --json[=path] to skip google-benchmark and emit the
+// machine-readable exchange-path scenarios (BENCH_engine_micro.json):
+// throughput and p50/p99/p99.99 per-item latency for the shuffle-heavy
+// and unicast exchange hops, in both the legacy per-item shape and the
+// batched shape. CI parses the file and the committed baseline guards the
+// batching speedup.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/spsc_queue.h"
 #include "core/aggregate.h"
+#include "core/inbox_outbox.h"
 #include "core/item.h"
 #include "core/processors_window.h"
 #include "imdg/grid.h"
 #include "imdg/partition_table.h"
+#include "net/exchange.h"
 
 namespace {
 
@@ -162,6 +176,148 @@ void BM_WindowAccumulate(benchmark::State& state) {
 }
 BENCHMARK(BM_WindowAccumulate)->Arg(100)->Arg(10'000)->Arg(1'000'000);
 
+// ---------------------------------------------------------------------------
+// JSON mode: the exchange-path scenarios behind BENCH_engine_micro.json.
+// ---------------------------------------------------------------------------
+
+struct ScenarioResult {
+  std::string scenario;
+  std::string mode;  // "per_item" | "batched"
+  int64_t items = 0;
+  double elapsed_sec = 0;
+  double throughput = 0;  // items / sec
+  int64_t p50_ns = 0;
+  int64_t p99_ns = 0;
+  int64_t p9999_ns = 0;
+};
+
+// One exchange hop as the engine runs it: producer SPSC queue -> tasklet
+// inbox -> wire frame -> receiver staging -> outbox fan-out. `batched`
+// uses the bulk paths of the batched exchange (SpscQueue::DrainWhile,
+// Inbox::DrainTo, whole-frame WireBuffer steal, move-based OfferToAll);
+// `per_item` replays the legacy shape (per-item pops, deque staging,
+// copy-based broadcast). The latency histogram records per-item
+// nanoseconds, chunk by chunk, so the tail percentiles reflect jitter and
+// not just the mean.
+ScenarioResult RunExchangeHop(const std::string& scenario, bool batched,
+                              int32_t fan_out, int64_t chunks) {
+  constexpr int kChunk = 256;
+  SpscQueue<Item> queue(1024);
+  Inbox inbox;
+  Outbox outbox(fan_out, /*bucket_capacity=*/kChunk * 2);
+  net::WireBuffer wire;
+  Histogram latency;
+  const Clock& clock = WallClock::Global();
+  int64_t ts = 0;
+  int64_t measured_items = 0;
+  Nanos measured_nanos = 0;
+
+  for (int64_t c = -16; c < chunks; ++c) {  // negative chunks warm up
+    const Nanos t0 = clock.Now();
+    for (int i = 0; i < kChunk; ++i) {
+      Item item = Item::Data<int64_t>(ts, ts, HashU64(static_cast<uint64_t>(ts)));
+      (void)queue.TryPush(item);
+      ++ts;
+    }
+    if (batched) {
+      (void)queue.DrainWhile([](const Item&) { return true; },
+                             [&inbox](Item&& it) { inbox.Add(std::move(it)); }, kChunk);
+      std::vector<Item> frame;
+      frame.reserve(kChunk);
+      (void)inbox.DrainTo(&frame, kChunk);
+      wire.Push(std::move(frame));
+      std::vector<Item> staged;
+      (void)wire.DrainInto(&staged, kChunk);
+      for (Item& item : staged) (void)outbox.OfferToAll(std::move(item));
+    } else {
+      Item popped;
+      while (queue.TryPop(popped)) inbox.Add(std::move(popped));
+      while (!inbox.Empty()) {
+        std::vector<Item> frame;
+        frame.push_back(inbox.Poll());
+        wire.Push(std::move(frame));
+      }
+      std::deque<Item> staged;
+      while (wire.Drain(&staged, 1) > 0) {
+        (void)outbox.OfferToAll(staged.front());
+        staged.pop_front();
+      }
+    }
+    for (int32_t b = 0; b < fan_out; ++b) outbox.bucket(b).clear();
+    const Nanos t1 = clock.Now();
+    if (c >= 0) {
+      latency.Record(std::max<Nanos>(1, (t1 - t0) / kChunk));
+      measured_items += kChunk;
+      measured_nanos += t1 - t0;
+    }
+  }
+
+  ScenarioResult r;
+  r.scenario = scenario;
+  r.mode = batched ? "batched" : "per_item";
+  r.items = measured_items;
+  r.elapsed_sec = static_cast<double>(measured_nanos) / 1e9;
+  r.throughput =
+      r.elapsed_sec > 0 ? static_cast<double>(measured_items) / r.elapsed_sec : 0;
+  r.p50_ns = latency.ValueAtQuantile(0.50);
+  r.p99_ns = latency.ValueAtQuantile(0.99);
+  r.p9999_ns = latency.ValueAtQuantile(0.9999);
+  return r;
+}
+
+int RunJsonScenarios(const std::string& path) {
+  constexpr int64_t kChunks = 4096;  // 1M items per scenario run
+  std::vector<ScenarioResult> results;
+  // Shuffle-heavy hop: broadcast fan-out of 4 consumers, the worst case
+  // for the copy-per-bucket OfferToAll the batched path replaced.
+  results.push_back(RunExchangeHop("shuffle_exchange", /*batched=*/false, 4, kChunks));
+  results.push_back(RunExchangeHop("shuffle_exchange", /*batched=*/true, 4, kChunks));
+  // Unicast hop: single consumer, where OfferToAll degenerates to a pure
+  // move on the batched path.
+  results.push_back(RunExchangeHop("unicast_exchange", /*batched=*/false, 1, kChunks));
+  results.push_back(RunExchangeHop("unicast_exchange", /*batched=*/true, 1, kChunks));
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_micro\",\n  \"scenarios\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"mode\": \"%s\", \"items\": %lld, "
+                 "\"elapsed_sec\": %.6f, \"throughput_items_per_sec\": %.0f, "
+                 "\"latency_ns\": {\"p50\": %lld, \"p99\": %lld, \"p9999\": %lld}}%s\n",
+                 r.scenario.c_str(), r.mode.c_str(), static_cast<long long>(r.items),
+                 r.elapsed_sec, r.throughput, static_cast<long long>(r.p50_ns),
+                 static_cast<long long>(r.p99_ns), static_cast<long long>(r.p9999_ns),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  for (const ScenarioResult& r : results) {
+    std::printf("%-18s %-8s  %12.0f items/s  p50 %6lld ns  p99 %6lld ns  p99.99 %6lld ns\n",
+                r.scenario.c_str(), r.mode.c_str(), r.throughput,
+                static_cast<long long>(r.p50_ns), static_cast<long long>(r.p99_ns),
+                static_cast<long long>(r.p9999_ns));
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") json_path = "BENCH_engine_micro.json";
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+  if (!json_path.empty()) return RunJsonScenarios(json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

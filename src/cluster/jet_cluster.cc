@@ -645,8 +645,13 @@ Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snap
 
   for (int32_t i = 0; i < node_count; ++i) {
     const auto ni = static_cast<size_t>(i);
+    core::ExecutionService::Options service_options;
+    service_options.rebalance_interval = config_.rebalance_interval;
+    service_options.skew_threshold = config_.rebalance_skew_threshold;
+    service_options.min_hot_load = config_.rebalance_min_load;
     auto service = std::make_unique<core::ExecutionService>(
-        cluster_->config_.threads_per_node, attempt->profilers[ni].get());
+        cluster_->config_.threads_per_node, attempt->profilers[ni].get(),
+        service_options);
     std::vector<core::Tasklet*> tasklets = attempt->plans[ni]->Tasklets();
     for (auto& t : attempt->net_tasklets[ni]) {
       tasklets.push_back(t.get());

@@ -114,6 +114,32 @@ class SpscQueue {
     return n;
   }
 
+  /// Consumer: moves items into `sink` (a callable taking `T&&`) while
+  /// `pred` (a callable taking `const T&`) approves the front item, up to
+  /// `limit` items. The predicate inspects each item *before* it is moved,
+  /// so control items can stop the drain without being consumed. All moved
+  /// items are released with a single index update, unlike a Peek/PopFront
+  /// loop which publishes (and fences) per item. Returns the number moved.
+  template <typename Pred, typename Sink>
+  size_t DrainWhile(Pred&& pred, Sink&& sink, size_t limit) {
+    JET_DCHECK_SINGLE_THREAD(consumer_guard_, "SpscQueue consumer (DrainWhile)");
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t available = cached_head_ - tail;
+    if (available == 0) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      available = cached_head_ - tail;
+      if (available == 0) return 0;
+    }
+    const size_t max = available < limit ? available : limit;
+    size_t n = 0;
+    while (n < max && pred(static_cast<const T&>(slots_[(tail + n) & mask_]))) {
+      sink(std::move(slots_[(tail + n) & mask_]));
+      ++n;
+    }
+    if (n > 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   /// Consumer: returns a pointer to the front item without removing it, or
   /// nullptr if the queue is empty.
   T* Peek() {
@@ -166,6 +192,16 @@ class SpscQueue {
     cached_tail_ = start;
     cached_head_ = start;
   }
+
+  /// Unbinds the producer ownership guard so the producing role can be
+  /// handed to another thread. The caller must guarantee a happens-before
+  /// edge between the old producer's last push and the new producer's first
+  /// (the ExecutionService migration protocol does this with the worker
+  /// mailbox mutex). No-op unless JETSIM_DEBUG_CHECKS is enabled.
+  void ReleaseProducerOwnership() { producer_guard_.Release(); }
+
+  /// Consumer-side counterpart of ReleaseProducerOwnership.
+  void ReleaseConsumerOwnership() { consumer_guard_.Release(); }
 
   /// Test hook: unbinds the producer/consumer ownership guards so a test
   /// may hand the queue to different threads after establishing a

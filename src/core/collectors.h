@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -16,9 +17,30 @@ namespace jet::core {
 using ItemQueue = SpscQueue<Item>;
 using ItemQueuePtr = std::shared_ptr<ItemQueue>;
 
-/// Callback delivering an item to a remote node over a distributed edge.
-/// Returns false when the channel is saturated (backpressure).
-using RemoteSink = std::function<bool(const Item&)>;
+/// Delivery endpoint for a remote node on a distributed edge. `offer`
+/// returns false when the channel is saturated (backpressure) and must not
+/// consume the item. `release_owner` (optional) unbinds whatever
+/// single-producer guard the sink's transport holds, so the producing
+/// tasklet can migrate to another worker thread; it is called only at a
+/// migration point, with a happens-before edge to the new worker's first
+/// offer.
+struct RemoteSink {
+  std::function<bool(const Item&)> offer;
+  std::function<void()> release_owner;
+
+  RemoteSink() = default;
+  RemoteSink(std::function<bool(const Item&)> o, std::function<void()> r)
+      : offer(std::move(o)), release_owner(std::move(r)) {}
+  /// Implicit from any offer callable, so plain-lambda sinks (tests,
+  /// single-threaded transports with nothing to release) keep working.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, RemoteSink> &&
+                std::is_invocable_r_v<bool, F, const Item&>>>
+  RemoteSink(F f) : offer(std::move(f)) {}  // NOLINT(google-explicit-constructor)
+
+  bool operator()(const Item& item) const { return offer(item); }
+};
 
 /// Producer-side routing of one output edge (the "exchange operator" of
 /// §3.1): decides which consumer queue (or remote node) each item goes to.
@@ -49,13 +71,32 @@ class OutboundCollector {
   bool OfferData(const Item& item) {
     switch (routing_) {
       case RoutingPolicy::kUnicast:
-        return OfferUnicast(item);
+        return OfferUnicast(item, nullptr);
       case RoutingPolicy::kPartitioned:
-        return OfferPartitioned(item);
+        return OfferPartitioned(item, nullptr);
       case RoutingPolicy::kBroadcast:
         return OfferEverywhere(item);
       case RoutingPolicy::kIsolated:
-        return TryLocal(static_cast<size_t>(isolated_index_), item);
+        return TryLocal(static_cast<size_t>(isolated_index_), item, nullptr);
+    }
+    return false;
+  }
+
+  /// Move-aware variant of OfferData for single-target routes: the item is
+  /// moved into the destination SPSC queue instead of refcount-copied. On
+  /// success `item` is left moved-from; on failure it is untouched so the
+  /// caller can retry. Broadcast still copies (every target needs its own
+  /// reference); remote sinks copy at the network boundary.
+  bool OfferDataMove(Item& item) {
+    switch (routing_) {
+      case RoutingPolicy::kUnicast:
+        return OfferUnicast(item, &item);
+      case RoutingPolicy::kPartitioned:
+        return OfferPartitioned(item, &item);
+      case RoutingPolicy::kBroadcast:
+        return OfferEverywhere(item);
+      case RoutingPolicy::kIsolated:
+        return TryLocal(static_cast<size_t>(isolated_index_), item, &item);
     }
     return false;
   }
@@ -64,23 +105,37 @@ class OutboundCollector {
   /// Safe to call repeatedly with the same item until it returns true.
   bool OfferControl(const Item& item) { return OfferEverywhere(item); }
 
+  /// Unbinds the producer guards of every local queue (and asks every
+  /// remote sink to do the same) so this collector can be driven from a
+  /// different worker thread. Migration-time only; the scheduler provides
+  /// the happens-before edge.
+  void ReleaseProducerOwnership() {
+    for (auto& q : queues_) q->ReleaseProducerOwnership();
+    for (auto& r : remotes_) {
+      if (r.release_owner) r.release_owner();
+    }
+  }
+
   int32_t total_parallelism() const { return total_parallelism_; }
 
  private:
-  bool TryLocal(size_t index, const Item& item) {
+  // Delivers to local queue `index`; moves from `move_from` when non-null
+  // (SpscQueue::TryPush(T&) only consumes on success), else pushes a copy.
+  bool TryLocal(size_t index, const Item& item, Item* move_from) {
+    if (move_from != nullptr) return queues_[index]->TryPush(*move_from);
     Item copy = item;
     return queues_[index]->TryPush(copy);
   }
 
-  bool OfferUnicast(const Item& item) {
+  bool OfferUnicast(const Item& item, Item* move_from) {
     // Prefer the next queue round-robin, but fall through to any queue
     // with space so one slow consumer doesn't block the rest.
     const size_t n = queues_.size() + remotes_.size();
     for (size_t attempt = 0; attempt < n; ++attempt) {
       size_t idx = (cursor_ + attempt) % n;
       bool delivered = idx < queues_.size()
-                           ? TryLocal(idx, item)
-                           : remotes_[idx - queues_.size()](item);
+                           ? TryLocal(idx, item, move_from)
+                           : remotes_[idx - queues_.size()].offer(item);
       if (delivered) {
         cursor_ = (idx + 1) % n;
         return true;
@@ -89,7 +144,7 @@ class OutboundCollector {
     return false;
   }
 
-  bool OfferPartitioned(const Item& item) {
+  bool OfferPartitioned(const Item& item, Item* move_from) {
     // Global consumer index across the cluster; instances are laid out
     // node-major: global = node * local_parallelism + local_index.
     auto global = static_cast<int32_t>(item.key_hash %
@@ -98,12 +153,12 @@ class OutboundCollector {
     int32_t target_node = global / local_per_node;
     int32_t local_index = global % local_per_node;
     if (target_node == node_id_ || remotes_.empty()) {
-      return TryLocal(static_cast<size_t>(local_index), item);
+      return TryLocal(static_cast<size_t>(local_index), item, move_from);
     }
     // remotes_ are ordered by node id, skipping self.
     size_t remote_idx =
         static_cast<size_t>(target_node > node_id_ ? target_node - 1 : target_node);
-    return remotes_[remote_idx](item);
+    return remotes_[remote_idx].offer(item);
   }
 
   bool OfferEverywhere(const Item& item) {
@@ -112,8 +167,8 @@ class OutboundCollector {
     while (broadcast_progress_ < n) {
       size_t idx = broadcast_progress_;
       bool delivered = idx < queues_.size()
-                           ? TryLocal(idx, item)
-                           : remotes_[idx - queues_.size()](item);
+                           ? TryLocal(idx, item, nullptr)
+                           : remotes_[idx - queues_.size()].offer(item);
       if (!delivered) return false;
       ++broadcast_progress_;
     }

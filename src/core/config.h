@@ -35,6 +35,17 @@ struct JobConfig {
   /// time slice a tasklet spends in one call (§3.2: "executing for a very
   /// short period of time, typically under 1 millisecond").
   int32_t max_inbox_batch = 256;
+  /// Period of the scheduler's load-rebalance pass (§3.2): the service
+  /// samples per-tasklet busy time and migrates tasklets off overloaded
+  /// cooperative workers. 0 disables the background pass (manual
+  /// ExecutionService::TriggerRebalance still works).
+  Nanos rebalance_interval = 50 * kNanosPerMilli;
+  /// A worker is considered overloaded when its busy time over the last
+  /// rebalance period exceeds the least-loaded worker's by this factor.
+  double rebalance_skew_threshold = 1.5;
+  /// Ignore skew while the hottest worker was busy less than this per
+  /// period — migrating tasklets between near-idle workers is churn.
+  Nanos rebalance_min_load = kNanosPerMilli;
   /// Watchdog bound on the coordinator's wait for snapshot barrier acks.
   /// When a participant dies mid-snapshot the acks never arrive; after this
   /// long the in-flight epoch is aborted and garbage-collected instead of

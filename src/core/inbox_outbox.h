@@ -1,9 +1,11 @@
 #ifndef JETSIM_CORE_INBOX_OUTBOX_H_
 #define JETSIM_CORE_INBOX_OUTBOX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/debug_check.h"
@@ -20,50 +22,93 @@ namespace jet::core {
 /// place are re-offered on the next Process call (used when the outbox
 /// fills up mid-batch).
 ///
+/// Backed by a flat vector with a consume cursor rather than a deque:
+/// refills append in one contiguous run, bulk consumers (the network
+/// sender) move whole spans out with DrainTo, and the storage is reused
+/// across batches instead of deque's chunked allocation.
+///
 /// Not thread-safe: the inbox belongs to exactly one tasklet, and every
 /// mutating call must come from that tasklet's worker thread (checked under
 /// JETSIM_DEBUG_CHECKS).
 class Inbox {
  public:
   /// True when no items remain.
-  bool Empty() const { return items_.empty(); }
+  bool Empty() const { return pos_ >= items_.size(); }
 
   /// Number of items remaining.
-  size_t Size() const { return items_.size(); }
+  size_t Size() const { return items_.size() - pos_; }
 
   /// Returns the front item without removing it; nullptr when empty.
-  const Item* Peek() const { return items_.empty() ? nullptr : &items_.front(); }
+  const Item* Peek() const { return Empty() ? nullptr : &items_[pos_]; }
 
   /// Removes and returns the front item. Requires !Empty().
   Item Poll() {
     JET_DCHECK_SINGLE_THREAD(owner_guard_, "Inbox owner (Poll)");
-    JET_DCHECK(!items_.empty());
-    Item item = std::move(items_.front());
-    items_.pop_front();
+    JET_DCHECK(!Empty());
+    Item item = std::move(items_[pos_]);
+    ++pos_;
+    MaybeReset();
     return item;
   }
 
   /// Removes the front item. Requires !Empty().
   void RemoveFront() {
     JET_DCHECK_SINGLE_THREAD(owner_guard_, "Inbox owner (RemoveFront)");
-    JET_DCHECK(!items_.empty());
-    items_.pop_front();
+    JET_DCHECK(!Empty());
+    ++pos_;
+    MaybeReset();
   }
 
   /// Adds an item at the back (called by the owning tasklet only).
   void Add(Item item) {
     JET_DCHECK_SINGLE_THREAD(owner_guard_, "Inbox owner (Add)");
+    Compact();
     items_.push_back(std::move(item));
+  }
+
+  /// Moves up to `limit` items from the front into `out` (appended).
+  /// Returns the number moved. This is the batched consume path: one
+  /// cursor bump instead of per-item pops.
+  size_t DrainTo(std::vector<Item>* out, size_t limit) {
+    JET_DCHECK_SINGLE_THREAD(owner_guard_, "Inbox owner (DrainTo)");
+    const size_t n = std::min(limit, Size());
+    for (size_t i = 0; i < n; ++i) out->push_back(std::move(items_[pos_ + i]));
+    pos_ += n;
+    MaybeReset();
+    return n;
   }
 
   /// Drops all items.
   void Clear() {
     JET_DCHECK_SINGLE_THREAD(owner_guard_, "Inbox owner (Clear)");
     items_.clear();
+    pos_ = 0;
   }
 
+  /// Unbinds the owner guard so the inbox can move to another worker
+  /// thread (tasklet migration). The scheduler guarantees a happens-before
+  /// edge between the old owner's last access and the new owner's first.
+  void ReleaseOwner() { owner_guard_.Release(); }
+
  private:
-  std::deque<Item> items_;
+  void MaybeReset() {
+    if (pos_ >= items_.size()) {
+      items_.clear();
+      pos_ = 0;
+    }
+  }
+
+  // Drops the consumed prefix before appending, so the buffer never grows
+  // with already-consumed slots (refills normally happen on an empty inbox,
+  // making this a no-op).
+  void Compact() {
+    if (pos_ == 0) return;
+    items_.erase(items_.begin(), items_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+
+  std::vector<Item> items_;
+  size_t pos_ = 0;
   debug::ThreadOwnershipGuard owner_guard_;
 };
 
@@ -104,14 +149,25 @@ class Outbox {
   }
 
   /// Offers an item to every output edge; returns false (and consumes
-  /// nothing) unless all buckets have room.
-  bool OfferToAll(const Item& item) {
+  /// nothing) unless all buckets have room. The item is *moved* into the
+  /// last bucket and refcount-copied into the first n-1 — the caller's
+  /// item is consumed (left empty) on success, untouched on failure.
+  bool OfferToAll(Item&& item) {
     JET_DCHECK_SINGLE_THREAD(owner_guard_, "Outbox owner (OfferToAll)");
     for (const auto& bucket : buckets_) {
       if (bucket.size() >= capacity_) return false;
     }
-    for (auto& bucket : buckets_) bucket.push_back(item);
+    const size_t n = buckets_.size();
+    for (size_t i = 0; i + 1 < n; ++i) buckets_[i].push_back(item);
+    if (n > 0) buckets_[n - 1].push_back(std::move(item));
     return true;
+  }
+
+  /// Lvalue overload: copies into every bucket (broadcast callers that
+  /// must keep the item). Prefer the rvalue overload on hot paths.
+  bool OfferToAll(const Item& item) {
+    Item copy = item;
+    return OfferToAll(std::move(copy));
   }
 
   /// Offers a state entry to the snapshot bucket. Returns false if full.
@@ -134,14 +190,18 @@ class Outbox {
     return true;
   }
 
-  /// The tasklet-side view of one edge bucket.
-  std::deque<Item>& bucket(int ordinal) { return buckets_[static_cast<size_t>(ordinal)]; }
+  /// The tasklet-side view of one edge bucket. Flat vector so the tasklet
+  /// drains it as a contiguous batch (prefix-erase after delivery).
+  std::vector<Item>& bucket(int ordinal) { return buckets_[static_cast<size_t>(ordinal)]; }
 
   /// The tasklet-side view of the snapshot bucket.
   std::deque<StateEntry>& snapshot_bucket() { return snapshot_bucket_; }
 
+  /// Unbinds the owner guard for tasklet migration (see Inbox::ReleaseOwner).
+  void ReleaseOwner() { owner_guard_.Release(); }
+
  private:
-  std::vector<std::deque<Item>> buckets_;
+  std::vector<std::vector<Item>> buckets_;
   std::deque<StateEntry> snapshot_bucket_;
   size_t capacity_;
   debug::ThreadOwnershipGuard owner_guard_;

@@ -54,6 +54,11 @@ class Any {
     return static_cast<const T*>(ptr_.get());
   }
 
+  /// Number of Any instances sharing this payload (0 when empty). Test
+  /// inspection only: distinguishes a refcount-bumping copy from a move,
+  /// which leaves the source Empty() and the count unchanged.
+  long SharedCount() const { return ptr_.use_count(); }
+
  private:
   std::shared_ptr<const void> ptr_;
   const std::type_info* type_ = nullptr;

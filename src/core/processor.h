@@ -151,6 +151,13 @@ class Processor {
   /// non-cooperative ones get a dedicated thread (§3.2).
   virtual bool IsCooperative() const { return true; }
 
+  /// The hosting tasklet is about to migrate to another worker thread
+  /// (load rebalancing, round boundary only). Processors holding
+  /// single-thread transport roles (e.g. the receiver's wire-buffer
+  /// drainer) unbind them here; the scheduler guarantees a happens-before
+  /// edge to the new worker's first call.
+  virtual void ReleaseWorkerOwnership() {}
+
  protected:
   /// Available after Init.
   ProcessorContext* ctx() const { return ctx_; }

@@ -151,21 +151,44 @@ TaskletProgress ProcessorTasklet::Call() {
   return {made_progress_, state_ == State::kDone};
 }
 
+void ProcessorTasklet::PrepareWorkerHandoff() {
+  // Runs on the current owner thread at a round boundary: no Call() is in
+  // flight, the new worker has not touched the tasklet yet, and the
+  // scheduler's mailbox mutex orders everything below before the new
+  // worker's first Call(). Unbind every single-thread role this tasklet
+  // holds so the new worker can bind them on first use.
+  worker_guard_.Release();
+  inbox_.ReleaseOwner();
+  outbox_.ReleaseOwner();
+  for (auto& stream : inputs_) {
+    for (auto& q : stream.queues) q.queue->ReleaseConsumerOwnership();
+  }
+  for (auto& collector : collectors_) collector.ReleaseProducerOwnership();
+  processor_->ReleaseWorkerOwnership();
+}
+
 bool ProcessorTasklet::DrainOutbox() {
   bool fully_drained = true;
   for (int o = 0; o < outbox_.edge_count(); ++o) {
     auto& bucket = outbox_.bucket(o);
     auto& collector = collectors_[static_cast<size_t>(o)];
-    while (!bucket.empty()) {
-      const Item& front = bucket.front();
-      bool delivered =
-          front.IsData() ? collector.OfferData(front) : collector.OfferControl(front);
-      if (!delivered) {
+    // Deliver a contiguous prefix, then erase it in one shot: data items
+    // are *moved* into their target queue (single-target routes), so the
+    // hot path never bumps the payload refcount.
+    size_t delivered = 0;
+    while (delivered < bucket.size()) {
+      Item& front = bucket[delivered];
+      bool ok = front.IsData() ? collector.OfferDataMove(front)
+                               : collector.OfferControl(front);
+      if (!ok) {
         fully_drained = false;
         break;
       }
-      bucket.pop_front();
+      ++delivered;
       MarkProgress();
+    }
+    if (delivered > 0) {
+      bucket.erase(bucket.begin(), bucket.begin() + static_cast<std::ptrdiff_t>(delivered));
     }
   }
   auto& snapshot_bucket = outbox_.snapshot_bucket();
@@ -290,17 +313,22 @@ bool ProcessorTasklet::FillInbox() {
 
     bool got_data = false;
     int budget = context_.config.max_inbox_batch;
-    while (budget-- > 0) {
+    while (budget > 0) {
+      // Batched refill: move the whole run of data items up to the next
+      // control item (or the budget) with a single queue-index update,
+      // instead of a Peek/PopFront pair per item.
+      size_t moved = q.queue->DrainWhile(
+          [](const Item& it) { return it.IsData(); },
+          [this](Item&& it) { inbox_.Add(std::move(it)); },
+          static_cast<size_t>(budget));
+      budget -= static_cast<int>(moved);
+      if (moved > 0) got_data = true;
+      if (budget <= 0) break;
       Item* front = q.queue->Peek();
-      if (front == nullptr) break;
-      if (front->IsData()) {
-        inbox_.Add(std::move(*front));
-        q.queue->PopFront();
-        got_data = true;
-        continue;
-      }
+      if (front == nullptr || front->IsData()) break;  // empty or budget hit
       Item control = *front;
       q.queue->PopFront();
+      --budget;
       MarkProgress();
       if (HandleControlItem(stream, ref.queue, control)) break;
     }

@@ -40,6 +40,15 @@ class Tasklet {
   /// Non-cooperative tasklets get a dedicated thread (§3.2).
   virtual bool IsCooperative() const { return true; }
 
+  /// Called by the scheduler on the *current* owner thread, between two
+  /// Call()s (round boundary), right before this tasklet is handed to
+  /// another cooperative worker. Implementations unbind every
+  /// single-thread role the tasklet holds (ownership guards on queues,
+  /// inbox/outbox, transport buffers) so the new worker can bind them. The
+  /// scheduler provides the happens-before edge (mailbox mutex) between
+  /// this call and the new worker's first Call().
+  virtual void PrepareWorkerHandoff() {}
+
   /// Diagnostic name.
   virtual const std::string& name() const = 0;
 };
@@ -117,6 +126,7 @@ class ProcessorTasklet final : public Tasklet {
   Status Init() override;
   TaskletProgress Call() override;
   bool IsCooperative() const override { return cooperative_; }
+  void PrepareWorkerHandoff() override;
   const std::string& name() const override { return name_; }
 
   /// Number of data items this tasklet pushed into its processor. Safe to

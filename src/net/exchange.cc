@@ -45,6 +45,8 @@ Status SenderProcessor::Init(core::ProcessorContext* ctx) {
     items_sent_counter_ = ctx->metrics->GetCounter("exchange.items_sent", ctx->metric_tags);
     window_available_gauge_ =
         ctx->metrics->GetGauge("exchange.window_available", ctx->metric_tags);
+    batch_size_hist_ = ctx->metrics->GetHistogram("exchange.batch_size", ctx->metric_tags,
+                                                  /*max_value=*/64 * 1024);
     // The send limit is advanced by acks on the network thread; the atomic
     // read is safe from the registry's polling thread.
     auto flow = channel_->flow;
@@ -56,16 +58,26 @@ Status SenderProcessor::Init(core::ProcessorContext* ctx) {
 
 void SenderProcessor::Process(int ordinal, core::Inbox* inbox) {
   (void)ordinal;
-  std::vector<core::Item> batch;
-  while (!inbox->Empty() && static_cast<int32_t>(batch.size()) < max_batch_ &&
-         channel_->flow->MaySend(sent_seq_)) {
-    batch.push_back(inbox->Poll());
-    ++sent_seq_;
+  // Bulk-move the inbox prefix into one wire frame (the inbox only ever
+  // holds data items — the hosting tasklet strips control items before the
+  // processor sees them). The frame is bounded by both the configured max
+  // batch and the remaining receive window; items beyond the window stay in
+  // the inbox, its queues fill up, and backpressure reaches the producers
+  // (§3.3).
+  const int64_t window = channel_->flow->SendLimit() - sent_seq_;
+  if (window <= 0 || inbox->Empty()) {
+    window_available_gauge_.Set(std::max<int64_t>(0, window));
+    return;
   }
-  items_sent_counter_.Add(static_cast<int64_t>(batch.size()));
+  const size_t limit =
+      static_cast<size_t>(std::min<int64_t>(window, static_cast<int64_t>(max_batch_)));
+  std::vector<core::Item> batch;
+  batch.reserve(std::min(limit, inbox->Size()));
+  const size_t n = inbox->DrainTo(&batch, limit);
+  sent_seq_ += static_cast<int64_t>(n);
+  items_sent_counter_.Add(static_cast<int64_t>(n));
+  batch_size_hist_.Record(static_cast<int64_t>(n));
   window_available_gauge_.Set(std::max<int64_t>(0, channel_->flow->SendLimit() - sent_seq_));
-  // Items beyond the receive window stay in the inbox; the queues behind it
-  // fill up and backpressure reaches the producers (§3.3).
   if (!batch.empty()) SendBatch(std::move(batch));
 }
 
@@ -130,17 +142,24 @@ Status ReceiverProcessor::Init(core::ProcessorContext* ctx) {
 }
 
 bool ReceiverProcessor::Complete() {
-  if (staged_.empty() && !saw_done_) channel_->wire->Drain(&staged_, 256);
+  if (staged_pos_ >= staged_.size() && !saw_done_) {
+    staged_.clear();
+    staged_pos_ = 0;
+    channel_->wire->DrainInto(&staged_, 256);
+  }
   bool blocked = false;
-  while (!staged_.empty()) {
-    core::Item& item = staged_.front();
+  while (staged_pos_ < staged_.size()) {
+    core::Item& item = staged_[staged_pos_];
     if (item.IsDone()) {
       saw_done_ = true;
-      staged_.pop_front();
+      ++staged_pos_;
       continue;
     }
     const bool is_data = item.IsData();
-    if (!ctx()->outbox->OfferToAll(item)) {
+    // Move into the outbox: OfferToAll copies into the first n-1 buckets
+    // and moves into the last, and leaves `item` untouched when it returns
+    // false, so a blocked offer retries safely next Complete().
+    if (!ctx()->outbox->OfferToAll(std::move(item))) {
       blocked = true;  // downstream full; retry later
       break;
     }
@@ -148,7 +167,7 @@ bool ReceiverProcessor::Complete() {
       ++forwarded_seq_;
       items_forwarded_counter_.Add(1);
     }
-    staged_.pop_front();
+    ++staged_pos_;
   }
   // Periodically ack our progress so the sender's window slides (§3.3).
   int64_t limit = window_ctl_.MaybeAck(ctx()->clock->Now(), forwarded_seq_);
@@ -158,7 +177,7 @@ bool ReceiverProcessor::Complete() {
     acks_sent_counter_.Add(1);
     receive_window_gauge_.Set(window_ctl_.window());
   }
-  return !blocked && saw_done_ && staged_.empty();
+  return !blocked && saw_done_ && staged_pos_ >= staged_.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -211,10 +230,14 @@ core::RemoteSink NetworkEdgeFactory::SenderFor(const core::Edge& e, int32_t dest
         std::make_shared<core::ItemQueue>(static_cast<size_t>(e.queue_size)));
   }
   auto queue = queues[static_cast<size_t>(producer_local_index)];
-  return [queue](const core::Item& item) {
-    core::Item copy = item;
-    return queue->TryPush(copy);
-  };
+  // The release hook unbinds the queue's producer guard when the producer
+  // tasklet migrates to another cooperative worker.
+  return core::RemoteSink(
+      [queue](const core::Item& item) {
+        core::Item copy = item;
+        return queue->TryPush(copy);
+      },
+      [queue]() { queue->ReleaseProducerOwnership(); });
 }
 
 std::vector<core::ItemQueuePtr> NetworkEdgeFactory::ReceiverQueuesFor(

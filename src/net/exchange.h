@@ -20,6 +20,11 @@ namespace jet::net {
 /// Thread-safe inbound buffer of a network receiver; the network delivery
 /// thread pushes item batches, the receiver tasklet drains them.
 ///
+/// Batches are kept as whole frames (one vector per Push) so a push is a
+/// single move under the lock rather than a per-item copy loop, and a
+/// drain can steal an entire frame wholesale — the serialized-batch path
+/// of §3.1's exchange operators.
+///
 /// The mutex makes any interleaving memory-safe, but the exchange protocol
 /// additionally requires a single pusher (the channel's delivery thread —
 /// FIFO order would break with two) and a single drainer (the receiver
@@ -28,31 +33,81 @@ class WireBuffer {
  public:
   void Push(std::vector<core::Item>&& batch) {
     JET_DCHECK_SINGLE_THREAD(pusher_guard_, "WireBuffer pusher (Push)");
+    if (batch.empty()) return;
     std::scoped_lock lock(mutex_);
-    for (auto& item : batch) items_.push_back(std::move(item));
+    size_ += batch.size();
+    frames_.push_back(std::move(batch));
   }
 
-  /// Moves up to `limit` items into `out`; returns the number moved.
+  /// Moves up to `limit` items into `out`; returns the number moved. When
+  /// `out` is empty and the front frame fits under `limit` whole, the frame
+  /// is stolen with a single vector move.
+  size_t DrainInto(std::vector<core::Item>* out, size_t limit) {
+    JET_DCHECK_SINGLE_THREAD(drainer_guard_, "WireBuffer drainer (DrainInto)");
+    std::scoped_lock lock(mutex_);
+    size_t n = 0;
+    while (n < limit && !frames_.empty()) {
+      std::vector<core::Item>& front = frames_.front();
+      if (n == 0 && front_pos_ == 0 && out->empty() && front.size() <= limit) {
+        n = front.size();
+        *out = std::move(front);
+        frames_.pop_front();
+        continue;
+      }
+      while (n < limit && front_pos_ < front.size()) {
+        out->push_back(std::move(front[front_pos_]));
+        ++front_pos_;
+        ++n;
+      }
+      if (front_pos_ == front.size()) {
+        frames_.pop_front();
+        front_pos_ = 0;
+      } else {
+        break;
+      }
+    }
+    size_ -= n;
+    return n;
+  }
+
+  /// Item-at-a-time variant kept for callers staging into a deque.
   size_t Drain(std::deque<core::Item>* out, size_t limit) {
     JET_DCHECK_SINGLE_THREAD(drainer_guard_, "WireBuffer drainer (Drain)");
     std::scoped_lock lock(mutex_);
     size_t n = 0;
-    while (n < limit && !items_.empty()) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
-      ++n;
+    while (n < limit && !frames_.empty()) {
+      std::vector<core::Item>& front = frames_.front();
+      while (n < limit && front_pos_ < front.size()) {
+        out->push_back(std::move(front[front_pos_]));
+        ++front_pos_;
+        ++n;
+      }
+      if (front_pos_ == front.size()) {
+        frames_.pop_front();
+        front_pos_ = 0;
+      } else {
+        break;
+      }
     }
+    size_ -= n;
     return n;
   }
 
   size_t Size() const {
     std::scoped_lock lock(mutex_);
-    return items_.size();
+    return size_;
   }
+
+  /// Unbinds the drainer role; called when the receiver tasklet is handed
+  /// to another cooperative worker (the scheduler's migration protocol
+  /// orders the release before the new owner's first Drain).
+  void ReleaseDrainer() { drainer_guard_.Release(); }
 
  private:
   mutable std::mutex mutex_;
-  std::deque<core::Item> items_;
+  std::deque<std::vector<core::Item>> frames_;
+  size_t front_pos_ = 0;  // consumed prefix of frames_.front()
+  size_t size_ = 0;       // total items across frames
   debug::ThreadOwnershipGuard pusher_guard_;
   debug::ThreadOwnershipGuard drainer_guard_;
 };
@@ -123,9 +178,11 @@ class SenderProcessor final : public core::Processor {
 
   // Flow-control instruments (§3.3), written only by the hosting tasklet's
   // worker thread; the send-limit gauge is a registry callback reading the
-  // atomic SenderFlowState instead.
+  // atomic SenderFlowState instead. batch_size records how many items each
+  // wire frame carried — the lever the batched exchange path optimizes.
   obs::Counter items_sent_counter_;
   obs::Gauge window_available_gauge_;
+  obs::HistogramHandle batch_size_hist_{/*max_value=*/64 * 1024};
 };
 
 /// The receiver-side exchange operator: drains the wire buffer, re-emits
@@ -142,6 +199,10 @@ class ReceiverProcessor final : public core::Processor {
   bool Complete() override;
   bool InitiatesSnapshots() const override { return false; }
 
+  /// The receiver's worker thread holds the wire buffer's drainer role;
+  /// unbind it so a migration can rebind on the new worker.
+  void ReleaseWorkerOwnership() override { channel_->wire->ReleaseDrainer(); }
+
   int64_t items_forwarded() const { return forwarded_seq_; }
   int64_t current_window() const { return window_ctl_.window(); }
 
@@ -149,7 +210,10 @@ class ReceiverProcessor final : public core::Processor {
   Network* network_;
   std::shared_ptr<ExchangeChannel> channel_;
   ReceiveWindowController window_ctl_;
-  std::deque<core::Item> staged_;
+  // Staged wire frame, consumed through a cursor so frames drained with a
+  // single vector steal need no per-item pop.
+  std::vector<core::Item> staged_;
+  size_t staged_pos_ = 0;
   int64_t forwarded_seq_ = 0;
   bool saw_done_ = false;
 

@@ -28,7 +28,11 @@ class EventLoopProfiler {
     Nanos max_call_nanos = 10 * kNanosPerSecond;
   };
 
-  /// Per-tasklet recording slot; written only by the hosting worker.
+  /// Per-tasklet recording slot; written only by the hosting worker. When a
+  /// tasklet migrates to another worker the scheduler registers a *new*
+  /// profile under the new {tasklet, worker} tag pair and stops writing the
+  /// old one, so each slot keeps the single-writer discipline and per-worker
+  /// histograms stay attributable.
   class TaskletProfile {
    public:
     void RecordCall(Nanos duration) {
@@ -37,19 +41,54 @@ class EventLoopProfiler {
       if (duration > budget_) overbudget_.Add(1);
     }
 
+    /// Start/end variant: additionally records the scheduling delay — the
+    /// gap since this tasklet's previous call ended on this worker. On an
+    /// overloaded worker the delay is dominated by the siblings' time
+    /// slices, which is exactly the §3.2 tail-latency mechanism the
+    /// rebalancer exists to fix.
+    void RecordCall(Nanos start, Nanos end) {
+      RecordCall(end - start);
+      if (last_end_ > 0 && start > last_end_) sched_delay_nanos_.Record(start - last_end_);
+      last_end_ = end;
+    }
+
     Histogram CallHistogram() const { return call_nanos_.Snapshot(); }
+    Histogram SchedDelayHistogram() const { return sched_delay_nanos_.Snapshot(); }
     int64_t overbudget_calls() const { return overbudget_.Value(); }
 
    private:
     friend class EventLoopProfiler;
-    TaskletProfile(HistogramHandle call_nanos, Counter overbudget, Nanos budget)
+    TaskletProfile(HistogramHandle call_nanos, HistogramHandle sched_delay,
+                   Counter overbudget, Nanos budget)
         : call_nanos_(std::move(call_nanos)),
+          sched_delay_nanos_(std::move(sched_delay)),
           overbudget_(std::move(overbudget)),
           budget_(budget) {}
 
     HistogramHandle call_nanos_;
+    HistogramHandle sched_delay_nanos_;
     Counter overbudget_;
     Nanos budget_;
+    Nanos last_end_ = 0;
+  };
+
+  /// Per-worker recording slot ("worker.round_nanos": duration of one full
+  /// round-robin pass). Written only by that worker's thread.
+  class WorkerProfile {
+   public:
+    void RecordRound(Nanos duration) {
+      if (duration < 0) duration = 0;
+      round_nanos_.Record(duration);
+    }
+
+    Histogram RoundHistogram() const { return round_nanos_.Snapshot(); }
+
+   private:
+    friend class EventLoopProfiler;
+    explicit WorkerProfile(HistogramHandle round_nanos)
+        : round_nanos_(std::move(round_nanos)) {}
+
+    HistogramHandle round_nanos_;
   };
 
   /// `registry` must outlive the profiler. `clock` defaults to wall time.
@@ -66,21 +105,41 @@ class EventLoopProfiler {
 
   /// Registers `tasklet_name` hosted on worker-thread `worker`. The
   /// returned slot stays valid for the profiler's lifetime (deque-backed).
+  /// Safe from any thread; the *caller* must guarantee that writes into the
+  /// returned slot come from one thread at a time (the scheduler's
+  /// round-boundary handoff does).
   TaskletProfile* Register(const std::string& tasklet_name, int32_t worker) {
     MetricTags tags;
     tags.tasklet = tasklet_name;
     tags.worker = worker;
     HistogramHandle h = registry_->GetHistogram("tasklet.call_nanos", tags,
                                                 options_.max_call_nanos);
+    HistogramHandle delay = registry_->GetHistogram("tasklet.sched_delay_nanos", tags,
+                                                    options_.max_call_nanos);
     Counter over = registry_->GetCounter("tasklet.overbudget_calls", tags);
     std::scoped_lock lock(mutex_);
-    profiles_.push_back(
-        TaskletProfile(std::move(h), std::move(over), options_.call_budget));
+    profiles_.push_back(TaskletProfile(std::move(h), std::move(delay), std::move(over),
+                                       options_.call_budget));
     return &profiles_.back();
+  }
+
+  /// Registers cooperative worker `worker`'s round-duration slot.
+  WorkerProfile* RegisterWorker(int32_t worker) {
+    MetricTags tags;
+    tags.worker = worker;
+    HistogramHandle h =
+        registry_->GetHistogram("worker.round_nanos", tags, options_.max_call_nanos);
+    std::scoped_lock lock(mutex_);
+    worker_profiles_.push_back(WorkerProfile(std::move(h)));
+    return &worker_profiles_.back();
   }
 
   const Clock& clock() const { return *clock_; }
   Nanos call_budget() const { return options_.call_budget; }
+
+  /// Registry the profiles live in; the scheduler hangs its own
+  /// "scheduler.*" instruments off the same registry.
+  MetricsRegistry* registry() const { return registry_; }
 
  private:
   MetricsRegistry* registry_;
@@ -88,6 +147,7 @@ class EventLoopProfiler {
   Options options_;
   std::mutex mutex_;
   std::deque<TaskletProfile> profiles_;
+  std::deque<WorkerProfile> worker_profiles_;
 };
 
 }  // namespace jet::obs

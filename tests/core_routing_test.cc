@@ -49,6 +49,37 @@ TEST(OutboxTest, OfferToAllIsAtomicAcrossBuckets) {
   EXPECT_EQ(outbox.bucket(1).size(), 2u);
 }
 
+TEST(OutboxTest, OfferToAllMovesIntoLastBucketAndSharesTheRest) {
+  // Regression for the deep-copy bug: broadcast used to copy the item into
+  // every bucket and leave the source alive, i.e. n+1 payload references
+  // for n buckets. The fixed path copies into the first n-1 buckets and
+  // *moves* into the last, consuming the source.
+  Outbox outbox(3, /*bucket_capacity=*/4);
+  Item item = Item::Data<int>(42, 7);
+  const int* original = &item.payload.As<int>();
+  ASSERT_EQ(item.payload.SharedCount(), 1);
+
+  ASSERT_TRUE(outbox.OfferToAll(std::move(item)));
+  EXPECT_TRUE(item.payload.Empty());  // source consumed, not copied
+  // The three buckets share one payload: refcount is exactly n, and the
+  // last bucket holds the original allocation (a move, not a copy).
+  EXPECT_EQ(outbox.bucket(0).front().payload.SharedCount(), 3);
+  EXPECT_EQ(&outbox.bucket(2).front().payload.As<int>(), original);
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_EQ(outbox.bucket(b).front().payload.As<int>(), 42);
+  }
+}
+
+TEST(OutboxTest, OfferToAllRvalueLeavesSourceIntactOnFailure) {
+  Outbox outbox(2, /*bucket_capacity=*/1);
+  ASSERT_TRUE(outbox.OfferToAll(Item::Data<int>(1, 0)));
+  Item item = Item::Data<int>(2, 0);
+  EXPECT_FALSE(outbox.OfferToAll(std::move(item)));
+  // A failed broadcast must not consume the item — the caller retries.
+  EXPECT_FALSE(item.payload.Empty());
+  EXPECT_EQ(item.payload.As<int>(), 2);
+}
+
 TEST(OutboxTest, SnapshotBucketIndependent) {
   Outbox outbox(1, 2);
   EXPECT_TRUE(outbox.OfferToSnapshot(StateEntry{}));

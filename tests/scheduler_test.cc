@@ -1,0 +1,291 @@
+// Regression tests for the load-balanced cooperative scheduler: the
+// AwaitCompletion data race, the mid-round-erase fairness skew, and the
+// starvation scenario the rebalancer exists to fix (two always-busy
+// tasklets pinned to one worker while a sibling idles, §3.2).
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/execution_service.h"
+#include "obs/event_loop_profiler.h"
+#include "obs/metrics_registry.h"
+
+namespace jet::core {
+namespace {
+
+// Minimal scripted tasklet.
+class ScriptedTasklet final : public Tasklet {
+ public:
+  ScriptedTasklet(std::string name, int64_t work_calls)
+      : name_(std::move(name)), work_calls_(work_calls) {}
+
+  TaskletProgress Call() override {
+    int64_t done_so_far = calls_.fetch_add(1) + 1;
+    return {true, done_so_far >= work_calls_};
+  }
+
+  const std::string& name() const override { return name_; }
+  int64_t calls() const { return calls_.load(); }
+
+ private:
+  std::string name_;
+  int64_t work_calls_;
+  std::atomic<int64_t> calls_{0};
+};
+
+// Spins `busy_nanos` of wall time per call until `stop` is raised.
+class BusyTasklet final : public Tasklet {
+ public:
+  BusyTasklet(std::string name, Nanos busy_nanos, const std::atomic<bool>* stop)
+      : name_(std::move(name)), busy_nanos_(busy_nanos), stop_(stop) {}
+
+  TaskletProgress Call() override {
+    const Nanos until = WallClock::Global().Now() + busy_nanos_;
+    while (WallClock::Global().Now() < until) {
+    }
+    calls_.fetch_add(1, std::memory_order_acq_rel);
+    return {true, stop_->load(std::memory_order_acquire)};
+  }
+
+  const std::string& name() const override { return name_; }
+  int64_t calls() const { return calls_.load(std::memory_order_acquire); }
+
+ private:
+  std::string name_;
+  Nanos busy_nanos_;
+  const std::atomic<bool>* stop_;
+  std::atomic<int64_t> calls_{0};
+};
+
+// Never makes progress; completes when `stop` is raised.
+class IdleTasklet final : public Tasklet {
+ public:
+  IdleTasklet(std::string name, const std::atomic<bool>* stop)
+      : name_(std::move(name)), stop_(stop) {}
+
+  TaskletProgress Call() override {
+    return {false, stop_->load(std::memory_order_acquire)};
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  const std::atomic<bool>* stop_;
+};
+
+// Appends its name to a shared log on every call. Only valid on a
+// single-worker service (one writer); the service join orders the reads.
+class LoggingTasklet final : public Tasklet {
+ public:
+  LoggingTasklet(std::string name, int64_t work_calls, std::vector<std::string>* log)
+      : name_(std::move(name)), work_calls_(work_calls), log_(log) {}
+
+  TaskletProgress Call() override {
+    log_->push_back(name_);
+    return {true, ++calls_ >= work_calls_};
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int64_t work_calls_;
+  std::vector<std::string>* log_;
+  int64_t calls_ = 0;
+};
+
+// Regression for the AwaitCompletion race: joined_ was a plain bool and
+// first_error_ was read without its mutex, so two concurrent waiters (the
+// job's Join() and the supervisor's health probe) raced on both. Under
+// TSan this test fails on the old code.
+TEST(SchedulerTest, AwaitCompletionIsSafeFromConcurrentThreads) {
+  ScriptedTasklet a("a", 2000), b("b", 1000);
+  ExecutionService service(2);
+  ASSERT_TRUE(service.Start({&a, &b}).ok());
+
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  std::vector<Status> results(kWaiters);
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&service, &results, i]() { results[static_cast<size_t>(i)] = service.AwaitCompletion(); });
+  }
+  for (auto& t : waiters) t.join();
+  for (const Status& s : results) EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(service.IsComplete());
+  EXPECT_EQ(a.calls(), 2000);
+  EXPECT_EQ(b.calls(), 1000);
+}
+
+TEST(SchedulerTest, AwaitCompletionRacingAnInitErrorReportsIt) {
+  // The error is recorded by a worker while waiters race on the join path.
+  class FailingTasklet final : public Tasklet {
+   public:
+    Status Init() override { return InternalError("boom"); }
+    TaskletProgress Call() override { return {false, true}; }
+    const std::string& name() const override { return name_; }
+
+   private:
+    std::string name_ = "failing";
+  };
+  FailingTasklet bad;
+  ScriptedTasklet good("good", 1'000'000'000);
+  ExecutionService service(2);
+  ASSERT_TRUE(service.Start({&good, &bad}).ok());
+  std::vector<std::thread> waiters;
+  std::vector<Status> results(2);
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&service, &results, i]() { results[static_cast<size_t>(i)] = service.AwaitCompletion(); });
+  }
+  for (auto& t : waiters) t.join();
+  for (const Status& s : results) EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+// Regression for the fairness skew: a tasklet finishing mid-round used to
+// be erased from the round vector on the spot, shifting its successors
+// forward and handing them a second call within the same round. Removal is
+// now deferred to the round boundary, so the round-robin order of the
+// survivors is stable.
+TEST(SchedulerTest, DoneTaskletRemovalPreservesRoundOrder) {
+  std::vector<std::string> log;
+  LoggingTasklet a("a", 9, &log), b("b", 1, &log), c("c", 9, &log);
+  ExecutionService service(1);  // single worker: deterministic round order
+  ASSERT_TRUE(service.Start({&a, &b, &c}).ok());
+  ASSERT_TRUE(service.AwaitCompletion().ok());
+
+  // Round 1 runs a, b, c; b is done and must still not disturb c's slot.
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_EQ(log[0], "a");
+  EXPECT_EQ(log[1], "b");
+  EXPECT_EQ(log[2], "c");
+  // Every later round is exactly [a, c]: strict alternation, no double
+  // calls within a round.
+  ASSERT_EQ(log.size(), 3u + 2u * 8u);
+  for (size_t i = 3; i < log.size(); ++i) {
+    EXPECT_EQ(log[i], (i - 3) % 2 == 0 ? "a" : "c") << "position " << i;
+  }
+}
+
+// The starvation scenario (§3.2): round-robin assignment pins both heavy
+// tasklets to worker 0 while worker 1 hosts only idle ones. The rebalance
+// pass must migrate one heavy to worker 1; the proof is in the registry —
+// the migrated tasklet gains a call histogram under worker 1's tag, and
+// its scheduling delay (the time it waits for its sibling's calls)
+// collapses at the 99.99th percentile.
+TEST(SchedulerTest, RebalancerSpreadsStarvedHeavyTasklets) {
+  obs::MetricsRegistry registry;
+  obs::EventLoopProfiler profiler(&registry);
+  std::atomic<bool> stop{false};
+  constexpr Nanos kBusy = 200 * kNanosPerMicro;
+  BusyTasklet heavy0("heavy0", kBusy, &stop);
+  IdleTasklet idle0("idle0", &stop);
+  BusyTasklet heavy1("heavy1", kBusy, &stop);
+  IdleTasklet idle1("idle1", &stop);
+
+  ExecutionService::Options options;
+  options.rebalance_interval = 0;  // manual passes only: deterministic
+  options.skew_threshold = 1.5;
+  options.min_hot_load = 100 * kNanosPerMicro;
+  ExecutionService service(2, &profiler, options);
+  ASSERT_TRUE(service.load_balancing_enabled());
+  // Round-robin start: heavy0, heavy1 -> worker 0; idle0, idle1 -> worker 1.
+  ASSERT_TRUE(service.Start({&heavy0, &idle0, &heavy1, &idle1}).ok());
+
+  // Contended phase: enough calls that the 99.99th percentile of the
+  // scheduling delay is backed by real samples.
+  while (heavy0.calls() < 100 || heavy1.calls() < 100) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 200 && service.migrated_tasklets() == 0; ++i) {
+    service.TriggerRebalance();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(service.migrated_tasklets(), 1);
+  EXPECT_GE(service.rebalances(), 1);
+
+  // Post-migration phase: populate the migrated tasklet's fresh histograms
+  // under the new worker tag.
+  const int64_t target0 = heavy0.calls() + 100;
+  const int64_t target1 = heavy1.calls() + 100;
+  while (heavy0.calls() < target0 || heavy1.calls() < target1) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  ASSERT_TRUE(service.AwaitCompletion().ok());
+
+  // One heavy tasklet now reports call durations from worker 1.
+  int64_t migrated_p9999 = -1;
+  int64_t contended_p9999 = -1;
+  std::string migrated_name;
+  for (const auto& m : registry.Snapshot()) {
+    if (m.id.name != "tasklet.call_nanos" || m.id.tags.worker != 1) continue;
+    if (m.id.tags.tasklet.rfind("heavy", 0) != 0) continue;
+    if (m.histogram == nullptr || m.histogram->count() == 0) continue;
+    migrated_name = m.id.tags.tasklet;
+  }
+  ASSERT_FALSE(migrated_name.empty())
+      << "no heavy tasklet ever recorded calls on worker 1";
+
+  // The migrated tasklet's p99.99 scheduling delay on worker 1 (where its
+  // only neighbors are idle) is far below what it suffered on worker 0
+  // next to the other heavy (one full 200us call per round).
+  for (const auto& m : registry.Snapshot()) {
+    if (m.id.name != "tasklet.sched_delay_nanos") continue;
+    if (m.id.tags.tasklet != migrated_name) continue;
+    if (m.histogram == nullptr || m.histogram->count() == 0) continue;
+    if (m.id.tags.worker == 0) contended_p9999 = m.histogram->ValueAtQuantile(0.9999);
+    if (m.id.tags.worker == 1) migrated_p9999 = m.histogram->ValueAtQuantile(0.9999);
+  }
+  ASSERT_GE(contended_p9999, 0) << "no contended-phase delay samples";
+  ASSERT_GE(migrated_p9999, 0) << "no post-migration delay samples";
+  // Contended: each round waits out the sibling's full busy call.
+  EXPECT_GE(contended_p9999, kBusy / 2);
+  EXPECT_LT(migrated_p9999, contended_p9999);
+}
+
+TEST(SchedulerTest, NoRebalancingWithoutProfiler) {
+  ExecutionService service(2);
+  EXPECT_FALSE(service.load_balancing_enabled());
+  std::atomic<bool> stop{true};
+  BusyTasklet h0("h0", kNanosPerMicro, &stop);
+  BusyTasklet h1("h1", kNanosPerMicro, &stop);
+  ASSERT_TRUE(service.Start({&h0, &h1}).ok());
+  service.TriggerRebalance();  // must be a harmless no-op
+  ASSERT_TRUE(service.AwaitCompletion().ok());
+  EXPECT_EQ(service.migrated_tasklets(), 0);
+}
+
+TEST(SchedulerTest, BackgroundRebalanceRunsWithoutManualTrigger) {
+  obs::MetricsRegistry registry;
+  obs::EventLoopProfiler profiler(&registry);
+  std::atomic<bool> stop{false};
+  constexpr Nanos kBusy = 100 * kNanosPerMicro;
+  BusyTasklet heavy0("heavy0", kBusy, &stop);
+  IdleTasklet idle0("idle0", &stop);
+  BusyTasklet heavy1("heavy1", kBusy, &stop);
+  IdleTasklet idle1("idle1", &stop);
+
+  ExecutionService::Options options;
+  options.rebalance_interval = 2 * kNanosPerMilli;
+  options.min_hot_load = 50 * kNanosPerMicro;
+  ExecutionService service(2, &profiler, options);
+  ASSERT_TRUE(service.Start({&heavy0, &idle0, &heavy1, &idle1}).ok());
+
+  for (int i = 0; i < 2000 && service.migrated_tasklets() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  ASSERT_TRUE(service.AwaitCompletion().ok());
+  EXPECT_GE(service.migrated_tasklets(), 1);
+}
+
+}  // namespace
+}  // namespace jet::core
