@@ -6,13 +6,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/network.h"
 
 namespace jet::cluster {
@@ -64,7 +64,7 @@ class HeartbeatFailureDetector {
   void AddMember(int32_t member) {
     std::shared_ptr<MemberState> stale;
     {
-      std::scoped_lock lock(mutex_);
+      jet::MutexLock lock(mutex_);
       auto it = members_.find(member);
       if (it != members_.end()) {
         bool failed =
@@ -82,7 +82,7 @@ class HeartbeatFailureDetector {
       stale->stop.store(true, std::memory_order_release);
       if (stale->pump.joinable()) stale->pump.join();
     }
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     if (members_.count(member) != 0) return;
     auto state = std::make_shared<MemberState>();
     state->channel = network_->OpenChannel(member, options_.observer_node);
@@ -107,7 +107,7 @@ class HeartbeatFailureDetector {
   void StopHeartbeats(int32_t member) {
     std::shared_ptr<MemberState> state;
     {
-      std::scoped_lock lock(mutex_);
+      jet::MutexLock lock(mutex_);
       auto it = members_.find(member);
       if (it == members_.end()) return;
       state = it->second;
@@ -128,7 +128,7 @@ class HeartbeatFailureDetector {
     if (monitor_.joinable()) monitor_.join();
     std::vector<std::shared_ptr<MemberState>> states;
     {
-      std::scoped_lock lock(mutex_);
+      jet::MutexLock lock(mutex_);
       for (auto& [id, state] : members_) states.push_back(state);
     }
     for (auto& state : states) {
@@ -139,20 +139,20 @@ class HeartbeatFailureDetector {
 
   /// Members declared failed so far.
   std::vector<int32_t> FailedMembers() const {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     return failed_;
   }
 
   /// Members currently suspected (stale heartbeat, not yet declared
   /// failed). Always empty unless Options::suspect_after > 0.
   std::vector<int32_t> SuspectedMembers() const {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     return std::vector<int32_t>(suspected_.begin(), suspected_.end());
   }
 
   /// Times a suspicion was withdrawn because a late heartbeat arrived.
   int64_t refutation_count() const {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     return refutations_;
   }
 
@@ -164,12 +164,14 @@ class HeartbeatFailureDetector {
     std::thread pump;
   };
 
-  void MonitorLoop() {
+  // Detector thread body; on_failure_ fires after mutex_ is released so
+  // callback-side locks never nest under the detector's.
+  void MonitorLoop() JET_EXCLUDES(mutex_) {
     while (running_.load(std::memory_order_acquire)) {
       Nanos now = clock_.Now();
       std::vector<int32_t> newly_failed;
       {
-        std::scoped_lock lock(mutex_);
+        jet::MutexLock lock(mutex_);
         for (auto& [member, state] : members_) {
           if (std::find(failed_.begin(), failed_.end(), member) != failed_.end()) {
             continue;
@@ -201,11 +203,11 @@ class HeartbeatFailureDetector {
   Options options_;
   std::function<void(int32_t)> on_failure_;
   WallClock clock_;
-  mutable std::mutex mutex_;
-  std::map<int32_t, std::shared_ptr<MemberState>> members_;
-  std::vector<int32_t> failed_;
-  std::set<int32_t> suspected_;
-  int64_t refutations_ = 0;
+  mutable jet::Mutex mutex_;
+  std::map<int32_t, std::shared_ptr<MemberState>> members_ JET_GUARDED_BY(mutex_);
+  std::vector<int32_t> failed_ JET_GUARDED_BY(mutex_);
+  std::set<int32_t> suspected_ JET_GUARDED_BY(mutex_);
+  int64_t refutations_ JET_GUARDED_BY(mutex_) = 0;
   std::atomic<bool> running_{false};
   std::thread monitor_;
 };

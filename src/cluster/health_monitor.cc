@@ -35,7 +35,7 @@ ClusterHealthMonitor::~ClusterHealthMonitor() { Stop(); }
 void ClusterHealthMonitor::AddMember(int32_t member) {
   std::shared_ptr<MemberState> stale;
   {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     auto it = members_.find(member);
     if (it != members_.end()) {
       if (!it->second->stop.load(std::memory_order_acquire)) return;
@@ -47,7 +47,7 @@ void ClusterHealthMonitor::AddMember(int32_t member) {
 
   std::shared_ptr<MemberState> state;
   {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     if (members_.count(member) != 0) return;
     // Fresh link state in both directions with every existing member, so a
     // (re)joining member does not start out down or broken.
@@ -72,7 +72,7 @@ void ClusterHealthMonitor::AddMember(int32_t member) {
 void ClusterHealthMonitor::StopHeartbeats(int32_t member) {
   std::shared_ptr<MemberState> state;
   {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     auto it = members_.find(member);
     if (it == members_.end()) return;
     state = it->second;
@@ -91,7 +91,7 @@ void ClusterHealthMonitor::Stop() {
   if (monitor_.joinable()) monitor_.join();
   std::vector<std::shared_ptr<MemberState>> states;
   {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     for (auto& [id, state] : members_) states.push_back(state);
   }
   for (auto& state : states) {
@@ -107,7 +107,7 @@ void ClusterHealthMonitor::PumpLoop(int32_t member,
     // that joined after this pump started.
     std::vector<Link> out;
     {
-      std::scoped_lock lock(mutex_);
+      jet::MutexLock lock(mutex_);
       for (const auto& [key, link] : links_) {
         if (key.first == member) out.push_back(link);
       }
@@ -177,7 +177,7 @@ void ClusterHealthMonitor::MonitorLoop() {
   while (running_.load(std::memory_order_acquire)) {
     HealthReport report;
     {
-      std::scoped_lock lock(mutex_);
+      jet::MutexLock lock(mutex_);
       report = Evaluate(clock_.Now());
       std::set<int32_t> now_suspected(report.suspected.begin(),
                                       report.suspected.end());
@@ -199,17 +199,17 @@ void ClusterHealthMonitor::MonitorLoop() {
 }
 
 HealthReport ClusterHealthMonitor::Snapshot() const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   return Evaluate(clock_.Now());
 }
 
 std::vector<int32_t> ClusterHealthMonitor::SuspectedMembers() const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   return std::vector<int32_t>(last_suspected_.begin(), last_suspected_.end());
 }
 
 int64_t ClusterHealthMonitor::refutation_count() const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   return refutations_;
 }
 

@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -13,6 +12,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "net/network.h"
 
 namespace jet::cluster {
@@ -90,10 +90,10 @@ class ClusterHealthMonitor {
   void Stop();
 
   /// Latest folded report (recomputed on demand).
-  HealthReport Snapshot() const;
+  HealthReport Snapshot() const JET_EXCLUDES(mutex_);
 
   /// Members currently suspected somewhere in the mesh.
-  std::vector<int32_t> SuspectedMembers() const;
+  std::vector<int32_t> SuspectedMembers() const JET_EXCLUDES(mutex_);
 
   /// Times a suspicion was withdrawn because a fresh heartbeat arrived.
   int64_t refutation_count() const;
@@ -109,21 +109,29 @@ class ClusterHealthMonitor {
     std::shared_ptr<std::atomic<Nanos>> last_rx;
   };
 
-  void PumpLoop(int32_t member, std::shared_ptr<MemberState> state);
-  void MonitorLoop();
-  // Folds the freshness matrix into a report. Requires mutex_.
-  HealthReport Evaluate(Nanos now) const;
+  // Dedicated heartbeat thread per member; sleeps between beats.
+  void PumpLoop(int32_t member, std::shared_ptr<MemberState> state)
+      JET_EXCLUDES(mutex_);
+  // Monitor thread body. Audited callback scope: on_change_ is invoked
+  // AFTER mutex_ is released (the report is folded under the lock, copied
+  // out, and the callback — which re-enters JetCluster's control mutex —
+  // runs lock-free), so monitor-internal and callback-side locks never
+  // nest.
+  void MonitorLoop() JET_EXCLUDES(mutex_);
+  // Folds the freshness matrix into a report.
+  HealthReport Evaluate(Nanos now) const JET_REQUIRES(mutex_);
 
   net::Network* network_;
   Options options_;
   std::function<void(const HealthReport&)> on_change_;
   WallClock clock_;
 
-  mutable std::mutex mutex_;
-  std::map<int32_t, std::shared_ptr<MemberState>> members_;
-  std::map<std::pair<int32_t, int32_t>, Link> links_;  // (from, to)
-  std::set<int32_t> last_suspected_;
-  int64_t refutations_ = 0;
+  mutable jet::Mutex mutex_;
+  std::map<int32_t, std::shared_ptr<MemberState>> members_ JET_GUARDED_BY(mutex_);
+  // (from, to)
+  std::map<std::pair<int32_t, int32_t>, Link> links_ JET_GUARDED_BY(mutex_);
+  std::set<int32_t> last_suspected_ JET_GUARDED_BY(mutex_);
+  int64_t refutations_ JET_GUARDED_BY(mutex_) = 0;
 
   std::atomic<bool> running_{false};
   std::thread monitor_;

@@ -32,11 +32,11 @@ JetCluster::JetCluster(ClusterConfig config)
     mopts.suspicion_timeout = config_.supervisor.suspicion_timeout;
     monitor_ = std::make_unique<ClusterHealthMonitor>(
         &network_, mopts, [this](const HealthReport& report) {
-          std::scoped_lock lock(control_mutex_);
+          jet::MutexLock lock(control_mutex_);
           ControlEvent e;
           e.report = report;
           events_.push_back(std::move(e));
-          control_cv_.notify_all();
+          control_cv_.NotifyAll();
         });
     for (int32_t id : alive_nodes_) monitor_->AddMember(id);
     monitor_->Start();
@@ -47,16 +47,16 @@ JetCluster::JetCluster(ClusterConfig config)
 JetCluster::~JetCluster() {
   if (control_.joinable()) {
     {
-      std::scoped_lock lock(control_mutex_);
+      jet::MutexLock lock(control_mutex_);
       control_stop_ = true;
-      control_cv_.notify_all();
+      control_cv_.NotifyAll();
     }
     control_.join();
   }
   if (monitor_ != nullptr) monitor_->Stop();
   std::vector<ClusterJob*> jobs;
   {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     for (auto& j : jobs_) jobs.push_back(j.get());
   }
   for (ClusterJob* j : jobs) {
@@ -74,7 +74,7 @@ Result<ClusterJob*> JetCluster::SubmitJob(const core::Dag* dag, core::JobConfig 
   if (config_.supervisor.enabled && config.snapshot_ack_timeout == 0) {
     config.snapshot_ack_timeout = config_.supervisor.snapshot_ack_timeout;
   }
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   if (alive_nodes_.empty()) return UnavailableError("no alive nodes");
   auto job =
       std::unique_ptr<ClusterJob>(new ClusterJob(this, dag, config, job_id));
@@ -84,7 +84,7 @@ Result<ClusterJob*> JetCluster::SubmitJob(const core::Dag* dag, core::JobConfig 
 }
 
 Status JetCluster::KillNode(int32_t node_id) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto it = std::find(alive_nodes_.begin(), alive_nodes_.end(), node_id);
   if (it == alive_nodes_.end()) return NotFoundError("node not alive");
   alive_nodes_.erase(it);
@@ -93,7 +93,7 @@ Status JetCluster::KillNode(int32_t node_id) {
   // Fail-stop the member's workers immediately (its in-memory replicas and
   // execution state are gone).
   for (auto& job : jobs_) {
-    std::scoped_lock job_lock(job->job_mutex_);
+    jet::MutexLock job_lock(job->job_mutex_);
     if (job->attempt_ == nullptr) continue;
     auto& nodes = job->attempt_->nodes;
     auto idx = std::find(nodes.begin(), nodes.end(), node_id);
@@ -123,7 +123,7 @@ Status JetCluster::CrashNode(int32_t node_id) {
     return FailedPreconditionError(
         "CrashNode requires ClusterConfig::supervisor.enabled");
   }
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   if (std::find(alive_nodes_.begin(), alive_nodes_.end(), node_id) ==
       alive_nodes_.end()) {
     return NotFoundError("node not alive");
@@ -132,7 +132,7 @@ Status JetCluster::CrashNode(int32_t node_id) {
   // all. Eviction, backup promotion and job restarts are the control
   // plane's problem, driven by heartbeat staleness like a real death.
   for (auto& job : jobs_) {
-    std::scoped_lock job_lock(job->job_mutex_);
+    jet::MutexLock job_lock(job->job_mutex_);
     if (job->attempt_ == nullptr) continue;
     auto& nodes = job->attempt_->nodes;
     auto idx = std::find(nodes.begin(), nodes.end(), node_id);
@@ -145,7 +145,7 @@ Status JetCluster::CrashNode(int32_t node_id) {
 }
 
 Status JetCluster::RecoverAfterFault(const std::function<void()>& heal) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   // Stop unfinished attempts while the links are still faulty so no late
   // message can sneak a lossy attempt to "completion".
   std::vector<ClusterJob*> stopped;
@@ -160,13 +160,13 @@ Status JetCluster::RecoverAfterFault(const std::function<void()>& heal) {
 }
 
 Status JetCluster::StallNode(int32_t node_id, Nanos duration) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   if (std::find(alive_nodes_.begin(), alive_nodes_.end(), node_id) ==
       alive_nodes_.end()) {
     return NotFoundError("node not alive");
   }
   for (auto& job : jobs_) {
-    std::scoped_lock job_lock(job->job_mutex_);
+    jet::MutexLock job_lock(job->job_mutex_);
     if (job->attempt_ == nullptr) continue;
     auto& nodes = job->attempt_->nodes;
     auto idx = std::find(nodes.begin(), nodes.end(), node_id);
@@ -179,7 +179,7 @@ Status JetCluster::StallNode(int32_t node_id, Nanos duration) {
 }
 
 Result<int32_t> JetCluster::AddNode() {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   int32_t id = next_node_id_++;
   auto migrated = grid_.AddMember(id);
   if (!migrated.ok()) return migrated.status();
@@ -204,14 +204,14 @@ Result<int32_t> JetCluster::AddNode() {
 }
 
 std::vector<int32_t> JetCluster::AliveNodes() const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   return alive_nodes_;
 }
 
 JetCluster::Diagnostics JetCluster::DiagnosticsDump() const {
   std::vector<obs::MetricSnapshot> all;
   {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     for (const auto& job : jobs_) {
       auto snap = job->MetricSnapshots();
       all.insert(all.end(), std::make_move_iterator(snap.begin()),
@@ -267,21 +267,21 @@ JetCluster::Diagnostics JetCluster::DiagnosticsDump() const {
 
 void JetCluster::NotifySnapshotTimeout(ClusterJob* job, const void* attempt) {
   if (!config_.supervisor.enabled) return;
-  std::scoped_lock lock(control_mutex_);
+  jet::MutexLock lock(control_mutex_);
   ControlEvent e;
   e.type = ControlEvent::Type::kSnapshotTimeout;
   e.job = job;
   e.attempt = attempt;
   events_.push_back(std::move(e));
-  control_cv_.notify_all();
+  control_cv_.NotifyAll();
 }
 
 void JetCluster::ControlLoop() {
   while (true) {
     std::vector<ControlEvent> batch;
     {
-      std::unique_lock lock(control_mutex_);
-      control_cv_.wait_for(lock, std::chrono::milliseconds(2), [this]() {
+      jet::MutexLock lock(control_mutex_);
+      control_cv_.WaitFor(control_mutex_, std::chrono::milliseconds(2), [this]() {
         return control_stop_ || !events_.empty();
       });
       if (control_stop_) return;
@@ -289,7 +289,7 @@ void JetCluster::ControlLoop() {
                    std::make_move_iterator(events_.end()));
       events_.clear();
     }
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     for (const ControlEvent& e : batch) {
       if (e.type == ControlEvent::Type::kHealth) {
         last_report_ = e.report;
@@ -416,7 +416,7 @@ void JetCluster::HandleSnapshotTimeout(ClusterJob* job, const void* attempt) {
   JobSupervisor* sup = job->supervisor();
   if (sup == nullptr) return;
   {
-    std::scoped_lock job_lock(job->job_mutex_);
+    jet::MutexLock job_lock(job->job_mutex_);
     if (job->attempt_.get() != attempt) return;  // stale: attempt replaced
   }
   if (!job->StopForRecovery()) return;
@@ -432,7 +432,7 @@ void JetCluster::ReconcileJobs(Nanos now) {
     JobSupervisor* sup = job->supervisor();
     if (sup == nullptr) continue;
     if (sup->state() == JobState::kRunning) {
-      std::scoped_lock job_lock(job->job_mutex_);
+      jet::MutexLock job_lock(job->job_mutex_);
       if (job->completed_naturally_.load(std::memory_order_acquire) ||
           (job->attempt_ != nullptr && job->attempt_->AllComplete() &&
            !job->attempt_->cancelled.load(std::memory_order_acquire))) {
@@ -685,28 +685,28 @@ Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snap
   }
 
   attempt_count_.fetch_add(1, std::memory_order_acq_rel);
-  std::scoped_lock lock(job_mutex_);
+  jet::MutexLock lock(job_mutex_);
   attempt_ = std::move(attempt);
-  attempt_cv_.notify_all();
+  attempt_cv_.NotifyAll();
   return Status::OK();
 }
 
 void ClusterJob::StopCurrentAttempt() {
   std::shared_ptr<Attempt> attempt;
   {
-    std::scoped_lock lock(job_mutex_);
+    jet::MutexLock lock(job_mutex_);
     attempt = std::move(attempt_);
   }
   if (attempt != nullptr) {
     attempt->StopAll();
-    std::scoped_lock lock(job_mutex_);
+    jet::MutexLock lock(job_mutex_);
     completed_attempt_ = std::move(attempt);
   }
 }
 
 bool ClusterJob::StopForRecovery() {
   {
-    std::scoped_lock lock(job_mutex_);
+    jet::MutexLock lock(job_mutex_);
     if (attempt_ == nullptr) return false;  // already finished/cancelled
     // A naturally-finished job does not restart.
     bool complete = attempt_->AllComplete() &&
@@ -824,7 +824,7 @@ void ClusterJob::CoordinatorLoop(Attempt* attempt) {
 std::vector<obs::MetricSnapshot> ClusterJob::MetricSnapshots() const {
   std::shared_ptr<Attempt> attempt;
   {
-    std::scoped_lock lock(const_cast<std::mutex&>(job_mutex_));
+    jet::MutexLock lock(job_mutex_);
     attempt = attempt_ != nullptr ? attempt_ : completed_attempt_;
   }
   std::vector<obs::MetricSnapshot> out;
@@ -857,7 +857,7 @@ Status ClusterJob::Join() {
     if (failed_.load(std::memory_order_acquire)) return first_error_;
     std::shared_ptr<Attempt> current;
     {
-      std::scoped_lock lock(job_mutex_);
+      jet::MutexLock lock(job_mutex_);
       current = attempt_;
     }
     if (job_cancelled_.load(std::memory_order_acquire)) break;
@@ -867,7 +867,7 @@ Status ClusterJob::Join() {
       continue;
     }
     if (current->AllComplete()) {
-      std::scoped_lock lock(job_mutex_);
+      jet::MutexLock lock(job_mutex_);
       if (attempt_ == current &&
           !current->cancelled.load(std::memory_order_acquire)) {
         completed_naturally_.store(true, std::memory_order_release);
@@ -883,7 +883,7 @@ Status ClusterJob::Join() {
 
 void ClusterJob::Cancel() {
   job_cancelled_.store(true, std::memory_order_release);
-  std::scoped_lock lock(job_mutex_);
+  jet::MutexLock lock(job_mutex_);
   if (attempt_ != nullptr) {
     attempt_->cancelled.store(true, std::memory_order_release);
     for (auto& s : attempt_->services) s->Cancel();

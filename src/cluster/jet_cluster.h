@@ -2,16 +2,15 @@
 #define JETSIM_CLUSTER_JET_CLUSTER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "cluster/health_monitor.h"
+#include "common/thread_annotations.h"
 #include "cluster/job_supervisor.h"
 #include "core/dag.h"
 #include "core/execution_plan.h"
@@ -140,21 +139,22 @@ class JetCluster {
   // Coordinator threads report watchdog-aborted snapshots here; the control
   // thread turns them into a failure-class restart. No-op when the
   // supervisor is disabled.
-  void NotifySnapshotTimeout(ClusterJob* job, const void* attempt);
+  void NotifySnapshotTimeout(ClusterJob* job, const void* attempt)
+      JET_EXCLUDES(control_mutex_);
 
-  void ControlLoop();
-  // The handlers below require mutex_.
-  void HandleHealthReport(const HealthReport& report);
-  void HandleSnapshotTimeout(ClusterJob* job, const void* attempt);
-  void ReconcileJobs(Nanos now);
+  void ControlLoop() JET_EXCLUDES(mutex_, control_mutex_);
+  void HandleHealthReport(const HealthReport& report) JET_REQUIRES(mutex_);
+  void HandleSnapshotTimeout(ClusterJob* job, const void* attempt)
+      JET_REQUIRES(mutex_);
+  void ReconcileJobs(Nanos now) JET_REQUIRES(mutex_);
   // Quorum rule: connected component of healthy links holding a strict
   // majority of the current membership, with broken-link endpoints greedily
   // dropped until the subset is clean. nullopt = no quorum.
   std::optional<std::vector<int32_t>> QuorumSubsetLocked(
-      const HealthReport& report) const;
+      const HealthReport& report) const JET_REQUIRES(mutex_);
   // True when the latest health report shows every alive member up and
   // every alive-alive link healthy (the gate for launching a restart).
-  bool AliveHealthyLocked() const;
+  bool AliveHealthyLocked() const JET_REQUIRES(mutex_);
 
   ClusterConfig config_;
   imdg::DataGrid grid_;
@@ -162,20 +162,26 @@ class JetCluster {
   net::Network network_;
   WallClock clock_;
 
-  mutable std::mutex mutex_;
-  std::vector<int32_t> alive_nodes_;
-  std::set<int32_t> evicted_;   // evicted by the control plane, may rejoin
-  HealthReport last_report_;    // latest report processed by the control loop
-  int32_t next_node_id_ = 0;
-  std::vector<std::unique_ptr<ClusterJob>> jobs_;
+  // Cluster membership/job lock. Lock order: mutex_ → ClusterJob::job_mutex_
+  // (KillNode, ReconcileJobs); never the reverse. The control loop drains
+  // events under control_mutex_, releases it, then takes mutex_ — the two
+  // are never nested.
+  mutable jet::Mutex mutex_;
+  std::vector<int32_t> alive_nodes_ JET_GUARDED_BY(mutex_);
+  // evicted by the control plane, may rejoin
+  std::set<int32_t> evicted_ JET_GUARDED_BY(mutex_);
+  // latest report processed by the control loop
+  HealthReport last_report_ JET_GUARDED_BY(mutex_);
+  int32_t next_node_id_ JET_GUARDED_BY(mutex_) = 0;
+  std::vector<std::unique_ptr<ClusterJob>> jobs_ JET_GUARDED_BY(mutex_);
 
   // Supervisor-mode control plane (null / not started when disabled).
   std::unique_ptr<ClusterHealthMonitor> monitor_;
   std::thread control_;
-  std::mutex control_mutex_;
-  std::condition_variable control_cv_;
-  std::deque<ControlEvent> events_;
-  bool control_stop_ = false;
+  jet::Mutex control_mutex_;
+  jet::CondVar control_cv_;
+  std::deque<ControlEvent> events_ JET_GUARDED_BY(control_mutex_);
+  bool control_stop_ JET_GUARDED_BY(control_mutex_) = false;
 };
 
 /// A job running on a JetCluster. A job execution is a sequence of
@@ -256,11 +262,19 @@ class ClusterJob {
              imdg::JobId job_id);
 
   // Builds and starts an attempt on `nodes`; restores from
-  // `restore_snapshot` if >= 0. Caller holds cluster mutex.
-  Status StartAttempt(std::vector<int32_t> nodes, int64_t restore_snapshot);
+  // `restore_snapshot` if >= 0. Caller holds cluster mutex. (The
+  // cluster-mutex contracts on this and the methods below cannot be
+  // JET_REQUIRES(cluster_->mutex_): clang's analysis does not alias
+  // `job->cluster_->mutex_` at the call sites with the `mutex_` the
+  // caller holds, so the annotation would be a guaranteed false positive.
+  // The serialization is enforced by JetCluster, whose own handlers ARE
+  // annotated.)
+  Status StartAttempt(std::vector<int32_t> nodes, int64_t restore_snapshot)
+     ;
 
-  // Stops the current attempt (cancel + join threads). Caller holds
-  // cluster mutex.
+  // Stops the current attempt (cancel + join threads). Touches only
+  // job_mutex_-guarded state; also reachable from Join(), which does not
+  // hold the cluster mutex.
   void StopCurrentAttempt();
 
   // Stops the current attempt unless the job already finished naturally or
@@ -286,11 +300,13 @@ class ClusterJob {
   core::JobConfig config_;
   imdg::JobId job_id_;
 
-  std::mutex job_mutex_;
-  std::condition_variable attempt_cv_;
-  std::shared_ptr<Attempt> attempt_;
+  // mutable: MetricSnapshots() is logically const but must lock to read
+  // attempt_ (previously expressed with a const_cast).
+  mutable jet::Mutex job_mutex_;
+  jet::CondVar attempt_cv_;
+  std::shared_ptr<Attempt> attempt_ JET_GUARDED_BY(job_mutex_);
   // Last stopped attempt, kept for post-run Metrics().
-  std::shared_ptr<Attempt> completed_attempt_;
+  std::shared_ptr<Attempt> completed_attempt_ JET_GUARDED_BY(job_mutex_);
   std::atomic<int64_t> last_committed_{0};
   std::atomic<int64_t> snapshots_taken_{0};
   std::atomic<int32_t> attempt_count_{0};

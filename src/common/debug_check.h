@@ -32,6 +32,8 @@ namespace jet::debug {
 /// std::thread::id.
 inline uint64_t CurrentThreadId() {
   static std::atomic<uint64_t> next{1};
+  // jet-verify: allow(single-writer) — id allocation: the RMW is atomic and
+  // the id carries no payload ordering
   thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
@@ -72,6 +74,8 @@ class ThreadOwnershipGuard {
     if (expected != self) DieCheckFailed("ownership", what, file, line, expected, self);
   }
 
+  // jet-verify: allow(single-writer) — debug ownership id, no payload
+  // ordering; handoff edges come from the caller's own synchronization
   void Release() { owner_.store(0, std::memory_order_relaxed); }
 
   /// Owner thread id, or 0 when unbound. Test-inspection only.
@@ -86,6 +90,8 @@ class ThreadOwnershipGuard {
 /// `ScopedHold` at the lock sites.
 class HoldTracker {
  public:
+  // jet-verify: allow(single-writer) — debug holder ids written under the
+  // tracked external lock; no payload ordering
   void MarkAcquired() { holder_.store(CurrentThreadId(), std::memory_order_relaxed); }
   void MarkReleased() { holder_.store(0, std::memory_order_relaxed); }
   bool HeldByCurrentThread() const {

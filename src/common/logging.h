@@ -3,9 +3,10 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 namespace jet {
 
@@ -24,8 +25,8 @@ class Logger {
   }
 
   /// Serializes writes from multiple threads.
-  static std::mutex& Mutex() {
-    static std::mutex m;
+  static jet::Mutex& Mutex() {
+    static jet::Mutex m;
     return m;
   }
 };
@@ -46,7 +47,7 @@ class LogMessage {
   ~LogMessage() {
     stream_ << "\n";
     {
-      std::lock_guard<std::mutex> lock(Logger::Mutex());
+      jet::MutexLock lock(Logger::Mutex());
       std::cerr << stream_.str();
     }
     if (level_ == LogLevel::kFatal) std::abort();

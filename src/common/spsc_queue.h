@@ -187,6 +187,8 @@ class SpscQueue {
   void SeedIndexesForTest(size_t start) {
     assert(head_.load(std::memory_order_relaxed) == 0 &&
            tail_.load(std::memory_order_relaxed) == 0 && "queue already used");
+    // jet-verify: allow(single-writer) — test hook on a never-used queue:
+    // no concurrent producer/consumer exists yet, nothing is published
     head_.store(start, std::memory_order_relaxed);
     tail_.store(start, std::memory_order_relaxed);
     cached_tail_ = start;

@@ -1,0 +1,266 @@
+#ifndef JETSIM_COMMON_THREAD_ANNOTATIONS_H_
+#define JETSIM_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// Clang Thread Safety Analysis vocabulary (-Wthread-safety) plus the
+/// capability-annotated mutex wrappers the rest of the codebase uses.
+///
+/// Two enforcement layers share this header:
+///
+///  1. The compiler. Under Clang, `-Wthread-safety -Werror=thread-safety`
+///     (enabled by JETSIM_THREAD_SAFETY in CMakeLists.txt) statically
+///     proves that every JET_GUARDED_BY member is only touched with its
+///     mutex held, that JET_REQUIRES contracts hold at every call site,
+///     and that JET_EXCLUDES-annotated entry points are never entered
+///     with the named lock held (re-entrancy / inversion guard). Under
+///     GCC every macro expands to nothing — the wrappers behave exactly
+///     like the std primitives they wrap.
+///
+///  2. tools/jet_verify.py. The AST checker recognizes the same tokens
+///     textually (and via libclang `annotate` attributes when available):
+///     JET_BLOCKING marks a function as blocking — any call path from a
+///     cooperative Tasklet::Call()/Processor::Process() implementation
+///     into it is a `blocking-in-call` error (§3.2's 1 ms budget).
+///     JET_COOPERATIVE marks a function as audited cooperative-safe
+///     (bounded, uncontended critical sections only); the checker trusts
+///     the annotation and does not descend into the body. Use it the way
+///     you would use JET_NO_THREAD_SAFETY_ANALYSIS: sparingly, with a
+///     comment explaining why the audit holds.
+///
+/// Division of labor with the runtime layer (DESIGN.md §6): these
+/// annotations prove *lock discipline* at compile time; the
+/// debug::ThreadOwnershipGuard / tsan lanes prove *lock-free single-writer
+/// discipline* at runtime, which no static mutex analysis can see.
+
+#if defined(__clang__) && !defined(JETSIM_NO_THREAD_SAFETY_ANALYSIS)
+#define JET_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define JET_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability ("mutex", "shared_mutex", ...).
+#define JET_CAPABILITY(x) JET_THREAD_ANNOTATION__(capability(x))
+
+/// Declares a RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define JET_SCOPED_CAPABILITY JET_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Member may only be accessed while holding the given mutex.
+#define JET_GUARDED_BY(x) JET_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding the given mutex.
+#define JET_PT_GUARDED_BY(x) JET_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the mutex(es) held (exclusively) on entry.
+#define JET_REQUIRES(...) \
+  JET_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function requires the mutex(es) held (at least shared) on entry.
+#define JET_REQUIRES_SHARED(...) \
+  JET_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and does not release them.
+#define JET_ACQUIRE(...) \
+  JET_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define JET_ACQUIRE_SHARED(...) \
+  JET_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es); they must be held on entry.
+#define JET_RELEASE(...) \
+  JET_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define JET_RELEASE_SHARED(...) \
+  JET_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex iff it returns the given value.
+#define JET_TRY_ACQUIRE(...) \
+  JET_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the mutex(es) — the function acquires them itself.
+/// This is the re-entrancy / ordering annotation: putting it on public
+/// entry points makes a later lock inversion a compile error under clang.
+#define JET_EXCLUDES(...) JET_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Declares a required acquisition order between mutexes.
+#define JET_ACQUIRED_BEFORE(...) \
+  JET_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define JET_ACQUIRED_AFTER(...) \
+  JET_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define JET_RETURN_CAPABILITY(x) JET_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Opts a function out of the analysis. Every use must carry a comment
+/// explaining why the analysis cannot see the invariant that makes the
+/// function safe (e.g. a lock handed across threads by protocol).
+#define JET_NO_THREAD_SAFETY_ANALYSIS \
+  JET_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+// --- jet-verify annotation vocabulary --------------------------------------
+// These do not participate in -Wthread-safety; they are contracts for the
+// cooperative-blocking checker (tools/jet_verify.py).
+
+#if defined(__clang__)
+/// Marks a function as blocking (unbounded wait, sleep, or blocking I/O).
+/// Reaching it from a cooperative root is a `blocking-in-call` error.
+#define JET_BLOCKING __attribute__((annotate("jet::blocking")))
+/// Marks a function as audited cooperative-safe despite taking locks
+/// (bounded, uncontended critical section). The checker trusts this and
+/// stops descending; pair it with a comment justifying the audit.
+#define JET_COOPERATIVE __attribute__((annotate("jet::cooperative")))
+#else
+#define JET_BLOCKING
+#define JET_COOPERATIVE
+#endif
+
+namespace jet {
+
+/// Capability-annotated std::mutex. Drop-in BasicLockable, so it also
+/// works directly with CondVar (condition_variable_any) below.
+class JET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() JET_ACQUIRE() { mu_.lock(); }
+  void unlock() JET_RELEASE() { mu_.unlock(); }
+  bool try_lock() JET_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  // Raw primitive allowed here: this header IS the wrapper layer and is
+  // exempt from jet-verify's raw-mutex rule.
+  std::mutex mu_;
+};
+
+/// Capability-annotated std::shared_mutex (the DataGrid layout lock).
+class JET_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() JET_ACQUIRE() { mu_.lock(); }
+  void unlock() JET_RELEASE() { mu_.unlock(); }
+  bool try_lock() JET_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() JET_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() JET_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() JET_TRY_ACQUIRE(true) { return mu_.try_lock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex (std::scoped_lock replacement the
+/// analysis understands).
+class JET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) JET_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() JET_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock that can be dropped and re-taken mid-scope (the
+/// hand-over-hand pattern in Network::DeliveryLoop and RebalanceLoop).
+class JET_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) JET_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~UniqueMutexLock() JET_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  void Unlock() JET_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void Lock() JET_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class JET_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) JET_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() JET_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class JET_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) JET_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() JET_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with jet::Mutex. Backed by
+/// condition_variable_any so it waits on the annotated wrapper directly;
+/// all control-plane paths (network delivery, cluster control loop,
+/// rebalancer) wait through this type, never on a cooperative path.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, re-acquires `mu` before returning.
+  void Wait(Mutex& mu) JET_BLOCKING JET_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) JET_BLOCKING JET_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      JET_BLOCKING JET_REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& d, Pred pred)
+      JET_BLOCKING JET_REQUIRES(mu) {
+    return cv_.wait_for(mu, d, std::move(pred));
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace jet
+
+#endif  // JETSIM_COMMON_THREAD_ANNOTATIONS_H_

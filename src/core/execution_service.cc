@@ -128,7 +128,7 @@ Status ExecutionService::Start(std::vector<Tasklet*> tasklets) {
 }
 
 void ExecutionService::RecordError(const Status& status) {
-  std::scoped_lock lock(error_mutex_);
+  jet::MutexLock lock(error_mutex_);
   if (first_error_.ok()) first_error_ = status;
 }
 
@@ -148,8 +148,9 @@ TaskletProgress ExecutionService::TimedCall(RunEntry& entry) {
   Nanos end = clock.Now();
   if (entry.profile != nullptr) entry.profile->RecordCall(start, end);
   if (entry.record != nullptr) {
-    // Single-writer cell: only the hosting worker writes, the rebalance
-    // pass reads. Handoffs are ordered by the mailbox mutexes.
+    // jet-verify: allow(single-writer) — single-writer cell: only the
+    // hosting worker writes (the inner load is relaxed, the store is
+    // release); handoffs are ordered by the mailbox mutexes
     entry.record->busy_nanos.store(
         entry.record->busy_nanos.load(std::memory_order_relaxed) + (end - start),
         std::memory_order_release);
@@ -161,7 +162,7 @@ bool ExecutionService::AdoptIncoming(int32_t worker_index, std::vector<RunEntry>
   WorkerState& ws = *workers_[static_cast<size_t>(worker_index)];
   std::vector<RunEntry> migrants;
   {
-    std::scoped_lock lock(ws.mailbox_mutex);
+    jet::MutexLock lock(ws.mailbox_mutex);
     if (ws.incoming.empty()) return false;
     migrants.swap(ws.incoming);
   }
@@ -180,7 +181,7 @@ void ExecutionService::ExecuteMigrationOrders(int32_t worker_index,
   WorkerState& ws = *workers_[static_cast<size_t>(worker_index)];
   std::vector<MigrationOrder> orders;
   {
-    std::scoped_lock lock(ws.mailbox_mutex);
+    jet::MutexLock lock(ws.mailbox_mutex);
     if (ws.orders.empty()) return;
     orders.swap(ws.orders);
   }
@@ -203,7 +204,7 @@ void ExecutionService::ExecuteMigrationOrders(int32_t worker_index,
     moving.profile = order.dest_profile;
     WorkerState& dest = *workers_[static_cast<size_t>(order.dest_worker)];
     {
-      std::scoped_lock lock(dest.mailbox_mutex);
+      jet::MutexLock lock(dest.mailbox_mutex);
       dest.incoming.push_back(moving);
     }
     migrated_->fetch_add(1, std::memory_order_acq_rel);
@@ -294,23 +295,23 @@ void ExecutionService::DedicatedWorkerLoop(RunEntry entry) {
 
 void ExecutionService::RebalanceLoop() {
   const auto interval = std::chrono::nanoseconds(options_.rebalance_interval);
-  std::unique_lock<std::mutex> lock(rebalance_cv_mutex_);
+  jet::UniqueMutexLock lock(rebalance_cv_mutex_);
   while (!cancelled_.load(std::memory_order_acquire) &&
          live_cooperative_.load(std::memory_order_acquire) > 0) {
-    rebalance_cv_.wait_for(lock, interval);
+    rebalance_cv_.WaitFor(rebalance_cv_mutex_, interval);
     if (cancelled_.load(std::memory_order_acquire) ||
         live_cooperative_.load(std::memory_order_acquire) == 0) {
       break;
     }
-    lock.unlock();
+    lock.Unlock();
     TriggerRebalance();
-    lock.lock();
+    lock.Lock();
   }
 }
 
 void ExecutionService::TriggerRebalance() {
   if (!lb_armed_ || !started_.load(std::memory_order_acquire)) return;
-  std::scoped_lock lock(rebalance_mutex_);
+  jet::MutexLock lock(rebalance_mutex_);
 
   // Sample per-tasklet busy time since the previous pass and aggregate per
   // worker. Records of finished tasklets still advance their delta base but
@@ -403,7 +404,7 @@ void ExecutionService::TriggerRebalance() {
         profiler_->Register(best->record->tasklet->name(), static_cast<int32_t>(cold));
     {
       WorkerState& src = *workers_[hot];
-      std::scoped_lock mailbox_lock(src.mailbox_mutex);
+      jet::MutexLock mailbox_lock(src.mailbox_mutex);
       src.orders.push_back(MigrationOrder{best->record->tasklet,
                                           static_cast<int32_t>(cold), dest_profile});
     }
@@ -422,7 +423,7 @@ void ExecutionService::TriggerRebalance() {
 
 void ExecutionService::Cancel() {
   cancelled_.store(true, std::memory_order_release);
-  rebalance_cv_.notify_all();
+  rebalance_cv_.NotifyAll();
 }
 
 void ExecutionService::InjectStall(Nanos duration) {
@@ -449,7 +450,7 @@ Status ExecutionService::AwaitCompletion() {
   // workers take it in RecordError, so holding it across join() would
   // deadlock.
   {
-    std::scoped_lock join_lock(join_mutex_);
+    jet::MutexLock join_lock(join_mutex_);
     if (!joined_) {
       for (auto& t : threads_) {
         if (t.joinable()) t.join();
@@ -457,7 +458,7 @@ Status ExecutionService::AwaitCompletion() {
       joined_ = true;
     }
   }
-  std::scoped_lock lock(error_mutex_);
+  jet::MutexLock lock(error_mutex_);
   return first_error_;
 }
 

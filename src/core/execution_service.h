@@ -2,13 +2,12 @@
 #define JETSIM_CORE_EXECUTION_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/tasklet.h"
 #include "obs/event_loop_profiler.h"
 
@@ -158,9 +157,11 @@ class ExecutionService {
   /// Per-cooperative-worker shared state. The mailbox mutex is the only
   /// synchronization tasklet handoff needs.
   struct WorkerState {
-    std::mutex mailbox_mutex;
-    std::vector<RunEntry> incoming;       // migrants, pushed by source workers
-    std::vector<MigrationOrder> orders;   // pushed by the rebalance pass
+    jet::Mutex mailbox_mutex;
+    // migrants, pushed by source workers
+    std::vector<RunEntry> incoming JET_GUARDED_BY(mailbox_mutex);
+    // pushed by the rebalance pass
+    std::vector<MigrationOrder> orders JET_GUARDED_BY(mailbox_mutex);
     /// Number of tasklets currently hosted (worker-written, pass-read).
     std::atomic<int32_t> tasklet_count{0};
     /// Round-duration slot; fixed before the worker thread starts.
@@ -199,10 +200,10 @@ class ExecutionService {
   std::vector<std::unique_ptr<TaskletRecord>> records_;
 
   /// Serializes rebalance passes (background thread + TriggerRebalance).
-  std::mutex rebalance_mutex_;
+  jet::Mutex rebalance_mutex_;
   /// Wakes the background rebalance thread on Cancel.
-  std::mutex rebalance_cv_mutex_;
-  std::condition_variable rebalance_cv_;
+  jet::Mutex rebalance_cv_mutex_;
+  jet::CondVar rebalance_cv_;
 
   /// Executed-migration count. Workers (several threads) fetch_add it, so
   /// it cannot be a single-writer obs::Counter; the registry sees it
@@ -215,10 +216,10 @@ class ExecutionService {
   obs::Counter rebalances_counter_;
   obs::Gauge load_skew_gauge_;
 
-  std::mutex join_mutex_;
-  bool joined_ = false;  // guarded by join_mutex_
-  std::mutex error_mutex_;
-  Status first_error_;  // guarded by error_mutex_
+  jet::Mutex join_mutex_;
+  bool joined_ JET_GUARDED_BY(join_mutex_) = false;
+  jet::Mutex error_mutex_;
+  Status first_error_ JET_GUARDED_BY(error_mutex_);
 };
 
 }  // namespace jet::core

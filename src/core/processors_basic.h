@@ -4,13 +4,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "core/processor.h"
 #include "core/watermark.h"
@@ -345,24 +345,26 @@ class ListSourceP final : public Processor {
 template <typename T>
 class SyncCollector {
  public:
-  void Add(const T& value) {
-    std::scoped_lock lock(mutex_);
+  /// Called from Processor::Process on a cooperative worker; the critical
+  /// section is one push_back, an audited bounded lock.
+  void Add(const T& value) JET_COOPERATIVE {
+    jet::MutexLock lock(mutex_);
     values_.push_back(value);
   }
 
   std::vector<T> Snapshot() const {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     return values_;
   }
 
   size_t Size() const {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     return values_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<T> values_;
+  mutable jet::Mutex mutex_;
+  std::vector<T> values_ JET_GUARDED_BY(mutex_);
 };
 
 /// Sink collecting all received values into a SyncCollector (tests and
@@ -391,7 +393,7 @@ class LatencyRecorder {
   /// Registers a new per-instance histogram; the pointer stays valid for
   /// the recorder's lifetime.
   Histogram* NewHistogram() {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     histograms_.emplace_back();
     return &histograms_.back();
   }
@@ -399,15 +401,17 @@ class LatencyRecorder {
   /// Merged view across all instances. Only call when the job is quiesced
   /// (instances record without locking).
   Histogram Merged() const {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     Histogram merged;
     for (const auto& h : histograms_) merged.Merge(h);
     return merged;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<Histogram> histograms_;
+  // Guards the deque's *structure* only; instances write their Histogram
+  // cells without the lock (see Merged's contract).
+  mutable jet::Mutex mutex_;
+  std::deque<Histogram> histograms_ JET_GUARDED_BY(mutex_);
 };
 
 /// Sink recording, for every received item, the difference between the
@@ -452,6 +456,8 @@ class CountSinkP final : public Processor {
       ++n;
       inbox->RemoveFront();
     }
+    // jet-verify: allow(single-writer) — statistics tally, no payload
+    // published; readers tolerate staleness
     counter_->fetch_add(n, std::memory_order_relaxed);
   }
 

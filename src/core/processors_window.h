@@ -74,6 +74,8 @@ class AccumulateByFrameP final : public Processor {
         // zombie frame that would double-emit.
         ++late_events_dropped_;
         if (late_counter_ != nullptr) {
+          // jet-verify: allow(single-writer) — late-event tally, no payload
+          // published; readers tolerate staleness
           late_counter_->fetch_add(1, std::memory_order_relaxed);
         }
         inbox->RemoveFront();

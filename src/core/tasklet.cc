@@ -479,6 +479,8 @@ void ProcessorTasklet::DoSnapshotBarrier() {
   }
   if (!processor_->OnSnapshotCompleted(pending_snapshot_id_)) return;
   control_armed_ = false;
+  // jet-verify: allow(single-writer) — worker-written progress marker; the
+  // coordinator's read side orders via the snapshot-control mutex
   completed_snapshot_id_.store(pending_snapshot_id_, std::memory_order_relaxed);
   completed_snapshot_gauge_.Set(pending_snapshot_id_);
   pending_snapshot_id_ = -1;

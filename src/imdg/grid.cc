@@ -13,7 +13,7 @@ Result<int64_t> DataGrid::AddMember(MemberId member) {
   // Exclusive layout lock: entry operations read table_ and members_ under
   // the shared lock, so every mutation below is invisible to them until
   // this function returns.
-  std::unique_lock layout(layout_rw_);
+  jet::WriterLock layout(layout_rw_);
   if (members_.count(member) != 0) {
     return Status(StatusCode::kAlreadyExists, "member already in grid");
   }
@@ -40,7 +40,7 @@ Result<int64_t> DataGrid::AddMember(MemberId member) {
   }
   int64_t migrated = ApplyMigrations(migrations);
   {
-    std::scoped_lock s(stats_mutex_);
+    jet::MutexLock s(stats_mutex_);
     stats_.migrated_entries += migrated;
   }
   return migrated;
@@ -49,24 +49,24 @@ Result<int64_t> DataGrid::AddMember(MemberId member) {
 Status DataGrid::RemoveMember(MemberId member) {
   // Hard failure: the member's data is gone. Exclusive layout lock: entry
   // operations may hold PartitionStore pointers into this member.
-  std::unique_lock layout(layout_rw_);
+  jet::WriterLock layout(layout_rw_);
   auto it = members_.find(member);
   if (it == members_.end()) return NotFoundError("member not in grid");
   members_.erase(it);
   auto migrations = table_.RemoveMember(member);
   int64_t migrated = ApplyMigrations(migrations);
-  std::scoped_lock s(stats_mutex_);
+  jet::MutexLock s(stats_mutex_);
   stats_.migrated_entries += migrated;
   return Status::OK();
 }
 
 int64_t DataGrid::TableVersion() const {
-  std::shared_lock layout(layout_rw_);
+  jet::ReaderLock layout(layout_rw_);
   return table_.version();
 }
 
 Status DataGrid::ValidateTable() const {
-  std::shared_lock layout(layout_rw_);
+  jet::ReaderLock layout(layout_rw_);
   return table_.Validate();
 }
 
@@ -76,14 +76,14 @@ int64_t DataGrid::ApplyMigrations(const std::vector<Migration>& migrations) {
     auto src_it = members_.find(m.source);
     auto dst_it = members_.find(m.destination);
     if (src_it == members_.end() || dst_it == members_.end()) continue;
-    std::scoped_lock lock(LockFor(m.partition));
+    jet::MutexLock lock(LockFor(m.partition));
     debug::ScopedHold hold(partition_hold_[static_cast<size_t>(m.partition)]);
     // Copy out under the source's layout mutex, then insert under the
     // destination's; sequential (never nested) acquisition stays
     // deadlock-free even when a migration maps a member onto itself.
     std::vector<std::pair<std::string, PartitionStore>> copies;
     {
-      std::scoped_lock src_layout(src_it->second->layout_mutex);
+      jet::MutexLock src_layout(src_it->second->layout_mutex);
       for (auto& [map_name, partitions] : src_it->second->maps) {
         auto part_it = partitions.find(m.partition);
         if (part_it == partitions.end()) continue;
@@ -91,7 +91,7 @@ int64_t DataGrid::ApplyMigrations(const std::vector<Migration>& migrations) {
         migrated += static_cast<int64_t>(part_it->second.size());
       }
     }
-    std::scoped_lock dst_layout(dst_it->second->layout_mutex);
+    jet::MutexLock dst_layout(dst_it->second->layout_mutex);
     for (auto& [map_name, store] : copies) {
       dst_it->second->maps[map_name][m.partition] = std::move(store);
     }
@@ -109,7 +109,7 @@ PartitionStore* DataGrid::StoreFor(MemberId member, const std::string& map_name,
   // The returned pointer stays valid after the layout mutex is released:
   // unordered_map nodes are stable, and erasure requires all partition
   // locks while the caller keeps holding this partition's.
-  std::scoped_lock layout(it->second->layout_mutex);
+  jet::MutexLock layout(it->second->layout_mutex);
   return &it->second->maps[map_name][partition];
 }
 
@@ -121,7 +121,7 @@ const PartitionStore* DataGrid::StoreForConst(MemberId member,
              "StoreForConst requires the partition lock");
   auto it = members_.find(member);
   if (it == members_.end()) return nullptr;
-  std::scoped_lock layout(it->second->layout_mutex);
+  jet::MutexLock layout(it->second->layout_mutex);
   auto map_it = it->second->maps.find(map_name);
   if (map_it == it->second->maps.end()) return nullptr;
   auto part_it = map_it->second.find(partition);
@@ -134,14 +134,14 @@ Status DataGrid::Put(const std::string& map_name, const Bytes& key, const Bytes&
 }
 
 int64_t DataGrid::AddEntryListener(const std::string& map_name, EntryListener listener) {
-  std::scoped_lock lock(listener_mutex_);
+  jet::MutexLock lock(listener_mutex_);
   int64_t id = next_listener_id_++;
   listeners_[id] = {map_name, std::move(listener)};
   return id;
 }
 
 void DataGrid::RemoveEntryListener(int64_t listener_id) {
-  std::scoped_lock lock(listener_mutex_);
+  jet::MutexLock lock(listener_mutex_);
   listeners_.erase(listener_id);
 }
 
@@ -163,8 +163,8 @@ Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partiti
     return InvalidArgumentError("partition out of range");
   }
   {
-    std::shared_lock layout(layout_rw_);
-    std::scoped_lock lock(LockFor(partition));
+    jet::ReaderLock layout(layout_rw_);
+    jet::MutexLock lock(LockFor(partition));
     debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
     MemberId primary = table_.PrimaryFor(partition);
     if (primary == kInvalidMember) return UnavailableError("no members in grid");
@@ -183,7 +183,7 @@ Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partiti
         replicated += static_cast<int64_t>(key.size() + value.size());
       }
     }
-    std::scoped_lock s(stats_mutex_);
+    jet::MutexLock s(stats_mutex_);
     ++stats_.puts;
     stats_.replicated_bytes += replicated;
   }
@@ -191,7 +191,7 @@ Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partiti
   // contract) so a listener may re-enter the grid.
   std::vector<EntryListener> to_notify;
   {
-    std::scoped_lock l(listener_mutex_);
+    jet::MutexLock l(listener_mutex_);
     for (const auto& [id, entry] : listeners_) {
       if (entry.first == map_name) to_notify.push_back(entry.second);
     }
@@ -203,14 +203,14 @@ Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partiti
 Result<std::optional<Bytes>> DataGrid::Get(const std::string& map_name,
                                            const Bytes& key) const {
   PartitionId partition = PartitionOf(key);
-  std::shared_lock layout(layout_rw_);
-  std::scoped_lock lock(LockFor(partition));
+  jet::ReaderLock layout(layout_rw_);
+  jet::MutexLock lock(LockFor(partition));
   debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
   MemberId primary = table_.PrimaryFor(partition);
   if (primary == kInvalidMember) return UnavailableError("no members in grid");
   const PartitionStore* store = StoreForConst(primary, map_name, partition);
   {
-    std::scoped_lock s(stats_mutex_);
+    jet::MutexLock s(stats_mutex_);
     ++stats_.gets;
   }
   if (store == nullptr) return std::optional<Bytes>();
@@ -221,8 +221,8 @@ Result<std::optional<Bytes>> DataGrid::Get(const std::string& map_name,
 
 Result<bool> DataGrid::Remove(const std::string& map_name, const Bytes& key) {
   PartitionId partition = PartitionOf(key);
-  std::shared_lock layout(layout_rw_);
-  std::scoped_lock lock(LockFor(partition));
+  jet::ReaderLock layout(layout_rw_);
+  jet::MutexLock lock(LockFor(partition));
   debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
   MemberId primary = table_.PrimaryFor(partition);
   if (primary == kInvalidMember) return UnavailableError("no members in grid");
@@ -234,16 +234,16 @@ Result<bool> DataGrid::Remove(const std::string& map_name, const Bytes& key) {
     PartitionStore* backup_store = StoreFor(backup, map_name, partition);
     if (backup_store != nullptr) backup_store->erase(key);
   }
-  std::scoped_lock s(stats_mutex_);
+  jet::MutexLock s(stats_mutex_);
   ++stats_.removes;
   return removed;
 }
 
 int64_t DataGrid::Size(const std::string& map_name) const {
   int64_t total = 0;
-  std::shared_lock layout(layout_rw_);
+  jet::ReaderLock layout(layout_rw_);
   for (PartitionId p = 0; p < table_.partition_count(); ++p) {
-    std::scoped_lock lock(LockFor(p));
+    jet::MutexLock lock(LockFor(p));
     debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     MemberId primary = table_.PrimaryFor(p);
     if (primary == kInvalidMember) continue;
@@ -254,12 +254,12 @@ int64_t DataGrid::Size(const std::string& map_name) const {
 }
 
 void DataGrid::Clear(const std::string& map_name) {
-  std::shared_lock layout(layout_rw_);
+  jet::ReaderLock layout(layout_rw_);
   for (PartitionId p = 0; p < table_.partition_count(); ++p) {
-    std::scoped_lock lock(LockFor(p));
+    jet::MutexLock lock(LockFor(p));
     debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     for (auto& [id, member] : members_) {
-      std::scoped_lock layout(member->layout_mutex);
+      jet::MutexLock layout(member->layout_mutex);
       auto map_it = member->maps.find(map_name);
       if (map_it == member->maps.end()) continue;
       auto part_it = map_it->second.find(p);
@@ -271,7 +271,7 @@ void DataGrid::Clear(const std::string& map_name) {
 void DataGrid::Destroy(const std::string& map_name) {
   // Erasing whole maps invalidates PartitionStore pointers held by entry
   // operations, so exclude them all.
-  std::unique_lock layout(layout_rw_);
+  jet::WriterLock layout(layout_rw_);
   for (auto& [id, member] : members_) member->maps.erase(map_name);
 }
 
@@ -286,8 +286,8 @@ std::vector<std::pair<Bytes, Bytes>> DataGrid::EntriesInPartition(
 void DataGrid::ForEachInPartition(
     const std::string& map_name, PartitionId partition,
     const std::function<void(const Bytes&, const Bytes&)>& fn) const {
-  std::shared_lock layout(layout_rw_);
-  std::scoped_lock lock(LockFor(partition));
+  jet::ReaderLock layout(layout_rw_);
+  jet::MutexLock lock(LockFor(partition));
   debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
   MemberId primary = table_.PrimaryFor(partition);
   if (primary == kInvalidMember) return;
@@ -297,14 +297,14 @@ void DataGrid::ForEachInPartition(
 }
 
 GridStats DataGrid::stats() const {
-  std::scoped_lock s(stats_mutex_);
+  jet::MutexLock s(stats_mutex_);
   return stats_;
 }
 
 Status DataGrid::CheckReplicaConsistency(const std::string& map_name) const {
-  std::shared_lock layout(layout_rw_);
+  jet::ReaderLock layout(layout_rw_);
   for (PartitionId p = 0; p < table_.partition_count(); ++p) {
-    std::scoped_lock lock(LockFor(p));
+    jet::MutexLock lock(LockFor(p));
     debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     MemberId primary = table_.PrimaryFor(p);
     if (primary == kInvalidMember) continue;

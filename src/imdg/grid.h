@@ -4,15 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "common/debug_check.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "common/serde.h"
 #include "common/status.h"
@@ -66,6 +65,13 @@ struct GridStats {
 /// member-local layout mutex (two shared holders in different partitions
 /// may both lazily create nodes). Under JETSIM_DEBUG_CHECKS, StoreFor
 /// asserts that its caller actually holds the partition lock.
+///
+/// Lock order (audited; the JET_EXCLUDES annotations on the entry points
+/// keep re-entrant acquisitions from regressing it): layout_rw_ (shared
+/// for entry ops, exclusive for layout mutations) → one partition lock →
+/// MemberStore::layout_mutex. stats_mutex_ and listener_mutex_ are leaf
+/// locks never held across any other acquisition, and listeners are
+/// invoked outside all of them.
 class DataGrid {
  public:
   /// Creates a grid with the given replication factor. Members are added
@@ -78,28 +84,33 @@ class DataGrid {
 
   /// Adds a member and rebalances partitions onto it (§4.3). Returns the
   /// number of migrated entries.
-  Result<int64_t> AddMember(MemberId member);
+  Result<int64_t> AddMember(MemberId member) JET_EXCLUDES(layout_rw_);
 
   /// Simulates the hard failure of a member: its physical store is dropped,
   /// backups are promoted, and replacement backups are populated from the
   /// surviving primaries (§4.2, Fig. 6).
-  Status RemoveMember(MemberId member);
+  Status RemoveMember(MemberId member) JET_EXCLUDES(layout_rw_);
 
   /// Stores `value` under `key` in map `map_name` (primary + backups).
-  Status Put(const std::string& map_name, const Bytes& key, const Bytes& value);
+  /// Listeners run after the write, outside every grid lock.
+  Status Put(const std::string& map_name, const Bytes& key, const Bytes& value)
+      JET_EXCLUDES(layout_rw_);
 
   /// Stores `value` under `key` in an explicitly chosen partition. Used by
   /// the snapshot store so a state entry lands in the partition of its
   /// *state key* (aligning snapshot locality with processing locality)
   /// rather than the hash of the composite storage key.
   Status PutInPartition(const std::string& map_name, PartitionId partition,
-                        const Bytes& key, const Bytes& value);
+                        const Bytes& key, const Bytes& value)
+      JET_EXCLUDES(layout_rw_);
 
   /// Returns the value under `key`, or std::nullopt if absent.
-  Result<std::optional<Bytes>> Get(const std::string& map_name, const Bytes& key) const;
+  Result<std::optional<Bytes>> Get(const std::string& map_name, const Bytes& key) const
+      JET_EXCLUDES(layout_rw_);
 
   /// Removes `key`; returns true if it was present.
-  Result<bool> Remove(const std::string& map_name, const Bytes& key);
+  Result<bool> Remove(const std::string& map_name, const Bytes& key)
+      JET_EXCLUDES(layout_rw_);
 
   /// Registers a listener invoked on every Put to `map_name` (§4.2: the
   /// IMDG map is observable — the substrate of the §6 CDC/view-maintenance
@@ -119,10 +130,10 @@ class DataGrid {
   int64_t Size(const std::string& map_name) const;
 
   /// Removes every entry of the map on all replicas.
-  void Clear(const std::string& map_name);
+  void Clear(const std::string& map_name) JET_EXCLUDES(layout_rw_);
 
   /// Drops the map entirely (all partitions, all replicas).
-  void Destroy(const std::string& map_name);
+  void Destroy(const std::string& map_name) JET_EXCLUDES(layout_rw_);
 
   /// Copies all entries of `map_name` living in `partition` (read from the
   /// primary replica).
@@ -166,8 +177,9 @@ class DataGrid {
     // writers to *different* partitions hold different partition locks yet
     // may both lazily create nodes of this unordered_map. Node pointers
     // stay valid after release; erasure happens only under the exclusive
-    // layout lock (see layout_rw_).
-    mutable std::mutex layout_mutex;
+    // layout lock (see layout_rw_). Innermost lock of the grid's order:
+    // taken after layout_rw_ and a partition lock, never before either.
+    mutable jet::Mutex layout_mutex;
   };
 
   // Requires the partition lock. Returns nullptr if the member is gone.
@@ -179,27 +191,36 @@ class DataGrid {
   // Copies partition data according to the migration plan.
   int64_t ApplyMigrations(const std::vector<Migration>& migrations);
 
-  std::mutex& LockFor(PartitionId partition) const {
+  jet::Mutex& LockFor(PartitionId partition) const {
     return partition_locks_[static_cast<size_t>(partition)];
   }
 
-  PartitionTable table_;
-  std::unordered_map<MemberId, std::unique_ptr<MemberStore>> members_;
-  mutable std::vector<std::mutex> partition_locks_;
-  // Debug-only (empty in release): tracks which thread holds each
-  // partition lock so StoreFor can assert its locking contract.
-  mutable std::vector<debug::HoldTracker> partition_hold_;
   // Layout lock: shared by entry operations (alongside their partition
   // lock), exclusive for table_/members_/map-layout mutations. Always
   // acquired before any partition lock.
-  mutable std::shared_mutex layout_rw_;
-  mutable std::mutex stats_mutex_;
-  mutable GridStats stats_;
+  mutable jet::SharedMutex layout_rw_;
+  // table_ and members_ are written under exclusive layout_rw_ and read
+  // under shared layout_rw_ + a partition lock; clang's analysis cannot
+  // express "shared + striped partition lock", so only the map containers
+  // are annotated and StoreFor's contract stays runtime-checked
+  // (HoldTracker under JETSIM_DEBUG_CHECKS).
+  PartitionTable table_;
+  std::unordered_map<MemberId, std::unique_ptr<MemberStore>> members_;
+  // Striped per-partition locks, always acquired after layout_rw_ (a
+  // JET_ACQUIRED_AFTER annotation cannot name a lock inside a container,
+  // so the order on this edge stays prose + JET_EXCLUDES on entry points).
+  mutable std::vector<jet::Mutex> partition_locks_;
+  // Debug-only (empty in release): tracks which thread holds each
+  // partition lock so StoreFor can assert its locking contract.
+  mutable std::vector<debug::HoldTracker> partition_hold_;
+  mutable jet::Mutex stats_mutex_;
+  mutable GridStats stats_ JET_GUARDED_BY(stats_mutex_);
 
-  mutable std::mutex listener_mutex_;
-  int64_t next_listener_id_ = 1;
+  mutable jet::Mutex listener_mutex_;
+  int64_t next_listener_id_ JET_GUARDED_BY(listener_mutex_) = 1;
   // listener id -> (map name, callback)
-  std::map<int64_t, std::pair<std::string, EntryListener>> listeners_;
+  std::map<int64_t, std::pair<std::string, EntryListener>> listeners_
+      JET_GUARDED_BY(listener_mutex_);
 };
 
 }  // namespace jet::imdg

@@ -43,7 +43,7 @@ Status SnapshotStore::DecodeEntryKey(const Bytes& raw, int32_t* vertex_id,
 Status SnapshotStore::WriteEntry(JobId job, SnapshotId snapshot,
                                  const SnapshotStateEntry& entry) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    jet::MutexLock lock(mutex_);
     auto& live = epochs_[job].live;
     auto it = std::lower_bound(live.begin(), live.end(), snapshot);
     if (it == live.end() || *it != snapshot) live.insert(it, snapshot);
@@ -64,7 +64,7 @@ Status SnapshotStore::WriteEntry(JobId job, SnapshotId snapshot,
 Status SnapshotStore::Commit(JobId job, SnapshotId snapshot) {
   IMap<int64_t, int64_t> meta(grid_, kMetaMap);
   JET_RETURN_IF_ERROR(meta.Put(job, snapshot));
-  std::lock_guard<std::mutex> lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto& epochs = epochs_[job];
   auto it = std::lower_bound(epochs.live.begin(), epochs.live.end(), snapshot);
   if (it == epochs.live.end() || *it != snapshot) epochs.live.insert(it, snapshot);
@@ -94,7 +94,7 @@ Status SnapshotStore::Commit(JobId job, SnapshotId snapshot) {
 }
 
 void SnapshotStore::Abort(JobId job, SnapshotId snapshot) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto it = epochs_.find(job);
   if (it == epochs_.end()) return;
   auto& epochs = it->second;
@@ -145,7 +145,7 @@ int64_t SnapshotStore::EntryCount(JobId job, SnapshotId snapshot) const {
 }
 
 void SnapshotStore::ClearInFlight(JobId job) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto it = epochs_.find(job);
   if (it == epochs_.end()) return;
   auto& epochs = it->second;
@@ -161,7 +161,7 @@ void SnapshotStore::ClearInFlight(JobId job) {
 }
 
 void SnapshotStore::DeleteJob(JobId job) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto it = epochs_.find(job);
   if (it != epochs_.end()) {
     for (SnapshotId id : it->second.live) grid_->Destroy(MapNameFor(job, id));
@@ -172,19 +172,19 @@ void SnapshotStore::DeleteJob(JobId job) {
 }
 
 std::vector<SnapshotId> SnapshotStore::LiveSnapshots(JobId job) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto it = epochs_.find(job);
   return it == epochs_.end() ? std::vector<SnapshotId>{} : it->second.live;
 }
 
 std::vector<SnapshotId> SnapshotStore::CommittedSnapshots(JobId job) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto it = epochs_.find(job);
   return it == epochs_.end() ? std::vector<SnapshotId>{} : it->second.committed;
 }
 
 int64_t SnapshotStore::aborted_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  jet::MutexLock lock(mutex_);
   return aborted_count_;
 }
 

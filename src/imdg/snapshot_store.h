@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/serde.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "imdg/grid.h"
 
@@ -107,9 +107,13 @@ class SnapshotStore {
                                Bytes* key);
 
   DataGrid* grid_;
-  mutable std::mutex mutex_;
-  std::map<JobId, JobEpochs> epochs_;
-  int64_t aborted_count_ = 0;
+  // Epoch bookkeeping lock. Held across grid_->Destroy() calls (which take
+  // the grid layout lock exclusively); safe because the grid never calls
+  // back into the snapshot store, so the order mutex_ → layout_rw_ is
+  // acyclic.
+  mutable jet::Mutex mutex_;
+  std::map<JobId, JobEpochs> epochs_ JET_GUARDED_BY(mutex_);
+  int64_t aborted_count_ JET_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace jet::imdg

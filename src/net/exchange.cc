@@ -8,7 +8,7 @@ namespace jet::net {
 std::shared_ptr<ExchangeChannel> ExchangeRegistry::GetOrCreate(int32_t edge_index,
                                                                int32_t from_node,
                                                                int32_t to_node) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto key = std::make_tuple(edge_index, from_node, to_node);
   auto it = channels_.find(key);
   if (it != channels_.end()) return it->second;

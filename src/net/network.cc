@@ -11,7 +11,7 @@ Network::Network(LinkModel link, uint64_t seed) : link_(link), rng_(seed) {
 Network::~Network() { Shutdown(); }
 
 ChannelId Network::OpenChannel(int32_t from, int32_t to) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   ChannelId id = next_channel_++;
   if (from != kAnyNode || to != kAnyNode) {
     channel_endpoints_.emplace(id, std::make_pair(from, to));
@@ -28,7 +28,7 @@ const FaultPlan* Network::FaultFor(ChannelId channel) const {
 }
 
 void Network::Send(ChannelId channel, std::function<void()> deliver) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   ++sent_;
   if (shutdown_) {
     ++dropped_;
@@ -55,25 +55,25 @@ void Network::Send(ChannelId channel, std::function<void()> deliver) {
     it->second = due;
   }
   queue_.push(Delivery{due, next_seq_++, std::move(deliver)});
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void Network::Shutdown() {
   {
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     if (!shutdown_) {
       shutdown_ = true;
       // Everything still queued will never run: account it as dropped so
       // sent == delivered + dropped holds at teardown.
       dropped_ += static_cast<int64_t>(queue_.size());
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (delivery_thread_.joinable()) delivery_thread_.join();
 }
 
 void Network::SetLinkFault(int32_t from, int32_t to, FaultPlan plan) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto key = std::make_pair(from, to);
   if (plan.IsNoop()) {
     faults_.erase(key);
@@ -83,69 +83,71 @@ void Network::SetLinkFault(int32_t from, int32_t to, FaultPlan plan) {
 }
 
 void Network::Partition(int32_t a, int32_t b) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   faults_[{a, b}].blocked = true;
   faults_[{b, a}].blocked = true;
 }
 
 void Network::Heal(int32_t a, int32_t b) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   faults_.erase({a, b});
   faults_.erase({b, a});
 }
 
 void Network::HealAll() {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   faults_.clear();
 }
 
 bool Network::IsBlocked(int32_t from, int32_t to) const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   auto it = faults_.find({from, to});
   return it != faults_.end() && it->second.blocked;
 }
 
 int64_t Network::sent_count() const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   return sent_;
 }
 
 int64_t Network::delivered_count() const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   return delivered_;
 }
 
 int64_t Network::dropped_count() const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   return dropped_;
 }
 
 void Network::set_link(LinkModel link) {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   link_ = link;
 }
 
 void Network::DeliveryLoop() {
-  std::unique_lock lock(mutex_);
+  jet::UniqueMutexLock lock(mutex_);
   while (true) {
     if (shutdown_) return;
     if (queue_.empty()) {
-      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      cv_.Wait(mutex_, [this]() JET_REQUIRES(mutex_) {
+        return shutdown_ || !queue_.empty();
+      });
       continue;
     }
     Nanos now = clock_.Now();
     const Delivery& next = queue_.top();
     if (next.due > now) {
-      cv_.wait_for(lock, std::chrono::nanoseconds(next.due - now));
+      cv_.WaitFor(mutex_, std::chrono::nanoseconds(next.due - now));
       continue;
     }
     // Move the closure out before unlocking.
     auto fn = std::move(const_cast<Delivery&>(next).fn);
     queue_.pop();
     ++delivered_;
-    lock.unlock();
+    lock.Unlock();
     fn();
-    lock.lock();
+    lock.Lock();
   }
 }
 

@@ -1,11 +1,9 @@
 #ifndef JETSIM_NET_NETWORK_H_
 #define JETSIM_NET_NETWORK_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
@@ -15,6 +13,7 @@
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace jet::net {
 
@@ -94,8 +93,10 @@ class Network {
 
   /// Schedules `deliver` to run after the sampled link latency, in FIFO
   /// order with previous sends on `channel`. Subject to any fault installed
-  /// on the channel's (from, to) link.
-  void Send(ChannelId channel, std::function<void()> deliver);
+  /// on the channel's (from, to) link. Called from exchange processors on
+  /// cooperative workers; the critical section is a bounded enqueue (the
+  /// holder never waits), an audited JET_COOPERATIVE boundary.
+  void Send(ChannelId channel, std::function<void()> deliver) JET_COOPERATIVE;
 
   /// Stops the delivery thread; undelivered messages are dropped and
   /// counted in `dropped_count()` (used to model node/network failure at
@@ -149,26 +150,30 @@ class Network {
     }
   };
 
-  void DeliveryLoop();
+  // Delivery thread body: drains queue_ hand-over-hand (closures run with
+  // mutex_ released so a delivery may re-enter Send).
+  void DeliveryLoop() JET_EXCLUDES(mutex_);
 
-  // Fault plan covering `channel`, or nullptr. Requires mutex_.
-  const FaultPlan* FaultFor(ChannelId channel) const;
+  // Fault plan covering `channel`, or nullptr.
+  const FaultPlan* FaultFor(ChannelId channel) const JET_REQUIRES(mutex_);
 
   WallClock clock_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::priority_queue<Delivery, std::vector<Delivery>, DeliveryLater> queue_;
-  std::unordered_map<ChannelId, Nanos> channel_last_due_;
-  std::unordered_map<ChannelId, std::pair<int32_t, int32_t>> channel_endpoints_;
-  std::map<std::pair<int32_t, int32_t>, FaultPlan> faults_;
-  LinkModel link_;
-  Rng rng_;
-  ChannelId next_channel_ = 1;
-  int64_t next_seq_ = 0;
-  int64_t sent_ = 0;
-  int64_t delivered_ = 0;
-  int64_t dropped_ = 0;
-  bool shutdown_ = false;
+  mutable jet::Mutex mutex_;
+  jet::CondVar cv_;
+  std::priority_queue<Delivery, std::vector<Delivery>, DeliveryLater> queue_
+      JET_GUARDED_BY(mutex_);
+  std::unordered_map<ChannelId, Nanos> channel_last_due_ JET_GUARDED_BY(mutex_);
+  std::unordered_map<ChannelId, std::pair<int32_t, int32_t>> channel_endpoints_
+      JET_GUARDED_BY(mutex_);
+  std::map<std::pair<int32_t, int32_t>, FaultPlan> faults_ JET_GUARDED_BY(mutex_);
+  LinkModel link_ JET_GUARDED_BY(mutex_);
+  Rng rng_ JET_GUARDED_BY(mutex_);
+  ChannelId next_channel_ JET_GUARDED_BY(mutex_) = 1;
+  int64_t next_seq_ JET_GUARDED_BY(mutex_) = 0;
+  int64_t sent_ JET_GUARDED_BY(mutex_) = 0;
+  int64_t delivered_ JET_GUARDED_BY(mutex_) = 0;
+  int64_t dropped_ JET_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ JET_GUARDED_BY(mutex_) = false;
   std::thread delivery_thread_;
 };
 

@@ -27,6 +27,8 @@ class AtomicHistogram {
 
   /// Records one observation. Must only be called by the owning thread.
   void Record(int64_t value) {
+    // jet-verify: allow(single-writer) — bucket/min/max/sum cells have one
+    // owning writer thread; Snapshot() readers tolerate staleness
     if (value < 0) value = 0;
     if (value > max_value_) value = max_value_;
     auto& bucket = buckets_[static_cast<size_t>(Histogram::BucketIndexOf(value, max_value_))];

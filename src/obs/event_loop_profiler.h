@@ -2,10 +2,10 @@
 #define JETSIM_OBS_EVENT_LOOP_PROFILER_H_
 
 #include <deque>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics_registry.h"
 
 namespace jet::obs {
@@ -117,7 +117,7 @@ class EventLoopProfiler {
     HistogramHandle delay = registry_->GetHistogram("tasklet.sched_delay_nanos", tags,
                                                     options_.max_call_nanos);
     Counter over = registry_->GetCounter("tasklet.overbudget_calls", tags);
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     profiles_.push_back(TaskletProfile(std::move(h), std::move(delay), std::move(over),
                                        options_.call_budget));
     return &profiles_.back();
@@ -129,7 +129,7 @@ class EventLoopProfiler {
     tags.worker = worker;
     HistogramHandle h =
         registry_->GetHistogram("worker.round_nanos", tags, options_.max_call_nanos);
-    std::scoped_lock lock(mutex_);
+    jet::MutexLock lock(mutex_);
     worker_profiles_.push_back(WorkerProfile(std::move(h)));
     return &worker_profiles_.back();
   }
@@ -145,9 +145,9 @@ class EventLoopProfiler {
   MetricsRegistry* registry_;
   const Clock* clock_;
   Options options_;
-  std::mutex mutex_;
-  std::deque<TaskletProfile> profiles_;
-  std::deque<WorkerProfile> worker_profiles_;
+  jet::Mutex mutex_;
+  std::deque<TaskletProfile> profiles_ JET_GUARDED_BY(mutex_);
+  std::deque<WorkerProfile> worker_profiles_ JET_GUARDED_BY(mutex_);
 };
 
 }  // namespace jet::obs

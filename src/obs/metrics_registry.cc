@@ -15,7 +15,7 @@ MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
 
 Counter MetricsRegistry::GetCounter(const std::string& name, const MetricTags& tags) {
   MetricTags merged = tags.MergedWith(default_tags_);
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   Counter c;
   if (Entry* e = Find(name, merged); e != nullptr && e->cell != nullptr) {
     c.cell_ = e->cell;
@@ -31,7 +31,7 @@ Counter MetricsRegistry::GetCounter(const std::string& name, const MetricTags& t
 
 Gauge MetricsRegistry::GetGauge(const std::string& name, const MetricTags& tags) {
   MetricTags merged = tags.MergedWith(default_tags_);
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   Gauge g;
   if (Entry* e = Find(name, merged); e != nullptr && e->cell != nullptr) {
     g.cell_ = e->cell;
@@ -49,7 +49,7 @@ HistogramHandle MetricsRegistry::GetHistogram(const std::string& name,
                                               const MetricTags& tags,
                                               int64_t max_value) {
   MetricTags merged = tags.MergedWith(default_tags_);
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   if (Entry* e = Find(name, merged); e != nullptr && e->hist != nullptr) {
     HistogramHandle h;
     h.hist_ = e->hist;
@@ -67,7 +67,7 @@ HistogramHandle MetricsRegistry::GetHistogram(const std::string& name,
 void MetricsRegistry::RegisterCallback(const std::string& name, const MetricTags& tags,
                                        std::function<int64_t()> fn, MetricKind kind) {
   MetricTags merged = tags.MergedWith(default_tags_);
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   if (Find(name, merged) != nullptr) return;  // idempotent
   Entry e;
   e.id = MetricId{name, merged};
@@ -77,7 +77,7 @@ void MetricsRegistry::RegisterCallback(const std::string& name, const MetricTags
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   std::vector<MetricSnapshot> out;
   out.reserve(entries_.size());
   for (const auto& e : entries_) {
@@ -97,7 +97,7 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::size() const {
-  std::scoped_lock lock(mutex_);
+  jet::MutexLock lock(mutex_);
   return entries_.size();
 }
 

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "obs/atomic_histogram.h"
 #include "obs/metric_id.h"
 
@@ -33,6 +33,8 @@ class Counter {
   Counter() : cell_(std::make_shared<detail::ValueCell>()) {}
 
   void Add(int64_t delta = 1) {
+    // jet-verify: allow(single-writer) — instrument cell owned by one writer
+    // thread; pollers tolerate staleness (DESIGN.md §6)
     cell_->value.store(cell_->value.load(std::memory_order_relaxed) + delta,
                        std::memory_order_relaxed);
   }
@@ -50,9 +52,15 @@ class Gauge {
  public:
   Gauge() : cell_(std::make_shared<detail::ValueCell>()) {}
 
-  void Set(int64_t value) { cell_->value.store(value, std::memory_order_relaxed); }
+  void Set(int64_t value) {
+    // jet-verify: allow(single-writer) — instrument cell owned by one writer
+    // thread; pollers tolerate staleness
+    cell_->value.store(value, std::memory_order_relaxed);
+  }
 
   void Add(int64_t delta) {
+    // jet-verify: allow(single-writer) — instrument cell owned by one writer
+    // thread; pollers tolerate staleness
     cell_->value.store(cell_->value.load(std::memory_order_relaxed) + delta,
                        std::memory_order_relaxed);
   }
@@ -146,12 +154,13 @@ class MetricsRegistry {
     std::function<int64_t()> callback;              // callback gauge
   };
 
-  Entry* Find(const std::string& name, const MetricTags& tags);
+  Entry* Find(const std::string& name, const MetricTags& tags)
+      JET_REQUIRES(mutex_);
 
   MetricTags default_tags_;
-  mutable std::mutex mutex_;
+  mutable jet::Mutex mutex_;
   // deque-like stability is not required (Snapshot copies), vector is fine.
-  std::vector<Entry> entries_;
+  std::vector<Entry> entries_ JET_GUARDED_BY(mutex_);
 };
 
 }  // namespace jet::obs

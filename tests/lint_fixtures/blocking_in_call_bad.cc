@@ -1,0 +1,29 @@
+// jet-verify fixture: known-bad. A cooperative root (Tasklet::Call
+// override) reaches an unbounded wait through a helper; the blocking-in-call
+// rule must fire with the helper in the witness chain.
+#include <chrono>
+#include <thread>
+
+#include "core/tasklet.h"
+
+namespace jet::fixture {
+
+// Looks innocent from the call site; the sleep is one hop away.
+inline void WaitForDownstreamFlush() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+class SleepyTasklet final : public core::Tasklet {
+ public:
+  core::TaskletProgress Call() override {
+    WaitForDownstreamFlush();
+    return {true, false};
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_ = "fixture/sleepy";
+};
+
+}  // namespace jet::fixture

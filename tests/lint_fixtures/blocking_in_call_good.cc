@@ -1,0 +1,28 @@
+// jet-verify fixture: known-good twin of blocking_in_call_bad.cc. The
+// cooperative root does only bounded work: instead of sleeping until the
+// downstream is ready it returns {did_work=false} and lets the execution
+// service reschedule it — the §3.2 contract.
+#include <cstdint>
+
+#include "core/tasklet.h"
+
+namespace jet::fixture {
+
+inline bool DownstreamReady(int64_t credit) { return credit > 0; }
+
+class PoliteTasklet final : public core::Tasklet {
+ public:
+  core::TaskletProgress Call() override {
+    if (!DownstreamReady(credit_)) return {false, false};
+    --credit_;
+    return {true, false};
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  int64_t credit_ = 8;
+  std::string name_ = "fixture/polite";
+};
+
+}  // namespace jet::fixture

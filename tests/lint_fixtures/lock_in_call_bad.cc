@@ -1,0 +1,28 @@
+// jet-verify fixture: known-bad. A cooperative root acquires a mutex with
+// no inline suppression and no JET_COOPERATIVE audit on the path; the
+// lock-in-call rule must fire.
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/tasklet.h"
+
+namespace jet::fixture {
+
+class LockingTasklet final : public core::Tasklet {
+ public:
+  core::TaskletProgress Call() override {
+    jet::MutexLock lock(mutex_);
+    items_.push_back("tick");
+    return {true, false};
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  jet::Mutex mutex_;
+  std::vector<std::string> items_ JET_GUARDED_BY(mutex_);
+  std::string name_ = "fixture/locking";
+};
+
+}  // namespace jet::fixture

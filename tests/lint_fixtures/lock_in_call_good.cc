@@ -1,0 +1,35 @@
+// jet-verify fixture: known-good twin of lock_in_call_bad.cc. The bounded
+// critical section lives in a helper that has been audited and declared a
+// JET_COOPERATIVE boundary, so the reachability pass does not propagate its
+// lock back to the root.
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/tasklet.h"
+
+namespace jet::fixture {
+
+class AuditedTasklet final : public core::Tasklet {
+ public:
+  core::TaskletProgress Call() override {
+    RecordTick();
+    return {true, false};
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  // Bounded critical section: one push_back under an uncontended lock,
+  // audited as fitting the cooperative budget.
+  void RecordTick() JET_COOPERATIVE {
+    jet::MutexLock lock(mutex_);
+    items_.push_back("tick");
+  }
+
+  jet::Mutex mutex_;
+  std::vector<std::string> items_ JET_GUARDED_BY(mutex_);
+  std::string name_ = "fixture/audited";
+};
+
+}  // namespace jet::fixture

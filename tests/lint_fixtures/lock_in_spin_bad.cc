@@ -1,0 +1,26 @@
+// jet-verify fixture: known-bad (advisory). A mutex acquired inside a
+// busy-wait loop that never sleeps: under contention the spinner burns a
+// core while serializing on the lock. The lock-in-spin rule must fire.
+#include <atomic>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace jet::fixture {
+
+class SpinningDrain {
+ public:
+  void DrainUntilDone() {
+    while (!done_.load(std::memory_order_acquire)) {
+      jet::MutexLock lock(mutex_);
+      if (!pending_.empty()) pending_.pop_back();
+    }
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+  jet::Mutex mutex_;
+  std::vector<int> pending_ JET_GUARDED_BY(mutex_);
+};
+
+}  // namespace jet::fixture

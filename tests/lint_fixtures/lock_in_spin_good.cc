@@ -1,0 +1,31 @@
+// jet-verify fixture: known-good twin of lock_in_spin_bad.cc. The loop
+// sleeps each round, so it is a poll, not a spin — the rule skips loops
+// that contain a blocking call.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace jet::fixture {
+
+class PollingDrain {
+ public:
+  void DrainUntilDone() {
+    while (!done_.load(std::memory_order_acquire)) {
+      {
+        jet::MutexLock lock(mutex_);
+        if (!pending_.empty()) pending_.pop_back();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+  jet::Mutex mutex_;
+  std::vector<int> pending_ JET_GUARDED_BY(mutex_);
+};
+
+}  // namespace jet::fixture

@@ -1,0 +1,21 @@
+// jet-verify fixture: known-bad. Raw std primitives outside
+// common/thread_annotations.h are invisible to both enforcement layers;
+// the raw-mutex rule must fire.
+#include <mutex>
+#include <vector>
+
+namespace jet::fixture {
+
+class RawGuarded {
+ public:
+  void Add(int v) {
+    std::scoped_lock lock(mutex_);
+    values_.push_back(v);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> values_;
+};
+
+}  // namespace jet::fixture

@@ -1,0 +1,22 @@
+// jet-verify fixture: known-good twin of raw_mutex_bad.cc. The jet::
+// wrappers carry the capability annotations, so clang's -Wthread-safety
+// sees the lock discipline and jet-verify sees the acquisition.
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace jet::fixture {
+
+class WrappedGuarded {
+ public:
+  void Add(int v) {
+    jet::MutexLock lock(mutex_);
+    values_.push_back(v);
+  }
+
+ private:
+  jet::Mutex mutex_;
+  std::vector<int> values_ JET_GUARDED_BY(mutex_);
+};
+
+}  // namespace jet::fixture

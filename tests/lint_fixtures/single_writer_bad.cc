@@ -1,0 +1,20 @@
+// jet-verify fixture: known-bad. A relaxed atomic write with no inline
+// suppression documenting the single-writer discipline; the single-writer
+// rule must fire.
+#include <atomic>
+#include <cstdint>
+
+namespace jet::fixture {
+
+class Stats {
+ public:
+  void Record(int64_t n) {
+    total_.store(total_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> total_{0};
+};
+
+}  // namespace jet::fixture

@@ -1,0 +1,24 @@
+// jet-verify fixture: known-good twin of single_writer_bad.cc. The relaxed
+// write carries an inline suppression stating the single-writer argument,
+// so the rule stays quiet — and because the suppression is *used*, the
+// hygiene pass stays quiet too.
+#include <atomic>
+#include <cstdint>
+
+namespace jet::fixture {
+
+class Stats {
+ public:
+  void Record(int64_t n) {
+    // jet-verify: allow(single-writer) — single-writer cell: only the
+    // owning worker calls Record; readers are monitoring pollers that
+    // tolerate staleness.
+    total_.store(total_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> total_{0};
+};
+
+}  // namespace jet::fixture

@@ -1,0 +1,32 @@
+// jet-verify fixture: known-bad. Three ways a suppression comment can rot;
+// each must surface as a 'suppression' hygiene error so suppressions cannot
+// accumulate silently.
+#include <atomic>
+#include <cstdint>
+
+namespace jet::fixture {
+
+class RottenSuppressions {
+ public:
+  void UnknownRule() {
+    // jet-verify: allow(bogus-rule) — this rule name does not exist.
+    counter_.store(1, std::memory_order_release);
+  }
+
+  void MissingReason() {
+    // jet-verify: allow(single-writer)
+    counter_.store(counter_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  }
+
+  void Stale() {
+    // jet-verify: allow(volatile) — nothing below is volatile, so this
+    // suppression matches no finding and must be reported as stale.
+    counter_.store(3, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<int64_t> counter_{0};
+};
+
+}  // namespace jet::fixture

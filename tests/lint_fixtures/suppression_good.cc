@@ -1,0 +1,22 @@
+// jet-verify fixture: known-good twin of suppression_bad.cc. One
+// well-formed suppression — known rule, stated reason — that actually
+// covers a finding, so neither the rule nor the hygiene pass complains.
+#include <atomic>
+#include <cstdint>
+
+namespace jet::fixture {
+
+class HealthySuppression {
+ public:
+  void Record() {
+    // jet-verify: allow(single-writer) — single-writer cell: the owning
+    // worker is the only caller; monitoring readers tolerate staleness.
+    counter_.store(counter_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> counter_{0};
+};
+
+}  // namespace jet::fixture

@@ -1,0 +1,27 @@
+// Thread-safety-analysis fixture: known-bad. Reads and writes a
+// JET_GUARDED_BY member without holding its mutex. Registered as a
+// WILL_FAIL compile test when the compiler is Clang: it must be rejected
+// under -Wthread-safety -Werror=thread-safety. (Under GCC the annotations
+// are no-ops and this file is never compiled.)
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace jet::fixture {
+
+class UnlockedAccess {
+ public:
+  void Increment() {
+    ++count_;  // error: writing count_ requires holding mutex_
+  }
+
+  int64_t Get() const {
+    return count_;  // error: reading count_ requires holding mutex_
+  }
+
+ private:
+  mutable jet::Mutex mutex_;
+  int64_t count_ JET_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace jet::fixture

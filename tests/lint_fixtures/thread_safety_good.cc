@@ -1,0 +1,32 @@
+// Thread-safety-analysis fixture: known-good twin of thread_safety_bad.cc.
+// Every access to the guarded member holds the mutex (scoped lock or a
+// JET_REQUIRES contract the caller discharges), so the TU compiles clean
+// under -Wthread-safety -Werror=thread-safety.
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace jet::fixture {
+
+class LockedAccess {
+ public:
+  void Increment() {
+    jet::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  int64_t Get() const {
+    jet::MutexLock lock(mutex_);
+    return count_;
+  }
+
+ private:
+  // Callers must hold mutex_; the analysis checks both sides of the
+  // contract.
+  void BumpLocked() JET_REQUIRES(mutex_) { ++count_; }
+
+  mutable jet::Mutex mutex_;
+  int64_t count_ JET_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace jet::fixture

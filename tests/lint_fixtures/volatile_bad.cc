@@ -1,0 +1,16 @@
+// jet-verify fixture: known-bad. `volatile` is not a synchronization
+// primitive; the volatile rule must fire.
+#include <cstdint>
+
+namespace jet::fixture {
+
+class Flag {
+ public:
+  void Raise() { raised_ = 1; }
+  bool IsRaised() const { return raised_ != 0; }
+
+ private:
+  volatile int64_t raised_ = 0;
+};
+
+}  // namespace jet::fixture

@@ -1,0 +1,16 @@
+// jet-verify fixture: known-good twin of volatile_bad.cc. Cross-thread
+// flags are std::atomic with explicit ordering.
+#include <atomic>
+
+namespace jet::fixture {
+
+class Flag {
+ public:
+  void Raise() { raised_.store(true, std::memory_order_release); }
+  bool IsRaised() const { return raised_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> raised_{false};
+};
+
+}  // namespace jet::fixture

@@ -10,7 +10,7 @@
 #                                  # guard abort under asan-ubsan, TSan
 #                                  # report under tsan)
 #
-# Sanitizer findings are fatal; lint rule 3 (mutex-under-spinlock) and
+# Sanitizer findings are fatal; jet-verify's lock-in-spin rule and
 # clang-tidy (skipped when not installed) are advisory.
 
 set -euo pipefail
@@ -30,12 +30,12 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-echo "== lint: concurrency patterns =="
-python3 tools/lint_concurrency.py --strict
+echo "== lint: jet-verify (cooperative-blocking + concurrency contracts) =="
+python3 tools/jet_verify.py --strict --baseline tools/jet_verify_baseline.json
 
 if command -v run-clang-tidy >/dev/null 2>&1 && command -v clang-tidy >/dev/null 2>&1; then
   echo "== lint: clang-tidy (advisory) =="
-  cmake --preset relwithdebinfo -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  cmake --preset relwithdebinfo >/dev/null  # presets export compile_commands.json
   run-clang-tidy -quiet -p build-relwithdebinfo "src/.*" || \
     echo "clang-tidy reported findings (advisory; not failing the check)"
 else
