@@ -614,8 +614,11 @@ Status ClusterJob::StartAttempt(std::vector<int32_t> nodes, int64_t restore_snap
 
   // Channels are tagged with physical member ids so testkit link faults
   // (partitions, drops, delay spikes) apply to this execution's traffic.
-  attempt->registry =
-      std::make_unique<net::ExchangeRegistry>(&cluster_->network_, attempt->nodes);
+  net::ExchangeOptions exchange_options;
+  exchange_options.serialize_frames = config_.serialize_exchange_frames;
+  exchange_options.epoch = attempt_count_.load(std::memory_order_acquire);
+  attempt->registry = std::make_unique<net::ExchangeRegistry>(
+      &cluster_->network_, attempt->nodes, exchange_options);
   for (int32_t i = 0; i < node_count; ++i) {
     core::NodeInfo node{i, node_count};
     auto factory = std::make_unique<net::NetworkEdgeFactory>(

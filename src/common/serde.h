@@ -106,6 +106,12 @@ class BytesReader {
       if (pos_ >= len_) return OutOfRangeError("varint truncated");
       if (shift >= 64) return InvalidArgumentError("varint too long");
       uint8_t byte = data_[pos_++];
+      // The 10th byte lands at shift 63 and may only carry bit 0; anything
+      // in bits 1..6 would be shifted past bit 63 and silently lost,
+      // decoding an overflowing varint to a wrong value.
+      if (shift == 63 && (byte & 0x7E) != 0) {
+        return InvalidArgumentError("varint overflows 64 bits");
+      }
       result |= static_cast<uint64_t>(byte & 0x7F) << shift;
       if ((byte & 0x80) == 0) break;
       shift += 7;

@@ -51,6 +51,11 @@ struct JobConfig {
   /// long the in-flight epoch is aborted and garbage-collected instead of
   /// stalling the snapshot thread forever. 0 = wait without bound.
   Nanos snapshot_ack_timeout = 0;
+  /// Round-trip every distributed-edge frame through the binary wire codec
+  /// even when the hop stays in-process, so the execution pays the real
+  /// serialization cost (EXPERIMENTS.md). Off by default; process-mode
+  /// transports always serialize regardless of this flag.
+  bool serialize_exchange_frames = false;
 };
 
 }  // namespace jet::core

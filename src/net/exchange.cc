@@ -4,6 +4,69 @@
 #include <cassert>
 
 namespace jet::net {
+namespace {
+
+/// The in-memory transport: frames travel as closures over net::Network,
+/// so per-link faults, latency and delivery accounting keep applying.
+/// With ExchangeOptions::serialize_frames the frame is encoded on the
+/// sending side and decoded inside the delivery closure — the in-process
+/// execution then pays the exact byte-level cost of the socket path.
+class InProcessFrameLink final : public FrameLink {
+ public:
+  InProcessFrameLink(Network* network, const ExchangeChannel& channel, bool serialize,
+                     FrameHeader header)
+      : network_(network),
+        wire_(channel.wire),
+        flow_(channel.flow),
+        data_channel_(channel.data_channel),
+        ack_channel_(channel.ack_channel),
+        serialize_(serialize),
+        header_(header) {}
+
+  void SendData(std::vector<core::Item>&& frame) override {
+    if (serialize_) {
+      BytesWriter w;
+      Status s = EncodeDataFrame(header_, frame, &w);
+      if (s.ok()) {
+        network_->Send(data_channel_, [wire = wire_, bytes = w.Take()]() {
+          auto decoded = DecodeFrame(bytes);
+          JET_DCHECK(decoded.ok());
+          if (decoded.ok()) wire->Push(std::move(decoded->items));
+        });
+        return;
+      }
+      // A payload type without a codec (local-only test jobs): ship the
+      // in-memory frame instead — correctness over measured cost.
+    }
+    network_->Send(data_channel_,
+                   [wire = wire_, b = std::move(frame)]() mutable { wire->Push(std::move(b)); });
+  }
+
+  void SendAck(int64_t new_limit) override {
+    if (serialize_) {
+      BytesWriter w;
+      JET_DCHECK_OK(EncodeAckFrame(header_, new_limit, &w));
+      network_->Send(ack_channel_, [flow = flow_, bytes = w.Take()]() {
+        auto decoded = DecodeFrame(bytes);
+        JET_DCHECK(decoded.ok());
+        if (decoded.ok()) flow->OnAck(decoded->ack_limit);
+      });
+      return;
+    }
+    network_->Send(ack_channel_, [flow = flow_, new_limit]() { flow->OnAck(new_limit); });
+  }
+
+ private:
+  Network* network_;
+  std::shared_ptr<WireBuffer> wire_;
+  std::shared_ptr<SenderFlowState> flow_;
+  ChannelId data_channel_;
+  ChannelId ack_channel_;
+  bool serialize_;
+  FrameHeader header_;
+};
+
+}  // namespace
 
 std::shared_ptr<ExchangeChannel> ExchangeRegistry::GetOrCreate(int32_t edge_index,
                                                                int32_t from_node,
@@ -19,8 +82,21 @@ std::shared_ptr<ExchangeChannel> ExchangeRegistry::GetOrCreate(int32_t edge_inde
   // Acks flow back receiver -> sender, so a one-way fault on (to, from)
   // affects them, not the data direction.
   channel->ack_channel = network_->OpenChannel(phys_to, phys_from);
+  channel->link = MakeLink(*channel, edge_index, from_node, to_node);
   channels_[key] = channel;
   return channel;
+}
+
+std::shared_ptr<FrameLink> ExchangeRegistry::MakeLink(const ExchangeChannel& channel,
+                                                      int32_t edge_index, int32_t from_node,
+                                                      int32_t to_node) {
+  FrameHeader header;
+  header.edge_index = edge_index;
+  header.from_node = from_node;
+  header.to_node = to_node;
+  header.epoch = options_.epoch;
+  return std::make_shared<InProcessFrameLink>(network_, channel, options_.serialize_frames,
+                                              header);
 }
 
 int32_t ExchangeRegistry::PhysicalIdOf(int32_t plan_node) const {
@@ -34,10 +110,8 @@ int32_t ExchangeRegistry::PhysicalIdOf(int32_t plan_node) const {
 // SenderProcessor
 // ---------------------------------------------------------------------------
 
-SenderProcessor::SenderProcessor(Network* network,
-                                 std::shared_ptr<ExchangeChannel> channel,
-                                 int32_t max_batch)
-    : network_(network), channel_(std::move(channel)), max_batch_(max_batch) {}
+SenderProcessor::SenderProcessor(std::shared_ptr<ExchangeChannel> channel, int32_t max_batch)
+    : channel_(std::move(channel)), max_batch_(max_batch) {}
 
 Status SenderProcessor::Init(core::ProcessorContext* ctx) {
   JET_RETURN_IF_ERROR(core::Processor::Init(ctx));
@@ -108,19 +182,16 @@ bool SenderProcessor::Complete() {
 }
 
 void SenderProcessor::SendBatch(std::vector<core::Item>&& batch) {
-  auto wire = channel_->wire;
-  network_->Send(channel_->data_channel,
-                 [wire, b = std::move(batch)]() mutable { wire->Push(std::move(b)); });
+  channel_->link->SendData(std::move(batch));
 }
 
 // ---------------------------------------------------------------------------
 // ReceiverProcessor
 // ---------------------------------------------------------------------------
 
-ReceiverProcessor::ReceiverProcessor(Network* network,
-                                     std::shared_ptr<ExchangeChannel> channel,
+ReceiverProcessor::ReceiverProcessor(std::shared_ptr<ExchangeChannel> channel,
                                      ReceiveWindowController::Options window_options)
-    : network_(network), channel_(std::move(channel)), window_ctl_(window_options) {}
+    : channel_(std::move(channel)), window_ctl_(window_options) {}
 
 Status ReceiverProcessor::Init(core::ProcessorContext* ctx) {
   JET_RETURN_IF_ERROR(core::Processor::Init(ctx));
@@ -172,8 +243,7 @@ bool ReceiverProcessor::Complete() {
   // Periodically ack our progress so the sender's window slides (§3.3).
   int64_t limit = window_ctl_.MaybeAck(ctx()->clock->Now(), forwarded_seq_);
   if (limit >= 0) {
-    auto flow = channel_->flow;
-    network_->Send(channel_->ack_channel, [flow, limit]() { flow->OnAck(limit); });
+    channel_->link->SendAck(limit);
     acks_sent_counter_.Add(1);
     receive_window_gauge_.Set(window_ctl_.window());
   }
@@ -258,13 +328,12 @@ std::vector<core::ItemQueuePtr> NetworkEdgeFactory::ReceiverQueuesFor(
 
 std::vector<std::unique_ptr<core::ProcessorTasklet>> NetworkEdgeFactory::TakeTasklets() {
   std::vector<std::unique_ptr<core::ProcessorTasklet>> tasklets;
-  Network* network = registry_->network();
 
   for (auto& [key, queues] : sender_queues_) {
     auto [edge_index, dest_node] = key;
     const core::Edge& e = dag_->edges()[static_cast<size_t>(edge_index)];
     auto channel = registry_->GetOrCreate(edge_index, node_.node_id, dest_node);
-    auto processor = std::make_unique<SenderProcessor>(network, channel);
+    auto processor = std::make_unique<SenderProcessor>(channel);
 
     core::InboundStream stream;
     stream.ordinal = 0;
@@ -288,7 +357,7 @@ std::vector<std::unique_ptr<core::ProcessorTasklet>> NetworkEdgeFactory::TakeTas
     auto [edge_index, from_node] = key;
     const core::Edge& e = dag_->edges()[static_cast<size_t>(edge_index)];
     auto channel = registry_->GetOrCreate(edge_index, from_node, node_.node_id);
-    auto processor = std::make_unique<ReceiverProcessor>(network, channel);
+    auto processor = std::make_unique<ReceiverProcessor>(channel);
 
     int32_t dest_local = LocalParallelismOf(e.dest);
     std::vector<core::OutboundCollector> collectors;

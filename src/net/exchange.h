@@ -13,6 +13,7 @@
 #include "core/tasklet.h"
 #include "net/flow_control.h"
 #include "net/network.h"
+#include "net/wire_format.h"
 #include "obs/metrics_registry.h"
 
 namespace jet::net {
@@ -119,25 +120,60 @@ class WireBuffer {
   debug::ThreadOwnershipGuard drainer_guard_;
 };
 
+/// Transport of one directed hop of one distributed edge. The exchange
+/// processors are written against this interface alone, so the same
+/// sender/receiver logic runs over the in-memory bus (InProcessFrameLink)
+/// or a real socket to another OS process (procmode's SocketFrameLink) —
+/// the §3.3 flow-control protocol is identical either way.
+///
+/// Both methods are called from cooperative tasklet hot paths and must be
+/// bounded: enqueue-and-wake only, never blocking I/O.
+class FrameLink {
+ public:
+  virtual ~FrameLink() = default;
+  /// Ships one frame of items toward the receiver's WireBuffer.
+  virtual void SendData(std::vector<core::Item>&& frame) JET_COOPERATIVE = 0;
+  /// Ships a receive-window advance (new send limit) back to the sender.
+  virtual void SendAck(int64_t new_limit) JET_COOPERATIVE = 0;
+};
+
 /// Rendezvous state of one directed network hop of one distributed edge:
 /// sender on `from` node, receiver on `to` node.
 struct ExchangeChannel {
   std::shared_ptr<WireBuffer> wire = std::make_shared<WireBuffer>();
   std::shared_ptr<SenderFlowState> flow = std::make_shared<SenderFlowState>();
+  std::shared_ptr<FrameLink> link;
   ChannelId data_channel = 0;
   ChannelId ack_channel = 0;
 };
 
+/// Knobs applied to every channel an ExchangeRegistry creates.
+struct ExchangeOptions {
+  /// Round-trip every data/ack frame through the wire codec even though
+  /// the hop is in-process. Opt-in: it makes the simulated cluster pay the
+  /// real serialization cost (EXPERIMENTS.md) at the price of the copy.
+  bool serialize_frames = false;
+  /// Execution epoch stamped into frame headers. Process mode uses the
+  /// attempt number so a dispatcher can discard stragglers from a
+  /// torn-down attempt; in-process executions leave it 0.
+  int64_t epoch = 0;
+};
+
 /// Registry shared by all nodes of one job execution, pairing senders with
-/// receivers. Thread-safe.
+/// receivers. Thread-safe. Subclasses (procmode) override MakeLink to put
+/// channels on a real transport.
 class ExchangeRegistry {
  public:
   /// `physical_node_ids` maps plan-local node index -> the member's
   /// physical id, so channels are endpoint-tagged and per-link faults
   /// (Network::SetLinkFault / Partition) apply to this execution's
   /// traffic. When empty, channels are untagged and immune to faults.
-  explicit ExchangeRegistry(Network* network, std::vector<int32_t> physical_node_ids = {})
-      : network_(network), physical_node_ids_(std::move(physical_node_ids)) {}
+  explicit ExchangeRegistry(Network* network, std::vector<int32_t> physical_node_ids = {},
+                            ExchangeOptions options = {})
+      : network_(network),
+        physical_node_ids_(std::move(physical_node_ids)),
+        options_(options) {}
+  virtual ~ExchangeRegistry() = default;
 
   /// Returns (creating on first use) the channel of (edge, from, to).
   std::shared_ptr<ExchangeChannel> GetOrCreate(int32_t edge_index, int32_t from_node,
@@ -145,11 +181,22 @@ class ExchangeRegistry {
 
   Network* network() const { return network_; }
 
+ protected:
+  /// Builds the transport for a freshly created channel. Called with the
+  /// registry mutex held — implementations must not re-enter GetOrCreate.
+  /// The default wires the channel over the in-memory bus.
+  virtual std::shared_ptr<FrameLink> MakeLink(const ExchangeChannel& channel,
+                                              int32_t edge_index, int32_t from_node,
+                                              int32_t to_node);
+
+  const ExchangeOptions& options() const { return options_; }
+
  private:
   int32_t PhysicalIdOf(int32_t plan_node) const;
 
   Network* network_;
   std::vector<int32_t> physical_node_ids_;
+  ExchangeOptions options_;
   jet::Mutex mutex_;
   std::map<std::tuple<int32_t, int32_t, int32_t>, std::shared_ptr<ExchangeChannel>>
       channels_ JET_GUARDED_BY(mutex_);
@@ -163,8 +210,7 @@ class ExchangeRegistry {
 /// and exactly-once barrier alignment before this processor sees anything.
 class SenderProcessor final : public core::Processor {
  public:
-  SenderProcessor(Network* network, std::shared_ptr<ExchangeChannel> channel,
-                  int32_t max_batch = 64);
+  explicit SenderProcessor(std::shared_ptr<ExchangeChannel> channel, int32_t max_batch = 64);
 
   Status Init(core::ProcessorContext* ctx) override;
   void Process(int ordinal, core::Inbox* inbox) override;
@@ -177,7 +223,6 @@ class SenderProcessor final : public core::Processor {
  private:
   void SendBatch(std::vector<core::Item>&& batch);
 
-  Network* network_;
   std::shared_ptr<ExchangeChannel> channel_;
   int32_t max_batch_;
   int64_t sent_seq_ = 0;
@@ -199,8 +244,8 @@ class SenderProcessor final : public core::Processor {
 /// forwards the barriers that arrive on the wire.
 class ReceiverProcessor final : public core::Processor {
  public:
-  ReceiverProcessor(Network* network, std::shared_ptr<ExchangeChannel> channel,
-                    ReceiveWindowController::Options window_options = {});
+  explicit ReceiverProcessor(std::shared_ptr<ExchangeChannel> channel,
+                             ReceiveWindowController::Options window_options = {});
 
   Status Init(core::ProcessorContext* ctx) override;
   bool Complete() override;
@@ -214,7 +259,6 @@ class ReceiverProcessor final : public core::Processor {
   int64_t current_window() const { return window_ctl_.window(); }
 
  private:
-  Network* network_;
   std::shared_ptr<ExchangeChannel> channel_;
   ReceiveWindowController window_ctl_;
   // Staged wire frame, consumed through a cursor so frames drained with a

@@ -1,0 +1,274 @@
+#include "net/wire_format.h"
+
+#include <string>
+#include <utility>
+
+#include "core/processors_window.h"
+
+namespace jet::net {
+namespace {
+
+using core::Any;
+using core::Item;
+using core::ItemKind;
+using KeyedFrameI64 = core::KeyedFrame<int64_t>;
+using WindowResultI64 = core::WindowResult<int64_t>;
+
+// ---- payload codecs ------------------------------------------------------
+//
+// Each payload is written as: u8 tag, varint length, body. The length
+// prefix lets the decoder bound every body read against the enclosing
+// frame before interpreting a single body byte.
+
+void EncodeKeyedFrame(const KeyedFrameI64& f, BytesWriter* w) {
+  w->WriteVarU64(f.key);
+  w->WriteVarI64(f.frame_end);
+  w->WriteVarI64(f.acc);
+}
+
+Status DecodeKeyedFrame(BytesReader* r, KeyedFrameI64* out) {
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&out->key));
+  JET_RETURN_IF_ERROR(r->ReadVarI64(&out->frame_end));
+  JET_RETURN_IF_ERROR(r->ReadVarI64(&out->acc));
+  return Status::OK();
+}
+
+void EncodeWindowResult(const WindowResultI64& wr, BytesWriter* w) {
+  w->WriteVarU64(wr.key);
+  w->WriteVarI64(wr.window_start);
+  w->WriteVarI64(wr.window_end);
+  w->WriteVarI64(wr.value);
+}
+
+Status DecodeWindowResult(BytesReader* r, WindowResultI64* out) {
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&out->key));
+  JET_RETURN_IF_ERROR(r->ReadVarI64(&out->window_start));
+  JET_RETURN_IF_ERROR(r->ReadVarI64(&out->window_end));
+  JET_RETURN_IF_ERROR(r->ReadVarI64(&out->value));
+  return Status::OK();
+}
+
+// Writes tag + length-prefixed body for one payload. The body is staged in
+// a scratch writer so the length prefix is exact.
+Status EncodePayload(const Any& payload, BytesWriter* w) {
+  BytesWriter body;
+  PayloadTag tag;
+  if (const auto* v = payload.TryAs<int64_t>()) {
+    tag = PayloadTag::kI64;
+    body.WriteVarI64(*v);
+  } else if (const auto* v = payload.TryAs<uint64_t>()) {
+    tag = PayloadTag::kU64;
+    body.WriteVarU64(*v);
+  } else if (const auto* v = payload.TryAs<double>()) {
+    tag = PayloadTag::kDouble;
+    body.WriteDouble(*v);
+  } else if (const auto* v = payload.TryAs<std::string>()) {
+    tag = PayloadTag::kString;
+    body.AppendRaw(v->data(), v->size());
+  } else if (const auto* v = payload.TryAs<Bytes>()) {
+    tag = PayloadTag::kBytes;
+    body.AppendRaw(v->data(), v->size());
+  } else if (const auto* v = payload.TryAs<KeyedFrameI64>()) {
+    tag = PayloadTag::kKeyedFrameI64;
+    EncodeKeyedFrame(*v, &body);
+  } else if (const auto* v = payload.TryAs<WindowResultI64>()) {
+    tag = PayloadTag::kWindowResultI64;
+    EncodeWindowResult(*v, &body);
+  } else {
+    return UnimplementedError(
+        "no wire codec for this payload type; pre-serialize it to jet::Bytes");
+  }
+  w->WriteU8(static_cast<uint8_t>(tag));
+  w->WriteBytes(body.buffer());
+  return Status::OK();
+}
+
+// Decodes tag + length-prefixed body into an Any. Composite bodies must be
+// fully consumed — leftover body bytes mean a corrupt or mis-tagged frame.
+Status DecodePayload(BytesReader* r, Any* out) {
+  uint8_t raw_tag = 0;
+  JET_RETURN_IF_ERROR(r->ReadU8(&raw_tag));
+  Bytes body;
+  JET_RETURN_IF_ERROR(r->ReadBytes(&body));
+  BytesReader br(body);
+  switch (static_cast<PayloadTag>(raw_tag)) {
+    case PayloadTag::kI64: {
+      int64_t v = 0;
+      JET_RETURN_IF_ERROR(br.ReadVarI64(&v));
+      *out = Any::Of<int64_t>(v);
+      break;
+    }
+    case PayloadTag::kU64: {
+      uint64_t v = 0;
+      JET_RETURN_IF_ERROR(br.ReadVarU64(&v));
+      *out = Any::Of<uint64_t>(v);
+      break;
+    }
+    case PayloadTag::kDouble: {
+      double v = 0;
+      JET_RETURN_IF_ERROR(br.ReadDouble(&v));
+      *out = Any::Of<double>(v);
+      break;
+    }
+    case PayloadTag::kString:
+      *out = Any::Of<std::string>(
+          std::string(reinterpret_cast<const char*>(body.data()), body.size()));
+      return Status::OK();  // whole body is the value, by construction
+    case PayloadTag::kBytes:
+      *out = Any::Of<Bytes>(std::move(body));
+      return Status::OK();
+    case PayloadTag::kKeyedFrameI64: {
+      KeyedFrameI64 v;
+      JET_RETURN_IF_ERROR(DecodeKeyedFrame(&br, &v));
+      *out = Any::Of<KeyedFrameI64>(v);
+      break;
+    }
+    case PayloadTag::kWindowResultI64: {
+      WindowResultI64 v;
+      JET_RETURN_IF_ERROR(DecodeWindowResult(&br, &v));
+      *out = Any::Of<WindowResultI64>(v);
+      break;
+    }
+    default:
+      return InvalidArgumentError("unknown payload tag " + std::to_string(raw_tag));
+  }
+  if (!br.AtEnd()) return InvalidArgumentError("payload body has trailing bytes");
+  return Status::OK();
+}
+
+// ---- frame plumbing ------------------------------------------------------
+
+void WriteFramePrefix(FrameType type, BytesWriter* w) {
+  w->WriteU8(kFrameMagic0);
+  w->WriteU8(kFrameMagic1);
+  w->WriteU8(kWireFormatVersion);
+  w->WriteU8(static_cast<uint8_t>(type));
+}
+
+void WriteHopIdentity(const FrameHeader& header, BytesWriter* w) {
+  w->WriteVarU64(static_cast<uint64_t>(header.edge_index));
+  w->WriteVarU64(static_cast<uint64_t>(header.from_node));
+  w->WriteVarU64(static_cast<uint64_t>(header.to_node));
+  w->WriteVarU64(static_cast<uint64_t>(header.epoch));
+}
+
+Status ReadHopIdentity(BytesReader* r, FrameHeader* header) {
+  uint64_t edge = 0, from = 0, to = 0, epoch = 0;
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&edge));
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&from));
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&to));
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&epoch));
+  if (edge > INT32_MAX || from > INT32_MAX || to > INT32_MAX || epoch > INT64_MAX) {
+    return InvalidArgumentError("frame hop identity out of range");
+  }
+  header->edge_index = static_cast<int32_t>(edge);
+  header->from_node = static_cast<int32_t>(from);
+  header->to_node = static_cast<int32_t>(to);
+  header->epoch = static_cast<int64_t>(epoch);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EncodeItem(const Item& item, BytesWriter* w) {
+  w->WriteU8(static_cast<uint8_t>(item.kind));
+  w->WriteVarI64(item.timestamp);
+  if (item.kind != ItemKind::kData) return Status::OK();
+  w->WriteVarU64(item.key_hash);
+  return EncodePayload(item.payload, w);
+}
+
+Status DecodeItem(BytesReader* r, Item* out) {
+  uint8_t raw_kind = 0;
+  JET_RETURN_IF_ERROR(r->ReadU8(&raw_kind));
+  if (raw_kind > static_cast<uint8_t>(ItemKind::kDone)) {
+    return InvalidArgumentError("unknown item kind " + std::to_string(raw_kind));
+  }
+  Item item;
+  item.kind = static_cast<ItemKind>(raw_kind);
+  JET_RETURN_IF_ERROR(r->ReadVarI64(&item.timestamp));
+  if (item.kind == ItemKind::kData) {
+    JET_RETURN_IF_ERROR(r->ReadVarU64(&item.key_hash));
+    JET_RETURN_IF_ERROR(DecodePayload(r, &item.payload));
+  }
+  *out = std::move(item);
+  return Status::OK();
+}
+
+Status EncodeDataFrame(const FrameHeader& header, const std::vector<Item>& items,
+                       BytesWriter* w) {
+  WriteFramePrefix(FrameType::kData, w);
+  WriteHopIdentity(header, w);
+  w->WriteVarU64(items.size());
+  for (const Item& item : items) {
+    JET_RETURN_IF_ERROR(EncodeItem(item, w));
+  }
+  return Status::OK();
+}
+
+Status EncodeAckFrame(const FrameHeader& header, int64_t new_limit, BytesWriter* w) {
+  WriteFramePrefix(FrameType::kAck, w);
+  WriteHopIdentity(header, w);
+  w->WriteVarI64(new_limit);
+  return Status::OK();
+}
+
+Status EncodeControlFrame(const Bytes& body, BytesWriter* w) {
+  WriteFramePrefix(FrameType::kControl, w);
+  w->WriteBytes(body);
+  return Status::OK();
+}
+
+Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t len) {
+  BytesReader r(data, len);
+  uint8_t m0 = 0, m1 = 0, version = 0, raw_type = 0;
+  JET_RETURN_IF_ERROR(r.ReadU8(&m0));
+  JET_RETURN_IF_ERROR(r.ReadU8(&m1));
+  if (m0 != kFrameMagic0 || m1 != kFrameMagic1) {
+    return InvalidArgumentError("bad frame magic");
+  }
+  JET_RETURN_IF_ERROR(r.ReadU8(&version));
+  if (version != kWireFormatVersion) {
+    return InvalidArgumentError("unsupported wire format version " + std::to_string(version));
+  }
+  JET_RETURN_IF_ERROR(r.ReadU8(&raw_type));
+
+  DecodedFrame frame;
+  switch (static_cast<FrameType>(raw_type)) {
+    case FrameType::kData: {
+      frame.header.type = FrameType::kData;
+      JET_RETURN_IF_ERROR(ReadHopIdentity(&r, &frame.header));
+      uint64_t count = 0;
+      JET_RETURN_IF_ERROR(r.ReadVarU64(&count));
+      // Every encoded item is at least 2 bytes, so a count exceeding the
+      // remaining bytes is corrupt — reject before any allocation.
+      if (count > r.Remaining()) {
+        return InvalidArgumentError("item count exceeds frame size");
+      }
+      frame.items.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        Item item;
+        JET_RETURN_IF_ERROR(DecodeItem(&r, &item));
+        frame.items.push_back(std::move(item));
+      }
+      break;
+    }
+    case FrameType::kAck: {
+      frame.header.type = FrameType::kAck;
+      JET_RETURN_IF_ERROR(ReadHopIdentity(&r, &frame.header));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&frame.ack_limit));
+      break;
+    }
+    case FrameType::kControl: {
+      frame.header.type = FrameType::kControl;
+      JET_RETURN_IF_ERROR(r.ReadBytes(&frame.control_body));
+      break;
+    }
+    default:
+      return InvalidArgumentError("unknown frame type " + std::to_string(raw_type));
+  }
+  if (!r.AtEnd()) return InvalidArgumentError("frame has trailing bytes");
+  return frame;
+}
+
+}  // namespace jet::net

@@ -1,0 +1,122 @@
+#ifndef JETSIM_NET_WIRE_FORMAT_H_
+#define JETSIM_NET_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "core/item.h"
+
+namespace jet::net {
+
+/// Binary wire format for exchange traffic (version 1).
+///
+/// PR 5 made whole frames the unit of transfer; this codec makes them the
+/// unit of *serialization*, so the same frame granularity crosses a real
+/// socket. Every frame starts with a fixed 4-byte header:
+///
+///   offset  size  field
+///   ------  ----  -----------------------------------------------
+///   0       2     magic 0x4A 0x57 ("JW")
+///   2       1     format version (kWireFormatVersion)
+///   3       1     frame type (FrameType)
+///
+/// followed by a type-specific body of varint/length-prefixed fields (see
+/// EncodeDataFrame / EncodeAckFrame / EncodeControlFrame). Decoding never
+/// trusts a length or count it has not bounds-checked against the buffer,
+/// returns an error Status on any malformed input, and requires the frame
+/// to consume the whole buffer (trailing garbage is an error).
+///
+/// Versioning rules: additions that change any committed byte sequence
+/// bump kWireFormatVersion; decoders reject frames from a different
+/// version (no cross-version compatibility is attempted while the format
+/// is young). The golden fixtures under tests/wire_fixtures/ pin the
+/// byte-exact v1 encodings; see that directory's README for the bump
+/// procedure.
+inline constexpr uint8_t kFrameMagic0 = 0x4A;  // 'J'
+inline constexpr uint8_t kFrameMagic1 = 0x57;  // 'W'
+inline constexpr uint8_t kWireFormatVersion = 1;
+
+enum class FrameType : uint8_t {
+  kData = 1,     ///< a batch of exchange items for one directed hop
+  kAck = 2,      ///< receive-window advance for one directed hop (§3.3)
+  kControl = 3,  ///< opaque control-plane message (process-mode protocol)
+};
+
+/// Typed-item payload encoding. Common payload types get a compact native
+/// encoding; anything pre-serialized by the producer travels as kBytes
+/// (the opaque fallback). Tags are part of the committed format: never
+/// renumber, only append.
+enum class PayloadTag : uint8_t {
+  kNone = 0,    ///< empty Any (control items never reach here)
+  kI64 = 1,     ///< int64_t, zigzag varint
+  kU64 = 2,     ///< uint64_t, varint
+  kDouble = 3,  ///< IEEE-754 double, 8 bytes little-endian
+  kString = 4,  ///< length-prefixed UTF-8/binary string
+  kBytes = 5,   ///< opaque bytes fallback (jet::Bytes payload, verbatim)
+  // 6..15 reserved for future primitives.
+  // Composite types of the standard two-stage windowed aggregation jobs.
+  kKeyedFrameI64 = 16,    ///< core::KeyedFrame<int64_t>
+  kWindowResultI64 = 17,  ///< core::WindowResult<int64_t>
+};
+
+/// Identity of a data/ack frame: which directed hop of which edge it
+/// belongs to, and which execution epoch (attempt) produced it. The epoch
+/// lets a receiver discard stragglers from a torn-down attempt — after a
+/// kill -9 restart, plan-local node ids are reassigned, so a stale frame
+/// routed by (edge, from, to) alone could corrupt the new attempt.
+struct FrameHeader {
+  FrameType type = FrameType::kData;
+  int32_t edge_index = 0;
+  int32_t from_node = 0;
+  int32_t to_node = 0;
+  int64_t epoch = 0;  ///< attempt number in process mode; 0 in-process
+};
+
+/// A decoded frame: header plus the one body field its type uses.
+struct DecodedFrame {
+  FrameHeader header;
+  std::vector<core::Item> items;  ///< kData
+  int64_t ack_limit = 0;          ///< kAck: new send limit (§3.3)
+  Bytes control_body;             ///< kControl: opaque payload
+};
+
+/// Appends the typed encoding of one item:
+///   u8 kind, zigzag-varint timestamp, then for data items only:
+///   varint key_hash, u8 payload tag, varint payload length, payload.
+/// Watermarks, barriers and done markers are kind + timestamp alone.
+/// Returns UnimplementedError for a data payload type with no codec —
+/// pre-serialize such payloads to jet::Bytes (the opaque fallback).
+Status EncodeItem(const core::Item& item, BytesWriter* w);
+
+/// Decodes one item written by EncodeItem. On error the reader position is
+/// unspecified.
+Status DecodeItem(BytesReader* r, core::Item* out);
+
+/// DATA frame body: varint edge_index, varint from_node, varint to_node,
+/// varint epoch, varint item count, items.
+Status EncodeDataFrame(const FrameHeader& header, const std::vector<core::Item>& items,
+                       BytesWriter* w);
+
+/// ACK frame body: varint edge_index, varint from_node, varint to_node,
+/// varint epoch, zigzag-varint new send limit. The hop identity is the
+/// *data* direction's — the ack physically travels the reverse path but
+/// names the flow it advances, preserving the §3.3 window end to end.
+Status EncodeAckFrame(const FrameHeader& header, int64_t new_limit, BytesWriter* w);
+
+/// CONTROL frame body: varint length + opaque bytes. The codec does not
+/// interpret control payloads; the process-mode protocol layer does.
+Status EncodeControlFrame(const Bytes& body, BytesWriter* w);
+
+/// Decodes any frame. Rejects bad magic, unknown version, unknown frame
+/// type, unknown payload tags, counts/lengths exceeding the buffer, and
+/// trailing bytes. Never crashes or reads past `len`.
+Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t len);
+inline Result<DecodedFrame> DecodeFrame(const Bytes& b) {
+  return DecodeFrame(b.data(), b.size());
+}
+
+}  // namespace jet::net
+
+#endif  // JETSIM_NET_WIRE_FORMAT_H_

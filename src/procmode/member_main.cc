@@ -1,0 +1,35 @@
+// jet_member: one Jet cluster member as an OS process.
+//
+// Usage: jet_member <control_socket_path> <member_index> <work_dir>
+//
+// Spawned by ProcessCluster (or by hand for debugging); connects to the
+// coordinator's control socket, brings up its data socket and serves
+// execution attempts until the coordinator says Shutdown — or disappears,
+// in which case the member exits rather than linger as an orphan.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "procmode/process_member.h"
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: %s <control_socket_path> <member_index> <work_dir>\n",
+                 argv[0]);
+    return 2;
+  }
+  jet::procmode::ProcessMember::Options options;
+  options.control_path = argv[1];
+  options.member_index = static_cast<int32_t>(std::strtol(argv[2], nullptr, 10));
+  options.work_dir = argv[3];
+
+  jet::procmode::ProcessMember member(options);
+  jet::Status status = member.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "jet_member %d exiting: %s\n", options.member_index,
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

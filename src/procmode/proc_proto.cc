@@ -1,0 +1,167 @@
+#include "procmode/proc_proto.h"
+
+#include "common/debug_check.h"
+#include "net/wire_format.h"
+
+namespace jet::procmode {
+namespace {
+
+void EncodeStateEntryFields(const ProcMsg& msg, BytesWriter* w) {
+  w->WriteVarI64(msg.snapshot_id);
+  w->WriteVarU64(static_cast<uint64_t>(msg.vertex_id));
+  w->WriteVarU64(static_cast<uint64_t>(msg.writer_index));
+  w->WriteVarU64(msg.key_hash);
+  w->WriteBytes(msg.key);
+  w->WriteBytes(msg.value);
+}
+
+Status DecodeStateEntryFields(BytesReader* r, ProcMsg* msg) {
+  uint64_t u = 0;
+  JET_RETURN_IF_ERROR(r->ReadVarI64(&msg->snapshot_id));
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&u));
+  msg->vertex_id = static_cast<int32_t>(u);
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&u));
+  msg->writer_index = static_cast<int32_t>(u);
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&msg->key_hash));
+  JET_RETURN_IF_ERROR(r->ReadBytes(&msg->key));
+  JET_RETURN_IF_ERROR(r->ReadBytes(&msg->value));
+  return Status::OK();
+}
+
+}  // namespace
+
+Bytes EncodeControlMessage(const ProcMsg& msg) {
+  BytesWriter body;
+  body.WriteU8(static_cast<uint8_t>(msg.type));
+  body.WriteVarI64(msg.epoch);
+  switch (msg.type) {
+    case ProcMsgType::kHello:
+      body.WriteVarU64(static_cast<uint64_t>(msg.member_index));
+      body.WriteVarI64(msg.pid);
+      body.WriteString(msg.data_path);
+      break;
+    case ProcMsgType::kStartJob:
+      body.WriteString(msg.job_name);
+      body.WriteVarU64(static_cast<uint64_t>(msg.node_id));
+      body.WriteVarU64(static_cast<uint64_t>(msg.node_count));
+      body.WriteI64(msg.clock_anchor);
+      body.WriteVarU64(static_cast<uint64_t>(msg.threads));
+      body.WriteDouble(msg.events_per_second);
+      body.WriteVarI64(msg.duration);
+      body.WriteVarI64(msg.key_count);
+      body.WriteVarI64(msg.window_size);
+      body.WriteVarI64(msg.watermark_interval);
+      body.WriteVarI64(msg.restore_count);
+      body.WriteVarU64(msg.data_paths.size());
+      for (const auto& p : msg.data_paths) body.WriteString(p);
+      break;
+    case ProcMsgType::kRestoreEntry:
+    case ProcMsgType::kSnapshotEntry:
+      EncodeStateEntryFields(msg, &body);
+      break;
+    case ProcMsgType::kSnapshotRequest:
+    case ProcMsgType::kSnapshotAck:
+    case ProcMsgType::kSnapshotCommitted:
+    case ProcMsgType::kSnapshotAborted:
+      body.WriteVarI64(msg.snapshot_id);
+      break;
+    case ProcMsgType::kSinkResult:
+      body.WriteVarU64(msg.result_key);
+      body.WriteVarI64(msg.window_start);
+      body.WriteVarI64(msg.window_end);
+      body.WriteVarI64(msg.result_value);
+      break;
+    case ProcMsgType::kReady:
+    case ProcMsgType::kGo:
+    case ProcMsgType::kStopAttempt:
+    case ProcMsgType::kAttemptStopped:
+    case ProcMsgType::kAttemptDone:
+    case ProcMsgType::kShutdown:
+      break;  // epoch alone
+  }
+  BytesWriter frame;
+  JET_DCHECK_OK(net::EncodeControlFrame(body.Take(), &frame));
+  return frame.Take();
+}
+
+Result<ProcMsg> DecodeControlMessage(const Bytes& frame) {
+  auto decoded = net::DecodeFrame(frame);
+  JET_RETURN_IF_ERROR(decoded.status());
+  if (decoded->header.type != net::FrameType::kControl) {
+    return InvalidArgumentError("control socket received a non-control frame");
+  }
+  BytesReader r(decoded->control_body);
+  uint8_t type_byte = 0;
+  JET_RETURN_IF_ERROR(r.ReadU8(&type_byte));
+  if (type_byte < static_cast<uint8_t>(ProcMsgType::kHello) ||
+      type_byte > static_cast<uint8_t>(ProcMsgType::kShutdown)) {
+    return InvalidArgumentError("unknown control message type " + std::to_string(type_byte));
+  }
+  ProcMsg msg;
+  msg.type = static_cast<ProcMsgType>(type_byte);
+  JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.epoch));
+  uint64_t u = 0;
+  switch (msg.type) {
+    case ProcMsgType::kHello:
+      JET_RETURN_IF_ERROR(r.ReadVarU64(&u));
+      msg.member_index = static_cast<int32_t>(u);
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.pid));
+      JET_RETURN_IF_ERROR(r.ReadString(&msg.data_path));
+      break;
+    case ProcMsgType::kStartJob: {
+      JET_RETURN_IF_ERROR(r.ReadString(&msg.job_name));
+      JET_RETURN_IF_ERROR(r.ReadVarU64(&u));
+      msg.node_id = static_cast<int32_t>(u);
+      JET_RETURN_IF_ERROR(r.ReadVarU64(&u));
+      msg.node_count = static_cast<int32_t>(u);
+      JET_RETURN_IF_ERROR(r.ReadI64(&msg.clock_anchor));
+      JET_RETURN_IF_ERROR(r.ReadVarU64(&u));
+      msg.threads = static_cast<int32_t>(u);
+      JET_RETURN_IF_ERROR(r.ReadDouble(&msg.events_per_second));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.duration));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.key_count));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.window_size));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.watermark_interval));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.restore_count));
+      uint64_t paths = 0;
+      JET_RETURN_IF_ERROR(r.ReadVarU64(&paths));
+      if (paths > r.Remaining()) {
+        return InvalidArgumentError("data path count exceeds message size");
+      }
+      msg.data_paths.reserve(paths);
+      for (uint64_t i = 0; i < paths; ++i) {
+        std::string p;
+        JET_RETURN_IF_ERROR(r.ReadString(&p));
+        msg.data_paths.push_back(std::move(p));
+      }
+      break;
+    }
+    case ProcMsgType::kRestoreEntry:
+    case ProcMsgType::kSnapshotEntry:
+      JET_RETURN_IF_ERROR(DecodeStateEntryFields(&r, &msg));
+      break;
+    case ProcMsgType::kSnapshotRequest:
+    case ProcMsgType::kSnapshotAck:
+    case ProcMsgType::kSnapshotCommitted:
+    case ProcMsgType::kSnapshotAborted:
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.snapshot_id));
+      break;
+    case ProcMsgType::kSinkResult:
+      JET_RETURN_IF_ERROR(r.ReadVarU64(&msg.result_key));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.window_start));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.window_end));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.result_value));
+      break;
+    case ProcMsgType::kReady:
+    case ProcMsgType::kGo:
+    case ProcMsgType::kStopAttempt:
+    case ProcMsgType::kAttemptStopped:
+    case ProcMsgType::kAttemptDone:
+    case ProcMsgType::kShutdown:
+      break;
+  }
+  if (!r.AtEnd()) return InvalidArgumentError("control message has trailing bytes");
+  return msg;
+}
+
+}  // namespace jet::procmode

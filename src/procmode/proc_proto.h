@@ -1,0 +1,109 @@
+#ifndef JETSIM_PROCMODE_PROC_PROTO_H_
+#define JETSIM_PROCMODE_PROC_PROTO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace jet::procmode {
+
+/// Control-plane protocol of process mode: every message travels as the
+/// opaque body of a wire-format CONTROL frame (net::EncodeControlFrame)
+/// over the coordinator<->member Unix-domain control socket.
+///
+/// The control socket is a FIFO byte stream, and the protocol leans on
+/// that ordering for correctness:
+///   - a member enqueues all SnapshotEntry messages of epoch E/snapshot S
+///     *before* its SnapshotAck(S), so once the coordinator has processed
+///     the ack, every entry is already in the store — commit implies
+///     durability;
+///   - a member enqueues SinkResult messages while processing items,
+///     before it acknowledges the barrier that covers them, so a committed
+///     snapshot implies the coordinator has seen all results the restored
+///     state will *not* re-produce;
+///   - AttemptStopped is enqueued after everything the torn-down attempt
+///     ever sent, so the coordinator can sweep in-flight snapshot state
+///     once all survivors reported stopped.
+enum class ProcMsgType : uint8_t {
+  // member -> coordinator
+  kHello = 1,           ///< member_index, pid, data_path
+  kReady = 2,           ///< epoch: plan built, restore applied, peers wired
+  kSnapshotEntry = 3,   ///< epoch, snapshot_id, one state entry
+  kSnapshotAck = 4,     ///< epoch, snapshot_id: all local participants done
+  kSinkResult = 5,      ///< epoch, one WindowResult emitted by a local sink
+  kAttemptStopped = 6,  ///< epoch: teardown after StopAttempt finished
+  kAttemptDone = 7,     ///< epoch: every local tasklet completed naturally
+  // coordinator -> member
+  kStartJob = 8,         ///< epoch + job parameters + data socket map
+  kRestoreEntry = 9,     ///< epoch, one state entry of the restore snapshot
+  kGo = 10,              ///< epoch: all members Ready — start executing
+  kSnapshotRequest = 11, ///< epoch, snapshot_id
+  kSnapshotCommitted = 12,  ///< epoch, snapshot_id
+  kSnapshotAborted = 13,    ///< epoch, snapshot_id (watchdog abandoned it)
+  kStopAttempt = 14,        ///< epoch: tear the attempt down, keep process
+  kShutdown = 15,           ///< exit the member process
+};
+
+/// One control message. A flat struct (only the fields of `type` are
+/// meaningful) keeps the codec to a single Encode/Decode pair.
+struct ProcMsg {
+  ProcMsgType type = ProcMsgType::kHello;
+  /// Execution attempt this message belongs to (1-based; 0 for messages
+  /// outside any attempt: Hello, Shutdown).
+  int64_t epoch = 0;
+
+  // kHello
+  int32_t member_index = 0;
+  int64_t pid = 0;
+  std::string data_path;
+
+  // kStartJob
+  std::string job_name;
+  int32_t node_id = 0;
+  int32_t node_count = 1;
+  /// Machine-wide CLOCK_MONOTONIC anchor all members subtract, giving the
+  /// cluster one shared time domain (event timestamps and window
+  /// boundaries must be comparable across processes).
+  Nanos clock_anchor = 0;
+  int32_t threads = 1;
+  double events_per_second = 0;
+  Nanos duration = 0;
+  int64_t key_count = 0;
+  Nanos window_size = 0;
+  Nanos watermark_interval = 0;
+  /// Number of kRestoreEntry messages that follow this StartJob.
+  int64_t restore_count = 0;
+  /// Data-socket path of each plan-local node id.
+  std::vector<std::string> data_paths;
+
+  // kRestoreEntry / kSnapshotEntry (+ snapshot_id for the latter)
+  int64_t snapshot_id = 0;
+  int32_t vertex_id = 0;
+  int32_t writer_index = 0;
+  uint64_t key_hash = 0;
+  Bytes key;
+  Bytes value;
+
+  // kSinkResult
+  uint64_t result_key = 0;
+  Nanos window_start = 0;
+  Nanos window_end = 0;
+  int64_t result_value = 0;
+};
+
+/// Serializes `msg` and wraps it in a wire-format CONTROL frame, ready for
+/// SocketConnection::SendFrame.
+Bytes EncodeControlMessage(const ProcMsg& msg);
+
+/// Unwraps a CONTROL frame and decodes the message. Any malformed input —
+/// bad wire framing, unknown message type, truncated or trailing bytes —
+/// returns an error Status.
+Result<ProcMsg> DecodeControlMessage(const Bytes& frame);
+
+}  // namespace jet::procmode
+
+#endif  // JETSIM_PROCMODE_PROC_PROTO_H_

@@ -1,0 +1,624 @@
+#include "procmode/process_cluster.h"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "imdg/partition.h"
+#include "procmode/process_member.h"
+
+namespace jet::procmode {
+
+using std::chrono::milliseconds;
+
+namespace {
+
+constexpr Nanos kSupervisorTick = 2 * kNanosPerMilli;
+constexpr Nanos kGracefulExitTimeout = 10 * kNanosPerSecond;
+
+Nanos Now() { return SharedMonotonicClock::RawNow(); }
+
+}  // namespace
+
+ProcessCluster::ProcessCluster(Options options)
+    : options_(std::move(options)), grid_(/*backup_count=*/0), store_(&grid_) {
+  // The coordinator is the grid's only member: snapshot durability in
+  // process mode means "reached the coordinator's store", which the
+  // control-socket FIFO protocol makes equivalent to commit-safety.
+  JET_DCHECK_OK(grid_.AddMember(0).status());
+}
+
+ProcessCluster::~ProcessCluster() { Shutdown(); }
+
+Status ProcessCluster::Start() {
+  ::mkdir(options_.work_dir.c_str(), 0755);
+  const std::string control_path = options_.work_dir + "/control.sock";
+  auto server = net::SocketServer::ListenUnix(control_path);
+  JET_RETURN_IF_ERROR(server.status());
+  control_server_ = std::move(server.value());
+  control_server_->Start([this](std::unique_ptr<net::SocketConnection> conn) {
+    std::shared_ptr<net::SocketConnection> shared = std::move(conn);
+    const net::SocketConnection* id = shared.get();
+    // Register the connection before its I/O thread starts: the member's
+    // Hello can arrive the instant Start() returns, and binding it to a
+    // Member requires the conn to already be in pending_conns_.
+    {
+      jet::MutexLock lock(mu_);
+      pending_conns_.push_back(shared);
+    }
+    shared->Start(
+        [this, id](Bytes frame) {
+          Event e;
+          e.conn = id;
+          auto msg = DecodeControlMessage(frame);
+          if (!msg.ok()) {
+            JET_LOG(kError) << "bad control message: " << msg.status().ToString();
+            return;
+          }
+          e.msg = std::move(msg.value());
+          jet::MutexLock lock(mu_);
+          events_.push_back(std::move(e));
+          cv_.NotifyAll();
+        },
+        [this, id]() {
+          Event e;
+          e.conn = id;
+          e.closed = true;
+          jet::MutexLock lock(mu_);
+          events_.push_back(std::move(e));
+          cv_.NotifyAll();
+        });
+  });
+
+  {
+    jet::MutexLock lock(mu_);
+    members_.resize(static_cast<size_t>(options_.initial_members));
+    for (int32_t i = 0; i < options_.initial_members; ++i) {
+      members_[static_cast<size_t>(i)].index = i;
+      JET_RETURN_IF_ERROR(SpawnMember(i));
+    }
+    phase_ = Phase::kIdle;
+  }
+  supervisor_ = std::thread([this]() { SupervisorLoop(); });
+
+  // Await every member's Hello.
+  const Nanos deadline = Now() + options_.bring_up_timeout;
+  jet::MutexLock lock(mu_);
+  for (;;) {
+    bool all = true;
+    for (const Member& m : members_) {
+      if (!m.hello) all = false;
+    }
+    if (all) return Status::OK();
+    if (phase_ == Phase::kFailed) return InternalError("cluster failed: " + failure_);
+    const Nanos left = deadline - Now();
+    if (left <= 0) return TimedOutError("members did not all say Hello");
+    cv_.WaitFor(mu_, milliseconds(std::max<int64_t>(1, left / kNanosPerMilli)));
+  }
+}
+
+Status ProcessCluster::SpawnMember(int32_t index) {
+  const std::string control_path = options_.work_dir + "/control.sock";
+  const std::string index_str = std::to_string(index);
+  const pid_t pid = ::fork();
+  if (pid < 0) return InternalError("fork failed");
+  if (pid == 0) {
+    // Child: become the member process.
+    ::execl(options_.member_binary.c_str(), options_.member_binary.c_str(),
+            control_path.c_str(), index_str.c_str(), options_.work_dir.c_str(),
+            static_cast<char*>(nullptr));
+    // Only reached when exec failed; _exit (not exit) — this child must not
+    // run the coordinator's atexit handlers.
+    ::_exit(127);
+  }
+  Member& m = members_[static_cast<size_t>(index)];
+  m.pid = pid;
+  m.alive = true;
+  return Status::OK();
+}
+
+Status ProcessCluster::SubmitWindowedJob() {
+  jet::MutexLock lock(mu_);
+  if (phase_ != Phase::kIdle) return FailedPreconditionError("cluster not idle");
+  epoch_ = 1;
+  StartAttempt(std::nullopt);
+  return Status::OK();
+}
+
+Status ProcessCluster::WaitForCommittedSnapshot(int64_t min_snapshot_id, Nanos timeout) {
+  const Nanos deadline = Now() + timeout;
+  jet::MutexLock lock(mu_);
+  for (;;) {
+    if (last_committed_ >= min_snapshot_id) return Status::OK();
+    if (phase_ == Phase::kFailed) return InternalError("cluster failed: " + failure_);
+    if (phase_ == Phase::kDone) {
+      return FailedPreconditionError("job finished before the snapshot committed");
+    }
+    const Nanos left = deadline - Now();
+    if (left <= 0) return TimedOutError("no committed snapshot in time");
+    cv_.WaitFor(mu_, milliseconds(std::max<int64_t>(1, left / kNanosPerMilli)));
+  }
+}
+
+Status ProcessCluster::KillMember(int32_t member_index) {
+  pid_t pid = -1;
+  {
+    jet::MutexLock lock(mu_);
+    if (member_index < 0 || static_cast<size_t>(member_index) >= members_.size()) {
+      return InvalidArgumentError("no such member");
+    }
+    Member& m = members_[static_cast<size_t>(member_index)];
+    if (!m.alive) return FailedPreconditionError("member already dead");
+    pid = m.pid;
+  }
+  if (::kill(pid, SIGKILL) != 0) return InternalError("kill failed");
+  // Death is observed through the control connection's EOF — the same
+  // signal a real crash produces. Nothing else to do here.
+  return Status::OK();
+}
+
+Status ProcessCluster::AwaitJobCompletion(Nanos timeout) {
+  const Nanos deadline = Now() + timeout;
+  jet::MutexLock lock(mu_);
+  for (;;) {
+    if (phase_ == Phase::kDone) return Status::OK();
+    if (phase_ == Phase::kFailed) return InternalError("cluster failed: " + failure_);
+    const Nanos left = deadline - Now();
+    if (left <= 0) return TimedOutError("job did not complete in time");
+    cv_.WaitFor(mu_, milliseconds(std::max<int64_t>(1, left / kNanosPerMilli)));
+  }
+}
+
+void ProcessCluster::Shutdown() {
+  std::vector<std::pair<int32_t, pid_t>> children;
+  {
+    jet::MutexLock lock(mu_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+    ProcMsg bye;
+    bye.type = ProcMsgType::kShutdown;
+    for (Member& m : members_) {
+      if (m.alive && m.conn != nullptr) (void)m.conn->SendFrame(EncodeControlMessage(bye));
+      if (m.alive && m.pid > 0) children.emplace_back(m.index, m.pid);
+    }
+  }
+
+  // Reap children: graceful window first, then SIGKILL stragglers.
+  const Nanos deadline = Now() + kGracefulExitTimeout;
+  for (auto& [index, pid] : children) {
+    for (;;) {
+      int wstatus = 0;
+      const pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
+      if (r == pid || r < 0) break;
+      if (Now() >= deadline) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &wstatus, 0);
+        break;
+      }
+      std::this_thread::sleep_for(milliseconds(5));
+    }
+  }
+
+  {
+    jet::MutexLock lock(mu_);
+    supervisor_exit_ = true;
+    cv_.NotifyAll();
+  }
+  if (supervisor_.joinable()) supervisor_.join();
+  if (control_server_ != nullptr) control_server_->Stop();
+
+  std::vector<std::shared_ptr<net::SocketConnection>> conns;
+  {
+    jet::MutexLock lock(mu_);
+    for (Member& m : members_) {
+      if (m.conn != nullptr) conns.push_back(std::move(m.conn));
+    }
+    for (auto& c : pending_conns_) conns.push_back(std::move(c));
+    pending_conns_.clear();
+  }
+  for (auto& c : conns) c->Close();
+}
+
+Result<int64_t> ProcessCluster::DistinctTotal() const {
+  jet::MutexLock lock(mu_);
+  JET_RETURN_IF_ERROR(result_conflict_);
+  int64_t total = 0;
+  for (const auto& [key, count] : results_) total += count;
+  return total;
+}
+
+Status ProcessCluster::VerifyExactlyOnce() const {
+  auto total = DistinctTotal();
+  JET_RETURN_IF_ERROR(total.status());
+  const int64_t expected = expected_total();
+  if (total.value() != expected) {
+    return InternalError("exactly-once violated: distinct result total " +
+                         std::to_string(total.value()) + " != expected " +
+                         std::to_string(expected));
+  }
+  return Status::OK();
+}
+
+int64_t ProcessCluster::attempts() const {
+  jet::MutexLock lock(mu_);
+  return epoch_;
+}
+
+int64_t ProcessCluster::last_committed_snapshot() const {
+  jet::MutexLock lock(mu_);
+  return last_committed_;
+}
+
+int32_t ProcessCluster::live_member_count() const {
+  jet::MutexLock lock(mu_);
+  int32_t n = 0;
+  for (const Member& m : members_) {
+    if (m.alive) ++n;
+  }
+  return n;
+}
+
+void ProcessCluster::SupervisorLoop() {
+  jet::MutexLock lock(mu_);
+  while (!supervisor_exit_) {
+    cv_.WaitFor(mu_, milliseconds(kSupervisorTick / kNanosPerMilli),
+                [this]() JET_REQUIRES(mu_) { return !events_.empty() || supervisor_exit_; });
+    while (!events_.empty()) {
+      Event e = std::move(events_.front());
+      events_.pop_front();
+      HandleEvent(std::move(e));
+    }
+    TimerPass();
+  }
+}
+
+int32_t ProcessCluster::MemberIndexOf(const net::SocketConnection* conn) {
+  for (const Member& m : members_) {
+    if (m.conn.get() == conn) return m.index;
+  }
+  return -1;
+}
+
+void ProcessCluster::HandleEvent(Event e) {
+  if (e.closed) {
+    const int32_t index = MemberIndexOf(e.conn);
+    if (index < 0) {
+      // A connection that never completed Hello; just forget it.
+      for (auto it = pending_conns_.begin(); it != pending_conns_.end(); ++it) {
+        if (it->get() == e.conn) {
+          pending_conns_.erase(it);
+          break;
+        }
+      }
+      return;
+    }
+    if (!shutting_down_) OnMemberDied(index);
+    return;
+  }
+
+  const ProcMsg& msg = e.msg;
+  switch (msg.type) {
+    case ProcMsgType::kHello: {
+      if (msg.member_index < 0 ||
+          static_cast<size_t>(msg.member_index) >= members_.size()) {
+        JET_LOG(kError) << "Hello from unknown member " << msg.member_index;
+        return;
+      }
+      Member& m = members_[static_cast<size_t>(msg.member_index)];
+      for (auto it = pending_conns_.begin(); it != pending_conns_.end(); ++it) {
+        if (it->get() == e.conn) {
+          m.conn = std::move(*it);
+          pending_conns_.erase(it);
+          break;
+        }
+      }
+      if (m.conn == nullptr) {
+        // Hello from a connection we no longer hold (already closed and
+        // swept); a member is only usable once its conn is bound.
+        JET_LOG(kError) << "Hello from member " << msg.member_index
+                        << " on an unknown connection";
+        return;
+      }
+      m.hello = true;
+      m.data_path = msg.data_path;
+      cv_.NotifyAll();
+      return;
+    }
+    case ProcMsgType::kReady: {
+      if (msg.epoch != epoch_ || phase_ != Phase::kStarting) return;
+      const int32_t index = MemberIndexOf(e.conn);
+      if (index < 0) return;
+      members_[static_cast<size_t>(index)].ready = true;
+      bool all = true;
+      for (const Member& m : members_) {
+        if (m.alive && m.node_id >= 0 && !m.ready) all = false;
+      }
+      if (!all) return;
+      // Every member's epoch-N exchange registry is installed before any
+      // epoch-N frame can flow — the Ready/Go barrier.
+      ProcMsg go;
+      go.type = ProcMsgType::kGo;
+      go.epoch = epoch_;
+      Broadcast(go);
+      phase_ = Phase::kRunning;
+      last_snapshot_done_ = Now();
+      return;
+    }
+    case ProcMsgType::kSnapshotEntry: {
+      // Accepted regardless of epoch: stragglers of a dying attempt belong
+      // to an uncommitted snapshot that ClearInFlight sweeps after all
+      // survivors reported stopped — and that sweep is ordered after every
+      // straggler by the control sockets' FIFO ordering.
+      imdg::SnapshotStateEntry entry;
+      entry.vertex_id = msg.vertex_id;
+      entry.writer_index = msg.writer_index;
+      entry.key_hash = msg.key_hash;
+      entry.key = msg.key;
+      entry.value = msg.value;
+      Status s = store_.WriteEntry(options_.job_id, msg.snapshot_id, entry);
+      if (!s.ok()) JET_LOG(kError) << "snapshot entry write failed: " << s.ToString();
+      return;
+    }
+    case ProcMsgType::kSnapshotAck: {
+      if (msg.epoch != epoch_ || msg.snapshot_id != in_flight_snapshot_) return;
+      const int32_t index = MemberIndexOf(e.conn);
+      if (index < 0) return;
+      members_[static_cast<size_t>(index)].acked = true;
+      bool all = true;
+      for (const Member& m : members_) {
+        if (m.alive && m.node_id >= 0 && !m.acked) all = false;
+      }
+      if (!all) return;
+      // Every participant acked; the FIFO ordering guarantees all their
+      // state entries already hit the store (proc_proto.h).
+      Status s = store_.Commit(options_.job_id, in_flight_snapshot_);
+      if (!s.ok()) {
+        JET_LOG(kError) << "snapshot commit failed: " << s.ToString();
+        store_.Abort(options_.job_id, in_flight_snapshot_);
+      } else {
+        last_committed_ = in_flight_snapshot_;
+        ProcMsg committed;
+        committed.type = ProcMsgType::kSnapshotCommitted;
+        committed.epoch = epoch_;
+        committed.snapshot_id = in_flight_snapshot_;
+        Broadcast(committed);
+      }
+      in_flight_snapshot_ = 0;
+      last_snapshot_done_ = Now();
+      cv_.NotifyAll();
+      return;
+    }
+    case ProcMsgType::kSinkResult: {
+      // Any-epoch: a replayed window must agree with its first emission —
+      // that agreement *is* the exactly-once property under test.
+      const auto key = std::make_pair(msg.result_key, msg.window_end);
+      auto [it, inserted] = results_.emplace(key, msg.result_value);
+      if (!inserted && it->second != msg.result_value) {
+        result_conflict_ = InternalError(
+            "conflicting results for key " + std::to_string(msg.result_key) +
+            " window_end " + std::to_string(msg.window_end) + ": " +
+            std::to_string(it->second) + " vs " + std::to_string(msg.result_value));
+      }
+      return;
+    }
+    case ProcMsgType::kAttemptDone: {
+      if (msg.epoch != epoch_ || phase_ != Phase::kRunning) return;
+      const int32_t index = MemberIndexOf(e.conn);
+      if (index < 0) return;
+      members_[static_cast<size_t>(index)].done = true;
+      bool all = true;
+      for (const Member& m : members_) {
+        if (m.alive && m.node_id >= 0 && !m.done) all = false;
+      }
+      if (all) {
+        phase_ = Phase::kDone;
+        cv_.NotifyAll();
+      }
+      return;
+    }
+    case ProcMsgType::kAttemptStopped: {
+      if (phase_ != Phase::kRecovering || msg.epoch != epoch_) return;
+      const int32_t index = MemberIndexOf(e.conn);
+      if (index < 0) return;
+      members_[static_cast<size_t>(index)].stopped = true;
+      MaybeFinishRecovery();
+      return;
+    }
+    default:
+      JET_LOG(kWarn) << "coordinator got unexpected message type "
+                     << static_cast<int>(msg.type);
+      return;
+  }
+}
+
+void ProcessCluster::TimerPass() {
+  if (shutting_down_) return;
+  const Nanos now = Now();
+  if (phase_ == Phase::kRunning && in_flight_snapshot_ == 0 &&
+      now - last_snapshot_done_ >= options_.snapshot_interval) {
+    in_flight_snapshot_ = next_snapshot_id_++;
+    snapshot_request_time_ = now;
+    for (Member& m : members_) m.acked = false;
+    ProcMsg req;
+    req.type = ProcMsgType::kSnapshotRequest;
+    req.epoch = epoch_;
+    req.snapshot_id = in_flight_snapshot_;
+    Broadcast(req);
+  }
+  if (in_flight_snapshot_ != 0 &&
+      now - snapshot_request_time_ > options_.snapshot_ack_timeout) {
+    JET_LOG(kWarn) << "snapshot " << in_flight_snapshot_ << " timed out; aborting";
+    AbortInFlightSnapshot();
+    last_snapshot_done_ = now;
+  }
+}
+
+void ProcessCluster::AbortInFlightSnapshot() {
+  if (in_flight_snapshot_ == 0) return;
+  store_.Abort(options_.job_id, in_flight_snapshot_);
+  ProcMsg aborted;
+  aborted.type = ProcMsgType::kSnapshotAborted;
+  aborted.epoch = epoch_;
+  aborted.snapshot_id = in_flight_snapshot_;
+  Broadcast(aborted);
+  in_flight_snapshot_ = 0;
+}
+
+void ProcessCluster::OnMemberDied(int32_t index) {
+  Member& dead = members_[static_cast<size_t>(index)];
+  JET_LOG(kWarn) << "member " << index << " (pid " << dead.pid << ") died";
+  dead.alive = false;
+  dead.conn = nullptr;
+  if (dead.pid > 0) {
+    int wstatus = 0;
+    ::waitpid(dead.pid, &wstatus, 0);  // already dead: immediate
+  }
+  if (phase_ == Phase::kDone || phase_ == Phase::kFailed || phase_ == Phase::kInit ||
+      phase_ == Phase::kIdle) {
+    return;
+  }
+  const bool was_participant = dead.node_id >= 0;
+  dead.node_id = -1;
+  if (!was_participant) return;
+
+  int32_t survivors = 0;
+  for (const Member& m : members_) {
+    if (m.alive && m.node_id >= 0) ++survivors;
+  }
+  if (survivors == 0) {
+    Fail("all members died");
+    return;
+  }
+
+  if (phase_ == Phase::kRecovering) {
+    // A second death while stopping: the dead member can no longer report
+    // AttemptStopped; re-evaluate with the smaller survivor set.
+    MaybeFinishRecovery();
+    return;
+  }
+
+  // §4.4 recovery: abandon the in-flight snapshot, stop the attempt on
+  // every survivor, and only then sweep + restore — the AttemptStopped
+  // barrier drains everything the old attempt ever put on the wire.
+  AbortInFlightSnapshot();
+  phase_ = Phase::kRecovering;
+  for (Member& m : members_) m.stopped = false;
+  ProcMsg stop;
+  stop.type = ProcMsgType::kStopAttempt;
+  stop.epoch = epoch_;
+  Broadcast(stop);
+}
+
+void ProcessCluster::MaybeFinishRecovery() {
+  for (const Member& m : members_) {
+    if (m.alive && m.node_id >= 0 && !m.stopped) return;
+  }
+  store_.ClearInFlight(options_.job_id);
+  auto restore = store_.LastCommitted(options_.job_id);
+  if (!restore.ok()) {
+    Fail("cannot read last committed snapshot: " + restore.status().ToString());
+    return;
+  }
+  epoch_ += 1;
+  StartAttempt(restore.value());
+}
+
+void ProcessCluster::StartAttempt(std::optional<imdg::SnapshotId> restore_snapshot) {
+  // Plan-local node ids: rank among live members, in member-index order.
+  std::vector<Member*> participants;
+  for (Member& m : members_) {
+    m.ready = false;
+    m.done = false;
+    m.acked = false;
+    m.stopped = false;
+    m.node_id = -1;
+    if (m.alive && m.hello) {
+      m.node_id = static_cast<int32_t>(participants.size());
+      participants.push_back(&m);
+    }
+  }
+  if (participants.empty()) {
+    Fail("no live members to start the job on");
+    return;
+  }
+  std::vector<std::string> data_paths;
+  data_paths.reserve(participants.size());
+  for (const Member* m : participants) data_paths.push_back(m->data_path);
+
+  // Restore state is shipped whole to every member; each member routes the
+  // entries to the processor instances it hosts (key ownership is a pure
+  // function of key_hash, node_id and node_count).
+  std::vector<ProcMsg> restore_msgs;
+  if (restore_snapshot.has_value()) {
+    for (int32_t vertex = 0; vertex < kWindowedCountVertexCount; ++vertex) {
+      for (int32_t p = 0; p < imdg::kDefaultPartitionCount; ++p) {
+        Status s = store_.ReadEntries(
+            options_.job_id, *restore_snapshot, vertex, p,
+            [this, vertex, &restore_msgs](imdg::SnapshotStateEntry entry) {
+              ProcMsg m;
+              m.type = ProcMsgType::kRestoreEntry;
+              m.epoch = epoch_;
+              m.snapshot_id = 0;  // identity irrelevant on restore
+              m.vertex_id = vertex;
+              m.writer_index = entry.writer_index;
+              m.key_hash = entry.key_hash;
+              m.key = std::move(entry.key);
+              m.value = std::move(entry.value);
+              restore_msgs.push_back(std::move(m));
+            });
+        if (!s.ok()) {
+          Fail("restore read failed: " + s.ToString());
+          return;
+        }
+      }
+    }
+    JET_LOG(kWarn) << "attempt " << epoch_ << ": restoring " << restore_msgs.size()
+                   << " entries from snapshot " << *restore_snapshot;
+  }
+
+  ProcMsg start;
+  start.type = ProcMsgType::kStartJob;
+  start.epoch = epoch_;
+  start.job_name = kWindowedCountJobName;
+  start.node_count = static_cast<int32_t>(participants.size());
+  start.clock_anchor = SharedMonotonicClock::RawNow();
+  start.threads = options_.threads_per_member;
+  start.events_per_second = options_.job_params.events_per_second;
+  start.duration = options_.job_params.duration;
+  start.key_count = options_.job_params.key_count;
+  start.window_size = options_.job_params.window_size;
+  start.watermark_interval = options_.job_params.watermark_interval;
+  start.restore_count = static_cast<int64_t>(restore_msgs.size());
+  start.data_paths = data_paths;
+
+  for (Member* m : participants) {
+    start.node_id = m->node_id;
+    (void)m->conn->SendFrame(EncodeControlMessage(start));
+    for (const ProcMsg& entry : restore_msgs) {
+      (void)m->conn->SendFrame(EncodeControlMessage(entry));
+    }
+  }
+  in_flight_snapshot_ = 0;
+  phase_ = Phase::kStarting;
+}
+
+void ProcessCluster::Broadcast(const ProcMsg& msg) {
+  const Bytes frame = EncodeControlMessage(msg);
+  for (Member& m : members_) {
+    if (m.alive && m.conn != nullptr) (void)m.conn->SendFrame(frame);
+  }
+}
+
+void ProcessCluster::Fail(const std::string& why) {
+  JET_LOG(kError) << "process cluster failed: " << why;
+  phase_ = Phase::kFailed;
+  failure_ = why;
+  cv_.NotifyAll();
+}
+
+}  // namespace jet::procmode

@@ -1,0 +1,188 @@
+#ifndef JETSIM_PROCMODE_PROCESS_CLUSTER_H_
+#define JETSIM_PROCMODE_PROCESS_CLUSTER_H_
+
+#include <sys/types.h>
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "imdg/grid.h"
+#include "imdg/snapshot_store.h"
+#include "net/socket_transport.h"
+#include "procmode/proc_proto.h"
+#include "procmode/windowed_job.h"
+
+namespace jet::procmode {
+
+/// Coordinator of a multi-process Jet cluster: spawns N `jet_member` OS
+/// processes, serves their control connections over a Unix-domain socket,
+/// and runs the job control plane that JetCluster runs in-process —
+/// snapshot scheduling with an ack-timeout watchdog (§4.4), death-driven
+/// recovery from the last committed snapshot, exactly-once verification of
+/// sink results.
+///
+/// The coordinator owns the snapshot store: members stream state entries
+/// and sink results over their control sockets (FIFO ordering arguments in
+/// proc_proto.h), so a member can be `kill -9`ed at any instant without
+/// losing anything a committed snapshot depends on.
+///
+/// Recovery walk on a member death (detected as control-connection EOF):
+/// abort the in-flight snapshot, broadcast StopAttempt, await
+/// AttemptStopped from every survivor (draining their control streams),
+/// sweep uncommitted store state, then restart the job on the survivors
+/// from the last committed snapshot at epoch+1. Stale data frames of the
+/// dead epoch are dropped by the members' epoch filters.
+class ProcessCluster {
+ public:
+  struct Options {
+    /// Path of the jet_member executable.
+    std::string member_binary;
+    /// Directory for control/data sockets; created if missing.
+    std::string work_dir;
+    int32_t initial_members = 3;
+    int32_t threads_per_member = 1;
+    WindowedJobParams job_params;
+    /// Cadence of coordinator-initiated snapshots.
+    Nanos snapshot_interval = 50 * kNanosPerMilli;
+    /// Watchdog: abort an in-flight snapshot not fully acked in time.
+    Nanos snapshot_ack_timeout = 10 * kNanosPerSecond;
+    /// Deadline for member processes to connect and send Hello.
+    Nanos bring_up_timeout = 30 * kNanosPerSecond;
+    imdg::JobId job_id = 1;
+  };
+
+  explicit ProcessCluster(Options options);
+  ~ProcessCluster();
+
+  ProcessCluster(const ProcessCluster&) = delete;
+  ProcessCluster& operator=(const ProcessCluster&) = delete;
+
+  /// Binds the control socket, spawns the member processes and waits for
+  /// every member's Hello.
+  Status Start();
+
+  /// Starts the windowed-count job (attempt 1, no restore) on all members.
+  Status SubmitWindowedJob();
+
+  /// Blocks until the last committed snapshot id reaches `min_snapshot_id`.
+  Status WaitForCommittedSnapshot(int64_t min_snapshot_id, Nanos timeout);
+
+  /// SIGKILLs a member process — the chaos injection. Recovery is
+  /// triggered by the control connection's EOF, exactly as a real crash.
+  Status KillMember(int32_t member_index);
+
+  /// Blocks until every participant of the current attempt reported
+  /// AttemptDone (across recoveries), or the job failed.
+  Status AwaitJobCompletion(Nanos timeout);
+
+  /// Shuts members down (graceful, then SIGKILL stragglers), stops the
+  /// control plane. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Events the generator pushes per attempt-from-scratch; with recovery
+  /// from a snapshot, replay makes the *distinct* result total equal it.
+  int64_t expected_total() const { return WindowedJobExpectedTotal(options_.job_params); }
+
+  /// Sum over distinct (key, window) sink results. Errors if two results
+  /// for the same window disagreed — a broken exactly-once guarantee.
+  Result<int64_t> DistinctTotal() const;
+
+  /// DistinctTotal() == expected_total(), with diagnostics.
+  Status VerifyExactlyOnce() const;
+
+  /// Execution attempts started so far (1 = no recovery happened).
+  int64_t attempts() const;
+  int64_t last_committed_snapshot() const;
+  int32_t live_member_count() const;
+
+ private:
+  struct Member {
+    int32_t index = 0;
+    pid_t pid = -1;
+    std::shared_ptr<net::SocketConnection> conn;
+    std::string data_path;
+    bool hello = false;
+    bool alive = false;
+    /// Plan-local node id in the current attempt; -1 = not participating.
+    int32_t node_id = -1;
+    bool ready = false;    // current epoch
+    bool acked = false;    // current in-flight snapshot
+    bool done = false;     // current epoch
+    bool stopped = false;  // recovery: AttemptStopped received
+  };
+
+  enum class Phase {
+    kInit,        // before Start()
+    kIdle,        // members up, no job
+    kStarting,    // StartJob sent, awaiting Ready from all
+    kRunning,     // Go broadcast, job executing
+    kRecovering,  // member died: awaiting AttemptStopped from survivors
+    kDone,        // every participant reported AttemptDone
+    kFailed,      // unrecoverable (no members left / internal error)
+  };
+
+  struct Event {
+    const net::SocketConnection* conn = nullptr;
+    bool closed = false;
+    ProcMsg msg;
+  };
+
+  Status SpawnMember(int32_t index) JET_REQUIRES(mu_);
+  void SupervisorLoop();
+  void HandleEvent(Event e) JET_REQUIRES(mu_);
+  void TimerPass() JET_REQUIRES(mu_);
+  void OnMemberDied(int32_t index) JET_REQUIRES(mu_);
+  void MaybeFinishRecovery() JET_REQUIRES(mu_);
+  /// Starts attempt `epoch_` on all live members, restoring from
+  /// `restore_snapshot` when set.
+  void StartAttempt(std::optional<imdg::SnapshotId> restore_snapshot) JET_REQUIRES(mu_);
+  void AbortInFlightSnapshot() JET_REQUIRES(mu_);
+  void Broadcast(const ProcMsg& msg) JET_REQUIRES(mu_);
+  void Fail(const std::string& why) JET_REQUIRES(mu_);
+  int32_t MemberIndexOf(const net::SocketConnection* conn) JET_REQUIRES(mu_);
+
+  Options options_;
+
+  imdg::DataGrid grid_;
+  imdg::SnapshotStore store_;
+
+  std::unique_ptr<net::SocketServer> control_server_;
+  std::thread supervisor_;
+
+  mutable jet::Mutex mu_;
+  jet::CondVar cv_;
+  std::deque<Event> events_ JET_GUARDED_BY(mu_);
+  std::vector<Member> members_ JET_GUARDED_BY(mu_);
+  /// Accepted control connections that have not sent Hello yet.
+  std::vector<std::shared_ptr<net::SocketConnection>> pending_conns_ JET_GUARDED_BY(mu_);
+  Phase phase_ JET_GUARDED_BY(mu_) = Phase::kInit;
+  std::string failure_ JET_GUARDED_BY(mu_);
+  int64_t epoch_ JET_GUARDED_BY(mu_) = 0;  // == attempts started
+  /// Monotonic across attempts — a snapshot id can never be ambiguous
+  /// between the attempt that started it and the one that restored it.
+  imdg::SnapshotId next_snapshot_id_ JET_GUARDED_BY(mu_) = 1;
+  imdg::SnapshotId in_flight_snapshot_ JET_GUARDED_BY(mu_) = 0;  // 0 = none
+  Nanos snapshot_request_time_ JET_GUARDED_BY(mu_) = 0;
+  Nanos last_snapshot_done_ JET_GUARDED_BY(mu_) = 0;
+  imdg::SnapshotId last_committed_ JET_GUARDED_BY(mu_) = 0;
+  /// Distinct sink results: (key, window_end) -> count. Two attempts
+  /// emitting the same window must agree — the exactly-once check.
+  std::map<std::pair<uint64_t, Nanos>, int64_t> results_ JET_GUARDED_BY(mu_);
+  Status result_conflict_ JET_GUARDED_BY(mu_);
+  bool shutting_down_ JET_GUARDED_BY(mu_) = false;
+  bool supervisor_exit_ JET_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace jet::procmode
+
+#endif  // JETSIM_PROCMODE_PROCESS_CLUSTER_H_

@@ -1,0 +1,434 @@
+#include "procmode/process_member.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace jet::procmode {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+namespace {
+
+/// How long a member keeps retrying a peer's data socket. Peers are
+/// spawned together and their servers come up before Hello, so in practice
+/// one retry suffices; the margin covers a loaded CI machine.
+constexpr int64_t kPeerConnectTimeoutMs = 10'000;
+
+constexpr Nanos kPumpPollInterval = 200 * kNanosPerMicro;
+constexpr Nanos kDonePollInterval = kNanosPerMilli;
+
+}  // namespace
+
+ProcessMember::~ProcessMember() {
+  TeardownAttempt();
+  {
+    jet::MutexLock lock(data_conns_mu_);
+    for (auto& c : data_conns_) c->Close();
+    data_conns_.clear();
+  }
+  if (data_server_ != nullptr) data_server_->Stop();
+  if (control_ != nullptr) control_->Close();
+}
+
+Status ProcessMember::Run() {
+  // Data server first: the Hello announcing its path is the coordinator's
+  // signal that peers may connect.
+  data_path_ =
+      options_.work_dir + "/data-m" + std::to_string(options_.member_index) + ".sock";
+  auto server = net::SocketServer::ListenUnix(data_path_);
+  JET_RETURN_IF_ERROR(server.status());
+  data_server_ = std::move(server.value());
+  data_server_->Start([this](std::unique_ptr<net::SocketConnection> conn) {
+    net::SocketConnection* raw = conn.get();
+    raw->Start([this](Bytes frame) { DispatchDataFrame(std::move(frame)); });
+    jet::MutexLock lock(data_conns_mu_);
+    data_conns_.push_back(std::move(conn));
+  });
+
+  auto control =
+      net::SocketConnection::ConnectUnixWithRetry(options_.control_path, kPeerConnectTimeoutMs);
+  JET_RETURN_IF_ERROR(control.status());
+  control_ = std::move(control.value());
+  control_->Start([this](Bytes frame) { HandleControlFrame(std::move(frame)); },
+                  [this]() {
+                    jet::MutexLock lock(queue_mu_);
+                    control_lost_ = true;
+                    queue_cv_.NotifyAll();
+                  });
+
+  ProcMsg hello;
+  hello.type = ProcMsgType::kHello;
+  hello.member_index = options_.member_index;
+  hello.pid = static_cast<int64_t>(getpid());
+  hello.data_path = data_path_;
+  JET_RETURN_IF_ERROR(SendControl(hello));
+
+  // Serve control messages until Shutdown (or the coordinator vanished —
+  // an orphaned member must not outlive the test that spawned it).
+  for (;;) {
+    ProcMsg msg;
+    {
+      jet::MutexLock lock(queue_mu_);
+      queue_cv_.Wait(queue_mu_, [this]() JET_REQUIRES(queue_mu_) {
+        return !queue_.empty() || control_lost_;
+      });
+      if (queue_.empty() && control_lost_) {
+        TeardownAttempt();
+        return UnavailableError("coordinator connection lost");
+      }
+      msg = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Status s = Status::OK();
+    switch (msg.type) {
+      case ProcMsgType::kStartJob:
+        s = HandleStartJob(std::move(msg));
+        break;
+      case ProcMsgType::kRestoreEntry:
+        s = HandleRestoreEntry(std::move(msg));
+        break;
+      case ProcMsgType::kGo:
+        s = HandleGo();
+        break;
+      case ProcMsgType::kStopAttempt: {
+        const int64_t epoch = msg.epoch;
+        TeardownAttempt();
+        ProcMsg reply;
+        reply.type = ProcMsgType::kAttemptStopped;
+        reply.epoch = epoch;
+        s = SendControl(reply);
+        break;
+      }
+      case ProcMsgType::kShutdown:
+        TeardownAttempt();
+        return Status::OK();
+      default:
+        JET_LOG(kWarn) << "member got unexpected control message type "
+                       << static_cast<int>(msg.type);
+        break;
+    }
+    if (!s.ok()) {
+      JET_LOG(kError) << "member " << options_.member_index
+                      << " failed: " << s.ToString();
+      TeardownAttempt();
+      return s;
+    }
+  }
+}
+
+void ProcessMember::HandleControlFrame(Bytes frame) {
+  auto msg = DecodeControlMessage(frame);
+  if (!msg.ok()) {
+    JET_LOG(kError) << "bad control frame: " << msg.status().ToString();
+    return;
+  }
+  // Snapshot signals bypass the queue: they are single atomic stores the
+  // tasklets poll, and they must not wait behind a structural message the
+  // Run() thread is busy with.
+  switch (msg->type) {
+    case ProcMsgType::kSnapshotRequest: {
+      auto attempt = current_attempt();
+      if (attempt != nullptr && attempt->epoch == msg->epoch) {
+        attempt->snapshot_control.acks.store(0, std::memory_order_release);
+        attempt->snapshot_control.requested.store(msg->snapshot_id,
+                                                  std::memory_order_release);
+      }
+      return;
+    }
+    case ProcMsgType::kSnapshotCommitted: {
+      auto attempt = current_attempt();
+      if (attempt != nullptr && attempt->epoch == msg->epoch) {
+        attempt->snapshot_control.committed.store(msg->snapshot_id,
+                                                  std::memory_order_release);
+      }
+      return;
+    }
+    case ProcMsgType::kSnapshotAborted: {
+      auto attempt = current_attempt();
+      if (attempt != nullptr && attempt->epoch == msg->epoch) {
+        attempt->snapshot_control.aborted.store(msg->snapshot_id,
+                                                std::memory_order_release);
+      }
+      return;
+    }
+    default:
+      EnqueueMsg(std::move(msg.value()));
+      return;
+  }
+}
+
+void ProcessMember::EnqueueMsg(ProcMsg msg) {
+  jet::MutexLock lock(queue_mu_);
+  queue_.push_back(std::move(msg));
+  queue_cv_.NotifyAll();
+}
+
+Status ProcessMember::SendControl(const ProcMsg& msg) {
+  return control_->SendFrame(EncodeControlMessage(msg));
+}
+
+Status ProcessMember::HandleStartJob(ProcMsg msg) {
+  TeardownAttempt();  // a StartJob for epoch N+1 implies epoch N is gone
+
+  auto attempt = std::make_shared<Attempt>();
+  attempt->epoch = msg.epoch;
+  attempt->node_id = msg.node_id;
+  attempt->node_count = msg.node_count;
+  attempt->params.events_per_second = msg.events_per_second;
+  attempt->params.duration = msg.duration;
+  attempt->params.key_count = msg.key_count;
+  attempt->params.window_size = msg.window_size;
+  attempt->params.watermark_interval = msg.watermark_interval;
+  attempt->clock = std::make_unique<SharedMonotonicClock>(msg.clock_anchor);
+  attempt->bus = std::make_unique<net::Network>();
+  attempt->restore_remaining = msg.restore_count;
+
+  // The sink ships every result to the coordinator the moment it is
+  // processed — before the covering barrier is acked on the same FIFO
+  // socket, which is what makes committed-snapshot results durable.
+  auto control = control_;
+  const int64_t epoch = msg.epoch;
+  ResultEmitFn emit = [control, epoch](const core::WindowResult<int64_t>& r) {
+    ProcMsg m;
+    m.type = ProcMsgType::kSinkResult;
+    m.epoch = epoch;
+    m.result_key = r.key;
+    m.window_start = r.window_start;
+    m.window_end = r.window_end;
+    m.result_value = r.value;
+    (void)control->SendFrame(EncodeControlMessage(m));
+  };
+  JET_RETURN_IF_ERROR(
+      BuildJobDag(msg.job_name, attempt->params, std::move(emit), &attempt->dag));
+
+  // State entries stream to the coordinator's store as they are captured;
+  // the ack that gates the commit follows them on the same socket.
+  attempt->snapshot_control.write_entry =
+      [control, epoch](int64_t snapshot_id, core::VertexId vertex, int32_t writer_index,
+                       core::StateEntry&& entry) {
+        ProcMsg m;
+        m.type = ProcMsgType::kSnapshotEntry;
+        m.epoch = epoch;
+        m.snapshot_id = snapshot_id;
+        m.vertex_id = vertex;
+        m.writer_index = writer_index;
+        m.key_hash = entry.key_hash;
+        m.key = std::move(entry.key);
+        m.value = std::move(entry.value);
+        return control->SendFrame(EncodeControlMessage(m)).ok();
+      };
+
+  // Outbound data connections: one per peer node, fresh per attempt. Peer
+  // data servers persist across attempts, so a survivor of a recovery
+  // reconnects to the same paths.
+  if (static_cast<int32_t>(msg.data_paths.size()) != msg.node_count) {
+    return InvalidArgumentError("StartJob data path map does not match node count");
+  }
+  attempt->peer_conns.resize(static_cast<size_t>(msg.node_count));
+  for (int32_t n = 0; n < msg.node_count; ++n) {
+    if (n == attempt->node_id) continue;
+    auto conn = net::SocketConnection::ConnectUnixWithRetry(
+        msg.data_paths[static_cast<size_t>(n)], kPeerConnectTimeoutMs);
+    JET_RETURN_IF_ERROR(conn.status());
+    std::shared_ptr<net::SocketConnection> shared = std::move(conn.value());
+    // Peers never write back on our outbound connection (their acks ride
+    // their own outbound connection to us); Start() is still required to
+    // drive the write side.
+    shared->Start([](Bytes) {
+      JET_LOG(kWarn) << "unexpected inbound frame on outbound data connection";
+    });
+    attempt->peer_conns[static_cast<size_t>(n)] = std::move(shared);
+  }
+
+  net::ExchangeOptions exchange_options;
+  // Process-mode hops always pay real serialization; the flag is for
+  // in-process executions (JobConfig::serialize_exchange_frames).
+  exchange_options.serialize_frames = false;
+  exchange_options.epoch = attempt->epoch;
+  attempt->registry = std::make_shared<SocketExchangeRegistry>(
+      attempt->bus.get(), exchange_options, attempt->node_id, attempt->peer_conns);
+
+  core::JobConfig config;
+  config.guarantee = core::ProcessingGuarantee::kExactlyOnce;
+  core::NodeInfo node{attempt->node_id, attempt->node_count};
+  const Clock* clock = attempt->clock.get();
+  attempt->factory = std::make_unique<net::NetworkEdgeFactory>(
+      attempt->registry.get(), &attempt->dag, node, config, msg.threads, clock,
+      &attempt->cancelled, &attempt->snapshot_control);
+  auto plan =
+      core::ExecutionPlan::Build(attempt->dag, node, config, msg.threads, clock,
+                                 &attempt->cancelled, attempt->factory.get(),
+                                 &attempt->snapshot_control);
+  JET_RETURN_IF_ERROR(plan.status());
+  attempt->plan = std::move(plan.value());
+  attempt->net_tasklets = attempt->factory->TakeTasklets();
+
+  core::ExecutionService::Options service_options;
+  attempt->service =
+      std::make_unique<core::ExecutionService>(msg.threads, nullptr, service_options);
+
+  {
+    jet::MutexLock lock(attempt_mu_);
+    attempt_ = std::move(attempt);
+  }
+  // Restore entries (if any) stream in next; Ready goes out once the last
+  // one is applied.
+  auto current = current_attempt();
+  if (current->restore_remaining == 0) return FinishBringUp();
+  return Status::OK();
+}
+
+Status ProcessMember::HandleRestoreEntry(ProcMsg msg) {
+  auto attempt = current_attempt();
+  if (attempt == nullptr || attempt->epoch != msg.epoch || attempt->running) {
+    return Status::OK();  // straggler of a superseded attempt
+  }
+  attempt->restore_entries.push_back(std::move(msg));
+  if (--attempt->restore_remaining == 0) return FinishBringUp();
+  return Status::OK();
+}
+
+Status ProcessMember::FinishBringUp() {
+  auto attempt = current_attempt();
+  if (attempt == nullptr) return InternalError("no attempt to bring up");
+  ApplyRestoreEntries(attempt.get());
+  ProcMsg ready;
+  ready.type = ProcMsgType::kReady;
+  ready.epoch = attempt->epoch;
+  return SendControl(ready);
+}
+
+void ProcessMember::ApplyRestoreEntries(Attempt* attempt) {
+  // Group instances by vertex, then route each entry to the instance
+  // owning its key — the same distribution LoadSnapshotIntoPlan applies
+  // when the store is local. Exchange tasklets hold no restorable state.
+  std::unordered_map<core::VertexId, std::vector<const core::TaskletInfo*>> by_vertex;
+  for (const core::TaskletInfo& info : attempt->plan->tasklet_infos()) {
+    by_vertex[info.vertex].push_back(&info);
+  }
+  std::unordered_map<const core::TaskletInfo*, std::vector<core::StateEntry>> routed;
+  for (ProcMsg& msg : attempt->restore_entries) {
+    auto it = by_vertex.find(msg.vertex_id);
+    if (it == by_vertex.end()) continue;  // vertex has no instance here
+    const auto total = static_cast<uint64_t>(it->second.front()->total_parallelism);
+    const auto owner = static_cast<int32_t>(msg.key_hash % total);
+    for (const core::TaskletInfo* info : it->second) {
+      if (info->global_index != owner) continue;
+      core::StateEntry entry;
+      entry.key_hash = msg.key_hash;
+      entry.key = std::move(msg.key);
+      entry.value = std::move(msg.value);
+      routed[info].push_back(std::move(entry));
+      break;
+    }
+  }
+  for (auto& [info, entries] : routed) {
+    info->tasklet->SetRestoreEntries(std::move(entries));
+  }
+  attempt->restore_entries.clear();
+}
+
+Status ProcessMember::HandleGo() {
+  auto attempt = current_attempt();
+  if (attempt == nullptr) return InternalError("Go without an attempt");
+  if (attempt->running) return Status::OK();
+  attempt->running = true;
+
+  std::vector<core::Tasklet*> tasklets = attempt->plan->Tasklets();
+  for (auto& t : attempt->net_tasklets) tasklets.push_back(t.get());
+  JET_RETURN_IF_ERROR(attempt->service->Start(std::move(tasklets)));
+
+  // Snapshot pump: acks a requested snapshot once every local participant
+  // has persisted it. The per-tasklet completed ids (not a shared counter)
+  // keep stragglers of a watchdog-aborted epoch from counting toward the
+  // next one — same rule as the in-process coordinator.
+  std::vector<const core::ProcessorTasklet*> participants;
+  for (const core::TaskletInfo& info : attempt->plan->tasklet_infos()) {
+    if (info.tasklet->ParticipatesInSnapshots()) participants.push_back(info.tasklet);
+  }
+  for (const auto& t : attempt->net_tasklets) {
+    if (t->ParticipatesInSnapshots()) participants.push_back(t.get());
+  }
+  Attempt* raw = attempt.get();
+  auto control = control_;
+  attempt->snapshot_pump = std::thread([raw, control, participants]() {
+    int64_t last_acked = 0;
+    while (!raw->stopping.load(std::memory_order_acquire)) {
+      const int64_t id = raw->snapshot_control.requested.load(std::memory_order_acquire);
+      if (id > last_acked) {
+        bool all_done = true;
+        for (const core::ProcessorTasklet* t : participants) {
+          if (t->completed_snapshot_id() < id) {
+            all_done = false;
+            break;
+          }
+        }
+        if (all_done) {
+          ProcMsg ack;
+          ack.type = ProcMsgType::kSnapshotAck;
+          ack.epoch = raw->epoch;
+          ack.snapshot_id = id;
+          (void)control->SendFrame(EncodeControlMessage(ack));
+          last_acked = id;
+        }
+      }
+      std::this_thread::sleep_for(microseconds(kPumpPollInterval / kNanosPerMicro));
+    }
+  });
+
+  attempt->done_monitor = std::thread([raw, control]() {
+    while (!raw->stopping.load(std::memory_order_acquire)) {
+      if (raw->service->IsComplete()) {
+        ProcMsg done;
+        done.type = ProcMsgType::kAttemptDone;
+        done.epoch = raw->epoch;
+        (void)control->SendFrame(EncodeControlMessage(done));
+        return;
+      }
+      std::this_thread::sleep_for(milliseconds(kDonePollInterval / kNanosPerMilli));
+    }
+  });
+  return Status::OK();
+}
+
+void ProcessMember::TeardownAttempt() {
+  std::shared_ptr<Attempt> attempt;
+  {
+    jet::MutexLock lock(attempt_mu_);
+    attempt = std::move(attempt_);
+  }
+  if (attempt == nullptr) return;
+  attempt->stopping.store(true, std::memory_order_release);
+  attempt->cancelled.store(true, std::memory_order_release);
+  if (attempt->running) {
+    attempt->service->Cancel();
+    (void)attempt->service->AwaitCompletion();
+  }
+  if (attempt->snapshot_pump.joinable()) attempt->snapshot_pump.join();
+  if (attempt->done_monitor.joinable()) attempt->done_monitor.join();
+  for (auto& conn : attempt->peer_conns) {
+    if (conn != nullptr) conn->Close();
+  }
+  // In-flight inbound dispatches may still hold the shared_ptr; the
+  // attempt is freed when the last one returns. Their frames are epoch-
+  // filtered, so they can no longer mutate anything that matters.
+}
+
+void ProcessMember::DispatchDataFrame(Bytes frame) {
+  auto decoded = net::DecodeFrame(frame);
+  if (!decoded.ok()) {
+    JET_LOG(kError) << "bad data frame: " << decoded.status().ToString();
+    return;
+  }
+  auto attempt = current_attempt();
+  if (attempt == nullptr || attempt->registry == nullptr) return;
+  attempt->registry->RouteInbound(std::move(decoded.value()));
+}
+
+}  // namespace jet::procmode

@@ -1,0 +1,156 @@
+#ifndef JETSIM_PROCMODE_PROCESS_MEMBER_H_
+#define JETSIM_PROCMODE_PROCESS_MEMBER_H_
+
+#include <time.h>
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/dag.h"
+#include "core/execution_plan.h"
+#include "core/execution_service.h"
+#include "core/tasklet.h"
+#include "net/exchange.h"
+#include "net/network.h"
+#include "net/socket_transport.h"
+#include "procmode/proc_proto.h"
+#include "procmode/socket_exchange.h"
+#include "procmode/windowed_job.h"
+
+namespace jet::procmode {
+
+/// Clock sharing one time domain across all member processes of a machine:
+/// CLOCK_MONOTONIC is machine-wide, so subtracting a common anchor (picked
+/// by the coordinator, shipped in StartJob) gives every process identical
+/// readings. Event timestamps, window boundaries and snapshot-restored
+/// generator anchors stay comparable across processes and across attempts.
+class SharedMonotonicClock final : public Clock {
+ public:
+  explicit SharedMonotonicClock(Nanos anchor) : anchor_(anchor) {}
+
+  Nanos Now() const override { return RawNow() - anchor_; }
+
+  static Nanos RawNow() {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<Nanos>(ts.tv_sec) * kNanosPerSecond + ts.tv_nsec;
+  }
+
+ private:
+  Nanos anchor_;
+};
+
+/// One Jet member as an OS process: owns this member's data-socket server,
+/// a control connection to the coordinator, and — per attempt — the
+/// member's slice of the execution (plan + exchange tasklets over
+/// SocketExchangeRegistry, snapshot pump, completion monitor). The process
+/// persists across attempts; each StartJob assigns it a fresh plan-local
+/// node id for that epoch. jet_member's main() is a thin wrapper around
+/// Run().
+class ProcessMember {
+ public:
+  struct Options {
+    int32_t member_index = 0;
+    /// Directory for this member's data socket.
+    std::string work_dir;
+    /// Coordinator's control-socket path.
+    std::string control_path;
+  };
+
+  explicit ProcessMember(Options options) : options_(std::move(options)) {}
+  ~ProcessMember();
+
+  ProcessMember(const ProcessMember&) = delete;
+  ProcessMember& operator=(const ProcessMember&) = delete;
+
+  /// Brings up the data server, connects control, sends Hello, and serves
+  /// attempts until Shutdown arrives or the coordinator disappears.
+  Status Run();
+
+ private:
+  /// Everything belonging to one execution attempt. Held by shared_ptr:
+  /// data-connection I/O threads grab a reference to route inbound frames,
+  /// so a torn-down attempt is freed only after the last in-flight
+  /// dispatch returns.
+  struct Attempt {
+    int64_t epoch = 0;
+    int32_t node_id = 0;
+    int32_t node_count = 1;
+    WindowedJobParams params;
+    core::Dag dag;
+    std::unique_ptr<SharedMonotonicClock> clock;
+    /// Member-local in-memory bus; allocates channel ids only.
+    std::unique_ptr<net::Network> bus;
+    std::vector<std::shared_ptr<net::SocketConnection>> peer_conns;
+    std::shared_ptr<SocketExchangeRegistry> registry;
+    std::unique_ptr<net::NetworkEdgeFactory> factory;
+    std::unique_ptr<core::ExecutionPlan> plan;
+    std::vector<std::unique_ptr<core::ProcessorTasklet>> net_tasklets;
+    std::unique_ptr<core::ExecutionService> service;
+    core::SnapshotControl snapshot_control;
+    std::atomic<bool> cancelled{false};
+    std::atomic<bool> stopping{false};
+    int64_t restore_remaining = 0;
+    std::vector<ProcMsg> restore_entries;
+    bool running = false;  // Go received, service started
+    std::thread snapshot_pump;
+    std::thread done_monitor;
+  };
+
+  // Control-plane plumbing. HandleControlFrame runs on the control
+  // connection's I/O thread: snapshot signals are applied to the current
+  // attempt's atomics inline (they must not wait behind a structural
+  // message being processed), everything else is queued for the Run()
+  // thread.
+  void HandleControlFrame(Bytes frame);
+  void EnqueueMsg(ProcMsg msg);
+  Status SendControl(const ProcMsg& msg);
+
+  // Structural message handlers; all run on the Run() thread.
+  Status HandleStartJob(ProcMsg msg);
+  Status HandleRestoreEntry(ProcMsg msg);
+  Status FinishBringUp();  // restore applied -> Ready
+  Status HandleGo();
+  void TeardownAttempt();
+
+  /// Applies buffered restore entries to the plan: LoadSnapshotIntoPlan's
+  /// routing (key_hash % total_parallelism -> global_index), minus the
+  /// store read — the coordinator owns the store and shipped the entries.
+  void ApplyRestoreEntries(Attempt* attempt);
+
+  // Data-plane: inbound frames from peer members.
+  void DispatchDataFrame(Bytes frame);
+
+  std::shared_ptr<Attempt> current_attempt() {
+    jet::MutexLock lock(attempt_mu_);
+    return attempt_;
+  }
+
+  Options options_;
+  std::shared_ptr<net::SocketConnection> control_;
+  std::unique_ptr<net::SocketServer> data_server_;
+  std::string data_path_;
+
+  jet::Mutex attempt_mu_;
+  std::shared_ptr<Attempt> attempt_ JET_GUARDED_BY(attempt_mu_);
+
+  jet::Mutex queue_mu_;
+  jet::CondVar queue_cv_;
+  std::deque<ProcMsg> queue_ JET_GUARDED_BY(queue_mu_);
+  bool control_lost_ JET_GUARDED_BY(queue_mu_) = false;
+
+  jet::Mutex data_conns_mu_;
+  std::vector<std::unique_ptr<net::SocketConnection>> data_conns_
+      JET_GUARDED_BY(data_conns_mu_);
+};
+
+}  // namespace jet::procmode
+
+#endif  // JETSIM_PROCMODE_PROCESS_MEMBER_H_

@@ -1,0 +1,97 @@
+#include "procmode/socket_exchange.h"
+
+#include "common/logging.h"
+
+namespace jet::procmode {
+namespace {
+
+/// One directed hop over sockets. SendData goes to the member hosting the
+/// hop's receiver; SendAck goes back to the member hosting its sender. A
+/// peer that died mid-attempt surfaces as SendFrame counting the frame
+/// dropped — the tasklet keeps running and the control plane handles the
+/// death (the §4.4 recovery path), so send failures are not errors here.
+class SocketFrameLink final : public net::FrameLink {
+ public:
+  SocketFrameLink(net::FrameHeader header, std::shared_ptr<net::SocketConnection> data_conn,
+                  std::shared_ptr<net::SocketConnection> ack_conn)
+      : header_(header), data_conn_(std::move(data_conn)), ack_conn_(std::move(ack_conn)) {}
+
+  void SendData(std::vector<core::Item>&& frame) override {
+    if (data_conn_ == nullptr) return;
+    BytesWriter w;
+    Status s = net::EncodeDataFrame(header_, frame, &w);
+    if (!s.ok()) {
+      // Unlike the in-process link there is no in-memory fallback across a
+      // process boundary: a payload without a codec cannot leave this
+      // process. The standard jobs only ship codec-covered types; anything
+      // else is a job-definition bug worth shouting about.
+      JET_LOG(kError) << "dropping unencodable exchange frame: " << s.ToString();
+      return;
+    }
+    (void)data_conn_->SendFrame(w.Take());
+  }
+
+  void SendAck(int64_t new_limit) override {
+    if (ack_conn_ == nullptr) return;
+    BytesWriter w;
+    JET_DCHECK_OK(net::EncodeAckFrame(header_, new_limit, &w));
+    (void)ack_conn_->SendFrame(w.Take());
+  }
+
+ private:
+  net::FrameHeader header_;
+  std::shared_ptr<net::SocketConnection> data_conn_;
+  std::shared_ptr<net::SocketConnection> ack_conn_;
+};
+
+}  // namespace
+
+std::shared_ptr<net::FrameLink> SocketExchangeRegistry::MakeLink(
+    const net::ExchangeChannel& channel, int32_t edge_index, int32_t from_node,
+    int32_t to_node) {
+  (void)channel;
+  net::FrameHeader header;
+  header.edge_index = edge_index;
+  header.from_node = from_node;
+  header.to_node = to_node;
+  header.epoch = options().epoch;
+  auto conn_for = [this](int32_t node) -> std::shared_ptr<net::SocketConnection> {
+    if (node == my_node_ || node < 0 ||
+        static_cast<size_t>(node) >= peer_conns_.size()) {
+      return nullptr;
+    }
+    return peer_conns_[static_cast<size_t>(node)];
+  };
+  // Data flows toward the receiver's member, acks back toward the
+  // sender's. On each member one of the two is the member itself (nullptr
+  // connection) — that direction is never exercised on this side.
+  return std::make_shared<SocketFrameLink>(header, conn_for(to_node), conn_for(from_node));
+}
+
+void SocketExchangeRegistry::RouteInbound(net::DecodedFrame&& frame) {
+  if (frame.header.epoch != options().epoch) {
+    // jet-verify: allow(single-writer) — monotonic stats counter; fetch_add
+    // is a full RMW so concurrent I/O threads never lose increments, and
+    // readers only inspect the total for diagnostics.
+    stale_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+
+    return;
+  }
+  auto channel = GetOrCreate(frame.header.edge_index, frame.header.from_node,
+                             frame.header.to_node);
+  switch (frame.header.type) {
+    case net::FrameType::kData:
+      channel->wire->Push(std::move(frame.items));
+      break;
+    case net::FrameType::kAck:
+      channel->flow->OnAck(frame.ack_limit);
+      break;
+    case net::FrameType::kControl:
+      // Control messages belong on the control socket; one arriving on a
+      // data connection is a peer bug, not a crash.
+      JET_LOG(kWarn) << "control frame on data connection; dropped";
+      break;
+  }
+}
+
+}  // namespace jet::procmode

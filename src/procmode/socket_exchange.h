@@ -1,0 +1,63 @@
+#ifndef JETSIM_PROCMODE_SOCKET_EXCHANGE_H_
+#define JETSIM_PROCMODE_SOCKET_EXCHANGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/exchange.h"
+#include "net/socket_transport.h"
+#include "net/wire_format.h"
+
+namespace jet::procmode {
+
+/// ExchangeRegistry whose channels ride real sockets: MakeLink returns a
+/// FrameLink that encodes each data/ack frame with the wire codec and
+/// ships it on the pre-established connection to the peer member hosting
+/// the other end of the hop. The §3.3 flow-control protocol is untouched —
+/// the sender still stops at its send limit, the receiver still acks new
+/// limits; only the transport under the frames changed.
+///
+/// Each member of an attempt builds one registry. A channel (edge, from,
+/// to) exists on *both* endpoint members, each side using only its half:
+/// the sender member calls link->SendData and reads channel->flow (advanced
+/// by inbound acks), the receiver member drains channel->wire (filled by
+/// inbound data frames) and calls link->SendAck.
+class SocketExchangeRegistry final : public net::ExchangeRegistry {
+ public:
+  /// `peer_conns[n]` is this attempt's outbound connection to the member
+  /// hosting plan-local node `n` (nullptr at the member's own slot — no
+  /// hop connects a node to itself). Connections must be Started and must
+  /// outlive the registry. `bus` is a member-local in-memory Network used
+  /// only for channel-id allocation.
+  SocketExchangeRegistry(net::Network* bus, net::ExchangeOptions options, int32_t my_node,
+                         std::vector<std::shared_ptr<net::SocketConnection>> peer_conns)
+      : net::ExchangeRegistry(bus, {}, options),
+        my_node_(my_node),
+        peer_conns_(std::move(peer_conns)) {}
+
+  /// Routes one decoded inbound frame into this registry's channels:
+  /// data frames push into the hop's WireBuffer (the hop's receiver runs
+  /// on this member), acks advance the hop's SenderFlowState (its sender
+  /// runs here). Frames from another epoch — stragglers of a torn-down
+  /// attempt — are dropped. Called on a data connection's I/O thread.
+  void RouteInbound(net::DecodedFrame&& frame);
+
+  /// Stragglers dropped by the epoch filter (tests).
+  int64_t stale_frames_dropped() const {
+    return stale_frames_dropped_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  std::shared_ptr<net::FrameLink> MakeLink(const net::ExchangeChannel& channel,
+                                           int32_t edge_index, int32_t from_node,
+                                           int32_t to_node) override;
+
+ private:
+  int32_t my_node_;
+  std::vector<std::shared_ptr<net::SocketConnection>> peer_conns_;
+  std::atomic<int64_t> stale_frames_dropped_{0};
+};
+
+}  // namespace jet::procmode
+
+#endif  // JETSIM_PROCMODE_SOCKET_EXCHANGE_H_

@@ -1,0 +1,100 @@
+#include "procmode/windowed_job.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/aggregate.h"
+#include "core/processors_basic.h"
+
+namespace jet::procmode {
+namespace {
+
+struct AuctionEvent {
+  uint64_t auction = 0;
+};
+
+/// Sink forwarding every window result to a callback. Unlike CollectSinkP
+/// (whose results live and die with the process), the callback can push
+/// each result onto the control socket the moment it is processed — the
+/// FIFO ordering with the following barrier ack is what makes pre-crash
+/// results durable at the coordinator (see proc_proto.h).
+class EmitSinkP final : public core::Processor {
+ public:
+  explicit EmitSinkP(ResultEmitFn emit) : emit_(std::move(emit)) {}
+
+  void Process(int ordinal, core::Inbox* inbox) override {
+    (void)ordinal;
+    while (!inbox->Empty()) {
+      emit_(inbox->Peek()->payload.As<core::WindowResult<int64_t>>());
+      inbox->RemoveFront();
+    }
+  }
+
+ private:
+  ResultEmitFn emit_;
+};
+
+}  // namespace
+
+Status BuildJobDag(const std::string& name, const WindowedJobParams& params,
+                   ResultEmitFn emit, core::Dag* dag) {
+  if (name != kWindowedCountJobName) {
+    return InvalidArgumentError("unknown job name: " + name);
+  }
+  using core::ProcessorMeta;
+  const double rate = params.events_per_second;
+  const Nanos duration = params.duration;
+  const Nanos wm_interval = params.watermark_interval;
+  const int64_t keys = params.key_count;
+  core::WindowDef window = core::WindowDef::Tumbling(params.window_size);
+  auto op = core::CountingAggregate<AuctionEvent>();
+
+  auto source = dag->AddVertex(
+      "bids",
+      [rate, duration, keys, wm_interval](const ProcessorMeta&)
+          -> std::unique_ptr<core::Processor> {
+        core::GeneratorSourceP<AuctionEvent>::Options opt;
+        opt.events_per_second = rate;
+        opt.duration = duration;
+        opt.watermark_interval = wm_interval;
+        return std::make_unique<core::GeneratorSourceP<AuctionEvent>>(
+            [keys](int64_t seq) {
+              AuctionEvent e{static_cast<uint64_t>(seq % keys)};
+              return std::make_pair(e, HashU64(e.auction));
+            },
+            opt);
+      },
+      1);
+  auto accumulate = dag->AddVertex(
+      "accumulate",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<core::AccumulateByFrameP<AuctionEvent, int64_t, int64_t>>(
+            op, [](const AuctionEvent& e) { return e.auction; }, window);
+      },
+      1);
+  auto combine = dag->AddVertex(
+      "combine",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<core::CombineFramesP<AuctionEvent, int64_t, int64_t>>(
+            op, window);
+      },
+      1);
+  auto sink = dag->AddVertex(
+      "sink",
+      [emit](const ProcessorMeta&) { return std::make_unique<EmitSinkP>(emit); }, 1);
+
+  dag->AddEdge(source, accumulate);
+  auto& exchange = dag->AddEdge(accumulate, combine);
+  exchange.routing = core::RoutingPolicy::kPartitioned;
+  exchange.distributed = true;
+  dag->AddEdge(combine, sink);
+  return dag->Validate();
+}
+
+int64_t WindowedJobExpectedTotal(const WindowedJobParams& params) {
+  auto period = static_cast<Nanos>(1e9 / params.events_per_second);
+  if (period < 1) period = 1;
+  return (params.duration + period - 1) / period;
+}
+
+}  // namespace jet::procmode

@@ -1,0 +1,53 @@
+#ifndef JETSIM_PROCMODE_WINDOWED_JOB_H_
+#define JETSIM_PROCMODE_WINDOWED_JOB_H_
+
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/dag.h"
+#include "core/processors_window.h"
+
+namespace jet::procmode {
+
+/// Parameters of the standard process-mode job (the Q5-shaped exactly-once
+/// windowed count the in-process chaos fixture runs): rate-controlled
+/// replayable source -> keyed accumulate -> distributed partitioned
+/// combine -> sink.
+struct WindowedJobParams {
+  double events_per_second = 20'000;
+  Nanos duration = 1'200 * kNanosPerMilli;
+  int64_t key_count = 16;
+  Nanos window_size = 50 * kNanosPerMilli;
+  Nanos watermark_interval = 5 * kNanosPerMilli;
+};
+
+/// Called by a sink instance (on a cooperative worker) for every window
+/// result it receives. Implementations must be bounded and thread-safe:
+/// process mode binds this to a control-socket SendFrame.
+using ResultEmitFn = std::function<void(const core::WindowResult<int64_t>&)>;
+
+/// Name of the only registered job shape. StartJob carries a job name so
+/// the registry can grow without a protocol change; an unknown name is an
+/// error on the member.
+inline constexpr char kWindowedCountJobName[] = "windowed_count";
+
+/// Number of vertices in the windowed-count DAG (the coordinator iterates
+/// vertex ids when reading a snapshot for restore shipping).
+inline constexpr int32_t kWindowedCountVertexCount = 4;
+
+/// Builds `name`'s DAG into `*dag` (currently only "windowed_count").
+/// The accumulate->combine edge is the DAG's only distributed edge, so the
+/// only payload that ever crosses a process boundary is KeyedFrame<int64_t>
+/// — covered by the wire codec's typed-item encoding. `dag` must be empty.
+Status BuildJobDag(const std::string& name, const WindowedJobParams& params,
+                   ResultEmitFn emit, core::Dag* dag);
+
+/// Events the source emits over its full lifetime (mirrors
+/// GeneratorSourceP's truncated-period schedule).
+int64_t WindowedJobExpectedTotal(const WindowedJobParams& params);
+
+}  // namespace jet::procmode
+
+#endif  // JETSIM_PROCMODE_WINDOWED_JOB_H_

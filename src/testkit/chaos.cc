@@ -341,6 +341,7 @@ Status ClusterFixture::SubmitWindowedJob() {
   core::JobConfig config;
   config.guarantee = core::ProcessingGuarantee::kExactlyOnce;
   config.snapshot_interval = options_.snapshot_interval;
+  config.serialize_exchange_frames = options_.serialize_exchange_frames;
   auto job = cluster_->SubmitJob(&dag_, config, options_.job_id);
   if (!job.ok()) return job.status();
   job_ = *job;

@@ -119,6 +119,10 @@ struct FixtureOptions {
   Nanos window_size = 50 * kNanosPerMilli;
   Nanos snapshot_interval = 80 * kNanosPerMilli;
   imdg::JobId job_id = 1;
+  /// Round-trip every exchange frame through the wire codec even though
+  /// the hops are in-process (JobConfig::serialize_exchange_frames): the
+  /// simulated cluster pays the real serialization cost.
+  bool serialize_exchange_frames = false;
   /// Forwarded into ClusterConfig::supervisor; enable for unattended chaos.
   cluster::SupervisorOptions supervisor;
 };

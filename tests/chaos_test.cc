@@ -246,5 +246,35 @@ TEST(ChaosScriptTest, ScriptedKillJoinPartitionHeal) {
   EXPECT_TRUE(accounting.ok()) << accounting.ToString() << applied;
 }
 
+// With serialize_exchange_frames every distributed hop round-trips its
+// frames through the wire codec — the same bytes process mode puts on
+// sockets — and the exactly-once result must be unchanged.
+TEST(ChaosScriptTest, SerializedExchangeFramesKeepExactlyOnce) {
+  FixtureOptions options;
+  options.serialize_exchange_frames = true;
+  ClusterFixture fixture(options);
+  ASSERT_TRUE(fixture.SubmitWindowedJob().ok());
+  ASSERT_TRUE(fixture.JoinJob().ok());
+  Status exact = fixture.VerifyExactlyOnce();
+  EXPECT_TRUE(exact.ok()) << exact.ToString();
+  Status accounting = fixture.VerifyDeliveryAccounting();
+  EXPECT_TRUE(accounting.ok()) << accounting.ToString();
+}
+
+// Serialization plus a node kill: barriers and watermarks survive the
+// codec round-trip through a §4.4 recovery.
+TEST(ChaosScriptTest, SerializedFramesSurviveNodeKill) {
+  FixtureOptions options;
+  options.serialize_exchange_frames = true;
+  ClusterFixture fixture(options);
+  ASSERT_TRUE(fixture.SubmitWindowedJob().ok());
+  ASSERT_TRUE(fixture.WaitForCommittedSnapshot(1, 5 * kNanosPerSecond));
+  ASSERT_TRUE(fixture.cluster().KillNode(1).ok());
+  ASSERT_TRUE(fixture.JoinJob().ok());
+  EXPECT_GE(fixture.job()->attempts_started(), 2);
+  Status exact = fixture.VerifyExactlyOnce();
+  EXPECT_TRUE(exact.ok()) << exact.ToString();
+}
+
 }  // namespace
 }  // namespace jet::testkit

@@ -416,6 +416,60 @@ TEST(SerdeTest, TruncatedVarintReturnsError) {
   EXPECT_FALSE(r.ReadVarU64(&v).ok());
 }
 
+TEST(SerdeTest, TenByteVarintBoundaryRoundTrips) {
+  // UINT64_MAX encodes as exactly 10 bytes; the 10th byte carries bit 63.
+  BytesWriter w;
+  w.WriteVarU64(std::numeric_limits<uint64_t>::max());
+  ASSERT_EQ(w.size(), 10u);
+  BytesReader r(w.buffer());
+  uint64_t v = 0;
+  ASSERT_TRUE(r.ReadVarU64(&v).ok());
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, OverflowingTenthByteReturnsInvalidArgument) {
+  // 9 continuation bytes put the 10th byte at shift 63, where only bit 0
+  // fits. A 10th byte with any of bits 1..6 set encodes a value >= 2^64;
+  // the reader must reject it instead of silently dropping the high bits.
+  for (uint8_t tenth : {uint8_t{0x02}, uint8_t{0x7E}, uint8_t{0x40}}) {
+    Bytes b(9, 0x80);
+    b.push_back(tenth);
+    BytesReader r(b);
+    uint64_t v = 0;
+    Status s = r.ReadVarU64(&v);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << int(tenth);
+  }
+  // Bit 0 alone in the 10th byte is the top bit of a valid u64.
+  Bytes ok(9, 0x80);
+  ok.push_back(0x01);
+  BytesReader r(ok);
+  uint64_t v = 0;
+  ASSERT_TRUE(r.ReadVarU64(&v).ok());
+  EXPECT_EQ(v, 1ull << 63);
+}
+
+TEST(SerdeTest, OverlongVarintReturnsInvalidArgument) {
+  // 10 continuation bytes push shift past 64: "varint too long".
+  Bytes b(10, 0x80);
+  b.push_back(0x00);
+  BytesReader r(b);
+  uint64_t v = 0;
+  EXPECT_EQ(r.ReadVarU64(&v).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerdeTest, Int64MinZigzagRoundTrip) {
+  // INT64_MIN zigzags to UINT64_MAX — the exact 10-byte boundary case the
+  // old reader mis-decoded by discarding the 10th byte's high bits.
+  BytesWriter w;
+  w.WriteVarI64(std::numeric_limits<int64_t>::min());
+  ASSERT_EQ(w.size(), 10u);
+  BytesReader r(w.buffer());
+  int64_t v = 0;
+  ASSERT_TRUE(r.ReadVarI64(&v).ok());
+  EXPECT_EQ(v, std::numeric_limits<int64_t>::min());
+}
+
 // ---------------------------------------------------------------------------
 // Rng / hashing
 // ---------------------------------------------------------------------------

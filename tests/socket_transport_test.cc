@@ -1,0 +1,204 @@
+// Socket transport battery: UDS framing round-trips, the PR 2 delivery
+// invariant (sent == delivered + dropped after Close), peer-death
+// detection via the close handler, and oversized-frame rejection.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.h"
+#include "net/socket_transport.h"
+
+namespace jet::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string MakeSocketPath(const char* tag) {
+  std::string tmpl = std::string("/tmp/jetsock-") + tag + "-XXXXXX";
+  char* dir = ::mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl + "/s.sock";
+}
+
+/// Collects inbound frames and the close signal from one connection.
+struct Sink {
+  jet::Mutex mu;
+  jet::CondVar cv;
+  std::vector<Bytes> frames JET_GUARDED_BY(mu);
+  bool closed JET_GUARDED_BY(mu) = false;
+
+  SocketConnection::FrameHandler frame_handler() {
+    return [this](Bytes frame) {
+      jet::MutexLock lock(mu);
+      frames.push_back(std::move(frame));
+      cv.NotifyAll();
+    };
+  }
+  SocketConnection::CloseHandler close_handler() {
+    return [this]() {
+      jet::MutexLock lock(mu);
+      closed = true;
+      cv.NotifyAll();
+    };
+  }
+  bool WaitForFrames(size_t n, int64_t timeout_ms = 10'000) {
+    jet::MutexLock lock(mu);
+    return cv.WaitFor(mu, milliseconds(timeout_ms),
+                      [&]() JET_REQUIRES(mu) { return frames.size() >= n; });
+  }
+  bool WaitForClose(int64_t timeout_ms = 10'000) {
+    jet::MutexLock lock(mu);
+    return cv.WaitFor(mu, milliseconds(timeout_ms),
+                      [&]() JET_REQUIRES(mu) { return closed; });
+  }
+};
+
+/// A server + one accepted connection, the common fixture shape.
+struct Rendezvous {
+  std::unique_ptr<SocketServer> server;
+  std::shared_ptr<SocketConnection> accepted;
+  jet::Mutex mu;
+  jet::CondVar cv;
+
+  explicit Rendezvous(const std::string& path, Sink* server_sink) {
+    auto s = SocketServer::ListenUnix(path);
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    server = std::move(s.value());
+    server->Start([this, server_sink](std::unique_ptr<SocketConnection> conn) {
+      std::shared_ptr<SocketConnection> shared = std::move(conn);
+      shared->Start(server_sink->frame_handler(), server_sink->close_handler());
+      jet::MutexLock lock(mu);
+      accepted = std::move(shared);
+      cv.NotifyAll();
+    });
+  }
+  ~Rendezvous() {
+    // Join the accept thread before `cv`/`mu` are destroyed — it notifies
+    // them from the accept handler.
+    server->Stop();
+  }
+  std::shared_ptr<SocketConnection> WaitAccepted(int64_t timeout_ms = 10'000) {
+    jet::MutexLock lock(mu);
+    cv.WaitFor(mu, milliseconds(timeout_ms),
+               [&]() JET_REQUIRES(mu) { return accepted != nullptr; });
+    return accepted;
+  }
+};
+
+TEST(SocketTransport, FramesRoundTripBothDirections) {
+  const std::string path = MakeSocketPath("rt");
+  Sink server_sink;
+  Rendezvous rv(path, &server_sink);
+
+  auto client = SocketConnection::ConnectUnixWithRetry(path, 5000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Sink client_sink;
+  client.value()->Start(client_sink.frame_handler(), client_sink.close_handler());
+
+  for (int i = 0; i < 100; ++i) {
+    Bytes frame(static_cast<size_t>(i + 1), static_cast<uint8_t>(i));
+    ASSERT_TRUE(client.value()->SendFrame(std::move(frame)).ok());
+  }
+  ASSERT_TRUE(server_sink.WaitForFrames(100));
+  {
+    jet::MutexLock lock(server_sink.mu);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(server_sink.frames[static_cast<size_t>(i)].size(),
+                static_cast<size_t>(i + 1));
+      EXPECT_EQ(server_sink.frames[static_cast<size_t>(i)][0], static_cast<uint8_t>(i));
+    }
+  }
+
+  auto accepted = rv.WaitAccepted();
+  ASSERT_NE(accepted, nullptr);
+  ASSERT_TRUE(accepted->SendFrame(Bytes{42}).ok());
+  ASSERT_TRUE(client_sink.WaitForFrames(1));
+
+  client.value()->Close();
+  accepted->Close();
+  EXPECT_EQ(client.value()->sent(), client.value()->delivered() + client.value()->dropped());
+  EXPECT_EQ(accepted->sent(), accepted->delivered() + accepted->dropped());
+}
+
+TEST(SocketTransport, PeerCloseFiresCloseHandlerAndAccountingHolds) {
+  const std::string path = MakeSocketPath("eof");
+  Sink server_sink;
+  Rendezvous rv(path, &server_sink);
+
+  auto client = SocketConnection::ConnectUnixWithRetry(path, 5000);
+  ASSERT_TRUE(client.ok());
+  Sink client_sink;
+  client.value()->Start(client_sink.frame_handler(), client_sink.close_handler());
+  auto accepted = rv.WaitAccepted();
+  ASSERT_NE(accepted, nullptr);
+
+  // Server side goes away; the client must observe EOF exactly like a
+  // member observes a kill -9'd peer.
+  accepted->Close();
+  ASSERT_TRUE(client_sink.WaitForClose());
+  EXPECT_FALSE(client.value()->IsOpen());
+
+  // Sends after close fail and count as dropped, preserving the invariant.
+  EXPECT_FALSE(client.value()->SendFrame(Bytes{1, 2, 3}).ok());
+  client.value()->Close();
+  EXPECT_EQ(client.value()->sent(), client.value()->delivered() + client.value()->dropped());
+  EXPECT_GE(client.value()->dropped(), 1u);
+}
+
+TEST(SocketTransport, OversizedFrameClosesConnection) {
+  const std::string path = MakeSocketPath("big");
+  Sink server_sink;
+  Rendezvous rv(path, &server_sink);
+
+  auto client = SocketConnection::ConnectUnixWithRetry(path, 5000);
+  ASSERT_TRUE(client.ok());
+  Sink client_sink;
+  client.value()->Start(client_sink.frame_handler(), client_sink.close_handler());
+
+  // A frame larger than kMaxWireFrameBytes must be refused by the sender
+  // (never silently truncated onto the wire).
+  Bytes huge(kMaxWireFrameBytes + 1, 0x00);
+  EXPECT_FALSE(client.value()->SendFrame(std::move(huge)).ok());
+  client.value()->Close();
+  EXPECT_EQ(client.value()->sent(), client.value()->delivered() + client.value()->dropped());
+}
+
+TEST(SocketTransport, ManyThreadsSendConcurrently) {
+  const std::string path = MakeSocketPath("mt");
+  Sink server_sink;
+  Rendezvous rv(path, &server_sink);
+
+  auto client_result = SocketConnection::ConnectUnixWithRetry(path, 5000);
+  ASSERT_TRUE(client_result.ok());
+  std::shared_ptr<SocketConnection> client = std::move(client_result.value());
+  Sink client_sink;
+  client->Start(client_sink.frame_handler(), client_sink.close_handler());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([client, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        Bytes frame{static_cast<uint8_t>(t), static_cast<uint8_t>(i & 0xFF)};
+        (void)client->SendFrame(std::move(frame));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE(server_sink.WaitForFrames(kThreads * kPerThread));
+  client->Close();
+  EXPECT_EQ(client->sent(), client->delivered() + client->dropped());
+  EXPECT_EQ(client->delivered(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace jet::net

@@ -1,0 +1,89 @@
+// Canonical frames pinned by the golden fixtures under tests/wire_fixtures/.
+//
+// Shared by tools/gen_wire_fixtures.cc (which writes the .hex files) and
+// tests/wire_format_test.cc (which re-encodes each frame and requires
+// byte-exact equality with the committed fixture). Changing anything here
+// or in the codec that alters a committed byte sequence is a format change:
+// follow the version-bump procedure in tests/wire_fixtures/README.md.
+
+#ifndef JETSIM_TESTS_WIRE_FIXTURE_CORPUS_H_
+#define JETSIM_TESTS_WIRE_FIXTURE_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/debug_check.h"
+#include "core/processors_window.h"
+#include "net/wire_format.h"
+
+namespace jet::testfixtures {
+
+struct WireFixture {
+  std::string name;  // file stem: tests/wire_fixtures/<name>.hex
+  Bytes bytes;
+};
+
+inline net::FrameHeader CanonicalHeader() {
+  net::FrameHeader h;
+  h.edge_index = 3;
+  h.from_node = 1;
+  h.to_node = 2;
+  h.epoch = 7;
+  return h;
+}
+
+/// The committed v1 corpus: one fixture per frame shape the exchange and
+/// control planes put on the wire.
+inline std::vector<WireFixture> BuildWireFixtures() {
+  using core::Item;
+  std::vector<WireFixture> fixtures;
+  const net::FrameHeader header = CanonicalHeader();
+
+  {
+    // Every payload tag in one DATA frame, plus the timestamp/key_hash
+    // framing around them.
+    std::vector<Item> items;
+    items.push_back(Item::Data<int64_t>(-42, 1'000, 11));
+    items.push_back(Item::Data<uint64_t>(42, 2'000, 12));
+    items.push_back(Item::Data<double>(3.5, 3'000, 13));
+    items.push_back(Item::Data<std::string>("jet", 4'000, 14));
+    items.push_back(Item::Data<Bytes>(Bytes{0xDE, 0xAD, 0xBE, 0xEF}, 5'000, 15));
+    items.push_back(Item::Data<core::KeyedFrame<int64_t>>(
+        core::KeyedFrame<int64_t>{9, 50'000'000, 123}, 50'000'000, 16));
+    items.push_back(Item::Data<core::WindowResult<int64_t>>(
+        core::WindowResult<int64_t>{9, 0, 50'000'000, 123}, 50'000'000, 17));
+    BytesWriter w;
+    JET_DCHECK_OK(net::EncodeDataFrame(header, items, &w));
+    fixtures.push_back({"data_frame_v1", w.Take()});
+  }
+  {
+    std::vector<Item> items;
+    items.push_back(Item::WatermarkAt(123'456'789));
+    BytesWriter w;
+    JET_DCHECK_OK(net::EncodeDataFrame(header, items, &w));
+    fixtures.push_back({"watermark_frame_v1", w.Take()});
+  }
+  {
+    std::vector<Item> items;
+    items.push_back(Item::BarrierFor(17));
+    items.push_back(Item::Done());
+    BytesWriter w;
+    JET_DCHECK_OK(net::EncodeDataFrame(header, items, &w));
+    fixtures.push_back({"barrier_done_frame_v1", w.Take()});
+  }
+  {
+    BytesWriter w;
+    JET_DCHECK_OK(net::EncodeAckFrame(header, 123'456, &w));
+    fixtures.push_back({"ack_frame_v1", w.Take()});
+  }
+  {
+    BytesWriter w;
+    JET_DCHECK_OK(net::EncodeControlFrame(Bytes{0x01, 0x02, 0x03, 0x04, 0x05}, &w));
+    fixtures.push_back({"control_frame_v1", w.Take()});
+  }
+  return fixtures;
+}
+
+}  // namespace jet::testfixtures
+
+#endif  // JETSIM_TESTS_WIRE_FIXTURE_CORPUS_H_

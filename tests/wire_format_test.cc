@@ -1,0 +1,401 @@
+// Wire-format codec battery: round-trips for every payload tag and frame
+// type, decode error paths, byte-exact golden-fixture drift checks, and
+// the process-mode control-message codec layered on CONTROL frames.
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/processors_window.h"
+#include "net/wire_format.h"
+#include "procmode/proc_proto.h"
+#include "procmode/windowed_job.h"
+#include "wire_fixture_corpus.h"
+
+namespace jet::net {
+namespace {
+
+using core::Item;
+using core::ItemKind;
+using KeyedFrameI64 = core::KeyedFrame<int64_t>;
+using WindowResultI64 = core::WindowResult<int64_t>;
+
+FrameHeader TestHeader() { return testfixtures::CanonicalHeader(); }
+
+Bytes EncodeData(const std::vector<Item>& items) {
+  BytesWriter w;
+  Status s = EncodeDataFrame(TestHeader(), items, &w);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return w.Take();
+}
+
+void ExpectHeaderEq(const FrameHeader& h, FrameType type) {
+  EXPECT_EQ(h.type, type);
+  EXPECT_EQ(h.edge_index, 3);
+  EXPECT_EQ(h.from_node, 1);
+  EXPECT_EQ(h.to_node, 2);
+  EXPECT_EQ(h.epoch, 7);
+}
+
+// ---- round trips -----------------------------------------------------------
+
+TEST(WireFormat, DataFrameRoundTripsEveryPayloadTag) {
+  std::vector<Item> items;
+  items.push_back(Item::Data<int64_t>(-1234567, 10, 1));
+  items.push_back(Item::Data<uint64_t>(0xFFFFFFFFFFFFFFFFull, 20, 2));
+  items.push_back(Item::Data<double>(-0.125, 30, 3));
+  items.push_back(Item::Data<std::string>("hello \x01 wire", 40, 4));
+  items.push_back(Item::Data<Bytes>(Bytes{0, 255, 7}, 50, 5));
+  items.push_back(Item::Data<KeyedFrameI64>(KeyedFrameI64{3, -50, -9}, 60, 6));
+  items.push_back(
+      Item::Data<WindowResultI64>(WindowResultI64{4, -100, -50, 77}, 70, 7));
+
+  auto decoded = DecodeFrame(EncodeData(items));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectHeaderEq(decoded->header, FrameType::kData);
+  ASSERT_EQ(decoded->items.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(decoded->items[i].kind, ItemKind::kData);
+    EXPECT_EQ(decoded->items[i].timestamp, items[i].timestamp);
+    EXPECT_EQ(decoded->items[i].key_hash, items[i].key_hash);
+  }
+  EXPECT_EQ(decoded->items[0].payload.As<int64_t>(), -1234567);
+  EXPECT_EQ(decoded->items[1].payload.As<uint64_t>(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(decoded->items[2].payload.As<double>(), -0.125);
+  EXPECT_EQ(decoded->items[3].payload.As<std::string>(), "hello \x01 wire");
+  EXPECT_EQ(decoded->items[4].payload.As<Bytes>(), (Bytes{0, 255, 7}));
+  const auto& kf = decoded->items[5].payload.As<KeyedFrameI64>();
+  EXPECT_EQ(kf.key, 3u);
+  EXPECT_EQ(kf.frame_end, -50);
+  EXPECT_EQ(kf.acc, -9);
+  const auto& wr = decoded->items[6].payload.As<WindowResultI64>();
+  EXPECT_EQ(wr.key, 4u);
+  EXPECT_EQ(wr.window_start, -100);
+  EXPECT_EQ(wr.window_end, -50);
+  EXPECT_EQ(wr.value, 77);
+}
+
+TEST(WireFormat, ControlItemsRoundTrip) {
+  std::vector<Item> items;
+  items.push_back(Item::WatermarkAt(-5));
+  items.push_back(Item::BarrierFor(99));
+  items.push_back(Item::Done());
+
+  auto decoded = DecodeFrame(EncodeData(items));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->items.size(), 3u);
+  EXPECT_TRUE(decoded->items[0].IsWatermark());
+  EXPECT_EQ(decoded->items[0].timestamp, -5);
+  EXPECT_TRUE(decoded->items[1].IsBarrier());
+  EXPECT_EQ(decoded->items[1].timestamp, 99);
+  EXPECT_TRUE(decoded->items[2].IsDone());
+}
+
+TEST(WireFormat, EmptyDataFrameRoundTrips) {
+  auto decoded = DecodeFrame(EncodeData({}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->items.empty());
+}
+
+TEST(WireFormat, AckFrameRoundTrips) {
+  BytesWriter w;
+  ASSERT_TRUE(EncodeAckFrame(TestHeader(), -123456789, &w).ok());
+  auto decoded = DecodeFrame(w.Take());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectHeaderEq(decoded->header, FrameType::kAck);
+  EXPECT_EQ(decoded->ack_limit, -123456789);
+}
+
+TEST(WireFormat, ControlFrameRoundTrips) {
+  const Bytes body{1, 2, 3, 250, 251, 252};
+  BytesWriter w;
+  ASSERT_TRUE(EncodeControlFrame(body, &w).ok());
+  auto decoded = DecodeFrame(w.Take());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->header.type, FrameType::kControl);
+  EXPECT_EQ(decoded->control_body, body);
+}
+
+TEST(WireFormat, UnencodablePayloadReportsUnimplemented) {
+  struct Exotic {
+    int x = 0;
+  };
+  std::vector<Item> items;
+  items.push_back(Item::Data<Exotic>(Exotic{1}, 0, 0));
+  BytesWriter w;
+  Status s = EncodeDataFrame(TestHeader(), items, &w);
+  EXPECT_FALSE(s.ok());
+}
+
+// ---- decode error paths ----------------------------------------------------
+
+TEST(WireFormat, RejectsBadMagic) {
+  Bytes frame = EncodeData({Item::WatermarkAt(1)});
+  frame[0] = 0x00;
+  EXPECT_FALSE(DecodeFrame(frame).ok());
+}
+
+TEST(WireFormat, RejectsUnknownVersion) {
+  Bytes frame = EncodeData({Item::WatermarkAt(1)});
+  frame[2] = kWireFormatVersion + 1;
+  EXPECT_FALSE(DecodeFrame(frame).ok());
+}
+
+TEST(WireFormat, RejectsUnknownFrameType) {
+  Bytes frame = EncodeData({Item::WatermarkAt(1)});
+  frame[3] = 0x7F;
+  EXPECT_FALSE(DecodeFrame(frame).ok());
+}
+
+TEST(WireFormat, RejectsUnknownPayloadTag) {
+  std::vector<Item> items;
+  items.push_back(Item::Data<int64_t>(5, 0, 0));
+  Bytes frame = EncodeData(items);
+  // The I64 payload tag is the third byte from the end: tag, length 1,
+  // zigzag(5). Overwrite it with a reserved value.
+  frame[frame.size() - 3] = 9;
+  EXPECT_FALSE(DecodeFrame(frame).ok());
+}
+
+TEST(WireFormat, RejectsTrailingBytes) {
+  Bytes frame = EncodeData({Item::WatermarkAt(1)});
+  frame.push_back(0x00);
+  EXPECT_FALSE(DecodeFrame(frame).ok());
+}
+
+TEST(WireFormat, RejectsEveryTruncation) {
+  std::vector<Item> items;
+  items.push_back(Item::Data<std::string>("truncate me", 123, 9));
+  items.push_back(Item::BarrierFor(3));
+  const Bytes frame = EncodeData(items);
+  for (size_t len = 0; len < frame.size(); ++len) {
+    auto decoded = DecodeFrame(frame.data(), len);
+    EXPECT_FALSE(decoded.ok()) << "truncation to " << len << " bytes decoded";
+  }
+}
+
+TEST(WireFormat, RejectsItemCountBeyondBuffer) {
+  // Body: hop identity (4 varints) + a count claiming 2^30 items.
+  BytesWriter w;
+  w.WriteU8(kFrameMagic0);
+  w.WriteU8(kFrameMagic1);
+  w.WriteU8(kWireFormatVersion);
+  w.WriteU8(static_cast<uint8_t>(FrameType::kData));
+  w.WriteVarU64(3);
+  w.WriteVarU64(1);
+  w.WriteVarU64(2);
+  w.WriteVarU64(7);
+  w.WriteVarU64(1u << 30);
+  EXPECT_FALSE(DecodeFrame(w.Take()).ok());
+}
+
+TEST(WireFormat, RejectsPayloadLengthBeyondBuffer) {
+  BytesWriter w;
+  w.WriteU8(kFrameMagic0);
+  w.WriteU8(kFrameMagic1);
+  w.WriteU8(kWireFormatVersion);
+  w.WriteU8(static_cast<uint8_t>(FrameType::kData));
+  w.WriteVarU64(3);
+  w.WriteVarU64(1);
+  w.WriteVarU64(2);
+  w.WriteVarU64(7);
+  w.WriteVarU64(1);                                        // one item
+  w.WriteU8(static_cast<uint8_t>(ItemKind::kData));        // kind
+  w.WriteVarI64(0);                                        // timestamp
+  w.WriteVarU64(0);                                        // key_hash
+  w.WriteU8(static_cast<uint8_t>(PayloadTag::kBytes));     // tag
+  w.WriteVarU64(0xFFFFFF);                                 // length >> buffer
+  w.WriteU8(0xAB);
+  EXPECT_FALSE(DecodeFrame(w.Take()).ok());
+}
+
+// ---- golden fixtures (drift detection) --------------------------------------
+
+#ifndef JETSIM_WIRE_FIXTURE_DIR
+#error "JETSIM_WIRE_FIXTURE_DIR must point at tests/wire_fixtures"
+#endif
+
+Bytes ReadHexFixture(const std::string& name) {
+  const std::string path = std::string(JETSIM_WIRE_FIXTURE_DIR) + "/" + name + ".hex";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  Bytes bytes;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line.substr(0, line.find('#')));
+    std::string tok;
+    while (tokens >> tok) {
+      bytes.push_back(static_cast<uint8_t>(std::stoul(tok, nullptr, 16)));
+    }
+  }
+  return bytes;
+}
+
+// Today's encoder must produce yesterday's bytes — any mismatch is an
+// unversioned wire-format change. See tests/wire_fixtures/README.md.
+TEST(WireFormat, GoldenFixturesMatchEncoderOutput) {
+  for (const auto& fixture : testfixtures::BuildWireFixtures()) {
+    EXPECT_EQ(fixture.bytes, ReadHexFixture(fixture.name))
+        << "fixture " << fixture.name
+        << " drifted — this is a wire format change; see wire_fixtures/README.md";
+  }
+}
+
+// And today's decoder must still read the committed bytes.
+TEST(WireFormat, GoldenFixturesStillDecode) {
+  for (const auto& fixture : testfixtures::BuildWireFixtures()) {
+    auto decoded = DecodeFrame(ReadHexFixture(fixture.name));
+    EXPECT_TRUE(decoded.ok()) << fixture.name << ": " << decoded.status().ToString();
+  }
+}
+
+TEST(WireFormat, GoldenDataFixtureFieldLevel) {
+  auto decoded = DecodeFrame(ReadHexFixture("data_frame_v1"));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectHeaderEq(decoded->header, FrameType::kData);
+  ASSERT_EQ(decoded->items.size(), 7u);
+  EXPECT_EQ(decoded->items[0].payload.As<int64_t>(), -42);
+  EXPECT_EQ(decoded->items[3].payload.As<std::string>(), "jet");
+  const auto& wr = decoded->items[6].payload.As<WindowResultI64>();
+  EXPECT_EQ(wr.window_end, 50'000'000);
+  EXPECT_EQ(wr.value, 123);
+}
+
+}  // namespace
+}  // namespace jet::net
+
+// ---- process-mode control messages (CONTROL frame payloads) ----------------
+
+namespace jet::procmode {
+namespace {
+
+TEST(ProcProto, StartJobRoundTrips) {
+  ProcMsg msg;
+  msg.type = ProcMsgType::kStartJob;
+  msg.epoch = 2;
+  msg.job_name = kWindowedCountJobName;
+  msg.node_id = 1;
+  msg.node_count = 3;
+  msg.clock_anchor = 123456789;
+  msg.threads = 2;
+  msg.events_per_second = 20000.5;
+  msg.duration = 1'200'000'000;
+  msg.key_count = 16;
+  msg.window_size = 50'000'000;
+  msg.watermark_interval = 5'000'000;
+  msg.restore_count = 115;
+  msg.data_paths = {"/tmp/a.sock", "/tmp/b.sock", "/tmp/c.sock"};
+
+  auto decoded = DecodeControlMessage(EncodeControlMessage(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, ProcMsgType::kStartJob);
+  EXPECT_EQ(decoded->epoch, 2);
+  EXPECT_EQ(decoded->job_name, kWindowedCountJobName);
+  EXPECT_EQ(decoded->node_id, 1);
+  EXPECT_EQ(decoded->node_count, 3);
+  EXPECT_EQ(decoded->clock_anchor, 123456789);
+  EXPECT_EQ(decoded->threads, 2);
+  EXPECT_EQ(decoded->events_per_second, 20000.5);
+  EXPECT_EQ(decoded->duration, 1'200'000'000);
+  EXPECT_EQ(decoded->key_count, 16);
+  EXPECT_EQ(decoded->window_size, 50'000'000);
+  EXPECT_EQ(decoded->watermark_interval, 5'000'000);
+  EXPECT_EQ(decoded->restore_count, 115);
+  EXPECT_EQ(decoded->data_paths, msg.data_paths);
+}
+
+TEST(ProcProto, SnapshotEntryRoundTrips) {
+  ProcMsg msg;
+  msg.type = ProcMsgType::kSnapshotEntry;
+  msg.epoch = 1;
+  msg.snapshot_id = 4;
+  msg.vertex_id = 2;
+  msg.writer_index = 1;
+  msg.key_hash = 0xDEADBEEFCAFEF00Dull;
+  msg.key = Bytes{1, 2, 3};
+  msg.value = Bytes{9, 8};
+
+  auto decoded = DecodeControlMessage(EncodeControlMessage(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->snapshot_id, 4);
+  EXPECT_EQ(decoded->vertex_id, 2);
+  EXPECT_EQ(decoded->writer_index, 1);
+  EXPECT_EQ(decoded->key_hash, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(decoded->key, (Bytes{1, 2, 3}));
+  EXPECT_EQ(decoded->value, (Bytes{9, 8}));
+}
+
+TEST(ProcProto, SinkResultAndSimpleMessagesRoundTrip) {
+  ProcMsg result;
+  result.type = ProcMsgType::kSinkResult;
+  result.epoch = 3;
+  result.result_key = 7;
+  result.window_start = 100;
+  result.window_end = 150;
+  result.result_value = 625;
+  auto decoded = DecodeControlMessage(EncodeControlMessage(result));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->result_key, 7u);
+  EXPECT_EQ(decoded->window_end, 150);
+  EXPECT_EQ(decoded->result_value, 625);
+
+  for (ProcMsgType type : {ProcMsgType::kReady, ProcMsgType::kGo,
+                           ProcMsgType::kStopAttempt, ProcMsgType::kShutdown,
+                           ProcMsgType::kAttemptStopped, ProcMsgType::kAttemptDone}) {
+    ProcMsg simple;
+    simple.type = type;
+    simple.epoch = 9;
+    auto d = DecodeControlMessage(EncodeControlMessage(simple));
+    ASSERT_TRUE(d.ok()) << static_cast<int>(type);
+    EXPECT_EQ(d->type, type);
+    EXPECT_EQ(d->epoch, 9);
+  }
+}
+
+TEST(ProcProto, RejectsMalformedMessages) {
+  // Not a control frame at all.
+  EXPECT_FALSE(DecodeControlMessage(Bytes{1, 2, 3}).ok());
+
+  // Valid CONTROL frame whose body is an unknown message type.
+  BytesWriter body;
+  body.WriteU8(200);
+  BytesWriter w;
+  ASSERT_TRUE(net::EncodeControlFrame(body.Take(), &w).ok());
+  EXPECT_FALSE(DecodeControlMessage(w.Take()).ok());
+
+  // Truncations of a real message must all error.
+  const Bytes frame = EncodeControlMessage([] {
+    ProcMsg m;
+    m.type = ProcMsgType::kHello;
+    m.member_index = 2;
+    m.pid = 1234;
+    m.data_path = "/tmp/data.sock";
+    return m;
+  }());
+  for (size_t len = 0; len < frame.size(); ++len) {
+    Bytes prefix(frame.begin(), frame.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(DecodeControlMessage(prefix).ok()) << "truncation to " << len;
+  }
+
+  // Trailing garbage after a complete message must error.
+  {
+    ProcMsg m;
+    m.type = ProcMsgType::kGo;
+    Bytes inner = EncodeControlMessage(m);
+    // Rebuild the CONTROL frame with an extended body.
+    auto decoded = net::DecodeFrame(inner);
+    ASSERT_TRUE(decoded.ok());
+    Bytes body_bytes = decoded->control_body;
+    body_bytes.push_back(0xFF);
+    BytesWriter rewrapped;
+    ASSERT_TRUE(net::EncodeControlFrame(body_bytes, &rewrapped).ok());
+    EXPECT_FALSE(DecodeControlMessage(rewrapped.Take()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace jet::procmode
