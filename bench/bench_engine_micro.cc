@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/rng.h"
@@ -180,17 +181,6 @@ BENCHMARK(BM_WindowAccumulate)->Arg(100)->Arg(10'000)->Arg(1'000'000);
 // JSON mode: the exchange-path scenarios behind BENCH_engine_micro.json.
 // ---------------------------------------------------------------------------
 
-struct ScenarioResult {
-  std::string scenario;
-  std::string mode;  // "per_item" | "batched"
-  int64_t items = 0;
-  double elapsed_sec = 0;
-  double throughput = 0;  // items / sec
-  int64_t p50_ns = 0;
-  int64_t p99_ns = 0;
-  int64_t p9999_ns = 0;
-};
-
 // One exchange hop as the engine runs it: producer SPSC queue -> tasklet
 // inbox -> wire frame -> receiver staging -> outbox fan-out. `batched`
 // uses the bulk paths of the batched exchange (SpscQueue::DrainWhile,
@@ -199,8 +189,8 @@ struct ScenarioResult {
 // copy-based broadcast). The latency histogram records per-item
 // nanoseconds, chunk by chunk, so the tail percentiles reflect jitter and
 // not just the mean.
-ScenarioResult RunExchangeHop(const std::string& scenario, bool batched,
-                              int32_t fan_out, int64_t chunks) {
+jet::bench::BenchScenario RunExchangeHop(const std::string& scenario, bool batched,
+                                         int32_t fan_out, int64_t chunks) {
   constexpr int kChunk = 256;
   SpscQueue<Item> queue(1024);
   Inbox inbox;
@@ -252,22 +242,13 @@ ScenarioResult RunExchangeHop(const std::string& scenario, bool batched,
     }
   }
 
-  ScenarioResult r;
-  r.scenario = scenario;
-  r.mode = batched ? "batched" : "per_item";
-  r.items = measured_items;
-  r.elapsed_sec = static_cast<double>(measured_nanos) / 1e9;
-  r.throughput =
-      r.elapsed_sec > 0 ? static_cast<double>(measured_items) / r.elapsed_sec : 0;
-  r.p50_ns = latency.ValueAtQuantile(0.50);
-  r.p99_ns = latency.ValueAtQuantile(0.99);
-  r.p9999_ns = latency.ValueAtQuantile(0.9999);
-  return r;
+  return jet::bench::MakeScenario(scenario, batched ? "batched" : "per_item",
+                                  measured_items, measured_nanos, latency);
 }
 
 int RunJsonScenarios(const std::string& path) {
   constexpr int64_t kChunks = 4096;  // 1M items per scenario run
-  std::vector<ScenarioResult> results;
+  std::vector<jet::bench::BenchScenario> results;
   // Shuffle-heavy hop: broadcast fan-out of 4 consumers, the worst case
   // for the copy-per-bucket OfferToAll the batched path replaced.
   results.push_back(RunExchangeHop("shuffle_exchange", /*batched=*/false, 4, kChunks));
@@ -277,31 +258,8 @@ int RunJsonScenarios(const std::string& path) {
   results.push_back(RunExchangeHop("unicast_exchange", /*batched=*/false, 1, kChunks));
   results.push_back(RunExchangeHop("unicast_exchange", /*batched=*/true, 1, kChunks));
 
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"engine_micro\",\n  \"scenarios\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ScenarioResult& r = results[i];
-    std::fprintf(f,
-                 "    {\"scenario\": \"%s\", \"mode\": \"%s\", \"items\": %lld, "
-                 "\"elapsed_sec\": %.6f, \"throughput_items_per_sec\": %.0f, "
-                 "\"latency_ns\": {\"p50\": %lld, \"p99\": %lld, \"p9999\": %lld}}%s\n",
-                 r.scenario.c_str(), r.mode.c_str(), static_cast<long long>(r.items),
-                 r.elapsed_sec, r.throughput, static_cast<long long>(r.p50_ns),
-                 static_cast<long long>(r.p99_ns), static_cast<long long>(r.p9999_ns),
-                 i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  for (const ScenarioResult& r : results) {
-    std::printf("%-18s %-8s  %12.0f items/s  p50 %6lld ns  p99 %6lld ns  p99.99 %6lld ns\n",
-                r.scenario.c_str(), r.mode.c_str(), r.throughput,
-                static_cast<long long>(r.p50_ns), static_cast<long long>(r.p99_ns),
-                static_cast<long long>(r.p9999_ns));
-  }
+  if (!jet::bench::WriteBenchJson(path, "engine_micro", results)) return 1;
+  for (const jet::bench::BenchScenario& r : results) jet::bench::PrintScenarioRow(r);
   return 0;
 }
 

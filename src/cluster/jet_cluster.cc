@@ -250,6 +250,15 @@ JetCluster::Diagnostics JetCluster::DiagnosticsDump() const {
   add("imdg.removes", obs::MetricKind::kCounter, gs.removes);
   add("imdg.replicated_bytes", obs::MetricKind::kCounter, gs.replicated_bytes);
   add("imdg.migrated_entries", obs::MetricKind::kCounter, gs.migrated_entries);
+  // Capacity surfaces (primary replicas): how much state the grid holds
+  // and how evenly the partitions carry it. The skew gauge is scaled by
+  // 1000 (1000 = perfectly even) because the exposition value is integral.
+  imdg::GridUsage gu = grid_.Usage();
+  add("imdg.entries", obs::MetricKind::kGauge, gu.entries);
+  add("imdg.bytes_approx", obs::MetricKind::kGauge, gu.bytes_approx);
+  add("imdg.partition_max_entries", obs::MetricKind::kGauge, gu.max_partition_entries);
+  add("imdg.partition_skew_x1000", obs::MetricKind::kGauge,
+      static_cast<int64_t>(gu.partition_skew * 1000.0));
   add("imdg.snapshots_aborted", obs::MetricKind::kCounter, store_.aborted_count());
   add("net.messages_sent", obs::MetricKind::kCounter, network_.sent_count());
   add("net.messages_delivered", obs::MetricKind::kCounter, network_.delivered_count());

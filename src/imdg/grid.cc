@@ -39,10 +39,8 @@ Result<int64_t> DataGrid::AddMember(MemberId member) {
     migrations = table_.AddMember(member);
   }
   int64_t migrated = ApplyMigrations(migrations);
-  {
-    jet::MutexLock s(stats_mutex_);
-    stats_.migrated_entries += migrated;
-  }
+  // jet-verify: allow(single-writer) — monotonic stats counter (RMW)
+  stat_migrated_entries_.fetch_add(migrated, std::memory_order_relaxed);
   return migrated;
 }
 
@@ -55,8 +53,8 @@ Status DataGrid::RemoveMember(MemberId member) {
   members_.erase(it);
   auto migrations = table_.RemoveMember(member);
   int64_t migrated = ApplyMigrations(migrations);
-  jet::MutexLock s(stats_mutex_);
-  stats_.migrated_entries += migrated;
+  // jet-verify: allow(single-writer) — monotonic stats counter (RMW)
+  stat_migrated_entries_.fetch_add(migrated, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -137,12 +135,18 @@ int64_t DataGrid::AddEntryListener(const std::string& map_name, EntryListener li
   jet::MutexLock lock(listener_mutex_);
   int64_t id = next_listener_id_++;
   listeners_[id] = {map_name, std::move(listener)};
+  // Release-publish after the map insert so a Put seeing count > 0 also
+  // sees the listener under listener_mutex_.
+  listener_count_.store(static_cast<int64_t>(listeners_.size()),
+                        std::memory_order_release);
   return id;
 }
 
 void DataGrid::RemoveEntryListener(int64_t listener_id) {
   jet::MutexLock lock(listener_mutex_);
   listeners_.erase(listener_id);
+  listener_count_.store(static_cast<int64_t>(listeners_.size()),
+                        std::memory_order_release);
 }
 
 std::vector<std::pair<Bytes, Bytes>> DataGrid::EntriesWhere(
@@ -183,20 +187,25 @@ Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partiti
         replicated += static_cast<int64_t>(key.size() + value.size());
       }
     }
-    jet::MutexLock s(stats_mutex_);
-    ++stats_.puts;
-    stats_.replicated_bytes += replicated;
+    // jet-verify: allow(single-writer) — monotonic stats counters (RMW)
+    stat_puts_.fetch_add(1, std::memory_order_relaxed);
+    stat_replicated_bytes_.fetch_add(replicated, std::memory_order_relaxed);
   }
   // Notify listeners outside every grid lock (per the EntryListener
-  // contract) so a listener may re-enter the grid.
-  std::vector<EntryListener> to_notify;
-  {
-    jet::MutexLock l(listener_mutex_);
-    for (const auto& [id, entry] : listeners_) {
-      if (entry.first == map_name) to_notify.push_back(entry.second);
+  // contract) so a listener may re-enter the grid. The acquire load skips
+  // the lock + registry scan entirely when no listener exists — the
+  // common case, which at bulk-load rates would otherwise put a global
+  // mutex on every Put.
+  if (listener_count_.load(std::memory_order_acquire) > 0) {
+    std::vector<EntryListener> to_notify;
+    {
+      jet::MutexLock l(listener_mutex_);
+      for (const auto& [id, entry] : listeners_) {
+        if (entry.first == map_name) to_notify.push_back(entry.second);
+      }
     }
+    for (const auto& fn : to_notify) fn(key, value);
   }
-  for (const auto& fn : to_notify) fn(key, value);
   return Status::OK();
 }
 
@@ -209,10 +218,8 @@ Result<std::optional<Bytes>> DataGrid::Get(const std::string& map_name,
   MemberId primary = table_.PrimaryFor(partition);
   if (primary == kInvalidMember) return UnavailableError("no members in grid");
   const PartitionStore* store = StoreForConst(primary, map_name, partition);
-  {
-    jet::MutexLock s(stats_mutex_);
-    ++stats_.gets;
-  }
+  // jet-verify: allow(single-writer) — monotonic stats counter (RMW)
+  stat_gets_.fetch_add(1, std::memory_order_relaxed);
   if (store == nullptr) return std::optional<Bytes>();
   auto it = store->find(key);
   if (it == store->end()) return std::optional<Bytes>();
@@ -234,8 +241,8 @@ Result<bool> DataGrid::Remove(const std::string& map_name, const Bytes& key) {
     PartitionStore* backup_store = StoreFor(backup, map_name, partition);
     if (backup_store != nullptr) backup_store->erase(key);
   }
-  jet::MutexLock s(stats_mutex_);
-  ++stats_.removes;
+  // jet-verify: allow(single-writer) — monotonic stats counter (RMW)
+  stat_removes_.fetch_add(1, std::memory_order_relaxed);
   return removed;
 }
 
@@ -297,8 +304,69 @@ void DataGrid::ForEachInPartition(
 }
 
 GridStats DataGrid::stats() const {
-  jet::MutexLock s(stats_mutex_);
-  return stats_;
+  GridStats s;
+  s.puts = stat_puts_.load(std::memory_order_relaxed);
+  s.gets = stat_gets_.load(std::memory_order_relaxed);
+  s.removes = stat_removes_.load(std::memory_order_relaxed);
+  s.replicated_bytes = stat_replicated_bytes_.load(std::memory_order_relaxed);
+  s.migrated_entries = stat_migrated_entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status DataGrid::Reserve(const std::string& map_name, int64_t expected_entries) {
+  if (expected_entries < 0) return InvalidArgumentError("negative reservation");
+  jet::ReaderLock layout(layout_rw_);
+  const int32_t partitions = table_.partition_count();
+  if (partitions <= 0 || table_.members().empty()) {
+    return UnavailableError("no members in grid");
+  }
+  // Even key placement puts n/p entries in each partition; reserve ~25%
+  // above that so moderate skew still avoids the final rehash.
+  const auto per_partition = static_cast<size_t>(
+      (expected_entries + partitions - 1) / partitions + expected_entries / (partitions * 4));
+  for (PartitionId p = 0; p < partitions; ++p) {
+    jet::MutexLock lock(LockFor(p));
+    debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
+    for (int32_t i = 0; i <= table_.backup_count(); ++i) {
+      MemberId replica = table_.ReplicaFor(p, i);
+      if (replica == kInvalidMember) continue;
+      PartitionStore* store = StoreFor(replica, map_name, p);
+      if (store != nullptr) store->reserve(per_partition);
+    }
+  }
+  return Status::OK();
+}
+
+GridUsage DataGrid::Usage() const {
+  GridUsage usage;
+  jet::ReaderLock layout(layout_rw_);
+  const int32_t partitions = table_.partition_count();
+  for (PartitionId p = 0; p < partitions; ++p) {
+    jet::MutexLock lock(LockFor(p));
+    debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
+    MemberId primary = table_.PrimaryFor(p);
+    if (primary == kInvalidMember) continue;
+    auto member_it = members_.find(primary);
+    if (member_it == members_.end()) continue;
+    int64_t partition_entries = 0;
+    jet::MutexLock member_layout(member_it->second->layout_mutex);
+    for (const auto& [map_name, map_partitions] : member_it->second->maps) {
+      auto part_it = map_partitions.find(p);
+      if (part_it == map_partitions.end()) continue;
+      partition_entries += static_cast<int64_t>(part_it->second.size());
+      for (const auto& [k, v] : part_it->second) {
+        usage.bytes_approx += static_cast<int64_t>(k.size() + v.size());
+      }
+    }
+    usage.entries += partition_entries;
+    usage.max_partition_entries = std::max(usage.max_partition_entries, partition_entries);
+  }
+  if (usage.entries > 0 && partitions > 0) {
+    const double mean =
+        static_cast<double>(usage.entries) / static_cast<double>(partitions);
+    usage.partition_skew = static_cast<double>(usage.max_partition_entries) / mean;
+  }
+  return usage;
 }
 
 Status DataGrid::CheckReplicaConsistency(const std::string& map_name) const {

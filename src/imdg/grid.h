@@ -1,6 +1,7 @@
 #ifndef JETSIM_IMDG_GRID_H_
 #define JETSIM_IMDG_GRID_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -42,6 +43,20 @@ struct GridStats {
   int64_t migrated_entries = 0;  // entries copied by rebalancing
 };
 
+/// Capacity usage over primary replicas — the `imdg.*` capacity surfaces
+/// rendered by DiagnosticsDump. Entry counts are exact at scan time;
+/// `bytes_approx` sums key + value payload bytes only (hash-table overhead
+/// excluded), hence "approx".
+struct GridUsage {
+  int64_t entries = 0;
+  int64_t bytes_approx = 0;
+  /// Entries in the fullest partition (hot-partition detector).
+  int64_t max_partition_entries = 0;
+  /// max / mean entries per partition: 1.0 is perfectly even placement,
+  /// large values mean key skew is concentrating state (0 when empty).
+  double partition_skew = 0;
+};
+
 /// In-memory data grid: a partitioned, replicated key-value store modeling
 /// Hazelcast IMDG (§2.4, §4.2). All replicas live in this process — each
 /// member has its own physical store — so replication, backup promotion on
@@ -69,9 +84,9 @@ struct GridStats {
 /// Lock order (audited; the JET_EXCLUDES annotations on the entry points
 /// keep re-entrant acquisitions from regressing it): layout_rw_ (shared
 /// for entry ops, exclusive for layout mutations) → one partition lock →
-/// MemberStore::layout_mutex. stats_mutex_ and listener_mutex_ are leaf
-/// locks never held across any other acquisition, and listeners are
-/// invoked outside all of them.
+/// MemberStore::layout_mutex. listener_mutex_ is a leaf lock never held
+/// across any other acquisition, statistics are lock-free atomic tallies,
+/// and listeners are invoked outside every lock.
 class DataGrid {
  public:
   /// Creates a grid with the given replication factor. Members are added
@@ -158,6 +173,21 @@ class DataGrid {
   int64_t TableVersion() const;
   Status ValidateTable() const;
 
+  /// Pre-sizes the per-partition hash stores of `map_name` on every
+  /// replica for `expected_entries` across the whole map, so a bulk load
+  /// (snapshot write, large-state job warm-up) pays no incremental rehash
+  /// storms. An unordered_map rehash is O(partition entries) and lands on
+  /// whichever Put crosses the load factor — at 1M+ entries those spikes
+  /// dominate the put-latency tail (see bench_shufflebench's imdg_load
+  /// scenario). Idempotent; reserving below the current size is a no-op.
+  Status Reserve(const std::string& map_name, int64_t expected_entries)
+      JET_EXCLUDES(layout_rw_);
+
+  /// Scans primary replicas and reports capacity usage (all maps
+  /// combined). Takes each partition lock once; intended for diagnostics
+  /// cadence, not per-operation use.
+  GridUsage Usage() const JET_EXCLUDES(layout_rw_);
+
   /// Counters; not synchronized with in-flight operations.
   GridStats stats() const;
 
@@ -213,14 +243,27 @@ class DataGrid {
   // Debug-only (empty in release): tracks which thread holds each
   // partition lock so StoreFor can assert its locking contract.
   mutable std::vector<debug::HoldTracker> partition_hold_;
-  mutable jet::Mutex stats_mutex_;
-  mutable GridStats stats_ JET_GUARDED_BY(stats_mutex_);
+  // Statistics tallies. Relaxed atomic RMWs instead of a mutex: the old
+  // global stats_mutex_ serialized every Put/Get/Remove across all
+  // partitions — a measurable scalability ceiling the striped partition
+  // locks were built to avoid. Counters are monotonic and only read by
+  // stats(); no ordering is needed.
+  mutable std::atomic<int64_t> stat_puts_{0};
+  mutable std::atomic<int64_t> stat_gets_{0};
+  mutable std::atomic<int64_t> stat_removes_{0};
+  mutable std::atomic<int64_t> stat_replicated_bytes_{0};
+  mutable std::atomic<int64_t> stat_migrated_entries_{0};
 
   mutable jet::Mutex listener_mutex_;
   int64_t next_listener_id_ JET_GUARDED_BY(listener_mutex_) = 1;
   // listener id -> (map name, callback)
   std::map<int64_t, std::pair<std::string, EntryListener>> listeners_
       JET_GUARDED_BY(listener_mutex_);
+  // Fast-path guard for the per-Put listener scan: when no listener is
+  // registered (the overwhelmingly common case — only CDC-style jobs
+  // attach them), Put skips the listener_mutex_ acquisition and the
+  // registry scan entirely.
+  std::atomic<int64_t> listener_count_{0};
 };
 
 }  // namespace jet::imdg

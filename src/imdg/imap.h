@@ -136,6 +136,10 @@ class IMap {
     return out;
   }
 
+  /// Pre-sizes the map's per-partition hash stores for `expected_entries`
+  /// (see DataGrid::Reserve) so bulk loads avoid incremental rehashes.
+  Status Reserve(int64_t expected_entries) { return grid_->Reserve(name_, expected_entries); }
+
   /// Number of entries.
   int64_t Size() const { return grid_->Size(name_); }
 

@@ -1,12 +1,34 @@
 #include "net/wire_format.h"
 
+#include <atomic>
 #include <string>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "core/processors_window.h"
 
 namespace jet::net {
 namespace {
+
+// ---- payload-codec registry ----------------------------------------------
+//
+// Registration (rare, startup-time) goes through g_registry_mutex; the
+// per-item encode/decode paths read only the atomics below and never
+// block. Publication order matters: a node is fully built before the
+// release-store makes it visible, and readers acquire-load before
+// touching it.
+
+using internal::RegisteredPayloadCodec;
+
+jet::Mutex& RegistryMutex() {
+  static jet::Mutex mu;
+  return mu;
+}
+
+// Encode-side chain of registered codecs (walked after the built-in type
+// tests fail) and decode-side O(1) tag dispatch.
+std::atomic<const RegisteredPayloadCodec*> g_registered_head{nullptr};
+std::atomic<const RegisteredPayloadCodec*> g_registered_by_tag[256]{};
 
 using core::Any;
 using core::Item;
@@ -52,33 +74,45 @@ Status DecodeWindowResult(BytesReader* r, WindowResultI64* out) {
 // a scratch writer so the length prefix is exact.
 Status EncodePayload(const Any& payload, BytesWriter* w) {
   BytesWriter body;
-  PayloadTag tag;
+  uint8_t tag;
   if (const auto* v = payload.TryAs<int64_t>()) {
-    tag = PayloadTag::kI64;
+    tag = static_cast<uint8_t>(PayloadTag::kI64);
     body.WriteVarI64(*v);
   } else if (const auto* v = payload.TryAs<uint64_t>()) {
-    tag = PayloadTag::kU64;
+    tag = static_cast<uint8_t>(PayloadTag::kU64);
     body.WriteVarU64(*v);
   } else if (const auto* v = payload.TryAs<double>()) {
-    tag = PayloadTag::kDouble;
+    tag = static_cast<uint8_t>(PayloadTag::kDouble);
     body.WriteDouble(*v);
   } else if (const auto* v = payload.TryAs<std::string>()) {
-    tag = PayloadTag::kString;
+    tag = static_cast<uint8_t>(PayloadTag::kString);
     body.AppendRaw(v->data(), v->size());
   } else if (const auto* v = payload.TryAs<Bytes>()) {
-    tag = PayloadTag::kBytes;
+    tag = static_cast<uint8_t>(PayloadTag::kBytes);
     body.AppendRaw(v->data(), v->size());
   } else if (const auto* v = payload.TryAs<KeyedFrameI64>()) {
-    tag = PayloadTag::kKeyedFrameI64;
+    tag = static_cast<uint8_t>(PayloadTag::kKeyedFrameI64);
     EncodeKeyedFrame(*v, &body);
   } else if (const auto* v = payload.TryAs<WindowResultI64>()) {
-    tag = PayloadTag::kWindowResultI64;
+    tag = static_cast<uint8_t>(PayloadTag::kWindowResultI64);
     EncodeWindowResult(*v, &body);
   } else {
-    return UnimplementedError(
-        "no wire codec for this payload type; pre-serialize it to jet::Bytes");
+    const RegisteredPayloadCodec* codec = nullptr;
+    for (const auto* c = g_registered_head.load(std::memory_order_acquire);
+         c != nullptr; c = c->next) {
+      if (c->try_encode(payload, &body)) {
+        codec = c;
+        break;
+      }
+    }
+    if (codec == nullptr) {
+      return UnimplementedError(
+          "no wire codec for this payload type; register one with "
+          "RegisterPayloadCodec or pre-serialize it to jet::Bytes");
+    }
+    tag = codec->tag;
   }
-  w->WriteU8(static_cast<uint8_t>(tag));
+  w->WriteU8(tag);
   w->WriteBytes(body.buffer());
   return Status::OK();
 }
@@ -129,8 +163,15 @@ Status DecodePayload(BytesReader* r, Any* out) {
       *out = Any::Of<WindowResultI64>(v);
       break;
     }
-    default:
-      return InvalidArgumentError("unknown payload tag " + std::to_string(raw_tag));
+    default: {
+      const RegisteredPayloadCodec* codec =
+          g_registered_by_tag[raw_tag].load(std::memory_order_acquire);
+      if (codec == nullptr) {
+        return InvalidArgumentError("unknown payload tag " + std::to_string(raw_tag));
+      }
+      JET_RETURN_IF_ERROR(codec->decode(&br, out));
+      break;
+    }
   }
   if (!br.AtEnd()) return InvalidArgumentError("payload body has trailing bytes");
   return Status::OK();
@@ -169,6 +210,48 @@ Status ReadHopIdentity(BytesReader* r, FrameHeader* header) {
 }
 
 }  // namespace
+
+namespace internal {
+
+Status RegisterPayloadCodecNode(RegisteredPayloadCodec* node) {
+  // Takes ownership: the node is either published into the registry
+  // (and lives for the process) or deleted here.
+  if (node->tag < kFirstRegisteredPayloadTag) {
+    Status s = InvalidArgumentError(
+        "payload tag " + std::to_string(node->tag) +
+        " is below the registered-tag range (" +
+        std::to_string(kFirstRegisteredPayloadTag) + "..255)");
+    delete node;
+    return s;
+  }
+  MutexLock lock(RegistryMutex());
+  const RegisteredPayloadCodec* existing =
+      g_registered_by_tag[node->tag].load(std::memory_order_acquire);
+  if (existing != nullptr) {
+    Status s = *existing->type == *node->type
+                   ? Status::OK()  // idempotent re-registration
+                   : InvalidArgumentError(
+                         "payload tag " + std::to_string(node->tag) +
+                         " already registered for a different type");
+    delete node;
+    return s;
+  }
+  for (const auto* c = g_registered_head.load(std::memory_order_acquire);
+       c != nullptr; c = c->next) {
+    if (*c->type == *node->type) {
+      Status s = InvalidArgumentError(
+          "payload type already registered under tag " + std::to_string(c->tag));
+      delete node;
+      return s;
+    }
+  }
+  node->next = g_registered_head.load(std::memory_order_acquire);
+  g_registered_by_tag[node->tag].store(node, std::memory_order_release);
+  g_registered_head.store(node, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace internal
 
 Status EncodeItem(const Item& item, BytesWriter* w) {
   w->WriteU8(static_cast<uint8_t>(item.kind));

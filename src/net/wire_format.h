@@ -2,6 +2,8 @@
 #define JETSIM_NET_WIRE_FORMAT_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/serde.h"
@@ -59,7 +61,82 @@ enum class PayloadTag : uint8_t {
   // Composite types of the standard two-stage windowed aggregation jobs.
   kKeyedFrameI64 = 16,    ///< core::KeyedFrame<int64_t>
   kWindowResultI64 = 17,  ///< core::WindowResult<int64_t>
+  // 18.. allocated through RegisterPayloadCodec (workload subsystems).
+  // The allocations are part of the committed format too: record each one
+  // here even though the codec lives with its subsystem.
+  kShuffleBenchRecord = 18,  ///< shufflebench::Record (src/shufflebench/wire.h)
 };
+
+/// First tag available to RegisterPayloadCodec. Tags below this are the
+/// built-in codecs hardwired into EncodePayload/DecodePayload.
+inline constexpr uint8_t kFirstRegisteredPayloadTag = 18;
+
+/// Extensible typed-payload registry.
+///
+/// Workload subsystems (nexmark, shufflebench, ...) own record types the
+/// core codec cannot know about. Registering a codec gives such a type a
+/// first-class wire tag, so `serialize_exchange_frames` mode pays the
+/// type's real serde cost instead of requiring producers to pre-serialize
+/// to the opaque kBytes fallback.
+///
+/// Contract:
+///  - `tag` must be >= kFirstRegisteredPayloadTag. Allocations are
+///    append-only format surface: record them in PayloadTag above.
+///  - Registration is process-wide and thread-safe. Re-registering the
+///    same (tag, type) pair is idempotent (OK); a conflicting
+///    registration — same tag, different type, or same type, different
+///    tag — returns InvalidArgumentError and leaves the registry as-is.
+///  - `encode` writes the body only (no tag, no length — the framing
+///    layer adds both). `decode` must consume exactly the body it is
+///    given; DecodePayload rejects trailing body bytes.
+///  - The encode/decode hot paths read the registry lock-free; the
+///    registration path takes a mutex. Register at startup (static
+///    initializer or main), not per-frame.
+template <typename T>
+Status RegisterPayloadCodec(uint8_t tag, void (*encode)(const T&, BytesWriter*),
+                            Status (*decode)(BytesReader*, T*));
+
+namespace internal {
+
+/// Type-erased registry node. Immutable after publication; nodes are
+/// never removed (the registry lives for the process).
+struct RegisteredPayloadCodec {
+  uint8_t tag = 0;
+  const std::type_info* type = nullptr;
+  /// Returns false if `payload` does not hold this codec's type;
+  /// otherwise writes the body into `w` and returns true.
+  std::function<bool(const core::Any&, BytesWriter*)> try_encode;
+  /// Decodes one body into an Any of this codec's type.
+  std::function<Status(BytesReader*, core::Any*)> decode;
+  const RegisteredPayloadCodec* next = nullptr;  ///< encode-side chain
+};
+
+/// Takes ownership of `node`: published into the registry on success,
+/// deleted on idempotent re-registration or rejection.
+Status RegisterPayloadCodecNode(RegisteredPayloadCodec* node);
+
+}  // namespace internal
+
+template <typename T>
+Status RegisterPayloadCodec(uint8_t tag, void (*encode)(const T&, BytesWriter*),
+                            Status (*decode)(BytesReader*, T*)) {
+  auto* node = new internal::RegisteredPayloadCodec;
+  node->tag = tag;
+  node->type = &typeid(T);
+  node->try_encode = [encode](const core::Any& payload, BytesWriter* w) {
+    const T* v = payload.TryAs<T>();
+    if (v == nullptr) return false;
+    encode(*v, w);
+    return true;
+  };
+  node->decode = [decode](BytesReader* r, core::Any* out) {
+    T v;
+    JET_RETURN_IF_ERROR(decode(r, &v));
+    *out = core::Any::Of<T>(std::move(v));
+    return Status::OK();
+  };
+  return internal::RegisterPayloadCodecNode(node);  // takes ownership
+}
 
 /// Identity of a data/ack frame: which directed hop of which edge it
 /// belongs to, and which execution epoch (attempt) produced it. The epoch

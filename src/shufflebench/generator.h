@@ -1,0 +1,112 @@
+#ifndef JETSIM_SHUFFLEBENCH_GENERATOR_H_
+#define JETSIM_SHUFFLEBENCH_GENERATOR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/processors_basic.h"
+#include "shufflebench/record.h"
+
+namespace jet::shufflebench {
+
+/// Knobs of the ShuffleBench record stream. Defaults follow the paper's
+/// base setup scaled to one box: uniform keys, small opaque payloads.
+struct GeneratorConfig {
+  /// Distinct record keys. The headline scenarios sweep 1e4 / 1e5 / 1e6.
+  int64_t key_cardinality = 100'000;
+  /// Opaque payload bytes carried by every record.
+  int32_t payload_bytes = 64;
+  /// Zipf skew exponent; 0 disables skew (uniform key draw). With s > 0,
+  /// key rank r is drawn with probability proportional to 1 / (r+1)^s, so
+  /// a handful of keys dominate — the hot-partition case.
+  double zipf_exponent = 0.0;
+  /// Seed mixed into every derived pseudo-random draw (keys and payload
+  /// bytes alike).
+  uint64_t seed = 0x5EEDBA5EULL;
+};
+
+/// Deterministic record stream: record `seq` is a pure function of
+/// (config, seq), so replay after recovery regenerates byte-identical
+/// records (the replayable-source property of §4.5), and two generators
+/// with the same config produce byte-identical streams.
+///
+/// The Zipf path precomputes the CDF over key ranks once at construction
+/// (O(cardinality) doubles, built deterministically from the config), then
+/// maps a hash-derived uniform draw through it with a binary search per
+/// record. The uniform path is a plain modulo.
+class RecordGenerator {
+ public:
+  explicit RecordGenerator(GeneratorConfig config) : config_(config) {
+    if (config_.zipf_exponent > 0.0) {
+      zipf_cdf_.reserve(static_cast<size_t>(config_.key_cardinality));
+      double total = 0;
+      for (int64_t r = 0; r < config_.key_cardinality; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), config_.zipf_exponent);
+        zipf_cdf_.push_back(total);
+      }
+      for (double& c : zipf_cdf_) c /= total;
+    }
+  }
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Derives record `seq`. Pure in (config, seq).
+  Record MakeRecord(int64_t seq) const {
+    Record rec;
+    const uint64_t h =
+        HashU64(static_cast<uint64_t>(seq) * 0x9E3779B97F4A7C15ULL ^ config_.seed);
+    rec.key = DrawKey(h);
+    rec.payload.resize(static_cast<size_t>(config_.payload_bytes));
+    // Fill the payload 8 bytes at a time from a per-record hash chain, so
+    // payload content is deterministic but incompressible-looking.
+    uint64_t chunk_seed = HashU64(h ^ 0xA5A5A5A5A5A5A5A5ULL);
+    for (size_t off = 0; off < rec.payload.size(); off += 8) {
+      chunk_seed = HashU64(chunk_seed);
+      const size_t n = std::min<size_t>(8, rec.payload.size() - off);
+      for (size_t b = 0; b < n; ++b) {
+        rec.payload[off + b] = static_cast<uint8_t>(chunk_seed >> (8 * b));
+      }
+    }
+    return rec;
+  }
+
+  /// Routing hash of a record.
+  static uint64_t KeyHash(const Record& rec) { return HashU64(rec.key); }
+
+ private:
+  uint64_t DrawKey(uint64_t h) const {
+    if (zipf_cdf_.empty()) {
+      return h % static_cast<uint64_t>(config_.key_cardinality);
+    }
+    // 53-bit uniform in [0, 1) from the hash, mapped through the CDF.
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    const auto rank = static_cast<uint64_t>(it - zipf_cdf_.begin());
+    // Scatter ranks over the key space so the hot keys are not 0..k —
+    // rank r deterministically owns key position perm(r).
+    return HashU64(rank ^ config_.seed) % static_cast<uint64_t>(config_.key_cardinality);
+  }
+
+  GeneratorConfig config_;
+  std::vector<double> zipf_cdf_;  ///< empty when zipf_exponent == 0
+};
+
+/// GenFn adapter for GeneratorSourceP<Record>. The generator (and its
+/// Zipf table) is shared immutably by every clone of the closure.
+inline core::GeneratorSourceP<Record>::GenFn MakeRecordGenFn(GeneratorConfig config) {
+  auto gen = std::make_shared<const RecordGenerator>(config);
+  return [gen](int64_t seq) {
+    Record rec = gen->MakeRecord(seq);
+    const uint64_t key_hash = RecordGenerator::KeyHash(rec);
+    return std::make_pair(std::move(rec), key_hash);
+  };
+}
+
+}  // namespace jet::shufflebench
+
+#endif  // JETSIM_SHUFFLEBENCH_GENERATOR_H_

@@ -1,0 +1,72 @@
+#ifndef JETSIM_SHUFFLEBENCH_MATCHER_H_
+#define JETSIM_SHUFFLEBENCH_MATCHER_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/serde.h"
+#include "core/aggregate.h"
+#include "shufflebench/record.h"
+
+namespace jet::shufflebench {
+
+/// Per-key matcher state: a fixed-size byte block every record folds into,
+/// plus a match counter. The byte block models ShuffleBench's "matcher"
+/// holding configurable state per key — it is what makes snapshots large
+/// and windows heavy, which is the point of the workload. The fold is a
+/// position-wise XOR, so state content depends on every record seen
+/// (ordering-insensitive, hence combinable across partial accumulators).
+struct MatcherState {
+  Bytes state;
+  int64_t count = 0;
+};
+
+/// AggregateOperation over Records with `state_bytes_per_key` bytes of
+/// matcher state per key. `finish` reports the match count, so downstream
+/// results are core::WindowResult<int64_t> — the existing wire tag 17 —
+/// while the heavy state stays inside the accumulator (and its
+/// snapshots). No deduct: the XOR fold is its own inverse only per
+/// record, not per frame accumulator with a count.
+inline core::AggregateOperation<Record, MatcherState, int64_t> MatcherAggregate(
+    int32_t state_bytes_per_key) {
+  core::AggregateOperation<Record, MatcherState, int64_t> op;
+  op.create = []() { return MatcherState{}; };
+  op.accumulate = [state_bytes_per_key](MatcherState* acc, const Record& rec) {
+    if (acc->state.size() != static_cast<size_t>(state_bytes_per_key)) {
+      acc->state.assign(static_cast<size_t>(state_bytes_per_key), 0);
+    }
+    // Fold the whole payload into the state block, wrapping around — every
+    // state byte is touched when payloads are at least as large as the
+    // state, and every payload byte always contributes.
+    const size_t n = acc->state.size();
+    if (n != 0) {
+      for (size_t i = 0; i < rec.payload.size(); ++i) {
+        acc->state[i % n] ^= rec.payload[i];
+      }
+    }
+    ++acc->count;
+  };
+  op.combine = [](MatcherState* acc, const MatcherState& other) {
+    if (acc->state.size() < other.state.size()) {
+      acc->state.resize(other.state.size(), 0);
+    }
+    for (size_t i = 0; i < other.state.size(); ++i) acc->state[i] ^= other.state[i];
+    acc->count += other.count;
+  };
+  op.finish = [](const MatcherState& acc) { return acc.count; };
+  op.serialize = [](const MatcherState& acc, BytesWriter* w) {
+    w->WriteVarI64(acc.count);
+    w->WriteBytes(acc.state);
+  };
+  op.deserialize = [](BytesReader* r) {
+    MatcherState acc;
+    (void)r->ReadVarI64(&acc.count);
+    (void)r->ReadBytes(&acc.state);
+    return acc;
+  };
+  return op;
+}
+
+}  // namespace jet::shufflebench
+
+#endif  // JETSIM_SHUFFLEBENCH_MATCHER_H_

@@ -1,0 +1,71 @@
+#include "shufflebench/pipeline.h"
+
+#include <utility>
+
+#include "shufflebench/wire.h"
+
+namespace jet::shufflebench {
+
+Status BuildMatcherPipeline(const PipelineOptions& options, MatcherPipeline* out) {
+  using core::ProcessorMeta;
+  JET_RETURN_IF_ERROR(RegisterShuffleBenchPayload());
+
+  out->collector = std::make_shared<core::SyncCollector<core::WindowResult<int64_t>>>();
+  core::WindowDef window = core::WindowDef::Tumbling(options.window_size);
+  auto op = MatcherAggregate(options.state_bytes_per_key);
+
+  auto source = out->dag.AddVertex(
+      "generate",
+      [options](const ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+        core::GeneratorSourceP<Record>::Options opt;
+        opt.events_per_second = options.events_per_second;
+        opt.duration = options.source_duration;
+        opt.watermark_interval = options.watermark_interval;
+        return std::make_unique<core::GeneratorSourceP<Record>>(
+            MakeRecordGenFn(options.generator), opt);
+      },
+      1);
+  auto match = out->dag.AddVertex(
+      "match",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<core::AccumulateByFrameP<Record, MatcherState, int64_t>>(
+            op, [](const Record& rec) { return rec.key; }, window);
+      },
+      1);
+  auto combine = out->dag.AddVertex(
+      "combine",
+      [op, window](const ProcessorMeta&) {
+        return std::make_unique<core::CombineFramesP<Record, MatcherState, int64_t>>(
+            op, window);
+      },
+      1);
+  auto sink = out->dag.AddVertex(
+      "sink",
+      [collector = out->collector](const ProcessorMeta&) {
+        return std::make_unique<core::CollectSinkP<core::WindowResult<int64_t>>>(
+            collector);
+      },
+      1);
+
+  // The record shuffle: distributed so frames cross members (and the wire
+  // codec when serialize_exchange_frames is on), partitioned so each key's
+  // records converge on one matcher.
+  auto& shuffle = out->dag.AddEdge(source, match);
+  shuffle.routing = core::RoutingPolicy::kPartitioned;
+  shuffle.distributed = true;
+  // Frames then flow to the combiner partitioned by the same key hash;
+  // the shuffle already co-located each key, so this hop stays local.
+  auto& frames = out->dag.AddEdge(match, combine);
+  frames.routing = core::RoutingPolicy::kPartitioned;
+  frames.distributed = true;
+  out->dag.AddEdge(combine, sink);
+  return Status::OK();
+}
+
+int64_t ExpectedRecords(const PipelineOptions& options) {
+  auto period = static_cast<Nanos>(1e9 / options.events_per_second);
+  if (period < 1) period = 1;
+  return (options.source_duration + period - 1) / period;
+}
+
+}  // namespace jet::shufflebench

@@ -1,0 +1,53 @@
+#ifndef JETSIM_SHUFFLEBENCH_PIPELINE_H_
+#define JETSIM_SHUFFLEBENCH_PIPELINE_H_
+
+#include <memory>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/dag.h"
+#include "core/processors_basic.h"
+#include "core/processors_window.h"
+#include "shufflebench/generator.h"
+#include "shufflebench/matcher.h"
+
+namespace jet::shufflebench {
+
+/// Knobs of the standard ShuffleBench matcher job.
+struct PipelineOptions {
+  GeneratorConfig generator;
+  /// Matcher state bytes held per key (the "large state" axis).
+  int32_t state_bytes_per_key = 64;
+  double events_per_second = 100'000;
+  Nanos source_duration = 500 * kNanosPerMilli;
+  Nanos window_size = 50 * kNanosPerMilli;
+  Nanos watermark_interval = 5 * kNanosPerMilli;
+};
+
+/// The built job: a DAG wired as
+///
+///   generate ──[distributed, partitioned]──> match ──[partitioned]──> combine ──> sink
+///
+/// The generate→match hop is the shuffle: every Record crosses the PR 5
+/// batched exchange routed by key hash, and with
+/// JobConfig::serialize_exchange_frames it round-trips through the
+/// registered kShuffleBenchRecord wire codec (real serde cost, not the
+/// opaque-bytes fallback). `match` accumulates per-key MatcherState in
+/// tumbling windows; `combine` merges frames and emits
+/// core::WindowResult<int64_t> match counts into `collector`.
+struct MatcherPipeline {
+  core::Dag dag;
+  std::shared_ptr<core::SyncCollector<core::WindowResult<int64_t>>> collector;
+};
+
+/// Populates `out` from `options` and registers the Record wire codec
+/// (idempotent). `out->dag` must outlive any job submitted from it.
+Status BuildMatcherPipeline(const PipelineOptions& options, MatcherPipeline* out);
+
+/// Records the source will emit over its full lifetime (mirrors
+/// GeneratorSourceP's truncated-period emission schedule).
+int64_t ExpectedRecords(const PipelineOptions& options);
+
+}  // namespace jet::shufflebench
+
+#endif  // JETSIM_SHUFFLEBENCH_PIPELINE_H_

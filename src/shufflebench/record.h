@@ -1,0 +1,27 @@
+#ifndef JETSIM_SHUFFLEBENCH_RECORD_H_
+#define JETSIM_SHUFFLEBENCH_RECORD_H_
+
+#include <cstdint>
+
+#include "common/serde.h"
+
+namespace jet::shufflebench {
+
+/// The ShuffleBench record (Henning et al., arXiv 2403.04570): a routing
+/// key drawn from a configurable cardinality plus a fixed-size opaque
+/// payload. The engine never interprets the payload — it only pays the
+/// cost of shuffling and serializing it — which is exactly what makes the
+/// workload a shuffle benchmark rather than a query benchmark.
+struct Record {
+  uint64_t key = 0;
+  Bytes payload;
+
+  bool operator==(const Record& other) const {
+    return key == other.key && payload == other.payload;
+  }
+  bool operator!=(const Record& other) const { return !(*this == other); }
+};
+
+}  // namespace jet::shufflebench
+
+#endif  // JETSIM_SHUFFLEBENCH_RECORD_H_

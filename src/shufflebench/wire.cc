@@ -1,0 +1,24 @@
+#include "shufflebench/wire.h"
+
+#include "net/wire_format.h"
+
+namespace jet::shufflebench {
+
+void EncodeRecord(const Record& rec, BytesWriter* w) {
+  w->WriteVarU64(rec.key);
+  w->WriteBytes(rec.payload);
+}
+
+Status DecodeRecord(BytesReader* r, Record* out) {
+  JET_RETURN_IF_ERROR(r->ReadVarU64(&out->key));
+  JET_RETURN_IF_ERROR(r->ReadBytes(&out->payload));
+  return Status::OK();
+}
+
+Status RegisterShuffleBenchPayload() {
+  return net::RegisterPayloadCodec<Record>(
+      static_cast<uint8_t>(net::PayloadTag::kShuffleBenchRecord), &EncodeRecord,
+      &DecodeRecord);
+}
+
+}  // namespace jet::shufflebench

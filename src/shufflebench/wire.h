@@ -1,0 +1,24 @@
+#ifndef JETSIM_SHUFFLEBENCH_WIRE_H_
+#define JETSIM_SHUFFLEBENCH_WIRE_H_
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "shufflebench/record.h"
+
+namespace jet::shufflebench {
+
+/// Wire encoding of a Record payload body: varint key, length-prefixed
+/// payload. Registered under net::PayloadTag::kShuffleBenchRecord (18), so
+/// `serialize_exchange_frames` mode pays the record's real serde cost on
+/// the shuffle hop instead of the opaque-bytes fallback.
+void EncodeRecord(const Record& rec, BytesWriter* w);
+Status DecodeRecord(BytesReader* r, Record* out);
+
+/// Registers the Record payload codec with the net wire format. Idempotent
+/// and thread-safe; call before submitting a shufflebench job with
+/// serialize_exchange_frames enabled (BuildMatcherPipeline calls it).
+Status RegisterShuffleBenchPayload();
+
+}  // namespace jet::shufflebench
+
+#endif  // JETSIM_SHUFFLEBENCH_WIRE_H_

@@ -1,0 +1,190 @@
+// IMDG at scale: >=1M entries through an IMap, migration under concurrent
+// writes, capacity/usage accounting, and the partition-count sweep. These
+// carry the `stress` label, so the CI sanitizer lanes run them explicitly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "imdg/grid.h"
+#include "imdg/imap.h"
+
+namespace jet::imdg {
+namespace {
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define JETSIM_SANITIZED 1
+#endif
+#endif
+#if !defined(JETSIM_SANITIZED) && defined(__SANITIZE_ADDRESS__)
+#define JETSIM_SANITIZED 1
+#endif
+
+// Sanitizer lanes run the same scenarios at reduced entry counts (the
+// instrumentation costs ~10-30x); the plain build drives the full >=1M.
+#ifdef JETSIM_SANITIZED
+constexpr int64_t kMillion = 100'000;
+#else
+constexpr int64_t kMillion = 1'000'000;
+#endif
+
+TEST(ImdgStressTest, MillionEntriesThroughIMapWithUsageAccounting) {
+  DataGrid grid(/*backup_count=*/1, /*partition_count=*/271);
+  ASSERT_TRUE(grid.AddMember(1).ok());
+  ASSERT_TRUE(grid.AddMember(2).ok());
+  IMap<uint64_t, std::string> map(&grid, "bulk");
+  ASSERT_TRUE(map.Reserve(kMillion).ok());
+
+  const std::string value = "0123456789abcdef";  // 16 bytes + codec framing
+  for (int64_t i = 0; i < kMillion; ++i) {
+    ASSERT_TRUE(map.Put(static_cast<uint64_t>(i), value).ok());
+  }
+  EXPECT_EQ(map.Size(), kMillion);
+
+  // Point reads still work at scale.
+  auto hit = map.Get(static_cast<uint64_t>(kMillion / 2));
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_EQ(**hit, value);
+
+  // Usage accounting: entries exact; bytes cover key + encoded value; a
+  // uniform load must not concentrate into few partitions.
+  GridUsage usage = grid.Usage();
+  EXPECT_EQ(usage.entries, kMillion);
+  EXPECT_GE(usage.bytes_approx, kMillion * (8 + 16));
+  EXPECT_LE(usage.bytes_approx, kMillion * (8 + 16 + 16));
+  EXPECT_GT(usage.max_partition_entries, 0);
+  EXPECT_GE(usage.partition_skew, 1.0);
+  EXPECT_LT(usage.partition_skew, 1.5) << "uniform keys should spread evenly";
+
+  // Replicas stayed in lockstep through the whole load.
+  ASSERT_TRUE(grid.CheckReplicaConsistency("bulk").ok());
+}
+
+TEST(ImdgStressTest, MigrationUnderConcurrentWrites) {
+  DataGrid grid(/*backup_count=*/1, /*partition_count=*/271);
+  ASSERT_TRUE(grid.AddMember(1).ok());
+  ASSERT_TRUE(grid.AddMember(2).ok());
+  IMap<uint64_t, int64_t> map(&grid, "live");
+
+  const int64_t preload = kMillion / 4;
+  ASSERT_TRUE(map.Reserve(preload).ok());
+  for (int64_t i = 0; i < preload; ++i) {
+    ASSERT_TRUE(map.Put(static_cast<uint64_t>(i), i).ok());
+  }
+
+  // Writers keep mutating while two more members join (each join migrates
+  // partitions under the writers' feet).
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> writes{0};
+  std::thread writer([&]() {
+    Rng rng(99);
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto key = rng.NextBounded(static_cast<uint64_t>(preload));
+      if (map.Put(key, static_cast<int64_t>(key) + 1).ok()) {
+        writes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  auto migrated3 = grid.AddMember(3);
+  ASSERT_TRUE(migrated3.ok());
+  EXPECT_GT(*migrated3, 0) << "a join at this scale must move data";
+  auto migrated4 = grid.AddMember(4);
+  ASSERT_TRUE(migrated4.ok());
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_GT(writes.load(std::memory_order_relaxed), 0);
+
+  // No entry lost, no replica divergence, and the stats saw the
+  // migrations.
+  EXPECT_EQ(map.Size(), preload);
+  ASSERT_TRUE(grid.CheckReplicaConsistency("live").ok());
+  ASSERT_TRUE(grid.ValidateTable().ok());
+  EXPECT_GE(grid.stats().migrated_entries, *migrated3);
+}
+
+TEST(ImdgStressTest, SnapshotSizedStateStaysAccountable) {
+  // Snapshot-size sanity: state entries the size of real matcher
+  // snapshots (4 KiB values) at 6-figure entry counts, with byte
+  // accounting that must track the payload volume.
+  DataGrid grid(/*backup_count=*/1, /*partition_count=*/271);
+  ASSERT_TRUE(grid.AddMember(1).ok());
+  ASSERT_TRUE(grid.AddMember(2).ok());
+
+  const int64_t entries = kMillion / 10;
+  const Bytes value(4096, 0x5A);
+  ASSERT_TRUE(grid.Reserve("snap", entries).ok());
+  for (int64_t i = 0; i < entries; ++i) {
+    BytesWriter key;
+    key.WriteU64(HashU64(static_cast<uint64_t>(i)));
+    ASSERT_TRUE(grid.Put("snap", key.buffer(), value).ok());
+  }
+
+  GridUsage usage = grid.Usage();
+  EXPECT_EQ(usage.entries, entries);
+  EXPECT_GE(usage.bytes_approx, entries * 4096);
+  EXPECT_LT(usage.bytes_approx, entries * (4096 + 64));
+  // Replicated bytes: every put wrote key+value to exactly one backup.
+  EXPECT_GE(grid.stats().replicated_bytes, entries * 4096);
+}
+
+TEST(ImdgStressTest, PartitionCountSweepSpreadsLoad) {
+  for (int32_t partitions : {16, 271, 1024}) {
+    DataGrid grid(/*backup_count=*/1, partitions);
+    ASSERT_TRUE(grid.AddMember(1).ok());
+    ASSERT_TRUE(grid.AddMember(2).ok());
+    IMap<uint64_t, int64_t> map(&grid, "sweep");
+    ASSERT_TRUE(map.Reserve(100'000).ok());
+    for (int64_t i = 0; i < 100'000; ++i) {
+      ASSERT_TRUE(map.Put(HashU64(static_cast<uint64_t>(i)), i).ok());
+    }
+    EXPECT_EQ(map.Size(), 100'000);
+    GridUsage usage = grid.Usage();
+    EXPECT_EQ(usage.entries, 100'000);
+    // The fullest partition must stay near the even share; the tolerable
+    // excess shrinks as partitions get bigger (relative noise drops).
+    const double mean = 100'000.0 / partitions;
+    EXPECT_LT(static_cast<double>(usage.max_partition_entries), mean * 1.6)
+        << "partitions=" << partitions;
+    ASSERT_TRUE(grid.CheckReplicaConsistency("sweep").ok());
+  }
+}
+
+TEST(ImdgStressTest, ReserveIsIdempotentAndPreservesData) {
+  DataGrid grid(/*backup_count=*/1, /*partition_count=*/64);
+  ASSERT_TRUE(grid.AddMember(1).ok());
+  IMap<uint64_t, int64_t> map(&grid, "reserved");
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(map.Put(static_cast<uint64_t>(i), i).ok());
+  }
+  // Reserving mid-life (larger, then smaller-than-current) never disturbs
+  // entries.
+  ASSERT_TRUE(map.Reserve(500'000).ok());
+  ASSERT_TRUE(map.Reserve(10).ok());
+  EXPECT_EQ(map.Size(), 1000);
+  for (int64_t i = 0; i < 1000; i += 97) {
+    auto v = map.Get(static_cast<uint64_t>(i));
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(v->has_value());
+    EXPECT_EQ(**v, i);
+  }
+}
+
+TEST(ImdgStressTest, ReserveRequiresMembers) {
+  DataGrid grid;
+  EXPECT_FALSE(grid.Reserve("empty", 100).ok());
+  EXPECT_FALSE([&] {
+    DataGrid g;
+    (void)g.AddMember(1);
+    return g.Reserve("neg", -1).ok();
+  }());
+}
+
+}  // namespace
+}  // namespace jet::imdg

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <set>
 #include <thread>
 #include <vector>
@@ -483,6 +484,58 @@ TEST(DiagnosticsDumpTest, CoversEveryTaskletInBothFormats) {
     ASSERT_TRUE(stored.ok());
     EXPECT_TRUE(stored->has_value()) << key;
   }
+}
+
+// Extracts the "value" of the named metric from a DiagnosticsDump JSON
+// payload ({"metrics":[{"name":...,"value":...}, ...]}). Returns -1 when the
+// metric is absent.
+int64_t GaugeValueInDump(const std::string& json, const std::string& name) {
+  size_t at = json.find("\"" + name + "\"");
+  if (at == std::string::npos) return -1;
+  size_t v = json.find("\"value\":", at);
+  if (v == std::string::npos) return -1;
+  return std::strtoll(json.c_str() + v + 8, nullptr, 10);
+}
+
+TEST(DiagnosticsDumpTest, ImdgCapacityGaugesTrackGridContents) {
+  cluster::ClusterConfig config;
+  config.initial_nodes = 2;
+  config.threads_per_node = 1;
+  cluster::JetCluster jet(config);
+
+  // Load a known volume directly into the grid: 500 entries of 8-byte keys
+  // and 32-byte values, uniformly hashed across partitions.
+  constexpr int64_t kEntries = 500;
+  const Bytes value(32, 0x42);
+  for (int64_t i = 0; i < kEntries; ++i) {
+    BytesWriter key;
+    key.WriteU64(HashU64(static_cast<uint64_t>(i)));
+    ASSERT_TRUE(jet.grid().Put("capacity_probe", key.buffer(), value).ok());
+  }
+
+  cluster::JetCluster::Diagnostics dump = jet.DiagnosticsDump();
+  ASSERT_TRUE(JsonIsWellFormed(dump.json));
+
+  // The capacity surfaces are present and consistent with what we loaded.
+  const int64_t entries = GaugeValueInDump(dump.json, "imdg.entries");
+  EXPECT_GE(entries, kEntries);
+  const int64_t bytes = GaugeValueInDump(dump.json, "imdg.bytes_approx");
+  EXPECT_GE(bytes, kEntries * (8 + 32));
+  const int64_t max_part =
+      GaugeValueInDump(dump.json, "imdg.partition_max_entries");
+  EXPECT_GT(max_part, 0);
+  EXPECT_LE(max_part, entries);
+  // Skew is reported x1000; a uniform hash load must stay well under the
+  // pathological range but can never dip below a perfectly even 1.0.
+  const int64_t skew_x1000 =
+      GaugeValueInDump(dump.json, "imdg.partition_skew_x1000");
+  EXPECT_GE(skew_x1000, 1000);
+  EXPECT_LT(skew_x1000, 10'000);
+
+  // The same gauges surface in the Prometheus rendering (names are
+  // sanitized, so the dots become underscores).
+  EXPECT_NE(dump.prometheus.find("imdg_entries"), std::string::npos);
+  EXPECT_NE(dump.prometheus.find("imdg_bytes_approx"), std::string::npos);
 }
 
 }  // namespace
