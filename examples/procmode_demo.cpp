@@ -5,11 +5,13 @@
 // member-to-member), runs the exactly-once windowed-count job, waits for
 // a snapshot to commit, then `kill -9`s member 1 mid-job. The coordinator
 // must detect the death from the control socket's EOF, stop the attempt
-// on the two survivors, restore from the last committed snapshot and
-// finish with exactly-once results.
+// on the survivors, respawn the dead member under its backoff budget,
+// restore from the last committed snapshot at full parallelism and finish
+// with exactly-once results.
 //
 // Exits non-zero unless the verification passed — CI runs this as the
-// process-mode smoke. Pass --no-kill for the happy path only.
+// process-mode smoke and greps the printed diagnostics dump for the
+// proc.* self-healing gauges. Pass --no-kill for the happy path only.
 //
 // The jet_member binary path is baked in at compile time
 // (JETSIM_MEMBER_BIN) so the demo runs from any build directory.
@@ -88,10 +90,23 @@ int main(int argc, char** argv) {
   if (!verdict.ok()) return Fail(verdict, "exactly-once");
   std::printf(
       "exactly-once verified: %lld events across %lld attempt(s), "
-      "%d member(s) alive, last committed snapshot %lld\n",
+      "%d member(s) alive, %lld respawn(s), last committed snapshot %lld\n",
       static_cast<long long>(cluster.expected_total()),
       static_cast<long long>(cluster.attempts()), cluster.live_member_count(),
+      static_cast<long long>(cluster.respawn_count()),
       static_cast<long long>(cluster.last_committed_snapshot()));
+  if (kill_member && cluster.respawn_count() < 1) {
+    std::fprintf(stderr, "FAIL: killed a member but nothing was respawned\n");
+    return 1;
+  }
+  if (kill_member && cluster.live_member_count() != options.initial_members) {
+    std::fprintf(stderr, "FAIL: cluster did not heal back to full membership\n");
+    return 1;
+  }
+
+  // Self-healing diagnostics, Prometheus exposition: CI greps these.
+  ProcessCluster::Diagnostics diag = cluster.DiagnosticsDump();
+  std::printf("--- diagnostics ---\n%s", diag.prometheus.c_str());
   cluster.Shutdown();
   std::error_code ec;
   std::filesystem::remove_all(work_dir, ec);

@@ -32,7 +32,7 @@ const char* JobStateName(JobState state) {
 
 JobSupervisor::JobSupervisor(int64_t job_id, const SupervisorOptions& options)
     : options_(options),
-      jitter_(options.jitter_seed ^ static_cast<uint64_t>(job_id)),
+      backoff_(options.RestartBackoff(), static_cast<uint64_t>(job_id)),
       registry_(TagsFor(job_id)) {
   budget_remaining_.store(options_.retry_budget, std::memory_order_release);
   running_since_ = WallClock::Global().Now();
@@ -58,34 +58,22 @@ std::optional<Nanos> JobSupervisor::OnFailure(Nanos now) {
     // folds into the already-scheduled restart.
     return restart_due_ - now;
   }
-  int32_t budget = budget_remaining_.load(std::memory_order_acquire);
-  if (budget <= 0) {
-    SetState(JobState::kFailed);
-    return std::nullopt;
-  }
-  budget_remaining_.store(budget - 1, std::memory_order_release);
-  budget_gauge_.Set(budget - 1);
   // Flap damping: a long stable RUNNING stretch resets the exponent.
   if (s == JobState::kRunning &&
       now - running_since_ >= options_.stability_period) {
-    consecutive_failures_ = 0;
+    backoff_.ResetLadder();
   }
-  double base = static_cast<double>(options_.initial_backoff);
-  for (int32_t i = 0; i < consecutive_failures_; ++i) {
-    base *= options_.backoff_multiplier;
-    if (base >= static_cast<double>(options_.max_backoff)) break;
+  std::optional<Nanos> delay = backoff_.NextDelay();
+  if (!delay.has_value()) {
+    SetState(JobState::kFailed);
+    return std::nullopt;
   }
-  auto delay =
-      std::min<Nanos>(static_cast<Nanos>(base), options_.max_backoff);
-  if (options_.jitter_fraction > 0 && delay > 0) {
-    auto span = static_cast<uint64_t>(static_cast<double>(delay) *
-                                      options_.jitter_fraction);
-    if (span > 0) delay += static_cast<Nanos>(jitter_.NextBounded(span));
-  }
-  ++consecutive_failures_;
+  budget_remaining_.store(backoff_.budget_remaining(),
+                          std::memory_order_release);
+  budget_gauge_.Set(backoff_.budget_remaining());
   restart_pending_ = true;
-  restart_due_ = now + delay;
-  backoff_gauge_.Set(delay);
+  restart_due_ = now + *delay;
+  backoff_gauge_.Set(*delay);
   SetState(JobState::kRestarting);
   return delay;
 }

@@ -7,8 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/clock.h"
-#include "common/rng.h"
 #include "obs/metrics_registry.h"
 
 namespace jet::cluster {
@@ -46,7 +46,8 @@ struct SupervisorOptions {
   Nanos suspect_after = 45 * kNanosPerMilli;
   Nanos suspicion_timeout = 120 * kNanosPerMilli;
 
-  // -- restart policy --
+  // -- restart policy (the jet::RetryBackoff vocabulary, kept flat here
+  //    for config ergonomics; see common/backoff.h) --
   /// Failure-class restarts (member death, snapshot watchdog) charged
   /// before the job turns terminally FAILED. Quorum suspensions, resumes
   /// and membership rejoins are free.
@@ -63,6 +64,18 @@ struct SupervisorOptions {
   /// damping: an isolated incident after a stable stretch starts the
   /// backoff ladder from the bottom again).
   Nanos stability_period = 1 * kNanosPerSecond;
+
+  /// The restart-policy fields above as a BackoffOptions.
+  BackoffOptions RestartBackoff() const {
+    BackoffOptions b;
+    b.retry_budget = retry_budget;
+    b.initial_backoff = initial_backoff;
+    b.backoff_multiplier = backoff_multiplier;
+    b.max_backoff = max_backoff;
+    b.jitter_seed = jitter_seed;
+    b.jitter_fraction = jitter_fraction;
+    return b;
+  }
 
   // -- snapshot watchdog --
   /// Default JobConfig::snapshot_ack_timeout applied to supervised jobs
@@ -131,14 +144,13 @@ class JobSupervisor {
   void SetState(JobState state);
 
   SupervisorOptions options_;
-  Rng jitter_;
 
   std::atomic<JobState> state_{JobState::kRunning};
   std::atomic<int64_t> restarts_{0};
   std::atomic<int32_t> budget_remaining_{0};
 
   // Control-thread-only bookkeeping.
-  int32_t consecutive_failures_ = 0;
+  RetryBackoff backoff_;
   Nanos running_since_ = 0;
   Nanos restart_due_ = 0;
   bool restart_pending_ = false;

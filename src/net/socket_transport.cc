@@ -95,6 +95,45 @@ Result<std::unique_ptr<SocketConnection>> SocketConnection::ConnectUnixWithRetry
   return last;
 }
 
+namespace {
+
+// Shared retry loop of the *WithBackoff connectors: keep dialing under the
+// RetryBackoff ladder until a connect succeeds or the budget runs out.
+template <typename ConnectFn>
+Result<std::unique_ptr<SocketConnection>> ConnectWithBackoffImpl(
+    const std::string& target, const BackoffOptions& backoff, uint64_t stream_id,
+    ConnectFn&& connect) {
+  RetryBackoff policy(backoff, stream_id);
+  int attempts = 0;
+  while (true) {
+    ++attempts;
+    auto conn = connect();
+    if (conn.ok()) return conn;
+    auto delay = policy.NextDelay();
+    if (!delay.has_value()) {
+      return UnavailableError("connect(" + target + ") failed after " +
+                              std::to_string(attempts) +
+                              " attempts: " + conn.status().message());
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(*delay));
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SocketConnection>> SocketConnection::ConnectUnixWithBackoff(
+    const std::string& path, const BackoffOptions& backoff, uint64_t stream_id) {
+  return ConnectWithBackoffImpl(path, backoff, stream_id,
+                                [&] { return ConnectUnix(path); });
+}
+
+Result<std::unique_ptr<SocketConnection>> SocketConnection::ConnectTcpWithBackoff(
+    const std::string& host, uint16_t port, const BackoffOptions& backoff,
+    uint64_t stream_id) {
+  return ConnectWithBackoffImpl(host + ":" + std::to_string(port), backoff,
+                                stream_id, [&] { return ConnectTcp(host, port); });
+}
+
 Result<std::unique_ptr<SocketConnection>> SocketConnection::ConnectTcp(
     const std::string& host, uint16_t port) {
   sockaddr_in addr{};

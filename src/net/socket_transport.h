@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "common/backoff.h"
 #include "common/serde.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -61,6 +62,20 @@ class SocketConnection {
   /// Connects to a TCP endpoint (dotted-quad host).
   static Result<std::unique_ptr<SocketConnection>> ConnectTcp(const std::string& host,
                                                               uint16_t port);
+
+  /// Connects to a Unix-domain socket path under the shared RetryBackoff
+  /// policy: bounded attempts with exponential backoff + seeded jitter
+  /// before declaring the peer dead. `stream_id` decorrelates jitter
+  /// between concurrent reconnectors (member index, connection ordinal).
+  /// On exhaustion the error names the attempt count and the last cause.
+  static Result<std::unique_ptr<SocketConnection>> ConnectUnixWithBackoff(
+      const std::string& path, const BackoffOptions& backoff, uint64_t stream_id = 0);
+
+  /// TCP variant of ConnectUnixWithBackoff — the cross-host reconnect
+  /// primitive.
+  static Result<std::unique_ptr<SocketConnection>> ConnectTcpWithBackoff(
+      const std::string& host, uint16_t port, const BackoffOptions& backoff,
+      uint64_t stream_id = 0);
 
   /// Wraps an already-connected fd (from accept(), or one end of a
   /// socketpair() in tests). Takes ownership of the fd.

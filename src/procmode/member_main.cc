@@ -1,11 +1,14 @@
 // jet_member: one Jet cluster member as an OS process.
 //
 // Usage: jet_member <control_socket_path> <member_index> <work_dir>
+//                   [heartbeat_interval_ms]
 //
 // Spawned by ProcessCluster (or by hand for debugging); connects to the
 // coordinator's control socket, brings up its data socket and serves
 // execution attempts until the coordinator says Shutdown — or disappears,
 // in which case the member exits rather than linger as an orphan.
+// heartbeat_interval_ms (default 25, 0 disables) is the cadence of the
+// liveness heartbeats the coordinator's suspect/down detection watches.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,8 +17,10 @@
 #include "procmode/process_member.h"
 
 int main(int argc, char** argv) {
-  if (argc != 4) {
-    std::fprintf(stderr, "usage: %s <control_socket_path> <member_index> <work_dir>\n",
+  if (argc != 4 && argc != 5) {
+    std::fprintf(stderr,
+                 "usage: %s <control_socket_path> <member_index> <work_dir> "
+                 "[heartbeat_interval_ms]\n",
                  argv[0]);
     return 2;
   }
@@ -23,6 +28,10 @@ int main(int argc, char** argv) {
   options.control_path = argv[1];
   options.member_index = static_cast<int32_t>(std::strtol(argv[2], nullptr, 10));
   options.work_dir = argv[3];
+  if (argc == 5) {
+    options.heartbeat_interval =
+        std::strtol(argv[4], nullptr, 10) * jet::kNanosPerMilli;
+  }
 
   jet::procmode::ProcessMember member(options);
   jet::Status status = member.Run();

@@ -57,13 +57,19 @@ Bytes EncodeControlMessage(const ProcMsg& msg) {
       break;
     case ProcMsgType::kRestoreEntry:
     case ProcMsgType::kSnapshotEntry:
+    case ProcMsgType::kSnapshotReplicaEntry:
       EncodeStateEntryFields(msg, &body);
       break;
     case ProcMsgType::kSnapshotRequest:
     case ProcMsgType::kSnapshotAck:
     case ProcMsgType::kSnapshotCommitted:
     case ProcMsgType::kSnapshotAborted:
+    case ProcMsgType::kSnapshotReplicaAck:
       body.WriteVarI64(msg.snapshot_id);
+      break;
+    case ProcMsgType::kSnapshotReplicaSeal:
+      body.WriteVarI64(msg.snapshot_id);
+      body.WriteVarI64(msg.entry_count);
       break;
     case ProcMsgType::kSinkResult:
       body.WriteVarU64(msg.result_key);
@@ -77,6 +83,7 @@ Bytes EncodeControlMessage(const ProcMsg& msg) {
     case ProcMsgType::kAttemptStopped:
     case ProcMsgType::kAttemptDone:
     case ProcMsgType::kShutdown:
+    case ProcMsgType::kHeartbeat:
       break;  // epoch alone
   }
   BytesWriter frame;
@@ -94,7 +101,7 @@ Result<ProcMsg> DecodeControlMessage(const Bytes& frame) {
   uint8_t type_byte = 0;
   JET_RETURN_IF_ERROR(r.ReadU8(&type_byte));
   if (type_byte < static_cast<uint8_t>(ProcMsgType::kHello) ||
-      type_byte > static_cast<uint8_t>(ProcMsgType::kShutdown)) {
+      type_byte > static_cast<uint8_t>(ProcMsgType::kSnapshotReplicaAck)) {
     return InvalidArgumentError("unknown control message type " + std::to_string(type_byte));
   }
   ProcMsg msg;
@@ -138,13 +145,19 @@ Result<ProcMsg> DecodeControlMessage(const Bytes& frame) {
     }
     case ProcMsgType::kRestoreEntry:
     case ProcMsgType::kSnapshotEntry:
+    case ProcMsgType::kSnapshotReplicaEntry:
       JET_RETURN_IF_ERROR(DecodeStateEntryFields(&r, &msg));
       break;
     case ProcMsgType::kSnapshotRequest:
     case ProcMsgType::kSnapshotAck:
     case ProcMsgType::kSnapshotCommitted:
     case ProcMsgType::kSnapshotAborted:
+    case ProcMsgType::kSnapshotReplicaAck:
       JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.snapshot_id));
+      break;
+    case ProcMsgType::kSnapshotReplicaSeal:
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.snapshot_id));
+      JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.entry_count));
       break;
     case ProcMsgType::kSinkResult:
       JET_RETURN_IF_ERROR(r.ReadVarU64(&msg.result_key));
@@ -158,6 +171,7 @@ Result<ProcMsg> DecodeControlMessage(const Bytes& frame) {
     case ProcMsgType::kAttemptStopped:
     case ProcMsgType::kAttemptDone:
     case ProcMsgType::kShutdown:
+    case ProcMsgType::kHeartbeat:
       break;
   }
   if (!r.AtEnd()) return InvalidArgumentError("control message has trailing bytes");

@@ -46,6 +46,18 @@ enum class ProcMsgType : uint8_t {
   kSnapshotAborted = 13,    ///< epoch, snapshot_id (watchdog abandoned it)
   kStopAttempt = 14,        ///< epoch: tear the attempt down, keep process
   kShutdown = 15,           ///< exit the member process
+  // liveness + snapshot replication (self-healing, PR 9)
+  kHeartbeat = 16,  ///< member -> coordinator: periodic liveness proof
+  /// coordinator -> replica member: one state entry of the in-flight
+  /// snapshot, mirrored off the coordinator for durability.
+  kSnapshotReplicaEntry = 17,
+  /// coordinator -> replica member: all entries of snapshot_id were sent
+  /// (FIFO: they precede this seal); entry_count lets the replica verify.
+  kSnapshotReplicaSeal = 18,
+  /// replica member -> coordinator: snapshot_id sealed and verified; the
+  /// coordinator commits only after this ack, so every committed epoch
+  /// exists in >= 2 processes.
+  kSnapshotReplicaAck = 19,
 };
 
 /// One control message. A flat struct (only the fields of `type` are
@@ -80,13 +92,18 @@ struct ProcMsg {
   /// Data-socket path of each plan-local node id.
   std::vector<std::string> data_paths;
 
-  // kRestoreEntry / kSnapshotEntry (+ snapshot_id for the latter)
+  // kRestoreEntry / kSnapshotEntry / kSnapshotReplicaEntry
+  // (+ snapshot_id for the latter two)
   int64_t snapshot_id = 0;
   int32_t vertex_id = 0;
   int32_t writer_index = 0;
   uint64_t key_hash = 0;
   Bytes key;
   Bytes value;
+
+  // kSnapshotReplicaSeal
+  /// Entries of snapshot_id the replica must have received before the seal.
+  int64_t entry_count = 0;
 
   // kSinkResult
   uint64_t result_key = 0;

@@ -5,11 +5,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 #include "imdg/partition.h"
+#include "obs/exporters.h"
 #include "procmode/process_member.h"
 
 namespace jet::procmode {
@@ -19,18 +23,53 @@ using std::chrono::milliseconds;
 namespace {
 
 constexpr Nanos kSupervisorTick = 2 * kNanosPerMilli;
-constexpr Nanos kGracefulExitTimeout = 10 * kNanosPerSecond;
 
 Nanos Now() { return SharedMonotonicClock::RawNow(); }
+
+obs::MetricTags TagsFor(imdg::JobId job_id) {
+  obs::MetricTags tags;
+  tags.job = static_cast<int64_t>(job_id);
+  return tags;
+}
+
+/// Reaps `pid` once. blocking=false is a single WNOHANG probe. Returns true
+/// when the child is gone: reaped here, or ECHILD (already reaped — e.g.
+/// the reap scan raced the EOF path). EINTR retries; a child that is still
+/// running returns false.
+bool TryReap(pid_t pid, bool blocking) {
+  for (;;) {
+    int wstatus = 0;
+    const pid_t r = ::waitpid(pid, &wstatus, blocking ? 0 : WNOHANG);
+    if (r == pid) return true;
+    if (r == 0) return false;  // WNOHANG: still running
+    if (errno == EINTR) continue;
+    if (errno == ECHILD) return true;  // no such child: already reaped
+    JET_LOG(kError) << "waitpid(" << pid << ") failed: " << std::strerror(errno);
+    return true;  // unexpected errno — nothing further to wait for
+  }
+}
 
 }  // namespace
 
 ProcessCluster::ProcessCluster(Options options)
-    : options_(std::move(options)), grid_(/*backup_count=*/0), store_(&grid_) {
+    : options_(std::move(options)),
+      grid_(/*backup_count=*/0),
+      store_(&grid_),
+      registry_(TagsFor(options_.job_id)) {
   // The coordinator is the grid's only member: snapshot durability in
-  // process mode means "reached the coordinator's store", which the
-  // control-socket FIFO protocol makes equivalent to commit-safety.
+  // process mode means "reached the coordinator's store" — and, with
+  // replication on, "mirrored in one member process too".
   JET_DCHECK_OK(grid_.AddMember(0).status());
+  respawn_backoff_ = std::make_unique<RetryBackoff>(
+      options_.respawn.backoff, static_cast<uint64_t>(options_.job_id));
+  respawns_counter_ = registry_.GetCounter("proc.respawns");
+  heartbeats_counter_ = registry_.GetCounter("proc.heartbeats");
+  replica_entries_counter_ = registry_.GetCounter("proc.replica_entries");
+  backoff_gauge_ = registry_.GetGauge("proc.backoff_nanos");
+  budget_gauge_ = registry_.GetGauge("proc.retry_budget_remaining");
+  suspected_gauge_ = registry_.GetGauge("proc.suspected_members");
+  live_members_gauge_ = registry_.GetGauge("proc.live_members");
+  budget_gauge_.Set(options_.respawn.backoff.retry_budget);
 }
 
 ProcessCluster::~ProcessCluster() { Shutdown(); }
@@ -86,7 +125,8 @@ Status ProcessCluster::Start() {
   }
   supervisor_ = std::thread([this]() { SupervisorLoop(); });
 
-  // Await every member's Hello.
+  // Await every member's Hello. A bring-up death fails fast (when respawn
+  // is off) or is healed by a respawn (when on) — no 30 s stall either way.
   const Nanos deadline = Now() + options_.bring_up_timeout;
   jet::MutexLock lock(mu_);
   for (;;) {
@@ -105,13 +145,15 @@ Status ProcessCluster::Start() {
 Status ProcessCluster::SpawnMember(int32_t index) {
   const std::string control_path = options_.work_dir + "/control.sock";
   const std::string index_str = std::to_string(index);
+  const Nanos hb = options_.liveness.enabled ? options_.liveness.heartbeat_interval : 0;
+  const std::string hb_ms_str = std::to_string(hb / kNanosPerMilli);
   const pid_t pid = ::fork();
   if (pid < 0) return InternalError("fork failed");
   if (pid == 0) {
     // Child: become the member process.
     ::execl(options_.member_binary.c_str(), options_.member_binary.c_str(),
             control_path.c_str(), index_str.c_str(), options_.work_dir.c_str(),
-            static_cast<char*>(nullptr));
+            hb_ms_str.c_str(), static_cast<char*>(nullptr));
     // Only reached when exec failed; _exit (not exit) — this child must not
     // run the coordinator's atexit handlers.
     ::_exit(127);
@@ -119,6 +161,18 @@ Status ProcessCluster::SpawnMember(int32_t index) {
   Member& m = members_[static_cast<size_t>(index)];
   m.pid = pid;
   m.alive = true;
+  m.hello = false;
+  m.ready = false;
+  m.acked = false;
+  m.done = false;
+  m.stopped = false;
+  m.node_id = -1;
+  m.suspected = false;
+  m.liveness_killed = false;
+  m.reaped = false;
+  m.respawn_pending = false;
+  m.spawn_time = Now();
+  m.last_heartbeat = m.spawn_time;
   return Status::OK();
 }
 
@@ -145,7 +199,7 @@ Status ProcessCluster::WaitForCommittedSnapshot(int64_t min_snapshot_id, Nanos t
   }
 }
 
-Status ProcessCluster::KillMember(int32_t member_index) {
+Status ProcessCluster::SignalMember(int32_t member_index, int signo, const char* what) {
   pid_t pid = -1;
   {
     jet::MutexLock lock(mu_);
@@ -156,10 +210,40 @@ Status ProcessCluster::KillMember(int32_t member_index) {
     if (!m.alive) return FailedPreconditionError("member already dead");
     pid = m.pid;
   }
-  if (::kill(pid, SIGKILL) != 0) return InternalError("kill failed");
+  if (::kill(pid, signo) != 0) {
+    return InternalError(std::string(what) + " failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ProcessCluster::KillMember(int32_t member_index) {
   // Death is observed through the control connection's EOF — the same
   // signal a real crash produces. Nothing else to do here.
-  return Status::OK();
+  return SignalMember(member_index, SIGKILL, "kill(SIGKILL)");
+}
+
+Status ProcessCluster::StallMember(int32_t member_index) {
+  return SignalMember(member_index, SIGSTOP, "kill(SIGSTOP)");
+}
+
+Status ProcessCluster::ResumeMember(int32_t member_index) {
+  return SignalMember(member_index, SIGCONT, "kill(SIGCONT)");
+}
+
+Status ProcessCluster::WaitForFullMembership(Nanos timeout) {
+  const Nanos deadline = Now() + timeout;
+  jet::MutexLock lock(mu_);
+  for (;;) {
+    bool full = true;
+    for (const Member& m : members_) {
+      if (!m.alive || !m.hello) full = false;
+    }
+    if (full) return Status::OK();
+    if (phase_ == Phase::kFailed) return InternalError("cluster failed: " + failure_);
+    const Nanos left = deadline - Now();
+    if (left <= 0) return TimedOutError("cluster did not return to full membership");
+    cv_.WaitFor(mu_, milliseconds(std::max<int64_t>(1, left / kNanosPerMilli)));
+  }
 }
 
 Status ProcessCluster::AwaitJobCompletion(Nanos timeout) {
@@ -184,20 +268,24 @@ void ProcessCluster::Shutdown() {
     bye.type = ProcMsgType::kShutdown;
     for (Member& m : members_) {
       if (m.alive && m.conn != nullptr) (void)m.conn->SendFrame(EncodeControlMessage(bye));
-      if (m.alive && m.pid > 0) children.emplace_back(m.index, m.pid);
+      if (m.alive && m.pid > 0 && !m.reaped) children.emplace_back(m.index, m.pid);
+      // A SIGSTOP'd member cannot run its Shutdown handler; wake it so the
+      // graceful window has a chance before the SIGKILL escalation.
+      if (m.alive && m.pid > 0) (void)::kill(m.pid, SIGCONT);
     }
   }
 
-  // Reap children: graceful window first, then SIGKILL stragglers.
-  const Nanos deadline = Now() + kGracefulExitTimeout;
+  // Reap children: graceful window first, then escalate to SIGKILL + a
+  // blocking reap so Shutdown() can never hang on a wedged member.
+  const Nanos deadline = Now() + options_.graceful_exit_timeout;
   for (auto& [index, pid] : children) {
     for (;;) {
-      int wstatus = 0;
-      const pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
-      if (r == pid || r < 0) break;
+      if (TryReap(pid, /*blocking=*/false)) break;
       if (Now() >= deadline) {
-        ::kill(pid, SIGKILL);
-        ::waitpid(pid, &wstatus, 0);
+        JET_LOG(kWarn) << "member " << index << " (pid " << pid
+                       << ") ignored graceful shutdown; sending SIGKILL";
+        (void)::kill(pid, SIGKILL);
+        TryReap(pid, /*blocking=*/true);
         break;
       }
       std::this_thread::sleep_for(milliseconds(5));
@@ -220,6 +308,8 @@ void ProcessCluster::Shutdown() {
     }
     for (auto& c : pending_conns_) conns.push_back(std::move(c));
     pending_conns_.clear();
+    for (auto& c : retired_conns_) conns.push_back(std::move(c));
+    retired_conns_.clear();
   }
   for (auto& c : conns) c->Close();
 }
@@ -263,6 +353,52 @@ int32_t ProcessCluster::live_member_count() const {
   return n;
 }
 
+int32_t ProcessCluster::current_attempt_dop() const {
+  jet::MutexLock lock(mu_);
+  int32_t n = 0;
+  for (const Member& m : members_) {
+    if (m.alive && m.node_id >= 0) ++n;
+  }
+  return n;
+}
+
+int64_t ProcessCluster::respawn_count() const {
+  jet::MutexLock lock(mu_);
+  return respawns_;
+}
+
+int32_t ProcessCluster::suspected_member_count() const {
+  jet::MutexLock lock(mu_);
+  int32_t n = 0;
+  for (const Member& m : members_) {
+    if (m.alive && m.suspected) ++n;
+  }
+  return n;
+}
+
+int32_t ProcessCluster::retry_budget_remaining() const {
+  jet::MutexLock lock(mu_);
+  return respawn_backoff_->budget_remaining();
+}
+
+int32_t ProcessCluster::snapshot_replica_member() const {
+  jet::MutexLock lock(mu_);
+  return last_replica_holder_;
+}
+
+std::string ProcessCluster::failure_message() const {
+  jet::MutexLock lock(mu_);
+  return failure_;
+}
+
+ProcessCluster::Diagnostics ProcessCluster::DiagnosticsDump() const {
+  std::vector<obs::MetricSnapshot> metrics = registry_.Snapshot();
+  Diagnostics d;
+  d.prometheus = obs::RenderPrometheusText(metrics);
+  d.json = obs::RenderJson(metrics);
+  return d;
+}
+
 void ProcessCluster::SupervisorLoop() {
   jet::MutexLock lock(mu_);
   while (!supervisor_exit_) {
@@ -284,25 +420,50 @@ int32_t ProcessCluster::MemberIndexOf(const net::SocketConnection* conn) {
   return -1;
 }
 
+void ProcessCluster::RetireConn(Member& m) {
+  if (m.conn == nullptr) return;
+  retired_conns_.push_back(std::move(m.conn));
+  m.conn = nullptr;
+}
+
 void ProcessCluster::HandleEvent(Event e) {
   if (e.closed) {
     const int32_t index = MemberIndexOf(e.conn);
-    if (index < 0) {
-      // A connection that never completed Hello; just forget it.
-      for (auto it = pending_conns_.begin(); it != pending_conns_.end(); ++it) {
-        if (it->get() == e.conn) {
-          pending_conns_.erase(it);
-          break;
-        }
+    if (index >= 0 && !shutting_down_) OnMemberDied(index);  // retires the conn
+    // The close event is the last thing a connection ever emits: release
+    // our reference so a future accept can safely reuse the pointer value.
+    // (Bound conns of shutting-down members stay put for Shutdown().)
+    for (auto it = pending_conns_.begin(); it != pending_conns_.end(); ++it) {
+      if (it->get() == e.conn) {
+        pending_conns_.erase(it);
+        return;
       }
-      return;
     }
-    if (!shutting_down_) OnMemberDied(index);
+    for (auto it = retired_conns_.begin(); it != retired_conns_.end(); ++it) {
+      if (it->get() == e.conn) {
+        retired_conns_.erase(it);
+        return;
+      }
+    }
     return;
+  }
+
+  // Any inbound traffic is a liveness proof for the sending member.
+  {
+    const int32_t index = MemberIndexOf(e.conn);
+    if (index >= 0) {
+      Member& m = members_[static_cast<size_t>(index)];
+      m.last_heartbeat = Now();
+      m.suspected = false;
+    }
   }
 
   const ProcMsg& msg = e.msg;
   switch (msg.type) {
+    case ProcMsgType::kHeartbeat: {
+      heartbeats_counter_.Add(1);
+      return;
+    }
     case ProcMsgType::kHello: {
       if (msg.member_index < 0 ||
           static_cast<size_t>(msg.member_index) >= members_.size()) {
@@ -326,6 +487,10 @@ void ProcessCluster::HandleEvent(Event e) {
       }
       m.hello = true;
       m.data_path = msg.data_path;
+      m.last_heartbeat = Now();
+      m.suspected = false;
+      // A respawned member rejoined; recovery may now restart at full DOP.
+      if (phase_ == Phase::kRecovering) MaybeFinishRecovery();
       cv_.NotifyAll();
       return;
     }
@@ -362,6 +527,20 @@ void ProcessCluster::HandleEvent(Event e) {
       entry.value = msg.value;
       Status s = store_.WriteEntry(options_.job_id, msg.snapshot_id, entry);
       if (!s.ok()) JET_LOG(kError) << "snapshot entry write failed: " << s.ToString();
+      // Mirror in-flight entries to the replica member. FIFO on the replica's
+      // control socket orders every entry before the seal that counts them.
+      if (msg.snapshot_id == in_flight_snapshot_ && replica_member_ >= 0 &&
+          !replica_seal_sent_) {
+        Member& r = members_[static_cast<size_t>(replica_member_)];
+        if (r.alive && r.conn != nullptr) {
+          ProcMsg fwd = msg;
+          fwd.type = ProcMsgType::kSnapshotReplicaEntry;
+          fwd.epoch = epoch_;
+          (void)r.conn->SendFrame(EncodeControlMessage(fwd));
+          ++replica_entries_sent_;
+          replica_entries_counter_.Add(1);
+        }
+      }
       return;
     }
     case ProcMsgType::kSnapshotAck: {
@@ -375,22 +554,35 @@ void ProcessCluster::HandleEvent(Event e) {
       }
       if (!all) return;
       // Every participant acked; the FIFO ordering guarantees all their
-      // state entries already hit the store (proc_proto.h).
-      Status s = store_.Commit(options_.job_id, in_flight_snapshot_);
-      if (!s.ok()) {
-        JET_LOG(kError) << "snapshot commit failed: " << s.ToString();
-        store_.Abort(options_.job_id, in_flight_snapshot_);
-      } else {
-        last_committed_ = in_flight_snapshot_;
-        ProcMsg committed;
-        committed.type = ProcMsgType::kSnapshotCommitted;
-        committed.epoch = epoch_;
-        committed.snapshot_id = in_flight_snapshot_;
-        Broadcast(committed);
+      // state entries already hit the store (proc_proto.h). With
+      // replication on, commit additionally waits for the replica's ack.
+      if (replica_member_ >= 0) {
+        Member& r = members_[static_cast<size_t>(replica_member_)];
+        if (r.alive && r.conn != nullptr) {
+          ProcMsg seal;
+          seal.type = ProcMsgType::kSnapshotReplicaSeal;
+          seal.epoch = epoch_;
+          seal.snapshot_id = in_flight_snapshot_;
+          seal.entry_count = replica_entries_sent_;
+          (void)r.conn->SendFrame(EncodeControlMessage(seal));
+          replica_seal_sent_ = true;
+          return;  // commit on kSnapshotReplicaAck
+        }
+        // Replica died under us; its death will abort this snapshot via
+        // recovery. Fall through only if it is somehow still counted live.
+        replica_member_ = -1;
       }
-      in_flight_snapshot_ = 0;
-      last_snapshot_done_ = Now();
-      cv_.NotifyAll();
+      CommitInFlight();
+      return;
+    }
+    case ProcMsgType::kSnapshotReplicaAck: {
+      if (msg.epoch != epoch_ || msg.snapshot_id != in_flight_snapshot_ ||
+          !replica_seal_sent_) {
+        return;
+      }
+      const int32_t index = MemberIndexOf(e.conn);
+      if (index != replica_member_) return;
+      CommitInFlight();
       return;
     }
     case ProcMsgType::kSinkResult: {
@@ -439,11 +631,29 @@ void ProcessCluster::HandleEvent(Event e) {
 void ProcessCluster::TimerPass() {
   if (shutting_down_) return;
   const Nanos now = Now();
+  ReapScan();
   if (phase_ == Phase::kRunning && in_flight_snapshot_ == 0 &&
       now - last_snapshot_done_ >= options_.snapshot_interval) {
     in_flight_snapshot_ = next_snapshot_id_++;
     snapshot_request_time_ = now;
     for (Member& m : members_) m.acked = false;
+    // Pick the replica holder for this snapshot: rotate over the
+    // participants so replica load (and chaos coverage) spreads out.
+    replica_member_ = -1;
+    replica_entries_sent_ = 0;
+    replica_seal_sent_ = false;
+    if (options_.snapshot_replicas > 0) {
+      std::vector<int32_t> participants;
+      for (const Member& m : members_) {
+        if (m.alive && m.node_id >= 0 && m.conn != nullptr) {
+          participants.push_back(m.index);
+        }
+      }
+      if (!participants.empty()) {
+        replica_member_ = participants[static_cast<size_t>(
+            in_flight_snapshot_ % static_cast<int64_t>(participants.size()))];
+      }
+    }
     ProcMsg req;
     req.type = ProcMsgType::kSnapshotRequest;
     req.epoch = epoch_;
@@ -456,6 +666,87 @@ void ProcessCluster::TimerPass() {
     AbortInFlightSnapshot();
     last_snapshot_done_ = now;
   }
+  LivenessPass(now);
+  RespawnPass(now);
+  int32_t live = 0;
+  for (const Member& m : members_) {
+    if (m.alive) ++live;
+  }
+  live_members_gauge_.Set(live);
+}
+
+void ProcessCluster::ReapScan() {
+  // A member that dies before its control connection exists (exec failure,
+  // crash during bring-up) produces no EOF — the only evidence is the
+  // zombie. Probe nonblocking and run the same death path.
+  for (Member& m : members_) {
+    if (!m.alive || m.pid <= 0 || m.reaped) continue;
+    if (TryReap(m.pid, /*blocking=*/false)) {
+      m.reaped = true;
+      OnMemberDied(m.index);
+    }
+  }
+}
+
+void ProcessCluster::LivenessPass(Nanos now) {
+  if (!options_.liveness.enabled) return;
+  int32_t suspected = 0;
+  for (Member& m : members_) {
+    if (!m.alive || !m.hello || m.liveness_killed) continue;
+    const Nanos silence = now - m.last_heartbeat;
+    if (silence > options_.liveness.down_after) {
+      JET_LOG(kWarn) << "member " << m.index << " silent for "
+                     << silence / kNanosPerMilli << " ms; declaring it down";
+      // A SIGSTOP'd process ignores everything but SIGKILL/SIGCONT; the
+      // kill turns the hang into a death the EOF/reap paths handle.
+      if (m.pid > 0) (void)::kill(m.pid, SIGKILL);
+      m.liveness_killed = true;
+      m.suspected = false;
+      continue;
+    }
+    if (silence > options_.liveness.suspect_after) {
+      if (!m.suspected) {
+        JET_LOG(kWarn) << "member " << m.index << " suspected (silent "
+                       << silence / kNanosPerMilli << " ms)";
+        m.suspected = true;
+      }
+      ++suspected;
+    }
+  }
+  suspected_gauge_.Set(suspected);
+}
+
+void ProcessCluster::RespawnPass(Nanos now) {
+  if (!options_.respawn.enabled) return;
+  if (phase_ == Phase::kDone || phase_ == Phase::kFailed) {
+    for (Member& m : members_) m.respawn_pending = false;
+    return;
+  }
+  for (Member& m : members_) {
+    if (m.respawn_pending && now >= m.respawn_due) {
+      m.respawn_pending = false;
+      JET_LOG(kWarn) << "respawning member " << m.index;
+      Status s = SpawnMember(m.index);
+      if (!s.ok()) {
+        JET_LOG(kError) << "respawn of member " << m.index
+                        << " failed: " << s.ToString();
+        ScheduleRespawn(m, now);  // charge again; Fail()s on exhaustion
+        continue;
+      }
+      ++respawns_;
+      respawns_counter_.Add(1);
+    }
+    // A respawned (or freshly spawned) process that never says Hello is as
+    // dead as a crash: kill it so the reap scan charges the next retry.
+    if (m.alive && !m.hello && !m.liveness_killed && m.spawn_time > 0 &&
+        now - m.spawn_time > options_.respawn.rejoin_timeout) {
+      JET_LOG(kWarn) << "member " << m.index << " did not rejoin within "
+                     << options_.respawn.rejoin_timeout / kNanosPerMilli
+                     << " ms; killing it";
+      if (m.pid > 0) (void)::kill(m.pid, SIGKILL);
+      m.liveness_killed = true;
+    }
+  }
 }
 
 void ProcessCluster::AbortInFlightSnapshot() {
@@ -467,30 +758,115 @@ void ProcessCluster::AbortInFlightSnapshot() {
   aborted.snapshot_id = in_flight_snapshot_;
   Broadcast(aborted);
   in_flight_snapshot_ = 0;
+  replica_member_ = -1;
+  replica_entries_sent_ = 0;
+  replica_seal_sent_ = false;
+}
+
+void ProcessCluster::CommitInFlight() {
+  Status s = store_.Commit(options_.job_id, in_flight_snapshot_);
+  if (!s.ok()) {
+    JET_LOG(kError) << "snapshot commit failed: " << s.ToString();
+    store_.Abort(options_.job_id, in_flight_snapshot_);
+  } else {
+    last_committed_ = in_flight_snapshot_;
+    last_replica_holder_ = replica_member_;
+    ProcMsg committed;
+    committed.type = ProcMsgType::kSnapshotCommitted;
+    committed.epoch = epoch_;
+    committed.snapshot_id = in_flight_snapshot_;
+    Broadcast(committed);
+  }
+  in_flight_snapshot_ = 0;
+  replica_member_ = -1;
+  replica_entries_sent_ = 0;
+  replica_seal_sent_ = false;
+  last_snapshot_done_ = Now();
+  cv_.NotifyAll();
+}
+
+void ProcessCluster::ScheduleRespawn(Member& m, Nanos now) {
+  if (!options_.respawn.enabled || shutting_down_) return;
+  // Storm coalescing: a second death from the same incident shares the
+  // already-scheduled due time — it costs budget but does not advance the
+  // ladder or push the restart further out.
+  Nanos pending_due = 0;
+  bool storm = false;
+  for (const Member& o : members_) {
+    if (o.respawn_pending) {
+      storm = true;
+      pending_due = std::max(pending_due, o.respawn_due);
+    }
+  }
+  if (storm) {
+    if (!respawn_backoff_->Charge()) {
+      Fail("respawn budget exhausted (member " + std::to_string(m.index) +
+           " died during a restart storm)");
+      return;
+    }
+    m.respawn_pending = true;
+    m.respawn_due = pending_due;
+  } else {
+    // Flap damping: a quiet stretch since the previous death restarts the
+    // ladder from initial_backoff.
+    if (last_death_time_ > 0 &&
+        now - last_death_time_ >= options_.respawn.stability_period) {
+      respawn_backoff_->ResetLadder();
+    }
+    std::optional<Nanos> delay = respawn_backoff_->NextDelay();
+    if (!delay.has_value()) {
+      Fail("respawn budget exhausted (member " + std::to_string(m.index) +
+           " died with no retries left)");
+      return;
+    }
+    m.respawn_pending = true;
+    m.respawn_due = now + *delay;
+    backoff_gauge_.Set(*delay);
+  }
+  last_death_time_ = now;
+  budget_gauge_.Set(respawn_backoff_->budget_remaining());
 }
 
 void ProcessCluster::OnMemberDied(int32_t index) {
   Member& dead = members_[static_cast<size_t>(index)];
+  if (!dead.alive) return;  // EOF and reap scan can both report the death
   JET_LOG(kWarn) << "member " << index << " (pid " << dead.pid << ") died";
   dead.alive = false;
-  dead.conn = nullptr;
-  if (dead.pid > 0) {
-    int wstatus = 0;
-    ::waitpid(dead.pid, &wstatus, 0);  // already dead: immediate
+  dead.hello = false;
+  dead.suspected = false;
+  RetireConn(dead);
+  if (dead.pid > 0 && !dead.reaped) {
+    // The process is gone (EOF proves it); the blocking reap returns
+    // immediately, with EINTR retried and ECHILD tolerated.
+    TryReap(dead.pid, /*blocking=*/true);
+    dead.reaped = true;
   }
-  if (phase_ == Phase::kDone || phase_ == Phase::kFailed || phase_ == Phase::kInit ||
-      phase_ == Phase::kIdle) {
-    return;
-  }
+  if (shutting_down_ || phase_ == Phase::kDone || phase_ == Phase::kFailed) return;
+
+  const Nanos now = Now();
   const bool was_participant = dead.node_id >= 0;
   dead.node_id = -1;
+
+  ScheduleRespawn(dead, now);
+  if (phase_ == Phase::kFailed) return;  // budget exhausted
+
+  if (phase_ == Phase::kInit || phase_ == Phase::kIdle) {
+    // Bring-up (or between-jobs) death. With respawn on, the pending
+    // respawn heals the membership and Start()/WaitForFullMembership
+    // complete on the replacement's Hello; with respawn off, fail fast
+    // instead of stalling until bring_up_timeout.
+    if (!options_.respawn.enabled) {
+      Fail("member " + std::to_string(index) + " died during bring-up");
+    }
+    return;
+  }
   if (!was_participant) return;
 
   int32_t survivors = 0;
   for (const Member& m : members_) {
     if (m.alive && m.node_id >= 0) ++survivors;
   }
-  if (survivors == 0) {
+  if (survivors == 0 && !options_.respawn.enabled) {
     Fail("all members died");
     return;
   }
@@ -504,7 +880,9 @@ void ProcessCluster::OnMemberDied(int32_t index) {
 
   // §4.4 recovery: abandon the in-flight snapshot, stop the attempt on
   // every survivor, and only then sweep + restore — the AttemptStopped
-  // barrier drains everything the old attempt ever put on the wire.
+  // barrier drains everything the old attempt ever put on the wire. With
+  // respawn enabled the restart additionally waits for every pending
+  // rejoin, so the new attempt runs at full DOP.
   AbortInFlightSnapshot();
   phase_ = Phase::kRecovering;
   for (Member& m : members_) m.stopped = false;
@@ -512,11 +890,22 @@ void ProcessCluster::OnMemberDied(int32_t index) {
   stop.type = ProcMsgType::kStopAttempt;
   stop.epoch = epoch_;
   Broadcast(stop);
+  if (survivors == 0) MaybeFinishRecovery();
 }
 
 void ProcessCluster::MaybeFinishRecovery() {
   for (const Member& m : members_) {
     if (m.alive && m.node_id >= 0 && !m.stopped) return;
+  }
+  if (options_.respawn.enabled) {
+    // Full-DOP restart: hold the recovery until every scheduled respawn
+    // has forked *and* said Hello. Liveness guards the wait — a respawn
+    // that never rejoins is killed, charged, and retried (or the budget
+    // runs out and the cluster fails), so this cannot hang forever.
+    for (const Member& m : members_) {
+      if (m.respawn_pending) return;
+      if (m.alive && !m.hello) return;
+    }
   }
   store_.ClearInFlight(options_.job_id);
   auto restore = store_.LastCommitted(options_.job_id);
@@ -578,7 +967,8 @@ void ProcessCluster::StartAttempt(std::optional<imdg::SnapshotId> restore_snapsh
       }
     }
     JET_LOG(kWarn) << "attempt " << epoch_ << ": restoring " << restore_msgs.size()
-                   << " entries from snapshot " << *restore_snapshot;
+                   << " entries from snapshot " << *restore_snapshot << " on "
+                   << participants.size() << " members";
   }
 
   ProcMsg start;
@@ -604,6 +994,9 @@ void ProcessCluster::StartAttempt(std::optional<imdg::SnapshotId> restore_snapsh
     }
   }
   in_flight_snapshot_ = 0;
+  replica_member_ = -1;
+  replica_entries_sent_ = 0;
+  replica_seal_sent_ = false;
   phase_ = Phase::kStarting;
 }
 

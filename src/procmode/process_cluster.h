@@ -13,12 +13,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/clock.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "imdg/grid.h"
 #include "imdg/snapshot_store.h"
 #include "net/socket_transport.h"
+#include "obs/metrics_registry.h"
 #include "procmode/proc_proto.h"
 #include "procmode/windowed_job.h"
 
@@ -31,19 +33,57 @@ namespace jet::procmode {
 /// recovery from the last committed snapshot, exactly-once verification of
 /// sink results.
 ///
-/// The coordinator owns the snapshot store: members stream state entries
-/// and sink results over their control sockets (FIFO ordering arguments in
-/// proc_proto.h), so a member can be `kill -9`ed at any instant without
-/// losing anything a committed snapshot depends on.
+/// Self-healing (§4.4's continuous-operation story):
+///  - **Respawn.** A dead member is re-forked under the shared RetryBackoff
+///    policy (retry budget, exponential backoff with seeded jitter,
+///    stability-window ladder reset, restart-storm coalescing — the same
+///    vocabulary as the in-process JobSupervisor). The new process rejoins
+///    via Hello, and recovery restarts the job at full DOP from the last
+///    committed snapshot. Budget exhaustion is a clean terminal FAILED.
+///  - **Replicated snapshots.** With snapshot_replicas > 0 the coordinator
+///    mirrors each in-flight snapshot's entries to one member process and
+///    commits only after that replica seals and acks — every committed
+///    epoch lives in >= 2 processes, so no single process loss (including
+///    the replica holder) can lose a committed epoch.
+///  - **Liveness.** Members heartbeat on the control socket; a silent
+///    member is suspected after `suspect_after` and SIGKILLed after
+///    `down_after`, so a SIGSTOP'd (hung, not dead) member is detected and
+///    replaced exactly like a crash.
 ///
-/// Recovery walk on a member death (detected as control-connection EOF):
+/// Death is otherwise detected as control-connection EOF. Recovery walk:
 /// abort the in-flight snapshot, broadcast StopAttempt, await
-/// AttemptStopped from every survivor (draining their control streams),
-/// sweep uncommitted store state, then restart the job on the survivors
-/// from the last committed snapshot at epoch+1. Stale data frames of the
-/// dead epoch are dropped by the members' epoch filters.
+/// AttemptStopped from every survivor (draining their control streams) and
+/// the rejoin of every respawning member, sweep uncommitted store state,
+/// then restart the job from the last committed snapshot at epoch+1. Stale
+/// data frames of the dead epoch are dropped by the members' epoch filters.
 class ProcessCluster {
  public:
+  /// Member-respawn policy — the PR 4 supervisor vocabulary applied to OS
+  /// processes.
+  struct RespawnOptions {
+    bool enabled = true;
+    /// Retry budget + backoff ladder shared across all members' deaths
+    /// (one incident stream per cluster).
+    BackoffOptions backoff;
+    /// A respawned process must Hello within this long or it is killed and
+    /// the failure charged again.
+    Nanos rejoin_timeout = 10 * kNanosPerSecond;
+    /// No deaths for this long resets the backoff ladder (flap damping).
+    Nanos stability_period = 2 * kNanosPerSecond;
+  };
+
+  /// Control-plane failure detection beyond EOF: heartbeats with a
+  /// suspect -> down escalation, catching hung (SIGSTOP'd) members.
+  struct LivenessOptions {
+    bool enabled = true;
+    /// Cadence members heartbeat at (shipped to jet_member via argv).
+    Nanos heartbeat_interval = 25 * kNanosPerMilli;
+    /// Silence before a member is marked suspected (gauge only).
+    Nanos suspect_after = 500 * kNanosPerMilli;
+    /// Silence before a member is SIGKILLed and treated as dead.
+    Nanos down_after = 3 * kNanosPerSecond;
+  };
+
   struct Options {
     /// Path of the jet_member executable.
     std::string member_binary;
@@ -54,11 +94,26 @@ class ProcessCluster {
     WindowedJobParams job_params;
     /// Cadence of coordinator-initiated snapshots.
     Nanos snapshot_interval = 50 * kNanosPerMilli;
-    /// Watchdog: abort an in-flight snapshot not fully acked in time.
+    /// Watchdog: abort an in-flight snapshot not fully acked in time
+    /// (covers a replica that never seals, too).
     Nanos snapshot_ack_timeout = 10 * kNanosPerSecond;
     /// Deadline for member processes to connect and send Hello.
     Nanos bring_up_timeout = 30 * kNanosPerSecond;
+    /// Member-process copies of each snapshot beyond the coordinator's
+    /// own (0 disables replication and commits on member acks alone;
+    /// currently at most 1 replica member is used).
+    int32_t snapshot_replicas = 1;
+    /// Shutdown() escalates to SIGKILL after this graceful window.
+    Nanos graceful_exit_timeout = 10 * kNanosPerSecond;
+    RespawnOptions respawn;
+    LivenessOptions liveness;
     imdg::JobId job_id = 1;
+  };
+
+  /// Rendered metric snapshot, mirroring JetCluster::DiagnosticsDump.
+  struct Diagnostics {
+    std::string prometheus;
+    std::string json;
   };
 
   explicit ProcessCluster(Options options);
@@ -68,7 +123,9 @@ class ProcessCluster {
   ProcessCluster& operator=(const ProcessCluster&) = delete;
 
   /// Binds the control socket, spawns the member processes and waits for
-  /// every member's Hello.
+  /// every member's Hello. A member dying during bring-up fails fast when
+  /// respawn is disabled (no stall until bring_up_timeout); with respawn
+  /// enabled the bring-up succeeds once the replacement joins.
   Status Start();
 
   /// Starts the windowed-count job (attempt 1, no restore) on all members.
@@ -80,6 +137,18 @@ class ProcessCluster {
   /// SIGKILLs a member process — the chaos injection. Recovery is
   /// triggered by the control connection's EOF, exactly as a real crash.
   Status KillMember(int32_t member_index);
+
+  /// SIGSTOPs a member — hung, not dead: no EOF fires, only the heartbeat
+  /// timeout can notice. The liveness pass escalates it to SIGKILL.
+  Status StallMember(int32_t member_index);
+
+  /// SIGCONTs a stalled member (refuting the suspicion if it wakes before
+  /// `down_after`).
+  Status ResumeMember(int32_t member_index);
+
+  /// Blocks until every member slot is alive and has said Hello — i.e.
+  /// respawns caught up and the cluster is back at full membership.
+  Status WaitForFullMembership(Nanos timeout);
 
   /// Blocks until every participant of the current attempt reported
   /// AttemptDone (across recoveries), or the job failed.
@@ -104,6 +173,24 @@ class ProcessCluster {
   int64_t attempts() const;
   int64_t last_committed_snapshot() const;
   int32_t live_member_count() const;
+  /// Participants of the current attempt still alive — the running DOP.
+  int32_t current_attempt_dop() const;
+  /// Member respawns launched so far.
+  int64_t respawn_count() const;
+  /// Members currently suspected by the liveness pass.
+  int32_t suspected_member_count() const;
+  /// Respawn retries still allowed before terminal FAILED.
+  int32_t retry_budget_remaining() const;
+  /// Member index holding the replica of the last committed snapshot
+  /// (-1: none committed with a replica yet).
+  int32_t snapshot_replica_member() const;
+  /// Terminal failure reason (empty unless FAILED).
+  std::string failure_message() const;
+
+  /// Renders the coordinator's `proc.*` metrics (respawns, backoff,
+  /// budget, suspected members, live members, heartbeats, replica
+  /// entries) in both exporter formats.
+  Diagnostics DiagnosticsDump() const;
 
  private:
   struct Member {
@@ -119,6 +206,15 @@ class ProcessCluster {
     bool acked = false;    // current in-flight snapshot
     bool done = false;     // current epoch
     bool stopped = false;  // recovery: AttemptStopped received
+    // -- liveness --
+    Nanos last_heartbeat = 0;     // any control traffic counts
+    bool suspected = false;       // heartbeat silence > suspect_after
+    bool liveness_killed = false; // SIGKILL already sent (down / no rejoin)
+    // -- respawn --
+    bool reaped = false;          // child already waited on
+    bool respawn_pending = false; // scheduled, waiting for backoff due time
+    Nanos respawn_due = 0;
+    Nanos spawn_time = 0;         // fork time of the current process
   };
 
   enum class Phase {
@@ -126,9 +222,9 @@ class ProcessCluster {
     kIdle,        // members up, no job
     kStarting,    // StartJob sent, awaiting Ready from all
     kRunning,     // Go broadcast, job executing
-    kRecovering,  // member died: awaiting AttemptStopped from survivors
+    kRecovering,  // member died: awaiting AttemptStopped + rejoins
     kDone,        // every participant reported AttemptDone
-    kFailed,      // unrecoverable (no members left / internal error)
+    kFailed,      // unrecoverable (budget exhausted / internal error)
   };
 
   struct Event {
@@ -141,15 +237,36 @@ class ProcessCluster {
   void SupervisorLoop();
   void HandleEvent(Event e) JET_REQUIRES(mu_);
   void TimerPass() JET_REQUIRES(mu_);
+  /// Reaps members whose process exited without (or before) a control EOF
+  /// — e.g. died before ever connecting, where no EOF will fire.
+  void ReapScan() JET_REQUIRES(mu_);
+  /// Suspect/down escalation on heartbeat silence.
+  void LivenessPass(Nanos now) JET_REQUIRES(mu_);
+  /// Re-forks members whose respawn backoff elapsed; kills members that
+  /// failed to rejoin within rejoin_timeout.
+  void RespawnPass(Nanos now) JET_REQUIRES(mu_);
   void OnMemberDied(int32_t index) JET_REQUIRES(mu_);
+  /// Charges the respawn budget and schedules `m`'s re-fork (coalescing
+  /// into an already-pending respawn's due time during a storm). Fails the
+  /// cluster on budget exhaustion.
+  void ScheduleRespawn(Member& m, Nanos now) JET_REQUIRES(mu_);
   void MaybeFinishRecovery() JET_REQUIRES(mu_);
   /// Starts attempt `epoch_` on all live members, restoring from
   /// `restore_snapshot` when set.
   void StartAttempt(std::optional<imdg::SnapshotId> restore_snapshot) JET_REQUIRES(mu_);
   void AbortInFlightSnapshot() JET_REQUIRES(mu_);
+  /// Commits the in-flight snapshot (all member acks + replica ack, when
+  /// replication is on) and broadcasts SnapshotCommitted.
+  void CommitInFlight() JET_REQUIRES(mu_);
   void Broadcast(const ProcMsg& msg) JET_REQUIRES(mu_);
   void Fail(const std::string& why) JET_REQUIRES(mu_);
   int32_t MemberIndexOf(const net::SocketConnection* conn) JET_REQUIRES(mu_);
+  /// Moves a dead member's connection to retired_conns_ so its pointer
+  /// stays unique until its close event is processed (a freed conn's
+  /// address could otherwise be reused by a respawn and alias a stale EOF
+  /// onto the healthy replacement).
+  void RetireConn(Member& m) JET_REQUIRES(mu_);
+  Status SignalMember(int32_t member_index, int signo, const char* what);
 
   Options options_;
 
@@ -165,6 +282,8 @@ class ProcessCluster {
   std::vector<Member> members_ JET_GUARDED_BY(mu_);
   /// Accepted control connections that have not sent Hello yet.
   std::vector<std::shared_ptr<net::SocketConnection>> pending_conns_ JET_GUARDED_BY(mu_);
+  /// Dead members' connections, held until their close event drains.
+  std::vector<std::shared_ptr<net::SocketConnection>> retired_conns_ JET_GUARDED_BY(mu_);
   Phase phase_ JET_GUARDED_BY(mu_) = Phase::kInit;
   std::string failure_ JET_GUARDED_BY(mu_);
   int64_t epoch_ JET_GUARDED_BY(mu_) = 0;  // == attempts started
@@ -175,12 +294,33 @@ class ProcessCluster {
   Nanos snapshot_request_time_ JET_GUARDED_BY(mu_) = 0;
   Nanos last_snapshot_done_ JET_GUARDED_BY(mu_) = 0;
   imdg::SnapshotId last_committed_ JET_GUARDED_BY(mu_) = 0;
+  /// Replication state of the in-flight snapshot.
+  int32_t replica_member_ JET_GUARDED_BY(mu_) = -1;
+  int64_t replica_entries_sent_ JET_GUARDED_BY(mu_) = 0;
+  bool replica_seal_sent_ JET_GUARDED_BY(mu_) = false;
+  /// Member holding the replica of the last *committed* snapshot.
+  int32_t last_replica_holder_ JET_GUARDED_BY(mu_) = -1;
+  /// Respawn policy state (one incident stream for the whole cluster).
+  std::unique_ptr<RetryBackoff> respawn_backoff_ JET_GUARDED_BY(mu_);
+  Nanos last_death_time_ JET_GUARDED_BY(mu_) = 0;
+  int64_t respawns_ JET_GUARDED_BY(mu_) = 0;
   /// Distinct sink results: (key, window_end) -> count. Two attempts
   /// emitting the same window must agree — the exactly-once check.
   std::map<std::pair<uint64_t, Nanos>, int64_t> results_ JET_GUARDED_BY(mu_);
   Status result_conflict_ JET_GUARDED_BY(mu_);
   bool shutting_down_ JET_GUARDED_BY(mu_) = false;
   bool supervisor_exit_ JET_GUARDED_BY(mu_) = false;
+
+  /// `proc.*` gauges/counters. Written by the supervisor thread only
+  /// (single-writer contract); snapshotted by DiagnosticsDump.
+  obs::MetricsRegistry registry_;
+  obs::Counter respawns_counter_;        // proc.respawns
+  obs::Counter heartbeats_counter_;      // proc.heartbeats
+  obs::Counter replica_entries_counter_; // proc.replica_entries
+  obs::Gauge backoff_gauge_;             // proc.backoff_nanos (last delay)
+  obs::Gauge budget_gauge_;              // proc.retry_budget_remaining
+  obs::Gauge suspected_gauge_;           // proc.suspected_members
+  obs::Gauge live_members_gauge_;        // proc.live_members
 };
 
 }  // namespace jet::procmode

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 #include <utility>
@@ -15,17 +16,28 @@ using std::chrono::milliseconds;
 
 namespace {
 
-/// How long a member keeps retrying a peer's data socket. Peers are
-/// spawned together and their servers come up before Hello, so in practice
-/// one retry suffices; the margin covers a loaded CI machine.
-constexpr int64_t kPeerConnectTimeoutMs = 10'000;
-
 constexpr Nanos kPumpPollInterval = 200 * kNanosPerMicro;
 constexpr Nanos kDonePollInterval = kNanosPerMilli;
+
+/// Retry policy for connecting to the coordinator's control socket and to
+/// peers' data sockets. Peers are spawned together and their servers come
+/// up before Hello, so in practice the first attempt succeeds; the ladder
+/// (~10 s worth of attempts) covers a loaded CI machine and a respawned
+/// member racing a recovering peer. Bounded attempts — a member must
+/// declare the peer dead rather than spin forever.
+BackoffOptions ConnectBackoff() {
+  BackoffOptions b;
+  b.retry_budget = 12;
+  b.initial_backoff = 5 * kNanosPerMilli;
+  b.max_backoff = 2 * kNanosPerSecond;
+  return b;
+}
 
 }  // namespace
 
 ProcessMember::~ProcessMember() {
+  heartbeat_stop_.store(true, std::memory_order_release);
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   TeardownAttempt();
   {
     jet::MutexLock lock(data_conns_mu_);
@@ -51,8 +63,9 @@ Status ProcessMember::Run() {
     data_conns_.push_back(std::move(conn));
   });
 
-  auto control =
-      net::SocketConnection::ConnectUnixWithRetry(options_.control_path, kPeerConnectTimeoutMs);
+  auto control = net::SocketConnection::ConnectUnixWithBackoff(
+      options_.control_path, ConnectBackoff(),
+      static_cast<uint64_t>(options_.member_index));
   JET_RETURN_IF_ERROR(control.status());
   control_ = std::move(control.value());
   control_->Start([this](Bytes frame) { HandleControlFrame(std::move(frame)); },
@@ -68,6 +81,25 @@ Status ProcessMember::Run() {
   hello.pid = static_cast<int64_t>(getpid());
   hello.data_path = data_path_;
   JET_RETURN_IF_ERROR(SendControl(hello));
+
+  // Heartbeats ride the control socket from a dedicated thread: they prove
+  // the process is scheduling even while the Run() thread is busy tearing
+  // an attempt down. A SIGSTOP freezes this thread too — which is exactly
+  // what lets the coordinator's liveness pass notice the hang.
+  if (options_.heartbeat_interval > 0) {
+    auto control_conn = control_;
+    const Nanos interval = options_.heartbeat_interval;
+    heartbeat_thread_ = std::thread([this, control_conn, interval]() {
+      ProcMsg beat;
+      beat.type = ProcMsgType::kHeartbeat;
+      const Bytes frame = EncodeControlMessage(beat);
+      while (!heartbeat_stop_.load(std::memory_order_acquire)) {
+        if (!control_conn->SendFrame(frame).ok()) return;  // control gone
+        std::this_thread::sleep_for(milliseconds(
+            std::max<int64_t>(1, interval / kNanosPerMilli)));
+      }
+    });
+  }
 
   // Serve control messages until Shutdown (or the coordinator vanished —
   // an orphaned member must not outlive the test that spawned it).
@@ -142,6 +174,9 @@ void ProcessMember::HandleControlFrame(Bytes frame) {
       return;
     }
     case ProcMsgType::kSnapshotCommitted: {
+      // Replica promotion is attempt-agnostic: snapshot ids are monotonic
+      // across attempts and the replica's copy outlives the attempt.
+      replica_store_.OnCommitted(msg->snapshot_id);
       auto attempt = current_attempt();
       if (attempt != nullptr && attempt->epoch == msg->epoch) {
         attempt->snapshot_control.committed.store(msg->snapshot_id,
@@ -150,10 +185,39 @@ void ProcessMember::HandleControlFrame(Bytes frame) {
       return;
     }
     case ProcMsgType::kSnapshotAborted: {
+      replica_store_.OnAborted(msg->snapshot_id);
       auto attempt = current_attempt();
       if (attempt != nullptr && attempt->epoch == msg->epoch) {
         attempt->snapshot_control.aborted.store(msg->snapshot_id,
                                                 std::memory_order_release);
+      }
+      return;
+    }
+    case ProcMsgType::kSnapshotReplicaEntry: {
+      // Bounded work (one buffered insert) — safe on the I/O thread, and
+      // FIFO with the seal that will count these entries.
+      imdg::SnapshotStateEntry entry;
+      entry.vertex_id = msg->vertex_id;
+      entry.writer_index = msg->writer_index;
+      entry.key_hash = msg->key_hash;
+      entry.key = std::move(msg->key);
+      entry.value = std::move(msg->value);
+      replica_store_.AddEntry(msg->snapshot_id, std::move(entry));
+      return;
+    }
+    case ProcMsgType::kSnapshotReplicaSeal: {
+      if (replica_store_.Seal(msg->snapshot_id, msg->entry_count)) {
+        ProcMsg ack;
+        ack.type = ProcMsgType::kSnapshotReplicaAck;
+        ack.epoch = msg->epoch;
+        ack.snapshot_id = msg->snapshot_id;
+        (void)control_->SendFrame(EncodeControlMessage(ack));
+      } else {
+        // Stay silent on a count mismatch: the coordinator's ack-timeout
+        // watchdog aborts the snapshot instead of committing a hole.
+        JET_LOG(kError) << "replica seal mismatch for snapshot "
+                        << msg->snapshot_id << " (expected " << msg->entry_count
+                        << " entries)";
       }
       return;
     }
@@ -233,8 +297,10 @@ Status ProcessMember::HandleStartJob(ProcMsg msg) {
   attempt->peer_conns.resize(static_cast<size_t>(msg.node_count));
   for (int32_t n = 0; n < msg.node_count; ++n) {
     if (n == attempt->node_id) continue;
-    auto conn = net::SocketConnection::ConnectUnixWithRetry(
-        msg.data_paths[static_cast<size_t>(n)], kPeerConnectTimeoutMs);
+    auto conn = net::SocketConnection::ConnectUnixWithBackoff(
+        msg.data_paths[static_cast<size_t>(n)], ConnectBackoff(),
+        static_cast<uint64_t>(options_.member_index) << 16 |
+            static_cast<uint64_t>(n));
     JET_RETURN_IF_ERROR(conn.status());
     std::shared_ptr<net::SocketConnection> shared = std::move(conn.value());
     // Peers never write back on our outbound connection (their acks ride

@@ -21,6 +21,7 @@
 #include "net/network.h"
 #include "net/socket_transport.h"
 #include "procmode/proc_proto.h"
+#include "procmode/replica_store.h"
 #include "procmode/socket_exchange.h"
 #include "procmode/windowed_job.h"
 
@@ -62,6 +63,9 @@ class ProcessMember {
     std::string work_dir;
     /// Coordinator's control-socket path.
     std::string control_path;
+    /// Liveness heartbeat cadence on the control socket (0 disables).
+    /// Shipped by the coordinator as jet_member's 4th argv.
+    Nanos heartbeat_interval = 25 * kNanosPerMilli;
   };
 
   explicit ProcessMember(Options options) : options_(std::move(options)) {}
@@ -137,6 +141,16 @@ class ProcessMember {
   std::shared_ptr<net::SocketConnection> control_;
   std::unique_ptr<net::SocketServer> data_server_;
   std::string data_path_;
+
+  /// Mirror of in-flight/committed snapshot state this member holds as the
+  /// coordinator's replica. Touched on the control I/O thread only
+  /// (plus introspection), see replica_store.h.
+  ReplicaStore replica_store_;
+
+  /// Liveness: proves the process is scheduling, not just connected — a
+  /// SIGSTOP'd member keeps its socket open but stops beating.
+  std::thread heartbeat_thread_;
+  std::atomic<bool> heartbeat_stop_{false};
 
   jet::Mutex attempt_mu_;
   std::shared_ptr<Attempt> attempt_ JET_GUARDED_BY(attempt_mu_);

@@ -1,0 +1,89 @@
+#ifndef JETSIM_PROCMODE_REPLICA_STORE_H_
+#define JETSIM_PROCMODE_REPLICA_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "imdg/snapshot_store.h"
+
+namespace jet::procmode {
+
+/// Member-side mirror of in-flight snapshot state. The coordinator streams
+/// every kSnapshotEntry it receives for the current snapshot to one replica
+/// member as kSnapshotReplicaEntry, then seals with the total entry count;
+/// the replica acks only when the count matches, and the coordinator
+/// commits only after the ack. Result: every committed epoch lives in the
+/// coordinator *and* one member process, so no single process loss
+/// (including the replica holder) can lose a committed snapshot.
+///
+/// All calls arrive on the member's control-socket I/O thread (entries and
+/// seals are FIFO on one socket), but Shutdown-time introspection can race
+/// it, hence the mutex. Work per call is bounded (one map insert), safe for
+/// an I/O-thread frame handler.
+class ReplicaStore {
+ public:
+  /// Buffers one entry of an in-flight snapshot.
+  void AddEntry(int64_t snapshot_id, imdg::SnapshotStateEntry entry) {
+    MutexLock lock(mu_);
+    pending_[snapshot_id].push_back(std::move(entry));
+  }
+
+  /// Seals `snapshot_id`: returns true (ack the coordinator) when exactly
+  /// `expected_entries` were received, false on a count mismatch (the
+  /// replica stays silent and the coordinator's ack timeout aborts the
+  /// snapshot rather than committing a hole).
+  bool Seal(int64_t snapshot_id, int64_t expected_entries) {
+    MutexLock lock(mu_);
+    auto it = pending_.find(snapshot_id);
+    int64_t got = it == pending_.end()
+                      ? 0
+                      : static_cast<int64_t>(it->second.size());
+    return got == expected_entries;
+  }
+
+  /// The coordinator committed `snapshot_id`: promote it and retain only
+  /// the last two committed snapshots (mirrors SnapshotStore retention).
+  void OnCommitted(int64_t snapshot_id) {
+    MutexLock lock(mu_);
+    auto it = pending_.find(snapshot_id);
+    if (it != pending_.end()) {
+      committed_[snapshot_id] = std::move(it->second);
+      pending_.erase(it);
+    } else {
+      committed_.emplace(snapshot_id, std::vector<imdg::SnapshotStateEntry>{});
+    }
+    while (committed_.size() > 2) committed_.erase(committed_.begin());
+    // Anything older still pending was abandoned by the coordinator.
+    pending_.erase(pending_.begin(), pending_.lower_bound(snapshot_id));
+  }
+
+  /// The coordinator aborted `snapshot_id` (watchdog): drop its buffer.
+  void OnAborted(int64_t snapshot_id) {
+    MutexLock lock(mu_);
+    pending_.erase(snapshot_id);
+  }
+
+  int64_t committed_entry_count(int64_t snapshot_id) const {
+    MutexLock lock(mu_);
+    auto it = committed_.find(snapshot_id);
+    return it == committed_.end() ? -1 : static_cast<int64_t>(it->second.size());
+  }
+
+  int64_t last_committed() const {
+    MutexLock lock(mu_);
+    return committed_.empty() ? 0 : committed_.rbegin()->first;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::map<int64_t, std::vector<imdg::SnapshotStateEntry>> pending_
+      JET_GUARDED_BY(mu_);
+  std::map<int64_t, std::vector<imdg::SnapshotStateEntry>> committed_
+      JET_GUARDED_BY(mu_);
+};
+
+}  // namespace jet::procmode
+
+#endif  // JETSIM_PROCMODE_REPLICA_STORE_H_

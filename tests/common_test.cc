@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/backoff.h"
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/idle_strategy.h"
@@ -550,6 +551,104 @@ TEST(IdleStrategyTest, EscalatesToParkingAndResets) {
   EXPECT_TRUE(idle.IsParking());
   idle.Reset();
   EXPECT_FALSE(idle.IsParking());
+}
+
+// ---------------------------------------------------------------------------
+// RetryBackoff (shared by JobSupervisor restarts, procmode respawns and
+// socket connect retries)
+// ---------------------------------------------------------------------------
+
+TEST(RetryBackoffTest, LadderIsDeterministicPerSeedAndStream) {
+  BackoffOptions options;
+  options.retry_budget = 5;
+  options.initial_backoff = 100;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = 1000;
+  options.jitter_seed = 42;
+  options.jitter_fraction = 0.25;
+
+  RetryBackoff a(options, /*stream_id=*/7);
+  RetryBackoff b(options, /*stream_id=*/7);
+  RetryBackoff other_stream(options, /*stream_id=*/8);
+
+  bool any_stream_difference = false;
+  Nanos prev = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto da = a.NextDelay();
+    auto db = b.NextDelay();
+    auto dc = other_stream.NextDelay();
+    ASSERT_TRUE(da.has_value());
+    ASSERT_TRUE(db.has_value());
+    ASSERT_TRUE(dc.has_value());
+    // Same seed + same stream -> identical delays; replayable timelines.
+    EXPECT_EQ(*da, *db) << "attempt " << i;
+    if (*da != *dc) any_stream_difference = true;
+    // Base doubles up to the cap; jitter only ever adds (<= 25% here).
+    EXPECT_GE(*da, prev == 0 ? options.initial_backoff : 0);
+    EXPECT_LE(*da, options.max_backoff + options.max_backoff / 4);
+    prev = *da;
+  }
+  // Different streams decorrelate: at least one delay differs.
+  EXPECT_TRUE(any_stream_difference);
+}
+
+TEST(RetryBackoffTest, BudgetExhaustsAndChargeCountsAgainstIt) {
+  BackoffOptions options;
+  options.retry_budget = 3;
+  options.initial_backoff = 10;
+  options.max_backoff = 100;
+
+  RetryBackoff backoff(options, 0);
+  EXPECT_EQ(backoff.budget_remaining(), 3);
+  EXPECT_TRUE(backoff.NextDelay().has_value());
+  EXPECT_EQ(backoff.budget_remaining(), 2);
+  // Charge consumes budget without producing a delay (storm coalescing).
+  EXPECT_TRUE(backoff.Charge());
+  EXPECT_EQ(backoff.budget_remaining(), 1);
+  EXPECT_TRUE(backoff.NextDelay().has_value());
+  EXPECT_EQ(backoff.budget_remaining(), 0);
+  // Dry: both forms refuse.
+  EXPECT_FALSE(backoff.NextDelay().has_value());
+  EXPECT_FALSE(backoff.Charge());
+  EXPECT_EQ(backoff.budget_remaining(), 0);
+}
+
+TEST(RetryBackoffTest, ResetLadderRestartsDelaysButNotBudget) {
+  BackoffOptions options;
+  options.retry_budget = 100;
+  options.initial_backoff = 100;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = 100'000;
+  options.jitter_fraction = 0.0;  // exact ladder values
+
+  RetryBackoff backoff(options, 0);
+  EXPECT_EQ(*backoff.NextDelay(), 100);
+  EXPECT_EQ(*backoff.NextDelay(), 200);
+  EXPECT_EQ(*backoff.NextDelay(), 400);
+  EXPECT_EQ(backoff.consecutive_failures(), 3);
+
+  backoff.ResetLadder();  // stability window elapsed
+  EXPECT_EQ(backoff.consecutive_failures(), 0);
+  EXPECT_EQ(*backoff.NextDelay(), 100);   // ladder restarted
+  EXPECT_EQ(backoff.budget_remaining(), 100 - 4);  // budget did not refill
+}
+
+TEST(RetryBackoffTest, DelayNeverExceedsJitteredCap) {
+  BackoffOptions options;
+  options.retry_budget = 50;
+  options.initial_backoff = 10;
+  options.backoff_multiplier = 3.0;
+  options.max_backoff = 500;
+  options.jitter_fraction = 0.5;
+
+  RetryBackoff backoff(options, 3);
+  for (int i = 0; i < 50; ++i) {
+    auto delay = backoff.NextDelay();
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_LE(*delay, options.max_backoff + options.max_backoff / 2);
+    EXPECT_GE(*delay, options.initial_backoff);
+  }
+  EXPECT_FALSE(backoff.NextDelay().has_value());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
 
@@ -92,8 +93,9 @@ TEST(ProcMode, SnapshotsCommitAcrossProcesses) {
 
 // The chaos test: kill -9 one member mid-job. The coordinator must detect
 // the death (control-socket EOF), stop the attempt on the survivors,
-// restore from the last committed snapshot and finish with exactly-once
-// results — no lost windows, no conflicting duplicates.
+// respawn the dead member under its backoff policy, restore from the last
+// committed snapshot at full DOP, and finish with exactly-once results —
+// no lost windows, no conflicting duplicates, no permanent degradation.
 TEST(ProcMode, Kill9MemberRecoversFromLastCommittedSnapshot) {
   auto options = BaseOptions("kill9");
   options.job_params.duration = 1500 * kNanosPerMilli;
@@ -110,9 +112,69 @@ TEST(ProcMode, Kill9MemberRecoversFromLastCommittedSnapshot) {
     Status done = cluster.AwaitJobCompletion(180 * kNanosPerSecond);
     ASSERT_TRUE(done.ok()) << done.ToString();
     EXPECT_GE(cluster.attempts(), 2);
-    EXPECT_EQ(cluster.live_member_count(), 2);
+    // Self-healing: the replacement process rejoined and the final attempt
+    // ran at full parallelism again.
+    EXPECT_EQ(cluster.live_member_count(), 3);
+    EXPECT_GE(cluster.respawn_count(), 1);
+    EXPECT_EQ(cluster.current_attempt_dop(), 3);
     Status verdict = cluster.VerifyExactlyOnce();
     EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+
+    // The healing shows up in the diagnostics dump under both renderings.
+    ProcessCluster::Diagnostics diag = cluster.DiagnosticsDump();
+    EXPECT_NE(diag.prometheus.find("proc_respawns"), std::string::npos);
+    EXPECT_NE(diag.json.find("proc.respawns"), std::string::npos);
+    cluster.Shutdown();
+  }
+  RemoveWorkDir(options.work_dir);
+}
+
+// With respawn disabled the PR-7 degraded-mode behaviour is preserved: the
+// survivors finish the job at reduced DOP and the cluster stays at two
+// members. Operators can opt out of self-healing.
+TEST(ProcMode, DegradedModeKill9RunsOnSurvivors) {
+  auto options = BaseOptions("degraded");
+  options.respawn.enabled = false;
+  options.job_params.duration = 1500 * kNanosPerMilli;
+  {
+    ProcessCluster cluster(options);
+    ASSERT_TRUE(cluster.Start().ok());
+    ASSERT_TRUE(cluster.SubmitWindowedJob().ok());
+
+    Status committed = cluster.WaitForCommittedSnapshot(1, 60 * kNanosPerSecond);
+    ASSERT_TRUE(committed.ok()) << committed.ToString();
+    ASSERT_TRUE(cluster.KillMember(1).ok());
+
+    Status done = cluster.AwaitJobCompletion(180 * kNanosPerSecond);
+    ASSERT_TRUE(done.ok()) << done.ToString();
+    EXPECT_GE(cluster.attempts(), 2);
+    EXPECT_EQ(cluster.live_member_count(), 2);
+    EXPECT_EQ(cluster.respawn_count(), 0);
+    Status verdict = cluster.VerifyExactlyOnce();
+    EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+    cluster.Shutdown();
+  }
+  RemoveWorkDir(options.work_dir);
+}
+
+// A member that dies before it ever says Hello must fail Start() fast via
+// the control-EOF / reap-scan path — not stall until bring_up_timeout.
+// /bin/false exits immediately without touching the control socket.
+TEST(ProcMode, MemberDeathDuringBringUpFailsFast) {
+  auto options = BaseOptions("bringup");
+  options.member_binary = "/bin/false";
+  options.respawn.enabled = false;
+  options.bring_up_timeout = 30 * kNanosPerSecond;
+  {
+    ProcessCluster cluster(options);
+    const auto t0 = std::chrono::steady_clock::now();
+    Status status = cluster.Start();
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("bring-up"), std::string::npos)
+        << status.ToString();
+    // Well under the 30 s bring-up timeout: the death itself is the signal.
+    EXPECT_LT(elapsed, std::chrono::seconds(10));
     cluster.Shutdown();
   }
   RemoveWorkDir(options.work_dir);

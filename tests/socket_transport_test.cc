@@ -200,5 +200,53 @@ TEST(SocketTransport, ManyThreadsSendConcurrently) {
   EXPECT_EQ(client->delivered(), static_cast<uint64_t>(kThreads * kPerThread));
 }
 
+// The respawn path's connect primitive: a rejoining member dials the
+// coordinator under a RetryBackoff policy instead of a fixed poll.
+TEST(SocketTransport, ConnectUnixWithBackoffSucceedsOnceServerListens) {
+  const std::string path = MakeSocketPath("bk");
+
+  // Server comes up only after the client has already burned a few
+  // attempts against a path nobody is listening on.
+  Sink server_sink;
+  std::unique_ptr<Rendezvous> rv;
+  std::thread late_server([&]() {
+    std::this_thread::sleep_for(milliseconds(150));
+    rv = std::make_unique<Rendezvous>(path, &server_sink);
+  });
+
+  BackoffOptions backoff;
+  backoff.retry_budget = 50;
+  backoff.initial_backoff = 10 * kNanosPerMilli;
+  backoff.max_backoff = 50 * kNanosPerMilli;
+  auto client = SocketConnection::ConnectUnixWithBackoff(path, backoff, /*stream_id=*/1);
+  late_server.join();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Sink client_sink;
+  client.value()->Start(client_sink.frame_handler(), client_sink.close_handler());
+  ASSERT_TRUE(client.value()->SendFrame(Bytes{1, 2, 3}).ok());
+  ASSERT_TRUE(server_sink.WaitForFrames(1));
+  client.value()->Close();
+}
+
+TEST(SocketTransport, ConnectUnixWithBackoffGivesUpAfterBudget) {
+  // Nothing ever listens here; the connect must fail after exactly
+  // budget + 1 attempts (the first try plus one per backoff delay) and
+  // say so in the error.
+  const std::string path = MakeSocketPath("nolisten");
+  BackoffOptions backoff;
+  backoff.retry_budget = 3;
+  backoff.initial_backoff = 1 * kNanosPerMilli;
+  backoff.max_backoff = 4 * kNanosPerMilli;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto client = SocketConnection::ConnectUnixWithBackoff(path, backoff);
+  EXPECT_FALSE(client.ok());
+  EXPECT_NE(client.status().ToString().find("4 attempts"), std::string::npos)
+      << client.status().ToString();
+  // Bounded: a handful of millisecond-scale delays, not a hang.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+}
+
 }  // namespace
 }  // namespace jet::net

@@ -356,6 +356,151 @@ TEST(ProcProto, SinkResultAndSimpleMessagesRoundTrip) {
   }
 }
 
+// The self-healing additions: liveness heartbeats and the snapshot-replica
+// handshake (entry / seal / ack) the coordinator uses to mirror each epoch
+// onto a second process before committing it.
+TEST(ProcProto, HeartbeatRoundTrips) {
+  ProcMsg msg;
+  msg.type = ProcMsgType::kHeartbeat;
+  msg.epoch = 7;
+  auto decoded = DecodeControlMessage(EncodeControlMessage(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, ProcMsgType::kHeartbeat);
+  EXPECT_EQ(decoded->epoch, 7);
+}
+
+TEST(ProcProto, SnapshotReplicaEntryRoundTrips) {
+  ProcMsg msg;
+  msg.type = ProcMsgType::kSnapshotReplicaEntry;
+  msg.epoch = 3;
+  msg.snapshot_id = 5;
+  msg.vertex_id = 2;
+  msg.writer_index = 1;
+  msg.key_hash = 0x0123456789ABCDEFull;
+  msg.key = Bytes{0xAA, 0xBB};
+  msg.value = Bytes{0x01};
+
+  auto decoded = DecodeControlMessage(EncodeControlMessage(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, ProcMsgType::kSnapshotReplicaEntry);
+  EXPECT_EQ(decoded->epoch, 3);
+  EXPECT_EQ(decoded->snapshot_id, 5);
+  EXPECT_EQ(decoded->vertex_id, 2);
+  EXPECT_EQ(decoded->writer_index, 1);
+  EXPECT_EQ(decoded->key_hash, 0x0123456789ABCDEFull);
+  EXPECT_EQ(decoded->key, (Bytes{0xAA, 0xBB}));
+  EXPECT_EQ(decoded->value, (Bytes{0x01}));
+}
+
+TEST(ProcProto, SnapshotReplicaSealAndAckRoundTrip) {
+  ProcMsg seal;
+  seal.type = ProcMsgType::kSnapshotReplicaSeal;
+  seal.epoch = 3;
+  seal.snapshot_id = 5;
+  seal.entry_count = 115;
+  auto decoded = DecodeControlMessage(EncodeControlMessage(seal));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, ProcMsgType::kSnapshotReplicaSeal);
+  EXPECT_EQ(decoded->snapshot_id, 5);
+  EXPECT_EQ(decoded->entry_count, 115);
+
+  ProcMsg ack;
+  ack.type = ProcMsgType::kSnapshotReplicaAck;
+  ack.epoch = 3;
+  ack.snapshot_id = 5;
+  auto decoded_ack = DecodeControlMessage(EncodeControlMessage(ack));
+  ASSERT_TRUE(decoded_ack.ok()) << decoded_ack.status().ToString();
+  EXPECT_EQ(decoded_ack->type, ProcMsgType::kSnapshotReplicaAck);
+  EXPECT_EQ(decoded_ack->snapshot_id, 5);
+}
+
+// Frozen encodings: any byte-level drift in the new messages is a wire
+// version bump, not an accident. Vectors captured from the encoder at
+// introduction (frame header 4A 57 01 = "JW" + version, then CONTROL body).
+TEST(ProcProto, SelfHealingMessagesMatchGoldenBytes) {
+  const Bytes kHeartbeatGolden = {
+      0x4A, 0x57, 0x01, 0x03, 0x02, 0x10, 0x0E,
+  };
+  const Bytes kReplicaEntryGolden = {
+      0x4A, 0x57, 0x01, 0x03, 0x13, 0x11, 0x06, 0x0A, 0x02, 0x01, 0xEF, 0x9B,
+      0xAF, 0xCD, 0xF8, 0xAC, 0xD1, 0x91, 0x01, 0x02, 0xAA, 0xBB, 0x01, 0x01,
+  };
+  const Bytes kReplicaSealGolden = {
+      0x4A, 0x57, 0x01, 0x03, 0x05, 0x12, 0x06, 0x0A, 0xE6, 0x01,
+  };
+  const Bytes kReplicaAckGolden = {
+      0x4A, 0x57, 0x01, 0x03, 0x03, 0x13, 0x06, 0x0A,
+  };
+
+  ProcMsg hb;
+  hb.type = ProcMsgType::kHeartbeat;
+  hb.epoch = 7;
+  EXPECT_EQ(EncodeControlMessage(hb), kHeartbeatGolden);
+
+  ProcMsg entry;
+  entry.type = ProcMsgType::kSnapshotReplicaEntry;
+  entry.epoch = 3;
+  entry.snapshot_id = 5;
+  entry.vertex_id = 2;
+  entry.writer_index = 1;
+  entry.key_hash = 0x0123456789ABCDEFull;
+  entry.key = Bytes{0xAA, 0xBB};
+  entry.value = Bytes{0x01};
+  EXPECT_EQ(EncodeControlMessage(entry), kReplicaEntryGolden);
+
+  ProcMsg seal;
+  seal.type = ProcMsgType::kSnapshotReplicaSeal;
+  seal.epoch = 3;
+  seal.snapshot_id = 5;
+  seal.entry_count = 115;
+  EXPECT_EQ(EncodeControlMessage(seal), kReplicaSealGolden);
+
+  ProcMsg ack;
+  ack.type = ProcMsgType::kSnapshotReplicaAck;
+  ack.epoch = 3;
+  ack.snapshot_id = 5;
+  EXPECT_EQ(EncodeControlMessage(ack), kReplicaAckGolden);
+
+  // And the frozen bytes decode back to the same fields.
+  auto decoded = DecodeControlMessage(kReplicaEntryGolden);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->key_hash, 0x0123456789ABCDEFull);
+  auto decoded_seal = DecodeControlMessage(kReplicaSealGolden);
+  ASSERT_TRUE(decoded_seal.ok());
+  EXPECT_EQ(decoded_seal->entry_count, 115);
+}
+
+// Every truncation of each new message must error, never misparse.
+TEST(ProcProto, SelfHealingMessagesRejectEveryTruncation) {
+  std::vector<ProcMsg> msgs(4);
+  msgs[0].type = ProcMsgType::kHeartbeat;
+  msgs[0].epoch = 7;
+  msgs[1].type = ProcMsgType::kSnapshotReplicaEntry;
+  msgs[1].epoch = 3;
+  msgs[1].snapshot_id = 5;
+  msgs[1].vertex_id = 2;
+  msgs[1].writer_index = 1;
+  msgs[1].key_hash = 0x0123456789ABCDEFull;
+  msgs[1].key = Bytes{0xAA, 0xBB};
+  msgs[1].value = Bytes{0x01};
+  msgs[2].type = ProcMsgType::kSnapshotReplicaSeal;
+  msgs[2].epoch = 3;
+  msgs[2].snapshot_id = 5;
+  msgs[2].entry_count = 115;
+  msgs[3].type = ProcMsgType::kSnapshotReplicaAck;
+  msgs[3].epoch = 3;
+  msgs[3].snapshot_id = 5;
+
+  for (const ProcMsg& m : msgs) {
+    const Bytes frame = EncodeControlMessage(m);
+    for (size_t len = 0; len < frame.size(); ++len) {
+      Bytes prefix(frame.begin(), frame.begin() + static_cast<ptrdiff_t>(len));
+      EXPECT_FALSE(DecodeControlMessage(prefix).ok())
+          << "type " << static_cast<int>(m.type) << " truncated to " << len;
+    }
+  }
+}
+
 TEST(ProcProto, RejectsMalformedMessages) {
   // Not a control frame at all.
   EXPECT_FALSE(DecodeControlMessage(Bytes{1, 2, 3}).ok());
