@@ -13,8 +13,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <deque>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -246,6 +250,117 @@ jet::bench::BenchScenario RunExchangeHop(const std::string& scenario, bool batch
                                   measured_items, measured_nanos, latency);
 }
 
+// Contended keyed aggregation against the IMDG (PR 10): four "processor"
+// threads each maintain counters for a disjoint set of partitions, the
+// exact shape the single-writer ownership model targets. `locked` runs the
+// legacy access path — every read-modify-write is a Get plus a Put, each
+// taking the layout rwlock shared plus the partition mutex, so the four
+// threads contend on the rwlock reader count and the mutex cache lines
+// even though their key sets are disjoint. `owned` claims the partitions
+// and goes through OwnedPartitionHandle::Update: zero lock operations per
+// event. Per-event latency is recorded chunk by chunk per thread and the
+// histograms merged, so the p99.99 captures the cross-thread jitter the
+// locks introduce.
+jet::bench::BenchScenario RunContendedKeyedAggregation(bool owned, int64_t chunks) {
+  constexpr int kThreads = 4;
+  constexpr int kChunk = 256;
+  constexpr int kKeysPerThread = 64;
+  imdg::DataGrid grid(/*backup_count=*/0, /*partition_count=*/64);
+  (void)grid.AddMember(0);
+
+  // Deal keys out by home partition so each thread's working set lives in
+  // partitions no other thread touches (keyed aggregation: one writer per
+  // key group).
+  std::vector<std::vector<std::pair<Bytes, imdg::PartitionId>>> keys(kThreads);
+  uint64_t probe = 1;
+  while (true) {
+    Bytes key(8);
+    std::memcpy(key.data(), &probe, 8);
+    const imdg::PartitionId p = grid.PartitionOf(key);
+    auto& mine = keys[p % kThreads];
+    if (mine.size() < kKeysPerThread) mine.emplace_back(std::move(key), p);
+    bool done = true;
+    for (const auto& k : keys) done = done && k.size() == kKeysPerThread;
+    if (done) break;
+    ++probe;
+  }
+
+  std::vector<Histogram> latency(kThreads);
+  std::vector<Nanos> elapsed(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      const Clock& clock = WallClock::Global();
+      std::vector<std::unique_ptr<imdg::OwnedPartitionHandle>> handles;
+      // partition -> handle index, valid only in owned mode.
+      std::vector<int> handle_of(64, -1);
+      if (owned) {
+        for (const auto& [key, p] : keys[t]) {
+          if (handle_of[p] >= 0) continue;
+          (void)grid.ownership().Claim(p, t, /*tasklet=*/t);
+          auto h = grid.AcquireOwnedPartition("agg", p, t);
+          handle_of[p] = static_cast<int>(handles.size());
+          handles.push_back(std::move(h).value());
+        }
+      }
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int64_t c = -16; c < chunks; ++c) {  // negative chunks warm up
+        const Nanos t0 = clock.Now();
+        for (int i = 0; i < kChunk; ++i) {
+          const auto& [key, p] =
+              keys[t][rng.NextBounded(kKeysPerThread)];
+          if (owned) {
+            (void)handles[handle_of[p]]->Update(key, [](Bytes* v) {
+              if (v->size() != 8) v->assign(8, 0);
+              uint64_t n;
+              std::memcpy(&n, v->data(), 8);
+              ++n;
+              std::memcpy(v->data(), &n, 8);
+            });
+          } else {
+            auto current = grid.Get("agg", key);
+            uint64_t n = 0;
+            if (current.ok() && current.value().has_value()) {
+              std::memcpy(&n, current.value()->data(), 8);
+            }
+            ++n;
+            Bytes value(8);
+            std::memcpy(value.data(), &n, 8);
+            (void)grid.Put("agg", key, value);
+          }
+        }
+        const Nanos t1 = clock.Now();
+        if (c >= 0) {
+          latency[t].Record(std::max<Nanos>(1, (t1 - t0) / kChunk));
+          elapsed[t] += t1 - t0;
+        }
+      }
+      if (owned) {
+        handles.clear();
+        for (const auto& [key, p] : keys[t]) {
+          if (handle_of[p] >= 0) {
+            handle_of[p] = -1;
+            (void)grid.ownership().Release(p, t);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Histogram merged;
+  Nanos total_nanos = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    (void)merged.Merge(latency[t]);
+    total_nanos = std::max(total_nanos, elapsed[t]);
+  }
+  const int64_t items = chunks * kChunk * kThreads;
+  return jet::bench::MakeScenario("contended_keyed_aggregation",
+                                  owned ? "owned" : "locked", items,
+                                  total_nanos, merged);
+}
+
 int RunJsonScenarios(const std::string& path) {
   constexpr int64_t kChunks = 4096;  // 1M items per scenario run
   std::vector<jet::bench::BenchScenario> results;
@@ -257,6 +372,10 @@ int RunJsonScenarios(const std::string& path) {
   // move on the batched path.
   results.push_back(RunExchangeHop("unicast_exchange", /*batched=*/false, 1, kChunks));
   results.push_back(RunExchangeHop("unicast_exchange", /*batched=*/true, 1, kChunks));
+  // Keyed aggregation under cross-thread lock contention vs single-writer
+  // owned partition access (§4.1 ownership model).
+  results.push_back(RunContendedKeyedAggregation(/*owned=*/false, kChunks / 4));
+  results.push_back(RunContendedKeyedAggregation(/*owned=*/true, kChunks / 4));
 
   if (!jet::bench::WriteBenchJson(path, "engine_micro", results)) return 1;
   for (const jet::bench::BenchScenario& r : results) jet::bench::PrintScenarioRow(r);

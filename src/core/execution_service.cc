@@ -170,7 +170,14 @@ bool ExecutionService::AdoptIncoming(int32_t worker_index, std::vector<RunEntry>
     // Adoption point: from here on this thread is the single owner. The
     // record's worker field is what the next rebalance pass reads, so a
     // stale order issued against the old worker self-heals.
-    if (m.record != nullptr) m.record->worker.store(worker_index, std::memory_order_release);
+    if (m.record != nullptr) {
+      m.record->worker.store(worker_index, std::memory_order_release);
+      m.record->adoptions.fetch_add(1, std::memory_order_acq_rel);
+    }
+    // Re-register transferable per-worker state (partition ownership
+    // claims) under this worker before the first Call() touches it. The
+    // mailbox mutex already ordered PrepareWorkerHandoff() before us.
+    m.tasklet->OnWorkerAdopted(worker_index);
     round->push_back(m);
   }
   return true;
@@ -329,8 +336,18 @@ void ExecutionService::TriggerRebalance() {
   for (auto& record_ptr : records_) {
     TaskletRecord& record = *record_ptr;
     const int64_t busy = record.busy_nanos.load(std::memory_order_acquire);
-    const int64_t delta = busy - record.last_busy_nanos;
+    int64_t delta = busy - record.last_busy_nanos;
     record.last_busy_nanos = busy;
+    // A tasklet that migrated since the previous pass accrued its delta on
+    // *two* workers; attributing the whole of it to the current worker
+    // fabricates a hot spot there and ping-pongs the tasklet back. Zero the
+    // delta for this pass — it still counts toward `count`, the next pass
+    // sees a clean single-worker sample.
+    const uint32_t adoptions = record.adoptions.load(std::memory_order_acquire);
+    if (adoptions != record.last_adoptions) {
+      record.last_adoptions = adoptions;
+      delta = 0;
+    }
     if (record.done.load(std::memory_order_acquire)) continue;
     const int32_t w = record.worker.load(std::memory_order_acquire);
     if (w < 0 || w >= n_workers) continue;

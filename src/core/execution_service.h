@@ -135,8 +135,17 @@ class ExecutionService {
     std::atomic<int64_t> busy_nanos{0};
     std::atomic<int32_t> worker{-1};
     std::atomic<bool> done{false};
+    /// Bumped by the adopting worker on every migration handoff. The
+    /// rebalance pass compares it against `last_adoptions` to detect that a
+    /// tasklet moved since the previous pass: its busy-time delta straddles
+    /// two workers and must not be attributed to either (doing so made the
+    /// first post-migration pass see a phantom hot spot on the new worker
+    /// and ping-pong the tasklet straight back).
+    std::atomic<uint32_t> adoptions{0};
     /// Rebalancer-private: busy_nanos at the previous pass (delta base).
     int64_t last_busy_nanos = 0;
+    /// Rebalancer-private: adoptions observed at the previous pass.
+    uint32_t last_adoptions = 0;
   };
 
   /// A tasklet plus its (optional) profiler slot and accounting record.

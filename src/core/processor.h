@@ -14,6 +14,10 @@
 #include "obs/metric_id.h"
 #include "obs/metrics_registry.h"
 
+namespace jet::imdg {
+class OwnershipRegistry;
+}  // namespace jet::imdg
+
 namespace jet::core {
 
 /// Everything a processor instance can see about its execution environment.
@@ -43,6 +47,12 @@ struct ProcessorContext {
   /// Identity ({vertex, tasklet}) the plan assigned to this instance, ready
   /// to tag instruments with.
   obs::MetricTags metric_tags;
+  /// Single-writer state-ownership registry (ROADMAP item 3); nullptr when
+  /// the execution runs without ownership tracking. Keyed-aggregation
+  /// processors claim their partition share in their vertex's domain at
+  /// Init; the scheduler transfers the claims on worker handoff via
+  /// AdoptWorkerOwnership.
+  imdg::OwnershipRegistry* ownership = nullptr;
 
   /// Highest snapshot id the coordinator committed (0 when none/unknown).
   int64_t CommittedSnapshot() const {
@@ -157,6 +167,12 @@ class Processor {
   /// drainer) unbind them here; the scheduler guarantees a happens-before
   /// edge to the new worker's first call.
   virtual void ReleaseWorkerOwnership() {}
+
+  /// The hosting tasklet has just been adopted by worker `worker_index`
+  /// (counterpart of ReleaseWorkerOwnership, ordered after it). Processors
+  /// holding partition-ownership claims re-register them under the new
+  /// worker here, so state ownership migrates together with the tasklet.
+  virtual void AdoptWorkerOwnership(int32_t worker_index) { (void)worker_index; }
 
  protected:
   /// Available after Init.

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "core/aggregate.h"
 #include "core/processor.h"
+#include "core/state_ownership.h"
 #include "core/watermark.h"
 
 namespace jet::core {
@@ -62,6 +63,15 @@ class AccumulateByFrameP final : public Processor {
         key_fn_(std::move(key_fn)),
         window_(window),
         late_counter_(std::move(late_counter)) {}
+
+  Status Init(ProcessorContext* ctx) override {
+    JET_RETURN_IF_ERROR(Processor::Init(ctx));
+    return claim_.ClaimVertexShare(*ctx);
+  }
+
+  void AdoptWorkerOwnership(int32_t worker_index) override {
+    claim_.AdoptWorker(worker_index);
+  }
 
   void Process(int ordinal, Inbox* inbox) override {
     (void)ordinal;
@@ -163,6 +173,7 @@ class AccumulateByFrameP final : public Processor {
   AggregateOperation<In, Acc, Res> op_;
   std::function<uint64_t(const In&)> key_fn_;
   WindowDef window_;
+  StateOwnershipClaim claim_;
   std::shared_ptr<std::atomic<int64_t>> late_counter_;
   std::map<Nanos, std::unordered_map<uint64_t, Acc>> frames_;
   Nanos flushed_up_to_ = kMinWatermark;
@@ -186,6 +197,15 @@ class CombineFramesP final : public Processor {
  public:
   CombineFramesP(AggregateOperation<In, Acc, Res> op, WindowDef window)
       : op_(std::move(op)), window_(window) {}
+
+  Status Init(ProcessorContext* ctx) override {
+    JET_RETURN_IF_ERROR(Processor::Init(ctx));
+    return claim_.ClaimVertexShare(*ctx);
+  }
+
+  void AdoptWorkerOwnership(int32_t worker_index) override {
+    claim_.AdoptWorker(worker_index);
+  }
 
   void Process(int ordinal, Inbox* inbox) override {
     (void)ordinal;
@@ -379,6 +399,7 @@ class CombineFramesP final : public Processor {
 
   AggregateOperation<In, Acc, Res> op_;
   WindowDef window_;
+  StateOwnershipClaim claim_;
   std::map<Nanos, std::unordered_map<uint64_t, Acc>> frames_;
   std::unordered_map<uint64_t, Running> running_;
   Nanos last_window_end_ = kMinWatermark;
@@ -399,6 +420,15 @@ class SessionWindowP final : public Processor {
   SessionWindowP(AggregateOperation<In, Acc, Res> op,
                  std::function<uint64_t(const In&)> key_fn, Nanos gap)
       : op_(std::move(op)), key_fn_(std::move(key_fn)), gap_(gap) {}
+
+  Status Init(ProcessorContext* ctx) override {
+    JET_RETURN_IF_ERROR(Processor::Init(ctx));
+    return claim_.ClaimVertexShare(*ctx);
+  }
+
+  void AdoptWorkerOwnership(int32_t worker_index) override {
+    claim_.AdoptWorker(worker_index);
+  }
 
   void Process(int ordinal, Inbox* inbox) override {
     (void)ordinal;
@@ -537,6 +567,7 @@ class SessionWindowP final : public Processor {
   AggregateOperation<In, Acc, Res> op_;
   std::function<uint64_t(const In&)> key_fn_;
   Nanos gap_;
+  StateOwnershipClaim claim_;
   std::unordered_map<uint64_t, std::vector<Session>> sessions_;
   std::deque<Item> pending_;
   std::deque<StateEntry> snapshot_pending_;
@@ -563,6 +594,15 @@ class RollingAggregateP final : public Processor {
   RollingAggregateP(AggregateOperation<In, Acc, Res> op,
                     std::function<uint64_t(const In&)> key_fn)
       : op_(std::move(op)), key_fn_(std::move(key_fn)) {}
+
+  Status Init(ProcessorContext* ctx) override {
+    JET_RETURN_IF_ERROR(Processor::Init(ctx));
+    return claim_.ClaimVertexShare(*ctx);
+  }
+
+  void AdoptWorkerOwnership(int32_t worker_index) override {
+    claim_.AdoptWorker(worker_index);
+  }
 
   void Process(int ordinal, Inbox* inbox) override {
     (void)ordinal;
@@ -631,6 +671,7 @@ class RollingAggregateP final : public Processor {
 
   AggregateOperation<In, Acc, Res> op_;
   std::function<uint64_t(const In&)> key_fn_;
+  StateOwnershipClaim claim_;
   std::unordered_map<uint64_t, Acc> state_;
   std::deque<Item> pending_;
   std::deque<StateEntry> snapshot_pending_;

@@ -1,0 +1,101 @@
+#ifndef JETSIM_CORE_STATE_OWNERSHIP_H_
+#define JETSIM_CORE_STATE_OWNERSHIP_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/processor.h"
+#include "imdg/ownership.h"
+
+namespace jet::core {
+
+/// RAII bundle of one processor instance's single-writer partition claims
+/// (ROADMAP item 3). A keyed-aggregation processor claims its share of the
+/// vertex's state domain at Init, transfers the claims to the adopting
+/// worker when the scheduler migrates its tasklet (AdoptWorkerOwnership),
+/// and releases them on destruction. Claims are pure bookkeeping on the
+/// cold path: they assert the single-writer discipline the partitioned
+/// edge already provides, feed the `grid.owned_partitions` /
+/// `scheduler.ownership_migrations` gauges, and let jet-verify and the
+/// tsan suites pin exactly one writer per partition.
+///
+/// All methods run on the tasklet's current owner thread; cross-thread
+/// ordering is the scheduler's mailbox handoff (PrepareWorkerHandoff
+/// happens-before OnWorkerAdopted).
+class StateOwnershipClaim {
+ public:
+  StateOwnershipClaim() = default;
+  StateOwnershipClaim(const StateOwnershipClaim&) = delete;
+  StateOwnershipClaim& operator=(const StateOwnershipClaim&) = delete;
+  ~StateOwnershipClaim() { ReleaseAll(); }
+
+  /// Claims this instance's slot of its vertex's keyed-state domain.
+  /// A partitioned edge routes key_hash % total_parallelism, so the
+  /// domain has total_parallelism partitions and instance g owns exactly
+  /// partition g — every key this instance will ever see. No-op (OK) when
+  /// the execution runs without an ownership registry.
+  Status ClaimVertexShare(const ProcessorContext& ctx) {
+    if (ctx.ownership == nullptr) return Status::OK();
+    imdg::PartitionOwnershipTable* table = ctx.ownership->TableFor(
+        "vertex." + std::to_string(ctx.vertex_id), ctx.meta.total_parallelism);
+    if (table == nullptr) {
+      return FailedPreconditionError(
+          "ownership domain partition-count conflict for vertex " +
+          std::to_string(ctx.vertex_id));
+    }
+    return ClaimPartitions(table, {ctx.meta.global_index}, ctx.meta.global_index);
+  }
+
+  /// Claims an explicit partition set in `table` for owner id `tasklet`.
+  /// Used by grid-owned processors whose state lives in DataGrid
+  /// partitions rather than a per-vertex domain.
+  Status ClaimPartitions(imdg::PartitionOwnershipTable* table,
+                         std::vector<imdg::PartitionId> partitions, int64_t tasklet) {
+    ReleaseAll();
+    table_ = table;
+    tasklet_ = tasklet;
+    for (imdg::PartitionId p : partitions) {
+      Status s = table_->Claim(p, /*worker=*/-1, tasklet_);
+      if (!s.ok()) {
+        ReleaseAll();
+        return s;
+      }
+      partitions_.push_back(p);
+    }
+    return Status::OK();
+  }
+
+  /// The hosting tasklet was adopted by `worker_index`: re-register every
+  /// claim under the new worker (counts as an ownership migration).
+  void AdoptWorker(int32_t worker_index) {
+    if (table_ == nullptr) return;
+    for (imdg::PartitionId p : partitions_) {
+      (void)table_->Transfer(p, tasklet_, worker_index);
+    }
+  }
+
+  void ReleaseAll() {
+    if (table_ == nullptr) return;
+    for (imdg::PartitionId p : partitions_) {
+      (void)table_->Release(p, tasklet_);
+    }
+    partitions_.clear();
+    table_ = nullptr;
+  }
+
+  /// Whether any claim is active (false without a registry).
+  bool active() const { return table_ != nullptr && !partitions_.empty(); }
+
+  const std::vector<imdg::PartitionId>& partitions() const { return partitions_; }
+
+ private:
+  imdg::PartitionOwnershipTable* table_ = nullptr;
+  int64_t tasklet_ = imdg::PartitionOwnershipTable::kNoTasklet;
+  std::vector<imdg::PartitionId> partitions_;
+};
+
+}  // namespace jet::core
+
+#endif  // JETSIM_CORE_STATE_OWNERSHIP_H_

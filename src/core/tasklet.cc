@@ -167,6 +167,13 @@ void ProcessorTasklet::PrepareWorkerHandoff() {
   processor_->ReleaseWorkerOwnership();
 }
 
+void ProcessorTasklet::OnWorkerAdopted(int32_t worker_index) {
+  // Adopting-worker half of the migration handoff: move transferable
+  // per-worker state (partition ownership claims) to the new worker before
+  // the first Call() touches any owned state.
+  processor_->AdoptWorkerOwnership(worker_index);
+}
+
 bool ProcessorTasklet::DrainOutbox() {
   bool fully_drained = true;
   for (int o = 0; o < outbox_.edge_count(); ++o) {

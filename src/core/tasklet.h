@@ -49,6 +49,13 @@ class Tasklet {
   /// this call and the new worker's first Call().
   virtual void PrepareWorkerHandoff() {}
 
+  /// Called by the adopting worker thread right after it received this
+  /// tasklet from its mailbox (the counterpart of PrepareWorkerHandoff,
+  /// ordered after it by the mailbox mutex). Implementations re-register
+  /// transferable per-worker state — notably single-writer partition
+  /// ownership claims, which migrate *with* the tasklet.
+  virtual void OnWorkerAdopted(int32_t worker_index) { (void)worker_index; }
+
   /// Diagnostic name.
   virtual const std::string& name() const = 0;
 };
@@ -127,6 +134,7 @@ class ProcessorTasklet final : public Tasklet {
   TaskletProgress Call() override;
   bool IsCooperative() const override { return cooperative_; }
   void PrepareWorkerHandoff() override;
+  void OnWorkerAdopted(int32_t worker_index) override;
   const std::string& name() const override { return name_; }
 
   /// Number of data items this tasklet pushed into its processor. Safe to

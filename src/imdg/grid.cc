@@ -1,19 +1,25 @@
 #include "imdg/grid.h"
 
 #include <algorithm>
+#include <map>
+#include <thread>
+#include <utility>
 
 namespace jet::imdg {
 
 DataGrid::DataGrid(int32_t backup_count, int32_t partition_count)
     : table_(partition_count, backup_count),
       partition_locks_(static_cast<size_t>(partition_count)),
-      partition_hold_(static_cast<size_t>(partition_count)) {}
+      partition_hold_(static_cast<size_t>(partition_count)),
+      ownership_(partition_count) {}
 
 Result<int64_t> DataGrid::AddMember(MemberId member) {
   // Exclusive layout lock: entry operations read table_ and members_ under
   // the shared lock, so every mutation below is invisible to them until
-  // this function returns.
+  // this function returns. Owned handles bypass the shared lock, so they
+  // are quiesced explicitly before any store is touched.
   jet::WriterLock layout(layout_rw_);
+  BumpLayoutEpochAndQuiesce();
   if (members_.count(member) != 0) {
     return Status(StatusCode::kAlreadyExists, "member already in grid");
   }
@@ -46,8 +52,10 @@ Result<int64_t> DataGrid::AddMember(MemberId member) {
 
 Status DataGrid::RemoveMember(MemberId member) {
   // Hard failure: the member's data is gone. Exclusive layout lock: entry
-  // operations may hold PartitionStore pointers into this member.
+  // operations may hold PartitionStore pointers into this member, and so
+  // do owned handles — quiesce them before the erase below.
   jet::WriterLock layout(layout_rw_);
+  BumpLayoutEpochAndQuiesce();
   auto it = members_.find(member);
   if (it == members_.end()) return NotFoundError("member not in grid");
   members_.erase(it);
@@ -68,30 +76,81 @@ Status DataGrid::ValidateTable() const {
   return table_.Validate();
 }
 
+void DataGrid::BumpLayoutEpochAndQuiesce() {
+  // Publish the new epoch first (seq_cst): any owned operation that starts
+  // after this point validates against it, misses, and retires to the
+  // locked slow path — where it blocks on layout_rw_, which the caller
+  // holds exclusively.
+  layout_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (owned_active_.load(std::memory_order_acquire) == 0) return;
+  jet::MutexLock lock(owned_mutex_);
+  for (OwnedPartitionHandle* handle : owned_handles_registry_) {
+    // An operation that published in_op_ before the epoch bump is still
+    // running on pre-mutation pointers; wait it out. Owned operations
+    // never block or take locks, so the wait is bounded by one entry op.
+    while (handle->in_op_.load(std::memory_order_seq_cst)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+bool DataGrid::IsOwnedPair(const std::string& map_name, PartitionId partition) const {
+  if (owned_active_.load(std::memory_order_acquire) == 0) return false;
+  jet::MutexLock lock(owned_mutex_);
+  for (const OwnedPartitionHandle* handle : owned_handles_registry_) {
+    if (handle->partition_ == partition && handle->map_ == map_name) return true;
+  }
+  return false;
+}
+
 int64_t DataGrid::ApplyMigrations(const std::vector<Migration>& migrations) {
+  // Callers hold layout_rw_ exclusively and have quiesced owned handles:
+  // no entry operation, scan, or owned access can observe intermediate
+  // state, so the stores are handed over in whole batches without per-
+  // partition locks — a 1M-entry partition moves as one node splice
+  // instead of 1M locked inserts.
   int64_t migrated = 0;
+  // A store may only be *moved* out of its source when no later migration
+  // still copies from the same (source, partition).
+  std::map<std::pair<MemberId, PartitionId>, int32_t> pending_reads;
+  for (const Migration& m : migrations) ++pending_reads[{m.source, m.partition}];
   for (const Migration& m : migrations) {
     auto src_it = members_.find(m.source);
     auto dst_it = members_.find(m.destination);
+    --pending_reads[{m.source, m.partition}];
     if (src_it == members_.end() || dst_it == members_.end()) continue;
-    jet::MutexLock lock(LockFor(m.partition));
-    debug::ScopedHold hold(partition_hold_[static_cast<size_t>(m.partition)]);
-    // Copy out under the source's layout mutex, then insert under the
-    // destination's; sequential (never nested) acquisition stays
-    // deadlock-free even when a migration maps a member onto itself.
-    std::vector<std::pair<std::string, PartitionStore>> copies;
-    {
-      jet::MutexLock src_layout(src_it->second->layout_mutex);
-      for (auto& [map_name, partitions] : src_it->second->maps) {
-        auto part_it = partitions.find(m.partition);
-        if (part_it == partitions.end()) continue;
-        copies.emplace_back(map_name, part_it->second);
-        migrated += static_cast<int64_t>(part_it->second.size());
+    bool source_keeps_replica = false;
+    for (int32_t i = 0; i <= table_.backup_count(); ++i) {
+      if (table_.ReplicaFor(m.partition, i) == m.source) {
+        source_keeps_replica = true;
+        break;
       }
     }
-    jet::MutexLock dst_layout(dst_it->second->layout_mutex);
-    for (auto& [map_name, store] : copies) {
-      dst_it->second->maps[map_name][m.partition] = std::move(store);
+    if (m.source == m.destination) {
+      // Maps a member onto itself: the data is already in place; only the
+      // accounting applies.
+      for (auto& [map_name, partitions] : src_it->second->maps) {
+        auto part_it = partitions.find(m.partition);
+        if (part_it != partitions.end()) {
+          migrated += static_cast<int64_t>(part_it->second.size());
+        }
+      }
+      continue;
+    }
+    const bool move_store =
+        !source_keeps_replica && pending_reads[{m.source, m.partition}] == 0;
+    for (auto& [map_name, partitions] : src_it->second->maps) {
+      auto part_it = partitions.find(m.partition);
+      if (part_it == partitions.end()) continue;
+      migrated += static_cast<int64_t>(part_it->second.size());
+      if (move_store) {
+        dst_it->second->maps[map_name][m.partition] = std::move(part_it->second);
+        partitions.erase(part_it);
+        // jet-verify: allow(single-writer) — monotonic stats counter (RMW)
+        stat_batched_moves_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        dst_it->second->maps[map_name][m.partition] = part_it->second;
+      }
     }
   }
   return migrated;
@@ -166,6 +225,9 @@ Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partiti
   if (partition < 0 || partition >= table_.partition_count()) {
     return InvalidArgumentError("partition out of range");
   }
+  if (IsOwnedPair(map_name, partition)) {
+    return FailedPreconditionError("partition is open for owned access");
+  }
   {
     jet::ReaderLock layout(layout_rw_);
     jet::MutexLock lock(LockFor(partition));
@@ -212,6 +274,9 @@ Status DataGrid::PutInPartition(const std::string& map_name, PartitionId partiti
 Result<std::optional<Bytes>> DataGrid::Get(const std::string& map_name,
                                            const Bytes& key) const {
   PartitionId partition = PartitionOf(key);
+  if (IsOwnedPair(map_name, partition)) {
+    return FailedPreconditionError("partition is open for owned access");
+  }
   jet::ReaderLock layout(layout_rw_);
   jet::MutexLock lock(LockFor(partition));
   debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
@@ -228,6 +293,9 @@ Result<std::optional<Bytes>> DataGrid::Get(const std::string& map_name,
 
 Result<bool> DataGrid::Remove(const std::string& map_name, const Bytes& key) {
   PartitionId partition = PartitionOf(key);
+  if (IsOwnedPair(map_name, partition)) {
+    return FailedPreconditionError("partition is open for owned access");
+  }
   jet::ReaderLock layout(layout_rw_);
   jet::MutexLock lock(LockFor(partition));
   debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
@@ -250,6 +318,7 @@ int64_t DataGrid::Size(const std::string& map_name) const {
   int64_t total = 0;
   jet::ReaderLock layout(layout_rw_);
   for (PartitionId p = 0; p < table_.partition_count(); ++p) {
+    if (IsOwnedPair(map_name, p)) continue;  // owner is sole reader/writer
     jet::MutexLock lock(LockFor(p));
     debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     MemberId primary = table_.PrimaryFor(p);
@@ -263,6 +332,7 @@ int64_t DataGrid::Size(const std::string& map_name) const {
 void DataGrid::Clear(const std::string& map_name) {
   jet::ReaderLock layout(layout_rw_);
   for (PartitionId p = 0; p < table_.partition_count(); ++p) {
+    if (IsOwnedPair(map_name, p)) continue;  // owner is sole reader/writer
     jet::MutexLock lock(LockFor(p));
     debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     for (auto& [id, member] : members_) {
@@ -277,8 +347,10 @@ void DataGrid::Clear(const std::string& map_name) {
 
 void DataGrid::Destroy(const std::string& map_name) {
   // Erasing whole maps invalidates PartitionStore pointers held by entry
-  // operations, so exclude them all.
+  // operations, so exclude them all — and quiesce owned handles, which
+  // cache the same pointers without holding the shared lock.
   jet::WriterLock layout(layout_rw_);
+  BumpLayoutEpochAndQuiesce();
   for (auto& [id, member] : members_) member->maps.erase(map_name);
 }
 
@@ -293,6 +365,7 @@ std::vector<std::pair<Bytes, Bytes>> DataGrid::EntriesInPartition(
 void DataGrid::ForEachInPartition(
     const std::string& map_name, PartitionId partition,
     const std::function<void(const Bytes&, const Bytes&)>& fn) const {
+  if (IsOwnedPair(map_name, partition)) return;  // owner is sole reader/writer
   jet::ReaderLock layout(layout_rw_);
   jet::MutexLock lock(LockFor(partition));
   debug::ScopedHold hold(partition_hold_[static_cast<size_t>(partition)]);
@@ -310,6 +383,7 @@ GridStats DataGrid::stats() const {
   s.removes = stat_removes_.load(std::memory_order_relaxed);
   s.replicated_bytes = stat_replicated_bytes_.load(std::memory_order_relaxed);
   s.migrated_entries = stat_migrated_entries_.load(std::memory_order_relaxed);
+  s.batched_moves = stat_batched_moves_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -325,6 +399,7 @@ Status DataGrid::Reserve(const std::string& map_name, int64_t expected_entries) 
   const auto per_partition = static_cast<size_t>(
       (expected_entries + partitions - 1) / partitions + expected_entries / (partitions * 4));
   for (PartitionId p = 0; p < partitions; ++p) {
+    if (IsOwnedPair(map_name, p)) continue;  // owner is sole reader/writer
     jet::MutexLock lock(LockFor(p));
     debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     for (int32_t i = 0; i <= table_.backup_count(); ++i) {
@@ -353,6 +428,7 @@ GridUsage DataGrid::Usage() const {
     for (const auto& [map_name, map_partitions] : member_it->second->maps) {
       auto part_it = map_partitions.find(p);
       if (part_it == map_partitions.end()) continue;
+      if (IsOwnedPair(map_name, p)) continue;  // owner is sole reader/writer
       partition_entries += static_cast<int64_t>(part_it->second.size());
       for (const auto& [k, v] : part_it->second) {
         usage.bytes_approx += static_cast<int64_t>(k.size() + v.size());
@@ -369,9 +445,184 @@ GridUsage DataGrid::Usage() const {
   return usage;
 }
 
+Result<std::unique_ptr<OwnedPartitionHandle>> DataGrid::AcquireOwnedPartition(
+    const std::string& map_name, PartitionId partition, int64_t tasklet) {
+  if (partition < 0 || partition >= table_.partition_count()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  if (!ownership_.IsOwnedBy(partition, tasklet)) {
+    return FailedPreconditionError("partition " + std::to_string(partition) +
+                                   " not claimed by tasklet " +
+                                   std::to_string(tasklet));
+  }
+  auto handle = std::unique_ptr<OwnedPartitionHandle>(
+      new OwnedPartitionHandle(this, map_name, partition, tasklet));
+  // Resolve the replica pointers eagerly so the first owned operation pays
+  // no refresh. A layout mutation sneaking in between this and the
+  // registration below only bumps the epoch — the first operation then
+  // detects the mismatch and re-resolves.
+  handle->Refresh();
+  if (handle->primary_ == nullptr) {
+    handle->grid_ = nullptr;  // not registered; skip the destructor's unlink
+    return UnavailableError("no members in grid");
+  }
+  {
+    jet::MutexLock lock(owned_mutex_);
+    for (const OwnedPartitionHandle* existing : owned_handles_registry_) {
+      if (existing->partition_ == partition && existing->map_ == map_name) {
+        handle->grid_ = nullptr;
+        return Status(StatusCode::kAlreadyExists,
+                      "owned handle already open for this (map, partition)");
+      }
+    }
+    owned_handles_registry_.push_back(handle.get());
+  }
+  owned_active_.fetch_add(1, std::memory_order_acq_rel);
+  return handle;
+}
+
+OwnedPartitionHandle::OwnedPartitionHandle(DataGrid* grid, std::string map,
+                                           PartitionId partition, int64_t tasklet)
+    : grid_(grid), map_(std::move(map)), partition_(partition), tasklet_(tasklet) {}
+
+OwnedPartitionHandle::~OwnedPartitionHandle() {
+  if (grid_ == nullptr) return;  // acquisition failed; never registered
+  FoldStats();
+  {
+    jet::MutexLock lock(grid_->owned_mutex_);
+    auto& registry = grid_->owned_handles_registry_;
+    registry.erase(std::remove(registry.begin(), registry.end(), this),
+                   registry.end());
+  }
+  grid_->owned_active_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void OwnedPartitionHandle::FoldStats() {
+  // jet-verify: allow(single-writer) — monotonic stats counters (RMW),
+  // folded once per handle lifetime
+  grid_->stat_puts_.fetch_add(local_puts_, std::memory_order_relaxed);
+  grid_->stat_gets_.fetch_add(local_gets_, std::memory_order_relaxed);
+  grid_->stat_removes_.fetch_add(local_removes_, std::memory_order_relaxed);
+  grid_->stat_replicated_bytes_.fetch_add(local_replicated_,
+                                          std::memory_order_relaxed);
+  local_puts_ = local_gets_ = local_removes_ = local_replicated_ = 0;
+}
+
+void OwnedPartitionHandle::EnterOp() {
+  JET_DCHECK_SINGLE_THREAD(guard_, "OwnedPartitionHandle operation");
+  for (;;) {
+    // Dekker pairing with BumpLayoutEpochAndQuiesce: the in-op publish and
+    // the epoch validation must form a seq_cst store→load so that either
+    // the mutator sees the flag or this op sees the new epoch.
+    in_op_.store(true, std::memory_order_seq_cst);
+    if (epoch_ == grid_->layout_epoch_.load(std::memory_order_seq_cst)) return;
+    in_op_.store(false, std::memory_order_release);
+    Refresh();
+  }
+}
+
+void OwnedPartitionHandle::Refresh() JET_COOPERATIVE {
+  // Slow path (layout changed): re-resolve under the grid's locks like any
+  // locked entry operation would. Blocks while a layout mutation is in
+  // progress, which is exactly the required behavior. Audited cooperative
+  // boundary (see the declaration): bounded pointer re-resolution entered
+  // only on a membership event, never on the steady-state hot path.
+  jet::ReaderLock layout(grid_->layout_rw_);
+  jet::MutexLock lock(grid_->LockFor(partition_));
+  debug::ScopedHold hold(grid_->partition_hold_[static_cast<size_t>(partition_)]);
+  // No mutator can run while we hold the shared lock, so the epoch read
+  // here is consistent with the pointers resolved below.
+  epoch_ = grid_->layout_epoch_.load(std::memory_order_seq_cst);
+  primary_ = nullptr;
+  backups_.clear();
+  MemberId primary = grid_->table_.PrimaryFor(partition_);
+  if (primary == kInvalidMember) return;
+  primary_ = grid_->StoreFor(primary, map_, partition_);
+  for (int32_t i = 1; i <= grid_->table_.backup_count(); ++i) {
+    MemberId backup = grid_->table_.ReplicaFor(partition_, i);
+    if (backup == kInvalidMember) continue;
+    PartitionStore* store = grid_->StoreFor(backup, map_, partition_);
+    if (store != nullptr) backups_.push_back(store);
+  }
+}
+
+Status OwnedPartitionHandle::Put(const Bytes& key, const Bytes& value) {
+  EnterOp();
+  if (primary_ == nullptr) {
+    ExitOp();
+    return UnavailableError("no primary replica");
+  }
+  (*primary_)[key] = value;
+  for (PartitionStore* backup : backups_) {
+    (*backup)[key] = value;
+    local_replicated_ += static_cast<int64_t>(key.size() + value.size());
+  }
+  ++local_puts_;
+  ExitOp();
+  return Status::OK();
+}
+
+Status OwnedPartitionHandle::Update(const Bytes& key,
+                                    const std::function<void(Bytes*)>& fn) {
+  EnterOp();
+  if (primary_ == nullptr) {
+    ExitOp();
+    return UnavailableError("no primary replica");
+  }
+  Bytes& value = (*primary_)[key];
+  fn(&value);
+  for (PartitionStore* backup : backups_) {
+    (*backup)[key] = value;
+    local_replicated_ += static_cast<int64_t>(key.size() + value.size());
+  }
+  ++local_puts_;
+  ExitOp();
+  return Status::OK();
+}
+
+std::optional<Bytes> OwnedPartitionHandle::Get(const Bytes& key) {
+  EnterOp();
+  ++local_gets_;
+  if (primary_ == nullptr) {
+    ExitOp();
+    return std::nullopt;
+  }
+  auto it = primary_->find(key);
+  std::optional<Bytes> result;
+  if (it != primary_->end()) result = it->second;
+  ExitOp();
+  return result;
+}
+
+bool OwnedPartitionHandle::Remove(const Bytes& key) {
+  EnterOp();
+  ++local_removes_;
+  bool removed = primary_ != nullptr && primary_->erase(key) > 0;
+  for (PartitionStore* backup : backups_) backup->erase(key);
+  ExitOp();
+  return removed;
+}
+
+int64_t OwnedPartitionHandle::Size() {
+  EnterOp();
+  int64_t size = primary_ == nullptr ? 0 : static_cast<int64_t>(primary_->size());
+  ExitOp();
+  return size;
+}
+
+void OwnedPartitionHandle::ForEach(
+    const std::function<void(const Bytes&, const Bytes&)>& fn) {
+  EnterOp();
+  if (primary_ != nullptr) {
+    for (const auto& [k, v] : *primary_) fn(k, v);
+  }
+  ExitOp();
+}
+
 Status DataGrid::CheckReplicaConsistency(const std::string& map_name) const {
   jet::ReaderLock layout(layout_rw_);
   for (PartitionId p = 0; p < table_.partition_count(); ++p) {
+    if (IsOwnedPair(map_name, p)) continue;  // owner is sole reader/writer
     jet::MutexLock lock(LockFor(p));
     debug::ScopedHold hold(partition_hold_[static_cast<size_t>(p)]);
     MemberId primary = table_.PrimaryFor(p);

@@ -16,10 +16,13 @@
 #include "common/rng.h"
 #include "common/serde.h"
 #include "common/status.h"
+#include "imdg/ownership.h"
 #include "imdg/partition.h"
 #include "imdg/partition_table.h"
 
 namespace jet::imdg {
+
+class DataGrid;
 
 /// Hash functor for byte-string keys.
 struct BytesHash {
@@ -41,6 +44,115 @@ struct GridStats {
   int64_t removes = 0;
   int64_t replicated_bytes = 0;  // bytes written to backup replicas
   int64_t migrated_entries = 0;  // entries copied by rebalancing
+  int64_t batched_moves = 0;     // whole-store migrations (moved, not copied)
+};
+
+/// Exclusive, lock-free access to one (map, partition) pair of the grid by
+/// its registered single writer (ROADMAP item 3). The handle caches raw
+/// PartitionStore pointers for the primary and backup replicas; every
+/// operation is plain loads/stores on those stores — no `layout_rw_`
+/// acquisition, no partition mutex — so a keyed-aggregation hot path pays
+/// zero lock operations per event.
+///
+/// Safety protocol (epoch + in-op flag, Dekker-style):
+///  - every operation publishes `in_op_ = true` (seq_cst), then validates
+///    its cached layout epoch against the grid's (seq_cst load). On a
+///    mismatch it clears the flag and re-resolves its pointers under the
+///    grid's locks.
+///  - every layout mutation (AddMember/RemoveMember/Destroy) bumps the
+///    epoch (seq_cst) *while holding the exclusive layout lock*, then
+///    spin-waits until every registered handle shows `in_op_ == false`.
+/// In the seq_cst total order either the handle's epoch load precedes the
+/// mutator's bump — then the mutator's quiesce scan observes `in_op_ ==
+/// true` and waits out the operation — or it follows it, and the handle
+/// retires to the locked slow path before touching any store. Either way
+/// no owned operation ever overlaps a layout mutation.
+///
+/// Single-thread contract: only the owning tasklet's worker thread may
+/// call operations (ThreadOwnershipGuard-enforced under
+/// JETSIM_DEBUG_CHECKS). On a scheduler handoff call ReleaseThreadBinding()
+/// from the old worker; the next operation re-binds to the adopting one.
+///
+/// While a handle is live, locked-path entry operations on its (map,
+/// partition) pair are rejected with kFailedPrecondition and whole-grid
+/// scans (Size/Usage/EntriesWhere/CheckReplicaConsistency/Clear/Reserve)
+/// skip the pair — the owner is the only reader and writer.
+class OwnedPartitionHandle {
+ public:
+  ~OwnedPartitionHandle();
+
+  OwnedPartitionHandle(const OwnedPartitionHandle&) = delete;
+  OwnedPartitionHandle& operator=(const OwnedPartitionHandle&) = delete;
+
+  /// Stores `value` under `key` on the primary and every backup replica.
+  Status Put(const Bytes& key, const Bytes& value);
+
+  /// Returns the value under `key`, or nullopt.
+  std::optional<Bytes> Get(const Bytes& key);
+
+  /// Removes `key` from all replicas; true if it was present.
+  bool Remove(const Bytes& key);
+
+  /// In-place read-modify-write: applies `fn` to the stored value under
+  /// `key` (inserting an empty value first if absent), then mirrors the
+  /// result to the backups. Saves the Get copy of a fold-style update.
+  Status Update(const Bytes& key, const std::function<void(Bytes*)>& fn);
+
+  /// Entries in the primary replica of the pair.
+  int64_t Size();
+
+  /// Applies `fn` to every entry of the primary replica (owner-thread
+  /// only; used to snapshot owned state).
+  void ForEach(const std::function<void(const Bytes&, const Bytes&)>& fn);
+
+  /// Unbinds the handle from its current worker thread (scheduler handoff,
+  /// round boundary). The next operation binds the calling thread.
+  void ReleaseThreadBinding() { guard_.Release(); }
+
+  PartitionId partition() const { return partition_; }
+  const std::string& map_name() const { return map_; }
+
+ private:
+  friend class DataGrid;
+
+  OwnedPartitionHandle(DataGrid* grid, std::string map, PartitionId partition,
+                       int64_t tasklet);
+
+  /// Publishes in_op_ and validates the epoch; on return the cached
+  /// pointers are safe to use until ExitOp().
+  void EnterOp();
+  void ExitOp() { in_op_.store(false, std::memory_order_release); }
+
+  /// Re-resolves the replica store pointers under the grid's locks.
+  /// Audited cooperative boundary: this is the owned path's *cold* path,
+  /// entered only when the layout epoch changed (a membership event). The
+  /// critical section is a bounded pointer re-resolution; it blocks only
+  /// while a layout mutation is mid-flight, which is the quiesce protocol's
+  /// required semantic, not an unbounded wait on the steady-state hot path.
+  void Refresh() JET_COOPERATIVE;
+
+  /// Folds the handle-local statistic tallies into the grid's counters.
+  void FoldStats();
+
+  DataGrid* grid_;
+  std::string map_;
+  PartitionId partition_;
+  int64_t tasklet_;
+  /// Layout epoch the cached pointers were resolved at. 0 forces a
+  /// Refresh on the first operation (the grid's epoch starts at 1).
+  uint64_t epoch_ = 0;
+  PartitionStore* primary_ = nullptr;
+  std::vector<PartitionStore*> backups_;
+  /// True while an owned operation is touching the cached stores; the
+  /// grid's layout mutators quiesce on it.
+  std::atomic<bool> in_op_{false};
+  /// Handle-local stats, folded into the grid on destruction — the owned
+  /// hot path must not share cache lines with other writers.
+  int64_t local_puts_ = 0;
+  int64_t local_gets_ = 0;
+  int64_t local_removes_ = 0;
+  int64_t local_replicated_ = 0;
+  debug::ThreadOwnershipGuard guard_;
 };
 
 /// Capacity usage over primary replicas — the `imdg.*` capacity surfaces
@@ -84,9 +196,18 @@ struct GridUsage {
 /// Lock order (audited; the JET_EXCLUDES annotations on the entry points
 /// keep re-entrant acquisitions from regressing it): layout_rw_ (shared
 /// for entry ops, exclusive for layout mutations) → one partition lock →
-/// MemberStore::layout_mutex. listener_mutex_ is a leaf lock never held
-/// across any other acquisition, statistics are lock-free atomic tallies,
-/// and listeners are invoked outside every lock.
+/// MemberStore::layout_mutex → owned_mutex_ (innermost; guards the
+/// owned-handle registry and is never held while acquiring any other
+/// lock). listener_mutex_ is a leaf lock never held across any other
+/// acquisition, statistics are lock-free atomic tallies, and listeners are
+/// invoked outside every lock.
+///
+/// Owned access (single-writer mode): a partition claimed in ownership()
+/// can be accessed through an OwnedPartitionHandle with zero lock
+/// operations per entry op; layout mutations quiesce all live handles
+/// (epoch bump + in-op spin under the exclusive layout lock) before
+/// touching any store, and locked-path operations reject / scans skip a
+/// pair covered by a live handle.
 class DataGrid {
  public:
   /// Creates a grid with the given replication factor. Members are added
@@ -197,7 +318,27 @@ class DataGrid {
   /// Test helper; takes all partition locks one by one.
   Status CheckReplicaConsistency(const std::string& map_name) const;
 
+  /// Single-writer ownership of this grid's partitions. Claim a partition
+  /// here (scheduler/tasklet id), then open lock-free access with
+  /// AcquireOwnedPartition. Exported as `grid.owned_partitions`.
+  PartitionOwnershipTable& ownership() { return ownership_; }
+  const PartitionOwnershipTable& ownership() const { return ownership_; }
+
+  /// Opens owned (lock-free) access to one (map, partition) pair.
+  /// `tasklet` must hold the partition's claim in ownership(); at most one
+  /// live handle may exist per pair. The handle must be released (or the
+  /// grid must outlive it) before the claim is released.
+  Result<std::unique_ptr<OwnedPartitionHandle>> AcquireOwnedPartition(
+      const std::string& map_name, PartitionId partition, int64_t tasklet)
+      JET_EXCLUDES(layout_rw_);
+
+  /// Number of live owned-partition handles (tests/diagnostics).
+  int64_t owned_handles() const {
+    return owned_active_.load(std::memory_order_acquire);
+  }
+
  private:
+  friend class OwnedPartitionHandle;
   // All maps of one member: map name -> partition id -> entries. Only
   // partitions with a replica on the member have a (possibly empty) store.
   struct MemberStore {
@@ -218,8 +359,21 @@ class DataGrid {
   const PartitionStore* StoreForConst(MemberId member, const std::string& map_name,
                                       PartitionId partition) const;
 
-  // Copies partition data according to the migration plan.
+  // Moves partition data according to the migration plan. Runs under the
+  // exclusive layout lock (no entry operation or owned-handle operation can
+  // be in flight), so stores are handed over in whole batches — moved when
+  // the source relinquishes the replica, bulk-copied otherwise — instead of
+  // entry-by-entry under the partition lock.
   int64_t ApplyMigrations(const std::vector<Migration>& migrations);
+
+  // Requires the exclusive layout lock. Bumps layout_epoch_ and spin-waits
+  // until no registered owned handle has an operation in flight; after it
+  // returns the caller may invalidate any store the handles cache.
+  void BumpLayoutEpochAndQuiesce();
+
+  // True when a live owned handle covers (map_name, partition). Fast path:
+  // a relaxed owned_active_ == 0 check, no lock.
+  bool IsOwnedPair(const std::string& map_name, PartitionId partition) const;
 
   jet::Mutex& LockFor(PartitionId partition) const {
     return partition_locks_[static_cast<size_t>(partition)];
@@ -253,6 +407,7 @@ class DataGrid {
   mutable std::atomic<int64_t> stat_removes_{0};
   mutable std::atomic<int64_t> stat_replicated_bytes_{0};
   mutable std::atomic<int64_t> stat_migrated_entries_{0};
+  mutable std::atomic<int64_t> stat_batched_moves_{0};
 
   mutable jet::Mutex listener_mutex_;
   int64_t next_listener_id_ JET_GUARDED_BY(listener_mutex_) = 1;
@@ -264,6 +419,24 @@ class DataGrid {
   // attach them), Put skips the listener_mutex_ acquisition and the
   // registry scan entirely.
   std::atomic<int64_t> listener_count_{0};
+
+  // --- single-writer owned access (see OwnedPartitionHandle) ---
+  // Who owns which partition; consulted by AcquireOwnedPartition and the
+  // scheduler's ownership migration, never by the owned hot path.
+  PartitionOwnershipTable ownership_;
+  // Bumped (seq_cst) by every layout mutation while layout_rw_ is held
+  // exclusively; owned handles validate their cached pointers against it.
+  std::atomic<uint64_t> layout_epoch_{1};
+  // Registry of live handles, for the quiesce scan and the owned-pair
+  // checks. owned_mutex_ is the innermost lock of the grid's order: taken
+  // after layout_rw_ / a partition lock / a member layout_mutex, and never
+  // held while acquiring any other lock.
+  mutable jet::Mutex owned_mutex_;
+  std::vector<OwnedPartitionHandle*> owned_handles_registry_
+      JET_GUARDED_BY(owned_mutex_);
+  // Live-handle count; lets every locked-path owned-pair check and scan
+  // skip the owned_mutex_ acquisition while no owned access exists.
+  mutable std::atomic<int64_t> owned_active_{0};
 };
 
 }  // namespace jet::imdg

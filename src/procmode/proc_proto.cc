@@ -68,6 +68,7 @@ Bytes EncodeControlMessage(const ProcMsg& msg) {
       body.WriteVarI64(msg.snapshot_id);
       break;
     case ProcMsgType::kSnapshotReplicaSeal:
+    case ProcMsgType::kSnapshotReplicaReject:
       body.WriteVarI64(msg.snapshot_id);
       body.WriteVarI64(msg.entry_count);
       break;
@@ -101,7 +102,7 @@ Result<ProcMsg> DecodeControlMessage(const Bytes& frame) {
   uint8_t type_byte = 0;
   JET_RETURN_IF_ERROR(r.ReadU8(&type_byte));
   if (type_byte < static_cast<uint8_t>(ProcMsgType::kHello) ||
-      type_byte > static_cast<uint8_t>(ProcMsgType::kSnapshotReplicaAck)) {
+      type_byte > static_cast<uint8_t>(ProcMsgType::kSnapshotReplicaReject)) {
     return InvalidArgumentError("unknown control message type " + std::to_string(type_byte));
   }
   ProcMsg msg;
@@ -156,6 +157,7 @@ Result<ProcMsg> DecodeControlMessage(const Bytes& frame) {
       JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.snapshot_id));
       break;
     case ProcMsgType::kSnapshotReplicaSeal:
+    case ProcMsgType::kSnapshotReplicaReject:
       JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.snapshot_id));
       JET_RETURN_IF_ERROR(r.ReadVarI64(&msg.entry_count));
       break;

@@ -58,6 +58,12 @@ enum class ProcMsgType : uint8_t {
   /// coordinator commits only after this ack, so every committed epoch
   /// exists in >= 2 processes.
   kSnapshotReplicaAck = 19,
+  /// replica member -> coordinator: seal verification FAILED — the
+  /// replica's entry count does not match the seal's. The coordinator
+  /// aborts the snapshot immediately instead of letting the watchdog
+  /// timeout discover the hole. entry_count carries the replica's actual
+  /// count (the seal's expectation is in the coordinator's logs).
+  kSnapshotReplicaReject = 20,
 };
 
 /// One control message. A flat struct (only the fields of `type` are

@@ -65,6 +65,7 @@ ProcessCluster::ProcessCluster(Options options)
   respawns_counter_ = registry_.GetCounter("proc.respawns");
   heartbeats_counter_ = registry_.GetCounter("proc.heartbeats");
   replica_entries_counter_ = registry_.GetCounter("proc.replica_entries");
+  replica_rejects_counter_ = registry_.GetCounter("proc.replica_rejects");
   backoff_gauge_ = registry_.GetGauge("proc.backoff_nanos");
   budget_gauge_ = registry_.GetGauge("proc.retry_budget_remaining");
   suspected_gauge_ = registry_.GetGauge("proc.suspected_members");
@@ -386,6 +387,16 @@ int32_t ProcessCluster::snapshot_replica_member() const {
   return last_replica_holder_;
 }
 
+int64_t ProcessCluster::replica_reject_count() const {
+  jet::MutexLock lock(mu_);
+  return replica_rejects_;
+}
+
+void ProcessCluster::CorruptNextReplicaSeal() {
+  jet::MutexLock lock(mu_);
+  corrupt_next_seal_ = true;
+}
+
 std::string ProcessCluster::failure_message() const {
   jet::MutexLock lock(mu_);
   return failure_;
@@ -564,6 +575,10 @@ void ProcessCluster::HandleEvent(Event e) {
           seal.epoch = epoch_;
           seal.snapshot_id = in_flight_snapshot_;
           seal.entry_count = replica_entries_sent_;
+          if (corrupt_next_seal_) {
+            corrupt_next_seal_ = false;
+            ++seal.entry_count;  // test hook: force a replica reject
+          }
           (void)r.conn->SendFrame(EncodeControlMessage(seal));
           replica_seal_sent_ = true;
           return;  // commit on kSnapshotReplicaAck
@@ -583,6 +598,27 @@ void ProcessCluster::HandleEvent(Event e) {
       const int32_t index = MemberIndexOf(e.conn);
       if (index != replica_member_) return;
       CommitInFlight();
+      return;
+    }
+    case ProcMsgType::kSnapshotReplicaReject: {
+      // Explicit negative ack: the replica's entry count disagreed with the
+      // seal. Abort right now — without this message the only way to learn
+      // of the hole is the ack-timeout watchdog, which burns seconds on a
+      // condition the replica detected instantly.
+      if (msg.epoch != epoch_ || msg.snapshot_id != in_flight_snapshot_ ||
+          !replica_seal_sent_) {
+        return;
+      }
+      const int32_t index = MemberIndexOf(e.conn);
+      if (index != replica_member_) return;
+      JET_LOG(kWarn) << "replica member " << index << " rejected snapshot "
+                     << msg.snapshot_id << " (has " << msg.entry_count
+                     << " entries, expected " << replica_entries_sent_
+                     << "); aborting";
+      ++replica_rejects_;
+      replica_rejects_counter_.Add(1);
+      AbortInFlightSnapshot();
+      last_snapshot_done_ = Now();
       return;
     }
     case ProcMsgType::kSinkResult: {

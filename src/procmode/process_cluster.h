@@ -184,6 +184,12 @@ class ProcessCluster {
   /// Member index holding the replica of the last committed snapshot
   /// (-1: none committed with a replica yet).
   int32_t snapshot_replica_member() const;
+  /// Replica seal rejections received so far (each aborted one snapshot).
+  int64_t replica_reject_count() const;
+  /// Test hook: corrupt the next replica seal's entry_count (off by one),
+  /// forcing the replica to reject it. Deterministically exercises the
+  /// explicit-negative-ack path without racing entry delivery.
+  void CorruptNextReplicaSeal();
   /// Terminal failure reason (empty unless FAILED).
   std::string failure_message() const;
 
@@ -300,6 +306,10 @@ class ProcessCluster {
   bool replica_seal_sent_ JET_GUARDED_BY(mu_) = false;
   /// Member holding the replica of the last *committed* snapshot.
   int32_t last_replica_holder_ JET_GUARDED_BY(mu_) = -1;
+  /// Replica seal rejections received (explicit negative acks).
+  int64_t replica_rejects_ JET_GUARDED_BY(mu_) = 0;
+  /// Test hook (CorruptNextReplicaSeal): off-by-one the next seal's count.
+  bool corrupt_next_seal_ JET_GUARDED_BY(mu_) = false;
   /// Respawn policy state (one incident stream for the whole cluster).
   std::unique_ptr<RetryBackoff> respawn_backoff_ JET_GUARDED_BY(mu_);
   Nanos last_death_time_ JET_GUARDED_BY(mu_) = 0;
@@ -317,6 +327,7 @@ class ProcessCluster {
   obs::Counter respawns_counter_;        // proc.respawns
   obs::Counter heartbeats_counter_;      // proc.heartbeats
   obs::Counter replica_entries_counter_; // proc.replica_entries
+  obs::Counter replica_rejects_counter_; // proc.replica_rejects
   obs::Gauge backoff_gauge_;             // proc.backoff_nanos (last delay)
   obs::Gauge budget_gauge_;              // proc.retry_budget_remaining
   obs::Gauge suspected_gauge_;           // proc.suspected_members

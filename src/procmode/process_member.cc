@@ -213,11 +213,18 @@ void ProcessMember::HandleControlFrame(Bytes frame) {
         ack.snapshot_id = msg->snapshot_id;
         (void)control_->SendFrame(EncodeControlMessage(ack));
       } else {
-        // Stay silent on a count mismatch: the coordinator's ack-timeout
-        // watchdog aborts the snapshot instead of committing a hole.
+        // Explicit negative ack: the coordinator aborts the snapshot the
+        // moment this arrives, instead of burning its watchdog timeout on
+        // a hole it could have known about immediately.
+        ProcMsg reject;
+        reject.type = ProcMsgType::kSnapshotReplicaReject;
+        reject.epoch = msg->epoch;
+        reject.snapshot_id = msg->snapshot_id;
+        reject.entry_count = replica_store_.pending_entry_count(msg->snapshot_id);
+        (void)control_->SendFrame(EncodeControlMessage(reject));
         JET_LOG(kError) << "replica seal mismatch for snapshot "
-                        << msg->snapshot_id << " (expected " << msg->entry_count
-                        << " entries)";
+                        << msg->snapshot_id << ": expected " << msg->entry_count
+                        << " entries, have " << reject.entry_count;
       }
       return;
     }

@@ -32,8 +32,9 @@ class ReplicaStore {
 
   /// Seals `snapshot_id`: returns true (ack the coordinator) when exactly
   /// `expected_entries` were received, false on a count mismatch (the
-  /// replica stays silent and the coordinator's ack timeout aborts the
-  /// snapshot rather than committing a hole).
+  /// member then sends an explicit kSnapshotReplicaReject so the
+  /// coordinator aborts the snapshot immediately instead of burning its
+  /// ack-timeout watchdog on the hole).
   bool Seal(int64_t snapshot_id, int64_t expected_entries) {
     MutexLock lock(mu_);
     auto it = pending_.find(snapshot_id);
@@ -63,6 +64,14 @@ class ReplicaStore {
   void OnAborted(int64_t snapshot_id) {
     MutexLock lock(mu_);
     pending_.erase(snapshot_id);
+  }
+
+  /// Entries buffered for a not-yet-committed snapshot (0 when none) —
+  /// what a seal-mismatch reject reports back to the coordinator.
+  int64_t pending_entry_count(int64_t snapshot_id) const {
+    MutexLock lock(mu_);
+    auto it = pending_.find(snapshot_id);
+    return it == pending_.end() ? 0 : static_cast<int64_t>(it->second.size());
   }
 
   int64_t committed_entry_count(int64_t snapshot_id) const {

@@ -21,13 +21,25 @@ Status BuildMatcherPipeline(const PipelineOptions& options, MatcherPipeline* out
         opt.events_per_second = options.events_per_second;
         opt.duration = options.source_duration;
         opt.watermark_interval = options.watermark_interval;
-        return std::make_unique<core::GeneratorSourceP<Record>>(
-            MakeRecordGenFn(options.generator), opt);
+        // Grid-owned mode routes by grid partition so each matcher
+        // instance receives exactly the partitions it owns.
+        auto gen_fn = options.owned_state_grid != nullptr
+                          ? MakeGridRoutedRecordGenFn(
+                                options.generator,
+                                options.owned_state_grid->partition_count())
+                          : MakeRecordGenFn(options.generator);
+        return std::make_unique<core::GeneratorSourceP<Record>>(std::move(gen_fn),
+                                                                opt);
       },
       1);
   auto match = out->dag.AddVertex(
       "match",
-      [op, window](const ProcessorMeta&) {
+      [op, window, options](const ProcessorMeta&) -> std::unique_ptr<core::Processor> {
+        if (options.owned_state_grid != nullptr) {
+          return std::make_unique<GridMatcherP>(options.owned_state_grid,
+                                                options.owned_state_map,
+                                                options.state_bytes_per_key, window);
+        }
         return std::make_unique<core::AccumulateByFrameP<Record, MatcherState, int64_t>>(
             op, [](const Record& rec) { return rec.key; }, window);
       },

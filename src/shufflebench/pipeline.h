@@ -9,6 +9,7 @@
 #include "core/processors_basic.h"
 #include "core/processors_window.h"
 #include "shufflebench/generator.h"
+#include "shufflebench/grid_matcher.h"
 #include "shufflebench/matcher.h"
 
 namespace jet::shufflebench {
@@ -22,6 +23,14 @@ struct PipelineOptions {
   Nanos source_duration = 500 * kNanosPerMilli;
   Nanos window_size = 50 * kNanosPerMilli;
   Nanos watermark_interval = 5 * kNanosPerMilli;
+  /// When set, the matcher runs grid-owned (GridMatcherP): per-key state
+  /// blocks live in this grid's partitions under single-writer owned
+  /// access, the shuffle routes by grid partition, and the per-event path
+  /// takes zero locks. The grid must outlive the job, and the previous
+  /// execution over `owned_state_map` must be destroyed before
+  /// resubmitting (see GridMatcherP).
+  imdg::DataGrid* owned_state_grid = nullptr;
+  std::string owned_state_map = "shufflebench.matcher";
 };
 
 /// The built job: a DAG wired as

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -107,6 +109,107 @@ TEST(ImdgStressTest, MigrationUnderConcurrentWrites) {
   ASSERT_TRUE(grid.CheckReplicaConsistency("live").ok());
   ASSERT_TRUE(grid.ValidateTable().ok());
   EXPECT_GE(grid.stats().migrated_entries, *migrated3);
+}
+
+// Batched partition migration racing single-writer owned access (PR 10):
+// members join while a writer thread mutates its owned partitions through
+// OwnedPartitionHandles. The join must hand whole partition stores to the
+// new owner as batches (stats().batched_moves), the quiesce protocol must
+// fence the owned writers across each layout change, and no write — owned
+// or locked — may be lost.
+TEST(ImdgStressTest, BatchedMigrationUnderConcurrentOwnedWrites) {
+  DataGrid grid(/*backup_count=*/0, /*partition_count=*/64);
+  ASSERT_TRUE(grid.AddMember(1).ok());
+  IMap<uint64_t, int64_t> plain(&grid, "plain");
+  const int64_t preload = kMillion / 10;
+  ASSERT_TRUE(plain.Reserve(preload).ok());
+  for (int64_t i = 0; i < preload; ++i) {
+    ASSERT_TRUE(plain.Put(static_cast<uint64_t>(i), i).ok());
+  }
+
+  constexpr PartitionId kOwnedPartitions = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> owned_writes{0};
+  Status writer_error;
+  std::thread owner([&]() {
+    // Claim + acquire on the writer thread: the handles bind here and the
+    // membership changes below must quiesce around every operation.
+    std::vector<std::unique_ptr<OwnedPartitionHandle>> handles;
+    for (PartitionId p = 0; p < kOwnedPartitions; ++p) {
+      Status s = grid.ownership().Claim(p, 0, /*tasklet=*/p);
+      if (!s.ok()) {
+        writer_error = s;
+        return;
+      }
+      auto handle = grid.AcquireOwnedPartition("owned", p, p);
+      if (!handle.ok()) {
+        writer_error = handle.status();
+        return;
+      }
+      handles.push_back(std::move(handle).value());
+    }
+    const Bytes key = {0x42};
+    while (!stop.load(std::memory_order_acquire)) {
+      for (auto& h : handles) {
+        Status s = h->Update(key, [](Bytes* v) {
+          if (v->empty()) v->assign(8, 0);
+          for (size_t i = 0; i < v->size(); ++i) {
+            if (++(*v)[i] != 0) break;
+          }
+        });
+        if (!s.ok()) {
+          writer_error = s;
+          return;
+        }
+      }
+      owned_writes.fetch_add(1, std::memory_order_acq_rel);
+    }
+    // Read back before releasing: exactly-one-writer means the counter
+    // equals this thread's write count on every partition, across every
+    // batched migration that moved the store under the handle.
+    const int64_t expected = owned_writes.load(std::memory_order_acquire);
+    for (auto& h : handles) {
+      std::optional<Bytes> v = h->Get(key);
+      int64_t counted = 0;
+      if (v.has_value()) {
+        for (size_t i = 0; i < 8 && i < v->size(); ++i) {
+          counted |= static_cast<int64_t>((*v)[i]) << (8 * i);
+        }
+      }
+      if (counted != expected) {
+        writer_error = InternalError(
+            "owned partition " + std::to_string(h->partition()) + " counted " +
+            std::to_string(counted) + ", writer performed " +
+            std::to_string(expected));
+        return;
+      }
+    }
+    handles.clear();
+    for (PartitionId p = 0; p < kOwnedPartitions; ++p) {
+      (void)grid.ownership().Release(p, p);
+    }
+  });
+
+  // Wait until the owned writer is actually running before migrating.
+  while (owned_writes.load(std::memory_order_acquire) < 10 && !stop.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  auto migrated2 = grid.AddMember(2);
+  ASSERT_TRUE(migrated2.ok());
+  EXPECT_GT(*migrated2, 0);
+  auto migrated3 = grid.AddMember(3);
+  ASSERT_TRUE(migrated3.ok());
+  stop.store(true, std::memory_order_release);
+  owner.join();
+  ASSERT_TRUE(writer_error.ok()) << writer_error.ToString();
+  EXPECT_GT(owned_writes.load(std::memory_order_acquire), 0);
+
+  // The joins moved whole stores, not entry-by-entry copies under the
+  // partition lock.
+  EXPECT_GT(grid.stats().batched_moves, 0);
+  // The locked-mode preload survived the same migrations untouched.
+  EXPECT_EQ(plain.Size(), preload);
+  ASSERT_TRUE(grid.ValidateTable().ok());
 }
 
 TEST(ImdgStressTest, SnapshotSizedStateStaysAccountable) {

@@ -1,0 +1,28 @@
+// jet-verify fixture: known-bad. A mutex acquired while an
+// OwnedPartitionHandle is live in the same function: owned-partition
+// access is the zero-lock single-writer fast path, and a lock inside its
+// scope reintroduces the contention the handle removes (and can deadlock
+// against the grid's quiesce protocol). The owned-access rule must fire.
+#include <memory>
+#include <utility>
+
+#include "common/thread_annotations.h"
+#include "imdg/grid.h"
+
+namespace jet::fixture {
+
+class OwnedAggregator {
+ public:
+  void ProcessBatch(imdg::DataGrid* grid) {
+    auto handle = grid->AcquireOwnedPartition("agg", 3, /*tasklet=*/7);
+    if (!handle.ok()) return;
+    jet::MutexLock lock(stats_mutex_);  // inside the owned scope: flagged
+    ++batches_;
+  }
+
+ private:
+  jet::Mutex stats_mutex_;
+  int64_t batches_ JET_GUARDED_BY(stats_mutex_) = 0;
+};
+
+}  // namespace jet::fixture

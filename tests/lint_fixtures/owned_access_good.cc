@@ -1,0 +1,30 @@
+// jet-verify fixture: known-good twin of owned_access_bad.cc. The stats
+// lock is taken and released *before* the owned handle is acquired, so no
+// lock operation happens inside the owned-partition scope — the zero-lock
+// fast path stays zero-lock.
+#include <memory>
+#include <utility>
+
+#include "common/thread_annotations.h"
+#include "imdg/grid.h"
+
+namespace jet::fixture {
+
+class OwnedAggregator {
+ public:
+  void ProcessBatch(imdg::DataGrid* grid) {
+    {
+      jet::MutexLock lock(stats_mutex_);
+      ++batches_;
+    }
+    auto handle = grid->AcquireOwnedPartition("agg", 3, /*tasklet=*/7);
+    if (!handle.ok()) return;
+    handle.value()->Put({0x01}, {0x02});
+  }
+
+ private:
+  jet::Mutex stats_mutex_;
+  int64_t batches_ JET_GUARDED_BY(stats_mutex_) = 0;
+};
+
+}  // namespace jet::fixture

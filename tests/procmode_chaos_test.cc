@@ -341,5 +341,55 @@ TEST(ProcChaos, KillReplicaHolderLosesNoCommittedEpoch) {
   RemoveWorkDir(options.work_dir);
 }
 
+// A replica that detects a seal/entry-count mismatch must send an explicit
+// kSnapshotReplicaReject so the coordinator aborts immediately — NOT sit
+// silent until the ack-timeout watchdog fires. The watchdog here is set far
+// beyond the test deadline, so only the explicit negative ack can produce
+// the abort this test requires.
+TEST(ProcChaos, ReplicaSealMismatchAbortsImmediately) {
+  auto options = BaseOptions("reject");
+  options.job_params.duration = 4000 * kNanosPerMilli;
+  // If the reject path were still silent, the corrupted snapshot would hang
+  // until this watchdog — minutes past every deadline below.
+  options.snapshot_ack_timeout = 300 * kNanosPerSecond;
+  {
+    ProcessCluster cluster(options);
+    ASSERT_TRUE(cluster.Start().ok());
+    ASSERT_TRUE(cluster.SubmitWindowedJob().ok());
+    ASSERT_TRUE(cluster.WaitForCommittedSnapshot(1, 60 * kNanosPerSecond).ok());
+
+    const int64_t committed_before = cluster.last_committed_snapshot();
+    cluster.CorruptNextReplicaSeal();
+
+    // The explicit reject must land well inside the watchdog window.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (cluster.replica_reject_count() == 0 && !JobDone(cluster) &&
+           std::chrono::steady_clock::now() < deadline) {
+      SleepMillis(5);
+    }
+    EXPECT_GE(cluster.replica_reject_count(), 1)
+        << "corrupted seal was not rejected before the deadline — the "
+           "member stayed silent and only the watchdog could abort";
+
+    // The aborted snapshot is not fatal: later snapshots commit and the
+    // job still finishes exactly-once.
+    ASSERT_TRUE(cluster
+                    .WaitForCommittedSnapshot(committed_before + 1,
+                                              60 * kNanosPerSecond)
+                    .ok());
+    Status done = cluster.AwaitJobCompletion(180 * kNanosPerSecond);
+    ASSERT_TRUE(done.ok()) << done.ToString();
+    Status verdict = cluster.VerifyExactlyOnce();
+    EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+
+    // The reject is exported as proc.replica_rejects.
+    const auto dump = cluster.DiagnosticsDump();
+    EXPECT_NE(dump.json.find("proc.replica_rejects"), std::string::npos);
+    cluster.Shutdown();
+  }
+  RemoveWorkDir(options.work_dir);
+}
+
 }  // namespace
 }  // namespace jet::procmode

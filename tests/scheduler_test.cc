@@ -102,6 +102,51 @@ class LoggingTasklet final : public Tasklet {
   int64_t calls_ = 0;
 };
 
+// Busy time is test-granted in exact quanta: each Grant(n) makes exactly
+// one Call() spin n wall-nanos, so a rebalance pass sees precisely the
+// deltas the test scripted — no wall-clock ratios, no flakiness. Between
+// grants every call is an instant no-progress return (the worker parks).
+class GateTasklet final : public Tasklet {
+ public:
+  GateTasklet(std::string name, const std::atomic<bool>* stop)
+      : name_(std::move(name)), stop_(stop) {}
+
+  TaskletProgress Call() override {
+    const Nanos want = grant_.exchange(0, std::memory_order_acq_rel);
+    if (want > 0) {
+      const Nanos until = WallClock::Global().Now() + want;
+      while (WallClock::Global().Now() < until) {
+      }
+      consumed_.fetch_add(1, std::memory_order_acq_rel);
+      return {true, stop_->load(std::memory_order_acquire)};
+    }
+    return {false, stop_->load(std::memory_order_acquire)};
+  }
+
+  void OnWorkerAdopted(int32_t worker_index) override {
+    adopted_worker_.store(worker_index, std::memory_order_release);
+  }
+
+  void Grant(Nanos n) { grant_.store(n, std::memory_order_release); }
+  void AwaitConsumed(int64_t count) const {
+    while (consumed_.load(std::memory_order_acquire) < count) {
+      std::this_thread::yield();
+    }
+  }
+  int32_t adopted_worker() const {
+    return adopted_worker_.load(std::memory_order_acquire);
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  const std::atomic<bool>* stop_;
+  std::atomic<Nanos> grant_{0};
+  std::atomic<int64_t> consumed_{0};
+  std::atomic<int32_t> adopted_worker_{-1};
+};
+
 // Regression for the AwaitCompletion race: joined_ was a plain bool and
 // first_error_ was read without its mutex, so two concurrent waiters (the
 // job's Join() and the supervisor's health probe) raced on both. Under
@@ -285,6 +330,77 @@ TEST(SchedulerTest, BackgroundRebalanceRunsWithoutManualTrigger) {
   stop.store(true, std::memory_order_release);
   ASSERT_TRUE(service.AwaitCompletion().ok());
   EXPECT_GE(service.migrated_tasklets(), 1);
+}
+
+// Regression for rebalancer load misattribution (PR 10 satellite): a
+// migrated tasklet's busy delta straddles its old and new workers, and the
+// old code attributed the whole of it to the new worker — fabricating a
+// phantom hot spot there and ping-ponging the freshly adopted tasklet (or
+// an innocent neighbor) straight back on the first post-migration pass.
+// The fix zeroes the delta of any tasklet adopted since the previous pass.
+//
+// Fully deterministic: GateTasklet busy time is granted in exact quanta
+// and every TriggerRebalance pass is manual, so the pass sees precisely
+// the scripted deltas.
+TEST(SchedulerTest, AdoptedTaskletIsNotPingPongedOnFirstPass) {
+  obs::MetricsRegistry registry;
+  obs::EventLoopProfiler profiler(&registry);
+  std::atomic<bool> stop{false};
+  GateTasklet g1("g1", &stop);   // worker 0 (round-robin)
+  GateTasklet pad("pad", &stop); // worker 1
+  GateTasklet g2("g2", &stop);   // worker 0
+
+  ExecutionService::Options options;
+  options.rebalance_interval = 0;  // manual passes only
+  options.skew_threshold = 1.5;
+  options.min_hot_load = 500 * kNanosPerMicro;
+  ExecutionService service(2, &profiler, options);
+  ASSERT_TRUE(service.Start({&g1, &pad, &g2}).ok());
+
+  // Pass 1 sees worker 0 at 4ms (g1=3, g2=1) against worker 1's 200us: the
+  // skew is real and one of the gates migrates to worker 1 (on an idle
+  // host that is g2, whose 1ms lands nearer the gap midpoint than g1's
+  // 3ms; spin-quantum overshoot under load can flip the pick, which is
+  // fine — the property under test only needs *an* adopted tasklet).
+  g1.Grant(3 * kNanosPerMilli);
+  g2.Grant(1 * kNanosPerMilli);
+  pad.Grant(200 * kNanosPerMicro);
+  g1.AwaitConsumed(1);
+  g2.AwaitConsumed(1);
+  pad.AwaitConsumed(1);
+  service.TriggerRebalance();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (g1.adopted_worker() != 1 && g2.adopted_worker() != 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  GateTasklet& moved = g2.adopted_worker() == 1 ? g2 : g1;
+  ASSERT_EQ(moved.adopted_worker(), 1) << "expected a gate on worker 1";
+  ASSERT_EQ(service.migrated_tasklets(), 1);
+
+  // Between the passes the adopted gate burns another 1ms and pad 3ms,
+  // all on worker 1. Old code: pass 2 charges the adopted gate's full
+  // delta to worker 1 on top of pad's, sees a 4ms-vs-idle hot spot with
+  // two movable tasklets, and issues a bounce migration. Fixed code: the
+  // adopted gate's delta is zeroed for the first pass after its adoption,
+  // pad alone carries worker 1's load and is rejected as a move (it IS
+  // the whole load), so no migration is issued.
+  moved.Grant(1 * kNanosPerMilli);
+  pad.Grant(3 * kNanosPerMilli);
+  moved.AwaitConsumed(2);
+  pad.AwaitConsumed(2);
+  service.TriggerRebalance();
+  EXPECT_EQ(service.migrated_tasklets(), 1)
+      << "first post-adoption pass issued a bounce migration";
+
+  stop.store(true, std::memory_order_release);
+  // Unpark everyone: a granted call observes the stop flag and finishes.
+  g1.Grant(1);
+  pad.Grant(1);
+  g2.Grant(1);
+  ASSERT_TRUE(service.AwaitCompletion().ok());
+  EXPECT_EQ(service.migrated_tasklets(), 1);
 }
 
 }  // namespace

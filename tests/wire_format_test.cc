@@ -414,6 +414,30 @@ TEST(ProcProto, SnapshotReplicaSealAndAckRoundTrip) {
   EXPECT_EQ(decoded_ack->snapshot_id, 5);
 }
 
+// The explicit negative ack (PR 10): carries the replica's actual entry
+// count so the coordinator can log expected-vs-have on abort.
+TEST(ProcProto, SnapshotReplicaRejectRoundTrips) {
+  ProcMsg reject;
+  reject.type = ProcMsgType::kSnapshotReplicaReject;
+  reject.epoch = 4;
+  reject.snapshot_id = 9;
+  reject.entry_count = 42;
+  const Bytes frame = EncodeControlMessage(reject);
+  auto decoded = DecodeControlMessage(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, ProcMsgType::kSnapshotReplicaReject);
+  EXPECT_EQ(decoded->epoch, 4);
+  EXPECT_EQ(decoded->snapshot_id, 9);
+  EXPECT_EQ(decoded->entry_count, 42);
+
+  // Every truncation must error, never misparse.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    Bytes prefix(frame.begin(), frame.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(DecodeControlMessage(prefix).ok())
+        << "reject truncated to " << len;
+  }
+}
+
 // Frozen encodings: any byte-level drift in the new messages is a wire
 // version bump, not an accident. Vectors captured from the encoder at
 // introduction (frame header 4A 57 01 = "JW" + version, then CONTROL body).

@@ -33,6 +33,16 @@ Rules
   volatile           `volatile` is never a substitute for std::atomic.
   lock-in-spin       (advisory) A mutex acquisition lexically inside a
                      busy-wait loop.
+  owned-access       A mutex acquisition after an OwnedPartitionHandle
+                     is acquired in the same function. Owned-partition
+                     access is the zero-lock fast path of the
+                     single-writer ownership model (DESIGN.md §
+                     partition ownership); taking a lock inside that
+                     scope reintroduces the contention the handle
+                     exists to remove and risks deadlock against the
+                     grid's quiesce protocol. The src/imdg
+                     implementation itself is exempt (the handle's
+                     internals coordinate with layout changes).
 
 Suppressions
 ------------
@@ -85,6 +95,7 @@ RULES = {
     "raw-mutex",
     "volatile",
     "lock-in-spin",
+    "owned-access",
 }
 
 # Overrides of these virtuals run on cooperative workers inside the tasklet
@@ -123,6 +134,9 @@ BLOCKING_RE = re.compile(
     r"\bsleep_for\s*\(|\bsleep_until\s*\(|\.join\s*\(\s*\)"
     r"|\.wait\s*\(|\.wait_for\s*\(|\.wait_until\s*\("
     r"|\.Wait\s*\(|\.WaitFor\s*\("
+)
+OWNED_ACQUIRE_RE = re.compile(
+    r"\bAcquireOwnedPartition\s*\(|\bOwnedPartitionHandle\b"
 )
 SUPPRESS_RE = re.compile(
     r"jet-verify:\s*allow\(([^)]*)\)\s*(?:—|--|-)?\s*(.*)"
@@ -488,8 +502,27 @@ class TextBackend:
             )
             body = stripped[open_pos:body_end + 1]
             base = body_start
+            # owned-access: first line of this body where an
+            # OwnedPartitionHandle becomes live; locks after it are errors.
+            # The handle implementation itself (src/imdg) coordinates with
+            # the grid's quiesce protocol and is exempt.
+            owned_line = None
+            owned_exempt = rel.startswith("src/imdg/")
             for off, line in enumerate(body.split("\n")):
                 ln = base + off
+                if not owned_exempt:
+                    if owned_line is not None and (LOCK_RE.search(line) or
+                                                   RAW_MUTEX_RE.search(line)):
+                        self.emit(rel, ln, "owned-access",
+                                  f"mutex acquisition inside an owned-"
+                                  f"partition scope (handle acquired line "
+                                  f"{owned_line}): owned access is the "
+                                  f"zero-lock single-writer fast path; a "
+                                  f"lock here reintroduces the contention "
+                                  f"it removes and can deadlock against "
+                                  f"the grid's quiesce protocol")
+                    if owned_line is None and OWNED_ACQUIRE_RE.search(line):
+                        owned_line = ln
                 if LOCK_RE.search(line):
                     fn.facts.append((ln, "lock", line.strip()))
                 if BLOCKING_RE.search(line):
